@@ -1,0 +1,121 @@
+//! Ablations of the design choices the paper argues for:
+//!
+//! 1. `k = 1` vs larger inner channel tiles (Section IV-A: smaller `k`
+//!    leaves more memory for Psums, so `k` should be 1);
+//! 2. the `b·x·y ≈ R·z` balance (Section IV-C's first optimality condition);
+//! 3. Psums in LRegs vs Psums in the GBuf (Section IV-B1: GBuf Psums cause
+//!    shuffling energy);
+//! 4. assigning most of the on-chip memory to Psums (`b·x·y·z ≈ S`).
+
+use clb_bench::{banner, paper_workload};
+use comm_bound::OnChipMemory;
+use conv_model::ConvLayer;
+use dataflow::{our_dataflow_traffic, search_ours, Tiling};
+use energy_model::{reg_access_pj, sram_access_pj, table};
+
+fn mid_layer() -> ConvLayer {
+    paper_workload().layer(4).unwrap().layer // conv3_1
+}
+
+fn ablate_k(layer: &ConvLayer, mem: OnChipMemory) {
+    println!("\n[1] inner channel tile k (fixed memory {mem}):");
+    println!("    k>1 shrinks the Psum block: with k channels of inputs+weights");
+    println!("    resident, the output tile must fit in S - k*(slices).");
+    let s = mem.words();
+    for k in [1usize, 2, 4, 8, 16] {
+        // Memory left for Psums after k input/weight slices.
+        let base = search_ours(layer, mem).tiling;
+        let (xp, yp) = layer.input_footprint(base.x, base.y);
+        let slice = (base.b * xp * yp + base.z * layer.kernel_height() * layer.kernel_width()) * k;
+        if slice as f64 >= s {
+            println!("    k={k:>2}: slices alone exceed S");
+            continue;
+        }
+        let shrink = ((s - slice as f64) / (s - slice as f64 / k as f64)).sqrt();
+        let t = Tiling::clamped(
+            layer,
+            base.b,
+            base.z,
+            ((base.y as f64) * shrink) as usize,
+            ((base.x as f64) * shrink) as usize,
+        );
+        let q = our_dataflow_traffic(layer, &t).total_bytes();
+        println!("    k={k:>2}: tiling {t} -> {:.1} MB DRAM", q as f64 / 1e6);
+    }
+    println!("    (k=1 maximises the Psum block, minimising traffic — Section IV-A)");
+}
+
+fn ablate_balance(layer: &ConvLayer, mem: OnChipMemory) {
+    println!("\n[2] bxy : R*z balance at fixed Psum budget (bxyz ~ S):");
+    let s = mem.words();
+    let r = layer.window_reuse();
+    for alpha in [0.1, 0.3, 1.0, 3.0, 10.0] {
+        // u = alpha * R * z with u*z = S.
+        let z = (s / (alpha * r)).sqrt();
+        let u = alpha * r * z;
+        let side = (u / layer.batch() as f64).sqrt();
+        let t = Tiling::clamped(
+            layer,
+            layer.batch(),
+            z.round() as usize,
+            side.round() as usize,
+            side.round() as usize,
+        );
+        let q = our_dataflow_traffic(layer, &t).total_bytes();
+        println!(
+            "    bxy = {alpha:>4}*R*z: tiling {t} -> {:.1} MB DRAM",
+            q as f64 / 1e6
+        );
+    }
+    println!("    (traffic is minimised near alpha=1, the paper's condition)");
+}
+
+fn ablate_psum_location(layer: &ConvLayer) {
+    println!("\n[3] Psums in LRegs vs in the GBuf (energy per MAC):");
+    // LReg option: one 128B-LReg write per MAC.
+    let lreg = reg_access_pj(128.0);
+    // GBuf option: each MAC reads the Psum from the GBuf and writes it back
+    // (2 accesses of a Psum-sized SRAM ~ 64KB) plus the Reg staging write.
+    let gbuf = 2.0 * sram_access_pj(65536.0) + lreg;
+    println!("    LReg Psums: {lreg:.2} pJ/MAC");
+    println!(
+        "    GBuf Psums: {gbuf:.2} pJ/MAC ({:.1}x worse)",
+        gbuf / lreg
+    );
+    let macs = layer.macs() as f64;
+    println!(
+        "    on conv3_1 that is {:.1} mJ vs {:.1} mJ",
+        lreg * macs / 1e9,
+        gbuf * macs / 1e9
+    );
+}
+
+fn ablate_memory_split(layer: &ConvLayer, mem: OnChipMemory) {
+    println!("\n[4] fraction of S assigned to Psums (rest idles as buffers):");
+    for frac in [0.25, 0.5, 0.75, 0.9, 0.97] {
+        let sub = OnChipMemory::from_words(mem.words() * frac);
+        let choice = search_ours(layer, sub);
+        println!(
+            "    psum share {:>4.0}%: {:.1} MB DRAM",
+            frac * 100.0,
+            choice.traffic.total_bytes() as f64 / 1e6
+        );
+    }
+    println!("    (assigning most of S to Psums minimises traffic — Section IV-C;");
+    println!("     the implementations use ~96% for LRegs, 4% for GBufs)");
+    let _ = layer;
+}
+
+fn main() {
+    banner(
+        "Ablations",
+        "Design choices of Sections IV-V on VGG-16 conv3_1",
+    );
+    let layer = mid_layer();
+    let mem = OnChipMemory::from_kib(66.5);
+    println!("MAC energy reference: {} pJ", table::MAC_PJ);
+    ablate_k(&layer, mem);
+    ablate_balance(&layer, mem);
+    ablate_psum_location(&layer);
+    ablate_memory_split(&layer, mem);
+}

@@ -1,0 +1,70 @@
+//! Criterion micro-benchmarks of the workspace's computational kernels:
+//! tiling search, cycle simulation, reference convolution and the pebble
+//! partitioner.
+
+use comm_bound::OnChipMemory;
+use conv_model::{reference, ConvLayer, Padding, Tensor4};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_tiling_search(c: &mut Criterion) {
+    let layer = ConvLayer::square(3, 256, 56, 128, 3, 1).unwrap();
+    let mem = OnChipMemory::from_kib(66.5);
+    c.bench_function("search_ours/conv3_1", |b| {
+        b.iter(|| dataflow::search_ours(black_box(&layer), black_box(mem)))
+    });
+    c.bench_function("found_minimum/conv3_1", |b| {
+        b.iter(|| dataflow::found_minimum(black_box(&layer), black_box(mem)))
+    });
+}
+
+fn bench_simulator(c: &mut Criterion) {
+    let layer = ConvLayer::square(3, 256, 56, 128, 3, 1).unwrap();
+    let arch = accel_sim::ArchConfig::example();
+    let tiling = clb_core::plan_for_arch(&layer, &arch).unwrap();
+    c.bench_function("simulate/conv3_1", |b| {
+        b.iter(|| accel_sim::simulate(black_box(&layer), black_box(&tiling), black_box(&arch)))
+    });
+}
+
+fn bench_reference_conv(c: &mut Criterion) {
+    let layer = ConvLayer::builder()
+        .batch(1)
+        .out_channels(16)
+        .in_channels(16)
+        .input(32, 32)
+        .kernel(3, 3)
+        .padding(Padding::same(3))
+        .build()
+        .unwrap();
+    let input = Tensor4::from_fn(1, 16, 32, 32, |_, c, h, w| (c + h + w) as f64);
+    let weights = Tensor4::from_fn(16, 16, 3, 3, |n, c, h, w| (n + c + h + w) as f64);
+    c.bench_function("reference_convolve/16x32x32", |b| {
+        b.iter(|| reference::convolve(black_box(&layer), black_box(&input), black_box(&weights)))
+    });
+}
+
+fn bench_pebble(c: &mut Criterion) {
+    let layer = ConvLayer::builder()
+        .batch(1)
+        .out_channels(2)
+        .in_channels(2)
+        .input(6, 6)
+        .kernel(3, 3)
+        .padding(Padding::none())
+        .build()
+        .unwrap();
+    let conv = pebble::build_conv_dag(&layer);
+    c.bench_function("greedy_partition/tiny_conv", |b| {
+        b.iter(|| pebble::greedy_partition(black_box(&conv.dag), black_box(32)))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_tiling_search,
+    bench_simulator,
+    bench_reference_conv,
+    bench_pebble
+);
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! Fig. 16: per-layer GBuf access volume — Eyeriss vs our five
+//! implementations (log-scale axis in the paper; the reduction factor is the
+//! headline: 10.9–15.8×).
+
+use clb_bench::{analyze_implementation, banner, mb, paper_workload};
+use eyeriss_model::EyerissConfig;
+
+fn main() {
+    banner(
+        "Fig. 16",
+        "Per-layer GBuf access volume (MB), Eyeriss vs implementations 1-5",
+    );
+    let net = paper_workload();
+    let cfg = EyerissConfig::default();
+    let reports: Vec<_> = (1..=5).map(analyze_implementation).collect();
+
+    println!(
+        "{:<10} {:>10} {:>9} {:>9} {:>9} {:>9} {:>9}",
+        "layer", "Eyeriss", "impl.1", "impl.2", "impl.3", "impl.4", "impl.5"
+    );
+    let mut eyeriss_total = 0.0f64;
+    let mut impl_totals = [0.0f64; 5];
+    for (i, l) in net.conv_layers().enumerate() {
+        let e = cfg.gbuf_access_words(&l.layer) as f64 * 2.0;
+        eyeriss_total += e;
+        print!("{:<10} {:>10.0}", l.name, mb(e));
+        for (j, r) in reports.iter().enumerate() {
+            let v = r.layers[i].stats.gbuf.total_bytes() as f64;
+            impl_totals[j] += v;
+            print!(" {:>9.1}", mb(v));
+        }
+        println!();
+    }
+
+    println!("\nGBuf reduction factors vs Eyeriss (paper: 10.9-15.8x):");
+    for (j, total) in impl_totals.iter().enumerate() {
+        println!("  implementation {}: {:.1}x", j + 1, eyeriss_total / total);
+    }
+}

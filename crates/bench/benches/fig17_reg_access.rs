@@ -1,0 +1,42 @@
+//! Fig. 17: per-layer register access volume of the five implementations vs
+//! the Eq. 16 lower bound (one LReg write per MAC). The paper measures
+//! 5.9–11.8% above the bound.
+
+use clb_bench::{analyze_implementation, banner, paper_workload};
+
+fn main() {
+    banner(
+        "Fig. 17",
+        "Per-layer Reg access volume (G writes) vs the #MACs lower bound",
+    );
+    let net = paper_workload();
+    let reports: Vec<_> = (1..=5).map(analyze_implementation).collect();
+
+    println!(
+        "{:<10} {:>9} {:>9} {:>9} {:>9} {:>9} {:>9}",
+        "layer", "bound", "impl.1", "impl.2", "impl.3", "impl.4", "impl.5"
+    );
+    for (i, l) in net.conv_layers().enumerate() {
+        print!("{:<10} {:>9.2}", l.name, l.layer.macs() as f64 / 1e9);
+        for r in &reports {
+            print!(
+                " {:>9.2}",
+                r.layers[i].stats.reg.total_writes() as f64 / 1e9
+            );
+        }
+        println!();
+    }
+
+    println!("\ntotal overhead above the bound (paper: 5.9-11.8%):");
+    let bound = net.total_macs() as f64;
+    for (j, r) in reports.iter().enumerate() {
+        let writes = r.totals.reg.total_writes() as f64;
+        println!(
+            "  implementation {}: {:+.1}% (LReg {:.2}G + GReg {:.2}G writes)",
+            j + 1,
+            (writes / bound - 1.0) * 100.0,
+            r.totals.reg.lreg_writes as f64 / 1e9,
+            (r.totals.reg.greg_input_writes + r.totals.reg.greg_weight_writes) as f64 / 1e9,
+        );
+    }
+}

@@ -1,0 +1,86 @@
+//! Fig. 18: energy efficiency (pJ/MAC) of the five implementations against
+//! the theoretical best value — DRAM at the communication bound + MAC + one
+//! minimal LReg write per MAC. The paper's gap is 37–87%.
+
+use clb_bench::{analyze_implementation, banner, paper_workload};
+use clb_core::energy::energy_lower_bound_pj;
+use comm_bound::OnChipMemory;
+use eyeriss_model::PUBLISHED_ONCHIP_PJ_PER_MAC;
+
+fn bound_pj_per_mac(kib: f64) -> f64 {
+    let net = paper_workload();
+    let macs = net.total_macs();
+    let mem = OnChipMemory::from_kib(kib);
+    let dram_words: f64 = net
+        .conv_layers()
+        .map(|l| comm_bound::dram_bound_words(&l.layer, mem))
+        .sum();
+    energy_lower_bound_pj(macs, dram_words) / macs as f64
+}
+
+fn main() {
+    banner(
+        "Fig. 18",
+        "Energy efficiency (pJ/MAC) with component breakdown",
+    );
+    let macs = paper_workload().total_macs() as f64;
+
+    println!(
+        "{:<18} {:>7} {:>7} {:>7} {:>7} {:>7} {:>7} {:>8}",
+        "", "DRAM", "GBuf", "MAC", "LReg", "GReg", "others", "total"
+    );
+    let lb13 = bound_pj_per_mac(66.5);
+    let lb45 = bound_pj_per_mac(131.625);
+    let print_bound = |name: &str, total: f64| {
+        let mac = energy_model::table::MAC_PJ;
+        let lreg = energy_model::table::LREG_64B_PJ;
+        println!(
+            "{:<18} {:>7.2} {:>7.2} {:>7.2} {:>7.2} {:>7.2} {:>7.2} {:>8.2}",
+            name,
+            total - mac - lreg,
+            0.0,
+            mac,
+            lreg,
+            0.0,
+            0.0,
+            total,
+        );
+    };
+    print_bound("Lower bound (1-3)", lb13);
+    print_bound("Lower bound (4-5)", lb45);
+
+    for index in 1..=5 {
+        let r = analyze_implementation(index);
+        let e = r.energy;
+        println!(
+            "{:<18} {:>7.2} {:>7.2} {:>7.2} {:>7.2} {:>7.2} {:>7.2} {:>8.2}",
+            format!("Implem. {index}"),
+            e.dram_pj / macs,
+            e.gbuf_pj / macs,
+            e.mac_pj / macs,
+            e.lreg_pj() / macs,
+            e.greg_pj / macs,
+            e.other_pj / macs,
+            r.pj_per_mac(),
+        );
+    }
+
+    println!("\ngap to the theoretical best (paper: 37-87%):");
+    for index in 1..=5 {
+        let r = analyze_implementation(index);
+        let lb = if index <= 3 { lb13 } else { lb45 };
+        println!(
+            "  implementation {index}: {:+.0}%",
+            (r.pj_per_mac() / lb - 1.0) * 100.0
+        );
+    }
+
+    let r1 = analyze_implementation(1);
+    let onchip = (r1.energy.total_pj() - r1.energy.dram_pj) / macs;
+    println!(
+        "\non-chip pJ/MAC of implementation 1: {onchip:.2} vs Eyeriss's published {PUBLISHED_ONCHIP_PJ_PER_MAC} \
+         (paper: 2.61-3.68x more efficient)"
+    );
+    println!("paper shape: MAC + LReg dominate (computation-dominant design); DRAM and");
+    println!("MAC components sit at their lower bounds; extra LReg energy is static.");
+}

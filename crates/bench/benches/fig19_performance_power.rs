@@ -1,0 +1,34 @@
+//! Fig. 19: execution time (computing + waiting) and power dissipation of
+//! the five implementations on VGG-16 batch 3, plus the speedup over
+//! Eyeriss's published throughput (paper: 9.8–42.3×).
+
+use clb_bench::{analyze_implementation, banner};
+use eyeriss_model::vgg16_execution_seconds;
+
+fn main() {
+    banner(
+        "Fig. 19",
+        "Performance and power of the five implementations",
+    );
+    println!(
+        "{:<10} {:>7} {:>12} {:>12} {:>10} {:>10}",
+        "implem", "PEs", "compute(s)", "waiting(s)", "power(W)", "vs Eyeriss"
+    );
+    let eyeriss_s = vgg16_execution_seconds(3);
+    for index in 1..=5 {
+        let r = analyze_implementation(index);
+        let freq = clb_core::ArchConfig::implementation(index).core_freq_hz;
+        println!(
+            "{:<10} {:>7} {:>12.3} {:>12.3} {:>10.3} {:>9.1}x",
+            format!("#{index}"),
+            clb_core::ArchConfig::implementation(index).pe_count(),
+            r.compute_seconds(freq),
+            r.waiting_seconds(freq),
+            r.power_w(),
+            eyeriss_s / r.seconds,
+        );
+    }
+    println!("\npaper shape: time falls and power rises with more PEs; the waiting");
+    println!("share grows as compute shrinks relative to DRAM transfers; speedups");
+    println!("over Eyeriss span 9.8-42.3x.");
+}

@@ -1,0 +1,58 @@
+//! Extension experiment: the bound/dataflow/architecture pipeline on
+//! networks beyond the paper's VGG-16 — AlexNet (large strided kernels) and
+//! ResNet-50 (1×1 bottlenecks, R = 1 layers). The paper's theory claims
+//! generality ("general convolution operations"); this bench demonstrates
+//! it.
+
+use clb_bench::banner;
+use clb_core::Accelerator;
+use comm_bound::OnChipMemory;
+use conv_model::workloads;
+
+fn main() {
+    banner(
+        "Generality",
+        "Bound vs measured across network families (implementation 1)",
+    );
+    let acc = Accelerator::implementation(1);
+    let mem = OnChipMemory::from_words(acc.arch().effective_onchip_words() as f64);
+
+    println!(
+        "{:<12} {:>7} {:>10} {:>12} {:>12} {:>9} {:>9}",
+        "network", "layers", "GMACs", "bound(MB)", "DRAM(MB)", "gap", "pJ/MAC"
+    );
+    for net in [
+        workloads::vgg16(3),
+        workloads::alexnet(3),
+        workloads::resnet50(3),
+    ] {
+        let report = acc.analyze_network(&net).expect("network analyzable");
+        let bound_mb: f64 = net
+            .conv_layers()
+            .map(|l| comm_bound::dram_bound_bytes(&l.layer, mem) / 1e6)
+            .sum();
+        let dram_mb = report.totals.dram.total_bytes() as f64 / 1e6;
+        println!(
+            "{:<12} {:>7} {:>10.1} {:>12.1} {:>12.1} {:>+8.1}% {:>9.2}",
+            net.name(),
+            net.len(),
+            net.total_macs() as f64 / 1e9,
+            bound_mb,
+            dram_mb,
+            (dram_mb / bound_mb - 1.0) * 100.0,
+            report.pj_per_mac(),
+        );
+    }
+
+    println!("\nR-value census of ResNet-50 (the theory covers every corner):");
+    let net = workloads::resnet50(3);
+    let mut by_r: std::collections::BTreeMap<String, usize> = std::collections::BTreeMap::new();
+    for l in net.conv_layers() {
+        *by_r
+            .entry(format!("R = {}", l.layer.window_reuse()))
+            .or_default() += 1;
+    }
+    for (r, count) in by_r {
+        println!("  {r:<12} {count} layers");
+    }
+}

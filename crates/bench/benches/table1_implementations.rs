@@ -1,0 +1,36 @@
+//! Table I: the five implementations of the proposed architecture.
+
+use accel_sim::ArchConfig;
+use clb_bench::banner;
+
+fn main() {
+    banner("Table I", "Five implementations of our architecture");
+    println!(
+        "{:<26} {:>8} {:>8} {:>8} {:>8} {:>8}",
+        "Implementation #", "1", "2", "3", "4", "5"
+    );
+    let configs: Vec<ArchConfig> = (1..=5).map(ArchConfig::implementation).collect();
+    let row = |name: &str, f: &dyn Fn(&ArchConfig) -> String| {
+        print!("{name:<26}");
+        for c in &configs {
+            print!(" {:>8}", f(c));
+        }
+        println!();
+    };
+    row("# of PEs", &|c| format!("{}x{}", c.pe_rows, c.pe_cols));
+    row("GBuf size (KB)", &|c| {
+        format!("{:.3}", c.gbuf_bytes() as f64 / 1024.0)
+    });
+    row("LReg size/PE (B)", &|c| {
+        format!("{}", c.lreg_bytes_per_pe())
+    });
+    row("GReg size (KB)", &|c| format!("{}", c.greg_bytes / 1024));
+    row("Effective memory (KB)", &|c| {
+        format!("{:.3}", c.effective_onchip_bytes() as f64 / 1024.0)
+    });
+
+    // Paper values for eyeball comparison.
+    println!("\npaper: PEs 16x16/32x16/32x32/32x32/64x32; GBuf 2.5/2.5/2.5/3.625/3.625 KB;");
+    println!("       LReg 256/128/64/128/64 B; GReg 10/15/18/27/36 KB;");
+    println!("       effective 66.5/66.5/66.5/131.625/131.625 KB");
+}

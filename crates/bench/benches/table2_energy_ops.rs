@@ -1,0 +1,28 @@
+//! Table II: energy consumption of the basic operations (65 nm).
+
+use clb_bench::banner;
+use energy_model::{reg_access_pj, sram_access_pj, table};
+
+fn main() {
+    banner("Table II", "Energy consumption of operations (pJ)");
+    println!("MAC                   {:>8.2}", table::MAC_PJ);
+    println!("GBuf (0.5KB) access   {:>8.2}", table::GBUF_0_5KB_PJ);
+    println!("GBuf (2KB) access     {:>8.2}", table::GBUF_2KB_PJ);
+    println!("GBuf (3.125KB) access {:>8.2}", table::GBUF_3_125KB_PJ);
+    println!("LReg (256B) access    {:>8.2}", table::LREG_256B_PJ);
+    println!("LReg (128B) access    {:>8.2}", table::LREG_128B_PJ);
+    println!("LReg (64B) access     {:>8.2}", table::LREG_64B_PJ);
+    println!("DRAM (2GB) access     {:>8.2}", table::DRAM_PJ);
+
+    println!("\nparametric model spot checks (CACTI-like log-log interpolation):");
+    for kb in [0.5, 1.0, 2.0, 3.125, 8.0] {
+        println!(
+            "  SRAM {:>6.3} KB -> {:.3} pJ/access",
+            kb,
+            sram_access_pj(kb * 1024.0)
+        );
+    }
+    for b in [64.0, 96.0, 128.0, 192.0, 256.0] {
+        println!("  Reg  {:>6.0} B  -> {:.3} pJ/access", b, reg_access_pj(b));
+    }
+}

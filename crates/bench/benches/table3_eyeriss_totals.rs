@@ -1,0 +1,59 @@
+//! Table III: network totals of the Eyeriss comparison — DRAM access and
+//! DRAM access per MAC at 173.5 KB effective on-chip memory.
+
+use clb_bench::{banner, paper_workload};
+use comm_bound::OnChipMemory;
+use dataflow::{search_dataflow, DataflowKind};
+use eyeriss_model::{
+    EyerissConfig, EFFECTIVE_ONCHIP_KIB, PUBLISHED_DRAM_COMPRESSED_MB,
+    PUBLISHED_DRAM_UNCOMPRESSED_MB,
+};
+
+fn main() {
+    banner(
+        "Table III",
+        "Comparison with Eyeriss on DRAM access (173.5 KB effective memory)",
+    );
+    let net = paper_workload();
+    let mem = OnChipMemory::from_kib(EFFECTIVE_ONCHIP_KIB);
+    let macs = net.total_macs() as f64;
+    let _ = EyerissConfig::default();
+
+    let bound_mb: f64 = net
+        .conv_layers()
+        .map(|l| comm_bound::dram_bound_bytes(&l.layer, mem) / 1e6)
+        .sum();
+    let ours_mb: f64 = net
+        .conv_layers()
+        .map(|l| {
+            search_dataflow(DataflowKind::Ours, &l.layer, mem)
+                .unwrap()
+                .traffic
+                .total_bytes() as f64
+                / 1e6
+        })
+        .sum();
+
+    println!("{:<24} {:>12} {:>16}", "", "DRAM (MB)", "DRAM access/MAC");
+    // The paper's access/MAC metric is words per MAC (274.8 MB over the
+    // 46 GMAC workload at 16-bit words gives its 0.0030).
+    let words_per_mac = |mb: f64| mb * 1e6 / 2.0 / macs;
+    let print_row = |name: &str, mb: f64| {
+        println!("{:<24} {:>12.1} {:>16.4}", name, mb, words_per_mac(mb));
+    };
+    print_row("Lower bound", bound_mb);
+    print_row("Our dataflow", ours_mb);
+    print_row("Eyeriss (compressed)", PUBLISHED_DRAM_COMPRESSED_MB);
+    print_row("Eyeriss (uncompressed)", PUBLISHED_DRAM_UNCOMPRESSED_MB);
+
+    println!(
+        "\nreduction vs uncompressed Eyeriss: {:.1}%  (paper: 43.3%)",
+        (1.0 - ours_mb / PUBLISHED_DRAM_UNCOMPRESSED_MB) * 100.0
+    );
+    println!(
+        "reduction vs compressed Eyeriss:   {:.1}%  (paper: 6.7%)",
+        (1.0 - ours_mb / PUBLISHED_DRAM_COMPRESSED_MB) * 100.0
+    );
+    println!("paper values: bound 274.8 MB (0.0030), ours 299.7 MB (0.0033),");
+    println!("              Eyeriss compressed 321.3 MB (0.0035), uncompressed 528.8 MB (0.0057)");
+}

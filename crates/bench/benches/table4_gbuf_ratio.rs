@@ -1,0 +1,60 @@
+//! Table IV: ratio of GBuf access volume to DRAM access volume for
+//! implementation 1 — the evidence that the GBuf communication reaches its
+//! lower bound (weights 1.00×, inputs slightly above 1 from halos).
+
+use clb_bench::{analyze_implementation, banner, mb};
+
+fn main() {
+    banner(
+        "Table IV",
+        "GBuf vs DRAM access volume, implementation 1, VGG-16 batch 3",
+    );
+    let report = analyze_implementation(1);
+    let d = report.totals.dram;
+    let g = report.totals.gbuf;
+
+    println!(
+        "{:<10} {:>12} {:>12} {:>18} {:>18}",
+        "", "DRAM read", "DRAM write", "GBuf read", "GBuf write"
+    );
+    println!(
+        "{:<10} {:>10.1}MB {:>10.1}MB {:>12.1}MB ({:.2}x) {:>11.1}MB ({:.2}x)",
+        "Inputs",
+        mb(d.input_reads as f64 * 2.0),
+        0.0,
+        mb(g.input_reads as f64 * 2.0),
+        g.input_reads as f64 / d.input_reads as f64,
+        mb(g.input_writes as f64 * 2.0),
+        g.input_writes as f64 / d.input_reads as f64,
+    );
+    println!(
+        "{:<10} {:>10.1}MB {:>10.1}MB {:>12.1}MB ({:.2}x) {:>11.1}MB ({:.2}x)",
+        "Weights",
+        mb(d.weight_reads as f64 * 2.0),
+        0.0,
+        mb(g.weight_reads as f64 * 2.0),
+        g.weight_reads as f64 / d.weight_reads as f64,
+        mb(g.weight_writes as f64 * 2.0),
+        g.weight_writes as f64 / d.weight_reads as f64,
+    );
+    println!(
+        "{:<10} {:>10.1}MB {:>10.1}MB {:>14} {:>19}",
+        "Outputs",
+        0.0,
+        mb(d.output_writes as f64 * 2.0),
+        "0",
+        "0",
+    );
+
+    let dram_reads = (d.input_reads + d.weight_reads) as f64;
+    println!(
+        "\noverall GBuf read ratio:  {:.2}x of DRAM reads (paper: 1.33x)",
+        (g.input_reads + g.weight_reads) as f64 / dram_reads
+    );
+    println!(
+        "overall GBuf write ratio: {:.2}x of DRAM reads (paper: 1.07x)",
+        (g.input_writes + g.weight_writes) as f64 / dram_reads
+    );
+    println!("paper: inputs GBuf read 1.67x / write 1.15x; weights 1.00x / 1.00x;");
+    println!("       Psums never touch the GBuf.");
+}

@@ -1,0 +1,68 @@
+//! Shared helpers for the figure/table reproduction benches.
+//!
+//! Every `[[bench]]` target in this crate is a custom harness
+//! (`harness = false`) that regenerates one table or figure of the paper's
+//! evaluation section and prints the same rows/series the paper reports.
+//! Run them all with `cargo bench`, or one with e.g.
+//! `cargo bench --bench fig13_dataflow_sweep`.
+
+#![deny(missing_docs)]
+#![deny(rustdoc::broken_intra_doc_links)]
+
+use clb_core::{Accelerator, NetworkReport};
+use conv_model::workloads::{self, Network};
+
+/// The paper's evaluation workload: VGG-16 at batch 3.
+#[must_use]
+pub fn paper_workload() -> Network {
+    workloads::vgg16(3)
+}
+
+/// Analyzes the paper workload on one Table I implementation.
+///
+/// # Panics
+///
+/// Panics if the simulation fails (planned tilings are always feasible).
+#[must_use]
+pub fn analyze_implementation(index: usize) -> NetworkReport {
+    Accelerator::implementation(index)
+        .analyze_network(&paper_workload())
+        .expect("planned tilings simulate cleanly")
+}
+
+/// Prints a figure/table banner.
+pub fn banner(id: &str, caption: &str) {
+    println!("\n==============================================================");
+    println!("{id} — {caption}");
+    println!("==============================================================");
+}
+
+/// Formats bytes as the MB used in the paper's figures (10⁶ bytes).
+#[must_use]
+pub fn mb(bytes: f64) -> f64 {
+    bytes / 1e6
+}
+
+/// Formats bytes as GB (10⁹ bytes) for the Fig. 13 axis.
+#[must_use]
+pub fn gb(bytes: f64) -> f64 {
+    bytes / 1e9
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workload_is_vgg16_batch3() {
+        let net = paper_workload();
+        assert_eq!(net.len(), 13);
+        assert_eq!(net.layer(0).unwrap().layer.batch(), 3);
+    }
+
+    #[test]
+    fn unit_helpers() {
+        assert_eq!(mb(2e6), 2.0);
+        assert_eq!(gb(3e9), 3.0);
+    }
+}

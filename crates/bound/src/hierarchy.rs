@@ -1,0 +1,173 @@
+//! Three-level memory-hierarchy bounds (Section IV-C's summary).
+//!
+//! A CNN accelerator has at least three storage levels — DRAM, GBuf, Regs —
+//! and the paper derives a lower bound at each boundary:
+//!
+//! | boundary | bound |
+//! |---|---|
+//! | DRAM ↔ chip | Eq. 15: `2·#MACs/√(R·S) + outputs` |
+//! | GBuf ↔ Regs | input/weight DRAM reads (each loaded word read once) |
+//! | Regs ↔ MACs | Eq. 16: `#MACs` writes |
+//!
+//! [`HierarchyBounds`] evaluates all three for a layer, and
+//! [`HierarchyBounds::gaps`] compares them against measured volumes,
+//! producing the per-level ratios the paper reports (DRAM ≈1.1×, GBuf
+//! ≈1.3×, Regs ≈1.06–1.12×).
+
+use conv_model::ConvLayer;
+use serde::{Deserialize, Serialize};
+
+use crate::{dram_bound_words, gbuf_bound_words, reg_bound_writes, OnChipMemory};
+
+/// The three boundaries of the hierarchy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Level {
+    /// Off-chip DRAM ↔ on-chip memory.
+    Dram,
+    /// GBuf ↔ register files.
+    Gbuf,
+    /// Registers ↔ MAC units.
+    Reg,
+}
+
+impl Level {
+    /// All levels, outermost first.
+    pub const ALL: [Level; 3] = [Level::Dram, Level::Gbuf, Level::Reg];
+}
+
+impl std::fmt::Display for Level {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            Level::Dram => "DRAM",
+            Level::Gbuf => "GBuf",
+            Level::Reg => "Reg",
+        })
+    }
+}
+
+/// Lower bounds at every level of the hierarchy for one layer.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct HierarchyBounds {
+    /// DRAM traffic bound in words (Eq. 15, ideal-clamped).
+    pub dram_words: f64,
+    /// GBuf read bound in words.
+    pub gbuf_words: f64,
+    /// Register write bound (Eq. 16).
+    pub reg_writes: u64,
+}
+
+/// Measured traffic at every level, for gap computation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MeasuredTraffic {
+    /// Measured DRAM words (reads + writes).
+    pub dram_words: u64,
+    /// Measured GBuf read words.
+    pub gbuf_read_words: u64,
+    /// Measured register writes.
+    pub reg_writes: u64,
+}
+
+/// Gap ratios `measured / bound` per level (≥ 1 when the bound holds).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct HierarchyGaps {
+    /// DRAM gap.
+    pub dram: f64,
+    /// GBuf gap.
+    pub gbuf: f64,
+    /// Register gap.
+    pub reg: f64,
+}
+
+impl HierarchyGaps {
+    /// The worst (largest) gap and its level.
+    #[must_use]
+    pub fn worst(&self) -> (Level, f64) {
+        let mut worst = (Level::Dram, self.dram);
+        if self.gbuf > worst.1 {
+            worst = (Level::Gbuf, self.gbuf);
+        }
+        if self.reg > worst.1 {
+            worst = (Level::Reg, self.reg);
+        }
+        worst
+    }
+
+    /// True when every measured volume is at or above its bound
+    /// (tolerating floating-point slack).
+    #[must_use]
+    pub fn bounds_hold(&self) -> bool {
+        self.dram >= 1.0 - 1e-9 && self.gbuf >= 1.0 - 1e-9 && self.reg >= 1.0 - 1e-9
+    }
+}
+
+impl HierarchyBounds {
+    /// Evaluates all three bounds for a layer at an effective on-chip
+    /// memory size.
+    #[must_use]
+    pub fn of(layer: &ConvLayer, mem: OnChipMemory) -> Self {
+        HierarchyBounds {
+            dram_words: dram_bound_words(layer, mem),
+            gbuf_words: gbuf_bound_words(layer, mem),
+            reg_writes: reg_bound_writes(layer),
+        }
+    }
+
+    /// Gap ratios of measured traffic against the bounds.
+    #[must_use]
+    pub fn gaps(&self, measured: &MeasuredTraffic) -> HierarchyGaps {
+        HierarchyGaps {
+            dram: measured.dram_words as f64 / self.dram_words,
+            gbuf: measured.gbuf_read_words as f64 / self.gbuf_words,
+            reg: measured.reg_writes as f64 / self.reg_writes as f64,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use conv_model::workloads;
+
+    fn fixture() -> (HierarchyBounds, MeasuredTraffic) {
+        let layer = workloads::vgg16(3).layer(4).unwrap().layer;
+        let mem = OnChipMemory::from_kib(66.5);
+        let bounds = HierarchyBounds::of(&layer, mem);
+        let measured = MeasuredTraffic {
+            dram_words: (bounds.dram_words * 1.15) as u64,
+            gbuf_read_words: (bounds.gbuf_words * 1.3) as u64,
+            reg_writes: bounds.reg_writes + bounds.reg_writes / 20,
+        };
+        (bounds, measured)
+    }
+
+    #[test]
+    fn gaps_computed_per_level() {
+        let (bounds, measured) = fixture();
+        let gaps = bounds.gaps(&measured);
+        assert!((gaps.dram - 1.15).abs() < 0.01);
+        assert!((gaps.gbuf - 1.3).abs() < 0.01);
+        assert!((gaps.reg - 1.05).abs() < 0.01);
+        assert!(gaps.bounds_hold());
+    }
+
+    #[test]
+    fn worst_level_identified() {
+        let (bounds, measured) = fixture();
+        let (level, gap) = bounds.gaps(&measured).worst();
+        assert_eq!(level, Level::Gbuf);
+        assert!((gap - 1.3).abs() < 0.01);
+    }
+
+    #[test]
+    fn violated_bound_detected() {
+        let (bounds, mut measured) = fixture();
+        measured.reg_writes = bounds.reg_writes / 2;
+        assert!(!bounds.gaps(&measured).bounds_hold());
+    }
+
+    #[test]
+    fn levels_display() {
+        let names: Vec<String> = Level::ALL.iter().map(ToString::to_string).collect();
+        assert_eq!(names, vec!["DRAM", "GBuf", "Reg"]);
+    }
+}

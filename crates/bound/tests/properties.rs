@@ -1,0 +1,108 @@
+//! Property-based tests of the analytic bounds: monotonicity, scaling laws
+//! and internal consistency of Theorem 2 / Eq. 15.
+
+use comm_bound::{
+    dram_bound_words, gbuf_bound_words, ideal_dram_words, naive_dram_words, practical_dram_words,
+    reduction_factor, theorem2_dram_words, DramBoundBreakdown, OnChipMemory,
+};
+use conv_model::{ConvLayer, Padding};
+use proptest::prelude::*;
+
+fn layer_strategy() -> impl Strategy<Value = ConvLayer> {
+    (
+        1usize..=4,
+        1usize..=64,
+        4usize..=64,
+        1usize..=32,
+        1usize..=5,
+        1usize..=3,
+    )
+        .prop_filter_map("valid layer", |(b, co, size, ci, k, s)| {
+            ConvLayer::builder()
+                .batch(b)
+                .out_channels(co)
+                .in_channels(ci)
+                .input(size, size)
+                .kernel(k, k)
+                .stride(s)
+                .padding(Padding::same(k))
+                .build()
+                .ok()
+        })
+}
+
+proptest! {
+    #[test]
+    fn bound_monotone_decreasing_in_memory(layer in layer_strategy(), kib in 1.0f64..256.0) {
+        let q1 = dram_bound_words(&layer, OnChipMemory::from_kib(kib));
+        let q2 = dram_bound_words(&layer, OnChipMemory::from_kib(kib * 2.0));
+        prop_assert!(q2 <= q1 + 1e-9);
+    }
+
+    #[test]
+    fn theorem2_exact_sqrt_scaling(layer in layer_strategy(), words in 64.0f64..1e6) {
+        let q1 = theorem2_dram_words(&layer, OnChipMemory::from_words(words));
+        let q4 = theorem2_dram_words(&layer, OnChipMemory::from_words(words * 4.0));
+        prop_assert!((q1 / q4 - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn practical_dominates_theorem2(layer in layer_strategy(), words in 64.0f64..1e6) {
+        let mem = OnChipMemory::from_words(words);
+        prop_assert!(practical_dram_words(&layer, mem) >= theorem2_dram_words(&layer, mem));
+    }
+
+    #[test]
+    fn bound_between_ideal_and_naive(layer in layer_strategy(), words in 64.0f64..1e6) {
+        let mem = OnChipMemory::from_words(words);
+        let q = dram_bound_words(&layer, mem);
+        prop_assert!(q >= ideal_dram_words(&layer) - 1e-9);
+        // The naive volume only dominates when some reuse is possible
+        // (S*R >= ~4); always true in this strategy's range.
+        prop_assert!(q <= naive_dram_words(&layer) + ideal_dram_words(&layer));
+    }
+
+    #[test]
+    fn reduction_factor_is_sqrt_rs(layer in layer_strategy(), words in 64.0f64..1e6) {
+        let mem = OnChipMemory::from_words(words);
+        let f = reduction_factor(&layer, mem);
+        prop_assert!((f * f - layer.window_reuse() * words).abs() / (f * f) < 1e-9);
+    }
+
+    #[test]
+    fn breakdown_consistent_with_total(layer in layer_strategy(), words in 64.0f64..1e6) {
+        let mem = OnChipMemory::from_words(words);
+        let b = DramBoundBreakdown::of(&layer, mem);
+        // The breakdown clamps reads at the per-stream ideal, so its total
+        // is >= the unclamped Eq. 15 value.
+        prop_assert!(b.total() >= practical_dram_words(&layer, mem) - 1e-6);
+        prop_assert!(b.input_reads >= 0.0 && b.weight_reads >= 0.0);
+        prop_assert_eq!(b.output_writes, layer.output_words() as f64);
+    }
+
+    #[test]
+    fn gbuf_bound_at_most_dram_bound(layer in layer_strategy(), words in 64.0f64..1e6) {
+        let mem = OnChipMemory::from_words(words);
+        // GBuf bound excludes output writes but includes the input+weight
+        // ideal clamp; it is within the DRAM bound + ideal slack.
+        let gbuf = gbuf_bound_words(&layer, mem);
+        let dram = dram_bound_words(&layer, mem);
+        prop_assert!(gbuf <= dram + 1e-6);
+    }
+
+    #[test]
+    fn batch_scales_bound_linearly_in_read_regime(
+        co in 8usize..=64,
+        size in 8usize..=32,
+        ci in 8usize..=32,
+    ) {
+        // With small memory (read-dominated), doubling the batch doubles
+        // the bound.
+        let l1 = ConvLayer::square(1, co, size, ci, 3, 1).unwrap();
+        let l2 = ConvLayer::square(2, co, size, ci, 3, 1).unwrap();
+        let mem = OnChipMemory::from_words(512.0);
+        let q1 = practical_dram_words(&l1, mem);
+        let q2 = practical_dram_words(&l2, mem);
+        prop_assert!((q2 / q1 - 2.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,529 @@
+use serde::{Deserialize, Serialize};
+
+use crate::error::LayerError;
+use crate::BYTES_PER_WORD;
+
+/// Symmetric zero padding applied to the input feature map.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub struct Padding {
+    /// Rows of zeros added above and below the input.
+    pub vertical: usize,
+    /// Columns of zeros added left and right of the input.
+    pub horizontal: usize,
+}
+
+impl Padding {
+    /// `same`-style padding for odd square kernels: `(k - 1) / 2` on each side.
+    #[must_use]
+    pub fn same(kernel: usize) -> Self {
+        Padding {
+            vertical: kernel.saturating_sub(1) / 2,
+            horizontal: kernel.saturating_sub(1) / 2,
+        }
+    }
+
+    /// No padding.
+    #[must_use]
+    pub fn none() -> Self {
+        Padding::default()
+    }
+}
+
+/// Geometry of one convolutional layer.
+///
+/// Follows the naming of the paper (Fig. 1/2): a batch of `B` input images
+/// with `Ci` channels of `Hi×Wi` pixels is convolved with `Co` kernels of
+/// shape `Ci×Hk×Wk` at stride `D`, producing `B` output images with `Co`
+/// channels of `Ho×Wo` pixels.
+///
+/// A `ConvLayer` is validated at construction: all dimensions are positive
+/// and at least one sliding window fits. Use [`ConvLayer::builder`] for named
+/// construction or [`ConvLayer::square`] for the common square case.
+///
+/// ```
+/// use conv_model::ConvLayer;
+///
+/// // VGG-16 conv3-1: 128→256 channels on a 56×56 map.
+/// let layer = ConvLayer::square(1, 256, 56, 128, 3, 1).unwrap();
+/// assert_eq!(layer.output_height(), 56);
+/// assert_eq!(layer.macs(), 56 * 56 * 256 * 128 * 9);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ConvLayer {
+    batch: usize,
+    out_channels: usize,
+    in_channels: usize,
+    in_height: usize,
+    in_width: usize,
+    kernel_height: usize,
+    kernel_width: usize,
+    stride: usize,
+    padding: Padding,
+}
+
+impl ConvLayer {
+    /// Starts building a layer with named setters.
+    #[must_use]
+    pub fn builder() -> ConvLayerBuilder {
+        ConvLayerBuilder::default()
+    }
+
+    /// Builds the common square layer: square input `size×size`, square
+    /// kernel `kernel×kernel`, `same` padding, given stride.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LayerError`] if any dimension is zero or the kernel does not
+    /// fit in the padded input.
+    pub fn square(
+        batch: usize,
+        out_channels: usize,
+        size: usize,
+        in_channels: usize,
+        kernel: usize,
+        stride: usize,
+    ) -> Result<Self, LayerError> {
+        ConvLayer::builder()
+            .batch(batch)
+            .out_channels(out_channels)
+            .in_channels(in_channels)
+            .input(size, size)
+            .kernel(kernel, kernel)
+            .stride(stride)
+            .padding(Padding::same(kernel))
+            .build()
+    }
+
+    /// Batch size `B`.
+    #[must_use]
+    pub fn batch(&self) -> usize {
+        self.batch
+    }
+
+    /// Output channels `Co` (number of kernels).
+    #[must_use]
+    pub fn out_channels(&self) -> usize {
+        self.out_channels
+    }
+
+    /// Input channels `Ci`.
+    #[must_use]
+    pub fn in_channels(&self) -> usize {
+        self.in_channels
+    }
+
+    /// Input feature-map height `Hi` (unpadded).
+    #[must_use]
+    pub fn in_height(&self) -> usize {
+        self.in_height
+    }
+
+    /// Input feature-map width `Wi` (unpadded).
+    #[must_use]
+    pub fn in_width(&self) -> usize {
+        self.in_width
+    }
+
+    /// Kernel height `Hk`.
+    #[must_use]
+    pub fn kernel_height(&self) -> usize {
+        self.kernel_height
+    }
+
+    /// Kernel width `Wk`.
+    #[must_use]
+    pub fn kernel_width(&self) -> usize {
+        self.kernel_width
+    }
+
+    /// Stride `D` (identical in both spatial directions, as in the paper).
+    #[must_use]
+    pub fn stride(&self) -> usize {
+        self.stride
+    }
+
+    /// Zero padding applied to the input.
+    #[must_use]
+    pub fn padding(&self) -> Padding {
+        self.padding
+    }
+
+    /// Output height `Ho = (Hi + 2·pad_v − Hk) / D + 1`.
+    #[must_use]
+    pub fn output_height(&self) -> usize {
+        (self.in_height + 2 * self.padding.vertical - self.kernel_height) / self.stride + 1
+    }
+
+    /// Output width `Wo = (Wi + 2·pad_h − Wk) / D + 1`.
+    #[must_use]
+    pub fn output_width(&self) -> usize {
+        (self.in_width + 2 * self.padding.horizontal - self.kernel_width) / self.stride + 1
+    }
+
+    /// Number of multiply-accumulate operations:
+    /// `B·Wo·Ho·Co·Wk·Hk·Ci`.
+    #[must_use]
+    pub fn macs(&self) -> u64 {
+        self.batch as u64
+            * self.output_height() as u64
+            * self.output_width() as u64
+            * self.out_channels as u64
+            * self.kernel_height as u64
+            * self.kernel_width as u64
+            * self.in_channels as u64
+    }
+
+    /// Total input words `B·Ci·Hi·Wi` (unpadded; zeros are never fetched).
+    #[must_use]
+    pub fn input_words(&self) -> u64 {
+        self.batch as u64 * self.in_channels as u64 * self.in_height as u64 * self.in_width as u64
+    }
+
+    /// Total weight words `Co·Ci·Hk·Wk`.
+    #[must_use]
+    pub fn weight_words(&self) -> u64 {
+        self.out_channels as u64
+            * self.in_channels as u64
+            * self.kernel_height as u64
+            * self.kernel_width as u64
+    }
+
+    /// Total output words `B·Co·Ho·Wo`.
+    #[must_use]
+    pub fn output_words(&self) -> u64 {
+        self.batch as u64
+            * self.out_channels as u64
+            * self.output_height() as u64
+            * self.output_width() as u64
+    }
+
+    /// Total input bytes at 16-bit precision.
+    #[must_use]
+    pub fn input_bytes(&self) -> u64 {
+        self.input_words() * BYTES_PER_WORD
+    }
+
+    /// Total weight bytes at 16-bit precision.
+    #[must_use]
+    pub fn weight_bytes(&self) -> u64 {
+        self.weight_words() * BYTES_PER_WORD
+    }
+
+    /// Total output bytes at 16-bit precision.
+    #[must_use]
+    pub fn output_bytes(&self) -> u64 {
+        self.output_words() * BYTES_PER_WORD
+    }
+
+    /// Maximum sliding-window reuse factor of Eq. 2 of the paper:
+    /// `R = Wk·Hk / D²`, clamped below at 1.
+    ///
+    /// Each input element can participate in at most this many overlapping
+    /// sliding windows. For a fully-connected layer (or any layer whose
+    /// stride covers the kernel) `R = 1` and the layer degenerates to a pure
+    /// matrix multiplication.
+    #[must_use]
+    pub fn window_reuse(&self) -> f64 {
+        let r =
+            (self.kernel_height * self.kernel_width) as f64 / (self.stride * self.stride) as f64;
+        r.max(1.0)
+    }
+
+    /// True when the layer is logically a matrix multiplication
+    /// (`R == 1`, i.e. no sliding-window overlap).
+    #[must_use]
+    pub fn is_matrix_multiply(&self) -> bool {
+        self.kernel_height * self.kernel_width <= self.stride * self.stride
+    }
+
+    /// Arithmetic intensity in MACs per word touched, assuming every datum is
+    /// moved exactly once (the ideal-case denominator).
+    #[must_use]
+    pub fn ideal_intensity(&self) -> f64 {
+        self.macs() as f64 / (self.input_words() + self.weight_words() + self.output_words()) as f64
+    }
+
+    /// The input rows/columns spanned by a tile of `y` output rows and `x`
+    /// output columns: `(x', y') = (D·(x−1) + Wk, D·(y−1) + Hk)`.
+    ///
+    /// This is the halo relation of Section IV (Fig. 6): for stride 1 it
+    /// reduces to `x' = x + Wk − 1`, `y' = y + Hk − 1`.
+    #[must_use]
+    pub fn input_footprint(&self, x: usize, y: usize) -> (usize, usize) {
+        (
+            self.stride * (x.saturating_sub(1)) + self.kernel_width,
+            self.stride * (y.saturating_sub(1)) + self.kernel_height,
+        )
+    }
+}
+
+impl std::fmt::Display for ConvLayer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "conv B{}x{}x{}x{} <- Ci{} k{}x{} s{}",
+            self.batch,
+            self.out_channels,
+            self.output_height(),
+            self.output_width(),
+            self.in_channels,
+            self.kernel_height,
+            self.kernel_width,
+            self.stride,
+        )
+    }
+}
+
+/// Incremental builder for [`ConvLayer`] (see `C-BUILDER`).
+///
+/// ```
+/// use conv_model::{ConvLayer, Padding};
+///
+/// let layer = ConvLayer::builder()
+///     .batch(3)
+///     .out_channels(64)
+///     .in_channels(3)
+///     .input(224, 224)
+///     .kernel(3, 3)
+///     .stride(1)
+///     .padding(Padding::same(3))
+///     .build()
+///     .unwrap();
+/// assert_eq!(layer.output_width(), 224);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ConvLayerBuilder {
+    batch: usize,
+    out_channels: usize,
+    in_channels: usize,
+    in_height: usize,
+    in_width: usize,
+    kernel_height: usize,
+    kernel_width: usize,
+    stride: usize,
+    padding: Padding,
+}
+
+impl Default for ConvLayerBuilder {
+    fn default() -> Self {
+        ConvLayerBuilder {
+            batch: 1,
+            out_channels: 1,
+            in_channels: 1,
+            in_height: 1,
+            in_width: 1,
+            kernel_height: 1,
+            kernel_width: 1,
+            stride: 1,
+            padding: Padding::none(),
+        }
+    }
+}
+
+impl ConvLayerBuilder {
+    /// Sets the batch size `B`.
+    #[must_use]
+    pub fn batch(mut self, batch: usize) -> Self {
+        self.batch = batch;
+        self
+    }
+
+    /// Sets the number of kernels / output channels `Co`.
+    #[must_use]
+    pub fn out_channels(mut self, co: usize) -> Self {
+        self.out_channels = co;
+        self
+    }
+
+    /// Sets the number of input channels `Ci`.
+    #[must_use]
+    pub fn in_channels(mut self, ci: usize) -> Self {
+        self.in_channels = ci;
+        self
+    }
+
+    /// Sets the unpadded input feature-map extent `Hi×Wi`.
+    #[must_use]
+    pub fn input(mut self, height: usize, width: usize) -> Self {
+        self.in_height = height;
+        self.in_width = width;
+        self
+    }
+
+    /// Sets the kernel extent `Hk×Wk`.
+    #[must_use]
+    pub fn kernel(mut self, height: usize, width: usize) -> Self {
+        self.kernel_height = height;
+        self.kernel_width = width;
+        self
+    }
+
+    /// Sets the stride `D`.
+    #[must_use]
+    pub fn stride(mut self, stride: usize) -> Self {
+        self.stride = stride;
+        self
+    }
+
+    /// Sets the symmetric zero padding.
+    #[must_use]
+    pub fn padding(mut self, padding: Padding) -> Self {
+        self.padding = padding;
+        self
+    }
+
+    /// Validates and builds the layer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LayerError::ZeroDimension`] if any extent is zero,
+    /// [`LayerError::ZeroStride`] for a zero stride, and
+    /// [`LayerError::KernelTooLarge`] when no sliding window fits inside the
+    /// padded input.
+    pub fn build(self) -> Result<ConvLayer, LayerError> {
+        let dims: [(&'static str, usize); 7] = [
+            ("batch", self.batch),
+            ("out_channels", self.out_channels),
+            ("in_channels", self.in_channels),
+            ("in_height", self.in_height),
+            ("in_width", self.in_width),
+            ("kernel_height", self.kernel_height),
+            ("kernel_width", self.kernel_width),
+        ];
+        for (dimension, value) in dims {
+            if value == 0 {
+                return Err(LayerError::ZeroDimension { dimension });
+            }
+        }
+        if self.stride == 0 {
+            return Err(LayerError::ZeroStride);
+        }
+        let padded_h = self.in_height + 2 * self.padding.vertical;
+        let padded_w = self.in_width + 2 * self.padding.horizontal;
+        if self.kernel_height > padded_h {
+            return Err(LayerError::KernelTooLarge {
+                kernel: self.kernel_height,
+                input: padded_h,
+            });
+        }
+        if self.kernel_width > padded_w {
+            return Err(LayerError::KernelTooLarge {
+                kernel: self.kernel_width,
+                input: padded_w,
+            });
+        }
+        Ok(ConvLayer {
+            batch: self.batch,
+            out_channels: self.out_channels,
+            in_channels: self.in_channels,
+            in_height: self.in_height,
+            in_width: self.in_width,
+            kernel_height: self.kernel_height,
+            kernel_width: self.kernel_width,
+            stride: self.stride,
+            padding: self.padding,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn square_layer_dimensions() {
+        let layer = ConvLayer::square(3, 64, 224, 3, 3, 1).unwrap();
+        assert_eq!(layer.batch(), 3);
+        assert_eq!(layer.output_height(), 224);
+        assert_eq!(layer.output_width(), 224);
+        assert_eq!(layer.window_reuse(), 9.0);
+    }
+
+    #[test]
+    fn strided_output_dims() {
+        // 11x11 kernel, stride 4, pad 2 on 227 input -> 56 output (AlexNet-ish).
+        let layer = ConvLayer::builder()
+            .batch(1)
+            .out_channels(96)
+            .in_channels(3)
+            .input(227, 227)
+            .kernel(11, 11)
+            .stride(4)
+            .padding(Padding::none())
+            .build()
+            .unwrap();
+        assert_eq!(layer.output_height(), 55);
+        assert_eq!(layer.output_width(), 55);
+    }
+
+    #[test]
+    fn window_reuse_clamped_at_one() {
+        // 1x1 kernel stride 2: R would be 0.25, clamped to 1.
+        let layer = ConvLayer::square(1, 8, 16, 8, 1, 2).unwrap();
+        assert_eq!(layer.window_reuse(), 1.0);
+        assert!(layer.is_matrix_multiply());
+    }
+
+    #[test]
+    fn mac_count_matches_loop_nest_size() {
+        let layer = ConvLayer::square(2, 4, 8, 3, 3, 1).unwrap();
+        assert_eq!(layer.macs(), 2 * 4 * 8 * 8 * 3 * 3 * 3);
+    }
+
+    #[test]
+    fn zero_dimension_rejected() {
+        let err = ConvLayer::square(0, 4, 8, 3, 3, 1).unwrap_err();
+        assert_eq!(err, LayerError::ZeroDimension { dimension: "batch" });
+    }
+
+    #[test]
+    fn zero_stride_rejected() {
+        let err = ConvLayer::square(1, 4, 8, 3, 3, 0).unwrap_err();
+        assert_eq!(err, LayerError::ZeroStride);
+    }
+
+    #[test]
+    fn oversized_kernel_rejected() {
+        let err = ConvLayer::builder()
+            .input(4, 4)
+            .kernel(9, 9)
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, LayerError::KernelTooLarge { .. }));
+    }
+
+    #[test]
+    fn input_footprint_halo() {
+        let layer = ConvLayer::square(1, 4, 32, 4, 3, 1).unwrap();
+        // stride 1: x' = x + Wk - 1
+        assert_eq!(layer.input_footprint(10, 7), (12, 9));
+        let strided = ConvLayer::builder()
+            .input(64, 64)
+            .kernel(5, 5)
+            .stride(2)
+            .build()
+            .unwrap();
+        // stride 2: x' = 2(x-1) + 5
+        assert_eq!(strided.input_footprint(10, 7), (23, 17));
+    }
+
+    #[test]
+    fn footprint_of_single_output_is_kernel() {
+        let layer = ConvLayer::square(1, 4, 32, 4, 3, 1).unwrap();
+        assert_eq!(layer.input_footprint(1, 1), (3, 3));
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        let layer = ConvLayer::square(1, 4, 8, 3, 3, 1).unwrap();
+        assert!(!layer.to_string().is_empty());
+    }
+
+    #[test]
+    fn byte_counts_are_twice_words() {
+        let layer = ConvLayer::square(2, 4, 8, 3, 3, 1).unwrap();
+        assert_eq!(layer.input_bytes(), 2 * layer.input_words());
+        assert_eq!(layer.weight_bytes(), 2 * layer.weight_words());
+        assert_eq!(layer.output_bytes(), 2 * layer.output_words());
+    }
+}

@@ -1,0 +1,40 @@
+use std::error::Error;
+use std::fmt;
+
+/// Error produced when constructing an invalid [`ConvLayer`](crate::ConvLayer).
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum LayerError {
+    /// A dimension that must be positive was zero.
+    ZeroDimension {
+        /// Name of the offending dimension (e.g. `"batch"`).
+        dimension: &'static str,
+    },
+    /// The kernel extent exceeds the padded input extent, so no sliding
+    /// window fits.
+    KernelTooLarge {
+        /// Kernel extent along the offending axis.
+        kernel: usize,
+        /// Padded input extent along the offending axis.
+        input: usize,
+    },
+    /// The stride is zero.
+    ZeroStride,
+}
+
+impl fmt::Display for LayerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LayerError::ZeroDimension { dimension } => {
+                write!(f, "layer dimension `{dimension}` must be positive")
+            }
+            LayerError::KernelTooLarge { kernel, input } => write!(
+                f,
+                "kernel extent {kernel} exceeds padded input extent {input}"
+            ),
+            LayerError::ZeroStride => write!(f, "stride must be positive"),
+        }
+    }
+}
+
+impl Error for LayerError {}

@@ -1,0 +1,201 @@
+//! 16-bit fixed-point arithmetic matching the paper's PEs.
+//!
+//! The accelerator of Section V uses 16-bit fixed-point arithmetic units.
+//! [`Q8_8`] is a signed Q8.8 value (8 integer bits, 8 fractional bits) with
+//! saturating arithmetic, which is what the simulator's functional mode
+//! computes with. Accumulation inside a PE is done in a wider 32-bit
+//! accumulator ([`Acc32`]) exactly as real MAC units do, and only the final
+//! write-back saturates.
+
+use std::ops::{Add, Mul};
+
+use serde::{Deserialize, Serialize};
+
+/// Signed Q8.8 fixed-point number (range −128.0 ..= 127.996).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct Q8_8(i16);
+
+/// Number of fractional bits in [`Q8_8`].
+pub const FRAC_BITS: u32 = 8;
+
+impl Q8_8 {
+    /// The value zero.
+    pub const ZERO: Q8_8 = Q8_8(0);
+    /// The value one.
+    pub const ONE: Q8_8 = Q8_8(1 << FRAC_BITS);
+    /// Largest representable value (≈127.996).
+    pub const MAX: Q8_8 = Q8_8(i16::MAX);
+    /// Smallest representable value (−128.0).
+    pub const MIN: Q8_8 = Q8_8(i16::MIN);
+
+    /// Creates a value from its raw two's-complement bit pattern.
+    #[must_use]
+    pub fn from_bits(bits: i16) -> Self {
+        Q8_8(bits)
+    }
+
+    /// Raw two's-complement bit pattern.
+    #[must_use]
+    pub fn to_bits(self) -> i16 {
+        self.0
+    }
+
+    /// Converts from `f64`, rounding to nearest and saturating to the
+    /// representable range.
+    #[must_use]
+    pub fn from_f64(v: f64) -> Self {
+        let scaled = (v * f64::from(1 << FRAC_BITS)).round();
+        Q8_8(scaled.clamp(f64::from(i16::MIN), f64::from(i16::MAX)) as i16)
+    }
+
+    /// Converts to `f64` exactly.
+    #[must_use]
+    pub fn to_f64(self) -> f64 {
+        f64::from(self.0) / f64::from(1 << FRAC_BITS)
+    }
+
+    /// Saturating addition.
+    #[must_use]
+    pub fn saturating_add(self, rhs: Q8_8) -> Q8_8 {
+        Q8_8(self.0.saturating_add(rhs.0))
+    }
+
+    /// Saturating multiplication with round-to-zero, as a combinational
+    /// fixed-point multiplier would produce.
+    #[must_use]
+    pub fn saturating_mul(self, rhs: Q8_8) -> Q8_8 {
+        let wide = (i32::from(self.0) * i32::from(rhs.0)) >> FRAC_BITS;
+        Q8_8(wide.clamp(i32::from(i16::MIN), i32::from(i16::MAX)) as i16)
+    }
+}
+
+impl Add for Q8_8 {
+    type Output = Q8_8;
+
+    fn add(self, rhs: Q8_8) -> Q8_8 {
+        self.saturating_add(rhs)
+    }
+}
+
+impl Mul for Q8_8 {
+    type Output = Q8_8;
+
+    fn mul(self, rhs: Q8_8) -> Q8_8 {
+        self.saturating_mul(rhs)
+    }
+}
+
+impl From<i8> for Q8_8 {
+    fn from(v: i8) -> Self {
+        Q8_8(i16::from(v) << FRAC_BITS)
+    }
+}
+
+impl std::fmt::Display for Q8_8 {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.to_f64())
+    }
+}
+
+/// 32-bit MAC accumulator: products are accumulated at full Q16.16 precision
+/// and only the final [`Acc32::to_q8_8`] conversion rounds and saturates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct Acc32(i32);
+
+impl Acc32 {
+    /// A cleared accumulator.
+    pub const ZERO: Acc32 = Acc32(0);
+
+    /// Accumulates one `a × w` product at full precision.
+    #[must_use]
+    pub fn mac(self, a: Q8_8, w: Q8_8) -> Acc32 {
+        Acc32(self.0.wrapping_add(i32::from(a.0) * i32::from(w.0)))
+    }
+
+    /// Adds another accumulator (used when merging partial sums).
+    #[must_use]
+    #[allow(clippy::should_implement_trait)]
+    pub fn add(self, rhs: Acc32) -> Acc32 {
+        Acc32(self.0.wrapping_add(rhs.0))
+    }
+
+    /// Raw Q16.16 bits.
+    #[must_use]
+    pub fn to_bits(self) -> i32 {
+        self.0
+    }
+
+    /// Rounds (to zero) and saturates down to a Q8.8 word, as on write-back
+    /// to a 16-bit LReg.
+    #[must_use]
+    pub fn to_q8_8(self) -> Q8_8 {
+        let narrowed = self.0 >> FRAC_BITS;
+        Q8_8(narrowed.clamp(i32::from(i16::MIN), i32::from(i16::MAX)) as i16)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_small_values() {
+        for v in [-3.5, -0.25, 0.0, 0.5, 1.0, 42.125] {
+            assert_eq!(Q8_8::from_f64(v).to_f64(), v);
+        }
+    }
+
+    #[test]
+    fn one_times_one_is_one() {
+        assert_eq!(Q8_8::ONE * Q8_8::ONE, Q8_8::ONE);
+    }
+
+    #[test]
+    fn saturating_add_clamps() {
+        assert_eq!(Q8_8::MAX + Q8_8::ONE, Q8_8::MAX);
+        assert_eq!(Q8_8::MIN + Q8_8::from_f64(-1.0), Q8_8::MIN);
+    }
+
+    #[test]
+    fn saturating_mul_clamps() {
+        let big = Q8_8::from_f64(100.0);
+        assert_eq!(big * big, Q8_8::MAX);
+        let negbig = Q8_8::from_f64(-100.0);
+        assert_eq!(negbig * big, Q8_8::MIN);
+    }
+
+    #[test]
+    fn from_f64_saturates() {
+        assert_eq!(Q8_8::from_f64(1e9), Q8_8::MAX);
+        assert_eq!(Q8_8::from_f64(-1e9), Q8_8::MIN);
+    }
+
+    #[test]
+    fn accumulator_keeps_precision() {
+        // 0.5 * 0.5 = 0.25 would round to zero bits in Q8.8 product chains of
+        // eighth-precision values; the wide accumulator keeps them.
+        let a = Q8_8::from_f64(0.0625);
+        let w = Q8_8::from_f64(0.0625);
+        let mut acc = Acc32::ZERO;
+        for _ in 0..256 {
+            acc = acc.mac(a, w);
+        }
+        // 256 * (0.0625^2) = 1.0
+        assert_eq!(acc.to_q8_8(), Q8_8::ONE);
+    }
+
+    #[test]
+    fn from_i8_is_exact() {
+        assert_eq!(Q8_8::from(3i8).to_f64(), 3.0);
+        assert_eq!(Q8_8::from(-7i8).to_f64(), -7.0);
+    }
+
+    #[test]
+    fn accumulator_merge() {
+        let a = Acc32::ZERO.mac(Q8_8::ONE, Q8_8::ONE);
+        let b = Acc32::ZERO.mac(Q8_8::ONE, Q8_8::ONE);
+        assert_eq!(a.add(b).to_q8_8().to_f64(), 2.0);
+    }
+}

@@ -1,0 +1,341 @@
+//! Logical convolution→matrix-multiplication conversion (Section III-A).
+//!
+//! The paper's lower-bound derivation views a convolutional layer as a matrix
+//! multiplication `A·B = C` where `A` is the *unfolded* input matrix (one row
+//! per sliding window), `B` the reshaped weight matrix and `C` the reshaped
+//! output matrix (Fig. 3). The conversion is logical — the dataflow never
+//! materialises `A` — but this module *can* materialise it for small layers,
+//! which the test-suite uses to validate that convolution and the converted
+//! MM agree, and to measure the realised sliding-window reuse.
+
+use std::ops::{Add, Mul};
+
+use crate::{ConvLayer, Tensor4};
+
+/// Shapes of the converted matrix multiplication `A·B = C`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct MmShape {
+    /// Rows of `A` and `C`: `B·Wo·Ho` (one per sliding window per image).
+    pub rows: u64,
+    /// Columns of `A` / rows of `B`: `Wk·Hk·Ci` (one per kernel tap).
+    pub inner: u64,
+    /// Columns of `B` and `C`: `Co` (one per kernel).
+    pub cols: u64,
+}
+
+impl MmShape {
+    /// Computes the converted-MM shape for a layer.
+    #[must_use]
+    pub fn of(layer: &ConvLayer) -> Self {
+        MmShape {
+            rows: layer.batch() as u64 * layer.output_height() as u64 * layer.output_width() as u64,
+            inner: layer.kernel_height() as u64
+                * layer.kernel_width() as u64
+                * layer.in_channels() as u64,
+            cols: layer.out_channels() as u64,
+        }
+    }
+
+    /// Number of multiply-accumulates of the MM (`rows·inner·cols`), which
+    /// equals [`ConvLayer::macs`].
+    #[must_use]
+    pub fn macs(&self) -> u64 {
+        self.rows * self.inner * self.cols
+    }
+
+    /// Number of entries in the unfolded input matrix (`rows·inner`).
+    #[must_use]
+    pub fn unfolded_input_entries(&self) -> u64 {
+        self.rows * self.inner
+    }
+}
+
+/// Realised average sliding-window reuse: unfolded entries per *distinct*
+/// input element actually touched.
+///
+/// This is the empirical counterpart of Eq. 2's upper bound
+/// `R = Wk·Hk / D²`; interior pixels of a large map reach the bound while
+/// border pixels fall short, so the average is slightly below `R`.
+#[must_use]
+pub fn realized_window_reuse(layer: &ConvLayer) -> f64 {
+    let shape = MmShape::of(layer);
+    // Count distinct (non-padding) input elements referenced by some window,
+    // and the total number of (window, tap) pairs that hit real inputs.
+    let pad = layer.padding();
+    let stride = layer.stride();
+    let mut touched = vec![false; layer.in_height() * layer.in_width()];
+    let mut hits = 0u64;
+    for oy in 0..layer.output_height() {
+        for ox in 0..layer.output_width() {
+            for ky in 0..layer.kernel_height() {
+                for kx in 0..layer.kernel_width() {
+                    let iy = (oy * stride + ky) as isize - pad.vertical as isize;
+                    let ix = (ox * stride + kx) as isize - pad.horizontal as isize;
+                    if iy >= 0
+                        && ix >= 0
+                        && (iy as usize) < layer.in_height()
+                        && (ix as usize) < layer.in_width()
+                    {
+                        touched[iy as usize * layer.in_width() + ix as usize] = true;
+                        hits += 1;
+                    }
+                }
+            }
+        }
+    }
+    let distinct = touched.iter().filter(|&&t| t).count() as u64;
+    if distinct == 0 {
+        return 1.0;
+    }
+    // `hits`/`distinct` is per-channel and per-image; channels and batch
+    // scale numerator and denominator identically.
+    let _ = shape;
+    hits as f64 / distinct as f64
+}
+
+/// Materialises the unfolded input matrix `A` (`rows×inner`, row-major).
+///
+/// Out-of-bounds (padding) taps are `T::default()`. Intended for small
+/// layers in tests; the storage is `rows × inner` elements.
+///
+/// # Panics
+///
+/// Panics if `input` does not match `layer`.
+#[must_use]
+pub fn unfold_input<T>(layer: &ConvLayer, input: &Tensor4<T>) -> Vec<T>
+where
+    T: Copy + Default,
+{
+    assert_eq!(
+        input.shape(),
+        (
+            layer.batch(),
+            layer.in_channels(),
+            layer.in_height(),
+            layer.in_width()
+        ),
+        "input tensor shape does not match layer"
+    );
+    let shape = MmShape::of(layer);
+    let mut a = Vec::with_capacity((shape.rows * shape.inner) as usize);
+    let pad = layer.padding();
+    let stride = layer.stride();
+    for i in 0..layer.batch() {
+        for oy in 0..layer.output_height() {
+            for ox in 0..layer.output_width() {
+                for kz in 0..layer.in_channels() {
+                    for ky in 0..layer.kernel_height() {
+                        for kx in 0..layer.kernel_width() {
+                            let iy = (oy * stride + ky) as isize - pad.vertical as isize;
+                            let ix = (ox * stride + kx) as isize - pad.horizontal as isize;
+                            let v = if iy >= 0
+                                && ix >= 0
+                                && (iy as usize) < layer.in_height()
+                                && (ix as usize) < layer.in_width()
+                            {
+                                input[(i, kz, iy as usize, ix as usize)]
+                            } else {
+                                T::default()
+                            };
+                            a.push(v);
+                        }
+                    }
+                }
+            }
+        }
+    }
+    a
+}
+
+/// Reshapes kernels into the weight matrix `B` (`inner×cols`, row-major);
+/// column `j` holds kernel `j`'s taps in the same order as
+/// [`unfold_input`]'s columns.
+///
+/// # Panics
+///
+/// Panics if `weights` does not match `layer`.
+#[must_use]
+pub fn reshape_weights<T>(layer: &ConvLayer, weights: &Tensor4<T>) -> Vec<T>
+where
+    T: Copy + Default,
+{
+    assert_eq!(
+        weights.shape(),
+        (
+            layer.out_channels(),
+            layer.in_channels(),
+            layer.kernel_height(),
+            layer.kernel_width()
+        ),
+        "weight tensor shape does not match layer"
+    );
+    let shape = MmShape::of(layer);
+    let mut b = vec![T::default(); (shape.inner * shape.cols) as usize];
+    for oz in 0..layer.out_channels() {
+        let mut row = 0usize;
+        for kz in 0..layer.in_channels() {
+            for ky in 0..layer.kernel_height() {
+                for kx in 0..layer.kernel_width() {
+                    b[row * shape.cols as usize + oz] = weights[(oz, kz, ky, kx)];
+                    row += 1;
+                }
+            }
+        }
+    }
+    b
+}
+
+/// Plain triple-loop matrix multiply `A(rows×inner) · B(inner×cols)`,
+/// row-major, used to validate the conversion.
+#[must_use]
+pub fn matmul<T>(a: &[T], b: &[T], rows: usize, inner: usize, cols: usize) -> Vec<T>
+where
+    T: Copy + Default + Add<Output = T> + Mul<Output = T>,
+{
+    assert_eq!(a.len(), rows * inner);
+    assert_eq!(b.len(), inner * cols);
+    let mut c = vec![T::default(); rows * cols];
+    for r in 0..rows {
+        for k in 0..inner {
+            let av = a[r * inner + k];
+            for j in 0..cols {
+                c[r * cols + j] = c[r * cols + j] + av * b[k * cols + j];
+            }
+        }
+    }
+    c
+}
+
+/// Reshapes a convolution output tensor into the output matrix `C`
+/// (`rows×cols`) so it can be compared against [`matmul`]'s result.
+#[must_use]
+pub fn reshape_output<T>(layer: &ConvLayer, output: &Tensor4<T>) -> Vec<T>
+where
+    T: Copy + Default,
+{
+    let shape = MmShape::of(layer);
+    let mut c = Vec::with_capacity((shape.rows * shape.cols) as usize);
+    for i in 0..layer.batch() {
+        for oy in 0..layer.output_height() {
+            for ox in 0..layer.output_width() {
+                for oz in 0..layer.out_channels() {
+                    c.push(output[(i, oz, oy, ox)]);
+                }
+            }
+        }
+    }
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reference::convolve;
+    use crate::Padding;
+
+    fn layer_3x3() -> ConvLayer {
+        ConvLayer::builder()
+            .batch(2)
+            .out_channels(3)
+            .in_channels(2)
+            .input(5, 5)
+            .kernel(3, 3)
+            .stride(1)
+            .padding(Padding::none())
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn mm_shape_matches_paper() {
+        let layer = layer_3x3();
+        let shape = MmShape::of(&layer);
+        assert_eq!(shape.rows, 2 * 3 * 3); // B*Ho*Wo
+        assert_eq!(shape.inner, 3 * 3 * 2); // Hk*Wk*Ci
+        assert_eq!(shape.cols, 3); // Co
+        assert_eq!(shape.macs(), layer.macs());
+    }
+
+    #[test]
+    fn conversion_is_logically_equivalent() {
+        // convolution == unfold . matmul . reshape (Fig. 3)
+        let layer = layer_3x3();
+        let input = Tensor4::from_fn(2, 2, 5, 5, |n, c, h, w| {
+            (n * 131 + c * 17 + h * 5 + w) as f64 * 0.25 - 3.0
+        });
+        let weights = Tensor4::from_fn(3, 2, 3, 3, |n, c, h, w| {
+            (n * 7 + c * 3 + h + w) as f64 * 0.5
+        });
+
+        let direct = convolve(&layer, &input, &weights);
+
+        let shape = MmShape::of(&layer);
+        let a = unfold_input(&layer, &input);
+        let b = reshape_weights(&layer, &weights);
+        let c = matmul(
+            &a,
+            &b,
+            shape.rows as usize,
+            shape.inner as usize,
+            shape.cols as usize,
+        );
+        assert_eq!(c, reshape_output(&layer, &direct));
+    }
+
+    #[test]
+    fn conversion_equivalent_with_padding_and_stride() {
+        let layer = ConvLayer::builder()
+            .batch(1)
+            .out_channels(2)
+            .in_channels(3)
+            .input(7, 7)
+            .kernel(3, 3)
+            .stride(2)
+            .padding(Padding::same(3))
+            .build()
+            .unwrap();
+        let input = Tensor4::from_fn(1, 3, 7, 7, |_, c, h, w| ((c + h * w) % 5) as f64 - 2.0);
+        let weights = Tensor4::from_fn(2, 3, 3, 3, |n, c, h, w| ((n + c + h + w) % 3) as f64);
+        let direct = convolve(&layer, &input, &weights);
+        let shape = MmShape::of(&layer);
+        let c = matmul(
+            &unfold_input(&layer, &input),
+            &reshape_weights(&layer, &weights),
+            shape.rows as usize,
+            shape.inner as usize,
+            shape.cols as usize,
+        );
+        assert_eq!(c, reshape_output(&layer, &direct));
+    }
+
+    #[test]
+    fn realized_reuse_below_bound() {
+        let layer = ConvLayer::square(1, 8, 32, 4, 3, 1).unwrap();
+        let realized = realized_window_reuse(&layer);
+        assert!(realized <= layer.window_reuse() + 1e-9);
+        // Interior-dominated map: should be close to the bound.
+        assert!(realized > 0.8 * layer.window_reuse());
+    }
+
+    #[test]
+    fn realized_reuse_approaches_bound_on_large_maps() {
+        let small = ConvLayer::square(1, 1, 8, 1, 3, 1).unwrap();
+        let large = ConvLayer::square(1, 1, 128, 1, 3, 1).unwrap();
+        assert!(realized_window_reuse(&large) > realized_window_reuse(&small));
+    }
+
+    #[test]
+    fn mm_layer_reuse_is_one() {
+        // 1x1 kernel stride 1: every input used once per window it owns.
+        let layer = ConvLayer::square(1, 8, 16, 4, 1, 1).unwrap();
+        assert_eq!(realized_window_reuse(&layer), 1.0);
+    }
+
+    #[test]
+    fn unfolded_entries_count() {
+        let layer = layer_3x3();
+        let input: Tensor4<f64> = Tensor4::zeros(2, 2, 5, 5);
+        let a = unfold_input(&layer, &input);
+        assert_eq!(a.len() as u64, MmShape::of(&layer).unfolded_input_entries());
+    }
+}

@@ -1,0 +1,55 @@
+//! Convolutional-layer modelling substrate.
+//!
+//! This crate provides the geometric and functional foundations used by the
+//! rest of the workspace:
+//!
+//! * [`ConvLayer`] — the seven-dimensional geometry of a convolutional layer
+//!   (`B, Co, Ho, Wo, Ci, Hk, Wk` plus stride), with derived quantities such
+//!   as MAC counts, tensor footprints and the sliding-window reuse factor `R`
+//!   of the paper (Eq. 2).
+//! * [`Tensor4`] — a dense `N×C×H×W` tensor used by the reference kernels and
+//!   the functional mode of the cycle simulator.
+//! * [`mod@reference`] — the textbook 7-loop convolution (Fig. 2 of the paper),
+//!   used as ground truth for every functional test in the workspace.
+//! * [`im2col`] — the logical convolution→matrix-multiplication conversion of
+//!   Section III-A (Fig. 3), used by the lower-bound derivation.
+//! * [`fixed`] — 16-bit fixed-point arithmetic matching the paper's PEs.
+//! * [`workloads`] — layer-dimension zoos (VGGNet-16 with batch 3 as used in
+//!   the paper's evaluation, plus AlexNet/ResNet for wider testing).
+//!
+//! # Example
+//!
+//! ```
+//! use conv_model::{ConvLayer, workloads};
+//!
+//! let layer = ConvLayer::square(1, 64, 224, 3, 3, 1).unwrap();
+//! assert_eq!(layer.macs(), 224 * 224 * 64 * 3 * 3 * 3);
+//!
+//! let vgg = workloads::vgg16(3);
+//! assert_eq!(vgg.conv_layers().count(), 13);
+//! ```
+
+#![deny(missing_docs)]
+#![deny(rustdoc::broken_intra_doc_links)]
+
+mod dims;
+mod error;
+pub mod fixed;
+pub mod im2col;
+pub mod reference;
+mod tensor;
+pub mod training;
+pub mod workloads;
+
+pub use dims::{ConvLayer, ConvLayerBuilder, Padding};
+pub use error::LayerError;
+pub use tensor::Tensor4;
+
+/// Number of bytes per data word everywhere in this reproduction.
+///
+/// The paper uses 16-bit fixed-point arithmetic units (Section V), so every
+/// input, weight, output and partial sum occupies two bytes. Communication
+/// *volumes* in the paper's figures are reported in bytes; communication
+/// *entries* (what the tiling mathematics reasons about) are words. This
+/// constant converts between the two.
+pub const BYTES_PER_WORD: u64 = 2;

@@ -1,0 +1,237 @@
+//! Reference convolution kernels (the 7-loop nest of Fig. 2).
+//!
+//! These are deliberately straightforward implementations used as ground
+//! truth: the cycle simulator's functional mode and every dataflow's traffic
+//! counter are validated against them.
+
+use std::ops::{Add, Mul};
+
+use crate::{ConvLayer, Tensor4};
+
+/// Runs the textbook 7-loop convolution (Fig. 2 of the paper) over arbitrary
+/// ring elements.
+///
+/// `input` must be shaped `B×Ci×Hi×Wi` and `weights` shaped `Co×Ci×Hk×Wk`
+/// according to `layer`; the result is `B×Co×Ho×Wo`. Zero padding is
+/// implicit: out-of-bounds taps contribute `T::default()`.
+///
+/// # Panics
+///
+/// Panics if the tensor shapes disagree with `layer`.
+pub fn convolve<T>(layer: &ConvLayer, input: &Tensor4<T>, weights: &Tensor4<T>) -> Tensor4<T>
+where
+    T: Copy + Default + Add<Output = T> + Mul<Output = T>,
+{
+    assert_eq!(
+        input.shape(),
+        (
+            layer.batch(),
+            layer.in_channels(),
+            layer.in_height(),
+            layer.in_width()
+        ),
+        "input tensor shape does not match layer"
+    );
+    assert_eq!(
+        weights.shape(),
+        (
+            layer.out_channels(),
+            layer.in_channels(),
+            layer.kernel_height(),
+            layer.kernel_width()
+        ),
+        "weight tensor shape does not match layer"
+    );
+
+    let (ho, wo) = (layer.output_height(), layer.output_width());
+    let pad = layer.padding();
+    let stride = layer.stride();
+    let mut out = Tensor4::zeros(layer.batch(), layer.out_channels(), ho, wo);
+
+    for i in 0..layer.batch() {
+        for oz in 0..layer.out_channels() {
+            for oy in 0..ho {
+                for ox in 0..wo {
+                    let mut acc = T::default();
+                    for kz in 0..layer.in_channels() {
+                        for ky in 0..layer.kernel_height() {
+                            for kx in 0..layer.kernel_width() {
+                                let iy = (oy * stride + ky) as isize - pad.vertical as isize;
+                                let ix = (ox * stride + kx) as isize - pad.horizontal as isize;
+                                if iy < 0
+                                    || ix < 0
+                                    || iy as usize >= layer.in_height()
+                                    || ix as usize >= layer.in_width()
+                                {
+                                    continue;
+                                }
+                                let a = input[(i, kz, iy as usize, ix as usize)];
+                                let w = weights[(oz, kz, ky, kx)];
+                                acc = acc + a * w;
+                            }
+                        }
+                    }
+                    out[(i, oz, oy, ox)] = acc;
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Counts the exact number of non-padding MACs the layer performs.
+///
+/// With zero padding some taps fall outside the input and are skipped by
+/// [`convolve`]; this walks the same nest and counts only real products.
+/// Without padding it equals [`ConvLayer::macs`].
+#[must_use]
+pub fn effective_macs(layer: &ConvLayer) -> u64 {
+    let pad = layer.padding();
+    let stride = layer.stride();
+    let mut macs = 0u64;
+    for oy in 0..layer.output_height() {
+        for ox in 0..layer.output_width() {
+            let mut taps = 0u64;
+            for ky in 0..layer.kernel_height() {
+                for kx in 0..layer.kernel_width() {
+                    let iy = (oy * stride + ky) as isize - pad.vertical as isize;
+                    let ix = (ox * stride + kx) as isize - pad.horizontal as isize;
+                    if iy >= 0
+                        && ix >= 0
+                        && (iy as usize) < layer.in_height()
+                        && (ix as usize) < layer.in_width()
+                    {
+                        taps += 1;
+                    }
+                }
+            }
+            macs += taps;
+        }
+    }
+    macs * layer.batch() as u64 * layer.out_channels() as u64 * layer.in_channels() as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Padding;
+
+    fn tiny_layer() -> ConvLayer {
+        ConvLayer::builder()
+            .batch(1)
+            .out_channels(1)
+            .in_channels(1)
+            .input(3, 3)
+            .kernel(2, 2)
+            .stride(1)
+            .padding(Padding::none())
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn identity_kernel_passes_through() {
+        // 1x1 kernel with weight 1.0 reproduces the input.
+        let layer = ConvLayer::builder()
+            .batch(1)
+            .out_channels(1)
+            .in_channels(1)
+            .input(4, 4)
+            .kernel(1, 1)
+            .build()
+            .unwrap();
+        let input = Tensor4::from_fn(1, 1, 4, 4, |_, _, h, w| (h * 4 + w) as f64);
+        let weights = Tensor4::from_vec(1, 1, 1, 1, vec![1.0]);
+        let out = convolve(&layer, &input, &weights);
+        assert_eq!(out, input);
+    }
+
+    #[test]
+    fn hand_computed_2x2() {
+        let layer = tiny_layer();
+        let input = Tensor4::from_vec(
+            1,
+            1,
+            3,
+            3,
+            vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0],
+        );
+        let weights = Tensor4::from_vec(1, 1, 2, 2, vec![1.0, 0.0, 0.0, 1.0]);
+        let out = convolve(&layer, &input, &weights);
+        // out[y][x] = in[y][x] + in[y+1][x+1]
+        assert_eq!(out.as_slice(), &[6.0, 8.0, 12.0, 14.0]);
+    }
+
+    #[test]
+    fn multi_channel_sums_channels() {
+        let layer = ConvLayer::builder()
+            .batch(1)
+            .out_channels(1)
+            .in_channels(2)
+            .input(2, 2)
+            .kernel(1, 1)
+            .build()
+            .unwrap();
+        let input = Tensor4::from_fn(1, 2, 2, 2, |_, c, h, w| ((c + 1) * (h * 2 + w + 1)) as f64);
+        let weights = Tensor4::from_vec(1, 2, 1, 1, vec![1.0, 1.0]);
+        let out = convolve(&layer, &input, &weights);
+        // each output = in_ch0 + in_ch1 = 3 * (h*2+w+1)
+        assert_eq!(out.as_slice(), &[3.0, 6.0, 9.0, 12.0]);
+    }
+
+    #[test]
+    fn padding_contributes_zeros() {
+        let layer = ConvLayer::builder()
+            .batch(1)
+            .out_channels(1)
+            .in_channels(1)
+            .input(2, 2)
+            .kernel(3, 3)
+            .padding(Padding::same(3))
+            .build()
+            .unwrap();
+        let input = Tensor4::from_vec(1, 1, 2, 2, vec![1.0; 4]);
+        let weights = Tensor4::from_vec(1, 1, 3, 3, vec![1.0; 9]);
+        let out = convolve(&layer, &input, &weights);
+        // All four positions see all four ones exactly once.
+        assert_eq!(out.as_slice(), &[4.0, 4.0, 4.0, 4.0]);
+    }
+
+    #[test]
+    fn stride_two_subsamples() {
+        let layer = ConvLayer::builder()
+            .batch(1)
+            .out_channels(1)
+            .in_channels(1)
+            .input(4, 4)
+            .kernel(1, 1)
+            .stride(2)
+            .build()
+            .unwrap();
+        let input = Tensor4::from_fn(1, 1, 4, 4, |_, _, h, w| (h * 4 + w) as f64);
+        let weights = Tensor4::from_vec(1, 1, 1, 1, vec![1.0]);
+        let out = convolve(&layer, &input, &weights);
+        assert_eq!(out.as_slice(), &[0.0, 2.0, 8.0, 10.0]);
+    }
+
+    #[test]
+    fn effective_macs_no_padding_equals_macs() {
+        let layer = tiny_layer();
+        assert_eq!(effective_macs(&layer), layer.macs());
+    }
+
+    #[test]
+    fn effective_macs_with_padding_is_smaller() {
+        let layer = ConvLayer::square(1, 4, 8, 3, 3, 1).unwrap();
+        assert!(effective_macs(&layer) < layer.macs());
+    }
+
+    #[test]
+    #[should_panic(expected = "input tensor shape")]
+    fn shape_mismatch_panics() {
+        let layer = tiny_layer();
+        let input: Tensor4<f64> = Tensor4::zeros(1, 1, 4, 4);
+        let weights: Tensor4<f64> = Tensor4::zeros(1, 1, 2, 2);
+        let _ = convolve(&layer, &input, &weights);
+    }
+}

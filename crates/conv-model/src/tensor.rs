@@ -1,0 +1,199 @@
+use serde::{Deserialize, Serialize};
+
+/// Dense 4-dimensional tensor in `N×C×H×W` layout.
+///
+/// Used for activations (`N` = batch), weights (`N` = output channel) and
+/// outputs throughout the functional tests and the simulator's functional
+/// mode. The element type is generic so the same container serves `f64`
+/// reference kernels and the 16-bit fixed-point PE datapath.
+///
+/// ```
+/// use conv_model::Tensor4;
+///
+/// let mut t = Tensor4::zeros(1, 2, 3, 3);
+/// t[(0, 1, 2, 2)] = 7.0;
+/// assert_eq!(t[(0, 1, 2, 2)], 7.0);
+/// assert_eq!(t.len(), 18);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Tensor4<T = f64> {
+    n: usize,
+    c: usize,
+    h: usize,
+    w: usize,
+    data: Vec<T>,
+}
+
+impl<T: Default + Clone> Tensor4<T> {
+    /// Creates an `n×c×h×w` tensor filled with `T::default()`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the total element count overflows `usize`.
+    #[must_use]
+    pub fn zeros(n: usize, c: usize, h: usize, w: usize) -> Self {
+        let len = n
+            .checked_mul(c)
+            .and_then(|v| v.checked_mul(h))
+            .and_then(|v| v.checked_mul(w))
+            .expect("tensor size overflows usize");
+        Tensor4 {
+            n,
+            c,
+            h,
+            w,
+            data: vec![T::default(); len],
+        }
+    }
+}
+
+impl<T> Tensor4<T> {
+    /// Creates a tensor from an existing buffer in `N×C×H×W` order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != n*c*h*w`.
+    #[must_use]
+    pub fn from_vec(n: usize, c: usize, h: usize, w: usize, data: Vec<T>) -> Self {
+        assert_eq!(
+            data.len(),
+            n * c * h * w,
+            "buffer length does not match tensor shape"
+        );
+        Tensor4 { n, c, h, w, data }
+    }
+
+    /// Builds a tensor by evaluating `f(n, c, h, w)` at every coordinate.
+    #[must_use]
+    pub fn from_fn(
+        n: usize,
+        c: usize,
+        h: usize,
+        w: usize,
+        mut f: impl FnMut(usize, usize, usize, usize) -> T,
+    ) -> Self {
+        let mut data = Vec::with_capacity(n * c * h * w);
+        for ni in 0..n {
+            for ci in 0..c {
+                for hi in 0..h {
+                    for wi in 0..w {
+                        data.push(f(ni, ci, hi, wi));
+                    }
+                }
+            }
+        }
+        Tensor4 { n, c, h, w, data }
+    }
+
+    /// Shape as `(n, c, h, w)`.
+    #[must_use]
+    pub fn shape(&self) -> (usize, usize, usize, usize) {
+        (self.n, self.c, self.h, self.w)
+    }
+
+    /// Total number of elements.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True when the tensor holds no elements.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Flat view of the underlying buffer in `N×C×H×W` order.
+    #[must_use]
+    pub fn as_slice(&self) -> &[T] {
+        &self.data
+    }
+
+    /// Mutable flat view of the underlying buffer.
+    #[must_use]
+    pub fn as_mut_slice(&mut self) -> &mut [T] {
+        &mut self.data
+    }
+
+    /// Consumes the tensor, returning the underlying buffer.
+    #[must_use]
+    pub fn into_vec(self) -> Vec<T> {
+        self.data
+    }
+
+    /// Checked element access; `None` when out of bounds.
+    #[must_use]
+    pub fn get(&self, n: usize, c: usize, h: usize, w: usize) -> Option<&T> {
+        if n < self.n && c < self.c && h < self.h && w < self.w {
+            Some(&self.data[self.flat_index(n, c, h, w)])
+        } else {
+            None
+        }
+    }
+
+    #[inline]
+    fn flat_index(&self, n: usize, c: usize, h: usize, w: usize) -> usize {
+        ((n * self.c + c) * self.h + h) * self.w + w
+    }
+}
+
+impl<T> std::ops::Index<(usize, usize, usize, usize)> for Tensor4<T> {
+    type Output = T;
+
+    #[inline]
+    fn index(&self, (n, c, h, w): (usize, usize, usize, usize)) -> &T {
+        debug_assert!(n < self.n && c < self.c && h < self.h && w < self.w);
+        &self.data[self.flat_index(n, c, h, w)]
+    }
+}
+
+impl<T> std::ops::IndexMut<(usize, usize, usize, usize)> for Tensor4<T> {
+    #[inline]
+    fn index_mut(&mut self, (n, c, h, w): (usize, usize, usize, usize)) -> &mut T {
+        debug_assert!(n < self.n && c < self.c && h < self.h && w < self.w);
+        let idx = self.flat_index(n, c, h, w);
+        &mut self.data[idx]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeros_has_expected_len() {
+        let t: Tensor4<f64> = Tensor4::zeros(2, 3, 4, 5);
+        assert_eq!(t.len(), 120);
+        assert!(t.as_slice().iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn index_roundtrip() {
+        let mut t = Tensor4::zeros(2, 3, 4, 5);
+        t[(1, 2, 3, 4)] = 42.0;
+        assert_eq!(t[(1, 2, 3, 4)], 42.0);
+        assert_eq!(*t.get(1, 2, 3, 4).unwrap(), 42.0);
+        assert!(t.get(2, 0, 0, 0).is_none());
+    }
+
+    #[test]
+    fn from_fn_layout_matches_index() {
+        let t = Tensor4::from_fn(2, 2, 2, 2, |n, c, h, w| {
+            (n * 1000 + c * 100 + h * 10 + w) as f64
+        });
+        assert_eq!(t[(1, 0, 1, 0)], 1010.0);
+        assert_eq!(t[(0, 1, 0, 1)], 101.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "buffer length")]
+    fn from_vec_wrong_len_panics() {
+        let _ = Tensor4::from_vec(1, 1, 2, 2, vec![0.0; 3]);
+    }
+
+    #[test]
+    fn into_vec_preserves_order() {
+        let t = Tensor4::from_fn(1, 1, 2, 2, |_, _, h, w| (h * 2 + w) as f64);
+        assert_eq!(t.into_vec(), vec![0.0, 1.0, 2.0, 3.0]);
+    }
+}

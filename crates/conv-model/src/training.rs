@@ -1,0 +1,216 @@
+//! Backward-pass layers for CNN training.
+//!
+//! The paper notes its bound targets "general convolution operations, so
+//! that our approach can be adopted in both inference and training"
+//! (Section II-A). Both backward computations of a convolutional layer are
+//! themselves convolutions, so the whole machinery — Theorem 2, the optimal
+//! dataflow, the accelerator — applies to them unchanged once they are
+//! expressed as [`ConvLayer`]s:
+//!
+//! * **weight gradient**: `dW[co][ci] = Σᵢ  in[i][ci] ⊛ dOut[i][co]` — a
+//!   convolution whose "images" are the input channels, whose kernels are
+//!   the output gradients (one per output channel), and whose reduction
+//!   channel is the batch. See [`weight_gradient_layer`].
+//! * **input gradient**: `dIn[i][ci] = dOut[i] ⊛ rot180(W)` with full
+//!   padding — a convolution with `Co` input channels and `Ci` kernels.
+//!   See [`input_gradient_layer`].
+//!
+//! Both mappings require a unit-stride forward layer (strided backward
+//! passes are *dilated* convolutions, outside the paper's ordinary-
+//! convolution scope).
+
+use crate::error::LayerError;
+use crate::{ConvLayer, Padding};
+
+/// Expresses the weight-gradient computation of `forward` as a
+/// convolutional layer.
+///
+/// Dimension mapping (forward → weight-gradient):
+///
+/// | gradient dim | value |
+/// |---|---|
+/// | batch | `Ci` (each input channel is an independent image) |
+/// | in channels | `B` (the batch is the reduction dimension) |
+/// | input | `Hi×Wi` |
+/// | kernels | `Co`, each of extent `Ho×Wo` |
+/// | output | `Hk×Wk` (the kernel taps) |
+///
+/// The gradient layer performs exactly the same number of MACs as the
+/// forward layer.
+///
+/// # Errors
+///
+/// Returns [`LayerError::ZeroStride`]-style validation errors from the
+/// builder, and fails for non-unit strides (dilated backward convolutions
+/// are out of scope).
+pub fn weight_gradient_layer(forward: &ConvLayer) -> Result<ConvLayer, LayerError> {
+    if forward.stride() != 1 {
+        // A strided forward pass makes the weight gradient a *dilated*
+        // convolution; signal with the closest meaningful error.
+        return Err(LayerError::ZeroStride);
+    }
+    ConvLayer::builder()
+        .batch(forward.in_channels())
+        .out_channels(forward.out_channels())
+        .in_channels(forward.batch())
+        .input(forward.in_height(), forward.in_width())
+        .kernel(forward.output_height(), forward.output_width())
+        .stride(1)
+        .padding(forward.padding())
+        .build()
+}
+
+/// Expresses the input-gradient computation of `forward` as a
+/// convolutional layer: `dOut` convolved with the 180°-rotated kernels
+/// under full padding.
+///
+/// | gradient dim | value |
+/// |---|---|
+/// | batch | `B` |
+/// | in channels | `Co` |
+/// | input | `Ho×Wo` |
+/// | kernels | `Ci`, each `Hk×Wk` |
+/// | padding | full (`Hk−1`, `Wk−1`) minus the forward padding |
+/// | output | `Hi×Wi` |
+///
+/// # Errors
+///
+/// Fails for non-unit strides, like [`weight_gradient_layer`].
+pub fn input_gradient_layer(forward: &ConvLayer) -> Result<ConvLayer, LayerError> {
+    if forward.stride() != 1 {
+        return Err(LayerError::ZeroStride);
+    }
+    let pad = Padding {
+        vertical: forward.kernel_height() - 1 - forward.padding().vertical,
+        horizontal: forward.kernel_width() - 1 - forward.padding().horizontal,
+    };
+    ConvLayer::builder()
+        .batch(forward.batch())
+        .out_channels(forward.in_channels())
+        .in_channels(forward.out_channels())
+        .input(forward.output_height(), forward.output_width())
+        .kernel(forward.kernel_height(), forward.kernel_width())
+        .stride(1)
+        .padding(pad)
+        .build()
+}
+
+/// The three layers of one training step (forward, input gradient, weight
+/// gradient) as named layers, for feeding a whole step to the analysis
+/// pipeline.
+///
+/// # Errors
+///
+/// Fails for non-unit strides.
+pub fn training_step(
+    name: &str,
+    forward: &ConvLayer,
+) -> Result<Vec<(String, ConvLayer)>, LayerError> {
+    Ok(vec![
+        (format!("{name}.fwd"), *forward),
+        (format!("{name}.dx"), input_gradient_layer(forward)?),
+        (format!("{name}.dw"), weight_gradient_layer(forward)?),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reference::convolve;
+    use crate::Tensor4;
+
+    fn forward() -> ConvLayer {
+        ConvLayer::square(2, 6, 12, 4, 3, 1).unwrap()
+    }
+
+    #[test]
+    fn weight_gradient_macs_equal_forward_macs() {
+        let f = forward();
+        let g = weight_gradient_layer(&f).unwrap();
+        assert_eq!(g.macs(), f.macs());
+    }
+
+    #[test]
+    fn input_gradient_macs_equal_forward_macs() {
+        let f = forward();
+        let g = input_gradient_layer(&f).unwrap();
+        assert_eq!(g.macs(), f.macs());
+    }
+
+    #[test]
+    fn weight_gradient_output_is_kernel_shaped() {
+        let f = forward();
+        let g = weight_gradient_layer(&f).unwrap();
+        assert_eq!(g.output_height(), f.kernel_height());
+        assert_eq!(g.output_width(), f.kernel_width());
+        assert_eq!(g.out_channels(), f.out_channels());
+        assert_eq!(g.batch(), f.in_channels());
+    }
+
+    #[test]
+    fn input_gradient_output_is_input_shaped() {
+        let f = forward();
+        let g = input_gradient_layer(&f).unwrap();
+        assert_eq!(g.output_height(), f.in_height());
+        assert_eq!(g.output_width(), f.in_width());
+        assert_eq!(g.out_channels(), f.in_channels());
+    }
+
+    #[test]
+    fn strided_layers_rejected() {
+        let f = ConvLayer::square(1, 4, 16, 4, 3, 2).unwrap();
+        assert!(weight_gradient_layer(&f).is_err());
+        assert!(input_gradient_layer(&f).is_err());
+    }
+
+    #[test]
+    fn training_step_has_three_layers() {
+        let step = training_step("conv1", &forward()).unwrap();
+        assert_eq!(step.len(), 3);
+        assert!(step[0].0.ends_with(".fwd"));
+        assert!(step[1].0.ends_with(".dx"));
+        assert!(step[2].0.ends_with(".dw"));
+    }
+
+    #[test]
+    fn window_reuse_of_gradients() {
+        // The weight gradient has an enormous sliding window (Ho×Wo kernel),
+        // so its R is much larger than the forward R = 9; the input gradient
+        // keeps the forward kernel so R matches.
+        let f = forward();
+        let dw = weight_gradient_layer(&f).unwrap();
+        let dx = input_gradient_layer(&f).unwrap();
+        assert!(dw.window_reuse() > f.window_reuse());
+        assert_eq!(dx.window_reuse(), f.window_reuse());
+    }
+
+    #[test]
+    fn input_gradient_computes_true_gradient() {
+        // Numerical check on a tiny layer: convolving dOut (ones) with the
+        // rotated kernels under full padding equals the analytic dIn
+        // (sum of the kernel taps that touch each input position).
+        let f = ConvLayer::builder()
+            .batch(1)
+            .out_channels(1)
+            .in_channels(1)
+            .input(4, 4)
+            .kernel(2, 2)
+            .padding(Padding::none())
+            .build()
+            .unwrap();
+        let g = input_gradient_layer(&f).unwrap();
+        // dOut = all ones (3x3 outputs), weights rotated 180°.
+        let dout = Tensor4::from_vec(1, 1, 3, 3, vec![1.0; 9]);
+        let w = Tensor4::from_vec(1, 1, 2, 2, vec![1.0, 2.0, 3.0, 4.0]);
+        let w_rot = Tensor4::from_vec(1, 1, 2, 2, vec![4.0, 3.0, 2.0, 1.0]);
+        let din = convolve(&g, &dout, &w_rot);
+        // Interior input positions are touched by all 4 taps: sum = 10.
+        assert_eq!(din[(0, 0, 1, 1)], 10.0);
+        assert_eq!(din[(0, 0, 2, 2)], 10.0);
+        // Corner (0,0) only sees tap (0,0) of the kernel: weight 1.
+        assert_eq!(din[(0, 0, 0, 0)], 1.0);
+        // And the shape matches the forward input.
+        assert_eq!(din.shape(), (1, 1, 4, 4));
+        let _ = w; // (unrotated kernel only used to document the setup)
+    }
+}

@@ -1,0 +1,153 @@
+//! Property-based tests of the modelling substrate: layer arithmetic,
+//! fixed-point behaviour, tensor layout and the conv→MM conversion.
+
+use conv_model::fixed::{Acc32, Q8_8};
+use conv_model::{im2col, reference, ConvLayer, Padding, Tensor4};
+use proptest::prelude::*;
+
+fn layer_strategy() -> impl Strategy<Value = ConvLayer> {
+    (
+        1usize..=3,
+        1usize..=8,
+        3usize..=12,
+        1usize..=4,
+        1usize..=3,
+        1usize..=3,
+        prop::bool::ANY,
+    )
+        .prop_filter_map("valid layer", |(b, co, size, ci, k, s, pad)| {
+            ConvLayer::builder()
+                .batch(b)
+                .out_channels(co)
+                .in_channels(ci)
+                .input(size, size)
+                .kernel(k, k)
+                .stride(s)
+                .padding(if pad {
+                    Padding::same(k)
+                } else {
+                    Padding::none()
+                })
+                .build()
+                .ok()
+        })
+}
+
+proptest! {
+    #[test]
+    fn macs_equal_mm_shape_macs(layer in layer_strategy()) {
+        let shape = im2col::MmShape::of(&layer);
+        prop_assert_eq!(shape.macs(), layer.macs());
+    }
+
+    #[test]
+    fn output_dims_fit_input(layer in layer_strategy()) {
+        // Every sliding window must fit in the padded input.
+        let last_y = (layer.output_height() - 1) * layer.stride() + layer.kernel_height();
+        let last_x = (layer.output_width() - 1) * layer.stride() + layer.kernel_width();
+        prop_assert!(last_y <= layer.in_height() + 2 * layer.padding().vertical);
+        prop_assert!(last_x <= layer.in_width() + 2 * layer.padding().horizontal);
+    }
+
+    #[test]
+    fn window_reuse_bounds_realized_reuse(layer in layer_strategy()) {
+        let realized = im2col::realized_window_reuse(&layer);
+        prop_assert!(realized <= layer.window_reuse() + 1e-9);
+        prop_assert!(realized >= 1.0 - 1e-9);
+    }
+
+    #[test]
+    fn effective_macs_at_most_macs(layer in layer_strategy()) {
+        prop_assert!(reference::effective_macs(&layer) <= layer.macs());
+        if layer.padding() == Padding::none() {
+            prop_assert_eq!(reference::effective_macs(&layer), layer.macs());
+        }
+    }
+
+    #[test]
+    fn footprint_monotone(layer in layer_strategy(), x in 1usize..=8, y in 1usize..=8) {
+        let (x1, y1) = layer.input_footprint(x, y);
+        let (x2, y2) = layer.input_footprint(x + 1, y + 2);
+        prop_assert!(x2 >= x1);
+        prop_assert!(y2 >= y1);
+    }
+
+    #[test]
+    fn conv_is_linear_in_weights(layer in layer_strategy(), seed in 0u64..10_000) {
+        // convolve(in, w1 + w2) == convolve(in, w1) + convolve(in, w2)
+        let (b, ci, hi, wi) = (layer.batch(), layer.in_channels(), layer.in_height(), layer.in_width());
+        let (kh, kw) = (layer.kernel_height(), layer.kernel_width());
+        let rnd = |i: usize, base: u64| ((base.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(i as u64 * 0x100000001B3)) % 17) as f64 - 8.0;
+        let input = {
+            let mut i = 0usize;
+            Tensor4::from_fn(b, ci, hi, wi, |_, _, _, _| { i += 1; rnd(i, seed) })
+        };
+        let w1 = {
+            let mut i = 0usize;
+            Tensor4::from_fn(layer.out_channels(), ci, kh, kw, |_, _, _, _| { i += 1; rnd(i, seed ^ 0xABCD) })
+        };
+        let w2 = {
+            let mut i = 0usize;
+            Tensor4::from_fn(layer.out_channels(), ci, kh, kw, |_, _, _, _| { i += 1; rnd(i, seed ^ 0x1234) })
+        };
+        let wsum = {
+            let mut v = w1.clone().into_vec();
+            for (a, b) in v.iter_mut().zip(w2.as_slice()) {
+                *a += *b;
+            }
+            Tensor4::from_vec(layer.out_channels(), ci, kh, kw, v)
+        };
+        let y1 = reference::convolve(&layer, &input, &w1);
+        let y2 = reference::convolve(&layer, &input, &w2);
+        let ysum = reference::convolve(&layer, &input, &wsum);
+        for (i, v) in ysum.as_slice().iter().enumerate() {
+            prop_assert!((v - (y1.as_slice()[i] + y2.as_slice()[i])).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn q8_8_roundtrip_on_grid(raw in i16::MIN..=i16::MAX) {
+        let q = Q8_8::from_bits(raw);
+        prop_assert_eq!(Q8_8::from_f64(q.to_f64()), q);
+    }
+
+    #[test]
+    fn q8_8_add_commutes_and_saturates(a in i16::MIN..=i16::MAX, b in i16::MIN..=i16::MAX) {
+        let (x, y) = (Q8_8::from_bits(a), Q8_8::from_bits(b));
+        prop_assert_eq!(x + y, y + x);
+        prop_assert!(x.saturating_add(y) <= Q8_8::MAX);
+        prop_assert!(x.saturating_add(y) >= Q8_8::MIN);
+    }
+
+    #[test]
+    fn q8_8_mul_commutes(a in -1000i16..=1000, b in -1000i16..=1000) {
+        let (x, y) = (Q8_8::from_bits(a), Q8_8::from_bits(b));
+        prop_assert_eq!(x * y, y * x);
+    }
+
+    #[test]
+    fn acc32_order_independent(vals in prop::collection::vec((-64i8..=64, -64i8..=64), 1..32)) {
+        // Wide accumulation is exact, so order must not matter.
+        let fwd = vals.iter().fold(Acc32::ZERO, |acc, &(a, w)| {
+            acc.mac(Q8_8::from(a), Q8_8::from(w))
+        });
+        let rev = vals.iter().rev().fold(Acc32::ZERO, |acc, &(a, w)| {
+            acc.mac(Q8_8::from(a), Q8_8::from(w))
+        });
+        prop_assert_eq!(fwd.to_bits(), rev.to_bits());
+    }
+
+    #[test]
+    fn tensor_from_fn_indexing(n in 1usize..=3, c in 1usize..=3, h in 1usize..=5, w in 1usize..=5) {
+        let t = Tensor4::from_fn(n, c, h, w, |a, b, cc, d| (a * 1000 + b * 100 + cc * 10 + d) as f64);
+        for ni in 0..n {
+            for ci in 0..c {
+                for hi in 0..h {
+                    for wi in 0..w {
+                        prop_assert_eq!(t[(ni, ci, hi, wi)], (ni * 1000 + ci * 100 + hi * 10 + wi) as f64);
+                    }
+                }
+            }
+        }
+    }
+}

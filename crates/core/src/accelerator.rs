@@ -1,0 +1,216 @@
+//! The top-level [`Accelerator`] API: plan → simulate → bound → energy.
+
+use accel_sim::{ArchConfig, SimError, SimStats};
+use comm_bound::BoundSummary;
+use conv_model::fixed::Q8_8;
+use conv_model::workloads::Network;
+use conv_model::{ConvLayer, Tensor4};
+use dataflow::Tiling;
+use energy_model::EnergyParams;
+
+use crate::energy::energy_of;
+use crate::planner::plan_for_arch;
+use crate::report::{LayerReport, NetworkReport};
+
+/// A configured instance of the communication-optimal accelerator.
+///
+/// Bundles an architecture with an energy model and exposes the analysis
+/// pipeline used by every figure reproduction: tiling planning, cycle
+/// simulation, bound evaluation and energy accounting.
+///
+/// ```
+/// use clb_core::Accelerator;
+/// use conv_model::ConvLayer;
+///
+/// let acc = Accelerator::implementation(1);
+/// let layer = ConvLayer::square(1, 64, 28, 64, 3, 1).unwrap();
+/// let report = acc.analyze_layer("demo", &layer).unwrap();
+/// assert!(report.dram_vs_bound() < 1.6);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Accelerator {
+    arch: ArchConfig,
+    energy_params: EnergyParams,
+}
+
+impl Accelerator {
+    /// Creates an accelerator from an architecture with default energy
+    /// parameters.
+    #[must_use]
+    pub fn new(arch: ArchConfig) -> Self {
+        Accelerator {
+            arch,
+            energy_params: EnergyParams::default(),
+        }
+    }
+
+    /// One of the five Table I implementations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is not in `1..=5`.
+    #[must_use]
+    pub fn implementation(index: usize) -> Self {
+        Accelerator::new(ArchConfig::implementation(index))
+    }
+
+    /// Replaces the energy parameters.
+    #[must_use]
+    pub fn with_energy_params(mut self, params: EnergyParams) -> Self {
+        self.energy_params = params;
+        self
+    }
+
+    /// The architecture.
+    #[must_use]
+    pub fn arch(&self) -> &ArchConfig {
+        &self.arch
+    }
+
+    /// The energy parameters.
+    #[must_use]
+    pub fn energy_params(&self) -> &EnergyParams {
+        &self.energy_params
+    }
+
+    /// Plans the DRAM-minimal feasible tiling for a layer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError`] when no tiling of the Fig. 7 dataflow fits the
+    /// architecture (see [`plan_for_arch`]).
+    pub fn plan(&self, layer: &ConvLayer) -> Result<Tiling, SimError> {
+        plan_for_arch(layer, &self.arch)
+    }
+
+    /// Simulates a layer under its planned tiling.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`SimError`] (cannot occur for tilings from [`Self::plan`]).
+    pub fn simulate(&self, layer: &ConvLayer) -> Result<SimStats, SimError> {
+        let tiling = self.plan(layer)?;
+        accel_sim::simulate(layer, &tiling, &self.arch)
+    }
+
+    /// Full analysis of one layer: plan, simulate, bound, energy.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`SimError`].
+    pub fn analyze_layer(&self, name: &str, layer: &ConvLayer) -> Result<LayerReport, SimError> {
+        let tiling = self.plan(layer)?;
+        let stats = accel_sim::simulate(layer, &tiling, &self.arch)?;
+        let energy = energy_of(&stats, &self.arch, &self.energy_params);
+        let bounds = BoundSummary::of(layer, accel_sim::effective_memory(&self.arch));
+        Ok(LayerReport {
+            name: name.to_string(),
+            layer: *layer,
+            tiling,
+            stats,
+            energy,
+            bounds,
+        })
+    }
+
+    /// Full analysis of a network (the Fig. 14–20 pipeline).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first [`SimError`] encountered.
+    pub fn analyze_network(&self, network: &Network) -> Result<NetworkReport, SimError> {
+        let mut layers = Vec::with_capacity(network.len());
+        for named in network.conv_layers() {
+            layers.push(self.analyze_layer(&named.name, &named.layer)?);
+        }
+        let totals = layers
+            .iter()
+            .map(|l| l.stats)
+            .reduce(|a, b| a.combined(&b))
+            .unwrap_or_default();
+        let energy = layers.iter().map(|l| l.energy).sum();
+        let seconds = totals.seconds(self.arch.core_freq_hz);
+        Ok(NetworkReport {
+            network: network.name().to_string(),
+            layers,
+            totals,
+            energy,
+            seconds,
+        })
+    }
+
+    /// Runs the functional simulation of one layer (Q8.8 datapath) under the
+    /// planned tiling, returning the computed outputs and the stats.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`SimError`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tensor shapes disagree with `layer`.
+    pub fn run_functional(
+        &self,
+        layer: &ConvLayer,
+        input: &Tensor4<Q8_8>,
+        weights: &Tensor4<Q8_8>,
+    ) -> Result<(Tensor4<Q8_8>, SimStats), SimError> {
+        let tiling = self.plan(layer)?;
+        accel_sim::simulate_functional(layer, &tiling, &self.arch, input, weights)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use conv_model::workloads;
+
+    #[test]
+    fn analyze_layer_produces_consistent_report() {
+        let acc = Accelerator::implementation(1);
+        let layer = workloads::vgg16(1).layer(7).unwrap().layer; // conv4_1
+        let report = acc.analyze_layer("conv4_1", &layer).unwrap();
+        assert_eq!(report.stats.useful_macs, layer.macs());
+        assert!(report.energy.total_pj() > 0.0);
+        assert!(report.dram_vs_bound() >= 0.95);
+        assert!(report.pj_per_mac() > energy_model::table::MAC_PJ);
+    }
+
+    #[test]
+    fn functional_run_matches_counting_run() {
+        let acc = Accelerator::implementation(1);
+        let layer = ConvLayer::square(1, 4, 10, 3, 3, 1).unwrap();
+        let input = Tensor4::from_fn(1, 3, 10, 10, |_, c, h, w| {
+            Q8_8::from_f64(((c * h + w) % 5) as f64 * 0.5 - 1.0)
+        });
+        let weights = Tensor4::from_fn(4, 3, 3, 3, |n, c, h, w| {
+            Q8_8::from_f64(((n + c * h * w) % 3) as f64 * 0.25)
+        });
+        let (out, stats) = acc.run_functional(&layer, &input, &weights).unwrap();
+        let counted = acc.simulate(&layer).unwrap();
+        assert_eq!(stats, counted);
+        assert_eq!(out.shape(), (1, 4, 10, 10));
+    }
+
+    #[test]
+    fn network_report_aggregates() {
+        let acc = Accelerator::implementation(1);
+        let net = workloads::resnet_bottleneck(1, 14, 64, 16);
+        let report = acc.analyze_network(&net).unwrap();
+        assert_eq!(report.layers.len(), 3);
+        assert_eq!(report.total_macs(), net.total_macs());
+        assert!(report.seconds > 0.0);
+        assert!(report.power_w() > 0.0);
+    }
+
+    #[test]
+    fn builder_style_energy_params() {
+        let params = EnergyParams {
+            other_fraction: 0.0,
+            ..EnergyParams::default()
+        };
+        let acc = Accelerator::implementation(2).with_energy_params(params);
+        assert_eq!(acc.energy_params().other_fraction, 0.0);
+        assert_eq!(acc.arch().pe_count(), 512);
+    }
+}

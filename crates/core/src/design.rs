@@ -1,0 +1,136 @@
+//! The design methodology of Section V, as an executable API.
+//!
+//! The paper sizes its example architecture from the theory rather than by
+//! habit: given a Psum budget `S ≈ 32768` words and the optimality
+//! conditions `b·x·y ≈ R·z`, `b·x·y·z ≈ S`, the maximum `z` occurs at
+//! `R = 1` (`z ≈ √S ≈ 181` → WGBuf 256 entries) and the maximum `b·x·y` at
+//! the largest common `R = 9` (`b·x·y ≈ 543`, plus halo → IGBuf 1024
+//! entries). [`derive_config`] reproduces that arithmetic for any PE array
+//! and Psum budget, and [`optimal_psum_fraction`] numerically re-derives
+//! the "assign most of the memory to Psums" conclusion.
+
+use accel_sim::{ArchConfig, DramConfig};
+use comm_bound::OnChipMemory;
+use conv_model::ConvLayer;
+use dataflow::search_ours;
+
+fn next_pow2(n: usize) -> usize {
+    n.next_power_of_two()
+}
+
+/// Derives an accelerator configuration from first principles, following
+/// Section V's sizing methodology.
+///
+/// * `pe_rows × pe_cols` — the PE array;
+/// * `psum_words` — the Psum budget `S` (LRegs), split evenly across PEs;
+/// * `r_max` — the largest sliding-window reuse the design should handle at
+///   full efficiency (9 for 3×3 stride-1 kernels).
+///
+/// The WGBuf is sized for the `R = 1` corner (`z ≈ √S`), the IGBuf for the
+/// `R = r_max` corner (`b·x·y ≈ √(S·r_max)` plus a ~40% halo/flexibility
+/// margin, matching the paper's "we leave some extra entries"), both
+/// rounded up to powers of two.
+///
+/// # Panics
+///
+/// Panics if any argument is zero.
+#[must_use]
+pub fn derive_config(pe_rows: usize, pe_cols: usize, psum_words: usize, r_max: f64) -> ArchConfig {
+    assert!(pe_rows > 0 && pe_cols > 0 && psum_words > 0 && r_max >= 1.0);
+    let s = psum_words as f64;
+    let z_max = s.sqrt(); // R = 1 corner
+    let u_max = (s * r_max).sqrt(); // R = r_max corner
+    let wgbuf = next_pow2(z_max.ceil() as usize * 14 / 10);
+    let igbuf = next_pow2(u_max.ceil() as usize * 14 / 10);
+    let lreg_per_pe = psum_words.div_ceil(pe_rows * pe_cols);
+
+    // GReg capacity: input segments (one per PE row, duplicated per group
+    // column) + weight rows (one per group row), as in Fig. 11.
+    let group = 4usize;
+    let seg_entries = 64usize;
+    let greg_words = pe_rows * seg_entries * (pe_cols / group.min(pe_cols)).max(1)
+        + (pe_rows / group.min(pe_rows)).max(1) * wgbuf;
+
+    ArchConfig {
+        pe_rows,
+        pe_cols,
+        group_rows: group.min(pe_rows),
+        group_cols: group.min(pe_cols),
+        lreg_entries_per_pe: next_pow2(lreg_per_pe),
+        igbuf_entries: igbuf,
+        wgbuf_entries: wgbuf,
+        greg_bytes: greg_words * 2,
+        greg_segment_entries: seg_entries,
+        core_freq_hz: 500e6,
+        dram: DramConfig::default(),
+    }
+}
+
+/// Numerically finds the fraction of a fixed on-chip budget that should be
+/// devoted to Psums (output blocks) rather than input/weight buffering, by
+/// sweeping the fraction and measuring the optimal dataflow's traffic.
+///
+/// Returns `(best_fraction, traffic_words_at_best)`. The paper's analytic
+/// answer is "almost all of it" (Section IV-C: `b·x·y·z ≈ S`); this makes
+/// that claim checkable.
+#[must_use]
+pub fn optimal_psum_fraction(layer: &ConvLayer, total_words: f64) -> (f64, u64) {
+    let mut best = (0.0, u64::MAX);
+    for step in 1..=19 {
+        let frac = step as f64 / 20.0;
+        let mem = OnChipMemory::from_words(total_words * frac);
+        let q = search_ours(layer, mem).traffic.total_words();
+        if q < best.1 {
+            best = (frac, q);
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use conv_model::workloads;
+
+    #[test]
+    fn derive_reproduces_the_papers_example() {
+        // Section V example: 16x16 PEs, 64 KB Psums (32768 words), R_max 9.
+        let cfg = derive_config(16, 16, 32768, 9.0);
+        assert_eq!(cfg.wgbuf_entries, 256, "z_max ~ 181 -> 256 entries");
+        assert_eq!(cfg.igbuf_entries, 1024, "u_max ~ 543 -> 1024 entries");
+        assert_eq!(cfg.lreg_entries_per_pe, 128);
+        cfg.validate().unwrap();
+        // The derived GBuf sizes match Table I implementations 1-3.
+        let paper = ArchConfig::implementation(1);
+        assert_eq!(cfg.gbuf_bytes(), paper.gbuf_bytes());
+        assert_eq!(cfg.lreg_total_entries(), paper.lreg_total_entries());
+    }
+
+    #[test]
+    fn derive_scales_with_psum_budget() {
+        let small = derive_config(16, 16, 8192, 9.0);
+        let large = derive_config(16, 16, 131072, 9.0);
+        assert!(small.wgbuf_entries < large.wgbuf_entries);
+        assert!(small.igbuf_entries < large.igbuf_entries);
+        small.validate().unwrap();
+        large.validate().unwrap();
+    }
+
+    #[test]
+    fn derived_configs_run_the_workload() {
+        let cfg = derive_config(8, 8, 8192, 9.0);
+        let layer = workloads::vgg16(1).layer(4).unwrap().layer;
+        let acc = crate::Accelerator::new(cfg);
+        let report = acc.analyze_layer("conv3_1", &layer).unwrap();
+        assert_eq!(report.stats.useful_macs, layer.macs());
+    }
+
+    #[test]
+    fn psums_deserve_most_of_the_memory() {
+        // Section IV-C's conclusion, re-derived numerically: the best Psum
+        // share of a 66.5 KB budget is at least 75%.
+        let layer = workloads::vgg16(3).layer(4).unwrap().layer;
+        let (frac, _) = optimal_psum_fraction(&layer, 34048.0);
+        assert!(frac >= 0.75, "optimal Psum fraction {frac}");
+    }
+}

@@ -1,0 +1,124 @@
+//! Energy composition: turns simulator access counters into the Fig. 18
+//! component breakdown using the Table II energy model.
+
+use accel_sim::{ArchConfig, SimStats};
+use energy_model::{reg_access_pj, sram_access_pj, table, EnergyBreakdown, EnergyParams};
+
+/// Computes the energy breakdown of one simulated execution on `arch`.
+///
+/// Component mapping (Section VI-D):
+/// * DRAM — every DRAM word at Table II's 427.9 pJ;
+/// * GBuf — input/weight GBuf reads and writes at the capacity-scaled SRAM
+///   access energy;
+/// * MAC — one MAC energy per issued PE slot (lockstep execution);
+/// * LReg dynamic — one LReg access per Psum write at the per-PE capacity's
+///   access energy;
+/// * LReg static — leakage over the whole execution (compute + stall
+///   cycles), proportional to total LReg bytes;
+/// * GReg — input/weight GReg writes at the segment-sized register energy;
+/// * others — controller/FIFO/clock overhead as a fraction of on-chip
+///   dynamic energy.
+#[must_use]
+pub fn energy_of(stats: &SimStats, arch: &ArchConfig, params: &EnergyParams) -> EnergyBreakdown {
+    let dram_pj = stats.dram.total_words() as f64 * table::DRAM_PJ;
+
+    let igbuf_pj = sram_access_pj((arch.igbuf_entries * 2) as f64);
+    let wgbuf_pj = sram_access_pj((arch.wgbuf_entries * 2) as f64);
+    let gbuf_pj = (stats.gbuf.input_writes + stats.gbuf.input_reads) as f64 * igbuf_pj
+        + (stats.gbuf.weight_writes + stats.gbuf.weight_reads) as f64 * wgbuf_pj;
+
+    let mac_pj = stats.issued_slots as f64 * table::MAC_PJ;
+
+    let lreg_access = reg_access_pj(arch.lreg_bytes_per_pe() as f64);
+    let lreg_dynamic_pj = stats.reg.lreg_writes as f64 * lreg_access;
+
+    let lreg_static_pj = stats.total_cycles() as f64
+        * (arch.lreg_total_entries() * 2) as f64
+        * params.reg_static_pj_per_byte_cycle;
+
+    // GReg segments are 64-entry (128 B) register files.
+    let greg_access = reg_access_pj((arch.greg_segment_entries * 2) as f64);
+    let greg_pj = (stats.reg.greg_input_writes + stats.reg.greg_weight_writes) as f64 * greg_access;
+
+    let onchip_dynamic = gbuf_pj + mac_pj + lreg_dynamic_pj + greg_pj;
+    let other_pj = onchip_dynamic * params.other_fraction;
+
+    EnergyBreakdown {
+        dram_pj,
+        gbuf_pj,
+        mac_pj,
+        lreg_dynamic_pj,
+        lreg_static_pj,
+        greg_pj,
+        other_pj,
+    }
+}
+
+/// The Fig. 18 "Lower bound" bar for an architecture: DRAM at the Eq. 15
+/// bound, one MAC and one minimal LReg write (64 B file) per MAC.
+#[must_use]
+pub fn energy_lower_bound_pj(macs: u64, dram_bound_words: f64) -> f64 {
+    energy_model::energy_lower_bound_pj(macs, dram_bound_words, table::LREG_64B_PJ)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use conv_model::ConvLayer;
+    use dataflow::Tiling;
+
+    fn sim() -> (SimStats, ArchConfig) {
+        let layer = ConvLayer::square(1, 8, 12, 4, 3, 1).unwrap();
+        let arch = ArchConfig::example();
+        let tiling = Tiling::clamped(&layer, 1, 8, 6, 6);
+        (accel_sim::simulate(&layer, &tiling, &arch).unwrap(), arch)
+    }
+
+    #[test]
+    fn all_components_positive() {
+        let (stats, arch) = sim();
+        let e = energy_of(&stats, &arch, &EnergyParams::default());
+        assert!(e.dram_pj > 0.0);
+        assert!(e.gbuf_pj > 0.0);
+        assert!(e.mac_pj > 0.0);
+        assert!(e.lreg_dynamic_pj > 0.0);
+        assert!(e.lreg_static_pj > 0.0);
+        assert!(e.greg_pj > 0.0);
+        assert!(e.other_pj > 0.0);
+    }
+
+    #[test]
+    fn mac_energy_exact() {
+        let (stats, arch) = sim();
+        let e = energy_of(&stats, &arch, &EnergyParams::default());
+        assert!((e.mac_pj - stats.issued_slots as f64 * 4.16).abs() < 1e-6);
+    }
+
+    #[test]
+    fn dram_energy_exact() {
+        let (stats, arch) = sim();
+        let e = energy_of(&stats, &arch, &EnergyParams::default());
+        assert!((e.dram_pj - stats.dram.total_words() as f64 * 427.9).abs() < 1e-6);
+    }
+
+    #[test]
+    fn zero_other_fraction_zeroes_other() {
+        let (stats, arch) = sim();
+        let params = EnergyParams {
+            other_fraction: 0.0,
+            ..EnergyParams::default()
+        };
+        let e = energy_of(&stats, &arch, &params);
+        assert_eq!(e.other_pj, 0.0);
+    }
+
+    #[test]
+    fn lower_bound_below_achieved() {
+        let (stats, arch) = sim();
+        let e = energy_of(&stats, &arch, &EnergyParams::default());
+        let mem = accel_sim::effective_memory(&arch);
+        let layer = ConvLayer::square(1, 8, 12, 4, 3, 1).unwrap();
+        let bound = energy_lower_bound_pj(layer.macs(), comm_bound::dram_bound_words(&layer, mem));
+        assert!(e.total_pj() > bound);
+    }
+}

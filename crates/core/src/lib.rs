@@ -1,0 +1,48 @@
+//! The communication-optimal CNN accelerator library — the paper's primary
+//! contribution as a reusable API.
+//!
+//! This crate ties the substrates together into the pipeline every
+//! experiment uses:
+//!
+//! 1. [`planner`] — choose the DRAM-minimal tiling of the paper's dataflow
+//!    that is *structurally feasible* on a concrete implementation
+//!    (LReg/WGBuf/IGBuf/mapping constraints of Section V);
+//! 2. [`accel_sim::simulate`] — count every access and cycle;
+//! 3. [`comm_bound`] — evaluate the Theorem 2 / Eq. 15 bounds at the
+//!    implementation's effective on-chip memory;
+//! 4. [`energy`] — compose the Table II energy breakdown of Fig. 18.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use clb_core::Accelerator;
+//! use conv_model::workloads;
+//!
+//! // Table I implementation 1: 256 PEs, 64 KB Psums, 66.5 KB effective.
+//! let acc = Accelerator::implementation(1);
+//! let net = workloads::resnet_bottleneck(1, 14, 64, 16);
+//! let report = acc.analyze_network(&net).unwrap();
+//! assert!(report.totals.dram.total_words() as f64
+//!     >= report.layers.iter().map(|l| l.bounds.dram_words).sum::<f64>() * 0.9);
+//! ```
+
+#![deny(missing_docs)]
+#![deny(rustdoc::broken_intra_doc_links)]
+
+mod accelerator;
+pub mod design;
+pub mod energy;
+pub mod planner;
+mod report;
+
+pub use accelerator::Accelerator;
+pub use design::{derive_config, optimal_psum_fraction};
+pub use planner::{plan_for_arch, tiling_feasible};
+pub use report::{LayerReport, NetworkReport};
+
+// Re-export the pieces callers need to use the API without importing every
+// substrate crate.
+pub use accel_sim::{ArchConfig, DramConfig, SimError, SimStats};
+pub use comm_bound::{BoundSummary, OnChipMemory};
+pub use dataflow::{DataflowKind, DramTraffic, Tiling};
+pub use energy_model::{EnergyBreakdown, EnergyParams};

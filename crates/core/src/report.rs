@@ -1,0 +1,125 @@
+//! Analysis reports produced by [`Accelerator`](crate::Accelerator).
+
+use accel_sim::SimStats;
+use comm_bound::BoundSummary;
+use conv_model::ConvLayer;
+use dataflow::Tiling;
+use energy_model::EnergyBreakdown;
+use serde::{Deserialize, Serialize};
+
+/// Everything measured and bounded for one layer on one accelerator.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct LayerReport {
+    /// Layer name (e.g. `"conv3_1"`).
+    pub name: String,
+    /// Layer geometry.
+    pub layer: ConvLayer,
+    /// The tiling the planner chose.
+    pub tiling: Tiling,
+    /// Simulator counters.
+    pub stats: SimStats,
+    /// Energy breakdown.
+    pub energy: EnergyBreakdown,
+    /// Analytic lower bounds at the accelerator's effective memory.
+    pub bounds: BoundSummary,
+}
+
+impl LayerReport {
+    /// Ratio of simulated DRAM traffic to the practical lower bound.
+    #[must_use]
+    pub fn dram_vs_bound(&self) -> f64 {
+        self.stats.dram.total_words() as f64 / self.bounds.dram_words
+    }
+
+    /// Energy efficiency in pJ/MAC.
+    #[must_use]
+    pub fn pj_per_mac(&self) -> f64 {
+        self.energy.pj_per_mac(self.layer.macs())
+    }
+}
+
+/// Aggregated report over all layers of a network.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct NetworkReport {
+    /// Network name.
+    pub network: String,
+    /// Per-layer reports, in layer order.
+    pub layers: Vec<LayerReport>,
+    /// Combined simulator counters.
+    pub totals: SimStats,
+    /// Combined energy.
+    pub energy: EnergyBreakdown,
+    /// End-to-end execution time in seconds.
+    pub seconds: f64,
+}
+
+impl NetworkReport {
+    /// Total MACs over all layers.
+    #[must_use]
+    pub fn total_macs(&self) -> u64 {
+        self.layers.iter().map(|l| l.layer.macs()).sum()
+    }
+
+    /// Network-level energy efficiency in pJ/MAC (the Fig. 18 metric).
+    #[must_use]
+    pub fn pj_per_mac(&self) -> f64 {
+        self.energy.pj_per_mac(self.total_macs())
+    }
+
+    /// Average power in watts (the Fig. 19 metric).
+    #[must_use]
+    pub fn power_w(&self) -> f64 {
+        self.energy.power_w(self.seconds)
+    }
+
+    /// Compute-only seconds (Fig. 19's "computing time").
+    #[must_use]
+    pub fn compute_seconds(&self, core_freq_hz: f64) -> f64 {
+        self.totals.compute_cycles as f64 / core_freq_hz
+    }
+
+    /// Stall seconds (Fig. 19's "waiting time").
+    #[must_use]
+    pub fn waiting_seconds(&self, core_freq_hz: f64) -> f64 {
+        self.totals.stall_cycles as f64 / core_freq_hz
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_derived_metrics() {
+        // Construct a minimal synthetic report and exercise the arithmetic.
+        let layer = ConvLayer::square(1, 2, 4, 2, 3, 1).unwrap();
+        let stats = SimStats {
+            compute_cycles: 1000,
+            stall_cycles: 500,
+            ..SimStats::default()
+        };
+        let energy = EnergyBreakdown {
+            mac_pj: layer.macs() as f64 * 2.0,
+            ..EnergyBreakdown::default()
+        };
+        let report = NetworkReport {
+            network: "test".into(),
+            layers: vec![LayerReport {
+                name: "l0".into(),
+                layer,
+                tiling: Tiling::clamped(&layer, 1, 2, 4, 4),
+                stats,
+                energy,
+                bounds: BoundSummary::of(&layer, comm_bound::OnChipMemory::from_kib(16.0)),
+            }],
+            totals: stats,
+            energy,
+            seconds: 3e-6,
+        };
+        assert_eq!(report.total_macs(), layer.macs());
+        assert!((report.pj_per_mac() - 2.0).abs() < 1e-12);
+        assert!((report.compute_seconds(500e6) - 2e-6).abs() < 1e-18);
+        assert!((report.waiting_seconds(500e6) - 1e-6).abs() < 1e-18);
+        assert!(report.power_w() > 0.0);
+    }
+}

@@ -1,0 +1,408 @@
+//! The seven baseline dataflows of Fig. 12, with exact DRAM-traffic models.
+//!
+//! Each baseline pins one data structure on chip (the coloured block in
+//! Fig. 12) and streams the rest from DRAM whenever needed. These cover the
+//! popular dataflows from the literature (e.g. ShiDianNao uses `OutR-A`).
+//! Every model here accounts for boundary tiles, halos, stride and padding
+//! exactly, mirroring [`our_dataflow_traffic`](crate::our_dataflow_traffic).
+//!
+//! The traffic formulas share a vocabulary:
+//! `n_d = ⌈dim/tile⌉` tile counts, `Σx''`/`Σy''` summed halo extents (inputs
+//! fetched per spatial tile, clipped to the image), and partial-sum
+//! round-trips `(n_k − 1)` reads + `n_k` writes when accumulation over input
+//! channels is interrupted.
+
+use conv_model::ConvLayer;
+use serde::{Deserialize, Serialize};
+
+use crate::tiling::{summed_input_extent, tile_count};
+use crate::traffic::DramTraffic;
+
+/// Tile parameters of a baseline dataflow (a subset is used by each kind).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct BaselineParams {
+    /// Output-channel tile `z` (kernels resident / accumulated together).
+    pub z: usize,
+    /// Input-channel tile `k`.
+    pub k: usize,
+    /// Output-row tile `y`.
+    pub y: usize,
+    /// Output-column tile `x`.
+    pub x: usize,
+}
+
+impl BaselineParams {
+    /// All-ones parameters (the degenerate minimum-footprint tiling).
+    #[must_use]
+    pub fn unit() -> Self {
+        BaselineParams {
+            z: 1,
+            k: 1,
+            y: 1,
+            x: 1,
+        }
+    }
+}
+
+impl std::fmt::Display for BaselineParams {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{{z={}, k={}, y={}, x={}}}",
+            self.z, self.k, self.y, self.x
+        )
+    }
+}
+
+fn spatial_sums(layer: &ConvLayer, y: usize, x: usize) -> (u64, u64, u64, u64) {
+    let ny = tile_count(layer.output_height(), y);
+    let nx = tile_count(layer.output_width(), x);
+    let sum_y = summed_input_extent(
+        layer.output_height(),
+        y,
+        layer.stride(),
+        layer.kernel_height(),
+        layer.padding().vertical,
+        layer.in_height(),
+    );
+    let sum_x = summed_input_extent(
+        layer.output_width(),
+        x,
+        layer.stride(),
+        layer.kernel_width(),
+        layer.padding().horizontal,
+        layer.in_width(),
+    );
+    (ny, nx, sum_y, sum_x)
+}
+
+/// `OutR-A` (Fig. 12): an `x×y` plane of partial sums for **one** output
+/// channel of one image is resident; inputs and weights stream per tile.
+/// This is the ShiDianNao-style dataflow.
+///
+/// On-chip working set: `x·y` Psums + one channel's `x'·y'` input slice +
+/// one kernel slice.
+#[must_use]
+pub fn outr_a_traffic(layer: &ConvLayer, p: &BaselineParams) -> DramTraffic {
+    let (ny, nx, sum_y, sum_x) = spatial_sums(layer, p.y, p.x);
+    let b = layer.batch() as u64;
+    let co = layer.out_channels() as u64;
+    let ci = layer.in_channels() as u64;
+    let taps = (layer.kernel_height() * layer.kernel_width()) as u64;
+    DramTraffic {
+        // every (image, out-channel, spatial tile) streams its input window
+        input_reads: b * co * sum_y * sum_x * ci,
+        // and its full kernel
+        weight_reads: b * ny * nx * co * taps * ci,
+        output_reads: 0,
+        output_writes: layer.output_words(),
+    }
+}
+
+/// On-chip words `OutR-A` needs for its parameters.
+#[must_use]
+pub fn outr_a_onchip(layer: &ConvLayer, p: &BaselineParams) -> u64 {
+    let (xp, yp) = layer.input_footprint(p.x, p.y);
+    (p.x * p.y) as u64 + (xp * yp) as u64 + (layer.kernel_height() * layer.kernel_width()) as u64
+}
+
+/// `OutR-B` (Fig. 12): all `Co` partial sums of an `x×y` spatial tile are
+/// resident (a `Co`-deep output column block); inputs stream once per tile
+/// but **all** weights stream per tile.
+#[must_use]
+pub fn outr_b_traffic(layer: &ConvLayer, p: &BaselineParams) -> DramTraffic {
+    let (ny, nx, sum_y, sum_x) = spatial_sums(layer, p.y, p.x);
+    let b = layer.batch() as u64;
+    let co = layer.out_channels() as u64;
+    let ci = layer.in_channels() as u64;
+    let taps = (layer.kernel_height() * layer.kernel_width()) as u64;
+    DramTraffic {
+        input_reads: b * sum_y * sum_x * ci,
+        weight_reads: b * ny * nx * co * taps * ci,
+        output_reads: 0,
+        output_writes: layer.output_words(),
+    }
+}
+
+/// On-chip words `OutR-B` needs.
+#[must_use]
+pub fn outr_b_onchip(layer: &ConvLayer, p: &BaselineParams) -> u64 {
+    let (xp, yp) = layer.input_footprint(p.x, p.y);
+    (p.x * p.y * layer.out_channels()) as u64
+        + (xp * yp) as u64
+        + (layer.out_channels() * layer.kernel_height() * layer.kernel_width()) as u64
+}
+
+/// `WtR-A` (Fig. 12): `z·k·Wk·Hk` weights (z kernels × k input channels)
+/// are resident; inputs stream once per kernel tile and partial sums are
+/// shuttled to DRAM between input-channel tiles.
+#[must_use]
+pub fn wtr_a_traffic(layer: &ConvLayer, p: &BaselineParams) -> DramTraffic {
+    let nz = tile_count(layer.out_channels(), p.z);
+    let nk = tile_count(layer.in_channels(), p.k);
+    DramTraffic {
+        input_reads: nz * layer.input_words(),
+        weight_reads: layer.weight_words(),
+        output_reads: (nk - 1) * layer.output_words(),
+        output_writes: nk * layer.output_words(),
+    }
+}
+
+/// On-chip words `WtR-A` needs: the weight block plus one input sliding
+/// window over the resident `k` channels and a `z`-wide Psum slice.
+#[must_use]
+pub fn wtr_a_onchip(layer: &ConvLayer, p: &BaselineParams) -> u64 {
+    let taps = layer.kernel_height() * layer.kernel_width();
+    (p.z * p.k * taps) as u64 + (p.k * taps) as u64 + p.z as u64
+}
+
+/// `WtR-B` (Fig. 12): `z` **full** kernels (all `Ci` channels) are resident,
+/// so outputs accumulate completely on the fly; inputs stream once per
+/// kernel tile.
+#[must_use]
+pub fn wtr_b_traffic(layer: &ConvLayer, p: &BaselineParams) -> DramTraffic {
+    let nz = tile_count(layer.out_channels(), p.z);
+    DramTraffic {
+        input_reads: nz * layer.input_words(),
+        weight_reads: layer.weight_words(),
+        output_reads: 0,
+        output_writes: layer.output_words(),
+    }
+}
+
+/// On-chip words `WtR-B` needs: the full kernels plus one sliding input
+/// window and `z` in-flight Psums.
+#[must_use]
+pub fn wtr_b_onchip(layer: &ConvLayer, p: &BaselineParams) -> u64 {
+    let taps = layer.kernel_height() * layer.kernel_width();
+    (p.z * layer.in_channels() * taps) as u64 + (layer.in_channels() * taps) as u64 + p.z as u64
+}
+
+/// `InR-A` (Fig. 12): a `k·y·x` input block (k channels × the window needed
+/// by an `x×y` output tile) is resident; weights stream per tile and partial
+/// sums shuttle between input-channel tiles.
+#[must_use]
+pub fn inr_a_traffic(layer: &ConvLayer, p: &BaselineParams) -> DramTraffic {
+    let (ny, nx, sum_y, sum_x) = spatial_sums(layer, p.y, p.x);
+    let nk = tile_count(layer.in_channels(), p.k);
+    let b = layer.batch() as u64;
+    let co = layer.out_channels() as u64;
+    let ci = layer.in_channels() as u64;
+    let taps = (layer.kernel_height() * layer.kernel_width()) as u64;
+    DramTraffic {
+        input_reads: b * sum_y * sum_x * ci,
+        weight_reads: b * ny * nx * co * taps * ci,
+        output_reads: (nk - 1) * layer.output_words(),
+        output_writes: nk * layer.output_words(),
+    }
+}
+
+/// On-chip words `InR-A` needs.
+#[must_use]
+pub fn inr_a_onchip(layer: &ConvLayer, p: &BaselineParams) -> u64 {
+    let (xp, yp) = layer.input_footprint(p.x, p.y);
+    (xp * yp * p.k) as u64
+        + (p.x * p.y) as u64
+        + (layer.kernel_height() * layer.kernel_width() * p.k) as u64
+}
+
+/// `InR-B` (Fig. 12): `k` full input-channel planes of one image are
+/// resident; inputs are read exactly once, weights re-stream per image and
+/// partial sums shuttle between input-channel tiles.
+#[must_use]
+pub fn inr_b_traffic(layer: &ConvLayer, p: &BaselineParams) -> DramTraffic {
+    let nk = tile_count(layer.in_channels(), p.k);
+    DramTraffic {
+        input_reads: layer.input_words(),
+        weight_reads: layer.batch() as u64 * layer.weight_words(),
+        output_reads: (nk - 1) * layer.output_words(),
+        output_writes: nk * layer.output_words(),
+    }
+}
+
+/// On-chip words `InR-B` needs: the `k` input planes plus per-kernel slices.
+#[must_use]
+pub fn inr_b_onchip(layer: &ConvLayer, p: &BaselineParams) -> u64 {
+    (p.k * layer.in_height() * layer.in_width()) as u64
+        + layer.out_channels() as u64
+        + (layer.kernel_height() * layer.kernel_width() * p.k) as u64
+}
+
+/// `InR-C` (Fig. 12): a `Ci·y·x` input block (**all** channels of a spatial
+/// window) is resident, so each output finishes on chip; weights stream per
+/// spatial tile.
+#[must_use]
+pub fn inr_c_traffic(layer: &ConvLayer, p: &BaselineParams) -> DramTraffic {
+    let (ny, nx, sum_y, sum_x) = spatial_sums(layer, p.y, p.x);
+    let b = layer.batch() as u64;
+    let co = layer.out_channels() as u64;
+    let ci = layer.in_channels() as u64;
+    let taps = (layer.kernel_height() * layer.kernel_width()) as u64;
+    DramTraffic {
+        input_reads: b * sum_y * sum_x * ci,
+        weight_reads: b * ny * nx * co * taps * ci,
+        output_reads: 0,
+        output_writes: layer.output_words(),
+    }
+}
+
+/// On-chip words `InR-C` needs.
+#[must_use]
+pub fn inr_c_onchip(layer: &ConvLayer, p: &BaselineParams) -> u64 {
+    let (xp, yp) = layer.input_footprint(p.x, p.y);
+    (xp * yp * layer.in_channels()) as u64
+        + (p.x * p.y) as u64
+        + (layer.kernel_height() * layer.kernel_width() * layer.in_channels()) as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use conv_model::workloads;
+
+    fn layer() -> ConvLayer {
+        workloads::vgg16(3).layer(4).unwrap().layer
+    }
+
+    #[test]
+    fn outr_a_whole_plane_still_restreams_weights_per_channel() {
+        let l = layer();
+        let p = BaselineParams {
+            y: l.output_height(),
+            x: l.output_width(),
+            ..BaselineParams::unit()
+        };
+        let t = outr_a_traffic(&l, &p);
+        // One spatial tile: weights read B times overall (once per image per
+        // channel) = B * weight_words.
+        assert_eq!(t.weight_reads, l.batch() as u64 * l.weight_words());
+        // Inputs re-read for every output channel.
+        assert_eq!(t.input_reads, l.out_channels() as u64 * l.input_words());
+        assert_eq!(t.output_reads, 0);
+    }
+
+    #[test]
+    fn outr_b_single_tile_reads_inputs_once() {
+        let l = layer();
+        let p = BaselineParams {
+            y: l.output_height(),
+            x: l.output_width(),
+            ..BaselineParams::unit()
+        };
+        let t = outr_b_traffic(&l, &p);
+        assert_eq!(t.input_reads, l.input_words());
+        assert_eq!(t.weight_reads, l.batch() as u64 * l.weight_words());
+    }
+
+    #[test]
+    fn wtr_a_full_channels_no_psum_shuttle() {
+        let l = layer();
+        let p = BaselineParams {
+            z: 4,
+            k: l.in_channels(),
+            ..BaselineParams::unit()
+        };
+        let t = wtr_a_traffic(&l, &p);
+        assert_eq!(t.output_reads, 0);
+        assert_eq!(t.output_writes, l.output_words());
+        assert_eq!(t.weight_reads, l.weight_words());
+        assert_eq!(
+            t.input_reads,
+            (l.out_channels() as u64 / 4) * l.input_words()
+        );
+    }
+
+    #[test]
+    fn wtr_a_split_channels_shuttles_psums() {
+        let l = layer();
+        let p = BaselineParams {
+            z: l.out_channels(),
+            k: l.in_channels() / 4,
+            ..BaselineParams::unit()
+        };
+        let t = wtr_a_traffic(&l, &p);
+        assert_eq!(t.output_writes, 4 * l.output_words());
+        assert_eq!(t.output_reads, 3 * l.output_words());
+    }
+
+    #[test]
+    fn wtr_b_matches_wtr_a_with_full_k() {
+        let l = layer();
+        let pa = BaselineParams {
+            z: 8,
+            k: l.in_channels(),
+            ..BaselineParams::unit()
+        };
+        let pb = BaselineParams {
+            z: 8,
+            ..BaselineParams::unit()
+        };
+        assert_eq!(wtr_a_traffic(&l, &pa), wtr_b_traffic(&l, &pb));
+    }
+
+    #[test]
+    fn inr_b_reads_inputs_once() {
+        let l = layer();
+        let p = BaselineParams {
+            k: 16,
+            ..BaselineParams::unit()
+        };
+        let t = inr_b_traffic(&l, &p);
+        assert_eq!(t.input_reads, l.input_words());
+        assert_eq!(t.weight_reads, 3 * l.weight_words());
+        let nk = (l.in_channels() as u64).div_ceil(16);
+        assert_eq!(t.output_writes, nk * l.output_words());
+    }
+
+    #[test]
+    fn inr_c_full_channel_residency_finishes_outputs() {
+        let l = layer();
+        let p = BaselineParams {
+            y: 8,
+            x: 8,
+            ..BaselineParams::unit()
+        };
+        let t = inr_c_traffic(&l, &p);
+        assert_eq!(t.output_reads, 0);
+        assert_eq!(t.output_writes, l.output_words());
+    }
+
+    #[test]
+    fn inr_a_tracks_inr_c_traffic_shape() {
+        // With k = Ci, InR-A's traffic degenerates to InR-C's.
+        let l = layer();
+        let p = BaselineParams {
+            k: l.in_channels(),
+            y: 8,
+            x: 8,
+            ..BaselineParams::unit()
+        };
+        let a = inr_a_traffic(&l, &p);
+        let c = inr_c_traffic(&l, &p);
+        assert_eq!(a, c);
+    }
+
+    #[test]
+    fn onchip_models_grow_with_params() {
+        let l = layer();
+        let small = BaselineParams {
+            z: 2,
+            k: 2,
+            y: 4,
+            x: 4,
+        };
+        let big = BaselineParams {
+            z: 8,
+            k: 8,
+            y: 16,
+            x: 16,
+        };
+        assert!(outr_a_onchip(&l, &small) < outr_a_onchip(&l, &big));
+        assert!(outr_b_onchip(&l, &small) < outr_b_onchip(&l, &big));
+        assert!(wtr_a_onchip(&l, &small) < wtr_a_onchip(&l, &big));
+        assert!(wtr_b_onchip(&l, &small) < wtr_b_onchip(&l, &big));
+        assert!(inr_a_onchip(&l, &small) < inr_a_onchip(&l, &big));
+        assert!(inr_b_onchip(&l, &small) < inr_b_onchip(&l, &big));
+        assert!(inr_c_onchip(&l, &small) < inr_c_onchip(&l, &big));
+    }
+}

@@ -1,0 +1,187 @@
+//! Design-space-exploration (DSE) substrate — the paper's motivation made
+//! executable.
+//!
+//! Section II-B argues that exhaustive DSE over loop orders and tiling
+//! sizes is intractable (≈7.2×10¹³ points for two loop levels of one layer,
+//! citing ref. \[29\]) and that heuristics find sub-optimal points without
+//! explaining *why* a dataflow is good. This module provides:
+//!
+//! * [`search_space_size`] — the size of the two-level loop-order × tiling
+//!   space for a layer, reproducing the intractability argument;
+//! * [`random_dse`] — a budgeted random-sampling DSE baseline over the same
+//!   space the paper's dataflow occupies (output tilings), which the tests
+//!   show converges to — never beats — the closed-form choice.
+
+use comm_bound::OnChipMemory;
+use conv_model::ConvLayer;
+
+use crate::search::search_ours;
+use crate::tiling::{our_dataflow_traffic, Tiling};
+use crate::traffic::DramTraffic;
+
+/// Number of distinct two-level tilings × loop orders for a layer: each of
+/// the seven loops of Fig. 2 can be tiled at two levels (any divisor-free
+/// size in `1..=dim` each) and the loops at each level permuted.
+///
+/// Returned as `f64` because the count overflows `u64` for real layers —
+/// that is the point.
+#[must_use]
+pub fn search_space_size(layer: &ConvLayer) -> f64 {
+    let dims = [
+        layer.batch(),
+        layer.out_channels(),
+        layer.output_height(),
+        layer.output_width(),
+        layer.in_channels(),
+        layer.kernel_height(),
+        layer.kernel_width(),
+    ];
+    // Tiling choices: one inner tile size per dimension at each of the two
+    // levels (sizes 1..=dim, inner <= outer): dim*(dim+1)/2 combinations.
+    let tilings: f64 = dims
+        .iter()
+        .map(|&d| (d as f64) * (d as f64 + 1.0) / 2.0)
+        .product();
+    // Loop orders: 7! permutations at each level.
+    let orders = 5040.0 * 5040.0;
+    tilings * orders
+}
+
+/// Result of a random-sampling DSE run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DseOutcome {
+    /// Samples drawn.
+    pub samples: u64,
+    /// Samples that satisfied the on-chip memory constraint.
+    pub feasible: u64,
+    /// Best tiling found.
+    pub best_tiling: Tiling,
+    /// Its DRAM traffic.
+    pub best_traffic: DramTraffic,
+}
+
+/// Budgeted random-sampling DSE over the output-tiling space of the paper's
+/// dataflow, with a deterministic xorshift generator (`seed`).
+///
+/// This is the "heuristic search" a DSE tool would run when the space is too
+/// large to enumerate. Compare its best against
+/// [`search_ours`] / [`paper_tiling`](crate::paper_tiling):
+/// with a small budget it is clearly worse; even with a large budget it can
+/// only approach the theory-guided choice.
+#[must_use]
+pub fn random_dse(layer: &ConvLayer, mem: OnChipMemory, samples: u64, seed: u64) -> DseOutcome {
+    let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15) | 1;
+    let mut next = move |bound: usize| -> usize {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        (state >> 33) as usize % bound.max(1) + 1
+    };
+
+    let mut feasible = 0u64;
+    let mut best: Option<(u64, Tiling)> = None;
+    for _ in 0..samples {
+        let t = Tiling {
+            b: next(layer.batch()),
+            z: next(layer.out_channels()),
+            y: next(layer.output_height()),
+            x: next(layer.output_width()),
+        };
+        if !t.fits(layer, mem) {
+            continue;
+        }
+        feasible += 1;
+        let q = our_dataflow_traffic(layer, &t).total_words();
+        match best {
+            Some((bq, _)) if bq <= q => {}
+            _ => best = Some((q, t)),
+        }
+    }
+    let (_, best_tiling) = best.unwrap_or((
+        u64::MAX,
+        Tiling {
+            b: 1,
+            z: 1,
+            y: 1,
+            x: 1,
+        },
+    ));
+    DseOutcome {
+        samples,
+        feasible,
+        best_tiling,
+        best_traffic: our_dataflow_traffic(layer, &best_tiling),
+    }
+}
+
+/// Convenience: the ratio `random-DSE best / theory-guided best` for a given
+/// sample budget (≥ 1.0 by construction; → 1.0 as the budget grows).
+#[must_use]
+pub fn dse_gap(layer: &ConvLayer, mem: OnChipMemory, samples: u64, seed: u64) -> f64 {
+    let dse = random_dse(layer, mem, samples, seed);
+    let ours = search_ours(layer, mem);
+    dse.best_traffic.total_words() as f64 / ours.traffic.total_words() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use conv_model::workloads;
+
+    fn layer() -> ConvLayer {
+        workloads::vgg16(3).layer(4).unwrap().layer
+    }
+
+    #[test]
+    fn search_space_is_astronomical() {
+        // The paper quotes 7.2e13 for two loops of one layer; the full
+        // seven-loop two-level space is far larger still.
+        let size = search_space_size(&layer());
+        assert!(size > 1e13, "search space {size:e} should be intractable");
+    }
+
+    #[test]
+    fn search_space_grows_with_layer() {
+        let small = ConvLayer::square(1, 8, 8, 4, 3, 1).unwrap();
+        assert!(search_space_size(&small) < search_space_size(&layer()));
+    }
+
+    #[test]
+    fn dse_never_beats_theory() {
+        let mem = OnChipMemory::from_kib(66.5);
+        for seed in [1u64, 7, 42] {
+            let gap = dse_gap(&layer(), mem, 2_000, seed);
+            assert!(gap >= 1.0 - 1e-12, "DSE beat the exhaustive search: {gap}");
+        }
+    }
+
+    #[test]
+    fn small_budget_dse_is_clearly_worse() {
+        // With a handful of samples the random search lands far from the
+        // optimum — the paper's point about heuristic DSE.
+        let mem = OnChipMemory::from_kib(66.5);
+        let gap = dse_gap(&layer(), mem, 10, 3);
+        assert!(
+            gap > 1.02,
+            "tiny-budget DSE should be visibly worse, got {gap}"
+        );
+    }
+
+    #[test]
+    fn dse_converges_with_budget() {
+        let mem = OnChipMemory::from_kib(66.5);
+        let small = dse_gap(&layer(), mem, 50, 11);
+        let large = dse_gap(&layer(), mem, 20_000, 11);
+        assert!(large <= small + 1e-12);
+        assert!(large < 1.25, "large-budget DSE should approach the optimum");
+    }
+
+    #[test]
+    fn dse_deterministic_per_seed() {
+        let mem = OnChipMemory::from_kib(66.5);
+        let a = random_dse(&layer(), mem, 500, 9);
+        let b = random_dse(&layer(), mem, 500, 9);
+        assert_eq!(a.best_tiling, b.best_tiling);
+        assert_eq!(a.feasible, b.feasible);
+    }
+}

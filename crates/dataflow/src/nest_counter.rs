@@ -1,0 +1,162 @@
+//! A literal executor of the Fig. 7 loop nest that counts DRAM traffic
+//! word-by-word.
+//!
+//! [`our_dataflow_traffic`](crate::our_dataflow_traffic) is a closed form
+//! with separable sums; this module walks the actual nest — every block,
+//! every `k = 1` channel iteration, every input/weight word loaded, every
+//! output word written — and tallies the words one at a time. It is
+//! `O(traffic)` and meant for small layers; the property tests use it to
+//! certify the closed form.
+
+use conv_model::ConvLayer;
+
+use crate::tiling::Tiling;
+use crate::traffic::DramTraffic;
+
+/// Counts the DRAM traffic of the paper's dataflow by literally executing
+/// the Fig. 7 loop nest on `layer` with `tiling`, one word at a time.
+///
+/// Padding words are never fetched (they are materialised as zeros on
+/// chip), exactly as in the closed form.
+#[must_use]
+pub fn count_by_execution(layer: &ConvLayer, tiling: &Tiling) -> DramTraffic {
+    let mut t = DramTraffic::default();
+    let pad = layer.padding();
+    let stride = layer.stride();
+    let (kh, kw) = (layer.kernel_height(), layer.kernel_width());
+
+    let mut i0 = 0;
+    while i0 < layer.batch() {
+        let b = tiling.b.min(layer.batch() - i0);
+        let mut z0 = 0;
+        while z0 < layer.out_channels() {
+            let z = tiling.z.min(layer.out_channels() - z0);
+            let mut y0 = 0;
+            while y0 < layer.output_height() {
+                let y = tiling.y.min(layer.output_height() - y0);
+                let mut x0 = 0;
+                while x0 < layer.output_width() {
+                    let x = tiling.x.min(layer.output_width() - x0);
+
+                    // Inner iterations over input channels, k = 1.
+                    for _kz in 0..layer.in_channels() {
+                        // Load the input slice: the window rows/cols this
+                        // output block needs, clipped to the image.
+                        let ylo = (y0 * stride) as isize - pad.vertical as isize;
+                        let yhi = ((y0 + y - 1) * stride + kh - 1) as isize - pad.vertical as isize;
+                        let xlo = (x0 * stride) as isize - pad.horizontal as isize;
+                        let xhi =
+                            ((x0 + x - 1) * stride + kw - 1) as isize - pad.horizontal as isize;
+                        for _img in 0..b {
+                            for iy in ylo..=yhi {
+                                if iy < 0 || iy as usize >= layer.in_height() {
+                                    continue;
+                                }
+                                for ix in xlo..=xhi {
+                                    if ix < 0 || ix as usize >= layer.in_width() {
+                                        continue;
+                                    }
+                                    t.input_reads += 1;
+                                }
+                            }
+                        }
+                        // Load the weight slice: one channel of z kernels.
+                        t.weight_reads += (z * kh * kw) as u64;
+                    }
+
+                    // Write the finished output block.
+                    t.output_writes += (b * z * y * x) as u64;
+
+                    x0 += tiling.x;
+                }
+                y0 += tiling.y;
+            }
+            z0 += tiling.z;
+        }
+        i0 += tiling.b;
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tiling::our_dataflow_traffic;
+    use conv_model::Padding;
+    use proptest::prelude::*;
+
+    fn check(layer: &ConvLayer, tiling: &Tiling) {
+        let executed = count_by_execution(layer, tiling);
+        let closed = our_dataflow_traffic(layer, tiling);
+        assert_eq!(executed, closed, "layer {layer}, tiling {tiling}");
+    }
+
+    #[test]
+    fn matches_closed_form_on_vgg_like_layer() {
+        let layer = ConvLayer::square(2, 8, 14, 4, 3, 1).unwrap();
+        for t in [
+            Tiling::clamped(&layer, 1, 4, 7, 7),
+            Tiling::clamped(&layer, 2, 8, 14, 14),
+            Tiling::clamped(&layer, 1, 3, 5, 6),
+            Tiling::clamped(&layer, 2, 1, 1, 1),
+        ] {
+            check(&layer, &t);
+        }
+    }
+
+    #[test]
+    fn matches_closed_form_with_stride_no_padding() {
+        let layer = ConvLayer::builder()
+            .batch(1)
+            .out_channels(4)
+            .in_channels(2)
+            .input(11, 11)
+            .kernel(3, 3)
+            .stride(2)
+            .padding(Padding::none())
+            .build()
+            .unwrap();
+        for t in [
+            Tiling::clamped(&layer, 1, 2, 2, 3),
+            Tiling::clamped(&layer, 1, 4, 5, 5),
+        ] {
+            check(&layer, &t);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn closed_form_equals_literal_execution(
+            b in 1usize..=2,
+            co in 1usize..=5,
+            size in 4usize..=9,
+            ci in 1usize..=3,
+            k in 1usize..=3,
+            s in 1usize..=2,
+            pad in prop::bool::ANY,
+            tb in 1usize..=2,
+            tz in 1usize..=5,
+            ty in 1usize..=9,
+            tx in 1usize..=9,
+        ) {
+            let padding = if pad { Padding::same(k) } else { Padding::none() };
+            let layer = ConvLayer::builder()
+                .batch(b)
+                .out_channels(co)
+                .in_channels(ci)
+                .input(size, size)
+                .kernel(k, k)
+                .stride(s)
+                .padding(padding)
+                .build();
+            prop_assume!(layer.is_ok());
+            let layer = layer.unwrap();
+            let tiling = Tiling::clamped(&layer, tb, tz, ty, tx);
+            let executed = count_by_execution(&layer, &tiling);
+            let closed = our_dataflow_traffic(&layer, &tiling);
+            prop_assert_eq!(executed, closed);
+        }
+    }
+}

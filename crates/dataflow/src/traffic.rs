@@ -1,0 +1,118 @@
+use conv_model::BYTES_PER_WORD;
+use serde::{Deserialize, Serialize};
+
+/// Off-chip (DRAM) traffic of one layer under one dataflow, in 16-bit words.
+///
+/// The four streams match the paper's Fig. 14 breakdown: input reads, weight
+/// reads, and output/Psum traffic. Dataflows that keep partial sums on chip
+/// (`OutR`-style, including the paper's dataflow) have `output_reads == 0`
+/// and write each output exactly once; dataflows that shuttle partial sums
+/// off chip (`WtR-A`, `InR-A`, `InR-B`) pay `output_reads` as well.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct DramTraffic {
+    /// Input activation words read from DRAM.
+    pub input_reads: u64,
+    /// Weight words read from DRAM.
+    pub weight_reads: u64,
+    /// Partial-sum words read back from DRAM (re-fetched for accumulation).
+    pub output_reads: u64,
+    /// Output/partial-sum words written to DRAM.
+    pub output_writes: u64,
+}
+
+impl DramTraffic {
+    /// Total words moved in either direction.
+    #[must_use]
+    pub fn total_words(&self) -> u64 {
+        self.input_reads + self.weight_reads + self.output_reads + self.output_writes
+    }
+
+    /// Total bytes moved (16-bit words).
+    #[must_use]
+    pub fn total_bytes(&self) -> u64 {
+        self.total_words() * BYTES_PER_WORD
+    }
+
+    /// Total megabytes moved, as plotted in Fig. 14–16 (1 MB = 2²⁰ B).
+    #[must_use]
+    pub fn total_mib(&self) -> f64 {
+        self.total_bytes() as f64 / (1024.0 * 1024.0)
+    }
+
+    /// Words read from DRAM (inputs + weights + Psum re-reads).
+    #[must_use]
+    pub fn read_words(&self) -> u64 {
+        self.input_reads + self.weight_reads + self.output_reads
+    }
+
+    /// Words written to DRAM.
+    #[must_use]
+    pub fn write_words(&self) -> u64 {
+        self.output_writes
+    }
+
+    /// Element-wise sum of two traffic records (e.g. layer totals).
+    #[must_use]
+    pub fn combined(&self, other: &DramTraffic) -> DramTraffic {
+        DramTraffic {
+            input_reads: self.input_reads + other.input_reads,
+            weight_reads: self.weight_reads + other.weight_reads,
+            output_reads: self.output_reads + other.output_reads,
+            output_writes: self.output_writes + other.output_writes,
+        }
+    }
+}
+
+impl std::ops::Add for DramTraffic {
+    type Output = DramTraffic;
+
+    fn add(self, rhs: DramTraffic) -> DramTraffic {
+        self.combined(&rhs)
+    }
+}
+
+impl std::iter::Sum for DramTraffic {
+    fn sum<I: Iterator<Item = DramTraffic>>(iter: I) -> DramTraffic {
+        iter.fold(DramTraffic::default(), |acc, t| acc + t)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals_add_up() {
+        let t = DramTraffic {
+            input_reads: 10,
+            weight_reads: 20,
+            output_reads: 5,
+            output_writes: 7,
+        };
+        assert_eq!(t.total_words(), 42);
+        assert_eq!(t.total_bytes(), 84);
+        assert_eq!(t.read_words(), 35);
+        assert_eq!(t.write_words(), 7);
+    }
+
+    #[test]
+    fn sum_of_traffic() {
+        let a = DramTraffic {
+            input_reads: 1,
+            weight_reads: 2,
+            output_reads: 3,
+            output_writes: 4,
+        };
+        let total: DramTraffic = vec![a, a, a].into_iter().sum();
+        assert_eq!(total.total_words(), 30);
+    }
+
+    #[test]
+    fn mib_conversion() {
+        let t = DramTraffic {
+            input_reads: 512 * 1024, // 1 MiB at 2 B/word
+            ..DramTraffic::default()
+        };
+        assert_eq!(t.total_mib(), 1.0);
+    }
+}

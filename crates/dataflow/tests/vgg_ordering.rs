@@ -1,0 +1,154 @@
+//! Network-level checks that the dataflow comparison reproduces the
+//! qualitative ordering of Fig. 13 of the paper on VGG-16 (batch 3).
+
+use comm_bound::OnChipMemory;
+use conv_model::workloads;
+use dataflow::{found_minimum, search_dataflow, DataflowKind, DramTraffic};
+
+fn network_total(kind: DataflowKind, kib: f64) -> Option<u64> {
+    let net = workloads::vgg16(3);
+    let mem = OnChipMemory::from_kib(kib);
+    let mut total = 0u64;
+    for l in net.conv_layers() {
+        total += search_dataflow(kind, &l.layer, mem)?.traffic.total_words();
+    }
+    Some(total)
+}
+
+fn bound_total(kib: f64) -> f64 {
+    let net = workloads::vgg16(3);
+    let mem = OnChipMemory::from_kib(kib);
+    net.conv_layers()
+        .map(|l| comm_bound::dram_bound_words(&l.layer, mem))
+        .sum()
+}
+
+#[test]
+fn ours_within_25_percent_of_bound_at_66_5_kib() {
+    // Paper: our dataflow produces ~10% more DRAM access than the bound.
+    let ours = network_total(DataflowKind::Ours, 66.5).unwrap() as f64;
+    let bound = bound_total(66.5);
+    let gap = ours / bound - 1.0;
+    assert!(
+        (0.0..0.25).contains(&gap),
+        "ours/bound gap at 66.5KiB should be small & positive, got {gap:.3}"
+    );
+}
+
+#[test]
+fn ours_close_to_found_minimum() {
+    // Paper: difference between ours and the found minimum is 4.5% on average.
+    let net = workloads::vgg16(3);
+    let mem = OnChipMemory::from_kib(66.5);
+    let mut ours = 0u64;
+    let mut minimum = 0u64;
+    for l in net.conv_layers() {
+        ours += search_dataflow(DataflowKind::Ours, &l.layer, mem)
+            .unwrap()
+            .traffic
+            .total_words();
+        minimum += found_minimum(&l.layer, mem).traffic.total_words();
+    }
+    let rel = ours as f64 / minimum as f64 - 1.0;
+    assert!(
+        (0.0..0.10).contains(&rel),
+        "ours vs found minimum gap should be <10%, got {rel:.3}"
+    );
+}
+
+#[test]
+fn second_best_dataflows_are_clearly_worse() {
+    // Paper: InR-A and WtR-A are the 2nd/3rd best dataflows with ~45% more
+    // traffic than ours. Our exhaustive search is somewhat more generous to
+    // the baselines than the paper's (see EXPERIMENTS.md), so we pin the
+    // qualitative claim: both are clearly worse (>10%) and remain the two
+    // closest runners-up.
+    let ours = network_total(DataflowKind::Ours, 66.5).unwrap() as f64;
+    let inr_a = network_total(DataflowKind::InRA, 66.5).unwrap() as f64;
+    let wtr_a = network_total(DataflowKind::WtRA, 66.5).unwrap() as f64;
+    assert!(
+        inr_a > 1.10 * ours,
+        "InR-A should be clearly worse than ours: {inr_a} vs {ours}"
+    );
+    assert!(
+        wtr_a > 1.10 * ours,
+        "WtR-A should be clearly worse than ours: {wtr_a} vs {ours}"
+    );
+    // Runner-up check: every other baseline is worse than both.
+    for kind in [
+        DataflowKind::OutRA,
+        DataflowKind::OutRB,
+        DataflowKind::WtRB,
+        DataflowKind::InRC,
+    ] {
+        let q = network_total(kind, 66.5).unwrap() as f64;
+        assert!(
+            q > inr_a.min(wtr_a),
+            "{kind:?} should be worse than the runners-up"
+        );
+    }
+}
+
+#[test]
+fn outr_a_is_the_worst_dataflow() {
+    let totals: Vec<(DataflowKind, u64)> = DataflowKind::ALL
+        .iter()
+        .filter_map(|&k| network_total(k, 66.5).map(|t| (k, t)))
+        .collect();
+    let worst = totals.iter().max_by_key(|(_, t)| *t).unwrap();
+    assert_eq!(worst.0, DataflowKind::OutRA, "totals: {totals:?}");
+}
+
+#[test]
+fn every_dataflow_beats_naive() {
+    let net = workloads::vgg16(3);
+    let naive: f64 = net
+        .conv_layers()
+        .map(|l| comm_bound::naive_dram_words(&l.layer))
+        .sum();
+    for kind in DataflowKind::ALL {
+        if let Some(total) = network_total(kind, 66.5) {
+            assert!((total as f64) < naive, "{kind:?} worse than naive: {total}");
+        }
+    }
+}
+
+#[test]
+fn fig13_series_decrease_with_memory() {
+    for kind in [DataflowKind::Ours, DataflowKind::InRA, DataflowKind::WtRA] {
+        let mut prev = u64::MAX;
+        for kib in [16.0, 64.0, 256.0] {
+            let q = network_total(kind, kib).unwrap();
+            assert!(q <= prev, "{kind:?} not monotone at {kib} KiB");
+            prev = q;
+        }
+    }
+}
+
+#[test]
+fn print_fig13_snapshot_at_66_5_kib() {
+    // Not an assertion-heavy test: prints the Fig. 13 column for inspection
+    // with --nocapture and pins the bound/ours relation.
+    let bound = bound_total(66.5) * 2.0 / 1e9; // GB
+    println!("Lower bound      {bound:>8.3} GB");
+    for kind in DataflowKind::ALL {
+        if let Some(words) = network_total(kind, 66.5) {
+            let gb = words as f64 * 2.0 / 1e9;
+            println!("{:<16} {gb:>8.3} GB", kind.name());
+        }
+    }
+    let traffic: DramTraffic = workloads::vgg16(3)
+        .conv_layers()
+        .map(|l| {
+            search_dataflow(DataflowKind::Ours, &l.layer, OnChipMemory::from_kib(66.5))
+                .unwrap()
+                .traffic
+        })
+        .sum();
+    // Our dataflow balances input and weight reads (Section IV-A).
+    let ratio = traffic.input_reads as f64 / traffic.weight_reads as f64;
+    assert!(
+        (0.5..2.0).contains(&ratio),
+        "input/weight reads should be balanced, got {ratio:.2}"
+    );
+}

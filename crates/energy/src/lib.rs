@@ -1,0 +1,311 @@
+//! 65 nm energy model of the paper (Table II) with CACTI-like parametric
+//! scaling for intermediate capacities.
+//!
+//! The paper measures per-operation energies with Design Compiler /
+//! PrimeTime / Memory Compiler / CACTI (Section VI); those tools are
+//! proprietary, so this crate substitutes the paper's **published** Table II
+//! numbers directly and interpolates between them on a log-log scale for
+//! capacities the table does not list (the usual CACTI behaviour: access
+//! energy grows roughly polynomially with capacity). See `DESIGN.md` §2 for
+//! the substitution rationale.
+//!
+//! # Example
+//!
+//! ```
+//! use energy_model::{table, sram_access_pj};
+//!
+//! assert_eq!(table::MAC_PJ, 4.16);
+//! // A 2 KiB SRAM access costs what Table II says.
+//! assert!((sram_access_pj(2048.0) - 1.39).abs() < 1e-9);
+//! ```
+
+#![deny(missing_docs)]
+#![deny(rustdoc::broken_intra_doc_links)]
+
+use serde::{Deserialize, Serialize};
+
+/// The verbatim constants of Table II (65 nm, 16-bit datapath), in pJ per
+/// operation/access.
+pub mod table {
+    /// One multiply-accumulate operation.
+    pub const MAC_PJ: f64 = 4.16;
+    /// One access to a 0.5 KB GBuf (the weight GBuf of the example design).
+    pub const GBUF_0_5KB_PJ: f64 = 0.30;
+    /// One access to a 2 KB GBuf (the input GBuf of implementations 1–3).
+    pub const GBUF_2KB_PJ: f64 = 1.39;
+    /// One access to a 3.125 KB GBuf (the input GBuf of implementations 4–5).
+    pub const GBUF_3_125KB_PJ: f64 = 2.36;
+    /// One access to a 256 B LReg file (implementation 1).
+    pub const LREG_256B_PJ: f64 = 3.39;
+    /// One access to a 128 B LReg file (implementations 2 and 4).
+    pub const LREG_128B_PJ: f64 = 1.92;
+    /// One access to a 64 B LReg file (implementations 3 and 5).
+    pub const LREG_64B_PJ: f64 = 1.16;
+    /// One access to the 2 GB DDR3 DRAM (per 16-bit word).
+    pub const DRAM_PJ: f64 = 427.9;
+}
+
+fn log_interp(anchors: &[(f64, f64)], x: f64) -> f64 {
+    assert!(x > 0.0, "capacity must be positive");
+    let lx = x.ln();
+    // Below the first or above the last anchor: extrapolate the end segment.
+    let seg = if lx <= anchors[0].0.ln() {
+        (anchors[0], anchors[1])
+    } else if lx >= anchors[anchors.len() - 1].0.ln() {
+        (anchors[anchors.len() - 2], anchors[anchors.len() - 1])
+    } else {
+        let mut found = (anchors[0], anchors[1]);
+        for w in anchors.windows(2) {
+            if lx >= w[0].0.ln() && lx <= w[1].0.ln() {
+                found = (w[0], w[1]);
+                break;
+            }
+        }
+        found
+    };
+    let ((x0, y0), (x1, y1)) = seg;
+    let t = (lx - x0.ln()) / (x1.ln() - x0.ln());
+    (y0.ln() + t * (y1.ln() - y0.ln())).exp()
+}
+
+/// Per-access energy (pJ) of an on-chip SRAM of the given capacity in bytes,
+/// anchored on Table II's three GBuf points and log-log interpolated between
+/// them (CACTI-like scaling).
+#[must_use]
+pub fn sram_access_pj(capacity_bytes: f64) -> f64 {
+    log_interp(
+        &[
+            (512.0, table::GBUF_0_5KB_PJ),
+            (2048.0, table::GBUF_2KB_PJ),
+            (3200.0, table::GBUF_3_125KB_PJ),
+        ],
+        capacity_bytes,
+    )
+}
+
+/// Per-access energy (pJ) of a register file of the given capacity in bytes,
+/// anchored on Table II's three LReg points.
+#[must_use]
+pub fn reg_access_pj(capacity_bytes: f64) -> f64 {
+    log_interp(
+        &[
+            (64.0, table::LREG_64B_PJ),
+            (128.0, table::LREG_128B_PJ),
+            (256.0, table::LREG_256B_PJ),
+        ],
+        capacity_bytes,
+    )
+}
+
+/// Tunable constants that Table II does not pin down.
+///
+/// These reproduce the qualitative balance of Fig. 18: register static
+/// energy noticeable for large per-PE LReg files, and a small "others"
+/// overhead (controller, FIFOs, clock tree).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EnergyParams {
+    /// Static (leakage) power of register files, pJ per byte per cycle.
+    pub reg_static_pj_per_byte_cycle: f64,
+    /// Fraction of dynamic on-chip energy charged as "others"
+    /// (controller, FIFOs, clock).
+    pub other_fraction: f64,
+}
+
+impl Default for EnergyParams {
+    fn default() -> Self {
+        EnergyParams {
+            reg_static_pj_per_byte_cycle: 0.003,
+            other_fraction: 0.05,
+        }
+    }
+}
+
+/// Energy breakdown of one layer or network execution, in pJ, matching the
+/// stacked components of Fig. 18.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct EnergyBreakdown {
+    /// DRAM access energy.
+    pub dram_pj: f64,
+    /// GBuf (SRAM) access energy.
+    pub gbuf_pj: f64,
+    /// MAC (arithmetic) energy.
+    pub mac_pj: f64,
+    /// LReg dynamic energy (Psum writes/reads).
+    pub lreg_dynamic_pj: f64,
+    /// LReg static (leakage) energy over the execution time.
+    pub lreg_static_pj: f64,
+    /// GReg energy (input/weight sharing registers).
+    pub greg_pj: f64,
+    /// Everything else (controller, FIFOs, clock).
+    pub other_pj: f64,
+}
+
+impl EnergyBreakdown {
+    /// Total energy in pJ.
+    #[must_use]
+    pub fn total_pj(&self) -> f64 {
+        self.dram_pj
+            + self.gbuf_pj
+            + self.mac_pj
+            + self.lreg_dynamic_pj
+            + self.lreg_static_pj
+            + self.greg_pj
+            + self.other_pj
+    }
+
+    /// Total LReg energy (dynamic + static).
+    #[must_use]
+    pub fn lreg_pj(&self) -> f64 {
+        self.lreg_dynamic_pj + self.lreg_static_pj
+    }
+
+    /// Energy efficiency in pJ per MAC — the Fig. 18 metric.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `macs` is zero.
+    #[must_use]
+    pub fn pj_per_mac(&self, macs: u64) -> f64 {
+        assert!(macs > 0, "pj_per_mac needs a positive MAC count");
+        self.total_pj() / macs as f64
+    }
+
+    /// Average power in watts over an execution time in seconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `seconds` is not positive.
+    #[must_use]
+    pub fn power_w(&self, seconds: f64) -> f64 {
+        assert!(seconds > 0.0, "power needs a positive duration");
+        self.total_pj() * 1e-12 / seconds
+    }
+
+    /// Element-wise sum (for accumulating layers into a network total).
+    #[must_use]
+    pub fn combined(&self, other: &EnergyBreakdown) -> EnergyBreakdown {
+        EnergyBreakdown {
+            dram_pj: self.dram_pj + other.dram_pj,
+            gbuf_pj: self.gbuf_pj + other.gbuf_pj,
+            mac_pj: self.mac_pj + other.mac_pj,
+            lreg_dynamic_pj: self.lreg_dynamic_pj + other.lreg_dynamic_pj,
+            lreg_static_pj: self.lreg_static_pj + other.lreg_static_pj,
+            greg_pj: self.greg_pj + other.greg_pj,
+            other_pj: self.other_pj + other.other_pj,
+        }
+    }
+}
+
+impl std::ops::Add for EnergyBreakdown {
+    type Output = EnergyBreakdown;
+
+    fn add(self, rhs: EnergyBreakdown) -> EnergyBreakdown {
+        self.combined(&rhs)
+    }
+}
+
+impl std::iter::Sum for EnergyBreakdown {
+    fn sum<I: Iterator<Item = EnergyBreakdown>>(iter: I) -> EnergyBreakdown {
+        iter.fold(EnergyBreakdown::default(), |acc, e| acc + e)
+    }
+}
+
+/// The theoretical best energy of Fig. 18's "Lower bound" bars: DRAM energy
+/// at the communication lower bound, plus the MAC energy, plus one LReg
+/// write per MAC at the given LReg access cost.
+#[must_use]
+pub fn energy_lower_bound_pj(macs: u64, dram_bound_words: f64, lreg_access_pj: f64) -> f64 {
+    dram_bound_words * table::DRAM_PJ + macs as f64 * (table::MAC_PJ + lreg_access_pj)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn anchors_are_exact() {
+        assert!((sram_access_pj(512.0) - 0.30).abs() < 1e-12);
+        assert!((sram_access_pj(2048.0) - 1.39).abs() < 1e-12);
+        assert!((sram_access_pj(3200.0) - 2.36).abs() < 1e-12);
+        assert!((reg_access_pj(64.0) - 1.16).abs() < 1e-12);
+        assert!((reg_access_pj(128.0) - 1.92).abs() < 1e-12);
+        assert!((reg_access_pj(256.0) - 3.39).abs() < 1e-12);
+    }
+
+    #[test]
+    fn interpolation_is_monotone() {
+        let mut prev = 0.0;
+        for bytes in [256.0, 512.0, 1024.0, 2048.0, 3200.0, 8192.0] {
+            let e = sram_access_pj(bytes);
+            assert!(e > prev, "sram energy must grow with capacity");
+            prev = e;
+        }
+        let mut prev = 0.0;
+        for bytes in [32.0, 64.0, 96.0, 128.0, 192.0, 256.0, 512.0] {
+            let e = reg_access_pj(bytes);
+            assert!(e > prev, "reg energy must grow with capacity");
+            prev = e;
+        }
+    }
+
+    #[test]
+    fn interpolated_point_between_anchors() {
+        let e = sram_access_pj(1024.0);
+        assert!(e > 0.30 && e < 1.39);
+    }
+
+    #[test]
+    fn extrapolation_beyond_last_anchor() {
+        // 8 KB SRAM should cost more than the 3.125 KB anchor.
+        assert!(sram_access_pj(8192.0) > 2.36);
+        // 32 B reg file cheaper than the 64 B anchor.
+        assert!(reg_access_pj(32.0) < 1.16);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_capacity_panics() {
+        let _ = sram_access_pj(0.0);
+    }
+
+    #[test]
+    fn breakdown_totals() {
+        let e = EnergyBreakdown {
+            dram_pj: 1.0,
+            gbuf_pj: 2.0,
+            mac_pj: 3.0,
+            lreg_dynamic_pj: 4.0,
+            lreg_static_pj: 5.0,
+            greg_pj: 6.0,
+            other_pj: 7.0,
+        };
+        assert_eq!(e.total_pj(), 28.0);
+        assert_eq!(e.lreg_pj(), 9.0);
+        assert_eq!(e.pj_per_mac(14), 2.0);
+        let sum: EnergyBreakdown = vec![e, e].into_iter().sum();
+        assert_eq!(sum.total_pj(), 56.0);
+    }
+
+    #[test]
+    fn power_conversion() {
+        let e = EnergyBreakdown {
+            mac_pj: 1e12, // 1 J
+            ..EnergyBreakdown::default()
+        };
+        assert!((e.power_w(2.0) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lower_bound_components() {
+        let e = energy_lower_bound_pj(100, 10.0, 1.92);
+        let expected = 10.0 * 427.9 + 100.0 * (4.16 + 1.92);
+        assert!((e - expected).abs() < 1e-9);
+    }
+
+    #[test]
+    fn default_params_sane() {
+        let p = EnergyParams::default();
+        assert!(p.reg_static_pj_per_byte_cycle > 0.0);
+        assert!((0.0..0.5).contains(&p.other_fraction));
+    }
+}

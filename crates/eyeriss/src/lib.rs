@@ -1,0 +1,314 @@
+//! Analytical Eyeriss (row-stationary) baseline model.
+//!
+//! The paper compares against Eyeriss (refs. \[7\], \[10\]) using Eyeriss's *reported*
+//! measurements: 173.5 KB effective on-chip memory, a VGG-16 (batch 3) DRAM
+//! access volume of 528.8 MB uncompressed / 321.3 MB with input compression
+//! (Table III), 22.1 pJ/MAC on-chip energy, and 0.7 frames/s throughput.
+//! The Eyeriss chip itself is not reproducible in Rust, so this crate
+//! provides (see `DESIGN.md` §2):
+//!
+//! 1. an analytical **row-stationary traffic model** — weights resident in
+//!    PE-local SRAM, inputs re-streamed once per kernel group, partial sums
+//!    shuttled through the GBuf per input-channel group — which lands within
+//!    ~30% of the published total *before* calibration, and
+//! 2. a **calibration step** that scales the model's per-layer values so the
+//!    network total matches the published numbers exactly (this mirrors the
+//!    paper, which also plots Eyeriss from reported data).
+//!
+//! Per-layer input-compression ratios were published in ref. \[10\] but are not in
+//! the paper's text, so a monotone synthetic profile (ReLU sparsity grows
+//! with depth, network average pinned near 528.8/321.3 ≈ 1.65×) stands in.
+
+#![deny(missing_docs)]
+#![deny(rustdoc::broken_intra_doc_links)]
+
+use conv_model::workloads::Network;
+use conv_model::{ConvLayer, BYTES_PER_WORD};
+use dataflow::DramTraffic;
+use serde::{Deserialize, Serialize};
+
+/// Eyeriss's effective on-chip memory as computed by the paper
+/// (Section VI-A): 100 KB of the GBuf for inputs/outputs + 8 KB weight
+/// prefetch + 448 B/PE local SRAM across 168 PEs.
+pub const EFFECTIVE_ONCHIP_KIB: f64 = 173.5;
+
+/// Published VGG-16 (batch 3) DRAM access volume without input compression,
+/// in MB (Table III).
+pub const PUBLISHED_DRAM_UNCOMPRESSED_MB: f64 = 528.8;
+
+/// Published VGG-16 (batch 3) DRAM access volume with input compression,
+/// in MB (Table III).
+pub const PUBLISHED_DRAM_COMPRESSED_MB: f64 = 321.3;
+
+/// Published on-chip energy efficiency with compression and zero gating,
+/// pJ/MAC (Section VI-D).
+pub const PUBLISHED_ONCHIP_PJ_PER_MAC: f64 = 22.1;
+
+/// Published VGG-16 throughput in frames per second (ref. \[10\]).
+pub const PUBLISHED_VGG16_FPS: f64 = 0.7;
+
+/// Architectural parameters of Eyeriss used by the analytic model.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EyerissConfig {
+    /// PE array rows (12 in the chip).
+    pub pe_rows: usize,
+    /// PE array columns (14 in the chip).
+    pub pe_cols: usize,
+    /// Total PE-local SRAM for weights across the array, in 16-bit words
+    /// (448 B per PE × 168 PEs, part of it for ifmap/psum spads ⇒ ~224
+    /// weight words/PE).
+    pub weight_sram_words: usize,
+    /// Input channels accumulated per processing pass before a partial-sum
+    /// round trip through the GBuf.
+    pub channels_per_pass: usize,
+}
+
+impl Default for EyerissConfig {
+    fn default() -> Self {
+        EyerissConfig {
+            pe_rows: 12,
+            pe_cols: 14,
+            weight_sram_words: 168 * 224,
+            channels_per_pass: 2,
+        }
+    }
+}
+
+impl EyerissConfig {
+    /// Number of kernels whose weights fit in PE-local SRAM at once.
+    #[must_use]
+    pub fn filters_per_pass(&self, layer: &ConvLayer) -> usize {
+        let per_kernel = layer.in_channels() * layer.kernel_height() * layer.kernel_width();
+        (self.weight_sram_words / per_kernel.max(1)).clamp(1, layer.out_channels())
+    }
+
+    /// Output rows produced per ifmap strip when the array is operated
+    /// input-stationary: the 12-row array covers `pe_rows − Hk + 1` sliding
+    /// windows vertically.
+    #[must_use]
+    pub fn strip_rows(&self, layer: &ConvLayer) -> usize {
+        (self.pe_rows + 1)
+            .saturating_sub(layer.kernel_height())
+            .max(1)
+    }
+
+    /// Analytical row-stationary DRAM traffic (uncompressed), in words.
+    ///
+    /// Eyeriss's mapper chooses a per-layer strategy; this model takes the
+    /// better of the two canonical ones:
+    ///
+    /// * **filter-stationary**: weights resident in PE spads, inputs
+    ///   re-streamed once per kernel group;
+    /// * **input-stationary**: an ifmap strip resident, all filters
+    ///   re-streamed once per strip.
+    ///
+    /// Outputs are written once in both (channel accumulation completes on
+    /// chip through the GBuf psum region).
+    #[must_use]
+    pub fn dram_traffic(&self, layer: &ConvLayer) -> DramTraffic {
+        let filter_passes = layer.out_channels().div_ceil(self.filters_per_pass(layer)) as u64;
+        let filter_stationary = DramTraffic {
+            input_reads: filter_passes * layer.input_words(),
+            weight_reads: layer.weight_words(),
+            output_reads: 0,
+            output_writes: layer.output_words(),
+        };
+        let strips =
+            layer.output_height().div_ceil(self.strip_rows(layer)) as u64 * layer.batch() as u64;
+        let input_stationary = DramTraffic {
+            input_reads: layer.input_words(),
+            weight_reads: strips * layer.weight_words(),
+            output_reads: 0,
+            output_writes: layer.output_words(),
+        };
+        if filter_stationary.total_words() <= input_stationary.total_words() {
+            filter_stationary
+        } else {
+            input_stationary
+        }
+    }
+
+    /// GBuf access volume (reads + writes) in words: partial sums shuttle
+    /// between the array and the GBuf once per `channels_per_pass` input
+    /// channels, and ifmaps/weights pass through the GBuf on their way in.
+    ///
+    /// This is the data shuffling the paper's architecture eliminates
+    /// (Fig. 16 shows a 10.9–15.8× reduction).
+    #[must_use]
+    pub fn gbuf_access_words(&self, layer: &ConvLayer) -> u64 {
+        let psum_round_trips = (layer.in_channels().div_ceil(self.channels_per_pass)) as u64;
+        let psum_traffic = 2 * layer.output_words() * psum_round_trips;
+        let dram = self.dram_traffic(layer);
+        let ifmap_traffic = 2 * dram.input_reads;
+        let weight_traffic = 2 * dram.weight_reads;
+        psum_traffic + ifmap_traffic + weight_traffic
+    }
+}
+
+/// Synthetic per-layer input compression ratio: ReLU sparsity grows with
+/// depth; the profile is linear from 1.0 (first layer sees raw pixels) to
+/// 2.3 (deepest layer), giving a network average near the published 1.65×.
+#[must_use]
+pub fn compression_ratio(layer_index: usize, layer_count: usize) -> f64 {
+    if layer_count <= 1 {
+        return 1.65;
+    }
+    1.0 + 1.3 * layer_index as f64 / (layer_count - 1) as f64
+}
+
+/// Per-layer DRAM traffic with the synthetic input compression applied to
+/// activations (inputs and outputs); weights are not compressed.
+#[must_use]
+pub fn compressed_dram_traffic(
+    config: &EyerissConfig,
+    layer: &ConvLayer,
+    layer_index: usize,
+    layer_count: usize,
+) -> DramTraffic {
+    let raw = config.dram_traffic(layer);
+    let ratio = compression_ratio(layer_index, layer_count);
+    // Output activations of layer i are the inputs of layer i+1: compress
+    // them with the next stage's ratio.
+    let out_ratio = compression_ratio((layer_index + 1).min(layer_count - 1), layer_count);
+    DramTraffic {
+        input_reads: (raw.input_reads as f64 / ratio) as u64,
+        weight_reads: raw.weight_reads,
+        output_reads: 0,
+        output_writes: (raw.output_writes as f64 / out_ratio) as u64,
+    }
+}
+
+/// Per-layer DRAM megabytes, calibrated so the network total equals the
+/// published Table III value.
+///
+/// `compressed` selects between the 321.3 MB and 528.8 MB anchors. Returns
+/// `(layer_name, MB)` pairs in layer order.
+#[must_use]
+pub fn calibrated_dram_mb(
+    config: &EyerissConfig,
+    network: &Network,
+    compressed: bool,
+) -> Vec<(String, f64)> {
+    let count = network.len();
+    let raw: Vec<(String, f64)> = network
+        .conv_layers()
+        .enumerate()
+        .map(|(i, l)| {
+            let words = if compressed {
+                compressed_dram_traffic(config, &l.layer, i, count).total_words()
+            } else {
+                config.dram_traffic(&l.layer).total_words()
+            };
+            (l.name.clone(), words as f64 * BYTES_PER_WORD as f64 / 1e6)
+        })
+        .collect();
+    let total: f64 = raw.iter().map(|(_, mb)| mb).sum();
+    let target = if compressed {
+        PUBLISHED_DRAM_COMPRESSED_MB
+    } else {
+        PUBLISHED_DRAM_UNCOMPRESSED_MB
+    };
+    let scale = target / total;
+    raw.into_iter().map(|(n, mb)| (n, mb * scale)).collect()
+}
+
+/// Eyeriss's published execution time for a batch of VGG-16 images,
+/// in seconds.
+#[must_use]
+pub fn vgg16_execution_seconds(batch: usize) -> f64 {
+    batch as f64 / PUBLISHED_VGG16_FPS
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use conv_model::workloads;
+
+    #[test]
+    fn filters_per_pass_shrinks_with_depth() {
+        let cfg = EyerissConfig::default();
+        let net = workloads::vgg16(3);
+        let first = cfg.filters_per_pass(&net.layer(0).unwrap().layer);
+        let last = cfg.filters_per_pass(&net.layer(12).unwrap().layer);
+        assert!(first >= last);
+        assert!(last >= 1);
+    }
+
+    #[test]
+    fn uncalibrated_total_near_published() {
+        // The analytic model should land within ±30% of the published
+        // 528.8 MB before calibration — it is a model, not a replay.
+        let cfg = EyerissConfig::default();
+        let net = workloads::vgg16(3);
+        let total_mb: f64 = net
+            .conv_layers()
+            .map(|l| cfg.dram_traffic(&l.layer).total_bytes() as f64 / 1e6)
+            .sum();
+        assert!(
+            (PUBLISHED_DRAM_UNCOMPRESSED_MB * 0.7..PUBLISHED_DRAM_UNCOMPRESSED_MB * 1.3)
+                .contains(&total_mb),
+            "model total {total_mb:.1} MB vs published {PUBLISHED_DRAM_UNCOMPRESSED_MB} MB"
+        );
+    }
+
+    #[test]
+    fn calibrated_total_matches_published_exactly() {
+        let cfg = EyerissConfig::default();
+        let net = workloads::vgg16(3);
+        for compressed in [false, true] {
+            let total: f64 = calibrated_dram_mb(&cfg, &net, compressed)
+                .iter()
+                .map(|(_, mb)| mb)
+                .sum();
+            let target = if compressed {
+                PUBLISHED_DRAM_COMPRESSED_MB
+            } else {
+                PUBLISHED_DRAM_UNCOMPRESSED_MB
+            };
+            assert!((total - target).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn compression_helps_every_layer() {
+        let cfg = EyerissConfig::default();
+        let net = workloads::vgg16(3);
+        let n = net.len();
+        for (i, l) in net.conv_layers().enumerate() {
+            let raw = cfg.dram_traffic(&l.layer).total_words();
+            let comp = compressed_dram_traffic(&cfg, &l.layer, i, n).total_words();
+            assert!(comp <= raw, "layer {i}: compressed {comp} > raw {raw}");
+        }
+    }
+
+    #[test]
+    fn compression_profile_monotone_and_averaging() {
+        let n = 13;
+        let mut prev = 0.0;
+        let mut sum = 0.0;
+        for i in 0..n {
+            let r = compression_ratio(i, n);
+            assert!(r >= prev);
+            prev = r;
+            sum += r;
+        }
+        let avg = sum / n as f64;
+        assert!((1.4..1.9).contains(&avg), "average ratio {avg}");
+    }
+
+    #[test]
+    fn gbuf_traffic_dominated_by_psums_on_deep_layers() {
+        let cfg = EyerissConfig::default();
+        let layer = workloads::vgg16(3).layer(10).unwrap().layer; // conv5_1
+        let gbuf = cfg.gbuf_access_words(&layer);
+        let psum_part =
+            2 * layer.output_words() * (layer.in_channels().div_ceil(cfg.channels_per_pass)) as u64;
+        assert!(psum_part * 2 > gbuf, "psums should be a major component");
+        assert!(gbuf > 2 * cfg.dram_traffic(&layer).total_words());
+    }
+
+    #[test]
+    fn published_time_for_batch_3() {
+        assert!((vgg16_execution_seconds(3) - 3.0 / 0.7).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,200 @@
+//! DAG construction for a convolutional layer (Fig. 4 / Lemma 1).
+//!
+//! The DAG has three levels: input nodes (activations and weights),
+//! multiplication nodes (one per term `aᵢ·wⱼ`), and add nodes forming an add
+//! tree per output. As in the paper's counting, each add tree associated
+//! with one output has `Wk·Hk·Ci` multiplication nodes and `Wk·Hk·Ci` add
+//! nodes, so the internal/output node count is
+//! `2·B·Wo·Ho·Co·Wk·Hk·Ci` (Lemma 1).
+
+use conv_model::ConvLayer;
+
+use crate::dag::{Dag, NodeId, NodeKind};
+
+/// A convolutional layer's DAG together with maps back to tensor
+/// coordinates.
+#[derive(Debug, Clone)]
+pub struct ConvDag {
+    /// The graph itself.
+    pub dag: Dag,
+    /// Input-activation node ids, indexed `[image][channel][row][col]`
+    /// flattened; padding taps have no node (they are constants).
+    pub activation_ids: Vec<NodeId>,
+    /// Weight node ids, indexed `[kernel][channel][row][col]` flattened.
+    pub weight_ids: Vec<NodeId>,
+    /// The final add node of every output's add tree.
+    pub output_ids: Vec<NodeId>,
+}
+
+/// Builds the DAG of a layer.
+///
+/// Intended for *small* layers (tests and empirical bound validation): the
+/// node count is `2·#MACs + #inputs + #weights`.
+///
+/// # Panics
+///
+/// Panics if the DAG would exceed 50 million nodes — this builder is for
+/// small empirical studies, not full networks.
+#[must_use]
+pub fn build_conv_dag(layer: &ConvLayer) -> ConvDag {
+    let budget = 2 * layer.macs() + layer.input_words() + layer.weight_words();
+    assert!(
+        budget < 50_000_000,
+        "conv DAG too large ({budget} nodes); use a smaller layer"
+    );
+
+    let mut dag = Dag::new();
+    let (b, ci, hi, wi) = (
+        layer.batch(),
+        layer.in_channels(),
+        layer.in_height(),
+        layer.in_width(),
+    );
+    let (co, kh, kw) = (
+        layer.out_channels(),
+        layer.kernel_height(),
+        layer.kernel_width(),
+    );
+
+    let mut activation_ids = Vec::with_capacity(b * ci * hi * wi);
+    for _ in 0..b * ci * hi * wi {
+        activation_ids.push(dag.add_input());
+    }
+    let mut weight_ids = Vec::with_capacity(co * ci * kh * kw);
+    for _ in 0..co * ci * kh * kw {
+        weight_ids.push(dag.add_input());
+    }
+
+    let act_at =
+        |i: usize, c: usize, y: usize, x: usize| activation_ids[((i * ci + c) * hi + y) * wi + x];
+    let w_at =
+        |o: usize, c: usize, y: usize, x: usize| weight_ids[((o * ci + c) * kh + y) * kw + x];
+
+    let pad = layer.padding();
+    let stride = layer.stride();
+    let mut output_ids = Vec::with_capacity(layer.output_words() as usize);
+
+    for i in 0..b {
+        for oz in 0..co {
+            for oy in 0..layer.output_height() {
+                for ox in 0..layer.output_width() {
+                    let mut tail: Option<NodeId> = None;
+                    for kz in 0..ci {
+                        for ky in 0..kh {
+                            for kx in 0..kw {
+                                let iy = (oy * stride + ky) as isize - pad.vertical as isize;
+                                let ix = (ox * stride + kx) as isize - pad.horizontal as isize;
+                                // Padding taps are constant zeros: the paper's
+                                // counting assumes no padding; for padded
+                                // layers the tree is just shorter.
+                                if iy < 0 || ix < 0 || iy as usize >= hi || ix as usize >= wi {
+                                    continue;
+                                }
+                                let a = act_at(i, kz, iy as usize, ix as usize);
+                                let w = w_at(oz, kz, ky, kx);
+                                let m = dag.add_node(NodeKind::Multiply, vec![a, w]);
+                                // One add node per term keeps the Lemma 1
+                                // count: the first add accumulates from the
+                                // implicit zero.
+                                let add_preds = match tail {
+                                    Some(t) => vec![t, m],
+                                    None => vec![m],
+                                };
+                                tail = Some(dag.add_node(NodeKind::Add, add_preds));
+                            }
+                        }
+                    }
+                    output_ids.push(tail.expect("a valid layer has at least one tap per output"));
+                }
+            }
+        }
+    }
+
+    ConvDag {
+        dag,
+        activation_ids,
+        weight_ids,
+        output_ids,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use conv_model::Padding;
+
+    fn tiny(no_pad: bool) -> ConvLayer {
+        ConvLayer::builder()
+            .batch(1)
+            .out_channels(2)
+            .in_channels(2)
+            .input(4, 4)
+            .kernel(2, 2)
+            .stride(1)
+            .padding(if no_pad {
+                Padding::none()
+            } else {
+                Padding::same(3)
+            })
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn lemma1_internal_node_count() {
+        // Without padding: internal+output nodes = 2·B·Wo·Ho·Co·Wk·Hk·Ci.
+        let layer = tiny(true);
+        let conv = build_conv_dag(&layer);
+        assert_eq!(conv.dag.internal_count() as u64, 2 * layer.macs());
+    }
+
+    #[test]
+    fn input_node_count() {
+        let layer = tiny(true);
+        let conv = build_conv_dag(&layer);
+        assert_eq!(
+            conv.dag.input_count() as u64,
+            layer.input_words() + layer.weight_words()
+        );
+    }
+
+    #[test]
+    fn one_output_per_add_tree() {
+        let layer = tiny(true);
+        let conv = build_conv_dag(&layer);
+        assert_eq!(conv.output_ids.len() as u64, layer.output_words());
+        // The outputs are exactly the sinks of the DAG.
+        let mut sinks = conv.dag.sinks();
+        sinks.sort_unstable();
+        let mut outs = conv.output_ids.clone();
+        outs.sort_unstable();
+        assert_eq!(sinks, outs);
+    }
+
+    #[test]
+    fn padded_layer_has_fewer_internal_nodes() {
+        let layer = tiny(false);
+        let conv = build_conv_dag(&layer);
+        assert!((conv.dag.internal_count() as u64) < 2 * layer.macs());
+        assert_eq!(
+            conv.dag.internal_count() as u64,
+            2 * conv_model::reference::effective_macs(&layer)
+        );
+    }
+
+    #[test]
+    fn add_trees_are_disjoint_chains() {
+        // No internal node may feed two different add trees (Lemma 1's "no
+        // internal node can be shared" premise).
+        let layer = tiny(true);
+        let conv = build_conv_dag(&layer);
+        for id in conv.dag.topo_iter() {
+            match conv.dag.kind(id) {
+                NodeKind::Add | NodeKind::Multiply => {
+                    assert!(conv.dag.succs(id).len() <= 1);
+                }
+                NodeKind::Input => {}
+            }
+        }
+    }
+}

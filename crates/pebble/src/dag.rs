@@ -1,0 +1,162 @@
+//! Directed acyclic graph representation of a computation, as used by the
+//! red–blue pebble game: nodes are data entries or operations, edges are
+//! data dependencies (Section II-C).
+
+use serde::{Deserialize, Serialize};
+
+/// Identifier of a node inside a [`Dag`].
+pub type NodeId = usize;
+
+/// What a DAG node represents in the red–blue pebble game.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum NodeKind {
+    /// An input of the computation (initially holds a blue pebble): an input
+    /// activation or a weight.
+    Input,
+    /// A multiplication node (`aᵢ·wⱼ`, producing a *term* in the paper's
+    /// vocabulary).
+    Multiply,
+    /// An addition node of an add tree.
+    Add,
+}
+
+/// A directed acyclic graph describing a computation, in the shape used by
+/// the S-partition model (Section II-C).
+///
+/// Nodes are stored in a topological order by construction: an edge may only
+/// point from an existing node to a newly added one.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Dag {
+    kinds: Vec<NodeKind>,
+    preds: Vec<Vec<NodeId>>,
+    succs: Vec<Vec<NodeId>>,
+}
+
+impl Dag {
+    /// Creates an empty DAG.
+    #[must_use]
+    pub fn new() -> Self {
+        Dag::default()
+    }
+
+    /// Adds an input node, returning its id.
+    pub fn add_input(&mut self) -> NodeId {
+        self.push(NodeKind::Input, Vec::new())
+    }
+
+    /// Adds an internal node of the given kind with the given predecessors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any predecessor id does not exist yet (this is what keeps
+    /// the node order topological) or if an internal node has no
+    /// predecessors.
+    pub fn add_node(&mut self, kind: NodeKind, preds: Vec<NodeId>) -> NodeId {
+        assert!(kind != NodeKind::Input, "use add_input for input nodes");
+        assert!(!preds.is_empty(), "internal nodes need predecessors");
+        for &p in &preds {
+            assert!(p < self.kinds.len(), "predecessor {p} does not exist");
+        }
+        self.push(kind, preds)
+    }
+
+    fn push(&mut self, kind: NodeKind, preds: Vec<NodeId>) -> NodeId {
+        let id = self.kinds.len();
+        for &p in &preds {
+            self.succs[p].push(id);
+        }
+        self.kinds.push(kind);
+        self.preds.push(preds);
+        self.succs.push(Vec::new());
+        id
+    }
+
+    /// Number of nodes.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.kinds.len()
+    }
+
+    /// True when the DAG has no nodes.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.kinds.is_empty()
+    }
+
+    /// Kind of a node.
+    #[must_use]
+    pub fn kind(&self, id: NodeId) -> NodeKind {
+        self.kinds[id]
+    }
+
+    /// Predecessors of a node.
+    #[must_use]
+    pub fn preds(&self, id: NodeId) -> &[NodeId] {
+        &self.preds[id]
+    }
+
+    /// Successors of a node.
+    #[must_use]
+    pub fn succs(&self, id: NodeId) -> &[NodeId] {
+        &self.succs[id]
+    }
+
+    /// Iterator over all node ids in topological order.
+    pub fn topo_iter(&self) -> impl Iterator<Item = NodeId> {
+        0..self.kinds.len()
+    }
+
+    /// Number of input nodes.
+    #[must_use]
+    pub fn input_count(&self) -> usize {
+        self.kinds.iter().filter(|k| **k == NodeKind::Input).count()
+    }
+
+    /// Number of internal (non-input) nodes — the quantity Lemma 1 counts.
+    #[must_use]
+    pub fn internal_count(&self) -> usize {
+        self.len() - self.input_count()
+    }
+
+    /// Nodes with no successors (the computation's final outputs).
+    #[must_use]
+    pub fn sinks(&self) -> Vec<NodeId> {
+        self.topo_iter()
+            .filter(|&id| self.succs[id].is_empty())
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_a_small_dag() {
+        let mut g = Dag::new();
+        let a = g.add_input();
+        let w = g.add_input();
+        let m = g.add_node(NodeKind::Multiply, vec![a, w]);
+        let s = g.add_node(NodeKind::Add, vec![m]);
+        assert_eq!(g.len(), 4);
+        assert_eq!(g.input_count(), 2);
+        assert_eq!(g.internal_count(), 2);
+        assert_eq!(g.sinks(), vec![s]);
+        assert_eq!(g.preds(m), &[a, w]);
+        assert_eq!(g.succs(a), &[m]);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not exist")]
+    fn forward_edge_rejected() {
+        let mut g = Dag::new();
+        let _ = g.add_node(NodeKind::Add, vec![7]);
+    }
+
+    #[test]
+    #[should_panic(expected = "need predecessors")]
+    fn internal_without_preds_rejected() {
+        let mut g = Dag::new();
+        let _ = g.add_node(NodeKind::Add, vec![]);
+    }
+}

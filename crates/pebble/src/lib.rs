@@ -1,0 +1,53 @@
+//! Red–blue pebble game substrate: the S-partition model that underlies the
+//! paper's off-chip communication lower bound (Section II-C and III).
+//!
+//! This crate makes the theory *executable*:
+//!
+//! * [`dag`] — DAG representation of a computation.
+//! * [`conv_dag`] — the three-level convolution DAG of Fig. 4, with the node
+//!   counts of Lemma 1.
+//! * [`partition`] — S-partition validity checking (Properties 1–4) and a
+//!   greedy partitioner that upper-bounds `P(S)`.
+//! * [`lemmas`] — the counting machinery: Lemma 2's `T(S)` with a
+//!   brute-force verifier, Lemma 3's subset capacity, Eq. 12's `P(S)` lower
+//!   bound, and Theorem 1/2 composition.
+//!
+//! Squeezing the greedy upper bound against the analytic lower bound on
+//! small layers validates the derivation chain numerically — see the
+//! workspace integration tests.
+//!
+//! # Example
+//!
+//! ```
+//! use conv_model::{ConvLayer, Padding};
+//! use pebble::{build_conv_dag, greedy_partition, check_s_partition};
+//!
+//! let layer = ConvLayer::builder()
+//!     .input(4, 4).kernel(2, 2).out_channels(2).in_channels(2)
+//!     .padding(Padding::none())
+//!     .build().unwrap();
+//! let conv = build_conv_dag(&layer);
+//! let partition = greedy_partition(&conv.dag, 16);
+//! assert!(check_s_partition(&conv.dag, &partition, 16).is_ok());
+//! ```
+
+#![deny(missing_docs)]
+#![deny(rustdoc::broken_intra_doc_links)]
+
+pub mod conv_dag;
+pub mod dag;
+pub mod lemmas;
+pub mod optimal;
+pub mod partition;
+
+pub use conv_dag::{build_conv_dag, ConvDag};
+pub use dag::{Dag, NodeId, NodeKind};
+pub use lemmas::{
+    max_terms_bound, max_terms_brute_force, p_lower_bound, subset_capacity, theorem1_q_lower,
+    theorem2_q_lower,
+};
+pub use optimal::optimal_contiguous_partition;
+pub use partition::{
+    boundary_dominator, check_s_partition, entry_set, greedy_partition, output_set, Partition,
+    PartitionViolation,
+};

@@ -1,0 +1,390 @@
+//! S-partition machinery (Section II-C of the paper, after Hong & Kung).
+//!
+//! An *S-partition* splits the internal nodes of a DAG into subsets
+//! `V₁…V_h` satisfying four properties (disjoint cover, no cyclic
+//! dependencies, a dominator set of ≤ S nodes per subset, an output set of
+//! ≤ S nodes per subset). Theorem 1 turns the minimum subset count `P(S)`
+//! into the I/O lower bound `Q ≥ S·(P(2S) − 1)`.
+//!
+//! This module provides a validity checker and a greedy constructor. The
+//! greedy construction yields a *valid* S-partition and therefore an upper
+//! bound on `P(S)`; the analytic counting bound of
+//! [`lemmas`](crate::lemmas) gives the lower bound. Squeezing the two
+//! validates the theory empirically on small layers.
+
+use std::collections::HashSet;
+
+use crate::dag::{Dag, NodeId, NodeKind};
+
+/// A partition of a DAG's internal nodes into ordered subsets.
+#[derive(Debug, Clone, Default)]
+pub struct Partition {
+    /// The subsets, in execution order.
+    pub subsets: Vec<Vec<NodeId>>,
+}
+
+impl Partition {
+    /// Number of subsets `h`.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.subsets.len()
+    }
+
+    /// True when the partition has no subsets.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.subsets.is_empty()
+    }
+}
+
+/// The external-boundary dominator of a subset `V`: every node *outside*
+/// `V` with a successor inside `V`.
+///
+/// Any path from a DAG input to a node of `V` crosses the boundary at an
+/// external predecessor, which this set contains — a valid (if not always
+/// minimal) dominator set. See also [`entry_set`]: the *internal* entry
+/// nodes form another valid dominator, and Property 3 checks use the
+/// smaller of the two.
+#[must_use]
+pub fn boundary_dominator(dag: &Dag, subset: &[NodeId]) -> Vec<NodeId> {
+    let inside: HashSet<NodeId> = subset.iter().copied().collect();
+    let mut dom: HashSet<NodeId> = HashSet::new();
+    for &v in subset {
+        for &p in dag.preds(v) {
+            if !inside.contains(&p) {
+                dom.insert(p);
+            }
+        }
+    }
+    let mut dom: Vec<NodeId> = dom.into_iter().collect();
+    dom.sort_unstable();
+    dom
+}
+
+/// The entry set of a subset `V`: the nodes of `V` that have at least one
+/// predecessor outside `V`.
+///
+/// Every path from a DAG input to a node of `V` passes through the first
+/// `V`-node it meets, whose path-predecessor lies outside `V` — so the
+/// entry set is also a valid dominator set for Property 3. For a singleton
+/// subset it has size 1 even when the node has many predecessors.
+#[must_use]
+pub fn entry_set(dag: &Dag, subset: &[NodeId]) -> Vec<NodeId> {
+    let inside: HashSet<NodeId> = subset.iter().copied().collect();
+    subset
+        .iter()
+        .copied()
+        .filter(|&v| dag.preds(v).iter().any(|p| !inside.contains(p)))
+        .collect()
+}
+
+/// The output set of Property 4: nodes of the subset with no successor
+/// inside the subset.
+#[must_use]
+pub fn output_set(dag: &Dag, subset: &[NodeId]) -> Vec<NodeId> {
+    let inside: HashSet<NodeId> = subset.iter().copied().collect();
+    subset
+        .iter()
+        .copied()
+        .filter(|&v| dag.succs(v).iter().all(|s| !inside.contains(s)))
+        .collect()
+}
+
+/// Why a candidate partition fails to be an S-partition.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum PartitionViolation {
+    /// A node appears in more than one subset, or an internal node is
+    /// missing from all subsets.
+    NotAPartition,
+    /// An input node was placed in a subset.
+    ContainsInput(NodeId),
+    /// Subset `i` depends on a later subset `j` (cyclic dependency between
+    /// subsets, violating Property 2 for this ordering).
+    CyclicDependency {
+        /// The earlier subset.
+        earlier: usize,
+        /// The later subset it depends on.
+        later: usize,
+    },
+    /// A subset's (boundary) dominator set exceeds `S` (Property 3).
+    DominatorTooLarge {
+        /// Index of the offending subset.
+        subset: usize,
+        /// Dominator size found.
+        size: usize,
+    },
+    /// A subset's output set exceeds `S` (Property 4).
+    OutputSetTooLarge {
+        /// Index of the offending subset.
+        subset: usize,
+        /// Output-set size found.
+        size: usize,
+    },
+}
+
+/// Checks that `partition` is a valid S-partition of `dag`'s internal nodes.
+///
+/// Property 3 is checked with the smaller of two valid dominator sets
+/// ([`boundary_dominator`] and [`entry_set`]); a partition accepted here is
+/// genuinely an S-partition, while a rejected one *might* still admit an
+/// even smaller dominator.
+///
+/// # Errors
+///
+/// Returns the first [`PartitionViolation`] found.
+pub fn check_s_partition(
+    dag: &Dag,
+    partition: &Partition,
+    s: usize,
+) -> Result<(), PartitionViolation> {
+    // Property 1: disjoint cover of the internal nodes.
+    let mut owner: Vec<Option<usize>> = vec![None; dag.len()];
+    for (i, subset) in partition.subsets.iter().enumerate() {
+        for &v in subset {
+            if dag.kind(v) == NodeKind::Input {
+                return Err(PartitionViolation::ContainsInput(v));
+            }
+            if owner[v].is_some() {
+                return Err(PartitionViolation::NotAPartition);
+            }
+            owner[v] = Some(i);
+        }
+    }
+    for id in dag.topo_iter() {
+        if dag.kind(id) != NodeKind::Input && owner[id].is_none() {
+            return Err(PartitionViolation::NotAPartition);
+        }
+    }
+
+    // Property 2: subset dependencies must follow the order (a valid order
+    // certifies acyclicity).
+    for (i, subset) in partition.subsets.iter().enumerate() {
+        for &v in subset {
+            for &p in dag.preds(v) {
+                if let Some(j) = owner[p] {
+                    if j > i {
+                        return Err(PartitionViolation::CyclicDependency {
+                            earlier: i,
+                            later: j,
+                        });
+                    }
+                }
+            }
+        }
+    }
+
+    // Properties 3 and 4.
+    for (i, subset) in partition.subsets.iter().enumerate() {
+        let dom = boundary_dominator(dag, subset)
+            .len()
+            .min(entry_set(dag, subset).len());
+        if dom > s {
+            return Err(PartitionViolation::DominatorTooLarge {
+                subset: i,
+                size: dom,
+            });
+        }
+        let out = output_set(dag, subset);
+        if out.len() > s {
+            return Err(PartitionViolation::OutputSetTooLarge {
+                subset: i,
+                size: out.len(),
+            });
+        }
+    }
+    Ok(())
+}
+
+/// Greedily builds a valid S-partition by scanning nodes in topological
+/// order and closing the current subset whenever adding the next node would
+/// push the boundary dominator or the output set past `S`.
+///
+/// The subset count is an **upper bound** on `P(S)`.
+///
+/// # Panics
+///
+/// Panics if `s == 0`.
+#[must_use]
+pub fn greedy_partition(dag: &Dag, s: usize) -> Partition {
+    assert!(s > 0, "S must be positive");
+    let mut subsets: Vec<Vec<NodeId>> = Vec::new();
+    let mut current: Vec<NodeId> = Vec::new();
+    let mut current_set: HashSet<NodeId> = HashSet::new();
+    // Incremental dominators: external preds of the current subset, and the
+    // entry count (members with an external predecessor). Either is a valid
+    // dominator; feasibility uses the smaller.
+    let mut dom: HashSet<NodeId> = HashSet::new();
+    let mut entries: usize = 0;
+
+    for id in dag.topo_iter() {
+        if dag.kind(id) == NodeKind::Input {
+            continue;
+        }
+        // Tentatively add `id`. Its predecessors are earlier in the order,
+        // so its entry status is final at insertion time.
+        let mut new_dom = dom.clone();
+        new_dom.remove(&id);
+        let mut is_entry = false;
+        for &p in dag.preds(id) {
+            if !current_set.contains(&p) {
+                new_dom.insert(p);
+                is_entry = true;
+            }
+        }
+        let new_entries = entries + usize::from(is_entry);
+        current.push(id);
+        current_set.insert(id);
+        let out_size = output_set(dag, &current).len();
+        if new_dom.len().min(new_entries) > s || out_size > s {
+            // Close the previous subset (without `id`) and start fresh.
+            current.pop();
+            current_set.remove(&id);
+            if !current.is_empty() {
+                subsets.push(std::mem::take(&mut current));
+                current_set.clear();
+            }
+            dom = dag.preds(id).iter().copied().collect();
+            entries = 1;
+            current.push(id);
+            current_set.insert(id);
+        } else {
+            dom = new_dom;
+            entries = new_entries;
+        }
+    }
+    if !current.is_empty() {
+        subsets.push(current);
+    }
+    Partition { subsets }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::conv_dag::build_conv_dag;
+    use conv_model::{ConvLayer, Padding};
+
+    fn tiny_layer() -> ConvLayer {
+        ConvLayer::builder()
+            .batch(1)
+            .out_channels(2)
+            .in_channels(2)
+            .input(4, 4)
+            .kernel(2, 2)
+            .padding(Padding::none())
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn greedy_partition_is_valid() {
+        let conv = build_conv_dag(&tiny_layer());
+        for s in [4, 8, 16, 64] {
+            let p = greedy_partition(&conv.dag, s);
+            assert!(
+                check_s_partition(&conv.dag, &p, s).is_ok(),
+                "greedy partition invalid at S={s}"
+            );
+        }
+    }
+
+    #[test]
+    fn greedy_subset_count_decreases_with_s() {
+        let conv = build_conv_dag(&tiny_layer());
+        let mut prev = usize::MAX;
+        for s in [4, 8, 16, 32, 64, 128] {
+            let h = greedy_partition(&conv.dag, s).len();
+            assert!(h <= prev, "subset count must not grow with S");
+            prev = h;
+        }
+    }
+
+    #[test]
+    fn whole_dag_is_one_subset_with_huge_s() {
+        let conv = build_conv_dag(&tiny_layer());
+        let p = greedy_partition(&conv.dag, 1_000_000);
+        assert_eq!(p.len(), 1);
+    }
+
+    #[test]
+    fn checker_rejects_missing_node() {
+        let conv = build_conv_dag(&tiny_layer());
+        let mut p = greedy_partition(&conv.dag, 1_000_000);
+        p.subsets[0].pop();
+        assert_eq!(
+            check_s_partition(&conv.dag, &p, 1_000_000),
+            Err(PartitionViolation::NotAPartition)
+        );
+    }
+
+    #[test]
+    fn checker_rejects_duplicated_node() {
+        let conv = build_conv_dag(&tiny_layer());
+        let mut p = greedy_partition(&conv.dag, 1_000_000);
+        let v = p.subsets[0][0];
+        p.subsets[0].push(v);
+        assert_eq!(
+            check_s_partition(&conv.dag, &p, 1_000_000),
+            Err(PartitionViolation::NotAPartition)
+        );
+    }
+
+    #[test]
+    fn checker_rejects_input_in_subset() {
+        let conv = build_conv_dag(&tiny_layer());
+        let mut p = greedy_partition(&conv.dag, 1_000_000);
+        p.subsets[0].push(conv.activation_ids[0]);
+        assert!(matches!(
+            check_s_partition(&conv.dag, &p, 1_000_000),
+            Err(PartitionViolation::ContainsInput(_))
+        ));
+    }
+
+    #[test]
+    fn checker_rejects_reversed_order() {
+        // A dependent chain split in two: the reversed order violates
+        // Property 2. (Greedy partitions of conv DAGs can have independent
+        // subsets — whole add trees — whose reversal is legitimately valid,
+        // so build the dependency explicitly.)
+        let mut dag = Dag::new();
+        let a = dag.add_input();
+        let n1 = dag.add_node(NodeKind::Add, vec![a]);
+        let n2 = dag.add_node(NodeKind::Add, vec![n1]);
+        let n3 = dag.add_node(NodeKind::Add, vec![n2]);
+        let n4 = dag.add_node(NodeKind::Add, vec![n3]);
+        let good = Partition {
+            subsets: vec![vec![n1, n2], vec![n3, n4]],
+        };
+        assert!(check_s_partition(&dag, &good, 2).is_ok());
+        let rev = Partition {
+            subsets: vec![vec![n3, n4], vec![n1, n2]],
+        };
+        assert!(matches!(
+            check_s_partition(&dag, &rev, 2),
+            Err(PartitionViolation::CyclicDependency { .. })
+        ));
+    }
+
+    #[test]
+    fn checker_rejects_too_small_s() {
+        let conv = build_conv_dag(&tiny_layer());
+        // One giant subset needs a dominator of all inputs, far above S=4.
+        let p = greedy_partition(&conv.dag, 1_000_000);
+        assert!(matches!(
+            check_s_partition(&conv.dag, &p, 4),
+            Err(PartitionViolation::DominatorTooLarge { .. })
+        ));
+    }
+
+    #[test]
+    fn output_set_of_chain_is_tail() {
+        let mut dag = Dag::new();
+        let a = dag.add_input();
+        let m = dag.add_node(NodeKind::Multiply, vec![a, a]);
+        let s1 = dag.add_node(NodeKind::Add, vec![m]);
+        let s2 = dag.add_node(NodeKind::Add, vec![s1]);
+        let out = output_set(&dag, &[m, s1, s2]);
+        assert_eq!(out, vec![s2]);
+    }
+}

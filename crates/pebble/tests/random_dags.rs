@@ -1,0 +1,85 @@
+//! Property tests of the S-partition machinery on random DAGs — the
+//! checker/constructors must be correct for *any* computation graph, not
+//! just convolution DAGs.
+
+use pebble::{check_s_partition, greedy_partition, optimal_contiguous_partition, Dag, NodeKind};
+use proptest::prelude::*;
+
+/// Builds a random layered DAG: `inputs` input nodes followed by `internal`
+/// internal nodes, each drawing 1–3 predecessors from earlier nodes.
+fn random_dag(inputs: usize, internal: usize, seed: u64) -> Dag {
+    let mut state = seed | 1;
+    let mut next = move |bound: usize| -> usize {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        (state >> 33) as usize % bound.max(1)
+    };
+    let mut dag = Dag::new();
+    for _ in 0..inputs {
+        dag.add_input();
+    }
+    for i in 0..internal {
+        let avail = inputs + i;
+        let npreds = 1 + next(3);
+        let mut preds: Vec<usize> = (0..npreds).map(|_| next(avail)).collect();
+        preds.sort_unstable();
+        preds.dedup();
+        let kind = if next(2) == 0 {
+            NodeKind::Multiply
+        } else {
+            NodeKind::Add
+        };
+        dag.add_node(kind, preds);
+    }
+    dag
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn greedy_is_valid_on_random_dags(
+        inputs in 1usize..=12,
+        internal in 1usize..=60,
+        seed in 1u64..100_000,
+        s in 2usize..=32,
+    ) {
+        let dag = random_dag(inputs, internal, seed);
+        let p = greedy_partition(&dag, s);
+        prop_assert!(check_s_partition(&dag, &p, s).is_ok());
+        // Every internal node appears exactly once.
+        let count: usize = p.subsets.iter().map(Vec::len).sum();
+        prop_assert_eq!(count, dag.internal_count());
+    }
+
+    #[test]
+    fn optimal_never_worse_than_greedy_on_random_dags(
+        inputs in 1usize..=10,
+        internal in 1usize..=40,
+        seed in 1u64..100_000,
+        s in 4usize..=32,
+    ) {
+        let dag = random_dag(inputs, internal, seed);
+        let greedy = greedy_partition(&dag, s);
+        // Greedy feasibility implies some contiguous partition exists.
+        if check_s_partition(&dag, &greedy, s).is_ok() {
+            let opt = optimal_contiguous_partition(&dag, s);
+            prop_assert!(check_s_partition(&dag, &opt, s).is_ok());
+            prop_assert!(opt.len() <= greedy.len());
+        }
+    }
+
+    #[test]
+    fn partition_count_monotone_in_s(
+        inputs in 1usize..=10,
+        internal in 1usize..=40,
+        seed in 1u64..100_000,
+        s in 4usize..=16,
+    ) {
+        let dag = random_dag(inputs, internal, seed);
+        let small = optimal_contiguous_partition(&dag, s).len();
+        let large = optimal_contiguous_partition(&dag, 2 * s).len();
+        prop_assert!(large <= small);
+    }
+}

@@ -1,0 +1,260 @@
+//! Accelerator configuration (the architecture of Fig. 10/11 and the five
+//! implementations of Table I).
+
+use serde::{Deserialize, Serialize};
+
+/// DRAM timing/interface model: the paper evaluates a 2 GB DDR3 part with
+/// 6.4 GB/s peak bandwidth at 100 MHz, against a 500 MHz core
+/// (Section VI).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DramConfig {
+    /// Peak bandwidth in bytes per second.
+    pub bandwidth_bytes_per_s: f64,
+    /// First-access latency in core cycles (row activation + controller).
+    pub latency_cycles: u64,
+}
+
+impl Default for DramConfig {
+    fn default() -> Self {
+        DramConfig {
+            bandwidth_bytes_per_s: 6.4e9,
+            latency_cycles: 100,
+        }
+    }
+}
+
+/// Full architectural configuration of the accelerator.
+///
+/// Use [`ArchConfig::implementation`] for the five Table I designs or the
+/// builder-style setters for custom ones.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ArchConfig {
+    /// PE array rows `p`.
+    pub pe_rows: usize,
+    /// PE array columns `q`.
+    pub pe_cols: usize,
+    /// PE group rows `p_g` (a weight GReg row is shared by `p_g` PE rows).
+    pub group_rows: usize,
+    /// PE group columns `q_g` (an input GReg segment feeds `q_g` PEs).
+    pub group_cols: usize,
+    /// LReg entries (16-bit Psum slots) per PE — `r` in the paper.
+    pub lreg_entries_per_pe: usize,
+    /// Input GBuf capacity in 16-bit entries.
+    pub igbuf_entries: usize,
+    /// Weight GBuf capacity in 16-bit entries.
+    pub wgbuf_entries: usize,
+    /// Total GReg capacity in bytes (Table I's "GReg size"), used for
+    /// utilization and energy reporting.
+    pub greg_bytes: usize,
+    /// Capacity of one input GReg segment in 16-bit entries (64 in the
+    /// Fig. 11 example). Bounds the per-PE-row input halo `xs'·ys'`.
+    pub greg_segment_entries: usize,
+    /// Core clock in Hz.
+    pub core_freq_hz: f64,
+    /// DRAM interface model.
+    pub dram: DramConfig,
+}
+
+impl ArchConfig {
+    /// The example design of Section V: 16×16 PEs, 4×4 groups, 128-entry
+    /// LRegs per PE (64 KB of Psums total), 2 KB IGBuf + 0.5 KB WGBuf.
+    /// This is implementation 1 of Table I.
+    #[must_use]
+    pub fn example() -> Self {
+        ArchConfig::implementation(1)
+    }
+
+    /// One of the five implementations of Table I.
+    ///
+    /// | # | PEs    | GBuf    | LReg/PE | GReg  | effective memory |
+    /// |---|--------|---------|---------|-------|------------------|
+    /// | 1 | 16×16  | 2.5 KB  | 256 B   | 10 KB | 66.5 KB          |
+    /// | 2 | 32×16  | 2.5 KB  | 128 B   | 15 KB | 66.5 KB          |
+    /// | 3 | 32×32  | 2.5 KB  | 64 B    | 18 KB | 66.5 KB          |
+    /// | 4 | 32×32  | 3.625 KB| 128 B   | 27 KB | 131.625 KB       |
+    /// | 5 | 64×32  | 3.625 KB| 64 B    | 36 KB | 131.625 KB       |
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is not in `1..=5`.
+    #[must_use]
+    pub fn implementation(index: usize) -> Self {
+        // (p, q, lreg bytes/PE, igbuf entries, greg KB)
+        let (p, q, lreg_bytes, igbuf_entries, greg_kb) = match index {
+            1 => (16, 16, 256, 1024, 10),
+            2 => (32, 16, 128, 1024, 15),
+            3 => (32, 32, 64, 1024, 18),
+            4 => (32, 32, 128, 1600, 27),
+            5 => (64, 32, 64, 1600, 36),
+            other => panic!("Table I defines implementations 1-5, got {other}"),
+        };
+        ArchConfig {
+            pe_rows: p,
+            pe_cols: q,
+            group_rows: 4,
+            group_cols: 4,
+            lreg_entries_per_pe: lreg_bytes / 2,
+            igbuf_entries,
+            wgbuf_entries: 256,
+            greg_bytes: greg_kb * 1024,
+            greg_segment_entries: 64,
+            core_freq_hz: 500e6,
+            dram: DramConfig::default(),
+        }
+    }
+
+    /// Total number of PEs.
+    #[must_use]
+    pub fn pe_count(&self) -> usize {
+        self.pe_rows * self.pe_cols
+    }
+
+    /// Total Psum storage across all LRegs, in 16-bit words.
+    #[must_use]
+    pub fn lreg_total_entries(&self) -> usize {
+        self.pe_count() * self.lreg_entries_per_pe
+    }
+
+    /// LReg capacity per PE in bytes.
+    #[must_use]
+    pub fn lreg_bytes_per_pe(&self) -> usize {
+        self.lreg_entries_per_pe * 2
+    }
+
+    /// Total GBuf capacity (input + weight) in bytes.
+    #[must_use]
+    pub fn gbuf_bytes(&self) -> usize {
+        (self.igbuf_entries + self.wgbuf_entries) * 2
+    }
+
+    /// The paper's *effective on-chip memory*: Psum LRegs + GBufs (GRegs
+    /// hold duplicated data and do not count — Section III).
+    #[must_use]
+    pub fn effective_onchip_bytes(&self) -> usize {
+        self.lreg_total_entries() * 2 + self.gbuf_bytes()
+    }
+
+    /// Effective on-chip memory in 16-bit words (the `S` of the theory).
+    #[must_use]
+    pub fn effective_onchip_words(&self) -> usize {
+        self.effective_onchip_bytes() / 2
+    }
+
+    /// DRAM bandwidth expressed in 16-bit words per core cycle.
+    #[must_use]
+    pub fn dram_words_per_cycle(&self) -> f64 {
+        self.dram.bandwidth_bytes_per_s / self.core_freq_hz / 2.0
+    }
+
+    /// Validates the structural invariants (group sizes divide the array,
+    /// everything positive).
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the violated invariant.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.pe_rows == 0 || self.pe_cols == 0 {
+            return Err("PE array must be non-empty".into());
+        }
+        if self.group_rows == 0 || self.group_cols == 0 {
+            return Err("PE groups must be non-empty".into());
+        }
+        if !self.pe_rows.is_multiple_of(self.group_rows) {
+            return Err(format!(
+                "group rows {} must divide PE rows {}",
+                self.group_rows, self.pe_rows
+            ));
+        }
+        if !self.pe_cols.is_multiple_of(self.group_cols) {
+            return Err(format!(
+                "group cols {} must divide PE cols {}",
+                self.group_cols, self.pe_cols
+            ));
+        }
+        if self.lreg_entries_per_pe == 0 {
+            return Err("LRegs must hold at least one Psum".into());
+        }
+        if self.igbuf_entries == 0 || self.wgbuf_entries == 0 {
+            return Err("GBufs must be non-empty".into());
+        }
+        if self.core_freq_hz <= 0.0 || !self.core_freq_hz.is_finite() {
+            return Err("core frequency must be positive".into());
+        }
+        Ok(())
+    }
+}
+
+impl Default for ArchConfig {
+    fn default() -> Self {
+        ArchConfig::example()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_effective_memory() {
+        // Paper Table I: implementations 1-3 have 66.5 KB effective memory,
+        // 4-5 have 131.625 KB.
+        for i in 1..=3 {
+            let c = ArchConfig::implementation(i);
+            assert_eq!(c.effective_onchip_bytes(), 665 * 1024 / 10); // 66.5 KB
+        }
+        for i in 4..=5 {
+            let c = ArchConfig::implementation(i);
+            assert_eq!(c.effective_onchip_bytes() as f64, 131.625 * 1024.0);
+        }
+    }
+
+    #[test]
+    fn table1_pe_counts() {
+        let pes: Vec<usize> = (1..=5)
+            .map(|i| ArchConfig::implementation(i).pe_count())
+            .collect();
+        assert_eq!(pes, vec![256, 512, 1024, 1024, 2048]);
+    }
+
+    #[test]
+    fn table1_psum_capacity_constant_within_memory_class() {
+        // Implementations 1-3 all provide 64 KB of Psum storage.
+        for i in 1..=3 {
+            assert_eq!(
+                ArchConfig::implementation(i).lreg_total_entries(),
+                32768,
+                "implementation {i}"
+            );
+        }
+        for i in 4..=5 {
+            assert_eq!(ArchConfig::implementation(i).lreg_total_entries(), 65536);
+        }
+    }
+
+    #[test]
+    fn all_implementations_validate() {
+        for i in 1..=5 {
+            ArchConfig::implementation(i).validate().unwrap();
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "implementations 1-5")]
+    fn implementation_0_panics() {
+        let _ = ArchConfig::implementation(0);
+    }
+
+    #[test]
+    fn invalid_group_rejected() {
+        let mut c = ArchConfig::example();
+        c.group_rows = 5;
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn dram_words_per_cycle() {
+        let c = ArchConfig::example();
+        // 6.4 GB/s at 500 MHz = 12.8 B/cycle = 6.4 words/cycle.
+        assert!((c.dram_words_per_cycle() - 6.4).abs() < 1e-12);
+    }
+}

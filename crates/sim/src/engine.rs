@@ -1,0 +1,594 @@
+//! The cycle-level simulation engine.
+//!
+//! Executes the Fig. 7 loop nest on the Fig. 10 architecture, counting every
+//! DRAM/GBuf/GReg/LReg access, every issued PE slot and every cycle,
+//! including DRAM stall cycles that prefetching cannot hide. The counting
+//! walk and the functional walk share the same block grid and mapping, so
+//! the numbers always describe the computation that
+//! [`simulate_functional`] actually performs.
+
+use comm_bound::OnChipMemory;
+use conv_model::fixed::{Acc32, Q8_8};
+use conv_model::{ConvLayer, Tensor4};
+use dataflow::Tiling;
+
+use crate::config::ArchConfig;
+use crate::mapping::{map_block, Block, MapError, Mapping};
+use crate::stats::{SimStats, Utilization};
+
+/// Why a simulation could not run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SimError {
+    /// A block could not be mapped onto the PE array.
+    Unmappable(MapError),
+    /// The weight tile exceeds the weight GBuf.
+    WeightTileTooLarge {
+        /// Channels per tile requested.
+        z: usize,
+        /// WGBuf capacity in entries.
+        capacity: usize,
+    },
+    /// The input tile (with halo) exceeds the input GBuf.
+    InputTileTooLarge {
+        /// Words needed.
+        needed: usize,
+        /// IGBuf capacity in entries.
+        capacity: usize,
+    },
+}
+
+impl std::fmt::Display for SimError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SimError::Unmappable(e) => write!(f, "unmappable block: {e}"),
+            SimError::WeightTileTooLarge { z, capacity } => {
+                write!(f, "weight tile z={z} exceeds WGBuf capacity {capacity}")
+            }
+            SimError::InputTileTooLarge { needed, capacity } => {
+                write!(f, "input tile needs {needed} words, IGBuf holds {capacity}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+impl From<MapError> for SimError {
+    fn from(e: MapError) -> Self {
+        SimError::Unmappable(e)
+    }
+}
+
+/// Enumerates the output blocks of the Fig. 7 loop nest for a tiling, in
+/// execution order.
+#[must_use]
+pub fn block_grid(layer: &ConvLayer, tiling: &Tiling) -> Vec<Block> {
+    let mut blocks = Vec::new();
+    let mut i0 = 0;
+    while i0 < layer.batch() {
+        let b = tiling.b.min(layer.batch() - i0);
+        let mut z0 = 0;
+        while z0 < layer.out_channels() {
+            let z = tiling.z.min(layer.out_channels() - z0);
+            let mut y0 = 0;
+            while y0 < layer.output_height() {
+                let y = tiling.y.min(layer.output_height() - y0);
+                let mut x0 = 0;
+                while x0 < layer.output_width() {
+                    let x = tiling.x.min(layer.output_width() - x0);
+                    blocks.push(Block {
+                        i0,
+                        b,
+                        z0,
+                        z,
+                        y0,
+                        y,
+                        x0,
+                        x,
+                    });
+                    x0 += tiling.x;
+                }
+                y0 += tiling.y;
+            }
+            z0 += tiling.z;
+        }
+        i0 += tiling.b;
+    }
+    blocks
+}
+
+/// Clipped input extent (words) of a block along one axis: the rows/columns
+/// actually fetched from DRAM (padding contributes nothing).
+fn clipped_extent(
+    o0: usize,
+    len: usize,
+    stride: usize,
+    kernel: usize,
+    pad: usize,
+    in_dim: usize,
+) -> u64 {
+    let lo = (o0 * stride) as isize - pad as isize;
+    let hi = ((o0 + len - 1) * stride + kernel - 1) as isize - pad as isize;
+    let lo = lo.max(0);
+    let hi = hi.min(in_dim as isize - 1);
+    if hi >= lo {
+        (hi - lo + 1) as u64
+    } else {
+        0
+    }
+}
+
+struct BlockCounts {
+    dram_input_reads: u64,
+    dram_weight_reads: u64,
+    dram_output_writes: u64,
+    gbuf_input_writes: u64,
+    gbuf_input_reads: u64,
+    gbuf_weight_writes: u64,
+    gbuf_weight_reads: u64,
+    greg_input_writes: u64,
+    greg_weight_writes: u64,
+    lreg_writes: u64,
+    useful_macs: u64,
+    issued_slots: u64,
+    compute_cycles: u64,
+    // utilization snapshots, weighted later by compute cycles
+    lreg_util: f64,
+    gbuf_util: f64,
+    greg_util: f64,
+}
+
+fn count_block(
+    arch: &ArchConfig,
+    layer: &ConvLayer,
+    block: &Block,
+    mapping: &Mapping,
+) -> Result<BlockCounts, SimError> {
+    let ci = layer.in_channels() as u64;
+    let taps = (layer.kernel_height() * layer.kernel_width()) as u64;
+    let pad = layer.padding();
+
+    if block.z > arch.wgbuf_entries {
+        return Err(SimError::WeightTileTooLarge {
+            z: block.z,
+            capacity: arch.wgbuf_entries,
+        });
+    }
+    // Nominal (unclipped) halo of the whole block: what the IGBuf must hold
+    // per input channel, and what gets written into it (boundary blocks
+    // write a few redundant slots — Table IV's 1.15×).
+    let (xh, yh) = layer.input_footprint(block.x, block.y);
+    let igbuf_needed = block.b * xh * yh;
+    if igbuf_needed > arch.igbuf_entries {
+        return Err(SimError::InputTileTooLarge {
+            needed: igbuf_needed,
+            capacity: arch.igbuf_entries,
+        });
+    }
+
+    let clip_x = clipped_extent(
+        block.x0,
+        block.x,
+        layer.stride(),
+        layer.kernel_width(),
+        pad.horizontal,
+        layer.in_width(),
+    );
+    let clip_y = clipped_extent(
+        block.y0,
+        block.y,
+        layer.stride(),
+        layer.kernel_height(),
+        pad.vertical,
+        layer.in_height(),
+    );
+
+    let dram_input_reads = block.b as u64 * clip_x * clip_y * ci;
+    let dram_weight_reads = block.z as u64 * taps * ci;
+    let dram_output_writes = block.psum_words();
+
+    let rows_used = mapping.rows_used() as u64;
+    let cols_used = block.z.div_ceil(mapping.zs).min(arch.pe_cols) as u64;
+    let input_copies = (arch.pe_cols / arch.group_cols) as u64;
+    let weight_copies = (arch.pe_rows / arch.group_rows) as u64;
+
+    let gbuf_input_reads = rows_used * mapping.segment_stream_words as u64 * ci;
+    let gbuf_weight_reads = block.z as u64 * taps * ci;
+
+    let pass_cycles = mapping.pass_cycles();
+    let compute_cycles = ci * taps * pass_cycles;
+    let issued_slots = rows_used * cols_used * pass_cycles * taps * ci;
+    let useful_macs = block.psum_words() * taps * ci;
+
+    // Utilization snapshots.
+    let lreg_util = block.psum_words() as f64 / arch.lreg_total_entries() as f64;
+    let gbuf_util = ((igbuf_needed.min(arch.igbuf_entries) + block.z.min(arch.wgbuf_entries))
+        as f64)
+        / (arch.igbuf_entries + arch.wgbuf_entries) as f64;
+    let greg_used_bytes = (rows_used * mapping.segment_words as u64 * input_copies
+        + weight_copies * block.z as u64) as f64
+        * 2.0;
+    let greg_util = (greg_used_bytes / arch.greg_bytes as f64).min(1.0);
+
+    Ok(BlockCounts {
+        dram_input_reads,
+        dram_weight_reads,
+        dram_output_writes,
+        gbuf_input_writes: block.b as u64 * xh as u64 * yh as u64 * ci,
+        gbuf_input_reads,
+        gbuf_weight_writes: dram_weight_reads,
+        gbuf_weight_reads,
+        greg_input_writes: gbuf_input_reads * input_copies,
+        greg_weight_writes: weight_copies * block.z as u64 * taps * ci,
+        lreg_writes: issued_slots,
+        useful_macs,
+        issued_slots,
+        compute_cycles,
+        lreg_util,
+        gbuf_util,
+        greg_util,
+    })
+}
+
+/// Runs the counting simulation of one layer under one tiling.
+///
+/// # Errors
+///
+/// Returns [`SimError`] when a block exceeds the GBufs or cannot be mapped
+/// onto the PE array; use `clb_core::plan_for_arch` to obtain a feasible
+/// tiling.
+pub fn simulate(
+    layer: &ConvLayer,
+    tiling: &Tiling,
+    arch: &ArchConfig,
+) -> Result<SimStats, SimError> {
+    arch.validate()
+        .map_err(|_| SimError::WeightTileTooLarge { z: 0, capacity: 0 })?;
+    let blocks = block_grid(layer, tiling);
+    let words_per_cycle = arch.dram_words_per_cycle();
+
+    let mut stats = SimStats::default();
+    let mut util_w = 0.0f64;
+    let mut util = Utilization::default();
+
+    for block in &blocks {
+        let mapping = map_block(arch, layer, block)?;
+        let c = count_block(arch, layer, block, &mapping)?;
+
+        stats.dram.input_reads += c.dram_input_reads;
+        stats.dram.weight_reads += c.dram_weight_reads;
+        stats.dram.output_writes += c.dram_output_writes;
+        stats.gbuf.input_writes += c.gbuf_input_writes;
+        stats.gbuf.input_reads += c.gbuf_input_reads;
+        stats.gbuf.weight_writes += c.gbuf_weight_writes;
+        stats.gbuf.weight_reads += c.gbuf_weight_reads;
+        stats.reg.greg_input_writes += c.greg_input_writes;
+        stats.reg.greg_weight_writes += c.greg_weight_writes;
+        stats.reg.lreg_writes += c.lreg_writes;
+        stats.useful_macs += c.useful_macs;
+        stats.issued_slots += c.issued_slots;
+        stats.compute_cycles += c.compute_cycles;
+        stats.blocks += 1;
+        stats.iterations += layer.in_channels() as u64;
+
+        // Timing: the GBufs double-buffer at iteration (kz) granularity
+        // (Section V: "the GBufs are used for prefetching inputs and
+        // weights for the subsequent pass"), so each iteration's transfer
+        // overlaps that iteration's compute; the unhidden remainder stalls.
+        // The output write-back and the first-access latency are charged
+        // once per block.
+        let ci_u = layer.in_channels() as u64;
+        let words_per_kz = (c.dram_input_reads + c.dram_weight_reads) / ci_u;
+        let transfer_kz = (words_per_kz as f64 / words_per_cycle).ceil() as u64;
+        let compute_kz = c.compute_cycles / ci_u;
+        let writeback = (c.dram_output_writes as f64 / words_per_cycle).ceil() as u64;
+        let stall = ci_u * transfer_kz.saturating_sub(compute_kz)
+            + writeback.saturating_sub(compute_kz)
+            + arch.dram.latency_cycles;
+        stats.stall_cycles += stall;
+
+        let w = c.compute_cycles as f64;
+        util_w += w;
+        util.lreg += c.lreg_util * w;
+        util.gbuf += c.gbuf_util * w;
+        util.greg += c.greg_util * w;
+        util.pe += (c.useful_macs as f64 / c.issued_slots.max(1) as f64) * w;
+    }
+
+    if util_w > 0.0 {
+        util.lreg /= util_w;
+        util.gbuf /= util_w;
+        util.greg /= util_w;
+        util.pe /= util_w;
+        let lreg_b = (arch.lreg_total_entries() * 2) as f64;
+        let gbuf_b = arch.gbuf_bytes() as f64;
+        let greg_b = arch.greg_bytes as f64;
+        util.memory_overall = (util.lreg * lreg_b + util.gbuf * gbuf_b + util.greg * greg_b)
+            / (lreg_b + gbuf_b + greg_b);
+    }
+    stats.utilization = util;
+    Ok(stats)
+}
+
+/// Runs the *functional* simulation: identical blocking and mapping, but the
+/// MACs are actually performed in Q8.8 with 32-bit accumulation, producing
+/// the layer output.
+///
+/// Returns the output tensor together with the same [`SimStats`] that
+/// [`simulate`] reports.
+///
+/// # Errors
+///
+/// Same conditions as [`simulate`].
+///
+/// # Panics
+///
+/// Panics if the tensor shapes disagree with `layer`.
+pub fn simulate_functional(
+    layer: &ConvLayer,
+    tiling: &Tiling,
+    arch: &ArchConfig,
+    input: &Tensor4<Q8_8>,
+    weights: &Tensor4<Q8_8>,
+) -> Result<(Tensor4<Q8_8>, SimStats), SimError> {
+    assert_eq!(
+        input.shape(),
+        (
+            layer.batch(),
+            layer.in_channels(),
+            layer.in_height(),
+            layer.in_width()
+        ),
+        "input tensor shape does not match layer"
+    );
+    assert_eq!(
+        weights.shape(),
+        (
+            layer.out_channels(),
+            layer.in_channels(),
+            layer.kernel_height(),
+            layer.kernel_width()
+        ),
+        "weight tensor shape does not match layer"
+    );
+
+    let stats = simulate(layer, tiling, arch)?;
+    let mut out = Tensor4::zeros(
+        layer.batch(),
+        layer.out_channels(),
+        layer.output_height(),
+        layer.output_width(),
+    );
+    let pad = layer.padding();
+    let stride = layer.stride();
+
+    for block in block_grid(layer, tiling) {
+        // The block's Psums live in LRegs (Acc32 per slot) for the whole
+        // iteration sequence over kz and kernel taps — exactly the OutR
+        // schedule of Fig. 7.
+        let mut acc = vec![Acc32::ZERO; block.b * block.z * block.y * block.x];
+        for kz in 0..layer.in_channels() {
+            for ky in 0..layer.kernel_height() {
+                for kx in 0..layer.kernel_width() {
+                    // One pass: every Psum of the block updated once.
+                    let mut slot = 0usize;
+                    for ib in 0..block.b {
+                        for iz in 0..block.z {
+                            for iy in 0..block.y {
+                                for ix in 0..block.x {
+                                    let oy = block.y0 + iy;
+                                    let ox = block.x0 + ix;
+                                    let i = block.i0 + ib;
+                                    let oz = block.z0 + iz;
+                                    let yy = (oy * stride + ky) as isize - pad.vertical as isize;
+                                    let xx = (ox * stride + kx) as isize - pad.horizontal as isize;
+                                    if yy >= 0
+                                        && xx >= 0
+                                        && (yy as usize) < layer.in_height()
+                                        && (xx as usize) < layer.in_width()
+                                    {
+                                        let a = input[(i, kz, yy as usize, xx as usize)];
+                                        let w = weights[(oz, kz, ky, kx)];
+                                        acc[slot] = acc[slot].mac(a, w);
+                                    }
+                                    slot += 1;
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        // Write the finished block back to DRAM (saturating to 16 bits).
+        let mut slot = 0usize;
+        for ib in 0..block.b {
+            for iz in 0..block.z {
+                for iy in 0..block.y {
+                    for ix in 0..block.x {
+                        out[(block.i0 + ib, block.z0 + iz, block.y0 + iy, block.x0 + ix)] =
+                            acc[slot].to_q8_8();
+                        slot += 1;
+                    }
+                }
+            }
+        }
+    }
+    Ok((out, stats))
+}
+
+/// The effective on-chip memory of an architecture as an [`OnChipMemory`],
+/// for plugging simulator configs into the analytic bounds.
+#[must_use]
+pub fn effective_memory(arch: &ArchConfig) -> OnChipMemory {
+    OnChipMemory::from_words(arch.effective_onchip_words() as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_layer() -> ConvLayer {
+        ConvLayer::square(1, 8, 12, 4, 3, 1).unwrap()
+    }
+
+    fn small_tiling(layer: &ConvLayer) -> Tiling {
+        Tiling::clamped(layer, 1, 8, 6, 6)
+    }
+
+    #[test]
+    fn block_grid_covers_outputs_exactly() {
+        let layer = small_layer();
+        let tiling = small_tiling(&layer);
+        let blocks = block_grid(&layer, &tiling);
+        let total: u64 = blocks.iter().map(Block::psum_words).sum();
+        assert_eq!(total, layer.output_words());
+    }
+
+    #[test]
+    fn block_grid_handles_non_dividing_tiles() {
+        let layer = small_layer();
+        let tiling = Tiling::clamped(&layer, 1, 5, 5, 5);
+        let blocks = block_grid(&layer, &tiling);
+        let total: u64 = blocks.iter().map(Block::psum_words).sum();
+        assert_eq!(total, layer.output_words());
+        // 8 channels in tiles of 5 -> 2 tiles; 12 in tiles of 5 -> 3.
+        assert_eq!(blocks.len(), 2 * 3 * 3);
+    }
+
+    #[test]
+    fn simulation_counts_match_dataflow_model() {
+        // The simulator's DRAM counters must equal the analytic Eq. 14
+        // traffic for the same tiling.
+        let layer = small_layer();
+        let tiling = small_tiling(&layer);
+        let arch = ArchConfig::example();
+        let stats = simulate(&layer, &tiling, &arch).unwrap();
+        let analytic = dataflow::our_dataflow_traffic(&layer, &tiling);
+        assert_eq!(stats.dram.input_reads, analytic.input_reads);
+        assert_eq!(stats.dram.weight_reads, analytic.weight_reads);
+        assert_eq!(stats.dram.output_writes, analytic.output_writes);
+    }
+
+    #[test]
+    fn weights_read_once_from_gbuf() {
+        // Table IV: GBuf weight reads == DRAM weight reads (ratio 1.00).
+        let layer = small_layer();
+        let stats = simulate(&layer, &small_tiling(&layer), &ArchConfig::example()).unwrap();
+        assert_eq!(stats.gbuf.weight_reads, stats.dram.weight_reads);
+        assert_eq!(stats.gbuf.weight_writes, stats.dram.weight_reads);
+    }
+
+    #[test]
+    fn gbuf_input_reads_include_halos() {
+        // Table IV: input GBuf reads exceed DRAM input reads (halo factor).
+        let layer = small_layer();
+        let stats = simulate(&layer, &small_tiling(&layer), &ArchConfig::example()).unwrap();
+        assert!(stats.gbuf.input_reads >= stats.dram.input_reads);
+        // A 6x6 block split across 16 PE rows has a large per-row halo; the
+        // network-scale halo factor (~1.7x, Table IV) is checked in the
+        // workspace integration tests on realistic layers.
+        assert!(stats.gbuf.input_reads < 8 * stats.dram.input_reads);
+    }
+
+    #[test]
+    fn lreg_writes_at_least_macs() {
+        let layer = small_layer();
+        let stats = simulate(&layer, &small_tiling(&layer), &ArchConfig::example()).unwrap();
+        assert!(stats.reg.lreg_writes >= layer.macs());
+        assert_eq!(stats.useful_macs, layer.macs());
+    }
+
+    #[test]
+    fn functional_matches_acc32_reference() {
+        let layer = small_layer();
+        let input = Tensor4::from_fn(1, 4, 12, 12, |_, c, h, w| {
+            Q8_8::from_f64(((c + h * w) % 7) as f64 * 0.25 - 0.75)
+        });
+        let weights = Tensor4::from_fn(8, 4, 3, 3, |n, c, h, w| {
+            Q8_8::from_f64(((n + c + h + w) % 5) as f64 * 0.125 - 0.25)
+        });
+        let (out, _) = simulate_functional(
+            &layer,
+            &small_tiling(&layer),
+            &ArchConfig::example(),
+            &input,
+            &weights,
+        )
+        .unwrap();
+
+        // Reference: direct Acc32 accumulation in the canonical loop order.
+        let pad = layer.padding();
+        for i in 0..1 {
+            for oz in 0..8 {
+                for oy in 0..12 {
+                    for ox in 0..12 {
+                        let mut acc = Acc32::ZERO;
+                        for kz in 0..4 {
+                            for ky in 0..3 {
+                                for kx in 0..3 {
+                                    let yy = (oy + ky) as isize - pad.vertical as isize;
+                                    let xx = (ox + kx) as isize - pad.horizontal as isize;
+                                    if yy >= 0
+                                        && xx >= 0
+                                        && (yy as usize) < 12
+                                        && (xx as usize) < 12
+                                    {
+                                        acc = acc.mac(
+                                            input[(i, kz, yy as usize, xx as usize)],
+                                            weights[(oz, kz, ky, kx)],
+                                        );
+                                    }
+                                }
+                            }
+                        }
+                        assert_eq!(out[(i, oz, oy, ox)], acc.to_q8_8(), "at {oz},{oy},{ox}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn oversized_weight_tile_rejected() {
+        let layer = ConvLayer::square(1, 512, 8, 8, 3, 1).unwrap();
+        let tiling = Tiling::clamped(&layer, 1, 512, 2, 2);
+        let err = simulate(&layer, &tiling, &ArchConfig::example()).unwrap_err();
+        assert!(matches!(err, SimError::WeightTileTooLarge { .. }));
+    }
+
+    #[test]
+    fn oversized_input_tile_rejected() {
+        let layer = ConvLayer::square(1, 8, 64, 8, 3, 1).unwrap();
+        let tiling = Tiling::clamped(&layer, 1, 1, 64, 64);
+        let err = simulate(&layer, &tiling, &ArchConfig::example()).unwrap_err();
+        assert!(matches!(
+            err,
+            SimError::InputTileTooLarge { .. } | SimError::Unmappable(_)
+        ));
+    }
+
+    #[test]
+    fn stall_cycles_grow_with_slower_dram() {
+        let layer = small_layer();
+        let tiling = small_tiling(&layer);
+        let fast = ArchConfig::example();
+        let mut slow = fast;
+        slow.dram.bandwidth_bytes_per_s = 1e8; // 64x slower
+        let s_fast = simulate(&layer, &tiling, &fast).unwrap();
+        let s_slow = simulate(&layer, &tiling, &slow).unwrap();
+        assert!(s_slow.stall_cycles > s_fast.stall_cycles);
+        assert_eq!(s_slow.compute_cycles, s_fast.compute_cycles);
+    }
+
+    #[test]
+    fn utilizations_in_unit_interval() {
+        let layer = small_layer();
+        let stats = simulate(&layer, &small_tiling(&layer), &ArchConfig::example()).unwrap();
+        let u = stats.utilization;
+        for v in [u.gbuf, u.greg, u.lreg, u.memory_overall, u.pe] {
+            assert!((0.0..=1.0).contains(&v), "utilization out of range: {v}");
+        }
+        assert!(u.pe > 0.5, "PE utilization should be high, got {}", u.pe);
+    }
+}

@@ -1,0 +1,437 @@
+//! Signal-level microarchitecture simulation of one iteration (Fig. 11).
+//!
+//! The counting engine ([`simulate`](crate::simulate)) and the functional
+//! walk operate at block granularity. This module drops one level lower and
+//! executes a single iteration the way the *hardware* does, cycle by cycle:
+//!
+//! * the WGBuf feeds the weight GReg rows once per pass (`z'` words, one
+//!   kernel tap of every resident kernel);
+//! * the IGBuf feeds each PE row's input GReg segment (the sub-tile window,
+//!   or one kernel row's worth under the streaming fallback);
+//! * every cycle, each PE row's input MUX selects one window element, each
+//!   PE column's weight MUX selects one of the `z'` weights with the
+//!   stride-`q` channel interleave, and every PE performs one MAC into the
+//!   LReg addressed by the controller;
+//! * all PEs run in lockstep: the same MUX selections and the same LReg
+//!   address everywhere (Section V's "all PEs operate synchronously").
+//!
+//! The tests drive whole layers through this path and require **bit-exact**
+//! agreement with [`simulate_functional`](crate::simulate_functional) and
+//! **count-exact** agreement with the block engine's GReg/LReg counters —
+//! i.e. the reported communication volumes describe a schedule the Fig. 11
+//! structure can really execute.
+
+use conv_model::fixed::{Acc32, Q8_8};
+use conv_model::{ConvLayer, Tensor4};
+
+use crate::config::ArchConfig;
+use crate::mapping::{map_block, Block, Mapping};
+use crate::SimError;
+
+/// Access counters collected by the signal-level model for one iteration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct IterationTrace {
+    /// Words written into weight GReg rows (all physical copies).
+    pub greg_weight_writes: u64,
+    /// Words written into input GReg segments (all physical copies).
+    pub greg_input_writes: u64,
+    /// Input-MUX selections that fed at least one PE.
+    pub input_mux_selects: u64,
+    /// Weight-MUX selections that fed at least one PE.
+    pub weight_mux_selects: u64,
+    /// LReg writes (one per PE per cycle, lockstep).
+    pub lreg_writes: u64,
+    /// Cycles the iteration took.
+    pub cycles: u64,
+}
+
+/// The per-PE-row state: one input GReg segment holding the sub-tile window
+/// for the current input channel (padded positions hold zero, exactly like
+/// the real segment, which is loaded with materialised zeros).
+struct Segment {
+    height: usize,
+    width: usize,
+    data: Vec<Q8_8>,
+}
+
+impl Segment {
+    fn load(
+        layer: &ConvLayer,
+        input: &Tensor4<Q8_8>,
+        image: usize,
+        oy0: usize,
+        ox0: usize,
+        ys: usize,
+        xs: usize,
+    ) -> Segment {
+        let (width, height) = layer.input_footprint(xs, ys);
+        let oy = (oy0 * layer.stride()) as isize - layer.padding().vertical as isize;
+        let ox = (ox0 * layer.stride()) as isize - layer.padding().horizontal as isize;
+        let mut data = Vec::with_capacity(width * height);
+        for dy in 0..height {
+            for dx in 0..width {
+                let iy = oy + dy as isize;
+                let ix = ox + dx as isize;
+                let v = if iy >= 0
+                    && ix >= 0
+                    && (iy as usize) < layer.in_height()
+                    && (ix as usize) < layer.in_width()
+                {
+                    input[(image, 0, iy as usize, ix as usize)]
+                } else {
+                    Q8_8::ZERO
+                };
+                data.push(v);
+            }
+        }
+        Segment {
+            height,
+            width,
+            data,
+        }
+    }
+
+    /// The input MUX: selects window element for output position
+    /// `(sy, sx)` at kernel tap `(ky, kx)`.
+    fn select(&self, layer: &ConvLayer, sy: usize, sx: usize, ky: usize, kx: usize) -> Q8_8 {
+        let dy = sy * layer.stride() + ky;
+        let dx = sx * layer.stride() + kx;
+        debug_assert!(dy < self.height && dx < self.width);
+        self.data[dy * self.width + dx]
+    }
+}
+
+/// Executes one iteration (one `kz`, all `Wk·Hk` passes) of a block at
+/// signal level, accumulating into `psums` (row-major over the block's
+/// `b·z·y·x` Psum slots, matching the block engine's layout).
+///
+/// `channel_input` must be the single input channel `kz` of the layer
+/// (shape `B×1×Hi×Wi`); `tap_weights[ky][kx]` must hold the `z'` resident
+/// weights of tap `(ky, kx)` in block-channel order.
+///
+/// # Errors
+///
+/// Returns [`SimError`] if the block cannot be mapped.
+///
+/// # Panics
+///
+/// Panics on tensor-shape mismatches.
+#[allow(clippy::too_many_arguments)]
+pub fn run_iteration(
+    arch: &ArchConfig,
+    layer: &ConvLayer,
+    block: &Block,
+    channel_input: &Tensor4<Q8_8>,
+    tap_weights: &[Vec<Q8_8>],
+    psums: &mut [Acc32],
+) -> Result<IterationTrace, SimError> {
+    let mapping: Mapping = map_block(arch, layer, block)?;
+    assert_eq!(
+        tap_weights.len(),
+        layer.kernel_height() * layer.kernel_width(),
+        "one weight vector per kernel tap"
+    );
+    assert_eq!(psums.len(), block.psum_words() as usize);
+
+    let mut trace = IterationTrace::default();
+    let weight_copies = (arch.pe_rows / arch.group_rows) as u64;
+    let input_copies = (arch.pe_cols / arch.group_cols) as u64;
+
+    // Row assignments: enumerate the (image, y-subtile, x-subtile) grid.
+    // Rows beyond the grid hold out-of-range (idle-padding) work.
+    struct RowWork {
+        image_base: usize,
+        oy0: usize,
+        ox0: usize,
+    }
+    let mut rows: Vec<RowWork> = Vec::with_capacity(arch.pe_rows);
+    for rb in 0..mapping.pb {
+        for ry in 0..mapping.py {
+            for rx in 0..mapping.px {
+                rows.push(RowWork {
+                    image_base: rb * mapping.images_per_row,
+                    oy0: block.y0 + ry * mapping.ys,
+                    ox0: block.x0 + rx * mapping.xs,
+                });
+            }
+        }
+    }
+
+    let full_window = mapping.segment_words == mapping.segment_stream_words;
+    let zs = mapping.zs;
+    let cols_used = block.z.div_ceil(zs).min(arch.pe_cols);
+
+    // Per-row segments (loaded once per iteration when the window fits;
+    // reloaded per kernel row otherwise). For counting we charge the loads
+    // where they happen.
+    let mut segments: Vec<Vec<Segment>> = Vec::new();
+    let load_segments = |rows: &[RowWork], _ky: usize| -> Vec<Vec<Segment>> {
+        let mut all = Vec::with_capacity(rows.len());
+        for row in rows {
+            let mut per_image = Vec::with_capacity(mapping.images_per_row);
+            for i in 0..mapping.images_per_row {
+                // Idle rows (beyond the block's images) load a valid but
+                // unused window; clamp every coordinate into range.
+                let local_image = (row.image_base + i).min(block.b - 1);
+                per_image.push(Segment::load(
+                    layer,
+                    channel_input,
+                    local_image,
+                    row.oy0.min(layer.output_height() - 1),
+                    row.ox0.min(layer.output_width() - 1),
+                    mapping.ys,
+                    mapping.xs,
+                ));
+            }
+            all.push(per_image);
+        }
+        all
+    };
+
+    if full_window {
+        segments = load_segments(&rows, 0);
+        trace.greg_input_writes += rows.len() as u64 * mapping.segment_words as u64 * input_copies;
+    }
+
+    for ky in 0..layer.kernel_height() {
+        if !full_window {
+            // Streaming fallback: reload the rows needed by this kernel row.
+            segments = load_segments(&rows, ky);
+            trace.greg_input_writes +=
+                rows.len() as u64 * mapping.segment_words as u64 * input_copies;
+        }
+        for kx in 0..layer.kernel_width() {
+            let tap = &tap_weights[ky * layer.kernel_width() + kx];
+            assert_eq!(tap.len(), block.z, "tap weights cover the block's channels");
+            // Load the weight GReg rows for this pass.
+            trace.greg_weight_writes += block.z as u64 * weight_copies;
+
+            // One pass: positions × zs lockstep cycles.
+            for pos in 0..mapping.positions {
+                let img = pos / (mapping.ys * mapping.xs);
+                let rem = pos % (mapping.ys * mapping.xs);
+                let sy = rem / mapping.xs;
+                let sx = rem % mapping.xs;
+                for ch in 0..zs {
+                    trace.cycles += 1;
+                    trace.input_mux_selects += rows.len() as u64;
+                    trace.weight_mux_selects += cols_used as u64;
+                    trace.lreg_writes += (rows.len() * cols_used) as u64;
+
+                    for (r, row) in rows.iter().enumerate() {
+                        let oy = row.oy0 + sy;
+                        let ox = row.ox0 + sx;
+                        let image_idx = row.image_base + img;
+                        // Out-of-range slots are idle-padding work: the PE
+                        // still cycles (counted above) but owns no Psum.
+                        if oy >= block.y0 + block.y
+                            || ox >= block.x0 + block.x
+                            || image_idx >= block.b
+                        {
+                            continue;
+                        }
+                        let a = segments[r][img].select(layer, sy, sx, ky, kx);
+                        for col in 0..cols_used {
+                            // Stride-q channel interleave (Fig. 11).
+                            let iz = ch * cols_used + col;
+                            if iz >= block.z {
+                                continue;
+                            }
+                            let w = tap[iz];
+                            let slot = (((image_idx * block.z) + iz) * block.y + (oy - block.y0))
+                                * block.x
+                                + (ox - block.x0);
+                            psums[slot] = psums[slot].mac(a, w);
+                        }
+                    }
+                }
+            }
+        }
+    }
+    Ok(trace)
+}
+
+/// Runs a whole layer through the signal-level path: every block, every
+/// input channel, every pass — returning the output tensor and the summed
+/// iteration traces.
+///
+/// This is slow (it really cycles the array); intended for validation on
+/// small layers.
+///
+/// # Errors
+///
+/// Returns [`SimError`] if any block cannot be mapped.
+///
+/// # Panics
+///
+/// Panics on tensor-shape mismatches.
+pub fn run_layer_microarch(
+    arch: &ArchConfig,
+    layer: &ConvLayer,
+    tiling: &dataflow::Tiling,
+    input: &Tensor4<Q8_8>,
+    weights: &Tensor4<Q8_8>,
+) -> Result<(Tensor4<Q8_8>, IterationTrace), SimError> {
+    let mut out = Tensor4::zeros(
+        layer.batch(),
+        layer.out_channels(),
+        layer.output_height(),
+        layer.output_width(),
+    );
+    let mut total = IterationTrace::default();
+
+    for block in crate::block_grid(layer, tiling) {
+        let mut psums = vec![Acc32::ZERO; block.psum_words() as usize];
+        for kz in 0..layer.in_channels() {
+            // The IGBuf slice: channel kz of the block's images.
+            let channel_input = Tensor4::from_fn(
+                block.b,
+                1,
+                layer.in_height(),
+                layer.in_width(),
+                |i, _, h, w| input[(block.i0 + i, kz, h, w)],
+            );
+            // The WGBuf rows: per tap, the block's z' weights.
+            let mut tap_weights = Vec::with_capacity(layer.kernel_height() * layer.kernel_width());
+            for ky in 0..layer.kernel_height() {
+                for kx in 0..layer.kernel_width() {
+                    tap_weights.push(
+                        (0..block.z)
+                            .map(|j| weights[(block.z0 + j, kz, ky, kx)])
+                            .collect::<Vec<Q8_8>>(),
+                    );
+                }
+            }
+            let trace = run_iteration(
+                arch,
+                layer,
+                &block,
+                &channel_input,
+                &tap_weights,
+                &mut psums,
+            )?;
+            total.greg_weight_writes += trace.greg_weight_writes;
+            total.greg_input_writes += trace.greg_input_writes;
+            total.input_mux_selects += trace.input_mux_selects;
+            total.weight_mux_selects += trace.weight_mux_selects;
+            total.lreg_writes += trace.lreg_writes;
+            total.cycles += trace.cycles;
+        }
+        // Write-back.
+        let mut slot = 0usize;
+        for i in 0..block.b {
+            for z in 0..block.z {
+                for y in 0..block.y {
+                    for x in 0..block.x {
+                        out[(block.i0 + i, block.z0 + z, block.y0 + y, block.x0 + x)] =
+                            psums[slot].to_q8_8();
+                        slot += 1;
+                    }
+                }
+            }
+        }
+    }
+    Ok((out, total))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{simulate, simulate_functional};
+    use dataflow::Tiling;
+
+    fn fixture() -> (ConvLayer, Tiling, ArchConfig, Tensor4<Q8_8>, Tensor4<Q8_8>) {
+        let layer = ConvLayer::square(2, 8, 10, 3, 3, 1).unwrap();
+        let tiling = Tiling::clamped(&layer, 1, 8, 5, 5);
+        let arch = ArchConfig::example();
+        let input = Tensor4::from_fn(2, 3, 10, 10, |n, c, h, w| {
+            Q8_8::from_f64((((n + 1) * (c + 2) * (h + 3) * (w + 5)) % 13) as f64 * 0.25 - 1.5)
+        });
+        let weights = Tensor4::from_fn(8, 3, 3, 3, |n, c, h, w| {
+            Q8_8::from_f64((((n + 2) * (c + 1) + h * w) % 7) as f64 * 0.125 - 0.375)
+        });
+        (layer, tiling, arch, input, weights)
+    }
+
+    #[test]
+    fn microarch_matches_functional_simulation() {
+        let (layer, tiling, arch, input, weights) = fixture();
+        let (micro_out, _) = run_layer_microarch(&arch, &layer, &tiling, &input, &weights).unwrap();
+        let (func_out, _) = simulate_functional(&layer, &tiling, &arch, &input, &weights).unwrap();
+        assert_eq!(
+            micro_out, func_out,
+            "signal-level and block-level outputs differ"
+        );
+    }
+
+    #[test]
+    fn microarch_counters_match_block_engine() {
+        let (layer, tiling, arch, input, weights) = fixture();
+        let (_, trace) = run_layer_microarch(&arch, &layer, &tiling, &input, &weights).unwrap();
+        let stats = simulate(&layer, &tiling, &arch).unwrap();
+        assert_eq!(trace.lreg_writes, stats.reg.lreg_writes, "LReg writes");
+        assert_eq!(
+            trace.greg_weight_writes, stats.reg.greg_weight_writes,
+            "GReg weight writes"
+        );
+        assert_eq!(
+            trace.greg_input_writes, stats.reg.greg_input_writes,
+            "GReg input writes"
+        );
+        assert_eq!(trace.cycles, stats.compute_cycles, "compute cycles");
+    }
+
+    #[test]
+    fn microarch_handles_boundary_blocks() {
+        // Non-dividing tiling: boundary blocks have clamped sizes and idle
+        // padding slots; outputs must still be exact.
+        let layer = ConvLayer::square(1, 5, 9, 2, 3, 1).unwrap();
+        let tiling = Tiling::clamped(&layer, 1, 3, 4, 4);
+        let arch = ArchConfig::example();
+        let input = Tensor4::from_fn(1, 2, 9, 9, |_, c, h, w| {
+            Q8_8::from_f64(((c + h + 2 * w) % 5) as f64 * 0.5 - 1.0)
+        });
+        let weights = Tensor4::from_fn(5, 2, 3, 3, |n, c, h, w| {
+            Q8_8::from_f64(((n * c + h * w) % 3) as f64 * 0.25)
+        });
+        let (micro_out, _) = run_layer_microarch(&arch, &layer, &tiling, &input, &weights).unwrap();
+        let (func_out, _) = simulate_functional(&layer, &tiling, &arch, &input, &weights).unwrap();
+        assert_eq!(micro_out, func_out);
+    }
+
+    #[test]
+    fn microarch_handles_stride_and_padding() {
+        let layer = ConvLayer::builder()
+            .batch(1)
+            .out_channels(4)
+            .in_channels(2)
+            .input(9, 9)
+            .kernel(3, 3)
+            .stride(2)
+            .padding(conv_model::Padding::same(3))
+            .build()
+            .unwrap();
+        let tiling = Tiling::clamped(&layer, 1, 4, 3, 3);
+        let arch = ArchConfig::example();
+        let input = Tensor4::from_fn(1, 2, 9, 9, |_, c, h, w| {
+            Q8_8::from_f64(((3 * c + 2 * h + w) % 7) as f64 * 0.25 - 0.75)
+        });
+        let weights = Tensor4::from_fn(4, 2, 3, 3, |n, c, h, w| {
+            Q8_8::from_f64(((n + c + h + w) % 4) as f64 * 0.5 - 0.5)
+        });
+        let (micro_out, _) = run_layer_microarch(&arch, &layer, &tiling, &input, &weights).unwrap();
+        let (func_out, _) = simulate_functional(&layer, &tiling, &arch, &input, &weights).unwrap();
+        assert_eq!(micro_out, func_out);
+    }
+
+    #[test]
+    fn lockstep_mux_counts() {
+        // Input MUXes select once per row per cycle; weight MUXes once per
+        // used column per cycle.
+        let (layer, tiling, arch, input, weights) = fixture();
+        let (_, trace) = run_layer_microarch(&arch, &layer, &tiling, &input, &weights).unwrap();
+        assert_eq!(trace.input_mux_selects % trace.cycles, 0);
+        assert_eq!(trace.weight_mux_selects % trace.cycles, 0);
+        assert_eq!(trace.input_mux_selects / trace.cycles, arch.pe_rows as u64);
+    }
+}

@@ -1,0 +1,247 @@
+//! Access counters and derived metrics collected by the simulator.
+
+use conv_model::BYTES_PER_WORD;
+use serde::{Deserialize, Serialize};
+
+/// DRAM access counters in 16-bit words.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct DramCounters {
+    /// Input words read.
+    pub input_reads: u64,
+    /// Weight words read.
+    pub weight_reads: u64,
+    /// Output words written.
+    pub output_writes: u64,
+}
+
+impl DramCounters {
+    /// Total DRAM words moved.
+    #[must_use]
+    pub fn total_words(&self) -> u64 {
+        self.input_reads + self.weight_reads + self.output_writes
+    }
+
+    /// Total DRAM bytes moved.
+    #[must_use]
+    pub fn total_bytes(&self) -> u64 {
+        self.total_words() * BYTES_PER_WORD
+    }
+}
+
+/// GBuf (on-chip SRAM) access counters in 16-bit words.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct GbufCounters {
+    /// Words written into the input GBuf (from DRAM).
+    pub input_writes: u64,
+    /// Words read from the input GBuf (to input GRegs).
+    pub input_reads: u64,
+    /// Words written into the weight GBuf (from DRAM).
+    pub weight_writes: u64,
+    /// Words read from the weight GBuf (to weight GRegs).
+    pub weight_reads: u64,
+}
+
+impl GbufCounters {
+    /// Total GBuf accesses (reads + writes).
+    #[must_use]
+    pub fn total_words(&self) -> u64 {
+        self.input_writes + self.input_reads + self.weight_writes + self.weight_reads
+    }
+
+    /// Total GBuf bytes.
+    #[must_use]
+    pub fn total_bytes(&self) -> u64 {
+        self.total_words() * BYTES_PER_WORD
+    }
+}
+
+/// Register access counters. Following Section IV-B2, register
+/// *communication* is counted in writes; reads feed combinational MUX/MAC
+/// paths.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct RegCounters {
+    /// Psum writes into PE-local LRegs (one per issued MAC slot).
+    pub lreg_writes: u64,
+    /// Input words written into GReg segments (including duplicated copies).
+    pub greg_input_writes: u64,
+    /// Weight words written into GReg rows (including duplicated copies).
+    pub greg_weight_writes: u64,
+}
+
+impl RegCounters {
+    /// Total register writes — the Fig. 17 "Reg access volume".
+    #[must_use]
+    pub fn total_writes(&self) -> u64 {
+        self.lreg_writes + self.greg_input_writes + self.greg_weight_writes
+    }
+
+    /// Total register bytes written.
+    #[must_use]
+    pub fn total_bytes(&self) -> u64 {
+        self.total_writes() * BYTES_PER_WORD
+    }
+}
+
+/// Average utilization figures in `[0, 1]` (Fig. 20).
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct Utilization {
+    /// Fraction of GBuf entries holding live data, averaged over iterations.
+    pub gbuf: f64,
+    /// Fraction of GReg bytes holding live data.
+    pub greg: f64,
+    /// Fraction of LReg entries holding live Psums.
+    pub lreg: f64,
+    /// Capacity-weighted overall on-chip memory utilization.
+    pub memory_overall: f64,
+    /// Useful MACs over issued PE slots.
+    pub pe: f64,
+}
+
+/// Everything the simulator measures for one layer execution.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct SimStats {
+    /// DRAM traffic.
+    pub dram: DramCounters,
+    /// GBuf traffic.
+    pub gbuf: GbufCounters,
+    /// Register traffic.
+    pub reg: RegCounters,
+    /// Useful multiply-accumulates performed.
+    pub useful_macs: u64,
+    /// PE×cycle slots issued (lockstep execution, including padding work).
+    pub issued_slots: u64,
+    /// Cycles spent computing.
+    pub compute_cycles: u64,
+    /// Cycles stalled waiting for DRAM (not overlapped by compute).
+    pub stall_cycles: u64,
+    /// Number of output blocks (outer iterations of Fig. 7).
+    pub blocks: u64,
+    /// Number of GBuf-load iterations (blocks × input channels at k = 1).
+    pub iterations: u64,
+    /// Utilization averages.
+    pub utilization: Utilization,
+}
+
+impl SimStats {
+    /// Total execution cycles (compute + unoverlapped memory stalls).
+    #[must_use]
+    pub fn total_cycles(&self) -> u64 {
+        self.compute_cycles + self.stall_cycles
+    }
+
+    /// Execution time in seconds at the given core frequency.
+    #[must_use]
+    pub fn seconds(&self, core_freq_hz: f64) -> f64 {
+        self.total_cycles() as f64 / core_freq_hz
+    }
+
+    /// Adds another layer's stats into this one (utilizations are averaged
+    /// weighted by compute cycles).
+    #[must_use]
+    pub fn combined(&self, other: &SimStats) -> SimStats {
+        let w1 = self.compute_cycles as f64;
+        let w2 = other.compute_cycles as f64;
+        let wt = (w1 + w2).max(1.0);
+        let avg = |a: f64, b: f64| (a * w1 + b * w2) / wt;
+        SimStats {
+            dram: DramCounters {
+                input_reads: self.dram.input_reads + other.dram.input_reads,
+                weight_reads: self.dram.weight_reads + other.dram.weight_reads,
+                output_writes: self.dram.output_writes + other.dram.output_writes,
+            },
+            gbuf: GbufCounters {
+                input_writes: self.gbuf.input_writes + other.gbuf.input_writes,
+                input_reads: self.gbuf.input_reads + other.gbuf.input_reads,
+                weight_writes: self.gbuf.weight_writes + other.gbuf.weight_writes,
+                weight_reads: self.gbuf.weight_reads + other.gbuf.weight_reads,
+            },
+            reg: RegCounters {
+                lreg_writes: self.reg.lreg_writes + other.reg.lreg_writes,
+                greg_input_writes: self.reg.greg_input_writes + other.reg.greg_input_writes,
+                greg_weight_writes: self.reg.greg_weight_writes + other.reg.greg_weight_writes,
+            },
+            useful_macs: self.useful_macs + other.useful_macs,
+            issued_slots: self.issued_slots + other.issued_slots,
+            compute_cycles: self.compute_cycles + other.compute_cycles,
+            stall_cycles: self.stall_cycles + other.stall_cycles,
+            blocks: self.blocks + other.blocks,
+            iterations: self.iterations + other.iterations,
+            utilization: Utilization {
+                gbuf: avg(self.utilization.gbuf, other.utilization.gbuf),
+                greg: avg(self.utilization.greg, other.utilization.greg),
+                lreg: avg(self.utilization.lreg, other.utilization.lreg),
+                memory_overall: avg(
+                    self.utilization.memory_overall,
+                    other.utilization.memory_overall,
+                ),
+                pe: avg(self.utilization.pe, other.utilization.pe),
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_total() {
+        let d = DramCounters {
+            input_reads: 3,
+            weight_reads: 4,
+            output_writes: 5,
+        };
+        assert_eq!(d.total_words(), 12);
+        assert_eq!(d.total_bytes(), 24);
+        let g = GbufCounters {
+            input_writes: 1,
+            input_reads: 2,
+            weight_writes: 3,
+            weight_reads: 4,
+        };
+        assert_eq!(g.total_words(), 10);
+        let r = RegCounters {
+            lreg_writes: 100,
+            greg_input_writes: 10,
+            greg_weight_writes: 1,
+        };
+        assert_eq!(r.total_writes(), 111);
+    }
+
+    #[test]
+    fn combine_sums_and_averages() {
+        let a = SimStats {
+            compute_cycles: 100,
+            useful_macs: 50,
+            utilization: Utilization {
+                pe: 1.0,
+                ..Utilization::default()
+            },
+            ..SimStats::default()
+        };
+        let b = SimStats {
+            compute_cycles: 300,
+            useful_macs: 70,
+            utilization: Utilization {
+                pe: 0.5,
+                ..Utilization::default()
+            },
+            ..SimStats::default()
+        };
+        let c = a.combined(&b);
+        assert_eq!(c.compute_cycles, 400);
+        assert_eq!(c.useful_macs, 120);
+        // Weighted: (1.0*100 + 0.5*300)/400 = 0.625
+        assert!((c.utilization.pe - 0.625).abs() < 1e-12);
+    }
+
+    #[test]
+    fn seconds_at_frequency() {
+        let s = SimStats {
+            compute_cycles: 500_000_000,
+            stall_cycles: 0,
+            ..SimStats::default()
+        };
+        assert!((s.seconds(500e6) - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,175 @@
+//! Property and cross-implementation tests of the cycle simulator.
+
+use accel_sim::{simulate, ArchConfig};
+use conv_model::{ConvLayer, Padding};
+use dataflow::Tiling;
+use proptest::prelude::*;
+
+fn feasible_case() -> impl Strategy<Value = (ConvLayer, Tiling)> {
+    (
+        1usize..=2,
+        1usize..=12,
+        4usize..=16,
+        1usize..=6,
+        1usize..=3,
+        1usize..=2,
+        prop::bool::ANY,
+        1usize..=2,
+        1usize..=12,
+        1usize..=8,
+        1usize..=8,
+    )
+        .prop_filter_map(
+            "layer valid & tiling feasible",
+            |(b, co, size, ci, k, s, pad, tb, tz, ty, tx)| {
+                let layer = ConvLayer::builder()
+                    .batch(b)
+                    .out_channels(co)
+                    .in_channels(ci)
+                    .input(size, size)
+                    .kernel(k, k)
+                    .stride(s)
+                    .padding(if pad {
+                        Padding::same(k)
+                    } else {
+                        Padding::none()
+                    })
+                    .build()
+                    .ok()?;
+                let tiling = Tiling::clamped(&layer, tb, tz, ty, tx);
+                Some((layer, tiling))
+            },
+        )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn conservation_laws((layer, tiling) in feasible_case()) {
+        let arch = ArchConfig::example();
+        let Ok(stats) = simulate(&layer, &tiling, &arch) else {
+            // Structurally infeasible tilings are allowed to error.
+            return Ok(());
+        };
+        // Useful MACs are exactly the layer's MACs.
+        prop_assert_eq!(stats.useful_macs, layer.macs());
+        // Lockstep execution can only add work, never lose it.
+        prop_assert!(stats.issued_slots >= stats.useful_macs);
+        // Every output written exactly once.
+        prop_assert_eq!(stats.dram.output_writes, layer.output_words());
+        // Weights: DRAM, GBuf-in, GBuf-out all equal (read-once chain).
+        prop_assert_eq!(stats.gbuf.weight_writes, stats.dram.weight_reads);
+        prop_assert_eq!(stats.gbuf.weight_reads, stats.dram.weight_reads);
+        // Input halos only ever amplify traffic — for dense windows. With
+        // stride > kernel the block-level DRAM fetch is a contiguous range
+        // (Eq. 14's x'' = D(x−1)+Wk includes skipped pixels) while the
+        // per-row segments load only live words, so the inequality flips.
+        if layer.stride() <= layer.kernel_width().min(layer.kernel_height()) {
+            prop_assert!(stats.gbuf.input_reads >= stats.dram.input_reads);
+        }
+        // GReg duplication multiplies GBuf reads by the group-column count.
+        let copies = (arch.pe_cols / arch.group_cols) as u64;
+        prop_assert_eq!(stats.reg.greg_input_writes, stats.gbuf.input_reads * copies);
+        // LReg writes == issued slots (one Psum write per PE per cycle).
+        prop_assert_eq!(stats.reg.lreg_writes, stats.issued_slots);
+        // Cycle accounting is consistent.
+        prop_assert_eq!(stats.total_cycles(), stats.compute_cycles + stats.stall_cycles);
+        // Utilizations stay in [0, 1].
+        let u = stats.utilization;
+        for v in [u.gbuf, u.greg, u.lreg, u.memory_overall, u.pe] {
+            prop_assert!((0.0..=1.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn faster_dram_never_increases_stalls((layer, tiling) in feasible_case()) {
+        let slow = ArchConfig::example();
+        let mut fast = slow;
+        fast.dram.bandwidth_bytes_per_s *= 4.0;
+        let (Ok(s_slow), Ok(s_fast)) = (
+            simulate(&layer, &tiling, &slow),
+            simulate(&layer, &tiling, &fast),
+        ) else {
+            return Ok(());
+        };
+        prop_assert!(s_fast.stall_cycles <= s_slow.stall_cycles);
+        prop_assert_eq!(s_fast.compute_cycles, s_slow.compute_cycles);
+        prop_assert_eq!(s_fast.dram, s_slow.dram);
+    }
+}
+
+#[test]
+fn all_implementations_run_every_vgg_layer() {
+    let net = conv_model::workloads::vgg16(3);
+    for index in 1..=5 {
+        let arch = ArchConfig::implementation(index);
+        for named in net.conv_layers() {
+            let tiling = clb_core_plan(&named.layer, &arch);
+            let stats = simulate(&named.layer, &tiling, &arch)
+                .unwrap_or_else(|e| panic!("implem {index} {}: {e}", named.name));
+            assert_eq!(stats.useful_macs, named.layer.macs());
+            assert!(stats.utilization.pe > 0.5, "implem {index} {}", named.name);
+        }
+    }
+}
+
+/// Minimal local re-implementation of the planner's feasibility scan so this
+/// crate's tests do not depend on `clb-core` (which depends on this crate).
+fn clb_core_plan(layer: &ConvLayer, arch: &ArchConfig) -> Tiling {
+    use accel_sim::mapping::{map_block, Block};
+    let mut best: Option<(u64, Tiling)> = None;
+    for b in 1..=layer.batch() {
+        for &z in &dataflow::candidates(layer.out_channels()) {
+            if z > arch.wgbuf_entries {
+                continue;
+            }
+            for &y in &dataflow::candidates(layer.output_height()) {
+                for &x in &dataflow::candidates(layer.output_width()) {
+                    let t = Tiling { b, z, y, x };
+                    let (xh, yh) = layer.input_footprint(t.x, t.y);
+                    if t.b * xh * yh > arch.igbuf_entries {
+                        continue;
+                    }
+                    let block = Block {
+                        i0: 0,
+                        b: t.b,
+                        z0: 0,
+                        z: t.z,
+                        y0: 0,
+                        y: t.y,
+                        x0: 0,
+                        x: t.x,
+                    };
+                    if map_block(arch, layer, &block).is_err() {
+                        continue;
+                    }
+                    let q = dataflow::our_dataflow_traffic(layer, &t).total_words();
+                    match best {
+                        Some((bq, _)) if bq <= q => {}
+                        _ => best = Some((q, t)),
+                    }
+                }
+            }
+        }
+    }
+    best.expect("feasible tiling exists").1
+}
+
+#[test]
+fn bigger_arrays_do_not_change_dram_traffic() {
+    // DRAM traffic depends on the tiling, not the PE count: implementations
+    // 1-3 share the same memory class and should see identical DRAM volumes
+    // for identical tilings.
+    let layer = ConvLayer::square(3, 256, 56, 128, 3, 1).unwrap();
+    let t = Tiling::clamped(&layer, 1, 64, 8, 28);
+    let mut volumes = Vec::new();
+    for index in 1..=3 {
+        let arch = ArchConfig::implementation(index);
+        if let Ok(stats) = simulate(&layer, &t, &arch) {
+            volumes.push(stats.dram.total_words());
+        }
+    }
+    assert!(volumes.len() >= 2);
+    assert!(volumes.windows(2).all(|w| w[0] == w[1]), "{volumes:?}");
+}

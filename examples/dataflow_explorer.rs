@@ -1,0 +1,80 @@
+//! Dataflow explorer: compare all eight dataflows on a custom layer across
+//! a range of on-chip memory sizes.
+//!
+//! ```text
+//! cargo run --release --example dataflow_explorer [Co] [size] [Ci] [k] [stride]
+//! ```
+//!
+//! Defaults to VGG-16 conv4_1 (512 channels on a 28×28 map from 256).
+
+use clb::prelude::*;
+use dataflow::{found_minimum, search_dataflow};
+
+fn arg(n: usize, default: usize) -> usize {
+    std::env::args()
+        .nth(n)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(default)
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let co = arg(1, 512);
+    let size = arg(2, 28);
+    let ci = arg(3, 256);
+    let k = arg(4, 3);
+    let stride = arg(5, 1);
+    let layer = ConvLayer::square(3, co, size, ci, k, stride)?;
+    println!("exploring {layer} (R = {})\n", layer.window_reuse());
+
+    print!("{:<16}", "memory:");
+    let sizes = [16.0, 32.0, 64.0, 128.0, 256.0];
+    for kib in sizes {
+        print!(" {:>9}", format!("{kib}KiB"));
+    }
+    println!();
+
+    print!("{:<16}", "lower bound");
+    for kib in sizes {
+        let mem = OnChipMemory::from_kib(kib);
+        print!(" {:>9.2}", clb::bound::dram_bound_bytes(&layer, mem) / 1e6);
+    }
+    println!("  (MB)");
+
+    print!("{:<16}", "found minimum");
+    for kib in sizes {
+        let mem = OnChipMemory::from_kib(kib);
+        print!(
+            " {:>9.2}",
+            found_minimum(&layer, mem).traffic.total_bytes() as f64 / 1e6
+        );
+    }
+    println!();
+
+    for kind in DataflowKind::ALL {
+        print!("{:<16}", kind.name());
+        for kib in sizes {
+            let mem = OnChipMemory::from_kib(kib);
+            match search_dataflow(kind, &layer, mem) {
+                Some(c) => print!(" {:>9.2}", c.traffic.total_bytes() as f64 / 1e6),
+                None => print!(" {:>9}", "-"),
+            }
+        }
+        println!();
+    }
+
+    // Show the chosen tiling of our dataflow at 64 KiB and its balance.
+    let mem = OnChipMemory::from_kib(64.0);
+    let ours = search_dataflow(DataflowKind::Ours, &layer, mem).unwrap();
+    println!(
+        "\nour tiling at 64 KiB: {} (u = {}, R*z = {})",
+        ours.tiling,
+        ours.tiling.u(),
+        layer.window_reuse() * ours.tiling.z as f64
+    );
+    println!(
+        "input reads {:.2} MB vs weight reads {:.2} MB (balanced loading, Section IV-A)",
+        ours.traffic.input_reads as f64 * 2.0 / 1e6,
+        ours.traffic.weight_reads as f64 * 2.0 / 1e6
+    );
+    Ok(())
+}

@@ -1,0 +1,81 @@
+//! Design methodology demo (Section V): derive an accelerator configuration
+//! from the theory — Psum budget + optimality conditions → GBuf/LReg sizes —
+//! and check it against the paper's hand-built example.
+//!
+//! ```text
+//! cargo run --release --example design_methodology [pe_rows] [pe_cols] [psum_kb]
+//! ```
+
+use clb::core::{derive_config, optimal_psum_fraction, Accelerator};
+use clb::prelude::*;
+
+fn arg(n: usize, default: usize) -> usize {
+    std::env::args()
+        .nth(n)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(default)
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let rows = arg(1, 16);
+    let cols = arg(2, 16);
+    let psum_kb = arg(3, 64);
+    let psum_words = psum_kb * 1024 / 2;
+
+    println!("deriving a design for {rows}x{cols} PEs with {psum_kb} KB of Psums:\n");
+    let cfg = derive_config(rows, cols, psum_words, 9.0);
+    println!(
+        "  WGBuf: {} entries (z_max = sqrt(S) at R=1, rounded up)",
+        cfg.wgbuf_entries
+    );
+    println!(
+        "  IGBuf: {} entries (u_max = sqrt(S*R) at R=9, plus halo margin)",
+        cfg.igbuf_entries
+    );
+    println!("  LRegs: {} entries/PE", cfg.lreg_entries_per_pe);
+    println!("  GRegs: {:.1} KB", cfg.greg_bytes as f64 / 1024.0);
+    println!(
+        "  effective on-chip memory: {:.3} KB",
+        cfg.effective_onchip_bytes() as f64 / 1024.0
+    );
+
+    if rows == 16 && cols == 16 && psum_kb == 64 {
+        let paper = ArchConfig::implementation(1);
+        assert_eq!(cfg.wgbuf_entries, paper.wgbuf_entries);
+        assert_eq!(cfg.igbuf_entries, paper.igbuf_entries);
+        println!("\n-> exactly the paper's Section V example (implementation 1) ✓");
+    }
+
+    // Why most memory goes to Psums (Section IV-C), numerically:
+    let layer = ConvLayer::square(3, 256, 56, 128, 3, 1)?;
+    println!("\nsweeping the Psum share of a 66.5 KB budget on conv3_1:");
+    let total = 66.5 * 1024.0 / 2.0;
+    for frac in [0.25, 0.5, 0.75, 0.9, 0.95] {
+        let mem = OnChipMemory::from_words(total * frac);
+        let q = clb::dataflow::search_ours(&layer, mem)
+            .traffic
+            .total_bytes();
+        println!(
+            "  Psum share {:>3.0}% -> {:.1} MB DRAM",
+            frac * 100.0,
+            q as f64 / 1e6
+        );
+    }
+    let (best, _) = optimal_psum_fraction(&layer, total);
+    println!(
+        "  optimum at ~{:.0}% — \"most of the effective on-chip memory",
+        best * 100.0
+    );
+    println!("  should be assigned to Psums\" (Section IV-C) ✓");
+
+    // Run the derived design end to end.
+    let acc = Accelerator::new(cfg);
+    let report = acc.analyze_layer("conv3_1", &layer)?;
+    println!(
+        "\nderived design on conv3_1: {:.1} MB DRAM ({:+.1}% vs bound), {:.2} pJ/MAC",
+        report.stats.dram.total_bytes() as f64 / 1e6,
+        (report.dram_vs_bound() - 1.0) * 100.0,
+        report.pj_per_mac()
+    );
+    Ok(())
+}

@@ -1,0 +1,77 @@
+//! Functional verification demo: the cycle simulator actually computes the
+//! convolution (Q8.8 datapath with 32-bit accumulation), bit-exactly equal
+//! to the reference loop nest.
+//!
+//! ```text
+//! cargo run --release --example functional_verification
+//! ```
+
+use clb::model::fixed::{Acc32, Q8_8};
+use clb::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let layer = ConvLayer::square(2, 16, 20, 8, 3, 1)?;
+    println!("functionally simulating {layer}");
+
+    // Pseudo-random Q8.8 tensors (deterministic).
+    let mut state = 0x2545F4914F6CDD1Du64;
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        Q8_8::from_f64(((state >> 40) % 1024) as f64 / 128.0 - 4.0)
+    };
+    let input = Tensor4::from_fn(2, 8, 20, 20, |_, _, _, _| next());
+    let weights = Tensor4::from_fn(16, 8, 3, 3, |_, _, _, _| next());
+
+    let acc = Accelerator::implementation(1);
+    let (out, stats) = acc.run_functional(&layer, &input, &weights)?;
+
+    // Independent reference with the same arithmetic (wide accumulate, one
+    // saturating write-back).
+    let pad = layer.padding();
+    let mut mismatches = 0usize;
+    for i in 0..layer.batch() {
+        for oz in 0..layer.out_channels() {
+            for oy in 0..layer.output_height() {
+                for ox in 0..layer.output_width() {
+                    let mut a = Acc32::ZERO;
+                    for kz in 0..layer.in_channels() {
+                        for ky in 0..3 {
+                            for kx in 0..3 {
+                                let yy = (oy + ky) as isize - pad.vertical as isize;
+                                let xx = (ox + kx) as isize - pad.horizontal as isize;
+                                if yy >= 0 && xx >= 0 && (yy as usize) < 20 && (xx as usize) < 20 {
+                                    a = a.mac(
+                                        input[(i, kz, yy as usize, xx as usize)],
+                                        weights[(oz, kz, ky, kx)],
+                                    );
+                                }
+                            }
+                        }
+                    }
+                    if out[(i, oz, oy, ox)] != a.to_q8_8() {
+                        mismatches += 1;
+                    }
+                }
+            }
+        }
+    }
+
+    println!("outputs checked: {} — mismatches: {mismatches}", out.len());
+    assert_eq!(mismatches, 0, "simulator output must be bit-exact");
+    println!("\nwhile computing, the simulator counted:");
+    println!("  DRAM words:  {}", stats.dram.total_words());
+    println!("  GBuf words:  {}", stats.gbuf.total_words());
+    println!("  Reg writes:  {}", stats.reg.total_writes());
+    println!(
+        "  MACs (useful/issued): {}/{}",
+        stats.useful_macs, stats.issued_slots
+    );
+    println!(
+        "  cycles: {} compute + {} stall",
+        stats.compute_cycles, stats.stall_cycles
+    );
+    println!("\nbit-exact ✓ — the traffic numbers describe a real execution.");
+    Ok(())
+}

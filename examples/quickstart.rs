@@ -1,0 +1,63 @@
+//! Quickstart: bound → plan → simulate → energy, for one layer.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use clb::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // VGG-16 conv3_1 at the paper's batch size.
+    let layer = ConvLayer::square(3, 256, 56, 128, 3, 1)?;
+    println!("layer: {layer}");
+    println!("MACs: {:.2} G", layer.macs() as f64 / 1e9);
+    println!("sliding-window reuse R = {}", layer.window_reuse());
+
+    // 1. The theoretical lower bound at 66.5 KiB of effective on-chip memory.
+    let mem = OnChipMemory::from_kib(66.5);
+    let bound_mb = clb::bound::dram_bound_bytes(&layer, mem) / 1e6;
+    println!("\nEq. 15 DRAM lower bound @ {mem}: {bound_mb:.1} MB");
+
+    // 2. The communication-optimal dataflow (abstract, same memory).
+    let choice = clb::dataflow::search_ours(&layer, mem);
+    println!(
+        "our dataflow, tiling {}: {:.1} MB ({:+.1}% vs bound)",
+        choice.tiling,
+        choice.traffic.total_bytes() as f64 / 1e6,
+        (choice.traffic.total_bytes() as f64 / 1e6 / bound_mb - 1.0) * 100.0
+    );
+
+    // 3. The concrete accelerator (Table I implementation 1).
+    let acc = Accelerator::implementation(1);
+    let report = acc.analyze_layer("conv3_1", &layer)?;
+    println!(
+        "\nimplementation 1 ({} PEs, {:.1} KiB effective memory):",
+        acc.arch().pe_count(),
+        acc.arch().effective_onchip_bytes() as f64 / 1024.0
+    );
+    println!(
+        "  DRAM:  {:.1} MB ({:+.1}% vs bound)",
+        report.stats.dram.total_bytes() as f64 / 1e6,
+        (report.dram_vs_bound() - 1.0) * 100.0
+    );
+    println!(
+        "  GBuf:  {:.1} MB reads+writes",
+        report.stats.gbuf.total_bytes() as f64 / 1e6
+    );
+    println!(
+        "  Regs:  {:.2} G writes (bound: {:.2} G = #MACs)",
+        report.stats.reg.total_writes() as f64 / 1e9,
+        report.bounds.reg_writes as f64 / 1e9
+    );
+    println!("  energy: {:.2} pJ/MAC", report.pj_per_mac());
+    println!(
+        "  time:  {:.1} ms ({} stall cycles)",
+        report.stats.seconds(acc.arch().core_freq_hz) * 1e3,
+        report.stats.stall_cycles
+    );
+    println!(
+        "  PE utilization: {:.1}%",
+        report.stats.utilization.pe * 100.0
+    );
+    Ok(())
+}

@@ -1,0 +1,81 @@
+//! Full VGG-16 (batch 3) analysis on all five Table I implementations —
+//! the paper's complete evaluation workload in one run.
+//!
+//! ```text
+//! cargo run --release --example vgg16_analysis
+//! ```
+
+use clb::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let net = workloads::vgg16(3);
+    println!(
+        "{} — {} conv layers, {:.1} GMACs total\n",
+        net.name(),
+        net.len(),
+        net.total_macs() as f64 / 1e9
+    );
+
+    println!(
+        "{:<8} {:>7} {:>10} {:>10} {:>10} {:>9} {:>9} {:>8}",
+        "implem", "PEs", "DRAM(MB)", "GBuf(MB)", "Reg(G wr)", "pJ/MAC", "time(s)", "PE util"
+    );
+    for index in 1..=5 {
+        let acc = Accelerator::implementation(index);
+        let report = acc.analyze_network(&net)?;
+        println!(
+            "{:<8} {:>7} {:>10.1} {:>10.1} {:>10.2} {:>9.2} {:>9.3} {:>7.1}%",
+            format!("#{index}"),
+            acc.arch().pe_count(),
+            report.totals.dram.total_bytes() as f64 / 1e6,
+            report.totals.gbuf.total_bytes() as f64 / 1e6,
+            report.totals.reg.total_writes() as f64 / 1e9,
+            report.pj_per_mac(),
+            report.seconds,
+            report.totals.utilization.pe * 100.0,
+        );
+    }
+
+    // Per-layer detail for implementation 1 (the Fig. 14 view).
+    let acc = Accelerator::implementation(1);
+    let report = acc.analyze_network(&net)?;
+    println!("\nimplementation 1, per layer:");
+    println!(
+        "{:<10} {:>10} {:>10} {:>10} {:>12} {:>10}",
+        "layer", "DRAM(MB)", "bound(MB)", "vs bound", "tiling", "pJ/MAC"
+    );
+    for l in &report.layers {
+        println!(
+            "{:<10} {:>10.1} {:>10.1} {:>9.1}% {:>12} {:>10.2}",
+            l.name,
+            l.stats.dram.total_bytes() as f64 / 1e6,
+            l.bounds.dram_words * 2.0 / 1e6,
+            (l.dram_vs_bound() - 1.0) * 100.0,
+            l.tiling.to_string(),
+            l.pj_per_mac(),
+        );
+    }
+
+    // Eyeriss comparison (Fig. 15/16, Table III).
+    let eyeriss_cfg = clb::eyeriss::EyerissConfig::default();
+    let eyeriss_dram: f64 = clb::eyeriss::calibrated_dram_mb(&eyeriss_cfg, &net, false)
+        .iter()
+        .map(|(_, mb)| mb)
+        .sum();
+    let eyeriss_gbuf_mb: f64 = net
+        .conv_layers()
+        .map(|l| eyeriss_cfg.gbuf_access_words(&l.layer) as f64 * 2.0 / 1e6)
+        .sum();
+    println!(
+        "\nEyeriss (published/calibrated): DRAM {eyeriss_dram:.1} MB, GBuf {eyeriss_gbuf_mb:.0} MB"
+    );
+    println!(
+        "our implem 1 GBuf reduction vs Eyeriss: {:.1}x",
+        eyeriss_gbuf_mb / (report.totals.gbuf.total_bytes() as f64 / 1e6)
+    );
+    println!(
+        "our implem 1 speedup vs Eyeriss: {:.1}x",
+        clb::eyeriss::vgg16_execution_seconds(3) / report.seconds
+    );
+    Ok(())
+}

@@ -1,0 +1,301 @@
+//! `clb` — command-line interface to the library.
+//!
+//! ```text
+//! clb bound   --co 512 --size 28 --ci 256 [--k 3] [--stride 1] [--batch 3] [--mem-kib 66.5]
+//! clb sweep   --co 512 --size 28 --ci 256 ...           # all dataflows at one memory size
+//! clb plan    --co 512 --size 28 --ci 256 [--implem 1]  # tiling + simulation on an implementation
+//! clb network --net vgg16|alexnet|resnet50 [--batch 3] [--implem 1] [--json]
+//! ```
+
+use std::collections::HashMap;
+use std::process::ExitCode;
+
+use clb::core::Accelerator;
+use clb::model::workloads;
+use clb::prelude::*;
+use dataflow::{found_minimum, search_dataflow};
+
+fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
+    let mut flags = HashMap::new();
+    let mut i = 0;
+    while i < args.len() {
+        let key = args[i]
+            .strip_prefix("--")
+            .ok_or_else(|| format!("expected --flag, got `{}`", args[i]))?;
+        let value = args
+            .get(i + 1)
+            .ok_or_else(|| format!("flag --{key} needs a value"))?;
+        flags.insert(key.to_string(), value.clone());
+        i += 2;
+    }
+    Ok(flags)
+}
+
+fn get<T: std::str::FromStr>(
+    flags: &HashMap<String, String>,
+    key: &str,
+    default: T,
+) -> Result<T, String> {
+    match flags.get(key) {
+        None => Ok(default),
+        Some(v) => v
+            .parse()
+            .map_err(|_| format!("invalid value `{v}` for --{key}")),
+    }
+}
+
+fn layer_from_flags(flags: &HashMap<String, String>) -> Result<ConvLayer, String> {
+    let co: usize = get(flags, "co", 0)?;
+    let size: usize = get(flags, "size", 0)?;
+    let ci: usize = get(flags, "ci", 0)?;
+    if co == 0 || size == 0 || ci == 0 {
+        return Err("--co, --size and --ci are required".into());
+    }
+    let k: usize = get(flags, "k", 3)?;
+    let stride: usize = get(flags, "stride", 1)?;
+    let batch: usize = get(flags, "batch", 3)?;
+    ConvLayer::square(batch, co, size, ci, k, stride).map_err(|e| e.to_string())
+}
+
+fn cmd_bound(flags: &HashMap<String, String>) -> Result<(), String> {
+    let layer = layer_from_flags(flags)?;
+    let mem = OnChipMemory::from_kib(get(flags, "mem-kib", 66.5)?);
+    println!("layer: {layer} (R = {})", layer.window_reuse());
+    println!("MACs:  {:.3} G", layer.macs() as f64 / 1e9);
+    println!("effective on-chip memory: {mem}");
+    println!(
+        "Theorem 2 (asymptotic): {:.2} MB",
+        clb::bound::theorem2_dram_words(&layer, mem) * 2.0 / 1e6
+    );
+    println!(
+        "Eq. 15 practical bound: {:.2} MB",
+        clb::bound::dram_bound_bytes(&layer, mem) / 1e6
+    );
+    println!(
+        "naive (no reuse):       {:.2} MB",
+        clb::bound::naive_dram_words(&layer) * 2.0 / 1e6
+    );
+    println!(
+        "reduction factor sqrt(R*S) = {:.1}",
+        clb::bound::reduction_factor(&layer, mem)
+    );
+    Ok(())
+}
+
+fn cmd_sweep(flags: &HashMap<String, String>) -> Result<(), String> {
+    let layer = layer_from_flags(flags)?;
+    let mem = OnChipMemory::from_kib(get(flags, "mem-kib", 66.5)?);
+    println!("layer: {layer}, memory {mem}\n");
+    println!("{:<16} {:>10} {:>12}", "dataflow", "DRAM (MB)", "vs bound");
+    let bound = clb::bound::dram_bound_bytes(&layer, mem);
+    println!(
+        "{:<16} {:>10.2} {:>12}",
+        "lower bound",
+        bound / 1e6,
+        "1.00x"
+    );
+    let min = found_minimum(&layer, mem);
+    println!(
+        "{:<16} {:>10.2} {:>11.2}x",
+        "found minimum",
+        min.traffic.total_bytes() as f64 / 1e6,
+        min.traffic.total_bytes() as f64 / bound
+    );
+    for kind in DataflowKind::ALL {
+        match search_dataflow(kind, &layer, mem) {
+            Some(c) => println!(
+                "{:<16} {:>10.2} {:>11.2}x",
+                kind.name(),
+                c.traffic.total_bytes() as f64 / 1e6,
+                c.traffic.total_bytes() as f64 / bound
+            ),
+            None => println!("{:<16} {:>10} {:>12}", kind.name(), "-", "infeasible"),
+        }
+    }
+    Ok(())
+}
+
+fn cmd_plan(flags: &HashMap<String, String>) -> Result<(), String> {
+    let layer = layer_from_flags(flags)?;
+    let implem: usize = get(flags, "implem", 1)?;
+    if !(1..=5).contains(&implem) {
+        return Err("--implem must be 1..=5".into());
+    }
+    let acc = Accelerator::implementation(implem);
+    let report = acc
+        .analyze_layer("layer", &layer)
+        .map_err(|e| e.to_string())?;
+    println!("layer: {layer}");
+    println!("implementation {implem}: {} PEs", acc.arch().pe_count());
+    println!("tiling: {}", report.tiling);
+    println!(
+        "DRAM:  {:.2} MB ({:+.1}% vs bound)",
+        report.stats.dram.total_bytes() as f64 / 1e6,
+        (report.dram_vs_bound() - 1.0) * 100.0
+    );
+    println!(
+        "GBuf:  {:.2} MB   Regs: {:.3} G writes",
+        report.stats.gbuf.total_bytes() as f64 / 1e6,
+        report.stats.reg.total_writes() as f64 / 1e9
+    );
+    println!(
+        "time:  {:.2} ms   energy: {:.2} pJ/MAC   PE util: {:.1}%",
+        report.stats.seconds(acc.arch().core_freq_hz) * 1e3,
+        report.pj_per_mac(),
+        report.stats.utilization.pe * 100.0
+    );
+    Ok(())
+}
+
+fn cmd_network(flags: &HashMap<String, String>) -> Result<(), String> {
+    let batch: usize = get(flags, "batch", 3)?;
+    let name = flags
+        .get("net")
+        .cloned()
+        .unwrap_or_else(|| "vgg16".to_string());
+    let net = match name.as_str() {
+        "vgg16" => workloads::vgg16(batch),
+        "alexnet" => workloads::alexnet(batch),
+        "resnet50" => workloads::resnet50(batch),
+        other => {
+            return Err(format!(
+                "unknown network `{other}` (vgg16|alexnet|resnet50)"
+            ))
+        }
+    };
+    let implem: usize = get(flags, "implem", 1)?;
+    let acc = Accelerator::implementation(implem);
+    let report = acc.analyze_network(&net).map_err(|e| e.to_string())?;
+
+    if flags.contains_key("json") || flags.get("json").is_some() {
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&report).map_err(|e| e.to_string())?
+        );
+        return Ok(());
+    }
+
+    println!(
+        "{} (batch {batch}) on implementation {implem}: {:.1} GMACs",
+        net.name(),
+        net.total_macs() as f64 / 1e9
+    );
+    println!(
+        "{:<12} {:>10} {:>10} {:>9}",
+        "layer", "DRAM(MB)", "pJ/MAC", "PE util"
+    );
+    for l in &report.layers {
+        println!(
+            "{:<12} {:>10.1} {:>10.2} {:>8.1}%",
+            l.name,
+            l.stats.dram.total_bytes() as f64 / 1e6,
+            l.pj_per_mac(),
+            l.stats.utilization.pe * 100.0
+        );
+    }
+    println!(
+        "\ntotal: {:.1} MB DRAM, {:.2} pJ/MAC, {:.3} s, {:.2} W",
+        report.totals.dram.total_bytes() as f64 / 1e6,
+        report.pj_per_mac(),
+        report.seconds,
+        report.power_w()
+    );
+    Ok(())
+}
+
+fn usage() -> &'static str {
+    "usage: clb <bound|sweep|plan|network> [--flag value]...\n\
+     \n\
+     clb bound   --co 512 --size 28 --ci 256 [--k 3] [--stride 1] [--batch 3] [--mem-kib 66.5]\n\
+     clb sweep   --co 512 --size 28 --ci 256 [--mem-kib 66.5]\n\
+     clb plan    --co 512 --size 28 --ci 256 [--implem 1]\n\
+     clb network --net vgg16|alexnet|resnet50 [--batch 3] [--implem 1] [--json true]"
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some((cmd, rest)) = args.split_first() else {
+        eprintln!("{}", usage());
+        return ExitCode::FAILURE;
+    };
+    let result = parse_flags(rest).and_then(|flags| match cmd.as_str() {
+        "bound" => cmd_bound(&flags),
+        "sweep" => cmd_sweep(&flags),
+        "plan" => cmd_plan(&flags),
+        "network" => cmd_network(&flags),
+        other => Err(format!("unknown command `{other}`\n{}", usage())),
+    });
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn flags(pairs: &[(&str, &str)]) -> HashMap<String, String> {
+        pairs
+            .iter()
+            .map(|(k, v)| (k.to_string(), v.to_string()))
+            .collect()
+    }
+
+    #[test]
+    fn parse_flags_roundtrip() {
+        let args: Vec<String> = ["--co", "64", "--size", "28"]
+            .iter()
+            .map(ToString::to_string)
+            .collect();
+        let parsed = parse_flags(&args).unwrap();
+        assert_eq!(parsed.get("co").unwrap(), "64");
+        assert_eq!(parsed.get("size").unwrap(), "28");
+    }
+
+    #[test]
+    fn parse_flags_rejects_bare_values() {
+        let args: Vec<String> = ["co", "64"].iter().map(ToString::to_string).collect();
+        assert!(parse_flags(&args).is_err());
+    }
+
+    #[test]
+    fn parse_flags_rejects_missing_value() {
+        let args: Vec<String> = ["--co"].iter().map(ToString::to_string).collect();
+        assert!(parse_flags(&args).is_err());
+    }
+
+    #[test]
+    fn get_uses_default_and_parses() {
+        let f = flags(&[("co", "64")]);
+        assert_eq!(get::<usize>(&f, "co", 1).unwrap(), 64);
+        assert_eq!(get::<usize>(&f, "size", 7).unwrap(), 7);
+        let bad = flags(&[("co", "abc")]);
+        assert!(get::<usize>(&bad, "co", 1).is_err());
+    }
+
+    #[test]
+    fn layer_requires_core_dimensions() {
+        assert!(layer_from_flags(&flags(&[("co", "64")])).is_err());
+        let ok = layer_from_flags(&flags(&[("co", "64"), ("size", "28"), ("ci", "32")]));
+        assert!(ok.is_ok());
+        assert_eq!(ok.unwrap().out_channels(), 64);
+    }
+
+    #[test]
+    fn commands_run_on_valid_input() {
+        let f = flags(&[("co", "16"), ("size", "14"), ("ci", "8"), ("batch", "1")]);
+        cmd_bound(&f).unwrap();
+        cmd_sweep(&f).unwrap();
+        cmd_plan(&f).unwrap();
+    }
+
+    #[test]
+    fn network_rejects_unknown_name() {
+        let f = flags(&[("net", "lenet")]);
+        assert!(cmd_network(&f).is_err());
+    }
+}

@@ -1,0 +1,57 @@
+//! # clb — Communication Lower Bound in Convolution Accelerators
+//!
+//! A full Rust reproduction of *"Communication Lower Bound in Convolution
+//! Accelerators"* (Chen, Han, Wang — HPCA 2020): the theoretical DRAM
+//! communication lower bound for convolutional layers, the
+//! communication-optimal dataflow that reaches it, the workload/storage
+//! mapping that minimises on-chip traffic, and a cycle-level model of the
+//! proposed accelerator — plus every baseline the paper compares against.
+//!
+//! This facade crate re-exports the workspace:
+//!
+//! | Module | Crate | Contents |
+//! |---|---|---|
+//! | [`model`] | `conv-model` | layer geometry, tensors, reference kernels, workloads |
+//! | [`pebble`] | `pebble` | red–blue pebble game / S-partition machinery |
+//! | [`bound`] | `comm-bound` | Theorem 2 and the practical Eq. 15 bounds |
+//! | [`dataflow`] | `dataflow` | the optimal dataflow + the Fig. 12 baselines |
+//! | [`sim`] | `accel-sim` | cycle-level accelerator simulator |
+//! | [`energy`] | `energy-model` | Table II energy model |
+//! | [`eyeriss`] | `eyeriss-model` | calibrated Eyeriss baseline |
+//! | [`core`] | `clb-core` | the [`Accelerator`](clb_core::Accelerator) analysis pipeline |
+//!
+//! # Quickstart
+//!
+//! ```
+//! use clb::prelude::*;
+//!
+//! // How much DRAM traffic must VGG-16 conv4_1 cause with 64 KiB on chip?
+//! let layer = ConvLayer::square(3, 512, 28, 256, 3, 1)?;
+//! let mem = OnChipMemory::from_kib(64.0);
+//! let bound_bytes = clb::bound::dram_bound_bytes(&layer, mem);
+//!
+//! // And how close does the paper's accelerator get?
+//! let acc = Accelerator::implementation(1);
+//! let report = acc.analyze_layer("conv4_1", &layer)?;
+//! let achieved = report.stats.dram.total_bytes() as f64;
+//! assert!(achieved < 1.35 * bound_bytes);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+pub use accel_sim as sim;
+pub use clb_core as core;
+pub use comm_bound as bound;
+pub use conv_model as model;
+pub use dataflow;
+pub use energy_model as energy;
+pub use eyeriss_model as eyeriss;
+pub use pebble;
+
+/// The items most programs need.
+pub mod prelude {
+    pub use clb_core::{
+        Accelerator, ArchConfig, BoundSummary, DataflowKind, EnergyBreakdown, EnergyParams,
+        LayerReport, NetworkReport, OnChipMemory, SimStats, Tiling,
+    };
+    pub use conv_model::{workloads, ConvLayer, Padding, Tensor4};
+}

@@ -1,0 +1,170 @@
+//! Property-based functional validation: the cycle simulator's Q8.8
+//! datapath must compute exactly what the reference loop nest computes,
+//! for arbitrary layers, tilings and architectures.
+
+use clb::model::fixed::{Acc32, Q8_8};
+use clb::model::{ConvLayer, Padding, Tensor4};
+use clb::sim::ArchConfig;
+use proptest::prelude::*;
+
+/// Reference Q8.8 convolution with wide accumulation, in canonical order.
+fn reference_q8(
+    layer: &ConvLayer,
+    input: &Tensor4<Q8_8>,
+    weights: &Tensor4<Q8_8>,
+) -> Tensor4<Q8_8> {
+    let mut out = Tensor4::zeros(
+        layer.batch(),
+        layer.out_channels(),
+        layer.output_height(),
+        layer.output_width(),
+    );
+    let pad = layer.padding();
+    for i in 0..layer.batch() {
+        for oz in 0..layer.out_channels() {
+            for oy in 0..layer.output_height() {
+                for ox in 0..layer.output_width() {
+                    let mut acc = Acc32::ZERO;
+                    for kz in 0..layer.in_channels() {
+                        for ky in 0..layer.kernel_height() {
+                            for kx in 0..layer.kernel_width() {
+                                let yy =
+                                    (oy * layer.stride() + ky) as isize - pad.vertical as isize;
+                                let xx =
+                                    (ox * layer.stride() + kx) as isize - pad.horizontal as isize;
+                                if yy >= 0
+                                    && xx >= 0
+                                    && (yy as usize) < layer.in_height()
+                                    && (xx as usize) < layer.in_width()
+                                {
+                                    acc = acc.mac(
+                                        input[(i, kz, yy as usize, xx as usize)],
+                                        weights[(oz, kz, ky, kx)],
+                                    );
+                                }
+                            }
+                        }
+                    }
+                    out[(i, oz, oy, ox)] = acc.to_q8_8();
+                }
+            }
+        }
+    }
+    out
+}
+
+fn layer_strategy() -> impl Strategy<Value = ConvLayer> {
+    (
+        1usize..=2,
+        1usize..=6,
+        4usize..=10,
+        1usize..=4,
+        1usize..=3,
+        1usize..=2,
+        prop::bool::ANY,
+    )
+        .prop_filter_map("kernel must fit", |(b, co, size, ci, k, s, pad)| {
+            let padding = if pad {
+                Padding::same(k)
+            } else {
+                Padding::none()
+            };
+            ConvLayer::builder()
+                .batch(b)
+                .out_channels(co)
+                .in_channels(ci)
+                .input(size, size)
+                .kernel(k, k)
+                .stride(s)
+                .padding(padding)
+                .build()
+                .ok()
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn simulator_functional_equals_reference(
+        layer in layer_strategy(),
+        seed in 0u64..1_000_000,
+        tb in 1usize..=2,
+        tz in 1usize..=6,
+        ty in 1usize..=8,
+        tx in 1usize..=8,
+    ) {
+        let (b, ci, hi, wi) = (layer.batch(), layer.in_channels(), layer.in_height(), layer.in_width());
+        let (co, kh, kw) = (layer.out_channels(), layer.kernel_height(), layer.kernel_width());
+        // Deterministic pseudo-random Q8.8 data.
+        let gen = |i: u64| {
+            let mixed = seed
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(i.wrapping_mul(1442695040888963407));
+            Q8_8::from_f64(((mixed >> 33) % 512) as f64 / 64.0 - 4.0)
+        };
+        let input = {
+            let mut c = 0u64;
+            Tensor4::from_fn(b, ci, hi, wi, |_, _, _, _| { c += 1; gen(c) })
+        };
+        let weights = {
+            let mut c = 1_000_000u64;
+            Tensor4::from_fn(co, ci, kh, kw, |_, _, _, _| { c += 1; gen(c) })
+        };
+
+        let tiling = clb::dataflow::Tiling::clamped(&layer, tb, tz, ty, tx);
+        let arch = ArchConfig::example();
+        // Skip tilings the architecture cannot hold (the planner would never
+        // produce them).
+        prop_assume!(clb::core::tiling_feasible(&layer, &tiling, &arch));
+
+        let (out, stats) =
+            clb::sim::simulate_functional(&layer, &tiling, &arch, &input, &weights).unwrap();
+        let expected = reference_q8(&layer, &input, &weights);
+        prop_assert_eq!(out, expected);
+        prop_assert_eq!(stats.useful_macs, layer.macs());
+    }
+
+    #[test]
+    fn simulator_counters_match_analytic_dataflow(
+        layer in layer_strategy(),
+        tb in 1usize..=2,
+        tz in 1usize..=6,
+        ty in 1usize..=8,
+        tx in 1usize..=8,
+    ) {
+        let tiling = clb::dataflow::Tiling::clamped(&layer, tb, tz, ty, tx);
+        let arch = ArchConfig::example();
+        prop_assume!(clb::core::tiling_feasible(&layer, &tiling, &arch));
+
+        let stats = clb::sim::simulate(&layer, &tiling, &arch).unwrap();
+        let analytic = clb::dataflow::our_dataflow_traffic(&layer, &tiling);
+        prop_assert_eq!(stats.dram.input_reads, analytic.input_reads);
+        prop_assert_eq!(stats.dram.weight_reads, analytic.weight_reads);
+        prop_assert_eq!(stats.dram.output_writes, analytic.output_writes);
+    }
+
+    #[test]
+    fn measured_traffic_never_below_ideal(
+        layer in layer_strategy(),
+        tz in 1usize..=6,
+        ty in 1usize..=8,
+        tx in 1usize..=8,
+    ) {
+        let tiling = clb::dataflow::Tiling::clamped(&layer, 1, tz, ty, tx);
+        let traffic = clb::dataflow::our_dataflow_traffic(&layer, &tiling);
+        // No tiling may move less than every datum once. Inputs are only
+        // fully covered when there is no padding and the stride does not
+        // skip pixels (stride <= kernel).
+        let covers_input = layer.padding() == Padding::none()
+            && layer.stride() <= layer.kernel_width().min(layer.kernel_height())
+            && (layer.output_height() - 1) * layer.stride() + layer.kernel_height()
+                == layer.in_height()
+            && (layer.output_width() - 1) * layer.stride() + layer.kernel_width()
+                == layer.in_width();
+        let input_floor = if covers_input { layer.input_words() } else { 0 };
+        prop_assert!(traffic.input_reads >= input_floor);
+        prop_assert!(traffic.weight_reads >= layer.weight_words());
+        prop_assert_eq!(traffic.output_writes, layer.output_words());
+    }
+}

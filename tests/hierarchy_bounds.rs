@@ -1,0 +1,76 @@
+//! Section IV-C summary check: the accelerator respects the lower bound at
+//! *every* level of the three-level hierarchy simultaneously, with the gap
+//! ratios the paper reports.
+
+use clb::bound::{HierarchyBounds, Level, MeasuredTraffic};
+use clb::core::Accelerator;
+use clb::model::workloads;
+use clb::prelude::OnChipMemory;
+
+fn measured_of(report: &clb::core::LayerReport) -> MeasuredTraffic {
+    MeasuredTraffic {
+        dram_words: report.stats.dram.total_words(),
+        gbuf_read_words: report.stats.gbuf.input_reads + report.stats.gbuf.weight_reads,
+        reg_writes: report.stats.reg.total_writes(),
+    }
+}
+
+#[test]
+fn all_three_bounds_hold_on_every_vgg_layer() {
+    let acc = Accelerator::implementation(1);
+    let mem = OnChipMemory::from_words(acc.arch().effective_onchip_words() as f64);
+    let report = acc.analyze_network(&workloads::vgg16(3)).unwrap();
+    for l in &report.layers {
+        let bounds = HierarchyBounds::of(&l.layer, mem);
+        let gaps = bounds.gaps(&measured_of(l));
+        assert!(
+            gaps.bounds_hold(),
+            "{}: a hierarchy bound is violated ({gaps:?})",
+            l.name
+        );
+    }
+}
+
+#[test]
+fn network_gaps_match_paper_bands() {
+    let acc = Accelerator::implementation(1);
+    let mem = OnChipMemory::from_words(acc.arch().effective_onchip_words() as f64);
+    let report = acc.analyze_network(&workloads::vgg16(3)).unwrap();
+
+    let mut dram_b = 0.0;
+    let mut gbuf_b = 0.0;
+    let mut reg_b = 0u64;
+    for l in &report.layers {
+        let b = HierarchyBounds::of(&l.layer, mem);
+        dram_b += b.dram_words;
+        gbuf_b += b.gbuf_words;
+        reg_b += b.reg_writes;
+    }
+    let totals = MeasuredTraffic {
+        dram_words: report.totals.dram.total_words(),
+        gbuf_read_words: report.totals.gbuf.input_reads + report.totals.gbuf.weight_reads,
+        reg_writes: report.totals.reg.total_writes(),
+    };
+    let dram_gap = totals.dram_words as f64 / dram_b;
+    let gbuf_gap = totals.gbuf_read_words as f64 / gbuf_b;
+    let reg_gap = totals.reg_writes as f64 / reg_b as f64;
+    // Paper: DRAM ~1.13x (10% dataflow + 3% splitting); GBuf reads are
+    // 1.33x the *DRAM reads*, which compounds with the DRAM gap to ~1.5-1.7x
+    // against the analytic GBuf bound; Regs 1.06-1.12x.
+    assert!((1.0..1.30).contains(&dram_gap), "DRAM gap {dram_gap:.3}");
+    assert!((1.0..1.85).contains(&gbuf_gap), "GBuf gap {gbuf_gap:.3}");
+    assert!((1.0..1.25).contains(&reg_gap), "Reg gap {reg_gap:.3}");
+}
+
+#[test]
+fn gbuf_is_the_loosest_level() {
+    // The halo reads make GBuf the worst of the three gaps, as in Table IV
+    // versus Fig. 14/17.
+    let acc = Accelerator::implementation(1);
+    let mem = OnChipMemory::from_words(acc.arch().effective_onchip_words() as f64);
+    let layer = workloads::vgg16(3).layer(5).unwrap().layer; // conv3_2
+    let report = acc.analyze_layer("conv3_2", &layer).unwrap();
+    let bounds = HierarchyBounds::of(&layer, mem);
+    let (level, _) = bounds.gaps(&measured_of(&report)).worst();
+    assert_eq!(level, Level::Gbuf);
+}

@@ -1,0 +1,233 @@
+//! Network-level reproduction checks of the paper's headline claims on
+//! VGG-16 (batch 3). Quantitative bands are from `EXPERIMENTS.md`; where our
+//! substitution (simulator instead of silicon) shifts a constant, the band
+//! is widened but the *direction* of every claim is pinned.
+
+use clb::core::Accelerator;
+use clb::model::workloads;
+use clb::prelude::OnChipMemory;
+
+fn vgg() -> clb::model::workloads::Network {
+    workloads::vgg16(3)
+}
+
+#[test]
+fn implementations_stay_close_to_dram_bound() {
+    // Paper: dataflow ~10% above the bound, implementations 3-4% above the
+    // dataflow. Network-level: implementations within ~25% of the bound.
+    for index in [1, 4] {
+        let acc = Accelerator::implementation(index);
+        let report = acc.analyze_network(&vgg()).unwrap();
+        let mem = OnChipMemory::from_words(acc.arch().effective_onchip_words() as f64);
+        let bound: f64 = vgg()
+            .conv_layers()
+            .map(|l| clb::bound::dram_bound_words(&l.layer, mem))
+            .sum();
+        let measured = report.totals.dram.total_words() as f64;
+        let gap = measured / bound - 1.0;
+        assert!(
+            (0.0..0.30).contains(&gap),
+            "implementation {index}: DRAM gap to bound {gap:.3}"
+        );
+    }
+}
+
+#[test]
+fn gbuf_reduction_vs_eyeriss_in_band() {
+    // Paper Fig. 16: 10.9-15.8x GBuf traffic reduction.
+    let cfg = clb::eyeriss::EyerissConfig::default();
+    let eyeriss: u64 = vgg()
+        .conv_layers()
+        .map(|l| cfg.gbuf_access_words(&l.layer))
+        .sum();
+    for index in 1..=5 {
+        let report = Accelerator::implementation(index)
+            .analyze_network(&vgg())
+            .unwrap();
+        let ours = report.totals.gbuf.total_words();
+        let factor = eyeriss as f64 / ours as f64;
+        assert!(
+            (8.0..20.0).contains(&factor),
+            "implementation {index}: GBuf reduction {factor:.1}x outside band"
+        );
+    }
+}
+
+#[test]
+fn reg_traffic_close_to_macs_bound() {
+    // Paper Fig. 17: Reg access volume 5.9-11.8% above #MACs. Our band: <25%.
+    let macs = vgg().total_macs() as f64;
+    for index in 1..=5 {
+        let report = Accelerator::implementation(index)
+            .analyze_network(&vgg())
+            .unwrap();
+        let over = report.totals.reg.total_writes() as f64 / macs - 1.0;
+        assert!(
+            (0.0..0.25).contains(&over),
+            "implementation {index}: Reg overhead {over:.3}"
+        );
+    }
+}
+
+#[test]
+fn energy_gap_to_theoretical_best_in_band() {
+    // Paper Fig. 18: the gap between implementations and the theoretical
+    // best is 37-87%. Our simulator lands at 18-59%; pin [10%, 90%].
+    let net = vgg();
+    let macs = net.total_macs();
+    for index in 1..=5 {
+        let acc = Accelerator::implementation(index);
+        let report = acc.analyze_network(&net).unwrap();
+        let mem = OnChipMemory::from_words(acc.arch().effective_onchip_words() as f64);
+        let dram_bound: f64 = net
+            .conv_layers()
+            .map(|l| clb::bound::dram_bound_words(&l.layer, mem))
+            .sum();
+        let best = clb::core::energy::energy_lower_bound_pj(macs, dram_bound) / macs as f64;
+        let gap = report.pj_per_mac() / best - 1.0;
+        assert!(
+            (0.10..0.90).contains(&gap),
+            "implementation {index}: energy gap {gap:.2}"
+        );
+    }
+}
+
+#[test]
+fn accelerator_is_computation_dominant() {
+    // Paper: "MAC operations take up the largest portion of the total
+    // energy consumption" — the design is computation dominant.
+    for index in 1..=5 {
+        let report = Accelerator::implementation(index)
+            .analyze_network(&vgg())
+            .unwrap();
+        let e = report.energy;
+        let mac = e.mac_pj;
+        for (name, other) in [
+            ("dram", e.dram_pj),
+            ("gbuf", e.gbuf_pj),
+            ("greg", e.greg_pj),
+            ("other", e.other_pj),
+        ] {
+            assert!(
+                mac >= other,
+                "implementation {index}: {name} energy exceeds MAC energy"
+            );
+        }
+        // Implementation 1's 256 B LRegs sit essentially at the MAC energy
+        // (Fig. 18 shows the same near-tie); allow a 15% margin there.
+        assert!(
+            mac * 1.15 >= e.lreg_pj(),
+            "implementation {index}: LReg energy far exceeds MAC energy"
+        );
+    }
+}
+
+#[test]
+fn speedups_over_eyeriss_in_band() {
+    // Paper Fig. 19: 9.8-42.3x over Eyeriss. Our simulator: same order,
+    // wider band [8x, 90x].
+    let eyeriss_s = clb::eyeriss::vgg16_execution_seconds(3);
+    let mut by_pes: Vec<(usize, f64)> = Vec::new();
+    for index in 1..=5 {
+        let acc = Accelerator::implementation(index);
+        let report = acc.analyze_network(&vgg()).unwrap();
+        let speedup = eyeriss_s / report.seconds;
+        assert!(
+            (8.0..90.0).contains(&speedup),
+            "implementation {index}: speedup {speedup:.1}"
+        );
+        by_pes.push((acc.arch().pe_count(), report.seconds));
+    }
+    // More PEs -> faster (implementations 3 and 4 share a PE count and may
+    // differ slightly from their memory split).
+    for w in by_pes.windows(2) {
+        if w[1].0 > w[0].0 {
+            assert!(
+                w[1].1 < w[0].1,
+                "more PEs should be faster: {:?} -> {:?}",
+                w[0],
+                w[1]
+            );
+        }
+    }
+}
+
+#[test]
+fn power_rises_with_pe_count() {
+    // Paper Fig. 19: power grows from ~0.9 W to ~5 W across implementations.
+    let p1 = Accelerator::implementation(1)
+        .analyze_network(&vgg())
+        .unwrap()
+        .power_w();
+    let p5 = Accelerator::implementation(5)
+        .analyze_network(&vgg())
+        .unwrap()
+        .power_w();
+    assert!(
+        p5 > 2.0 * p1,
+        "power should grow strongly with PEs: {p1} -> {p5}"
+    );
+    assert!((0.2..20.0).contains(&p1));
+}
+
+#[test]
+fn utilizations_match_fig20_shape() {
+    for index in 1..=5 {
+        let u = Accelerator::implementation(index)
+            .analyze_network(&vgg())
+            .unwrap()
+            .totals
+            .utilization;
+        assert!(
+            u.lreg > 0.7,
+            "implementation {index}: LReg util {:.2}",
+            u.lreg
+        );
+        assert!(u.pe > 0.85, "implementation {index}: PE util {:.2}", u.pe);
+        assert!(
+            u.memory_overall > 0.7,
+            "implementation {index}: overall util {:.2}",
+            u.memory_overall
+        );
+    }
+}
+
+#[test]
+fn dram_access_per_mac_matches_table3_scale() {
+    // Table III: ours 0.0033 words/MAC at 173.5 KB. Accept ±15%.
+    let net = vgg();
+    let mem = OnChipMemory::from_kib(clb::eyeriss::EFFECTIVE_ONCHIP_KIB);
+    let words: u64 = net
+        .conv_layers()
+        .map(|l| {
+            clb::dataflow::search_ours(&l.layer, mem)
+                .traffic
+                .total_words()
+        })
+        .sum();
+    let per_mac = words as f64 / net.total_macs() as f64;
+    assert!(
+        (0.0028..0.0038).contains(&per_mac),
+        "words/MAC {per_mac:.4}"
+    );
+}
+
+#[test]
+fn flexflow_comparison_direction_holds() {
+    // Paper: our DRAM access/MAC beats FlexFlow's published 0.0049 by ~33%.
+    let net = vgg();
+    let mem = OnChipMemory::from_kib(clb::eyeriss::EFFECTIVE_ONCHIP_KIB);
+    let words: u64 = net
+        .conv_layers()
+        .map(|l| {
+            clb::dataflow::search_ours(&l.layer, mem)
+                .traffic
+                .total_words()
+        })
+        .sum();
+    let per_mac = words as f64 / net.total_macs() as f64;
+    assert!(
+        per_mac < 0.0049,
+        "should beat FlexFlow's 0.0049, got {per_mac:.4}"
+    );
+}

@@ -1,0 +1,140 @@
+//! Cross-workload coverage: the pipeline must handle networks beyond the
+//! paper's VGG-16 — strided stems, 1×1 bottlenecks (R = 1), large kernels
+//! and fully-connected layers — with every invariant intact.
+
+use clb::core::Accelerator;
+use clb::model::workloads;
+use clb::prelude::OnChipMemory;
+
+#[test]
+fn resnet50_full_analysis() {
+    let net = workloads::resnet50(1);
+    let acc = Accelerator::implementation(1);
+    let report = acc.analyze_network(&net).unwrap();
+    assert_eq!(report.layers.len(), 53);
+    assert_eq!(report.totals.useful_macs, net.total_macs());
+    // Every layer's simulated DRAM traffic dominates its bound.
+    for l in &report.layers {
+        assert!(
+            l.stats.dram.total_words() as f64 >= l.bounds.dram_words * 0.999,
+            "{}: measured below bound",
+            l.name
+        );
+    }
+    assert!(report.pj_per_mac() > 4.16);
+}
+
+#[test]
+fn resnet50_bottlenecks_behave_like_mm() {
+    // 1x1 layers have R = 1: the reduction factor is sqrt(S), and the
+    // measured traffic should still track the bound.
+    let net = workloads::resnet50(1);
+    let mem = OnChipMemory::from_kib(66.5);
+    for l in net.conv_layers().filter(|l| l.layer.is_matrix_multiply()) {
+        let bound = clb::bound::dram_bound_words(&l.layer, mem);
+        let ours = clb::dataflow::search_ours(&l.layer, mem)
+            .traffic
+            .total_words() as f64;
+        assert!(
+            ours < 1.8 * bound,
+            "{}: MM-like layer too far above bound ({:.2}x)",
+            l.name,
+            ours / bound
+        );
+    }
+}
+
+#[test]
+fn alexnet_large_kernels_and_strides() {
+    let net = workloads::alexnet(1);
+    let acc = Accelerator::implementation(4);
+    let report = acc.analyze_network(&net).unwrap();
+    assert_eq!(report.layers.len(), 5);
+    assert_eq!(report.totals.useful_macs, net.total_macs());
+    for l in &report.layers {
+        assert!(l.stats.utilization.pe > 0.3, "{}: PE util too low", l.name);
+    }
+}
+
+#[test]
+fn fc_layer_runs_and_bounds_hold() {
+    let fc = workloads::fully_connected(16, 1024, 512);
+    let acc = Accelerator::implementation(1);
+    let report = acc.analyze_layer("fc", &fc).unwrap();
+    assert_eq!(report.stats.useful_macs, fc.macs());
+    assert!(report.stats.dram.total_words() as f64 >= report.bounds.dram_words * 0.999);
+}
+
+#[test]
+fn training_step_layers_analyzable_or_diagnosed() {
+    // Forward and dX of a small layer run; dW of a big layer is diagnosed.
+    let small = clb::model::ConvLayer::square(2, 16, 14, 8, 3, 1).unwrap();
+    let acc = Accelerator::implementation(1);
+    for (name, l) in clb::model::training::training_step("small", &small).unwrap() {
+        let result = acc.analyze_layer(&name, &l);
+        if name.ends_with(".dw") {
+            // 14x14-kernel gradient still fits the IGBuf here.
+            assert!(result.is_ok(), "{name} should fit: {result:?}");
+        } else {
+            assert!(result.is_ok(), "{name}: {result:?}");
+        }
+    }
+
+    let big = clb::model::ConvLayer::square(3, 64, 112, 32, 3, 1).unwrap();
+    let dw = clb::model::training::weight_gradient_layer(&big).unwrap();
+    assert!(
+        acc.analyze_layer("big.dw", &dw).is_err(),
+        "a 112x112-kernel gradient cannot fit the example IGBuf"
+    );
+}
+
+#[test]
+fn reports_serialize_to_json() {
+    let net = workloads::resnet_bottleneck(1, 14, 64, 16);
+    let report = Accelerator::implementation(1)
+        .analyze_network(&net)
+        .unwrap();
+    let json = serde_json::to_string(&report).unwrap();
+    assert!(json.contains("\"network\""));
+    let back: clb::core::NetworkReport = serde_json::from_str(&json).unwrap();
+    assert_eq!(back.layers.len(), report.layers.len());
+    assert_eq!(
+        back.totals.dram.total_words(),
+        report.totals.dram.total_words()
+    );
+}
+
+#[test]
+fn derived_architecture_matches_table1_class() {
+    // Section V methodology: deriving a config from the theory reproduces
+    // the paper's example implementation.
+    let derived = clb::core::derive_config(16, 16, 32768, 9.0);
+    let paper = clb::sim::ArchConfig::implementation(1);
+    assert_eq!(derived.wgbuf_entries, paper.wgbuf_entries);
+    assert_eq!(derived.igbuf_entries, paper.igbuf_entries);
+    assert_eq!(
+        derived.effective_onchip_bytes(),
+        paper.effective_onchip_bytes()
+    );
+}
+
+#[test]
+fn inception_module_mixed_kernels_analyzable() {
+    // 1x1, 3x3 and 5x5 branches (R = 1, 9, 25) all run on one accelerator.
+    let net = workloads::inception_module(2, 28, 192);
+    let acc = Accelerator::implementation(1);
+    let report = acc.analyze_network(&net).unwrap();
+    assert_eq!(report.layers.len(), 6);
+    assert_eq!(report.totals.useful_macs, net.total_macs());
+    for l in &report.layers {
+        assert!(
+            l.stats.dram.total_words() as f64 >= l.bounds.dram_words * 0.999,
+            "{}: measured below bound",
+            l.name
+        );
+        // The 5x5 branch enjoys the largest reduction factor.
+        if l.name == "branch5x5" {
+            assert_eq!(l.bounds.window_reuse, 25.0);
+        }
+    }
+}
