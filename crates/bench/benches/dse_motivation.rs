@@ -5,7 +5,7 @@
 use clb_bench::banner;
 use comm_bound::OnChipMemory;
 use conv_model::workloads;
-use dataflow::dse::{dse_gap, random_dse, search_space_size};
+use dataflow::dse::{random_dse, search_space_size};
 
 fn main() {
     banner(
@@ -38,13 +38,19 @@ fn main() {
     );
     for samples in [10u64, 100, 1_000, 10_000, 100_000] {
         let out = random_dse(&layer, mem, samples, 42);
-        println!(
-            "{:>10} {:>10} {:>12.2} {:>7.2}x",
-            out.samples,
-            out.feasible,
-            out.best_traffic.total_bytes() as f64 / 1e6,
-            dse_gap(&layer, mem, samples, 42),
-        );
+        match out.best {
+            Some(best) => println!(
+                "{:>10} {:>10} {:>12.2} {:>7.2}x",
+                out.samples,
+                out.feasible,
+                best.traffic.total_bytes() as f64 / 1e6,
+                best.traffic.total_words() as f64 / ours.traffic.total_words() as f64,
+            ),
+            None => println!(
+                "{:>10} {:>10} {:>12} {:>8}",
+                out.samples, out.feasible, "-", "no feasible sample"
+            ),
+        }
     }
     println!("\nthe gap approaches 1.0 from above: sampling can only rediscover");
     println!("what the closed form already knows (and explains).");

@@ -1,0 +1,117 @@
+//! Criterion benchmark of the tiling-search hot path: the retained naive
+//! reference vs. the pruned/parallel/memoized engine, on the paper's
+//! workload (`found_minimum` over all 13 VGG-16 conv layers at 66.5 KiB).
+//!
+//! Run with `cargo bench --bench search_hotpath`. The run first proves
+//! result parity (identical chosen tilings and traffic totals per layer),
+//! then times three variants:
+//!
+//! * `naive/found_minimum/vgg16` — the reference quadruple loop;
+//! * `engine/found_minimum/vgg16/cold` — the engine with the memo cache
+//!   cleared before every iteration (tables + pruning + threads only);
+//! * `engine/found_minimum/vgg16/warm` — the engine with the cache left
+//!   warm, the regime every multi-network figure bench actually runs in.
+//!
+//! The acceptance bar is engine-cold ≥ 5× faster than naive; the run
+//! prints the measured ratio and exits non-zero if the bar is missed.
+
+use std::time::{Duration, Instant};
+
+use comm_bound::OnChipMemory;
+use criterion::{black_box, Criterion};
+use dataflow::engine::{self, naive};
+
+fn vgg_layers() -> Vec<conv_model::ConvLayer> {
+    conv_model::workloads::vgg16(3)
+        .conv_layers()
+        .map(|l| l.layer)
+        .collect()
+}
+
+fn prove_parity(layers: &[conv_model::ConvLayer], mem: OnChipMemory) {
+    engine::clear_search_cache();
+    for (i, layer) in layers.iter().enumerate() {
+        let fast = engine::found_minimum(layer, mem);
+        let slow = naive::found_minimum(layer, mem);
+        assert_eq!(
+            fast, slow,
+            "engine diverged from the naive reference on VGG-16 layer {i}"
+        );
+    }
+    println!(
+        "parity: engine == naive on all {} VGG-16 conv layers",
+        layers.len()
+    );
+}
+
+/// Median wall-clock of `f` over `samples` runs.
+fn measure<F: FnMut()>(samples: usize, mut f: F) -> Duration {
+    let mut times: Vec<Duration> = (0..samples)
+        .map(|_| {
+            let start = Instant::now();
+            f();
+            start.elapsed()
+        })
+        .collect();
+    times.sort_unstable();
+    times[times.len() / 2]
+}
+
+fn main() {
+    let layers = vgg_layers();
+    let mem = OnChipMemory::from_kib(66.5);
+    prove_parity(&layers, mem);
+
+    // Criterion-style timing report for the three variants.
+    let mut c = Criterion::default()
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(8));
+    c.bench_function("naive/found_minimum/vgg16", |b| {
+        b.iter(|| {
+            for layer in &layers {
+                black_box(naive::found_minimum(black_box(layer), mem));
+            }
+        })
+    });
+    c.bench_function("engine/found_minimum/vgg16/cold", |b| {
+        b.iter(|| {
+            engine::clear_search_cache();
+            for layer in &layers {
+                black_box(engine::found_minimum(black_box(layer), mem));
+            }
+        })
+    });
+    c.bench_function("engine/found_minimum/vgg16/warm", |b| {
+        b.iter(|| {
+            for layer in &layers {
+                black_box(engine::found_minimum(black_box(layer), mem));
+            }
+        })
+    });
+
+    // Acceptance check: engine-cold must be ≥ 5× faster than naive.
+    let naive_t = measure(3, || {
+        for layer in &layers {
+            black_box(naive::found_minimum(black_box(layer), mem));
+        }
+    });
+    let cold_t = measure(3, || {
+        engine::clear_search_cache();
+        for layer in &layers {
+            black_box(engine::found_minimum(black_box(layer), mem));
+        }
+    });
+    let speedup = naive_t.as_secs_f64() / cold_t.as_secs_f64().max(1e-9);
+    let stats = engine::cache_stats();
+    println!("\nspeedup (cold cache): {speedup:.1}x   (naive {naive_t:?} vs engine {cold_t:?})");
+    println!(
+        "cache after run: {} hits / {} misses ({:.0}% hit rate)",
+        stats.hits,
+        stats.misses,
+        stats.hit_rate() * 100.0
+    );
+    assert!(
+        speedup >= 5.0,
+        "engine must be >= 5x faster than the naive reference, got {speedup:.1}x"
+    );
+}

@@ -7,12 +7,22 @@
 //! the per-channel input slice (halo included) must fit the IGBuf. The
 //! paper observes this fixed splitting costs only 3–4% extra DRAM traffic
 //! (Fig. 14); the workspace tests pin that observation.
+//!
+//! The sweep shares the dataflow crate's search engine: traffic is
+//! evaluated through precomputed [`LayerTables`], the `(b, z)` outer
+//! product fans out across threads, the IGBuf/WGBuf constraints (monotone
+//! in their parameters) break candidate loops early, and the expensive
+//! `map_block` feasibility check only runs for candidates that could still
+//! beat the best feasible tiling found so far.
+
+use std::sync::atomic::{AtomicU64, Ordering};
 
 use accel_sim::mapping::{map_block, Block};
 use accel_sim::ArchConfig;
 use comm_bound::OnChipMemory;
 use conv_model::ConvLayer;
-use dataflow::{candidates, our_dataflow_traffic, paper_tiling, Tiling};
+use dataflow::engine::{BestTracker, Candidate};
+use dataflow::{candidates, paper_tiling, LayerTables, Tiling};
 
 /// True when `tiling` satisfies every structural constraint of `arch`.
 #[must_use]
@@ -40,6 +50,8 @@ pub fn tiling_feasible(layer: &ConvLayer, tiling: &Tiling, arch: &ArchConfig) ->
 
 /// Chooses the DRAM-minimal tiling of the paper's dataflow that is feasible
 /// on `arch`, by exhaustive search seeded with the closed-form choice.
+/// Equal-traffic tilings resolve to the smallest `(b, z, y, x)` tuple, the
+/// same canonical order the dataflow search engine uses.
 ///
 /// # Errors
 ///
@@ -50,38 +62,95 @@ pub fn tiling_feasible(layer: &ConvLayer, tiling: &Tiling, arch: &ArchConfig) ->
 /// dataflow provides.
 pub fn plan_for_arch(layer: &ConvLayer, arch: &ArchConfig) -> Result<Tiling, accel_sim::SimError> {
     let mem = OnChipMemory::from_words(arch.effective_onchip_words() as f64);
-    let mut best: Option<(u64, Tiling)> = None;
-    let mut consider = |t: Tiling| {
-        if !tiling_feasible(layer, &t, arch) {
-            return;
-        }
-        let q = our_dataflow_traffic(layer, &t).total_words();
-        match best {
-            Some((bq, _)) if bq <= q => {}
-            _ => best = Some((q, t)),
-        }
-    };
-
-    consider(paper_tiling(layer, mem));
+    let tables = LayerTables::new(layer);
 
     let zs = candidates(layer.out_channels());
     let ys = candidates(layer.output_height());
     let xs = candidates(layer.output_width());
+    let mut items: Vec<(usize, usize)> = Vec::with_capacity(layer.batch() * zs.len());
     for b in 1..=layer.batch() {
         for &z in &zs {
+            // WGBuf holds z kernel rows; larger z never becomes feasible.
             if z > arch.wgbuf_entries {
-                continue;
+                break;
             }
-            for &y in &ys {
-                for &x in &xs {
-                    consider(Tiling { b, z, y, x });
-                }
-            }
+            items.push((b, z));
         }
     }
 
-    match best {
-        Some((_, t)) => Ok(t),
+    // Least feasible traffic achieved so far, used to skip the expensive
+    // `map_block` check for candidates that are strictly worse. Seeded with
+    // the constructive paper tiling (when feasible) so the prune bites from
+    // the very first subtree, mirroring the dataflow engine's sweep.
+    let global_best = AtomicU64::new(u64::MAX);
+    let seed = paper_tiling(layer, mem);
+    let seed_candidate = if tiling_feasible(layer, &seed, arch) {
+        let c = Candidate {
+            tiling: seed,
+            k: 1,
+            traffic: tables.ours_traffic(&seed),
+        };
+        global_best.store(c.traffic.total_words(), Ordering::Relaxed);
+        Some(c)
+    } else {
+        None
+    };
+    let trackers = rayon::par_map(&items, |&(b, z)| {
+        let mut tracker = BestTracker::new();
+        for &y in &ys {
+            // The IGBuf constraint `b·x'·y' ≤ entries` is monotone in b, x
+            // and y; if it fails at the smallest x candidate (1), larger x
+            // and y only grow the halo footprint.
+            let (xh1, yh) = layer.input_footprint(1, y);
+            if b * xh1 * yh > arch.igbuf_entries {
+                break;
+            }
+            for &x in &xs {
+                let (xh, _) = layer.input_footprint(x, y);
+                if b * xh * yh > arch.igbuf_entries {
+                    break;
+                }
+                let tiling = Tiling { b, z, y, x };
+                let traffic = tables.ours_traffic(&tiling);
+                // Strictly worse than an achieved feasible tiling: the
+                // mapping check cannot change the outcome, skip it.
+                if traffic.total_words() > global_best.load(Ordering::Relaxed) {
+                    continue;
+                }
+                let block = Block {
+                    i0: 0,
+                    b,
+                    z0: 0,
+                    z,
+                    y0: 0,
+                    y,
+                    x0: 0,
+                    x,
+                };
+                if map_block(arch, layer, &block).is_err() {
+                    continue;
+                }
+                tracker.offer(Candidate {
+                    tiling,
+                    k: 1,
+                    traffic,
+                });
+                global_best.fetch_min(traffic.total_words(), Ordering::Relaxed);
+            }
+        }
+        tracker
+    });
+
+    let mut best = BestTracker::new();
+    for t in trackers {
+        best.merge(t);
+    }
+    if let Some(c) = seed_candidate {
+        best.offer(c);
+    }
+
+    match best.into_best() {
+        Some(c) => Ok(c.tiling),
         None => {
             // Diagnose with the unit tiling: the most informative error is
             // whatever stops the smallest possible block.
@@ -119,6 +188,7 @@ pub fn plan_for_arch(layer: &ConvLayer, arch: &ArchConfig) -> Result<Tiling, acc
 mod tests {
     use super::*;
     use conv_model::workloads;
+    use dataflow::our_dataflow_traffic;
 
     fn layer() -> ConvLayer {
         workloads::vgg16(3).layer(4).unwrap().layer
@@ -156,6 +226,27 @@ mod tests {
             (0.0..0.10).contains(&overhead),
             "fixed-splitting overhead should be small, got {overhead:.3}"
         );
+    }
+
+    #[test]
+    fn planner_is_deterministic_across_thread_counts() {
+        // The canonical tie-break makes the result independent of how many
+        // workers the sweep fans out to and how they interleave.
+        let l = layer();
+        let arch = ArchConfig::example();
+        let set_threads = |n: usize| {
+            rayon::ThreadPoolBuilder::new()
+                .num_threads(n)
+                .build_global()
+                .unwrap();
+        };
+        set_threads(1);
+        let reference = plan_for_arch(&l, &arch).unwrap();
+        for threads in [2, 4, 8] {
+            set_threads(threads);
+            assert_eq!(plan_for_arch(&l, &arch).unwrap(), reference);
+        }
+        set_threads(0); // restore auto for the other tests
     }
 
     #[test]

@@ -15,8 +15,9 @@
 use comm_bound::OnChipMemory;
 use conv_model::ConvLayer;
 
+use crate::engine::{BestTracker, Candidate, LayerTables};
 use crate::search::search_ours;
-use crate::tiling::{our_dataflow_traffic, Tiling};
+use crate::tiling::Tiling;
 use crate::traffic::DramTraffic;
 
 /// Number of distinct two-level tilings × loop orders for a layer: each of
@@ -47,17 +48,36 @@ pub fn search_space_size(layer: &ConvLayer) -> f64 {
     tilings * orders
 }
 
+/// The best point a [`random_dse`] run actually sampled.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DseBest {
+    /// The best feasible tiling sampled.
+    pub tiling: Tiling,
+    /// Its DRAM traffic.
+    pub traffic: DramTraffic,
+}
+
 /// Result of a random-sampling DSE run.
+///
+/// `best` is `None` when **no** sample satisfied the memory constraint —
+/// the run found nothing, and is reported as such rather than inventing a
+/// fallback tiling that was never sampled.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct DseOutcome {
     /// Samples drawn.
     pub samples: u64,
     /// Samples that satisfied the on-chip memory constraint.
     pub feasible: u64,
-    /// Best tiling found.
-    pub best_tiling: Tiling,
-    /// Its DRAM traffic.
-    pub best_traffic: DramTraffic,
+    /// Best sampled point, if any sample was feasible.
+    pub best: Option<DseBest>,
+}
+
+impl DseOutcome {
+    /// Total DRAM words of the best sampled point, if any.
+    #[must_use]
+    pub fn best_words(&self) -> Option<u64> {
+        self.best.map(|b| b.traffic.total_words())
+    }
 }
 
 /// Budgeted random-sampling DSE over the output-tiling space of the paper's
@@ -67,7 +87,9 @@ pub struct DseOutcome {
 /// large to enumerate. Compare its best against
 /// [`search_ours`] / [`paper_tiling`](crate::paper_tiling):
 /// with a small budget it is clearly worse; even with a large budget it can
-/// only approach the theory-guided choice.
+/// only approach the theory-guided choice. Sample evaluation goes through
+/// the engine's dense [`LayerTables`], so a 20 000-sample run costs
+/// microseconds, not the halo-loop recomputation of the seed implementation.
 #[must_use]
 pub fn random_dse(layer: &ConvLayer, mem: OnChipMemory, samples: u64, seed: u64) -> DseOutcome {
     let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15) | 1;
@@ -78,8 +100,10 @@ pub fn random_dse(layer: &ConvLayer, mem: OnChipMemory, samples: u64, seed: u64)
         (state >> 33) as usize % bound.max(1) + 1
     };
 
+    let tables = LayerTables::new(layer);
+    let mem_words = mem.words();
     let mut feasible = 0u64;
-    let mut best: Option<(u64, Tiling)> = None;
+    let mut tracker = BestTracker::new();
     for _ in 0..samples {
         let t = Tiling {
             b: next(layer.batch()),
@@ -87,40 +111,37 @@ pub fn random_dse(layer: &ConvLayer, mem: OnChipMemory, samples: u64, seed: u64)
             y: next(layer.output_height()),
             x: next(layer.output_width()),
         };
-        if !t.fits(layer, mem) {
+        if tables.ours_onchip(&t) as f64 > mem_words {
             continue;
         }
         feasible += 1;
-        let q = our_dataflow_traffic(layer, &t).total_words();
-        match best {
-            Some((bq, _)) if bq <= q => {}
-            _ => best = Some((q, t)),
-        }
+        tracker.offer(Candidate {
+            tiling: t,
+            k: 1,
+            traffic: tables.ours_traffic(&t),
+        });
     }
-    let (_, best_tiling) = best.unwrap_or((
-        u64::MAX,
-        Tiling {
-            b: 1,
-            z: 1,
-            y: 1,
-            x: 1,
-        },
-    ));
     DseOutcome {
         samples,
         feasible,
-        best_tiling,
-        best_traffic: our_dataflow_traffic(layer, &best_tiling),
+        best: tracker.into_best().map(|c| DseBest {
+            tiling: c.tiling,
+            traffic: c.traffic,
+        }),
     }
 }
 
 /// Convenience: the ratio `random-DSE best / theory-guided best` for a given
 /// sample budget (≥ 1.0 by construction; → 1.0 as the budget grows).
+/// [`f64::INFINITY`] when the DSE run found no feasible sample at all.
 #[must_use]
 pub fn dse_gap(layer: &ConvLayer, mem: OnChipMemory, samples: u64, seed: u64) -> f64 {
     let dse = random_dse(layer, mem, samples, seed);
     let ours = search_ours(layer, mem);
-    dse.best_traffic.total_words() as f64 / ours.traffic.total_words() as f64
+    match dse.best_words() {
+        Some(words) => words as f64 / ours.traffic.total_words() as f64,
+        None => f64::INFINITY,
+    }
 }
 
 #[cfg(test)]
@@ -181,7 +202,35 @@ mod tests {
         let mem = OnChipMemory::from_kib(66.5);
         let a = random_dse(&layer(), mem, 500, 9);
         let b = random_dse(&layer(), mem, 500, 9);
-        assert_eq!(a.best_tiling, b.best_tiling);
-        assert_eq!(a.feasible, b.feasible);
+        assert_eq!(a, b);
+        assert!(a.best.is_some());
+    }
+
+    #[test]
+    fn zero_feasible_run_reports_none() {
+        // A memory barely above the {1,1,1,1} working set (19 words for a
+        // 3×3 kernel): only a handful of the 3·256·56·56 possible samples
+        // are feasible, so this deterministic 200-sample run draws none.
+        let l = layer();
+        let mem = OnChipMemory::from_words(25.0);
+        let out = random_dse(&l, mem, 200, 5);
+        assert_eq!(out.feasible, 0);
+        assert_eq!(out.best, None);
+        assert_eq!(out.best_words(), None);
+        assert_eq!(dse_gap(&l, mem, 200, 5), f64::INFINITY);
+    }
+
+    #[test]
+    fn dse_best_matches_direct_evaluation() {
+        let l = layer();
+        let mem = OnChipMemory::from_kib(66.5);
+        let out = random_dse(&l, mem, 1_000, 17);
+        let best = out.best.expect("66.5 KiB admits many samples");
+        assert_eq!(
+            best.traffic,
+            crate::our_dataflow_traffic(&l, &best.tiling),
+            "table-evaluated traffic must equal the direct formula"
+        );
+        assert!(best.tiling.fits(&l, mem));
     }
 }

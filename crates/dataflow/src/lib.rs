@@ -30,11 +30,13 @@
 
 pub mod baselines;
 pub mod dse;
+pub mod engine;
 mod nest_counter;
 mod search;
 mod tiling;
 mod traffic;
 
+pub use engine::{cache_stats, clear_search_cache, CacheStats, LayerTables};
 pub use nest_counter::count_by_execution;
 pub use search::{
     candidates, found_minimum, plan_tiling, search_baseline, search_dataflow, search_ours,

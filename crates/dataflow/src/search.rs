@@ -2,21 +2,18 @@
 //!
 //! The paper removes the impact of improper tiling sizes by exhaustively
 //! searching the tiling space of every dataflow (Section VI-A: "the tiling
-//! sizes of all dataflows are obtained by exhaustive searches"). This module
-//! reproduces that: each dataflow's free parameters are swept over a dense
-//! candidate grid (all divisors plus a geometric ladder, a few thousand
-//! points per layer), keeping the feasible choice with the least traffic.
+//! sizes of all dataflows are obtained by exhaustive searches"). The
+//! functions here are thin, memoized entry points over the shared
+//! [`engine`](crate::engine): axis-table evaluation, monotonicity pruning
+//! and thread fan-out live there, together with the retained
+//! [`naive`](crate::engine::naive) reference the engine is tested against.
 
 use comm_bound::OnChipMemory;
 use conv_model::ConvLayer;
 use serde::{Deserialize, Serialize};
 
-use crate::baselines::{
-    inr_a_onchip, inr_a_traffic, inr_b_onchip, inr_b_traffic, inr_c_onchip, inr_c_traffic,
-    outr_a_onchip, outr_a_traffic, outr_b_onchip, outr_b_traffic, wtr_a_onchip, wtr_a_traffic,
-    wtr_b_onchip, wtr_b_traffic, BaselineParams,
-};
-use crate::tiling::{our_dataflow_traffic, paper_tiling, Tiling};
+use crate::engine;
+use crate::tiling::Tiling;
 use crate::traffic::DramTraffic;
 use crate::DataflowKind;
 
@@ -56,61 +53,17 @@ pub fn candidates(dim: usize) -> Vec<usize> {
     c
 }
 
-fn better(best: &mut Option<(DramTraffic, Tiling, usize)>, t: DramTraffic, til: Tiling, k: usize) {
-    match best {
-        Some((bt, _, _)) if bt.total_words() <= t.total_words() => {}
-        _ => *best = Some((t, til, k)),
-    }
-}
-
 /// Exhaustively searches the paper's dataflow tiling `{b, z, y, x}` under
 /// the `k = 1` on-chip constraint, seeded with the closed-form
-/// [`paper_tiling`] so the result is never worse than the constructive
-/// choice.
+/// [`paper_tiling`](crate::paper_tiling) so the result is never worse than
+/// the constructive choice. Memoized per `(layer shape, memory)`.
 #[must_use]
 pub fn search_ours(layer: &ConvLayer, mem: OnChipMemory) -> DataflowChoice {
-    let mut best: Option<(DramTraffic, Tiling, usize)> = None;
-
-    let seed = paper_tiling(layer, mem);
-    if seed.fits(layer, mem) {
-        better(&mut best, our_dataflow_traffic(layer, &seed), seed, 1);
-    }
-
-    let zs = candidates(layer.out_channels());
-    let ys = candidates(layer.output_height());
-    let xs = candidates(layer.output_width());
-    for b in 1..=layer.batch() {
-        for &z in &zs {
-            for &y in &ys {
-                for &x in &xs {
-                    let t = Tiling { b, z, y, x };
-                    if !t.fits(layer, mem) {
-                        continue;
-                    }
-                    better(&mut best, our_dataflow_traffic(layer, &t), t, 1);
-                }
-            }
-        }
-    }
-    let (traffic, tiling, k) = best.expect("the {1,1,1,1} tiling always fits any positive memory");
-    DataflowChoice {
-        kind: DataflowKind::Ours,
-        tiling,
-        k,
-        traffic,
-    }
+    engine::search_dataflow(DataflowKind::Ours, layer, mem).expect("Ours is always feasible")
 }
 
-fn baseline_tiling(layer: &ConvLayer, p: &BaselineParams) -> Tiling {
-    Tiling {
-        b: 1,
-        z: p.z.clamp(1, layer.out_channels()),
-        y: p.y.clamp(1, layer.output_height()),
-        x: p.x.clamp(1, layer.output_width()),
-    }
-}
-
-/// Exhaustively searches one baseline dataflow's parameters.
+/// Exhaustively searches one baseline dataflow's parameters. Memoized per
+/// `(kind, layer shape, memory)`.
 ///
 /// Returns `None` when no parameter choice fits (e.g. `InR-C` needs a full
 /// `Ci·Wk·Hk` column resident, which can exceed small memories).
@@ -120,79 +73,7 @@ pub fn search_baseline(
     layer: &ConvLayer,
     mem: OnChipMemory,
 ) -> Option<DataflowChoice> {
-    type TrafficFn = fn(&ConvLayer, &BaselineParams) -> DramTraffic;
-    type OnchipFn = fn(&ConvLayer, &BaselineParams) -> u64;
-
-    let (traffic_fn, onchip_fn): (TrafficFn, OnchipFn) = match kind {
-        DataflowKind::OutRA => (outr_a_traffic, outr_a_onchip),
-        DataflowKind::OutRB => (outr_b_traffic, outr_b_onchip),
-        DataflowKind::WtRA => (wtr_a_traffic, wtr_a_onchip),
-        DataflowKind::WtRB => (wtr_b_traffic, wtr_b_onchip),
-        DataflowKind::InRA => (inr_a_traffic, inr_a_onchip),
-        DataflowKind::InRB => (inr_b_traffic, inr_b_onchip),
-        DataflowKind::InRC => (inr_c_traffic, inr_c_onchip),
-        DataflowKind::Ours => {
-            let c = search_ours(layer, mem);
-            return Some(c);
-        }
-    };
-
-    // Which parameters each baseline actually sweeps.
-    let (sweep_z, sweep_k, sweep_xy) = match kind {
-        DataflowKind::OutRA | DataflowKind::OutRB | DataflowKind::InRC => (false, false, true),
-        DataflowKind::WtRA => (true, true, false),
-        DataflowKind::WtRB => (true, false, false),
-        DataflowKind::InRA => (false, true, true),
-        DataflowKind::InRB => (false, true, false),
-        DataflowKind::Ours => unreachable!(),
-    };
-
-    let ones = vec![1usize];
-    let zs = if sweep_z {
-        candidates(layer.out_channels())
-    } else {
-        ones.clone()
-    };
-    let ks = if sweep_k {
-        candidates(layer.in_channels())
-    } else {
-        ones.clone()
-    };
-    let ys = if sweep_xy {
-        candidates(layer.output_height())
-    } else {
-        ones.clone()
-    };
-    let xs = if sweep_xy {
-        candidates(layer.output_width())
-    } else {
-        ones
-    };
-
-    let mut best: Option<(DramTraffic, BaselineParams)> = None;
-    for &z in &zs {
-        for &k in &ks {
-            for &y in &ys {
-                for &x in &xs {
-                    let p = BaselineParams { z, k, y, x };
-                    if onchip_fn(layer, &p) as f64 > mem.words() {
-                        continue;
-                    }
-                    let t = traffic_fn(layer, &p);
-                    match &best {
-                        Some((bt, _)) if bt.total_words() <= t.total_words() => {}
-                        _ => best = Some((t, p)),
-                    }
-                }
-            }
-        }
-    }
-    best.map(|(traffic, p)| DataflowChoice {
-        kind,
-        tiling: baseline_tiling(layer, &p),
-        k: p.k,
-        traffic,
-    })
+    engine::search_dataflow(kind, layer, mem)
 }
 
 /// Searches one dataflow (dispatching between [`search_ours`] and
@@ -203,10 +84,7 @@ pub fn search_dataflow(
     layer: &ConvLayer,
     mem: OnChipMemory,
 ) -> Option<DataflowChoice> {
-    match kind {
-        DataflowKind::Ours => Some(search_ours(layer, mem)),
-        other => search_baseline(other, layer, mem),
-    }
+    engine::search_dataflow(kind, layer, mem)
 }
 
 /// The paper's "found minimum": the best dataflow with the best tiling for
@@ -214,11 +92,7 @@ pub fn search_dataflow(
 /// is feasible for any positive memory.
 #[must_use]
 pub fn found_minimum(layer: &ConvLayer, mem: OnChipMemory) -> DataflowChoice {
-    DataflowKind::ALL
-        .iter()
-        .filter_map(|&kind| search_dataflow(kind, layer, mem))
-        .min_by_key(|c| c.traffic.total_words())
-        .expect("Ours is always feasible")
+    engine::found_minimum(layer, mem)
 }
 
 /// Convenience: the best tiling for the paper's dataflow (exhaustive).
@@ -230,6 +104,7 @@ pub fn plan_tiling(layer: &ConvLayer, mem: OnChipMemory) -> Tiling {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::tiling::{our_dataflow_traffic, paper_tiling};
     use conv_model::workloads;
 
     fn layer() -> ConvLayer {

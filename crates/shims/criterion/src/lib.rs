@@ -1,0 +1,191 @@
+//! Offline stand-in for `criterion`: the same `bench_function`/`iter`
+//! surface and `criterion_group!`/`criterion_main!` macros, measuring with
+//! plain wall-clock sampling.
+//!
+//! Compared to the real crate there is no statistical regression analysis,
+//! no plotting and no CLI filtering — a benchmark run prints
+//! `name  time: [min median mean]` per benchmark, which is enough to compare
+//! the naive and engine search hot paths in CI logs. Timings come from
+//! [`std::time::Instant`]; each benchmark warms up briefly, then takes a
+//! fixed number of samples with an iteration count chosen so one sample
+//! lasts roughly a millisecond or more.
+
+#![deny(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Benchmark driver; collects and prints one result per `bench_function`.
+#[derive(Debug)]
+pub struct Criterion {
+    /// Number of measured samples per benchmark.
+    samples: usize,
+    /// Target total measuring time per benchmark.
+    measure_time: Duration,
+    /// Warm-up time per benchmark.
+    warmup_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            samples: 20,
+            measure_time: Duration::from_millis(1500),
+            warmup_time: Duration::from_millis(300),
+        }
+    }
+}
+
+impl Criterion {
+    /// Overrides the number of measured samples.
+    #[must_use]
+    pub fn sample_size(mut self, samples: usize) -> Self {
+        self.samples = samples.max(2);
+        self
+    }
+
+    /// Overrides the measurement time budget.
+    #[must_use]
+    pub fn measurement_time(mut self, t: Duration) -> Self {
+        self.measure_time = t;
+        self
+    }
+
+    /// Runs one benchmark and prints its timing summary.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher {
+            samples: self.samples,
+            measure_time: self.measure_time,
+            warmup_time: self.warmup_time,
+            result: None,
+        };
+        f(&mut bencher);
+        match bencher.result {
+            Some(stats) => println!(
+                "{id:<40} time: [{} {} {}]",
+                format_duration(stats.min),
+                format_duration(stats.median),
+                format_duration(stats.mean),
+            ),
+            None => println!("{id:<40} time: [no measurement — iter() was not called]"),
+        }
+        self
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Stats {
+    min: Duration,
+    median: Duration,
+    mean: Duration,
+}
+
+/// Measures one closure; handed to the `bench_function` callback.
+#[derive(Debug)]
+pub struct Bencher {
+    samples: usize,
+    measure_time: Duration,
+    warmup_time: Duration,
+    result: Option<Stats>,
+}
+
+impl Bencher {
+    /// Times `f`, running it repeatedly; the closure's return value is
+    /// black-boxed so the computation is not optimized away.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm-up: also estimates the per-iteration cost.
+        let warmup_start = Instant::now();
+        let mut warmup_iters: u64 = 0;
+        while warmup_start.elapsed() < self.warmup_time {
+            black_box(f());
+            warmup_iters += 1;
+        }
+        let per_iter = warmup_start.elapsed() / u32::try_from(warmup_iters).unwrap_or(u32::MAX);
+
+        // Choose iterations per sample so a sample is long enough to time
+        // accurately, while the whole measurement respects the budget.
+        let budget_per_sample = self.measure_time / u32::try_from(self.samples).unwrap_or(1);
+        let iters_per_sample = if per_iter.is_zero() {
+            1000
+        } else {
+            (budget_per_sample.as_nanos() / per_iter.as_nanos().max(1)).clamp(1, 1_000_000) as u64
+        };
+
+        let mut times: Vec<Duration> = Vec::with_capacity(self.samples);
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            for _ in 0..iters_per_sample {
+                black_box(f());
+            }
+            times.push(start.elapsed() / u32::try_from(iters_per_sample).unwrap_or(1));
+        }
+        times.sort_unstable();
+        let total: Duration = times.iter().sum();
+        self.result = Some(Stats {
+            min: times[0],
+            median: times[times.len() / 2],
+            mean: total / u32::try_from(times.len()).unwrap_or(1),
+        });
+    }
+}
+
+/// Formats a duration with criterion-style units.
+#[must_use]
+pub fn format_duration(d: Duration) -> String {
+    let nanos = d.as_nanos();
+    if nanos < 1_000 {
+        format!("{nanos} ns")
+    } else if nanos < 1_000_000 {
+        format!("{:.2} µs", nanos as f64 / 1e3)
+    } else if nanos < 1_000_000_000 {
+        format!("{:.2} ms", nanos as f64 / 1e6)
+    } else {
+        format!("{:.3} s", nanos as f64 / 1e9)
+    }
+}
+
+/// Bundles benchmark functions into a group runner, like real criterion.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Generates `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_something() {
+        let mut c = Criterion::default()
+            .sample_size(3)
+            .measurement_time(Duration::from_millis(30));
+        c.bench_function("noop", |b| b.iter(|| 1 + 1));
+    }
+
+    #[test]
+    fn formats_units() {
+        assert_eq!(format_duration(Duration::from_nanos(12)), "12 ns");
+        assert_eq!(format_duration(Duration::from_micros(12)), "12.00 µs");
+        assert_eq!(format_duration(Duration::from_millis(12)), "12.00 ms");
+        assert_eq!(format_duration(Duration::from_secs(12)), "12.000 s");
+    }
+}

@@ -1,0 +1,173 @@
+//! Offline stand-in for `rayon`: genuinely parallel, but a tiny API.
+//!
+//! The workspace builds hermetically, so the real `rayon` crate is replaced
+//! by this shim built on [`std::thread::scope`]. It provides the subset the
+//! tiling-search engine uses:
+//!
+//! * [`ThreadPoolBuilder`]/[`current_num_threads`] — a global thread-count
+//!   knob (there is no persistent pool; threads are scoped per call, which
+//!   is fine for the engine's coarse-grained, compute-bound tasks);
+//! * [`join`] — run two closures in parallel;
+//! * [`par_map`] — order-preserving parallel map over a slice with atomic
+//!   work stealing, so unevenly sized work items (pruned search subtrees)
+//!   balance across threads.
+//!
+//! Unlike real rayon there is no work-splitting of nested calls: a
+//! `par_map` inside a `par_map` simply spawns its own scoped threads. The
+//! engine keeps nesting depth ≤ 2, so the worst-case thread count stays
+//! bounded by `current_num_threads()²`, which is harmless for
+//! compute-bound tasks on the coarse grains the engine fans out.
+
+#![deny(missing_docs)]
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Global thread-count override; 0 means "use available parallelism".
+static NUM_THREADS: AtomicUsize = AtomicUsize::new(0);
+
+/// Error returned by [`ThreadPoolBuilder::build_global`] (never constructed
+/// by this shim — the global knob can be set repeatedly — but kept so call
+/// sites can use the real rayon error-handling idiom).
+#[derive(Debug)]
+pub struct ThreadPoolBuildError;
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("failed to configure the global thread count")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// Builder for the global parallelism configuration.
+#[derive(Debug, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: usize,
+}
+
+impl ThreadPoolBuilder {
+    /// Starts a builder with default settings.
+    #[must_use]
+    pub fn new() -> Self {
+        ThreadPoolBuilder::default()
+    }
+
+    /// Sets the number of worker threads (0 = auto).
+    #[must_use]
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = n;
+        self
+    }
+
+    /// Installs the configuration globally.
+    ///
+    /// # Errors
+    ///
+    /// Never fails in this shim; the signature matches real rayon so call
+    /// sites stay source-compatible.
+    pub fn build_global(self) -> Result<(), ThreadPoolBuildError> {
+        NUM_THREADS.store(self.num_threads, Ordering::Relaxed);
+        Ok(())
+    }
+}
+
+/// The number of threads parallel operations will use.
+#[must_use]
+pub fn current_num_threads() -> usize {
+    match NUM_THREADS.load(Ordering::Relaxed) {
+        0 => std::thread::available_parallelism().map_or(1, usize::from),
+        n => n,
+    }
+}
+
+/// Runs both closures, potentially in parallel, and returns both results.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    if current_num_threads() <= 1 {
+        return (a(), b());
+    }
+    std::thread::scope(|scope| {
+        let handle = scope.spawn(a);
+        let rb = b();
+        (handle.join().expect("joined closure panicked"), rb)
+    })
+}
+
+/// Order-preserving parallel map over a slice.
+///
+/// Work items are claimed one at a time from an atomic counter, so threads
+/// that draw cheap items (e.g. search subtrees pruned immediately) move on
+/// to the next item instead of idling.
+pub fn par_map<T, R, F>(items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let threads = current_num_threads().min(items.len());
+    if threads <= 1 {
+        return items.iter().map(f).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let collected: Mutex<Vec<(usize, R)>> = Mutex::new(Vec::with_capacity(items.len()));
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| {
+                // Batch locally and merge once per thread: the lock is taken
+                // `threads` times total, not once per item.
+                let mut local: Vec<(usize, R)> = Vec::new();
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    let Some(item) = items.get(i) else { break };
+                    local.push((i, f(item)));
+                }
+                collected
+                    .lock()
+                    .expect("no poisoned lock: workers do not panic mid-merge")
+                    .append(&mut local);
+            });
+        }
+    });
+    let mut pairs = collected.into_inner().expect("scope joined all workers");
+    pairs.sort_unstable_by_key(|(i, _)| *i);
+    pairs.into_iter().map(|(_, r)| r).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn par_map_preserves_order() {
+        let items: Vec<u64> = (0..1000).collect();
+        let doubled = par_map(&items, |x| x * 2);
+        assert_eq!(doubled, items.iter().map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn join_returns_both() {
+        let (a, b) = join(|| 1 + 1, || "two");
+        assert_eq!(a, 2);
+        assert_eq!(b, "two");
+    }
+
+    #[test]
+    fn thread_count_override() {
+        ThreadPoolBuilder::new()
+            .num_threads(3)
+            .build_global()
+            .unwrap();
+        assert_eq!(current_num_threads(), 3);
+        ThreadPoolBuilder::new()
+            .num_threads(0)
+            .build_global()
+            .unwrap();
+        assert!(current_num_threads() >= 1);
+    }
+}

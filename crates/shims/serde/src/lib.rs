@@ -1,0 +1,306 @@
+//! Offline stand-in for the `serde` crate.
+//!
+//! This workspace builds in hermetic environments with no crates.io access,
+//! so the usual `serde` dependency is replaced by this API-subset shim. It
+//! keeps the surface the workspace actually uses — `Serialize`,
+//! `Deserialize`, and `#[derive(Serialize, Deserialize)]` re-exported under
+//! the `derive` feature — but trades serde's zero-copy visitor architecture
+//! for a simple tree model: serialization produces a [`Value`] and
+//! deserialization consumes one. `serde_json` (the sibling shim) renders and
+//! parses that tree as JSON.
+//!
+//! Supported shapes (everything the workspace derives): named-field structs,
+//! tuple structs, unit-only enums, and generic structs whose parameters
+//! themselves implement the traits. Numbers are carried as `f64`, which is
+//! exact for every counter in this workspace (all < 2⁵³).
+
+#![deny(missing_docs)]
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+/// A serialized value tree (the JSON data model).
+///
+/// Objects are ordered field lists rather than maps so that serialization
+/// is deterministic and mirrors declaration order.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// JSON boolean.
+    Bool(bool),
+    /// Any JSON number (integers in this workspace are < 2⁵³, so `f64` is
+    /// lossless for them).
+    Number(f64),
+    /// JSON string.
+    String(String),
+    /// JSON array.
+    Array(Vec<Value>),
+    /// JSON object as an ordered `(key, value)` list.
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Looks up a field of an object, erroring when missing.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error`] when `self` is not an object or lacks the field.
+    pub fn get_field(&self, name: &str) -> Result<&Value, Error> {
+        match self {
+            Value::Object(fields) => fields
+                .iter()
+                .find(|(k, _)| k == name)
+                .map(|(_, v)| v)
+                .ok_or_else(|| Error::custom(format!("missing field `{name}`"))),
+            _ => Err(Error::custom(format!(
+                "expected object with field `{name}`"
+            ))),
+        }
+    }
+
+    /// The value as a string slice.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error`] when `self` is not a string.
+    pub fn as_str(&self) -> Result<&str, Error> {
+        match self {
+            Value::String(s) => Ok(s),
+            _ => Err(Error::custom("expected string")),
+        }
+    }
+
+    /// The value as a number.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error`] when `self` is not a number.
+    pub fn as_number(&self) -> Result<f64, Error> {
+        match self {
+            Value::Number(n) => Ok(*n),
+            _ => Err(Error::custom("expected number")),
+        }
+    }
+
+    /// The value as an array slice.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error`] when `self` is not an array.
+    pub fn as_array(&self) -> Result<&[Value], Error> {
+        match self {
+            Value::Array(items) => Ok(items),
+            _ => Err(Error::custom("expected array")),
+        }
+    }
+}
+
+/// Serialization/deserialization error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error {
+    message: String,
+}
+
+impl Error {
+    /// Creates an error with a custom message.
+    pub fn custom(message: impl Into<String>) -> Self {
+        Error {
+            message: message.into(),
+        }
+    }
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// A type that can be rendered into a [`Value`] tree.
+pub trait Serialize {
+    /// Converts `self` into a value tree.
+    fn to_value(&self) -> Value;
+}
+
+/// A type that can be rebuilt from a [`Value`] tree.
+pub trait Deserialize: Sized {
+    /// Rebuilds `Self` from a value tree.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error`] when the tree does not match the expected shape.
+    fn from_value(value: &Value) -> Result<Self, Error>;
+}
+
+macro_rules! impl_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::Number(*self as f64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(value: &Value) -> Result<Self, Error> {
+                let n = value.as_number()?;
+                if n.fract() != 0.0 {
+                    return Err(Error::custom(format!(
+                        "expected integer, got {n}"
+                    )));
+                }
+                Ok(n as $t)
+            }
+        }
+    )*};
+}
+
+impl_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        Value::Number(*self)
+    }
+}
+
+impl Deserialize for f64 {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        value.as_number()
+    }
+}
+
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        Value::Number(f64::from(*self))
+    }
+}
+
+impl Deserialize for f32 {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        Ok(value.as_number()? as f32)
+    }
+}
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Bool(b) => Ok(*b),
+            _ => Err(Error::custom("expected bool")),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::String(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        Ok(value.as_str()?.to_string())
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        value.as_array()?.iter().map(T::from_value).collect()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            None => Value::Null,
+            Some(v) => v.to_value(),
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Null => Ok(None),
+            other => Ok(Some(T::from_value(other)?)),
+        }
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<A: Serialize, B: Serialize> Serialize for (A, B) {
+    fn to_value(&self) -> Value {
+        Value::Array(vec![self.0.to_value(), self.1.to_value()])
+    }
+}
+
+impl<A: Deserialize, B: Deserialize> Deserialize for (A, B) {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        let items = value.as_array()?;
+        if items.len() != 2 {
+            return Err(Error::custom("expected 2-element array"));
+        }
+        Ok((A::from_value(&items[0])?, B::from_value(&items[1])?))
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_primitives() {
+        assert_eq!(u64::from_value(&42u64.to_value()).unwrap(), 42);
+        assert_eq!(f64::from_value(&1.5f64.to_value()).unwrap(), 1.5);
+        assert_eq!(
+            String::from_value(&"hi".to_string().to_value()).unwrap(),
+            "hi"
+        );
+        assert_eq!(
+            Vec::<u32>::from_value(&vec![1u32, 2, 3].to_value()).unwrap(),
+            vec![1, 2, 3]
+        );
+        assert_eq!(Option::<u32>::from_value(&Value::Null).unwrap(), None);
+    }
+
+    #[test]
+    fn integer_rejects_fraction() {
+        assert!(u64::from_value(&Value::Number(1.5)).is_err());
+    }
+
+    #[test]
+    fn field_lookup() {
+        let v = Value::Object(vec![("a".into(), Value::Number(1.0))]);
+        assert_eq!(v.get_field("a").unwrap(), &Value::Number(1.0));
+        assert!(v.get_field("b").is_err());
+    }
+}

@@ -209,7 +209,33 @@ fn usage() -> &'static str {
      clb bound   --co 512 --size 28 --ci 256 [--k 3] [--stride 1] [--batch 3] [--mem-kib 66.5]\n\
      clb sweep   --co 512 --size 28 --ci 256 [--mem-kib 66.5]\n\
      clb plan    --co 512 --size 28 --ci 256 [--implem 1]\n\
-     clb network --net vgg16|alexnet|resnet50 [--batch 3] [--implem 1] [--json true]"
+     clb network --net vgg16|alexnet|resnet50 [--batch 3] [--implem 1] [--json true]\n\
+     \n\
+     global flags:\n\
+     --threads N        worker threads for the tiling-search engine (0 = auto)\n\
+     --cache-stats true print search-cache hits/misses after the command"
+}
+
+/// Applies the global engine flags (`--threads`, `--cache-stats`); returns
+/// whether cache statistics were requested.
+fn apply_engine_flags(flags: &HashMap<String, String>) -> Result<bool, String> {
+    let threads: usize = get(flags, "threads", 0)?;
+    rayon::ThreadPoolBuilder::new()
+        .num_threads(threads)
+        .build_global()
+        .map_err(|e| e.to_string())?;
+    get(flags, "cache-stats", false)
+}
+
+fn print_cache_stats() {
+    let stats = dataflow::cache_stats();
+    eprintln!(
+        "search cache: {} hits / {} misses ({:.0}% hit rate, {} entries)",
+        stats.hits,
+        stats.misses,
+        stats.hit_rate() * 100.0,
+        stats.entries
+    );
 }
 
 fn main() -> ExitCode {
@@ -218,12 +244,19 @@ fn main() -> ExitCode {
         eprintln!("{}", usage());
         return ExitCode::FAILURE;
     };
-    let result = parse_flags(rest).and_then(|flags| match cmd.as_str() {
-        "bound" => cmd_bound(&flags),
-        "sweep" => cmd_sweep(&flags),
-        "plan" => cmd_plan(&flags),
-        "network" => cmd_network(&flags),
-        other => Err(format!("unknown command `{other}`\n{}", usage())),
+    let result = parse_flags(rest).and_then(|flags| {
+        let cache_stats = apply_engine_flags(&flags)?;
+        let outcome = match cmd.as_str() {
+            "bound" => cmd_bound(&flags),
+            "sweep" => cmd_sweep(&flags),
+            "plan" => cmd_plan(&flags),
+            "network" => cmd_network(&flags),
+            other => Err(format!("unknown command `{other}`\n{}", usage())),
+        };
+        if cache_stats {
+            print_cache_stats();
+        }
+        outcome
     });
     match result {
         Ok(()) => ExitCode::SUCCESS,
@@ -297,5 +330,18 @@ mod tests {
     fn network_rejects_unknown_name() {
         let f = flags(&[("net", "lenet")]);
         assert!(cmd_network(&f).is_err());
+    }
+
+    #[test]
+    fn engine_flags_parse_and_apply() {
+        assert!(!apply_engine_flags(&flags(&[])).unwrap());
+        assert!(apply_engine_flags(&flags(&[("cache-stats", "true")])).unwrap());
+        assert!(!apply_engine_flags(&flags(&[("cache-stats", "false")])).unwrap());
+        assert!(apply_engine_flags(&flags(&[("cache-stats", "yes")])).is_err());
+        assert!(apply_engine_flags(&flags(&[("threads", "2")])).is_ok());
+        assert!(apply_engine_flags(&flags(&[("threads", "x")])).is_err());
+        // Leave the global thread count on auto for the other tests.
+        apply_engine_flags(&flags(&[("threads", "0")])).unwrap();
+        print_cache_stats();
     }
 }
