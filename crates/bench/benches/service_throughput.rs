@@ -1,0 +1,155 @@
+//! Throughput gate for the analysis service: warm-cache requests/second
+//! through the running server must beat the naive spawn-per-request
+//! baseline the service exists to replace.
+//!
+//! * **Baseline** — what consumers do without a resident service: per
+//!   query, spawn a fresh worker (standing in for process startup, which
+//!   only makes the baseline look better than reality), clear the tiling
+//!   search memo cache (a new process starts cold) and run the full
+//!   analysis.
+//! * **Service** — a `clb-service` server on an ephemeral port, measured
+//!   over real TCP with concurrent clients after one warming pass, the
+//!   regime a long-running deployment operates in (response cache + memo
+//!   cache + coalescing all hot).
+//!
+//! The run prints both rates and exits non-zero unless the service wins.
+//! It also asserts memory sanity under sustained load: every cache the
+//! service layers on top of the pipeline reports entries ≤ its bound.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
+
+use clb_service::{api, CacheStatsResponse, Server, ServiceConfig};
+use serde::Value;
+
+// `/v1/sweep` exhaustively searches all eight dataflows, the workload whose
+// cold cost the resident service exists to amortize (one memoized search
+// per process vs. one per query).
+const ENDPOINT: &str = "/v1/sweep";
+const QUERIES: [&str; 3] = [
+    "{\"co\":256,\"size\":28,\"ci\":128,\"batch\":3}",
+    "{\"co\":128,\"size\":56,\"ci\":64,\"batch\":3}",
+    "{\"co\":512,\"size\":14,\"ci\":256,\"batch\":3}",
+];
+
+fn baseline_spawn_per_request(requests: usize) -> Duration {
+    let start = Instant::now();
+    for i in 0..requests {
+        let body = QUERIES[i % QUERIES.len()];
+        // One thread per request ≈ one process per request, minus the
+        // exec/link/init cost the real one-shot CLI also pays.
+        std::thread::spawn(move || {
+            dataflow::clear_search_cache();
+            let parsed: Value = serde_json::from_str(body).expect("bench body parses");
+            let response = api::dispatch(ENDPOINT, &parsed);
+            assert_eq!(response.status, 200);
+            response.body.len()
+        })
+        .join()
+        .expect("baseline worker");
+    }
+    start.elapsed()
+}
+
+fn http_request(addr: std::net::SocketAddr, path: &str, body: &str) -> (u16, usize) {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    write!(
+        stream,
+        "POST {path} HTTP/1.1\r\nHost: bench\r\nContent-Length: {}\r\n\r\n{body}",
+        body.len()
+    )
+    .expect("send");
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw).expect("read");
+    let status: u16 = raw
+        .split(' ')
+        .nth(1)
+        .expect("status")
+        .parse()
+        .expect("code");
+    let len = raw.split_once("\r\n\r\n").map_or(0, |(_, b)| b.len());
+    (status, len)
+}
+
+fn service_warm(addr: std::net::SocketAddr, clients: usize, per_client: usize) -> Duration {
+    // Warm every distinct query once (the first request pays the search).
+    for body in QUERIES {
+        let (status, _) = http_request(addr, ENDPOINT, body);
+        assert_eq!(status, 200);
+    }
+    let start = Instant::now();
+    std::thread::scope(|scope| {
+        for c in 0..clients {
+            scope.spawn(move || {
+                for i in 0..per_client {
+                    let body = QUERIES[(c + i) % QUERIES.len()];
+                    let (status, len) = http_request(addr, ENDPOINT, body);
+                    assert_eq!(status, 200);
+                    assert!(len > 0);
+                }
+            });
+        }
+    });
+    start.elapsed()
+}
+
+fn main() {
+    // Baseline first: it clears the process-wide search cache per request,
+    // which must not race the service measurement.
+    let baseline_requests = 12;
+    let baseline = baseline_spawn_per_request(baseline_requests);
+    let baseline_rps = baseline_requests as f64 / baseline.as_secs_f64();
+    println!(
+        "baseline/spawn-per-request       {baseline_requests} reqs in {baseline:?}  ({baseline_rps:.1} req/s)"
+    );
+
+    let server = Server::spawn(ServiceConfig::default()).expect("bind ephemeral port");
+    let addr = server.addr();
+    let (clients, per_client) = (8, 32);
+    let total = clients * per_client;
+    let elapsed = service_warm(addr, clients, per_client);
+    let service_rps = total as f64 / elapsed.as_secs_f64();
+    println!(
+        "service/warm-cache               {total} reqs in {elapsed:?}  ({service_rps:.1} req/s)"
+    );
+    println!(
+        "speedup: {:.1}x  ({clients} concurrent clients)",
+        service_rps / baseline_rps
+    );
+
+    // Bounded-memory sanity under the sustained load just generated.
+    let mut raw = String::new();
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    write!(stream, "GET /v1/cache_stats HTTP/1.1\r\n\r\n").expect("send");
+    stream.read_to_string(&mut raw).expect("read");
+    let body = raw.split_once("\r\n\r\n").expect("http response").1;
+    let stats: CacheStatsResponse = serde_json::from_str(body).expect("stats parse");
+    println!(
+        "caches: search {}/{} entries ({} evictions), responses {}/{} entries, {} coalesced",
+        stats.search.entries,
+        stats.search.capacity,
+        stats.search.evictions,
+        stats.service.response_cache_entries,
+        stats.service.response_cache_capacity,
+        stats.service.coalesced,
+    );
+    assert!(
+        stats.search.entries <= stats.search.capacity,
+        "search cache exceeded its LRU bound"
+    );
+    assert!(
+        stats.service.response_cache_entries <= stats.service.response_cache_capacity,
+        "response cache exceeded its LRU bound"
+    );
+    assert!(
+        stats.service.responses_cached + stats.service.coalesced >= (total - QUERIES.len()) as u64,
+        "warm requests must be served by the cache/coalescing layers"
+    );
+    server.shutdown().expect("graceful shutdown");
+
+    assert!(
+        service_rps > baseline_rps,
+        "the resident service must beat spawn-per-request: {service_rps:.1} vs {baseline_rps:.1} req/s"
+    );
+}

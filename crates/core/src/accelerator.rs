@@ -115,13 +115,28 @@ impl Accelerator {
 
     /// Full analysis of a network (the Fig. 14–20 pipeline).
     ///
+    /// The per-layer plan → simulate → bound → energy pipelines are
+    /// independent, so they fan out across threads (`rayon::par_map`); the
+    /// report keeps layers in network order and the result is bit-identical
+    /// to a serial run (planning is deterministic under parallelism and the
+    /// search cache only memoizes deterministic values).
+    ///
     /// # Errors
     ///
-    /// Propagates the first [`SimError`] encountered.
+    /// Propagates the first (in layer order) [`SimError`] encountered.
     pub fn analyze_network(&self, network: &Network) -> Result<NetworkReport, SimError> {
-        let mut layers = Vec::with_capacity(network.len());
-        for named in network.conv_layers() {
-            layers.push(self.analyze_layer(&named.name, &named.layer)?);
+        let named: Vec<_> = network.conv_layers().collect();
+        // `par_map` preserves item order, so `?` below still surfaces the
+        // first failing layer in network order, matching the serial loop.
+        // Deliberate trade: unlike the serial loop, the remaining layers
+        // are still analyzed when an early one fails — failures only occur
+        // for structurally unmappable layers (rare, caller-visible 4xx),
+        // and short-circuiting across workers would make which error
+        // surfaces depend on thread timing.
+        let results = rayon::par_map(&named, |n| self.analyze_layer(&n.name, &n.layer));
+        let mut layers = Vec::with_capacity(results.len());
+        for result in results {
+            layers.push(result?);
         }
         let totals = layers
             .iter()

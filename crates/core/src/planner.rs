@@ -8,21 +8,22 @@
 //! paper observes this fixed splitting costs only 3–4% extra DRAM traffic
 //! (Fig. 14); the workspace tests pin that observation.
 //!
-//! The sweep shares the dataflow crate's search engine: traffic is
-//! evaluated through precomputed [`LayerTables`], the `(b, z)` outer
-//! product fans out across threads, the IGBuf/WGBuf constraints (monotone
-//! in their parameters) break candidate loops early, and the expensive
-//! `map_block` feasibility check only runs for candidates that could still
-//! beat the best feasible tiling found so far.
-
-use std::sync::atomic::{AtomicU64, Ordering};
+//! The sweep *is* the dataflow crate's search engine
+//! ([`search_ours_with`]), instantiated with this module's feasibility
+//! predicates: traffic is evaluated through precomputed [`LayerTables`],
+//! the `(b, z)` outer product fans out across threads, the IGBuf/WGBuf
+//! constraints (monotone in their parameters) break candidate loops early,
+//! and the expensive `map_block` feasibility check only runs for candidates
+//! that could still beat the best feasible tiling found so far. Sharing one
+//! orchestration keeps the prune and tie-break semantics of the planner and
+//! the abstract search from drifting apart.
 
 use accel_sim::mapping::{map_block, Block};
 use accel_sim::ArchConfig;
 use comm_bound::OnChipMemory;
 use conv_model::ConvLayer;
-use dataflow::engine::{BestTracker, Candidate};
-use dataflow::{candidates, paper_tiling, LayerTables, Tiling};
+use dataflow::engine::search_ours_with;
+use dataflow::{paper_tiling, LayerTables, Tiling};
 
 /// True when `tiling` satisfies every structural constraint of `arch`.
 #[must_use]
@@ -64,92 +65,38 @@ pub fn plan_for_arch(layer: &ConvLayer, arch: &ArchConfig) -> Result<Tiling, acc
     let mem = OnChipMemory::from_words(arch.effective_onchip_words() as f64);
     let tables = LayerTables::new(layer);
 
-    let zs = candidates(layer.out_channels());
-    let ys = candidates(layer.output_height());
-    let xs = candidates(layer.output_width());
-    let mut items: Vec<(usize, usize)> = Vec::with_capacity(layer.batch() * zs.len());
-    for b in 1..=layer.batch() {
-        for &z in &zs {
-            // WGBuf holds z kernel rows; larger z never becomes feasible.
-            if z > arch.wgbuf_entries {
-                break;
-            }
-            items.push((b, z));
-        }
-    }
-
-    // Least feasible traffic achieved so far, used to skip the expensive
-    // `map_block` check for candidates that are strictly worse. Seeded with
-    // the constructive paper tiling (when feasible) so the prune bites from
-    // the very first subtree, mirroring the dataflow engine's sweep.
-    let global_best = AtomicU64::new(u64::MAX);
-    let seed = paper_tiling(layer, mem);
-    let seed_candidate = if tiling_feasible(layer, &seed, arch) {
-        let c = Candidate {
-            tiling: seed,
-            k: 1,
-            traffic: tables.ours_traffic(&seed),
-        };
-        global_best.store(c.traffic.total_words(), Ordering::Relaxed);
-        Some(c)
-    } else {
-        None
+    // The WGBuf constraint (`z` kernel rows resident) and the IGBuf
+    // constraint (`b·x'·y'` halo-included inputs resident) are monotone in
+    // every tiling parameter, so they drive the engine's loop breaks; the
+    // expensive PE-array mapping check is the residual predicate, run only
+    // for candidates that could still beat the best feasible tiling.
+    let monotone_fits = |t: &Tiling| {
+        let (xh, yh) = layer.input_footprint(t.x, t.y);
+        t.z <= arch.wgbuf_entries && t.b * xh * yh <= arch.igbuf_entries
     };
-    let trackers = rayon::par_map(&items, |&(b, z)| {
-        let mut tracker = BestTracker::new();
-        for &y in &ys {
-            // The IGBuf constraint `b·x'·y' ≤ entries` is monotone in b, x
-            // and y; if it fails at the smallest x candidate (1), larger x
-            // and y only grow the halo footprint.
-            let (xh1, yh) = layer.input_footprint(1, y);
-            if b * xh1 * yh > arch.igbuf_entries {
-                break;
-            }
-            for &x in &xs {
-                let (xh, _) = layer.input_footprint(x, y);
-                if b * xh * yh > arch.igbuf_entries {
-                    break;
-                }
-                let tiling = Tiling { b, z, y, x };
-                let traffic = tables.ours_traffic(&tiling);
-                // Strictly worse than an achieved feasible tiling: the
-                // mapping check cannot change the outcome, skip it.
-                if traffic.total_words() > global_best.load(Ordering::Relaxed) {
-                    continue;
-                }
-                let block = Block {
-                    i0: 0,
-                    b,
-                    z0: 0,
-                    z,
-                    y0: 0,
-                    y,
-                    x0: 0,
-                    x,
-                };
-                if map_block(arch, layer, &block).is_err() {
-                    continue;
-                }
-                tracker.offer(Candidate {
-                    tiling,
-                    k: 1,
-                    traffic,
-                });
-                global_best.fetch_min(traffic.total_words(), Ordering::Relaxed);
-            }
-        }
-        tracker
-    });
+    let mappable = |t: &Tiling| {
+        let block = Block {
+            i0: 0,
+            b: t.b,
+            z0: 0,
+            z: t.z,
+            y0: 0,
+            y: t.y,
+            x0: 0,
+            x: t.x,
+        };
+        map_block(arch, layer, &block).is_ok()
+    };
+    let best = search_ours_with(
+        layer,
+        &tables,
+        Some(paper_tiling(layer, mem)),
+        Some(arch.wgbuf_entries),
+        monotone_fits,
+        mappable,
+    );
 
-    let mut best = BestTracker::new();
-    for t in trackers {
-        best.merge(t);
-    }
-    if let Some(c) = seed_candidate {
-        best.offer(c);
-    }
-
-    match best.into_best() {
+    match best {
         Some(c) => Ok(c.tiling),
         None => {
             // Diagnose with the unit tiling: the most informative error is

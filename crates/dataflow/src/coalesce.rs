@@ -1,0 +1,255 @@
+//! In-flight request coalescing ("singleflight"): concurrent callers asking
+//! for the same key share one computation instead of running N copies.
+//!
+//! The search engine uses a [`FlightMap`] so that a burst of identical
+//! cache-missing searches (the "millions of users ask about VGG-16" case)
+//! runs the expensive sweep once; the analysis service reuses the same type
+//! to coalesce whole HTTP requests. The computation must be deterministic —
+//! every caller receives a clone of the leader's result.
+
+use std::collections::HashMap;
+use std::hash::Hash;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+
+#[derive(Debug)]
+enum FlightState<V> {
+    /// The leader is still computing.
+    Pending,
+    /// The leader finished; followers clone this.
+    Done(V),
+    /// The leader panicked; followers compute for themselves.
+    Abandoned,
+}
+
+#[derive(Debug)]
+struct Flight<V> {
+    state: Mutex<FlightState<V>>,
+    done: Condvar,
+}
+
+/// Marks the flight [`FlightState::Abandoned`] if the leader unwinds before
+/// publishing a result, so followers never block forever.
+struct AbandonGuard<'a, K: Eq + Hash, V> {
+    map: &'a FlightMap<K, V>,
+    key: Option<K>,
+    flight: &'a Flight<V>,
+}
+
+impl<K: Eq + Hash, V> Drop for AbandonGuard<'_, K, V> {
+    fn drop(&mut self) {
+        if let Some(key) = self.key.take() {
+            if let Ok(mut inflight) = self.map.inflight.lock() {
+                inflight.remove(&key);
+            }
+            if let Ok(mut state) = self.flight.state.lock() {
+                *state = FlightState::Abandoned;
+            }
+            self.flight.done.notify_all();
+        }
+    }
+}
+
+/// A map of in-flight computations keyed by request identity.
+///
+/// [`FlightMap::run`] is the only entry point: the first caller for a key
+/// becomes the *leader* and runs the closure; callers arriving while the
+/// leader is still computing become *followers* and block until the leader
+/// publishes, then receive a clone of the result. The map only tracks
+/// in-flight work — results are not retained after the last follower leaves
+/// (pair with a cache, e.g. [`LruCache`](crate::lru::LruCache), for reuse
+/// across non-overlapping requests).
+#[derive(Debug, Default)]
+pub struct FlightMap<K, V> {
+    inflight: Mutex<HashMap<K, Arc<Flight<V>>>>,
+    coalesced: AtomicU64,
+    led: AtomicU64,
+}
+
+impl<K: Eq + Hash + Clone, V: Clone> FlightMap<K, V> {
+    /// An empty flight map.
+    #[must_use]
+    pub fn new() -> Self {
+        FlightMap {
+            inflight: Mutex::new(HashMap::new()),
+            coalesced: AtomicU64::new(0),
+            led: AtomicU64::new(0),
+        }
+    }
+
+    /// Computations that ran (leaders).
+    #[must_use]
+    pub fn led(&self) -> u64 {
+        self.led.load(Ordering::Relaxed)
+    }
+
+    /// Calls that were answered by another caller's in-flight computation.
+    #[must_use]
+    pub fn coalesced(&self) -> u64 {
+        self.coalesced.load(Ordering::Relaxed)
+    }
+
+    /// Resets the `led`/`coalesced` counters (in-flight work is untouched).
+    pub fn reset_stats(&self) {
+        self.led.store(0, Ordering::Relaxed);
+        self.coalesced.store(0, Ordering::Relaxed);
+    }
+
+    /// Runs `compute` for `key`, coalescing with any identical in-flight
+    /// call. Returns the result and whether this call was coalesced (i.e.
+    /// served by another caller's computation).
+    pub fn run<F: FnOnce() -> V>(&self, key: K, compute: F) -> (V, bool) {
+        let (flight, is_leader) = {
+            let mut inflight = self.inflight.lock().expect("flight registry lock poisoned");
+            match inflight.get(&key) {
+                Some(existing) => (Arc::clone(existing), false),
+                None => {
+                    let flight = Arc::new(Flight {
+                        state: Mutex::new(FlightState::Pending),
+                        done: Condvar::new(),
+                    });
+                    inflight.insert(key.clone(), Arc::clone(&flight));
+                    (flight, true)
+                }
+            }
+        };
+        if is_leader {
+            // Compute outside every lock; the guard publishes `Abandoned`
+            // if `compute` unwinds, so followers are never stranded.
+            let mut guard = AbandonGuard {
+                map: self,
+                key: Some(key),
+                flight: &flight,
+            };
+            let value = compute();
+            let key = guard.key.take(); // defuse the guard
+            drop(guard);
+            if let Some(key) = key {
+                self.inflight
+                    .lock()
+                    .expect("flight registry lock poisoned")
+                    .remove(&key);
+            }
+            *flight.state.lock().expect("flight lock poisoned") = FlightState::Done(value.clone());
+            flight.done.notify_all();
+            self.led.fetch_add(1, Ordering::Relaxed);
+            return (value, false);
+        }
+        // Follower: wait for the leader to publish.
+        let mut state = flight.state.lock().expect("flight lock poisoned");
+        while matches!(*state, FlightState::Pending) {
+            state = flight
+                .done
+                .wait(state)
+                .expect("flight lock poisoned while waiting");
+        }
+        match &*state {
+            FlightState::Done(value) => {
+                self.coalesced.fetch_add(1, Ordering::Relaxed);
+                (value.clone(), true)
+            }
+            // The leader panicked; compute independently rather than
+            // propagating its failure.
+            FlightState::Abandoned => {
+                drop(state);
+                self.led.fetch_add(1, Ordering::Relaxed);
+                (compute(), false)
+            }
+            FlightState::Pending => unreachable!("loop exits only when not pending"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn single_caller_computes() {
+        let map: FlightMap<&str, u32> = FlightMap::new();
+        let (v, coalesced) = map.run("k", || 42);
+        assert_eq!(v, 42);
+        assert!(!coalesced);
+        assert_eq!(map.led(), 1);
+        assert_eq!(map.coalesced(), 0);
+    }
+
+    #[test]
+    fn sequential_calls_do_not_coalesce() {
+        // The flight retires once the leader publishes; a later call for the
+        // same key computes again (caching is a separate concern).
+        let map: FlightMap<&str, u32> = FlightMap::new();
+        map.run("k", || 1);
+        let (v, coalesced) = map.run("k", || 2);
+        assert_eq!(v, 2);
+        assert!(!coalesced);
+        assert_eq!(map.led(), 2);
+    }
+
+    #[test]
+    fn concurrent_identical_calls_share_one_computation() {
+        let map: FlightMap<u32, u64> = FlightMap::new();
+        let computed = AtomicUsize::new(0);
+        let gate = std::sync::Barrier::new(8);
+        std::thread::scope(|scope| {
+            for _ in 0..8 {
+                scope.spawn(|| {
+                    gate.wait();
+                    let (v, _) = map.run(7, || {
+                        computed.fetch_add(1, Ordering::Relaxed);
+                        // Give followers time to pile onto the flight.
+                        std::thread::sleep(std::time::Duration::from_millis(30));
+                        99
+                    });
+                    assert_eq!(v, 99);
+                });
+            }
+        });
+        // At least some callers must have been coalesced; every caller saw
+        // the same value; leaders + coalesced account for every call.
+        assert!(computed.load(Ordering::Relaxed) < 8, "some calls coalesced");
+        assert_eq!(map.led() + map.coalesced(), 8);
+        assert_eq!(map.led(), computed.load(Ordering::Relaxed) as u64);
+    }
+
+    #[test]
+    fn distinct_keys_do_not_block_each_other() {
+        let map: FlightMap<u32, u32> = FlightMap::new();
+        std::thread::scope(|scope| {
+            for k in 0..4 {
+                let map = &map;
+                scope.spawn(move || {
+                    let (v, coalesced) = map.run(k, || k * 10);
+                    assert_eq!(v, k * 10);
+                    assert!(!coalesced);
+                });
+            }
+        });
+        assert_eq!(map.led(), 4);
+        assert_eq!(map.coalesced(), 0);
+    }
+
+    #[test]
+    fn leader_panic_does_not_strand_followers() {
+        let map = Arc::new(FlightMap::<&'static str, u32>::new());
+        let gate = Arc::new(std::sync::Barrier::new(2));
+        let leader = {
+            let (map, gate) = (Arc::clone(&map), Arc::clone(&gate));
+            std::thread::spawn(move || {
+                let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    map.run("k", || {
+                        gate.wait();
+                        std::thread::sleep(std::time::Duration::from_millis(30));
+                        panic!("leader dies");
+                    });
+                }));
+            })
+        };
+        gate.wait(); // leader is inside its computation now
+        let (v, coalesced) = map.run("k", || 5);
+        assert_eq!(v, 5);
+        assert!(!coalesced);
+        leader.join().unwrap();
+    }
+}

@@ -30,8 +30,13 @@
 //!   `(DataflowKind, ConvLayer, memory-words bits)`. VGG/ResNet-style
 //!   networks repeat layer shapes, and the figure benches re-analyze the
 //!   same network at many memory sizes, so across a bench run most searches
-//!   are cache hits. [`cache_stats`]/[`clear_search_cache`] expose and reset
-//!   the cache.
+//!   are cache hits. The cache is a bounded [`LruCache`] (default
+//!   [`DEFAULT_SEARCH_CACHE_CAPACITY`], tunable with
+//!   [`set_search_cache_capacity`]) so long-running servers embedding the
+//!   engine cannot grow it without bound; concurrent identical misses
+//!   coalesce onto one computation through a
+//!   [`FlightMap`](crate::coalesce::FlightMap).
+//!   [`cache_stats`]/[`clear_search_cache`] expose and reset the cache.
 //!
 //! # Determinism and tie-breaking
 //!
@@ -44,7 +49,6 @@
 //! property the `engine_parity` integration tests pin across all eight
 //! dataflow kinds.
 
-use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Mutex, OnceLock};
 
@@ -55,6 +59,8 @@ use crate::baselines::{
     inr_a_onchip, inr_b_onchip, inr_c_onchip, outr_a_onchip, outr_b_onchip, wtr_a_onchip,
     wtr_b_onchip, BaselineParams,
 };
+use crate::coalesce::FlightMap;
+use crate::lru::LruCache;
 use crate::search::{candidates, DataflowChoice};
 use crate::tiling::{paper_tiling, summed_input_extent, tile_count, Tiling};
 use crate::traffic::DramTraffic;
@@ -288,12 +294,44 @@ impl LayerTables {
 // The pruned, parallel `Ours` sweep.
 // ---------------------------------------------------------------------------
 
-/// Exhaustive search over the paper dataflow's `{b, z, y, x}` grid —
-/// identical results to [`naive::search_ours`], orders of magnitude faster.
-#[must_use]
-pub fn search_ours(layer: &ConvLayer, mem: OnChipMemory) -> DataflowChoice {
-    let tables = LayerTables::new(layer);
-    let mem_words = mem.words();
+/// The shared orchestration of every `Ours`-dataflow sweep: `(b, z)` thread
+/// fan-out, monotone loop breaks, atomic global-best lower-bound pruning and
+/// canonical tie-breaking, parameterized over *what "feasible" means*.
+///
+/// Call sites supply two predicates:
+///
+/// * `monotone_fits` must be monotone nonincreasing in each of `b/z/y/x`
+///   (growing any parameter can only turn `true` into `false`) — it drives
+///   the sorted-candidate loop breaks. The abstract search uses the on-chip
+///   working set against total memory `S`; the planner uses the WGBuf/IGBuf
+///   structural capacities.
+/// * `feasible` is the residual (possibly expensive, non-monotone) check,
+///   run only for candidates that could still beat the best feasible
+///   traffic found so far. The planner passes the PE-array `map_block`
+///   test; the abstract search has no residual constraint.
+///
+/// `z_cap` (when given) truncates the `z` candidate list before fan-out —
+/// a hard structural bound like the WGBuf entry count. `seed` (when it
+/// passes both predicates) pre-loads the global best so pruning bites from
+/// the very first subtree; the constructive `paper_tiling` is the usual
+/// choice.
+///
+/// Returns the canonically-best feasible [`Candidate`], or `None` when
+/// nothing (seed included) is feasible. Results are deterministic regardless
+/// of thread count: equal-traffic tilings resolve by [`Candidate::key`], and
+/// the shared best only ever prunes strictly-worse subtrees.
+pub fn search_ours_with<M, F>(
+    layer: &ConvLayer,
+    tables: &LayerTables,
+    seed: Option<Tiling>,
+    z_cap: Option<usize>,
+    monotone_fits: M,
+    feasible: F,
+) -> Option<Candidate>
+where
+    M: Fn(&Tiling) -> bool + Sync,
+    F: Fn(&Tiling) -> bool + Sync,
+{
     let zs = candidates(layer.out_channels());
     let ys = candidates(layer.output_height());
     let xs = candidates(layer.output_width());
@@ -303,6 +341,9 @@ pub fn search_ours(layer: &ConvLayer, mem: OnChipMemory) -> DataflowChoice {
     let mut items: Vec<(usize, usize)> = Vec::with_capacity(layer.batch() * zs.len());
     for b in 1..=layer.batch() {
         for &z in &zs {
+            if z_cap.is_some_and(|cap| z > cap) {
+                break; // candidates are sorted; larger z never fits
+            }
             items.push((b, z));
         }
     }
@@ -312,25 +353,23 @@ pub fn search_ours(layer: &ConvLayer, mem: OnChipMemory) -> DataflowChoice {
     // read merely prunes less. Seeding it with the constructive paper
     // tiling makes the bound bite from the very first subtree.
     let global_best = AtomicU64::new(u64::MAX);
-    let seed = paper_tiling(layer, mem);
-    let seed_candidate = if seed.fits(layer, mem) {
+    let seed_candidate = seed.filter(|s| monotone_fits(s) && feasible(s)).map(|s| {
         let c = Candidate {
-            tiling: seed,
+            tiling: s,
             k: 1,
-            traffic: tables.ours_traffic(&seed),
+            traffic: tables.ours_traffic(&s),
         };
         global_best.store(c.traffic.total_words(), Ordering::Relaxed);
-        Some(c)
-    } else {
-        None
-    };
+        c
+    });
 
     let trackers = rayon::par_map(&items, |&(b, z)| {
         let mut tracker = BestTracker::new();
         let unit = Tiling { b, z, y: 1, x: 1 };
-        // onchip is monotone in y and x; if the smallest y/x candidate
-        // (always 1) does not fit, nothing in this subtree does.
-        if tables.ours_onchip(&unit) as f64 > mem_words {
+        // The monotone constraint only tightens in y and x; if the smallest
+        // y/x candidate (always 1) does not fit, nothing in this subtree
+        // does.
+        if !monotone_fits(&unit) {
             return tracker;
         }
         let nb = tile_count(layer.batch(), b);
@@ -338,7 +377,7 @@ pub fn search_ours(layer: &ConvLayer, mem: OnChipMemory) -> DataflowChoice {
         let weight_base = tables.taps_ci * layer.out_channels() as u64 * nb;
         let input_base = layer.batch() as u64 * tables.ci * nz;
         for &y in &ys {
-            if tables.ours_onchip(&Tiling { b, z, y, x: 1 }) as f64 > mem_words {
+            if !monotone_fits(&Tiling { b, z, y, x: 1 }) {
                 break; // larger y only grows the working set
             }
             // Lower bound over every x: n_x ≥ 1 and Σx'' ≥ its axis minimum.
@@ -350,10 +389,18 @@ pub fn search_ours(layer: &ConvLayer, mem: OnChipMemory) -> DataflowChoice {
             }
             for &x in &xs {
                 let tiling = Tiling { b, z, y, x };
-                if tables.ours_onchip(&tiling) as f64 > mem_words {
+                if !monotone_fits(&tiling) {
                     break;
                 }
                 let traffic = tables.ours_traffic(&tiling);
+                // Strictly worse than an achieved feasible tiling: the
+                // residual check cannot change the outcome, skip it.
+                if traffic.total_words() > global_best.load(Ordering::Relaxed) {
+                    continue;
+                }
+                if !feasible(&tiling) {
+                    continue;
+                }
                 tracker.offer(Candidate {
                     tiling,
                     k: 1,
@@ -372,9 +419,24 @@ pub fn search_ours(layer: &ConvLayer, mem: OnChipMemory) -> DataflowChoice {
     if let Some(c) = seed_candidate {
         best.offer(c);
     }
-    let c = best
-        .into_best()
-        .expect("the {1,1,1,1} tiling always fits any positive memory");
+    best.into_best()
+}
+
+/// Exhaustive search over the paper dataflow's `{b, z, y, x}` grid —
+/// identical results to [`naive::search_ours`], orders of magnitude faster.
+#[must_use]
+pub fn search_ours(layer: &ConvLayer, mem: OnChipMemory) -> DataflowChoice {
+    let tables = LayerTables::new(layer);
+    let mem_words = mem.words();
+    let c = search_ours_with(
+        layer,
+        &tables,
+        Some(paper_tiling(layer, mem)),
+        None,
+        |t| tables.ours_onchip(t) as f64 <= mem_words,
+        |_| true,
+    )
+    .expect("the {1,1,1,1} tiling always fits any positive memory");
     DataflowChoice {
         kind: DataflowKind::Ours,
         tiling: c.tiling,
@@ -585,12 +647,22 @@ struct CacheKey {
     mem_bits: u64,
 }
 
-static CACHE: OnceLock<Mutex<HashMap<CacheKey, Option<DataflowChoice>>>> = OnceLock::new();
+/// Default bound on the memo cache. Generous — a full figure-bench run
+/// creates a few thousand entries and each entry is ~100 bytes — but finite,
+/// so a long-running server embedding the engine cannot grow without bound.
+pub const DEFAULT_SEARCH_CACHE_CAPACITY: usize = 65_536;
+
+static CACHE: OnceLock<Mutex<LruCache<CacheKey, Option<DataflowChoice>>>> = OnceLock::new();
+static FLIGHTS: OnceLock<FlightMap<CacheKey, Option<DataflowChoice>>> = OnceLock::new();
 static CACHE_HITS: AtomicU64 = AtomicU64::new(0);
 static CACHE_MISSES: AtomicU64 = AtomicU64::new(0);
 
-fn cache() -> &'static Mutex<HashMap<CacheKey, Option<DataflowChoice>>> {
-    CACHE.get_or_init(|| Mutex::new(HashMap::new()))
+fn cache() -> &'static Mutex<LruCache<CacheKey, Option<DataflowChoice>>> {
+    CACHE.get_or_init(|| Mutex::new(LruCache::new(DEFAULT_SEARCH_CACHE_CAPACITY)))
+}
+
+fn flights() -> &'static FlightMap<CacheKey, Option<DataflowChoice>> {
+    FLIGHTS.get_or_init(FlightMap::new)
 }
 
 /// Search-cache counters (process-wide).
@@ -600,8 +672,17 @@ pub struct CacheStats {
     pub hits: u64,
     /// Searches that ran and populated the cache.
     pub misses: u64,
+    /// Searches answered by coalescing onto a concurrent identical miss
+    /// (neither a hit nor a computed miss: the caller shared a leader's
+    /// in-flight result).
+    pub coalesced: u64,
+    /// Entries dropped by LRU eviction since the last
+    /// [`clear_search_cache`].
+    pub evictions: u64,
     /// Entries currently resident.
     pub entries: usize,
+    /// The LRU bound ([`set_search_cache_capacity`]).
+    pub capacity: usize,
 }
 
 impl CacheStats {
@@ -620,27 +701,48 @@ impl CacheStats {
 /// Current search-cache statistics.
 #[must_use]
 pub fn cache_stats() -> CacheStats {
+    let (entries, evictions, capacity) = cache()
+        .lock()
+        .map(|c| (c.len(), c.evictions(), c.capacity()))
+        .unwrap_or((0, 0, 0));
     CacheStats {
         hits: CACHE_HITS.load(Ordering::Relaxed),
         misses: CACHE_MISSES.load(Ordering::Relaxed),
-        entries: cache().lock().map(|c| c.len()).unwrap_or(0),
+        coalesced: flights().coalesced(),
+        evictions,
+        entries,
+        capacity,
     }
 }
 
-/// Empties the search cache and resets the hit/miss counters (used by
-/// benchmarks that need cold-cache timings).
+/// Empties the search cache and resets the hit/miss/coalesced/eviction
+/// counters (used by benchmarks that need cold-cache timings). The LRU
+/// capacity is kept.
 pub fn clear_search_cache() {
     if let Ok(mut c) = cache().lock() {
         c.clear();
     }
+    flights().reset_stats();
     CACHE_HITS.store(0, Ordering::Relaxed);
     CACHE_MISSES.store(0, Ordering::Relaxed);
 }
 
-/// Memoized dispatch: one search per `(kind, layer shape, memory)` per
-/// process. The search itself runs outside the cache lock, so concurrent
-/// callers never serialize on a search — at worst two threads race to
-/// compute the same (deterministic) value.
+/// Bounds the memo cache to `capacity` entries (clamped to ≥ 1), evicting
+/// least-recently-used entries immediately if it is already over. Long-lived
+/// embedders (the analysis service) call this at startup; the default is
+/// [`DEFAULT_SEARCH_CACHE_CAPACITY`].
+pub fn set_search_cache_capacity(capacity: usize) {
+    if let Ok(mut c) = cache().lock() {
+        c.set_capacity(capacity);
+    }
+}
+
+/// Memoized, coalescing dispatch: one search per `(kind, layer shape,
+/// memory)` per process. The search itself runs outside the cache lock, so
+/// concurrent callers never serialize on a search; concurrent *identical*
+/// cache misses coalesce onto one computation through a [`FlightMap`], so a
+/// thundering herd of the same query runs the sweep once, not N times. This
+/// is the entry point long-running services should call.
 #[must_use]
 pub fn search_dataflow(
     kind: DataflowKind,
@@ -652,20 +754,23 @@ pub fn search_dataflow(
         layer: *layer,
         mem_bits: mem.words().to_bits(),
     };
-    if let Ok(c) = cache().lock() {
+    if let Ok(mut c) = cache().lock() {
         if let Some(hit) = c.get(&key) {
             CACHE_HITS.fetch_add(1, Ordering::Relaxed);
             return *hit;
         }
     }
-    CACHE_MISSES.fetch_add(1, Ordering::Relaxed);
-    let result = match kind {
-        DataflowKind::Ours => Some(search_ours(layer, mem)),
-        other => search_baseline(other, layer, mem),
-    };
-    if let Ok(mut c) = cache().lock() {
-        c.insert(key, result);
-    }
+    let (result, _coalesced) = flights().run(key, || {
+        CACHE_MISSES.fetch_add(1, Ordering::Relaxed);
+        let result = match kind {
+            DataflowKind::Ours => Some(search_ours(layer, mem)),
+            other => search_baseline(other, layer, mem),
+        };
+        if let Ok(mut c) = cache().lock() {
+            c.insert(key, result);
+        }
+        result
+    });
     result
 }
 
@@ -935,7 +1040,121 @@ mod tests {
     }
 
     #[test]
+    fn generic_sweep_matches_specialized_search() {
+        // `search_ours_with` with the memory predicate and no residual
+        // check must reproduce `search_ours` exactly.
+        let l = layer();
+        let tables = LayerTables::new(&l);
+        for kib in [16.0, 66.5] {
+            let mem = OnChipMemory::from_kib(kib);
+            let mem_words = mem.words();
+            let c = search_ours_with(
+                &l,
+                &tables,
+                Some(paper_tiling(&l, mem)),
+                None,
+                |t| tables.ours_onchip(t) as f64 <= mem_words,
+                |_| true,
+            )
+            .unwrap();
+            let direct = search_ours(&l, mem);
+            assert_eq!(
+                (c.tiling, c.k, c.traffic),
+                (direct.tiling, direct.k, direct.traffic)
+            );
+        }
+    }
+
+    #[test]
+    fn generic_sweep_honors_residual_feasibility() {
+        // A residual predicate that rejects everything leaves only `None`;
+        // one that rejects the winner changes the choice to the runner-up,
+        // never to an infeasible point.
+        let l = ConvLayer::square(1, 16, 14, 8, 3, 1).unwrap();
+        let tables = LayerTables::new(&l);
+        let mem = OnChipMemory::from_kib(24.0);
+        let mem_words = mem.words();
+        let monotone = |t: &Tiling| tables.ours_onchip(t) as f64 <= mem_words;
+        assert!(search_ours_with(&l, &tables, None, None, monotone, |_| false).is_none());
+        let unrestricted = search_ours_with(&l, &tables, None, None, monotone, |_| true).unwrap();
+        let banned = unrestricted.tiling;
+        let second = search_ours_with(&l, &tables, None, None, monotone, |t| *t != banned).unwrap();
+        assert_ne!(second.tiling, banned);
+        assert!(second.key() > unrestricted.key());
+    }
+
+    #[test]
+    fn generic_sweep_z_cap_limits_candidates() {
+        let l = ConvLayer::square(1, 16, 14, 8, 3, 1).unwrap();
+        let tables = LayerTables::new(&l);
+        let mem_words = OnChipMemory::from_kib(64.0).words();
+        let monotone = |t: &Tiling| tables.ours_onchip(t) as f64 <= mem_words;
+        let c = search_ours_with(&l, &tables, None, Some(3), monotone, |_| true).unwrap();
+        assert!(c.tiling.z <= 3);
+    }
+
+    /// Serializes the tests that resize or clear the process-wide cache, so
+    /// their assertions cannot race each other. Tests that merely *use* the
+    /// cache are unaffected (they only assert monotone/delta properties).
+    static CACHE_TEST_LOCK: Mutex<()> = Mutex::new(());
+
+    #[test]
+    fn lru_bound_evicts_and_counts() {
+        // Shrink the cache far below the number of distinct searches and
+        // confirm it stays bounded and counts evictions; then restore the
+        // default so other tests keep their hit-rate assumptions.
+        let _guard = CACHE_TEST_LOCK.lock().unwrap();
+        clear_search_cache();
+        set_search_cache_capacity(4);
+        let mem = OnChipMemory::from_kib(9.75);
+        for co in 1..=12 {
+            let l = ConvLayer::square(1, co, 9, 5, 3, 1).unwrap();
+            let _ = search_dataflow(DataflowKind::OutRB, &l, mem);
+        }
+        let stats = cache_stats();
+        assert!(stats.entries <= 4, "cache must respect its bound");
+        assert_eq!(stats.capacity, 4);
+        assert!(
+            stats.evictions >= 8,
+            "12 distinct searches through 4 slots must evict, got {}",
+            stats.evictions
+        );
+        set_search_cache_capacity(DEFAULT_SEARCH_CACHE_CAPACITY);
+        clear_search_cache();
+    }
+
+    #[test]
+    fn concurrent_identical_queries_are_deterministic() {
+        // Fire the same fresh query from many threads: every caller gets a
+        // bit-identical answer (the coalescing/caching layers must never
+        // change results), and afterwards the entries are resident, so one
+        // more call is answered from cache. Sweep-sharing mechanics are
+        // pinned in `coalesce::tests`; global counters are too noisy to
+        // assert exact sharing here (other tests search concurrently).
+        let _guard = CACHE_TEST_LOCK.lock().unwrap();
+        let l = ConvLayer::square(2, 37, 23, 5, 3, 1).unwrap();
+        let mem = OnChipMemory::from_kib(31.5);
+        let results: Vec<DataflowChoice> = {
+            let mut out = Vec::new();
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = (0..8)
+                    .map(|_| scope.spawn(|| found_minimum(&l, mem)))
+                    .collect();
+                for h in handles {
+                    out.push(h.join().unwrap());
+                }
+            });
+            out
+        };
+        assert!(results.windows(2).all(|w| w[0] == w[1]));
+        let hits_before = cache_stats().hits;
+        assert_eq!(found_minimum(&l, mem), results[0]);
+        assert!(cache_stats().hits >= hits_before + 8);
+    }
+
+    #[test]
     fn cache_hits_on_repeat_searches() {
+        let _guard = CACHE_TEST_LOCK.lock().unwrap();
         // The cache and its counters are process-wide and other unit tests
         // search concurrently, so only monotone/delta properties are
         // asserted — never absolute counter values. A layer shape no other

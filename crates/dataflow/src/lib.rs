@@ -29,14 +29,21 @@
 #![deny(rustdoc::broken_intra_doc_links)]
 
 pub mod baselines;
+pub mod coalesce;
 pub mod dse;
 pub mod engine;
+pub mod lru;
 mod nest_counter;
 mod search;
 mod tiling;
 mod traffic;
 
-pub use engine::{cache_stats, clear_search_cache, CacheStats, LayerTables};
+pub use coalesce::FlightMap;
+pub use engine::{
+    cache_stats, clear_search_cache, set_search_cache_capacity, CacheStats, LayerTables,
+    DEFAULT_SEARCH_CACHE_CAPACITY,
+};
+pub use lru::LruCache;
 pub use nest_counter::count_by_execution;
 pub use search::{
     candidates, found_minimum, plan_tiling, search_baseline, search_dataflow, search_ours,

@@ -1,0 +1,488 @@
+//! The JSON API: request schemas, response schemas and the endpoint
+//! handlers that map one parsed request body to one response.
+//!
+//! Handlers are pure functions of the request value — no sockets, no
+//! threads — so the integration tests (and the throughput bench baseline)
+//! call them directly and compare bytes against what the server returns.
+//! Responses reuse the exact report structures `clb --json` prints
+//! ([`LayerReport`], [`NetworkReport`], [`DataflowChoice`]), serialized by
+//! the same `serde_json` pretty printer, so a service response is
+//! bit-identical to the corresponding library/CLI output.
+
+use clb_core::{Accelerator, LayerReport, NetworkReport, OnChipMemory};
+use conv_model::{workloads, ConvLayer};
+use dataflow::{found_minimum, search_dataflow, DataflowChoice, DataflowKind};
+use serde::{Deserialize, Serialize, Value};
+
+use crate::http::Response;
+
+/// Upper bounds on request dimensions, so a single hostile query cannot
+/// park a worker on an astronomically large search. Generous: the largest
+/// real layer in the workload suite (AlexNet conv1, 224×224) fits with
+/// room to spare.
+pub mod limits {
+    /// Max output channels / input channels.
+    pub const MAX_CHANNELS: usize = 4096;
+    /// Max spatial output size.
+    pub const MAX_SIZE: usize = 1024;
+    /// Max kernel size.
+    pub const MAX_KERNEL: usize = 32;
+    /// Max stride.
+    pub const MAX_STRIDE: usize = 16;
+    /// Max batch.
+    pub const MAX_BATCH: usize = 64;
+    /// Max on-chip memory in KiB.
+    pub const MAX_MEM_KIB: f64 = 1_048_576.0; // 1 GiB on chip is beyond generous
+}
+
+/// A handler-level failure, carrying the response status.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ApiError {
+    /// The request body is structurally wrong (400).
+    BadRequest(String),
+    /// The request parsed but names an impossible computation (422).
+    Unprocessable(String),
+    /// Serialization failed — should not happen (500).
+    Internal(String),
+}
+
+impl ApiError {
+    /// Renders the error as a JSON error response.
+    #[must_use]
+    pub fn into_response(self) -> Response {
+        match self {
+            ApiError::BadRequest(m) => Response::error(400, &m),
+            ApiError::Unprocessable(m) => Response::error(422, &m),
+            ApiError::Internal(m) => Response::error(500, &m),
+        }
+    }
+}
+
+fn get_field<'a>(v: &'a Value, name: &str) -> Result<Option<&'a Value>, ApiError> {
+    match v {
+        Value::Object(fields) => Ok(fields
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, field)| field)),
+        _ => Err(ApiError::BadRequest(
+            "request body must be a JSON object".to_string(),
+        )),
+    }
+}
+
+fn require<T: Deserialize>(v: &Value, name: &str) -> Result<T, ApiError> {
+    match get_field(v, name)? {
+        Some(field) => {
+            T::from_value(field).map_err(|e| ApiError::BadRequest(format!("field `{name}`: {e}")))
+        }
+        None => Err(ApiError::BadRequest(format!(
+            "missing required field `{name}`"
+        ))),
+    }
+}
+
+fn optional<T: Deserialize>(v: &Value, name: &str, default: T) -> Result<T, ApiError> {
+    match get_field(v, name)? {
+        None | Some(Value::Null) => Ok(default),
+        Some(field) => {
+            T::from_value(field).map_err(|e| ApiError::BadRequest(format!("field `{name}`: {e}")))
+        }
+    }
+}
+
+/// The square-layer geometry shared by `/v1/bound`, `/v1/sweep` and
+/// `/v1/plan` — the same flags the CLI verbs take.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub struct LayerSpec {
+    /// Output channels (required).
+    pub co: usize,
+    /// Output spatial size (required).
+    pub size: usize,
+    /// Input channels (required).
+    pub ci: usize,
+    /// Kernel size (default 3).
+    pub k: usize,
+    /// Stride (default 1).
+    pub stride: usize,
+    /// Batch (default 3).
+    pub batch: usize,
+}
+
+impl LayerSpec {
+    /// Parses the spec from a request body, applying the CLI defaults.
+    ///
+    /// # Errors
+    ///
+    /// [`ApiError::BadRequest`] on missing/ill-typed fields.
+    pub fn from_value(v: &Value) -> Result<Self, ApiError> {
+        Ok(LayerSpec {
+            co: require(v, "co")?,
+            size: require(v, "size")?,
+            ci: require(v, "ci")?,
+            k: optional(v, "k", 3)?,
+            stride: optional(v, "stride", 1)?,
+            batch: optional(v, "batch", 3)?,
+        })
+    }
+
+    /// Validates the limits and constructs the layer.
+    ///
+    /// # Errors
+    ///
+    /// [`ApiError::Unprocessable`] when a dimension exceeds [`limits`] or
+    /// the geometry is invalid.
+    pub fn to_layer(&self) -> Result<ConvLayer, ApiError> {
+        let within = self.co <= limits::MAX_CHANNELS
+            && self.ci <= limits::MAX_CHANNELS
+            && self.size <= limits::MAX_SIZE
+            && self.k <= limits::MAX_KERNEL
+            && self.stride <= limits::MAX_STRIDE
+            && self.batch <= limits::MAX_BATCH;
+        if !within {
+            return Err(ApiError::Unprocessable(format!(
+                "layer dimensions exceed service limits \
+                 (co/ci ≤ {}, size ≤ {}, k ≤ {}, stride ≤ {}, batch ≤ {})",
+                limits::MAX_CHANNELS,
+                limits::MAX_SIZE,
+                limits::MAX_KERNEL,
+                limits::MAX_STRIDE,
+                limits::MAX_BATCH,
+            )));
+        }
+        ConvLayer::square(self.batch, self.co, self.size, self.ci, self.k, self.stride)
+            .map_err(|e| ApiError::Unprocessable(e.to_string()))
+    }
+}
+
+fn parse_mem_kib(v: &Value) -> Result<f64, ApiError> {
+    let mem_kib: f64 = optional(v, "mem_kib", 66.5)?;
+    if !mem_kib.is_finite() || mem_kib <= 0.0 || mem_kib > limits::MAX_MEM_KIB {
+        return Err(ApiError::Unprocessable(format!(
+            "mem_kib must be in (0, {}]",
+            limits::MAX_MEM_KIB
+        )));
+    }
+    Ok(mem_kib)
+}
+
+fn parse_implem(v: &Value) -> Result<usize, ApiError> {
+    let implem: usize = optional(v, "implem", 1)?;
+    if !(1..=5).contains(&implem) {
+        return Err(ApiError::Unprocessable(
+            "implem must be 1..=5 (the Table I implementations)".to_string(),
+        ));
+    }
+    Ok(implem)
+}
+
+fn render<T: Serialize>(value: &T) -> Result<String, ApiError> {
+    serde_json::to_string_pretty(value).map_err(|e| ApiError::Internal(e.to_string()))
+}
+
+/// `POST /v1/bound` — the communication lower bounds of one layer
+/// (mirrors `clb bound`).
+#[derive(Debug, Clone, Serialize)]
+pub struct BoundResponse {
+    /// Echo of the analyzed layer.
+    pub layer: ConvLayer,
+    /// Effective on-chip memory in KiB.
+    pub mem_kib: f64,
+    /// Multiply-accumulates in the layer.
+    pub macs: u64,
+    /// Window reuse factor `R`.
+    pub window_reuse: f64,
+    /// Theorem 2 asymptotic bound, in bytes.
+    pub theorem2_bytes: f64,
+    /// Eq. 15 practical bound, in bytes.
+    pub bound_bytes: f64,
+    /// No-reuse (naive) traffic, in bytes.
+    pub naive_bytes: f64,
+    /// `sqrt(R·S)` reduction factor versus naive.
+    pub reduction_factor: f64,
+}
+
+/// Handles `POST /v1/bound`.
+///
+/// # Errors
+///
+/// [`ApiError`] on malformed or out-of-limit requests.
+pub fn bound_response(v: &Value) -> Result<String, ApiError> {
+    let layer = LayerSpec::from_value(v)?.to_layer()?;
+    let mem_kib = parse_mem_kib(v)?;
+    let mem = OnChipMemory::from_kib(mem_kib);
+    render(&BoundResponse {
+        layer,
+        mem_kib,
+        macs: layer.macs(),
+        window_reuse: layer.window_reuse(),
+        theorem2_bytes: comm_bound::theorem2_dram_words(&layer, mem) * 2.0,
+        bound_bytes: comm_bound::dram_bound_bytes(&layer, mem),
+        naive_bytes: comm_bound::naive_dram_words(&layer) * 2.0,
+        reduction_factor: comm_bound::reduction_factor(&layer, mem),
+    })
+}
+
+/// One dataflow's entry in a [`SweepResponse`].
+#[derive(Debug, Clone, Serialize)]
+pub struct SweepEntry {
+    /// The dataflow.
+    pub kind: DataflowKind,
+    /// The paper's figure label for it.
+    pub name: String,
+    /// Best tiling and traffic, or `null` when infeasible at this memory.
+    pub choice: Option<DataflowChoice>,
+}
+
+/// `POST /v1/sweep` — every dataflow's best tiling at one memory size
+/// (mirrors `clb sweep`).
+#[derive(Debug, Clone, Serialize)]
+pub struct SweepResponse {
+    /// Echo of the analyzed layer.
+    pub layer: ConvLayer,
+    /// Effective on-chip memory in KiB.
+    pub mem_kib: f64,
+    /// Eq. 15 practical bound, in bytes.
+    pub bound_bytes: f64,
+    /// The best dataflow × tiling (the paper's "found minimum").
+    pub found_minimum: DataflowChoice,
+    /// Per-dataflow results, in [`DataflowKind::ALL`] order.
+    pub dataflows: Vec<SweepEntry>,
+}
+
+/// Handles `POST /v1/sweep`.
+///
+/// # Errors
+///
+/// [`ApiError`] on malformed or out-of-limit requests.
+pub fn sweep_response(v: &Value) -> Result<String, ApiError> {
+    let layer = LayerSpec::from_value(v)?.to_layer()?;
+    let mem_kib = parse_mem_kib(v)?;
+    let mem = OnChipMemory::from_kib(mem_kib);
+    let dataflows = DataflowKind::ALL
+        .iter()
+        .map(|&kind| SweepEntry {
+            kind,
+            name: kind.name().to_string(),
+            choice: search_dataflow(kind, &layer, mem),
+        })
+        .collect();
+    render(&SweepResponse {
+        layer,
+        mem_kib,
+        bound_bytes: comm_bound::dram_bound_bytes(&layer, mem),
+        found_minimum: found_minimum(&layer, mem),
+        dataflows,
+    })
+}
+
+/// `POST /v1/plan` — plan → simulate → bound → energy for one layer on one
+/// Table I implementation (mirrors `clb plan`; the report is the same
+/// structure `clb --json` emits).
+#[derive(Debug, Clone, Serialize)]
+pub struct PlanResponse {
+    /// Which Table I implementation analyzed the layer.
+    pub implementation: usize,
+    /// The full layer report.
+    pub report: LayerReport,
+}
+
+/// Handles `POST /v1/plan`.
+///
+/// # Errors
+///
+/// [`ApiError`] on malformed or out-of-limit requests, or when no tiling of
+/// the dataflow fits the implementation (422).
+pub fn plan_response(v: &Value) -> Result<String, ApiError> {
+    let layer = LayerSpec::from_value(v)?.to_layer()?;
+    let implem = parse_implem(v)?;
+    let acc = Accelerator::implementation(implem);
+    let report = acc
+        .analyze_layer("layer", &layer)
+        .map_err(|e| ApiError::Unprocessable(e.to_string()))?;
+    render(&PlanResponse {
+        implementation: implem,
+        report,
+    })
+}
+
+/// Handles `POST /v1/network` — whole-network analysis; the body is exactly
+/// the [`NetworkReport`] JSON that `clb network --json` prints.
+///
+/// # Errors
+///
+/// [`ApiError`] on malformed requests, unknown network names, or
+/// unanalyzable layers (422).
+pub fn network_response(v: &Value) -> Result<String, ApiError> {
+    let name: String = optional(v, "net", "vgg16".to_string())?;
+    let batch: usize = optional(v, "batch", 3)?;
+    if !(1..=limits::MAX_BATCH).contains(&batch) {
+        return Err(ApiError::Unprocessable(format!(
+            "batch must be 1..={}",
+            limits::MAX_BATCH
+        )));
+    }
+    let implem = parse_implem(v)?;
+    let net = match name.as_str() {
+        "vgg16" => workloads::vgg16(batch),
+        "alexnet" => workloads::alexnet(batch),
+        "resnet50" => workloads::resnet50(batch),
+        other => {
+            return Err(ApiError::Unprocessable(format!(
+                "unknown network `{other}` (vgg16|alexnet|resnet50)"
+            )))
+        }
+    };
+    let report: NetworkReport = Accelerator::implementation(implem)
+        .analyze_network(&net)
+        .map_err(|e| ApiError::Unprocessable(e.to_string()))?;
+    render(&report)
+}
+
+/// Routes one parsed POST body to its endpoint handler and renders the
+/// outcome as a [`Response`]. This is the computation the server runs
+/// behind the coalescing map and the result cache.
+#[must_use]
+pub fn dispatch(path: &str, body: &Value) -> Response {
+    let result = match path {
+        "/v1/bound" => bound_response(body),
+        "/v1/sweep" => sweep_response(body),
+        "/v1/plan" => plan_response(body),
+        "/v1/network" => network_response(body),
+        other => return Response::error(404, &format!("unknown endpoint `{other}`")),
+    };
+    match result {
+        Ok(body) => Response::json(200, body),
+        Err(e) => e.into_response(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn obj(pairs: &[(&str, Value)]) -> Value {
+        Value::Object(
+            pairs
+                .iter()
+                .map(|(k, v)| ((*k).to_string(), v.clone()))
+                .collect(),
+        )
+    }
+
+    fn small_layer_body() -> Value {
+        obj(&[
+            ("co", Value::Number(16.0)),
+            ("size", Value::Number(14.0)),
+            ("ci", Value::Number(8.0)),
+            ("batch", Value::Number(1.0)),
+        ])
+    }
+
+    #[test]
+    fn layer_spec_applies_defaults() {
+        let spec = LayerSpec::from_value(&small_layer_body()).unwrap();
+        assert_eq!((spec.k, spec.stride, spec.batch), (3, 1, 1));
+        assert_eq!((spec.co, spec.size, spec.ci), (16, 14, 8));
+        spec.to_layer().unwrap();
+    }
+
+    #[test]
+    fn layer_spec_requires_core_dimensions() {
+        let err = LayerSpec::from_value(&obj(&[("co", Value::Number(16.0))])).unwrap_err();
+        assert!(matches!(err, ApiError::BadRequest(_)));
+        let err = LayerSpec::from_value(&Value::Array(vec![])).unwrap_err();
+        assert!(matches!(err, ApiError::BadRequest(_)));
+    }
+
+    #[test]
+    fn layer_spec_rejects_fractional_and_oversized() {
+        let mut body = small_layer_body();
+        if let Value::Object(fields) = &mut body {
+            fields.push(("k".to_string(), Value::Number(2.5)));
+        }
+        assert!(matches!(
+            LayerSpec::from_value(&body).unwrap_err(),
+            ApiError::BadRequest(_)
+        ));
+        let huge = obj(&[
+            ("co", Value::Number(1e6)),
+            ("size", Value::Number(14.0)),
+            ("ci", Value::Number(8.0)),
+        ]);
+        let err = LayerSpec::from_value(&huge)
+            .unwrap()
+            .to_layer()
+            .unwrap_err();
+        assert!(matches!(err, ApiError::Unprocessable(_)));
+    }
+
+    #[test]
+    fn bound_endpoint_round_trips() {
+        let resp = dispatch("/v1/bound", &small_layer_body());
+        assert_eq!(resp.status, 200);
+        let v: Value = serde_json::from_str(&resp.body).unwrap();
+        assert!(v.get_field("bound_bytes").unwrap().as_number().unwrap() > 0.0);
+        assert!(v.get_field("reduction_factor").is_ok());
+    }
+
+    #[test]
+    fn sweep_endpoint_lists_all_dataflows() {
+        let resp = dispatch("/v1/sweep", &small_layer_body());
+        assert_eq!(resp.status, 200);
+        let v: Value = serde_json::from_str(&resp.body).unwrap();
+        assert_eq!(
+            v.get_field("dataflows").unwrap().as_array().unwrap().len(),
+            8
+        );
+    }
+
+    #[test]
+    fn plan_endpoint_matches_direct_library_call() {
+        let resp = dispatch("/v1/plan", &small_layer_body());
+        assert_eq!(resp.status, 200);
+        let layer = ConvLayer::square(1, 16, 14, 8, 3, 1).unwrap();
+        let report = Accelerator::implementation(1)
+            .analyze_layer("layer", &layer)
+            .unwrap();
+        let expected = serde_json::to_string_pretty(&PlanResponse {
+            implementation: 1,
+            report,
+        })
+        .unwrap();
+        assert_eq!(resp.body, expected, "service must be bit-identical");
+    }
+
+    #[test]
+    fn network_endpoint_rejects_unknown_network() {
+        let resp = dispatch(
+            "/v1/network",
+            &obj(&[("net", Value::String("lenet".into()))]),
+        );
+        assert_eq!(resp.status, 422);
+    }
+
+    #[test]
+    fn mem_kib_validation() {
+        for bad in [0.0, -3.0, f64::INFINITY, limits::MAX_MEM_KIB * 2.0] {
+            let mut body = small_layer_body();
+            if let Value::Object(fields) = &mut body {
+                fields.push(("mem_kib".to_string(), Value::Number(bad)));
+            }
+            assert_eq!(dispatch("/v1/bound", &body).status, 422, "mem_kib={bad}");
+        }
+    }
+
+    #[test]
+    fn implem_validation() {
+        let mut body = small_layer_body();
+        if let Value::Object(fields) = &mut body {
+            fields.push(("implem".to_string(), Value::Number(9.0)));
+        }
+        assert_eq!(dispatch("/v1/plan", &body).status, 422);
+    }
+
+    #[test]
+    fn unknown_endpoint_is_404() {
+        assert_eq!(dispatch("/v1/nope", &small_layer_body()).status, 404);
+    }
+}

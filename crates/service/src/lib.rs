@@ -1,0 +1,119 @@
+//! # `clb-service` — the analysis pipeline as a long-running HTTP service
+//!
+//! Every other entry point in this workspace pays full process startup and
+//! a cold tiling-search memo cache per query. This crate wraps the
+//! plan → simulate → bound → energy pipeline in a persistent,
+//! multi-threaded HTTP/JSON server, so repeated and concurrent queries hit
+//! warm caches instead: the way HPC sites wrap batch analysis pipelines
+//! behind resident services rather than re-launching per request.
+//!
+//! Built entirely on `std::net` and the workspace's offline `serde` shims —
+//! no external dependencies, consistent with the hermetic build.
+//!
+//! ## Architecture
+//!
+//! ```text
+//! accept loop ──► bounded MPMC queue ──► N worker threads
+//!     │ (full? shed with 503)                │
+//!     ▼                                      ▼
+//!  503 Service Unavailable      parse HTTP/1.1 + JSON (4xx on bad input)
+//!                                            │
+//!                               canonicalize body, form request key
+//!                                            │
+//!                    bounded LRU response cache ── hit ──► reply
+//!                                            │ miss
+//!                    FlightMap (in-flight coalescing): concurrent
+//!                    identical queries share ONE computation
+//!                                            │
+//!                    api::dispatch ──► clb pipeline (engine's own
+//!                    LRU-bounded, coalescing search cache underneath)
+//! ```
+//!
+//! Responses are **bit-identical** to single-threaded library output: the
+//! handlers serialize the same report structures `clb --json` prints, with
+//! the same deterministic field order, and the search engine guarantees
+//! thread-count-independent results. The integration tests pin this.
+//!
+//! ## Quickstart
+//!
+//! Start the server (any free port; `--threads 0` sizes workers to CPUs):
+//!
+//! ```text
+//! clb serve --port 8080 --threads 0
+//! ```
+//!
+//! Probe it:
+//!
+//! ```text
+//! curl http://127.0.0.1:8080/healthz
+//! {"status": "ok"}
+//! ```
+//!
+//! Ask for the communication lower bound of VGG-16 conv4_1 at 66.5 KiB:
+//!
+//! ```text
+//! curl -s -X POST http://127.0.0.1:8080/v1/bound \
+//!      -d '{"co":512,"size":28,"ci":256,"mem_kib":66.5}'
+//! ```
+//!
+//! Sweep all eight dataflows, plan a layer on Table I implementation 1,
+//! and analyze a full network:
+//!
+//! ```text
+//! curl -s -X POST http://127.0.0.1:8080/v1/sweep \
+//!      -d '{"co":512,"size":28,"ci":256}'
+//! curl -s -X POST http://127.0.0.1:8080/v1/plan \
+//!      -d '{"co":512,"size":28,"ci":256,"implem":1}'
+//! curl -s -X POST http://127.0.0.1:8080/v1/network \
+//!      -d '{"net":"vgg16","batch":3,"implem":1}'
+//! ```
+//!
+//! Watch the caches work (numbers are cumulative since server start):
+//!
+//! ```text
+//! curl http://127.0.0.1:8080/v1/cache_stats
+//! ```
+//!
+//! ## Endpoints
+//!
+//! | Endpoint | Method | Body | Mirrors |
+//! |---|---|---|---|
+//! | `/healthz` | GET | — | liveness probe |
+//! | `/v1/cache_stats` | GET | — | `clb --cache-stats` |
+//! | `/v1/bound` | POST | layer spec + `mem_kib` | `clb bound` |
+//! | `/v1/sweep` | POST | layer spec + `mem_kib` | `clb sweep` |
+//! | `/v1/plan` | POST | layer spec + `implem` | `clb plan` |
+//! | `/v1/network` | POST | `net`, `batch`, `implem` | `clb network --json` |
+//!
+//! Layer spec fields: `co`, `size`, `ci` (required); `k` (3), `stride`
+//! (1), `batch` (3), `mem_kib` (66.5) optional with CLI-matching defaults.
+//! Errors come back as `{"error": ..., "status": ...}` with a 4xx status:
+//! malformed HTTP or JSON → 400, wrong method → 405, oversized body → 413,
+//! valid-but-impossible analysis → 422; a saturated queue sheds with 503.
+//!
+//! ## Embedding
+//!
+//! ```no_run
+//! use clb_service::{Server, ServiceConfig};
+//!
+//! let server = Server::spawn(ServiceConfig::default())?; // ephemeral port
+//! println!("listening on http://{}", server.addr());
+//! # let _ = server;
+//! # Ok::<(), std::io::Error>(())
+//! ```
+
+#![deny(missing_docs)]
+#![deny(rustdoc::broken_intra_doc_links)]
+
+pub mod api;
+pub mod http;
+pub mod pool;
+mod server;
+
+pub use api::{ApiError, BoundResponse, LayerSpec, PlanResponse, SweepEntry, SweepResponse};
+pub use http::{HttpError, Request, Response};
+pub use pool::{BoundedQueue, WorkerPool};
+pub use server::{
+    CacheStatsResponse, RunningServer, SearchCacheStats, Server, ServiceConfig, ServiceStats,
+    StopHandle,
+};

@@ -1,0 +1,475 @@
+//! The TCP server: accept loop, routing, request coalescing and the
+//! bounded response cache.
+//!
+//! Layering per request:
+//!
+//! 1. the accept loop hands the connection to the [`WorkerPool`] (or sheds
+//!    it with `503` when the bounded queue is full);
+//! 2. a worker parses the request ([`http`]) and routes it;
+//! 3. `POST` bodies are canonicalized (parsed and re-serialized JSON), so
+//!    formatting differences cannot split identical queries;
+//! 4. the canonical key goes through the bounded LRU **response cache**,
+//!    then the [`FlightMap`] — concurrent identical requests share one
+//!    computation, repeated ones are served from memory;
+//! 5. [`api::dispatch`] runs the actual analysis (which internally hits the
+//!    engine's own memoized, coalesced tiling-search cache).
+
+use std::io::{BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+use dataflow::{FlightMap, LruCache};
+use serde::Value;
+
+use crate::api;
+use crate::http::{self, HttpError, Response};
+use crate::pool::WorkerPool;
+
+/// Server configuration. `Default` gives a localhost server on an
+/// OS-assigned port with auto-sized workers — every field has a sensible
+/// production value except `port`, which tests leave at 0 (ephemeral) and
+/// `clb serve` sets from `--port`.
+#[derive(Debug, Clone)]
+pub struct ServiceConfig {
+    /// Bind address (default `127.0.0.1`).
+    pub host: std::net::IpAddr,
+    /// Bind port; 0 asks the OS for an ephemeral port.
+    pub port: u16,
+    /// Worker threads; 0 means one per available CPU.
+    pub threads: usize,
+    /// Bounded connection-queue capacity (overflow is shed with 503).
+    pub queue_capacity: usize,
+    /// Request-body cap in bytes (oversized requests get 413).
+    pub max_body_bytes: usize,
+    /// Response-cache bound in entries.
+    pub result_cache_capacity: usize,
+    /// Per-connection socket read timeout (bounds one silent `read`).
+    pub read_timeout: Duration,
+    /// Per-connection socket write timeout — without it a client that
+    /// never reads its (large) response would pin a worker on a blocked
+    /// `write` forever.
+    pub write_timeout: Duration,
+    /// Whole-request receive deadline (bounds a slow-drip client that
+    /// keeps every individual read under `read_timeout`).
+    pub request_deadline: Duration,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            host: std::net::IpAddr::V4(std::net::Ipv4Addr::LOCALHOST),
+            port: 0,
+            threads: 0,
+            queue_capacity: 256,
+            max_body_bytes: http::DEFAULT_MAX_BODY_BYTES,
+            result_cache_capacity: 1024,
+            read_timeout: Duration::from_secs(10),
+            write_timeout: Duration::from_secs(10),
+            request_deadline: Duration::from_secs(30),
+        }
+    }
+}
+
+/// Recursively sorts object keys so two spellings of the same JSON value
+/// render to the same canonical string (the shim's `Value::Object`
+/// preserves client field order, which must not split cache keys).
+fn canonicalize(value: &Value) -> Value {
+    match value {
+        Value::Array(items) => Value::Array(items.iter().map(canonicalize).collect()),
+        Value::Object(fields) => {
+            let mut sorted: Vec<(String, Value)> = fields
+                .iter()
+                .map(|(k, v)| (k.clone(), canonicalize(v)))
+                .collect();
+            sorted.sort_by(|a, b| a.0.cmp(&b.0));
+            Value::Object(sorted)
+        }
+        other => other.clone(),
+    }
+}
+
+/// Service-level counters, all monotone since server start.
+#[derive(Debug, Default)]
+struct Counters {
+    requests: AtomicU64,
+    responses_cached: AtomicU64,
+    shed: AtomicU64,
+}
+
+/// Everything the request handlers share.
+struct ServiceState {
+    config: ServiceConfig,
+    flights: FlightMap<String, Arc<Response>>,
+    response_cache: Mutex<LruCache<String, Arc<Response>>>,
+    counters: Counters,
+}
+
+/// Wire shape of `GET /v1/cache_stats`.
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct CacheStatsResponse {
+    /// Tiling-search memo-cache stats (process-wide).
+    pub search: SearchCacheStats,
+    /// HTTP-layer stats for this server.
+    pub service: ServiceStats,
+}
+
+/// The engine cache section of [`CacheStatsResponse`].
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct SearchCacheStats {
+    /// Searches answered from the memo cache.
+    pub hits: u64,
+    /// Searches computed (cache misses).
+    pub misses: u64,
+    /// Searches that shared a concurrent identical computation.
+    pub coalesced: u64,
+    /// Entries evicted by the LRU bound.
+    pub evictions: u64,
+    /// Resident entries.
+    pub entries: u64,
+    /// The LRU bound.
+    pub capacity: u64,
+    /// hits / (hits + misses), 0 when idle.
+    pub hit_rate: f64,
+}
+
+/// The service section of [`CacheStatsResponse`].
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct ServiceStats {
+    /// Requests fully processed (any status).
+    pub requests: u64,
+    /// Requests answered from the response cache.
+    pub responses_cached: u64,
+    /// Requests that shared a concurrent identical computation.
+    pub coalesced: u64,
+    /// Connections shed with 503 because the queue was full.
+    pub shed: u64,
+    /// Resident response-cache entries.
+    pub response_cache_entries: u64,
+    /// Response-cache bound.
+    pub response_cache_capacity: u64,
+}
+
+impl ServiceState {
+    fn new(config: ServiceConfig) -> Self {
+        ServiceState {
+            response_cache: Mutex::new(LruCache::new(config.result_cache_capacity)),
+            config,
+            flights: FlightMap::new(),
+            counters: Counters::default(),
+        }
+    }
+
+    fn cache_stats_response(&self) -> Response {
+        let engine = dataflow::cache_stats();
+        let (entries, capacity) = self
+            .response_cache
+            .lock()
+            .map(|c| (c.len() as u64, c.capacity() as u64))
+            .unwrap_or((0, 0));
+        let stats = CacheStatsResponse {
+            search: SearchCacheStats {
+                hits: engine.hits,
+                misses: engine.misses,
+                coalesced: engine.coalesced,
+                evictions: engine.evictions,
+                entries: engine.entries as u64,
+                capacity: engine.capacity as u64,
+                hit_rate: engine.hit_rate(),
+            },
+            service: ServiceStats {
+                requests: self.counters.requests.load(Ordering::Relaxed),
+                responses_cached: self.counters.responses_cached.load(Ordering::Relaxed),
+                coalesced: self.flights.coalesced(),
+                shed: self.counters.shed.load(Ordering::Relaxed),
+                response_cache_entries: entries,
+                response_cache_capacity: capacity,
+            },
+        };
+        match serde_json::to_string_pretty(&stats) {
+            Ok(body) => Response::json(200, body),
+            Err(e) => Response::error(500, &e.to_string()),
+        }
+    }
+
+    /// The cached/coalesced POST path. The canonical key is the endpoint
+    /// plus the parsed, key-sorted, re-serialized body, so whitespace or
+    /// key-order differences in client JSON cannot split identical queries.
+    /// Responses travel as `Arc<Response>`: a cache hit clones a pointer
+    /// inside the lock, never a multi-kilobyte body.
+    fn post_response(&self, path: &str, body: &[u8]) -> Arc<Response> {
+        let parsed: Value = match std::str::from_utf8(body)
+            .map_err(|_| "request body is not valid UTF-8".to_string())
+            .and_then(|text| {
+                serde_json::from_str::<Value>(text).map_err(|e| format!("invalid JSON body: {e}"))
+            }) {
+            Ok(v) => v,
+            Err(msg) => return Arc::new(Response::error(400, &msg)),
+        };
+        let canonical = match serde_json::to_string(&canonicalize(&parsed)) {
+            Ok(c) => c,
+            Err(e) => {
+                return Arc::new(Response::error(
+                    400,
+                    &format!("unrenderable JSON body: {e}"),
+                ))
+            }
+        };
+        let key = format!("{path} {canonical}");
+        if let Ok(mut cache) = self.response_cache.lock() {
+            if let Some(hit) = cache.get(&key) {
+                self.counters
+                    .responses_cached
+                    .fetch_add(1, Ordering::Relaxed);
+                return Arc::clone(hit);
+            }
+        }
+        // The leader populates the cache *inside* the flight, before it
+        // retires: once a key has been computed, later requests always find
+        // either the in-flight computation or the cached response.
+        let (response, _coalesced) = self.flights.run(key.clone(), || {
+            let response = Arc::new(api::dispatch(path, &parsed));
+            if response.status == 200 {
+                if let Ok(mut cache) = self.response_cache.lock() {
+                    cache.insert(key.clone(), Arc::clone(&response));
+                }
+            }
+            response
+        });
+        response
+    }
+
+    fn route(&self, head: &http::Head, body: &[u8]) -> Arc<Response> {
+        const POST_ENDPOINTS: [&str; 4] = ["/v1/bound", "/v1/sweep", "/v1/plan", "/v1/network"];
+        const GET_ENDPOINTS: [&str; 2] = ["/healthz", "/v1/cache_stats"];
+        match (head.method.as_str(), head.path.as_str()) {
+            ("GET", "/healthz") => Arc::new(Response::json(200, "{\"status\": \"ok\"}")),
+            ("GET", "/v1/cache_stats") => Arc::new(self.cache_stats_response()),
+            ("POST", path) if POST_ENDPOINTS.contains(&path) => self.post_response(path, body),
+            (_, path) if POST_ENDPOINTS.contains(&path) || GET_ENDPOINTS.contains(&path) => {
+                Arc::new(Response::error(
+                    405,
+                    &format!("method {} not allowed for {path}", head.method),
+                ))
+            }
+            (_, path) => Arc::new(Response::error(404, &format!("no such endpoint `{path}`"))),
+        }
+    }
+
+    /// Parses, routes and answers one connection (one request per
+    /// connection; every response closes it).
+    fn handle_connection(&self, stream: TcpStream) {
+        let _ = stream.set_read_timeout(Some(self.config.read_timeout));
+        let _ = stream.set_write_timeout(Some(self.config.write_timeout));
+        let _ = stream.set_nodelay(true);
+        let deadline = Some(std::time::Instant::now() + self.config.request_deadline);
+        let mut reader = BufReader::new(&stream);
+        let response = match http::read_head(&mut reader, deadline) {
+            Ok(head) => {
+                if head.content_length > self.config.max_body_bytes {
+                    // Refuse before reading; the client may still be
+                    // sending, so the write can race a reset — best effort.
+                    Arc::new(Response::error(
+                        413,
+                        &HttpError::PayloadTooLarge {
+                            limit: self.config.max_body_bytes,
+                        }
+                        .message(),
+                    ))
+                } else {
+                    if head.expects_continue() && head.content_length > 0 {
+                        let mut w = &stream;
+                        if http::write_continue(&mut w).is_err() {
+                            return;
+                        }
+                    }
+                    match http::read_body(
+                        &mut reader,
+                        head.content_length,
+                        self.config.max_body_bytes,
+                        deadline,
+                    ) {
+                        Ok(body) => self.route(&head, &body),
+                        Err(e) => Arc::new(Response::error(e.status(), &e.message())),
+                    }
+                }
+            }
+            Err(e) => Arc::new(Response::error(e.status(), &e.message())),
+        };
+        self.counters.requests.fetch_add(1, Ordering::Relaxed);
+        let mut writer = &stream;
+        let _ = response.write_to(&mut writer);
+        let _ = stream.shutdown(std::net::Shutdown::Both);
+    }
+}
+
+/// A bound, not-yet-running analysis server.
+pub struct Server {
+    listener: TcpListener,
+    state: Arc<ServiceState>,
+    stop: Arc<AtomicBool>,
+}
+
+impl std::fmt::Debug for Server {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Server")
+            .field("addr", &self.listener.local_addr().ok())
+            .finish()
+    }
+}
+
+impl Server {
+    /// Binds the listener (without accepting yet).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the bind failure (e.g. port already in use).
+    pub fn bind(config: ServiceConfig) -> std::io::Result<Server> {
+        let listener = TcpListener::bind((config.host, config.port))?;
+        Ok(Server {
+            listener,
+            state: Arc::new(ServiceState::new(config)),
+            stop: Arc::new(AtomicBool::new(false)),
+        })
+    }
+
+    /// The bound address (useful with ephemeral ports).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the socket-name failure (effectively never).
+    pub fn local_addr(&self) -> std::io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// A handle that can stop this server from another thread.
+    #[must_use]
+    pub fn stop_handle(&self) -> StopHandle {
+        StopHandle {
+            stop: Arc::clone(&self.stop),
+            addr: self.listener.local_addr().ok(),
+        }
+    }
+
+    /// Runs the accept loop until [`StopHandle::stop`] is called: workers
+    /// drain in-flight connections, then the call returns. Connections
+    /// beyond the bounded queue are shed with `503`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates accept-loop socket failures (transient per-connection
+    /// errors are tolerated).
+    pub fn run(self) -> std::io::Result<()> {
+        let threads = if self.state.config.threads == 0 {
+            std::thread::available_parallelism().map_or(4, usize::from)
+        } else {
+            self.state.config.threads
+        };
+        let pool = {
+            let state = Arc::clone(&self.state);
+            WorkerPool::new(
+                threads,
+                self.state.config.queue_capacity,
+                move |stream: TcpStream| state.handle_connection(stream),
+            )
+        };
+        for connection in self.listener.incoming() {
+            if self.stop.load(Ordering::Relaxed) {
+                break;
+            }
+            match connection {
+                Ok(stream) => {
+                    if let Err(stream) = pool.try_dispatch(stream) {
+                        // Bounded queue full: shed instead of buffering.
+                        self.state.counters.shed.fetch_add(1, Ordering::Relaxed);
+                        let mut writer = &stream;
+                        let _ = Response::error(503, "server is saturated; retry with backoff")
+                            .write_to(&mut writer);
+                    }
+                }
+                // Transient accept errors (e.g. the peer reset before we
+                // got to it) should not kill the server.
+                Err(e) if e.kind() == std::io::ErrorKind::ConnectionAborted => {}
+                Err(e) if e.kind() == std::io::ErrorKind::ConnectionReset => {}
+                Err(e) => {
+                    pool.shutdown();
+                    return Err(e);
+                }
+            }
+        }
+        pool.shutdown();
+        Ok(())
+    }
+
+    /// Binds-and-runs on a background thread, returning once the socket is
+    /// accepting. The returned handle stops the server and joins the
+    /// thread.
+    ///
+    /// # Errors
+    ///
+    /// Propagates bind failures.
+    pub fn spawn(config: ServiceConfig) -> std::io::Result<RunningServer> {
+        let server = Server::bind(config)?;
+        let addr = server.local_addr()?;
+        let handle = server.stop_handle();
+        let thread = std::thread::Builder::new()
+            .name("clb-accept".to_string())
+            .spawn(move || server.run())?;
+        Ok(RunningServer {
+            addr,
+            handle,
+            thread,
+        })
+    }
+}
+
+/// Stops a running server from any thread.
+#[derive(Debug, Clone)]
+pub struct StopHandle {
+    stop: Arc<AtomicBool>,
+    addr: Option<SocketAddr>,
+}
+
+impl StopHandle {
+    /// Signals the accept loop to exit, waking it with a no-op connection.
+    pub fn stop(&self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(addr) = self.addr {
+            // `accept` only notices the flag when a connection arrives.
+            if let Ok(mut s) = TcpStream::connect(addr) {
+                let _ = s.flush();
+            }
+        }
+    }
+}
+
+/// A server running on a background thread (see [`Server::spawn`]).
+#[derive(Debug)]
+pub struct RunningServer {
+    addr: SocketAddr,
+    handle: StopHandle,
+    thread: std::thread::JoinHandle<std::io::Result<()>>,
+}
+
+impl RunningServer {
+    /// The bound address.
+    #[must_use]
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Graceful shutdown: stop accepting, drain workers, join the thread.
+    ///
+    /// # Errors
+    ///
+    /// Propagates an accept-loop failure (a panic surfaces as
+    /// [`std::io::ErrorKind::Other`]).
+    pub fn shutdown(self) -> std::io::Result<()> {
+        self.handle.stop();
+        match self.thread.join() {
+            Ok(result) => result,
+            Err(_) => Err(std::io::Error::other("server thread panicked")),
+        }
+    }
+}

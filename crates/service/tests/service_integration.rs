@@ -1,0 +1,249 @@
+//! End-to-end tests: a real server on an ephemeral port, real TCP clients.
+//!
+//! The acceptance property pinned here is the ISSUE's: the server handles
+//! ≥ 64 concurrent in-flight requests and every response body is
+//! bit-identical to what a direct, single-threaded library call produces.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+
+use clb_core::Accelerator;
+use clb_service::{api, PlanResponse, Server, ServiceConfig};
+use conv_model::ConvLayer;
+use serde::Value;
+
+/// A minimal HTTP/1.1 client: one request, returns (status, body).
+fn request(addr: std::net::SocketAddr, method: &str, path: &str, body: &str) -> (u16, String) {
+    let mut stream = TcpStream::connect(addr).expect("connect to test server");
+    stream
+        .set_read_timeout(Some(std::time::Duration::from_secs(30)))
+        .unwrap();
+    write!(
+        stream,
+        "{method} {path} HTTP/1.1\r\nHost: test\r\nContent-Length: {}\r\n\r\n{body}",
+        body.len()
+    )
+    .expect("send request");
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw).expect("read response");
+    parse_response(&raw)
+}
+
+fn parse_response(raw: &str) -> (u16, String) {
+    let (head, body) = raw
+        .split_once("\r\n\r\n")
+        .expect("response must have a blank line");
+    let status: u16 = head
+        .split(' ')
+        .nth(1)
+        .expect("status line has a code")
+        .parse()
+        .expect("status code is numeric");
+    // Content-Length must describe the body exactly.
+    let declared: usize = head
+        .lines()
+        .find_map(|l| l.strip_prefix("Content-Length: "))
+        .expect("response carries Content-Length")
+        .parse()
+        .unwrap();
+    assert_eq!(declared, body.len(), "Content-Length must match the body");
+    (status, body.to_string())
+}
+
+fn spawn_server() -> clb_service::RunningServer {
+    Server::spawn(ServiceConfig::default()).expect("bind an ephemeral port")
+}
+
+#[test]
+fn healthz_and_cache_stats_respond() {
+    let server = spawn_server();
+    let (status, body) = request(server.addr(), "GET", "/healthz", "");
+    assert_eq!(status, 200);
+    assert_eq!(body, "{\"status\": \"ok\"}");
+
+    let (status, body) = request(server.addr(), "GET", "/v1/cache_stats", "");
+    assert_eq!(status, 200);
+    let stats: clb_service::CacheStatsResponse = serde_json::from_str(&body).unwrap();
+    assert!(stats.service.requests >= 1);
+    server.shutdown().unwrap();
+}
+
+#[test]
+fn sixty_four_concurrent_requests_are_bit_identical_to_library_output() {
+    let server = spawn_server();
+    let addr = server.addr();
+
+    // Eight distinct queries across three endpoints; the expected body for
+    // each is computed by a direct library call (plan) or the pure handler
+    // (bound/sweep) — both are single-threaded reference paths.
+    let mut queries: Vec<(&str, String, String)> = Vec::new();
+    for (co, size, ci) in [(16, 14, 8), (32, 28, 16), (24, 10, 12)] {
+        let body = format!("{{\"co\":{co},\"size\":{size},\"ci\":{ci},\"batch\":1}}");
+        let layer = ConvLayer::square(1, co, size, ci, 3, 1).unwrap();
+        let report = Accelerator::implementation(1)
+            .analyze_layer("layer", &layer)
+            .unwrap();
+        let expected = serde_json::to_string_pretty(&PlanResponse {
+            implementation: 1,
+            report,
+        })
+        .unwrap();
+        queries.push(("/v1/plan", body, expected));
+    }
+    for (co, size, ci) in [(16, 14, 8), (48, 7, 24)] {
+        let body = format!("{{\"co\":{co},\"size\":{size},\"ci\":{ci},\"batch\":1}}");
+        let parsed: Value = serde_json::from_str(&body).unwrap();
+        let expected = api::bound_response(&parsed).unwrap();
+        queries.push(("/v1/bound", body.clone(), expected));
+        let expected = api::sweep_response(&parsed).unwrap();
+        queries.push(("/v1/sweep", body, expected));
+    }
+    assert_eq!(queries.len(), 7);
+
+    // 64 client threads, each issuing several requests; every in-flight
+    // wave covers all queries, so identical requests overlap and exercise
+    // the coalescing map and response cache as well as raw concurrency.
+    let barrier = std::sync::Barrier::new(64);
+    std::thread::scope(|scope| {
+        for t in 0..64 {
+            let (barrier, queries) = (&barrier, &queries);
+            scope.spawn(move || {
+                barrier.wait(); // all 64 fire together
+                for round in 0..3 {
+                    let (path, body, expected) = &queries[(t + round) % queries.len()];
+                    let (status, got) = request(addr, "POST", path, body);
+                    assert_eq!(status, 200, "{path} {body}");
+                    assert_eq!(&got, expected, "response must be bit-identical: {path}");
+                }
+            });
+        }
+    });
+
+    // The stats endpoint must show the warm layers actually short-circuited
+    // repeated work: 192 requests for 7 distinct queries.
+    let (status, body) = request(addr, "GET", "/v1/cache_stats", "");
+    assert_eq!(status, 200);
+    let stats: clb_service::CacheStatsResponse = serde_json::from_str(&body).unwrap();
+    // The stats request itself is only counted after its response renders,
+    // so it sees exactly the 192 POSTs.
+    assert_eq!(stats.service.requests, 64 * 3);
+    assert!(
+        stats.service.responses_cached + stats.service.coalesced >= 64 * 3 - 7,
+        "identical queries must be coalesced or cached, got {:?}",
+        stats.service
+    );
+    server.shutdown().unwrap();
+}
+
+#[test]
+fn network_endpoint_matches_direct_network_analysis() {
+    let server = spawn_server();
+    let expected = {
+        let net = conv_model::workloads::alexnet(1);
+        let report = Accelerator::implementation(1)
+            .analyze_network(&net)
+            .unwrap();
+        serde_json::to_string_pretty(&report).unwrap()
+    };
+    let (status, got) = request(
+        server.addr(),
+        "POST",
+        "/v1/network",
+        "{\"net\":\"alexnet\",\"batch\":1}",
+    );
+    assert_eq!(status, 200);
+    assert_eq!(got, expected);
+    server.shutdown().unwrap();
+}
+
+#[test]
+fn equivalent_json_bodies_share_one_cache_entry() {
+    let server = spawn_server();
+    let addr = server.addr();
+    // Same query, different formatting and key order.
+    let spellings = [
+        "{\"co\":16,\"size\":14,\"ci\":8,\"batch\":1}",
+        "{ \"size\": 14, \"ci\": 8, \"co\": 16, \"batch\": 1 }",
+    ];
+    let (status, first) = request(addr, "POST", "/v1/bound", spellings[0]);
+    assert_eq!(status, 200);
+    let (_, second) = request(addr, "POST", "/v1/bound", spellings[1]);
+    assert_eq!(first, second);
+    let (_, body) = request(addr, "GET", "/v1/cache_stats", "");
+    let stats: clb_service::CacheStatsResponse = serde_json::from_str(&body).unwrap();
+    assert!(
+        stats.service.responses_cached >= 1,
+        "the re-ordered spelling must hit the canonicalized cache key"
+    );
+    server.shutdown().unwrap();
+}
+
+#[test]
+fn http_errors_over_the_wire() {
+    let server = spawn_server();
+    let addr = server.addr();
+
+    // Unknown endpoint.
+    let (status, body) = request(addr, "GET", "/nope", "");
+    assert_eq!(status, 404);
+    assert!(body.contains("\"error\""));
+
+    // Wrong method for a known endpoint.
+    let (status, _) = request(addr, "GET", "/v1/plan", "");
+    assert_eq!(status, 405);
+    let (status, _) = request(addr, "POST", "/healthz", "{}");
+    assert_eq!(status, 405);
+
+    // Bad JSON body.
+    let (status, _) = request(addr, "POST", "/v1/plan", "{not json");
+    assert_eq!(status, 400);
+
+    // Unprocessable layer.
+    let (status, _) = request(addr, "POST", "/v1/plan", "{\"co\":0,\"size\":1,\"ci\":1}");
+    assert_eq!(status, 422);
+
+    // Declared-oversized payload is refused up front.
+    let mut stream = TcpStream::connect(addr).unwrap();
+    write!(
+        stream,
+        "POST /v1/plan HTTP/1.1\r\nContent-Length: 99999999\r\n\r\n"
+    )
+    .unwrap();
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw).unwrap();
+    assert!(raw.starts_with("HTTP/1.1 413 "), "got: {raw}");
+
+    // A malformed request line never kills the server.
+    let mut stream = TcpStream::connect(addr).unwrap();
+    write!(stream, "BLURT\r\n\r\n").unwrap();
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw).unwrap();
+    assert!(raw.starts_with("HTTP/1.1 400 "), "got: {raw}");
+
+    // …and the server still answers.
+    let (status, _) = request(addr, "GET", "/healthz", "");
+    assert_eq!(status, 200);
+    server.shutdown().unwrap();
+}
+
+#[test]
+fn graceful_shutdown_joins_cleanly() {
+    let server = spawn_server();
+    let addr = server.addr();
+    let (status, _) = request(addr, "GET", "/healthz", "");
+    assert_eq!(status, 200);
+    server.shutdown().expect("accept loop exits cleanly");
+    // The socket must actually be released.
+    assert!(
+        TcpStream::connect(addr).is_err() || {
+            // A connect may still succeed briefly on some platforms (TIME_WAIT
+            // accept backlog); what matters is that nobody answers.
+            let mut s = TcpStream::connect(addr).unwrap();
+            let _ = write!(s, "GET /healthz HTTP/1.1\r\n\r\n");
+            let mut out = String::new();
+            s.set_read_timeout(Some(std::time::Duration::from_secs(2)))
+                .unwrap();
+            s.read_to_string(&mut out).unwrap_or(0) == 0
+        }
+    );
+}

@@ -13,10 +13,14 @@
 //!   balance across threads.
 //!
 //! Unlike real rayon there is no work-splitting of nested calls: a
-//! `par_map` inside a `par_map` simply spawns its own scoped threads. The
-//! engine keeps nesting depth ≤ 2, so the worst-case thread count stays
-//! bounded by `current_num_threads()²`, which is harmless for
-//! compute-bound tasks on the coarse grains the engine fans out.
+//! `par_map` inside a `par_map` simply spawns its own scoped threads.
+//! To keep arbitrary nesting safe (the analysis service runs `par_map`
+//! pipelines from many HTTP workers at once, three levels deep), the shim
+//! enforces a process-wide *worker budget*: `par_map` claims threads from
+//! the budget and silently degrades toward serial execution when the
+//! process is already saturated — mirroring how real rayon's fixed global
+//! pool behaves under nesting, without its work-stealing machinery.
+//! Results never depend on how many threads a call was granted.
 
 #![deny(missing_docs)]
 
@@ -25,6 +29,43 @@ use std::sync::Mutex;
 
 /// Global thread-count override; 0 means "use available parallelism".
 static NUM_THREADS: AtomicUsize = AtomicUsize::new(0);
+
+/// Scoped worker threads currently alive across every concurrent
+/// [`par_map`] in the process.
+static ACTIVE_WORKERS: AtomicUsize = AtomicUsize::new(0);
+
+/// The worker-budget cap: generous enough that a CLI-style nesting
+/// (depth ≤ 2) is never throttled on its own, small enough that dozens of
+/// concurrent deeply-nested pipelines cannot exhaust OS thread limits.
+fn worker_budget_cap() -> usize {
+    8 * std::thread::available_parallelism().map_or(1, usize::from)
+}
+
+/// Claims up to `desired` workers from the process-wide budget; returns
+/// how many were granted (possibly 0).
+fn claim_workers(desired: usize) -> usize {
+    let cap = worker_budget_cap();
+    let mut current = ACTIVE_WORKERS.load(Ordering::Relaxed);
+    loop {
+        let grant = desired.min(cap.saturating_sub(current));
+        if grant == 0 {
+            return 0;
+        }
+        match ACTIVE_WORKERS.compare_exchange_weak(
+            current,
+            current + grant,
+            Ordering::Relaxed,
+            Ordering::Relaxed,
+        ) {
+            Ok(_) => return grant,
+            Err(now) => current = now,
+        }
+    }
+}
+
+fn release_workers(granted: usize) {
+    ACTIVE_WORKERS.fetch_sub(granted, Ordering::Relaxed);
+}
 
 /// Error returned by [`ThreadPoolBuilder::build_global`] (never constructed
 /// by this shim — the global knob can be set repeatedly — but kept so call
@@ -110,10 +151,34 @@ where
     R: Send,
     F: Fn(&T) -> R + Sync,
 {
-    let threads = current_num_threads().min(items.len());
-    if threads <= 1 {
+    let desired = current_num_threads().min(items.len());
+    if desired <= 1 {
         return items.iter().map(f).collect();
     }
+    // Nested/concurrent calls share one process-wide worker budget; when
+    // it is exhausted this call simply runs on the caller's thread. The
+    // guard releases the claim even when `f` (or a thread spawn) panics —
+    // a leak here would permanently degrade every later `par_map` toward
+    // serial in long-running processes that survive handler panics.
+    struct BudgetGuard(usize);
+    impl Drop for BudgetGuard {
+        fn drop(&mut self) {
+            release_workers(self.0);
+        }
+    }
+    let claimed = BudgetGuard(claim_workers(desired));
+    if claimed.0 <= 1 {
+        return items.iter().map(f).collect();
+    }
+    par_map_on(items, &f, claimed.0)
+}
+
+fn par_map_on<T, R, F>(items: &[T], f: &F, threads: usize) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
     let next = AtomicUsize::new(0);
     let collected: Mutex<Vec<(usize, R)>> = Mutex::new(Vec::with_capacity(items.len()));
     std::thread::scope(|scope| {
@@ -155,6 +220,39 @@ mod tests {
         let (a, b) = join(|| 1 + 1, || "two");
         assert_eq!(a, 2);
         assert_eq!(b, "two");
+    }
+
+    #[test]
+    fn nested_par_map_is_correct_under_the_worker_budget() {
+        // Three-deep nesting would previously spawn up to n³ threads; the
+        // budget degrades inner levels toward serial while results stay
+        // identical to the serial map.
+        let outer: Vec<u64> = (0..40).collect();
+        let result = par_map(&outer, |&x| {
+            let mid: Vec<u64> = (0..20).collect();
+            par_map(&mid, |&y| {
+                let inner: Vec<u64> = (0..10).collect();
+                par_map(&inner, |&z| x * y * z).into_iter().sum::<u64>()
+            })
+            .into_iter()
+            .sum::<u64>()
+        });
+        // Σy<20 Σz<10 x·y·z = x · 190 · 45
+        for (x, &r) in result.iter().enumerate() {
+            assert_eq!(r, (x as u64) * 190 * 45);
+        }
+    }
+
+    #[test]
+    fn worker_budget_claims_and_releases() {
+        let cap = worker_budget_cap();
+        let granted = claim_workers(cap + 10_000);
+        assert!(granted <= cap, "cannot exceed the cap");
+        // Whatever was left over is at most the cap too.
+        let rest = claim_workers(cap);
+        assert!(granted + rest <= cap + cap, "sanity under concurrent tests");
+        release_workers(granted);
+        release_workers(rest);
     }
 
     #[test]

@@ -273,6 +273,20 @@ impl<T: Serialize + ?Sized> Serialize for &T {
     }
 }
 
+// `Value` itself round-trips transparently, so callers can work with raw
+// JSON trees (e.g. to canonicalize a request body) without a typed schema.
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        Ok(value.clone())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

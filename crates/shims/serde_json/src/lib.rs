@@ -32,17 +32,24 @@ pub fn to_string_pretty<T: serde::Serialize>(value: &T) -> Result<String, Error>
     Ok(out)
 }
 
+/// Maximum container nesting the parser accepts. Recursive descent uses the
+/// call stack, so without a cap a hostile input of `N` opening brackets
+/// overflows the stack and aborts the process; 128 levels is far beyond any
+/// structure this workspace serializes.
+pub const MAX_PARSE_DEPTH: usize = 128;
+
 /// Deserializes a value from JSON text.
 ///
 /// # Errors
 ///
-/// Returns [`Error`] on malformed JSON or a shape mismatch.
+/// Returns [`Error`] on malformed JSON, a shape mismatch, or nesting deeper
+/// than [`MAX_PARSE_DEPTH`].
 pub fn from_str<T: serde::Deserialize>(text: &str) -> Result<T, Error> {
     let mut parser = Parser {
         bytes: text.as_bytes(),
         pos: 0,
     };
-    let value = parser.parse_value()?;
+    let value = parser.parse_value(0)?;
     parser.skip_ws();
     if parser.pos != parser.bytes.len() {
         return Err(Error::custom("trailing characters after JSON value"));
@@ -198,14 +205,19 @@ impl Parser<'_> {
         }
     }
 
-    fn parse_value(&mut self) -> Result<Value, Error> {
+    fn parse_value(&mut self, depth: usize) -> Result<Value, Error> {
+        if depth > MAX_PARSE_DEPTH {
+            return Err(Error::custom(format!(
+                "JSON nested deeper than {MAX_PARSE_DEPTH} levels"
+            )));
+        }
         match self.peek()? {
             b'n' => self.parse_literal("null", Value::Null),
             b't' => self.parse_literal("true", Value::Bool(true)),
             b'f' => self.parse_literal("false", Value::Bool(false)),
             b'"' => Ok(Value::String(self.parse_string()?)),
-            b'[' => self.parse_array(),
-            b'{' => self.parse_object(),
+            b'[' => self.parse_array(depth),
+            b'{' => self.parse_object(depth),
             _ => self.parse_number(),
         }
     }
@@ -282,7 +294,7 @@ impl Parser<'_> {
             .map_err(|_| Error::custom(format!("invalid number `{text}`")))
     }
 
-    fn parse_array(&mut self) -> Result<Value, Error> {
+    fn parse_array(&mut self, depth: usize) -> Result<Value, Error> {
         self.expect(b'[')?;
         let mut items = Vec::new();
         if self.peek()? == b']' {
@@ -290,7 +302,7 @@ impl Parser<'_> {
             return Ok(Value::Array(items));
         }
         loop {
-            items.push(self.parse_value()?);
+            items.push(self.parse_value(depth + 1)?);
             match self.peek()? {
                 b',' => self.pos += 1,
                 b']' => {
@@ -302,7 +314,7 @@ impl Parser<'_> {
         }
     }
 
-    fn parse_object(&mut self) -> Result<Value, Error> {
+    fn parse_object(&mut self, depth: usize) -> Result<Value, Error> {
         self.expect(b'{')?;
         let mut fields = Vec::new();
         if self.peek()? == b'}' {
@@ -313,7 +325,7 @@ impl Parser<'_> {
             self.skip_ws();
             let key = self.parse_string()?;
             self.expect(b':')?;
-            fields.push((key, self.parse_value()?));
+            fields.push((key, self.parse_value(depth + 1)?));
             match self.peek()? {
                 b',' => self.pos += 1,
                 b'}' => {
@@ -360,6 +372,20 @@ mod tests {
     #[test]
     fn rejects_trailing_garbage() {
         assert!(from_str::<u64>("12 garbage").is_err());
+    }
+
+    #[test]
+    fn deep_nesting_errors_instead_of_overflowing_the_stack() {
+        // A 300k-bracket body fits any reasonable size cap but would
+        // recurse once per bracket; the depth cap must reject it as a
+        // parse error, not a process abort.
+        let hostile = "[".repeat(300_000);
+        assert!(from_str::<Value>(&hostile).is_err());
+        let hostile = "{\"a\":".repeat(300_000);
+        assert!(from_str::<Value>(&hostile).is_err());
+        // Sane nesting stays accepted.
+        let fine = format!("{}1{}", "[".repeat(100), "]".repeat(100));
+        assert!(from_str::<Value>(&fine).is_ok());
     }
 
     /// Test-only transparent wrapper so plain `Value`s can round-trip.

@@ -5,6 +5,7 @@
 //! clb sweep   --co 512 --size 28 --ci 256 ...           # all dataflows at one memory size
 //! clb plan    --co 512 --size 28 --ci 256 [--implem 1]  # tiling + simulation on an implementation
 //! clb network --net vgg16|alexnet|resnet50 [--batch 3] [--implem 1] [--json]
+//! clb serve   [--port 8080] [--threads 0] [--queue 256] [--result-cache 1024]
 //! ```
 
 use std::collections::HashMap;
@@ -203,16 +204,41 @@ fn cmd_network(flags: &HashMap<String, String>) -> Result<(), String> {
     Ok(())
 }
 
+fn cmd_serve(flags: &HashMap<String, String>) -> Result<(), String> {
+    let mut config = clb_service::ServiceConfig {
+        port: get(flags, "port", 8080)?,
+        threads: get(flags, "threads", 0)?,
+        ..Default::default()
+    };
+    config.queue_capacity = get(flags, "queue", config.queue_capacity)?;
+    config.result_cache_capacity = get(flags, "result-cache", config.result_cache_capacity)?;
+    config.max_body_bytes = get(flags, "max-body", config.max_body_bytes)?;
+    let search_cache: usize = get(
+        flags,
+        "search-cache",
+        dataflow::DEFAULT_SEARCH_CACHE_CAPACITY,
+    )?;
+    dataflow::set_search_cache_capacity(search_cache);
+    let server = clb_service::Server::bind(config).map_err(|e| e.to_string())?;
+    eprintln!(
+        "clb-service listening on http://{} (try GET /healthz)",
+        server.local_addr().map_err(|e| e.to_string())?
+    );
+    server.run().map_err(|e| e.to_string())
+}
+
 fn usage() -> &'static str {
-    "usage: clb <bound|sweep|plan|network> [--flag value]...\n\
+    "usage: clb <bound|sweep|plan|network|serve> [--flag value]...\n\
      \n\
      clb bound   --co 512 --size 28 --ci 256 [--k 3] [--stride 1] [--batch 3] [--mem-kib 66.5]\n\
      clb sweep   --co 512 --size 28 --ci 256 [--mem-kib 66.5]\n\
      clb plan    --co 512 --size 28 --ci 256 [--implem 1]\n\
      clb network --net vgg16|alexnet|resnet50 [--batch 3] [--implem 1] [--json true]\n\
+     clb serve   [--port 8080] [--threads 0] [--queue 256] [--result-cache 1024]\n\
+     \\           [--search-cache 65536] [--max-body 1048576]\n\
      \n\
      global flags:\n\
-     --threads N        worker threads for the tiling-search engine (0 = auto)\n\
+     --threads N        worker threads (search engine; serve: also HTTP workers; 0 = auto)\n\
      --cache-stats true print search-cache hits/misses after the command"
 }
 
@@ -251,6 +277,7 @@ fn main() -> ExitCode {
             "sweep" => cmd_sweep(&flags),
             "plan" => cmd_plan(&flags),
             "network" => cmd_network(&flags),
+            "serve" => cmd_serve(&flags),
             other => Err(format!("unknown command `{other}`\n{}", usage())),
         };
         if cache_stats {

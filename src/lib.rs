@@ -19,6 +19,7 @@
 //! | [`energy`] | `energy-model` | Table II energy model |
 //! | [`eyeriss`] | `eyeriss-model` | calibrated Eyeriss baseline |
 //! | [`core`] | `clb-core` | the [`Accelerator`](clb_core::Accelerator) analysis pipeline |
+//! | [`service`] | `clb-service` | the pipeline as a multi-threaded HTTP/JSON server (`clb serve`) |
 //!
 //! # Quickstart
 //!
@@ -40,6 +41,7 @@
 
 pub use accel_sim as sim;
 pub use clb_core as core;
+pub use clb_service as service;
 pub use comm_bound as bound;
 pub use conv_model as model;
 pub use dataflow;
