@@ -1,0 +1,118 @@
+//! Criterion benchmark of the cycle-simulator hot path: the retained
+//! per-block reference walk vs. the block-class engine, on the paper's
+//! heaviest workload shape (every VGG-16 conv layer at batch 64 under its
+//! planned tiling, Table I implementation 1).
+//!
+//! Run with `cargo bench -p clb-bench --bench sim_hotpath`. The run first
+//! proves *bit identity* (every `SimStats` field, stalls and utilizations
+//! included) between the class-based `simulate` and `simulate_reference`
+//! on the full workload, then times both and enforces the acceptance bar:
+//! class-based must be ≥ 10× faster. The run prints the measured ratio and
+//! exits non-zero if parity or the bar is missed.
+
+use std::time::{Duration, Instant};
+
+use accel_sim::{simulate, simulate_reference, ArchConfig, SimStats};
+use conv_model::ConvLayer;
+use criterion::{black_box, Criterion};
+use dataflow::Tiling;
+
+fn workload() -> (ArchConfig, Vec<(String, ConvLayer, Tiling)>) {
+    let arch = ArchConfig::implementation(1);
+    let layers = conv_model::workloads::vgg16(64)
+        .conv_layers()
+        .map(|named| {
+            let tiling = clb_core::plan_for_arch(&named.layer, &arch)
+                .unwrap_or_else(|e| panic!("{}: {e}", named.name));
+            (named.name.clone(), named.layer, tiling)
+        })
+        .collect();
+    (arch, layers)
+}
+
+fn assert_bit_identical(name: &str, fast: &SimStats, slow: &SimStats) {
+    assert_eq!(fast, slow, "{name}: stats diverged");
+    let (uf, us) = (fast.utilization, slow.utilization);
+    for (field, a, b) in [
+        ("gbuf", uf.gbuf, us.gbuf),
+        ("greg", uf.greg, us.greg),
+        ("lreg", uf.lreg, us.lreg),
+        ("memory_overall", uf.memory_overall, us.memory_overall),
+        ("pe", uf.pe, us.pe),
+    ] {
+        assert_eq!(
+            a.to_bits(),
+            b.to_bits(),
+            "{name}: utilization.{field} bits diverged ({a} vs {b})"
+        );
+    }
+}
+
+/// Median wall-clock of `f` over `samples` runs.
+fn measure<F: FnMut()>(samples: usize, mut f: F) -> Duration {
+    let mut times: Vec<Duration> = (0..samples)
+        .map(|_| {
+            let start = Instant::now();
+            f();
+            start.elapsed()
+        })
+        .collect();
+    times.sort_unstable();
+    times[times.len() / 2]
+}
+
+fn main() {
+    let (arch, layers) = workload();
+
+    // Parity proof before any timing: the fast path is only interesting if
+    // it is the same simulator.
+    let mut total_blocks = 0u64;
+    for (name, layer, tiling) in &layers {
+        let fast = simulate(layer, tiling, &arch).unwrap();
+        let slow = simulate_reference(layer, tiling, &arch).unwrap();
+        assert_bit_identical(name, &fast, &slow);
+        total_blocks += fast.blocks;
+    }
+    println!(
+        "parity: class-based == per-block reference on all {} VGG-16 conv layers \
+         @ batch 64 ({total_blocks} blocks total)",
+        layers.len()
+    );
+
+    let mut c = Criterion::default()
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(8));
+    c.bench_function("reference/simulate/vgg16_b64", |b| {
+        b.iter(|| {
+            for (_, layer, tiling) in &layers {
+                black_box(simulate_reference(black_box(layer), tiling, &arch).unwrap());
+            }
+        })
+    });
+    c.bench_function("classes/simulate/vgg16_b64", |b| {
+        b.iter(|| {
+            for (_, layer, tiling) in &layers {
+                black_box(simulate(black_box(layer), tiling, &arch).unwrap());
+            }
+        })
+    });
+
+    // Acceptance check: class-based must be ≥ 10× faster than per-block.
+    let reference_t = measure(3, || {
+        for (_, layer, tiling) in &layers {
+            black_box(simulate_reference(black_box(layer), tiling, &arch).unwrap());
+        }
+    });
+    let classes_t = measure(5, || {
+        for (_, layer, tiling) in &layers {
+            black_box(simulate(black_box(layer), tiling, &arch).unwrap());
+        }
+    });
+    let speedup = reference_t.as_secs_f64() / classes_t.as_secs_f64().max(1e-9);
+    println!("\nspeedup: {speedup:.1}x   (per-block {reference_t:?} vs class-based {classes_t:?})");
+    assert!(
+        speedup >= 10.0,
+        "class-based simulate must be >= 10x faster than the per-block reference \
+         on VGG-16 @ batch 64, got {speedup:.1}x"
+    );
+}

@@ -37,7 +37,10 @@ mod report;
 
 pub use accelerator::Accelerator;
 pub use design::{derive_config, optimal_psum_fraction};
-pub use planner::{plan_for_arch, tiling_feasible};
+pub use planner::{
+    clear_plan_cache, plan_cache_stats, plan_for_arch, set_plan_cache_capacity, tiling_feasible,
+    DEFAULT_PLAN_CACHE_CAPACITY,
+};
 pub use report::{LayerReport, NetworkReport};
 
 // Re-export the pieces callers need to use the API without importing every

@@ -17,13 +17,24 @@
 //! that could still beat the best feasible tiling found so far. Sharing one
 //! orchestration keeps the prune and tie-break semantics of the planner and
 //! the abstract search from drifting apart.
+//!
+//! Results are memoized process-wide in a bounded LRU keyed by
+//! `(layer shape, architecture)` — the same machinery as the abstract
+//! search's memo cache — so long-running embedders (the analysis service's
+//! `/v1/plan` and `/v1/network`) replan a given layer × implementation
+//! once, not per cold request; concurrent identical misses coalesce onto
+//! one sweep. [`plan_cache_stats`], [`set_plan_cache_capacity`] and
+//! [`clear_plan_cache`] expose, bound and reset the cache.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock};
 
 use accel_sim::mapping::{map_block, Block};
-use accel_sim::ArchConfig;
+use accel_sim::{ArchCacheKey, ArchConfig};
 use comm_bound::OnChipMemory;
 use conv_model::ConvLayer;
 use dataflow::engine::search_ours_with;
-use dataflow::{paper_tiling, LayerTables, Tiling};
+use dataflow::{paper_tiling, FlightMap, LayerTables, LruCache, Tiling};
 
 /// True when `tiling` satisfies every structural constraint of `arch`.
 #[must_use]
@@ -49,19 +60,123 @@ pub fn tiling_feasible(layer: &ConvLayer, tiling: &Tiling, arch: &ArchConfig) ->
     map_block(arch, layer, &block).is_ok()
 }
 
+/// Memo-cache key: the layer shape plus the full architecture identity.
+/// [`ArchCacheKey`] is built next to `ArchConfig` by exhaustive
+/// destructuring, so a new `ArchConfig` field cannot silently bypass this
+/// cache. The DRAM model does not influence planning, but `validate` reads
+/// the core frequency, so the whole configuration is keyed for safety —
+/// real embedders run a handful of fixed architectures, so the hit rate is
+/// unaffected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct PlanKey {
+    layer: ConvLayer,
+    arch: ArchCacheKey,
+}
+
+/// Default bound on the planner memo cache. Entries are a few hundred bytes
+/// (a key plus a `Result<Tiling, SimError>`), and real workloads plan at
+/// most a few hundred distinct layer × architecture pairs.
+pub const DEFAULT_PLAN_CACHE_CAPACITY: usize = 4096;
+
+type PlanResult = Result<Tiling, accel_sim::SimError>;
+
+static PLAN_CACHE: OnceLock<Mutex<LruCache<PlanKey, PlanResult>>> = OnceLock::new();
+static PLAN_FLIGHTS: OnceLock<FlightMap<PlanKey, PlanResult>> = OnceLock::new();
+static PLAN_HITS: AtomicU64 = AtomicU64::new(0);
+static PLAN_MISSES: AtomicU64 = AtomicU64::new(0);
+
+fn plan_cache() -> &'static Mutex<LruCache<PlanKey, PlanResult>> {
+    PLAN_CACHE.get_or_init(|| Mutex::new(LruCache::new(DEFAULT_PLAN_CACHE_CAPACITY)))
+}
+
+fn plan_flights() -> &'static FlightMap<PlanKey, PlanResult> {
+    PLAN_FLIGHTS.get_or_init(FlightMap::new)
+}
+
+/// Current planner memo-cache statistics — the same [`dataflow::CacheStats`]
+/// shape the tiling-search cache reports, counting plans instead of
+/// searches.
+#[must_use]
+pub fn plan_cache_stats() -> dataflow::CacheStats {
+    let (entries, evictions, capacity) = plan_cache()
+        .lock()
+        .map(|c| (c.len(), c.evictions(), c.capacity()))
+        .unwrap_or((0, 0, 0));
+    dataflow::CacheStats {
+        hits: PLAN_HITS.load(Ordering::Relaxed),
+        misses: PLAN_MISSES.load(Ordering::Relaxed),
+        coalesced: plan_flights().coalesced(),
+        evictions,
+        entries,
+        capacity,
+    }
+}
+
+/// Empties the planner memo cache and resets its counters (benchmarks use
+/// this for cold timings). The LRU capacity is kept.
+pub fn clear_plan_cache() {
+    if let Ok(mut c) = plan_cache().lock() {
+        c.clear();
+    }
+    plan_flights().reset_stats();
+    PLAN_HITS.store(0, Ordering::Relaxed);
+    PLAN_MISSES.store(0, Ordering::Relaxed);
+}
+
+/// Bounds the planner memo cache to `capacity` entries (clamped to ≥ 1),
+/// evicting least-recently-used entries immediately if it is already over.
+pub fn set_plan_cache_capacity(capacity: usize) {
+    if let Ok(mut c) = plan_cache().lock() {
+        c.set_capacity(capacity);
+    }
+}
+
 /// Chooses the DRAM-minimal tiling of the paper's dataflow that is feasible
 /// on `arch`, by exhaustive search seeded with the closed-form choice.
 /// Equal-traffic tilings resolve to the smallest `(b, z, y, x)` tuple, the
 /// same canonical order the dataflow search engine uses.
 ///
+/// Results (errors included — they are deterministic) are memoized in a
+/// process-wide bounded LRU keyed by `(layer shape, architecture)`, with
+/// concurrent identical misses coalesced onto one sweep, so warm planning
+/// is a hash lookup for any embedder.
+///
 /// # Errors
 ///
-/// Returns [`accel_sim::SimError`] when no tiling fits — e.g. a layer whose
-/// single sliding window (`Hk×Wk` inputs) already exceeds the IGBuf or the
-/// GReg segments, such as the weight-gradient convolution of a large
-/// feature map. Such layers need a different blocking than the Fig. 7
-/// dataflow provides.
+/// Returns [`accel_sim::SimError::InvalidArch`] when `arch` fails its
+/// structural invariants, and other [`accel_sim::SimError`]s when no tiling
+/// fits — e.g. a layer whose single sliding window (`Hk×Wk` inputs) already
+/// exceeds the IGBuf or the GReg segments, such as the weight-gradient
+/// convolution of a large feature map. Such layers need a different
+/// blocking than the Fig. 7 dataflow provides.
 pub fn plan_for_arch(layer: &ConvLayer, arch: &ArchConfig) -> Result<Tiling, accel_sim::SimError> {
+    arch.validate().map_err(accel_sim::SimError::InvalidArch)?;
+    let key = PlanKey {
+        layer: *layer,
+        arch: arch.cache_key(),
+    };
+    if let Ok(mut cache) = plan_cache().lock() {
+        if let Some(hit) = cache.get(&key) {
+            PLAN_HITS.fetch_add(1, Ordering::Relaxed);
+            return hit.clone();
+        }
+    }
+    let (result, _coalesced) = plan_flights().run(key, || {
+        PLAN_MISSES.fetch_add(1, Ordering::Relaxed);
+        let result = plan_for_arch_uncached(layer, arch);
+        if let Ok(mut cache) = plan_cache().lock() {
+            cache.insert(key, result.clone());
+        }
+        result
+    });
+    result
+}
+
+/// The actual planning sweep behind [`plan_for_arch`].
+fn plan_for_arch_uncached(
+    layer: &ConvLayer,
+    arch: &ArchConfig,
+) -> Result<Tiling, accel_sim::SimError> {
     let mem = OnChipMemory::from_words(arch.effective_onchip_words() as f64);
     let tables = LayerTables::new(layer);
 
@@ -194,6 +309,46 @@ mod tests {
             assert_eq!(plan_for_arch(&l, &arch).unwrap(), reference);
         }
         set_threads(0); // restore auto for the other tests
+    }
+
+    #[test]
+    fn plan_cache_hits_on_repeat_plans() {
+        // Counters are process-wide and other tests plan concurrently, so
+        // only delta properties are asserted, on a layer shape unique to
+        // this test.
+        let l = workloads::vgg16(5).layer(6).unwrap().layer;
+        let arch = ArchConfig::implementation(2);
+        let first = plan_for_arch(&l, &arch).unwrap();
+        let hits_before = plan_cache_stats().hits;
+        let second = plan_for_arch(&l, &arch).unwrap();
+        assert_eq!(first, second);
+        let stats = plan_cache_stats();
+        assert!(stats.hits > hits_before, "warm plan must hit");
+        assert!(stats.entries >= 1);
+        assert!(stats.capacity >= 1);
+        assert!(stats.hit_rate() > 0.0);
+    }
+
+    #[test]
+    fn plan_cache_memoizes_errors_truthfully() {
+        // A layer whose single window overflows the IGBuf fails the same
+        // way warm as cold.
+        let l = ConvLayer::square(1, 4, 4, 4, 33, 1).unwrap();
+        let arch = ArchConfig::example();
+        let cold = plan_for_arch(&l, &arch).unwrap_err();
+        let warm = plan_for_arch(&l, &arch).unwrap_err();
+        assert_eq!(cold, warm);
+    }
+
+    #[test]
+    fn invalid_arch_is_not_planned() {
+        let mut arch = ArchConfig::example();
+        arch.group_cols = 7;
+        let err = plan_for_arch(&layer(), &arch).unwrap_err();
+        assert!(
+            matches!(&err, accel_sim::SimError::InvalidArch(m) if m.contains("group cols 7")),
+            "{err:?}"
+        );
     }
 
     #[test]

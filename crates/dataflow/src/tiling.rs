@@ -70,6 +70,39 @@ impl Tiling {
     pub fn fits(&self, layer: &ConvLayer, mem: OnChipMemory) -> bool {
         self.onchip_words(layer) as f64 <= mem.words()
     }
+
+    /// Checks that every dimension is usable for blocking `layer`: nonzero
+    /// (a zero tile size would make the Fig. 7 block grid empty along that
+    /// axis and never advance) and no larger than the corresponding output
+    /// dimension (an oversized tile silently behaves like the clamped one,
+    /// which is almost always a caller bug).
+    ///
+    /// The fields are `pub` and [`Deserialize`], so tilings can arrive from
+    /// untrusted JSON; every `simulate`/API boundary validates through this
+    /// before walking the block grid.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first violated constraint.
+    pub fn validate_for(&self, layer: &ConvLayer) -> Result<(), String> {
+        let axes = [
+            ("b", self.b, layer.batch(), "batch"),
+            ("z", self.z, layer.out_channels(), "output channels"),
+            ("y", self.y, layer.output_height(), "output height"),
+            ("x", self.x, layer.output_width(), "output width"),
+        ];
+        for (name, value, dim, what) in axes {
+            if value == 0 {
+                return Err(format!("tiling dimension {name} must be nonzero"));
+            }
+            if value > dim {
+                return Err(format!(
+                    "tiling dimension {name}={value} exceeds the layer's {what} {dim}"
+                ));
+            }
+        }
+        Ok(())
+    }
 }
 
 impl std::fmt::Display for Tiling {
@@ -372,6 +405,65 @@ mod tests {
             t.onchip_words(&l),
             (16 * 8 * 8) + (xp as u64 * yp as u64) + 16 * 9
         );
+    }
+
+    #[test]
+    fn validate_for_accepts_clamped_tilings() {
+        let l = layer();
+        for (b, z, y, x) in [(1, 1, 1, 1), (9, 999, 999, 999), (2, 16, 8, 8)] {
+            Tiling::clamped(&l, b, z, y, x).validate_for(&l).unwrap();
+        }
+        let full = Tiling::clamped(
+            &l,
+            l.batch(),
+            l.out_channels(),
+            l.output_height(),
+            l.output_width(),
+        );
+        full.validate_for(&l).unwrap();
+    }
+
+    #[test]
+    fn validate_for_rejects_zero_and_oversized() {
+        let l = layer();
+        let ok = Tiling::clamped(&l, 1, 8, 8, 8);
+        for (bad, needle) in [
+            (Tiling { b: 0, ..ok }, "b must be nonzero"),
+            (Tiling { z: 0, ..ok }, "z must be nonzero"),
+            (Tiling { y: 0, ..ok }, "y must be nonzero"),
+            (Tiling { x: 0, ..ok }, "x must be nonzero"),
+            (
+                Tiling {
+                    b: l.batch() + 1,
+                    ..ok
+                },
+                "exceeds",
+            ),
+            (
+                Tiling {
+                    z: l.out_channels() + 1,
+                    ..ok
+                },
+                "exceeds",
+            ),
+            (
+                Tiling {
+                    y: l.output_height() * 2,
+                    ..ok
+                },
+                "exceeds",
+            ),
+            (
+                Tiling {
+                    x: usize::MAX,
+                    ..ok
+                },
+                "exceeds",
+            ),
+        ] {
+            let msg = bad.validate_for(&l).unwrap_err();
+            assert!(msg.contains(needle), "{bad}: {msg}");
+        }
     }
 
     #[test]

@@ -9,9 +9,10 @@
 //! the same `serde_json` pretty printer, so a service response is
 //! bit-identical to the corresponding library/CLI output.
 
+use accel_sim::{ArchConfig, SimStats};
 use clb_core::{Accelerator, LayerReport, NetworkReport, OnChipMemory};
 use conv_model::{workloads, ConvLayer};
-use dataflow::{found_minimum, search_dataflow, DataflowChoice, DataflowKind};
+use dataflow::{found_minimum, search_dataflow, DataflowChoice, DataflowKind, Tiling};
 use serde::{Deserialize, Serialize, Value};
 
 use crate::http::Response;
@@ -305,6 +306,58 @@ pub fn plan_response(v: &Value) -> Result<String, ApiError> {
     })
 }
 
+/// `POST /v1/simulate` — the cycle simulator on an *explicit, user-supplied*
+/// tiling (mirrors `clb simulate`). Unlike `/v1/plan`, which simulates the
+/// planner's choice, this runs any `{b, z, y, x}` blocking the caller asks
+/// for — what-if analysis of hand-rolled or externally-planned tilings.
+///
+/// Request: the layer-spec fields plus `implem` (default 1) and a required
+/// `tiling` object `{"b": .., "z": .., "y": .., "x": ..}`. Zero or
+/// oversized tiling dimensions are rejected with 422 *before* the block
+/// grid is walked ([`Tiling::validate_for`]); structurally infeasible
+/// tilings (GBuf overflow, unmappable blocks) also come back as 422 with
+/// the simulator's own diagnosis.
+#[derive(Debug, Clone, Serialize)]
+pub struct SimulateResponse {
+    /// Which Table I implementation ran the simulation.
+    pub implementation: usize,
+    /// Echo of the simulated layer.
+    pub layer: ConvLayer,
+    /// Echo of the simulated tiling.
+    pub tiling: Tiling,
+    /// Every counter the simulator collects.
+    pub stats: SimStats,
+    /// Total execution cycles (compute + unhidden stalls).
+    pub total_cycles: u64,
+    /// Execution time at the implementation's core clock.
+    pub seconds: f64,
+}
+
+/// Handles `POST /v1/simulate`.
+///
+/// # Errors
+///
+/// [`ApiError`] on malformed or out-of-limit requests (400), and on
+/// invalid/zero tilings or simulation-infeasible blockings (422).
+pub fn simulate_response(v: &Value) -> Result<String, ApiError> {
+    let layer = LayerSpec::from_value(v)?.to_layer()?;
+    let implem = parse_implem(v)?;
+    let tiling: Tiling = require(v, "tiling")?;
+    let arch = ArchConfig::implementation(implem);
+    // `simulate` itself rejects zero/oversized tilings (InvalidTiling)
+    // before touching the block grid; its diagnosis becomes the 422 body.
+    let stats = accel_sim::simulate(&layer, &tiling, &arch)
+        .map_err(|e| ApiError::Unprocessable(e.to_string()))?;
+    render(&SimulateResponse {
+        implementation: implem,
+        layer,
+        tiling,
+        stats,
+        total_cycles: stats.total_cycles(),
+        seconds: stats.seconds(arch.core_freq_hz),
+    })
+}
+
 /// Handles `POST /v1/network` — whole-network analysis; the body is exactly
 /// the [`NetworkReport`] JSON that `clb network --json` prints.
 ///
@@ -347,6 +400,7 @@ pub fn dispatch(path: &str, body: &Value) -> Response {
         "/v1/bound" => bound_response(body),
         "/v1/sweep" => sweep_response(body),
         "/v1/plan" => plan_response(body),
+        "/v1/simulate" => simulate_response(body),
         "/v1/network" => network_response(body),
         other => return Response::error(404, &format!("unknown endpoint `{other}`")),
     };
@@ -450,6 +504,91 @@ mod tests {
         })
         .unwrap();
         assert_eq!(resp.body, expected, "service must be bit-identical");
+    }
+
+    fn tiling_value(b: f64, z: f64, y: f64, x: f64) -> Value {
+        obj(&[
+            ("b", Value::Number(b)),
+            ("z", Value::Number(z)),
+            ("y", Value::Number(y)),
+            ("x", Value::Number(x)),
+        ])
+    }
+
+    fn simulate_body(tiling: Value) -> Value {
+        let mut body = small_layer_body();
+        if let Value::Object(fields) = &mut body {
+            fields.push(("tiling".to_string(), tiling));
+        }
+        body
+    }
+
+    #[test]
+    fn simulate_endpoint_matches_direct_library_call() {
+        let resp = dispatch(
+            "/v1/simulate",
+            &simulate_body(tiling_value(1.0, 8.0, 7.0, 7.0)),
+        );
+        assert_eq!(resp.status, 200, "{}", resp.body);
+        let layer = ConvLayer::square(1, 16, 14, 8, 3, 1).unwrap();
+        let tiling = dataflow::Tiling {
+            b: 1,
+            z: 8,
+            y: 7,
+            x: 7,
+        };
+        let arch = accel_sim::ArchConfig::implementation(1);
+        let stats = accel_sim::simulate(&layer, &tiling, &arch).unwrap();
+        let expected = serde_json::to_string_pretty(&SimulateResponse {
+            implementation: 1,
+            layer,
+            tiling,
+            stats,
+            total_cycles: stats.total_cycles(),
+            seconds: stats.seconds(arch.core_freq_hz),
+        })
+        .unwrap();
+        assert_eq!(resp.body, expected, "service must be bit-identical");
+    }
+
+    #[test]
+    fn simulate_endpoint_requires_a_tiling() {
+        let resp = dispatch("/v1/simulate", &small_layer_body());
+        assert_eq!(resp.status, 400);
+        assert!(resp.body.contains("tiling"), "{}", resp.body);
+    }
+
+    #[test]
+    fn simulate_endpoint_rejects_zero_and_oversized_tilings() {
+        for bad in [
+            tiling_value(0.0, 8.0, 7.0, 7.0),
+            tiling_value(1.0, 0.0, 7.0, 7.0),
+            tiling_value(1.0, 8.0, 0.0, 7.0),
+            tiling_value(1.0, 8.0, 7.0, 0.0),
+            tiling_value(1.0, 8.0, 7.0, 1000.0),
+        ] {
+            let resp = dispatch("/v1/simulate", &simulate_body(bad));
+            assert_eq!(resp.status, 422, "{}", resp.body);
+            assert!(resp.body.contains("tiling"), "{}", resp.body);
+        }
+    }
+
+    #[test]
+    fn simulate_endpoint_surfaces_infeasible_blockings() {
+        // z = 16 output channels is fine, but a 14×14 spatial block of all
+        // 16 channels at batch 1 still maps; use a full-layer tiling that
+        // overflows the IGBuf instead.
+        let mut body = obj(&[
+            ("co", Value::Number(64.0)),
+            ("size", Value::Number(64.0)),
+            ("ci", Value::Number(8.0)),
+            ("batch", Value::Number(1.0)),
+        ]);
+        if let Value::Object(fields) = &mut body {
+            fields.push(("tiling".to_string(), tiling_value(1.0, 1.0, 64.0, 64.0)));
+        }
+        let resp = dispatch("/v1/simulate", &body);
+        assert_eq!(resp.status, 422, "{}", resp.body);
     }
 
     #[test]

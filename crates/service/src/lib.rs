@@ -68,6 +68,25 @@
 //!      -d '{"net":"vgg16","batch":3,"implem":1}'
 //! ```
 //!
+//! Simulate *any* explicit tiling — not just the planner's choice — with
+//! the block-class cycle simulator (what-if analysis of hand-rolled or
+//! externally-planned blockings):
+//!
+//! ```text
+//! curl -s -X POST http://127.0.0.1:8080/v1/simulate \
+//!      -d '{"co":512,"size":28,"ci":256,"batch":1,"implem":1,
+//!           "tiling":{"b":1,"z":16,"y":14,"x":14}}'
+//! ```
+//!
+//! The `tiling` object is required; its four dimensions must be nonzero and
+//! no larger than the layer's batch/channel/spatial extents (zero or
+//! oversized dimensions are rejected with 422 before any simulation work —
+//! a zero dimension would otherwise describe a block grid that never
+//! advances). Structurally infeasible tilings (GBuf overflow, unmappable
+//! blocks) also return 422 carrying the simulator's diagnosis. The response
+//! echoes `implementation`, `layer` and `tiling` and carries the full
+//! [`accel_sim::SimStats`] counter set plus `total_cycles` and `seconds`.
+//!
 //! Watch the caches work (numbers are cumulative since server start):
 //!
 //! ```text
@@ -83,6 +102,7 @@
 //! | `/v1/bound` | POST | layer spec + `mem_kib` | `clb bound` |
 //! | `/v1/sweep` | POST | layer spec + `mem_kib` | `clb sweep` |
 //! | `/v1/plan` | POST | layer spec + `implem` | `clb plan` |
+//! | `/v1/simulate` | POST | layer spec + `implem` + `tiling` | `clb simulate` |
 //! | `/v1/network` | POST | `net`, `batch`, `implem` | `clb network --json` |
 //!
 //! Layer spec fields: `co`, `size`, `ci` (required); `k` (3), `stride`
@@ -110,10 +130,12 @@ pub mod http;
 pub mod pool;
 mod server;
 
-pub use api::{ApiError, BoundResponse, LayerSpec, PlanResponse, SweepEntry, SweepResponse};
+pub use api::{
+    ApiError, BoundResponse, LayerSpec, PlanResponse, SimulateResponse, SweepEntry, SweepResponse,
+};
 pub use http::{HttpError, Request, Response};
 pub use pool::{BoundedQueue, WorkerPool};
 pub use server::{
-    CacheStatsResponse, RunningServer, SearchCacheStats, Server, ServiceConfig, ServiceStats,
+    CacheStatsResponse, MemoCacheStats, RunningServer, Server, ServiceConfig, ServiceStats,
     StopHandle,
 };

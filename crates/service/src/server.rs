@@ -110,19 +110,22 @@ struct ServiceState {
 #[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
 pub struct CacheStatsResponse {
     /// Tiling-search memo-cache stats (process-wide).
-    pub search: SearchCacheStats,
+    pub search: MemoCacheStats,
+    /// Planner `(layer, arch)` memo-cache stats (process-wide).
+    pub plan: MemoCacheStats,
     /// HTTP-layer stats for this server.
     pub service: ServiceStats,
 }
 
-/// The engine cache section of [`CacheStatsResponse`].
+/// One memo-cache section of [`CacheStatsResponse`] — the `search` (tiling
+/// search engine) and `plan` (planner) caches share this shape.
 #[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
-pub struct SearchCacheStats {
-    /// Searches answered from the memo cache.
+pub struct MemoCacheStats {
+    /// Lookups answered from the memo cache.
     pub hits: u64,
-    /// Searches computed (cache misses).
+    /// Lookups computed (cache misses).
     pub misses: u64,
-    /// Searches that shared a concurrent identical computation.
+    /// Lookups that shared a concurrent identical computation.
     pub coalesced: u64,
     /// Entries evicted by the LRU bound.
     pub evictions: u64,
@@ -132,6 +135,20 @@ pub struct SearchCacheStats {
     pub capacity: u64,
     /// hits / (hits + misses), 0 when idle.
     pub hit_rate: f64,
+}
+
+impl From<dataflow::CacheStats> for MemoCacheStats {
+    fn from(s: dataflow::CacheStats) -> Self {
+        MemoCacheStats {
+            hits: s.hits,
+            misses: s.misses,
+            coalesced: s.coalesced,
+            evictions: s.evictions,
+            entries: s.entries as u64,
+            capacity: s.capacity as u64,
+            hit_rate: s.hit_rate(),
+        }
+    }
 }
 
 /// The service section of [`CacheStatsResponse`].
@@ -163,21 +180,15 @@ impl ServiceState {
 
     fn cache_stats_response(&self) -> Response {
         let engine = dataflow::cache_stats();
+        let planner = clb_core::plan_cache_stats();
         let (entries, capacity) = self
             .response_cache
             .lock()
             .map(|c| (c.len() as u64, c.capacity() as u64))
             .unwrap_or((0, 0));
         let stats = CacheStatsResponse {
-            search: SearchCacheStats {
-                hits: engine.hits,
-                misses: engine.misses,
-                coalesced: engine.coalesced,
-                evictions: engine.evictions,
-                entries: engine.entries as u64,
-                capacity: engine.capacity as u64,
-                hit_rate: engine.hit_rate(),
-            },
+            search: engine.into(),
+            plan: planner.into(),
             service: ServiceStats {
                 requests: self.counters.requests.load(Ordering::Relaxed),
                 responses_cached: self.counters.responses_cached.load(Ordering::Relaxed),
@@ -241,7 +252,13 @@ impl ServiceState {
     }
 
     fn route(&self, head: &http::Head, body: &[u8]) -> Arc<Response> {
-        const POST_ENDPOINTS: [&str; 4] = ["/v1/bound", "/v1/sweep", "/v1/plan", "/v1/network"];
+        const POST_ENDPOINTS: [&str; 5] = [
+            "/v1/bound",
+            "/v1/sweep",
+            "/v1/plan",
+            "/v1/simulate",
+            "/v1/network",
+        ];
         const GET_ENDPOINTS: [&str; 2] = ["/healthz", "/v1/cache_stats"];
         match (head.method.as_str(), head.path.as_str()) {
             ("GET", "/healthz") => Arc::new(Response::json(200, "{\"status\": \"ok\"}")),

@@ -136,6 +136,46 @@ fn sixty_four_concurrent_requests_are_bit_identical_to_library_output() {
 }
 
 #[test]
+fn simulate_endpoint_round_trips_and_validates() {
+    let server = spawn_server();
+    let addr = server.addr();
+
+    // Valid explicit tiling: the wire response must be bit-identical to the
+    // pure handler (which itself is pinned against the library call).
+    let valid = "{\"co\":16,\"size\":14,\"ci\":8,\"batch\":1,\
+                 \"tiling\":{\"b\":1,\"z\":8,\"y\":7,\"x\":7}}";
+    let parsed: Value = serde_json::from_str(valid).unwrap();
+    let expected = api::simulate_response(&parsed).unwrap();
+    let (status, got) = request(addr, "POST", "/v1/simulate", valid);
+    assert_eq!(status, 200, "{got}");
+    assert_eq!(got, expected);
+
+    // Zero-dimension tilings must come back 422 promptly — before the fix,
+    // `block_grid` would spin forever and this request would hang a worker
+    // until the read timeout.
+    let zero = "{\"co\":16,\"size\":14,\"ci\":8,\"batch\":1,\
+                \"tiling\":{\"b\":1,\"z\":0,\"y\":7,\"x\":7}}";
+    let (status, body) = request(addr, "POST", "/v1/simulate", zero);
+    assert_eq!(status, 422, "{body}");
+    assert!(body.contains("nonzero"), "{body}");
+
+    // Missing tiling object → 400, oversized dimension → 422.
+    let (status, body) = request(
+        addr,
+        "POST",
+        "/v1/simulate",
+        "{\"co\":16,\"size\":14,\"ci\":8,\"batch\":1}",
+    );
+    assert_eq!(status, 400, "{body}");
+    let oversized = "{\"co\":16,\"size\":14,\"ci\":8,\"batch\":1,\
+                     \"tiling\":{\"b\":1,\"z\":8,\"y\":7,\"x\":700}}";
+    let (status, body) = request(addr, "POST", "/v1/simulate", oversized);
+    assert_eq!(status, 422, "{body}");
+    assert!(body.contains("exceeds"), "{body}");
+    server.shutdown().unwrap();
+}
+
+#[test]
 fn network_endpoint_matches_direct_network_analysis() {
     let server = spawn_server();
     let expected = {

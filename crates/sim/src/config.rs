@@ -146,6 +146,48 @@ impl ArchConfig {
         self.dram.bandwidth_bytes_per_s / self.core_freq_hz / 2.0
     }
 
+    /// A hashable key covering *every* field of this configuration (float
+    /// fields by bit pattern, so distinct configurations never alias) —
+    /// what memo caches keyed by architecture should use.
+    ///
+    /// Defined here, next to the struct, via exhaustive destructuring: when
+    /// `ArchConfig` grows a field, this method stops compiling and forces
+    /// the key (and therefore every cache) to account for it.
+    #[must_use]
+    pub fn cache_key(&self) -> ArchCacheKey {
+        let ArchConfig {
+            pe_rows,
+            pe_cols,
+            group_rows,
+            group_cols,
+            lreg_entries_per_pe,
+            igbuf_entries,
+            wgbuf_entries,
+            greg_bytes,
+            greg_segment_entries,
+            core_freq_hz,
+            dram,
+        } = *self;
+        let DramConfig {
+            bandwidth_bytes_per_s,
+            latency_cycles,
+        } = dram;
+        ArchCacheKey {
+            pe_rows,
+            pe_cols,
+            group_rows,
+            group_cols,
+            lreg_entries_per_pe,
+            igbuf_entries,
+            wgbuf_entries,
+            greg_bytes,
+            greg_segment_entries,
+            core_freq_bits: core_freq_hz.to_bits(),
+            dram_bw_bits: bandwidth_bytes_per_s.to_bits(),
+            dram_latency: latency_cycles,
+        }
+    }
+
     /// Validates the structural invariants (group sizes divide the array,
     /// everything positive).
     ///
@@ -188,6 +230,24 @@ impl Default for ArchConfig {
     fn default() -> Self {
         ArchConfig::example()
     }
+}
+
+/// The value [`ArchConfig::cache_key`] returns: an opaque, hashable
+/// identity of one full architecture configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ArchCacheKey {
+    pe_rows: usize,
+    pe_cols: usize,
+    group_rows: usize,
+    group_cols: usize,
+    lreg_entries_per_pe: usize,
+    igbuf_entries: usize,
+    wgbuf_entries: usize,
+    greg_bytes: usize,
+    greg_segment_entries: usize,
+    core_freq_bits: u64,
+    dram_bw_bits: u64,
+    dram_latency: u64,
 }
 
 #[cfg(test)]

@@ -10,7 +10,10 @@
 //!   including the five Table I implementations;
 //! * [`mapping`] — the Section IV-B workload mapping onto PE rows/columns;
 //! * [`simulate`] — the counting walk: DRAM, GBuf, GReg and LReg access
-//!   volumes, cycles (compute + unhidden DRAM stalls), utilizations;
+//!   volumes, cycles (compute + unhidden DRAM stalls), utilizations —
+//!   evaluated per block *shape class* (one mapping walk per class, not per
+//!   block), with [`simulate_reference`] retained as the per-block oracle
+//!   the fast path is pinned bit-identical against;
 //! * [`simulate_functional`] — the same walk actually computing the
 //!   convolution in Q8.8 (validated against the reference loop nest).
 //!
@@ -36,6 +39,8 @@ pub mod mapping;
 pub mod microarch;
 mod stats;
 
-pub use config::{ArchConfig, DramConfig};
-pub use engine::{block_grid, effective_memory, simulate, simulate_functional, SimError};
+pub use config::{ArchCacheKey, ArchConfig, DramConfig};
+pub use engine::{
+    block_grid, effective_memory, simulate, simulate_functional, simulate_reference, SimError,
+};
 pub use stats::{DramCounters, GbufCounters, RegCounters, SimStats, Utilization};

@@ -1,0 +1,334 @@
+//! Parity pinning of the block-class simulator against the per-block
+//! reference walk, plus regression tests for the simulator input-validation
+//! fixes.
+//!
+//! The class-based `simulate` collapses the block grid into shape classes
+//! and multiplies; hardware-event-validation practice says a counter model
+//! is only trustworthy when checked against a known-ground-truth reference,
+//! so every property here demands *bit identity* — every `SimStats` field,
+//! `stall_cycles` and the floating-point utilizations included (compared by
+//! bit pattern, not `==`, so a `-0.0`/`0.0` drift could not hide).
+
+use accel_sim::{simulate, simulate_reference, ArchConfig, SimError};
+use conv_model::{ConvLayer, Padding};
+use dataflow::Tiling;
+use proptest::prelude::*;
+
+/// Asserts bit-for-bit identity of two simulation outcomes (stats or
+/// errors).
+fn assert_bit_identical(
+    fast: &Result<accel_sim::SimStats, SimError>,
+    slow: &Result<accel_sim::SimStats, SimError>,
+    context: &dyn std::fmt::Display,
+) {
+    match (fast, slow) {
+        (Ok(f), Ok(s)) => {
+            assert_eq!(f, s, "stats diverged: {context}");
+            let (uf, us) = (f.utilization, s.utilization);
+            for (name, a, b) in [
+                ("gbuf", uf.gbuf, us.gbuf),
+                ("greg", uf.greg, us.greg),
+                ("lreg", uf.lreg, us.lreg),
+                ("memory_overall", uf.memory_overall, us.memory_overall),
+                ("pe", uf.pe, us.pe),
+            ] {
+                assert_eq!(
+                    a.to_bits(),
+                    b.to_bits(),
+                    "utilization.{name} bits diverged ({a} vs {b}): {context}"
+                );
+            }
+        }
+        (Err(f), Err(s)) => assert_eq!(f, s, "errors diverged: {context}"),
+        (f, s) => panic!("outcome diverged: fast={f:?} slow={s:?}: {context}"),
+    }
+}
+
+fn random_case() -> impl Strategy<Value = (ConvLayer, Tiling)> {
+    (
+        1usize..=3,
+        1usize..=24,
+        3usize..=20,
+        1usize..=8,
+        1usize..=4,
+        1usize..=3,
+        prop::bool::ANY,
+        1usize..=3,
+        1usize..=24,
+        1usize..=20,
+        1usize..=20,
+    )
+        .prop_filter_map(
+            "layer valid",
+            |(b, co, size, ci, k, s, pad, tb, tz, ty, tx)| {
+                let layer = ConvLayer::builder()
+                    .batch(b)
+                    .out_channels(co)
+                    .in_channels(ci)
+                    .input(size, size)
+                    .kernel(k, k)
+                    .stride(s)
+                    .padding(if pad {
+                        Padding::same(k)
+                    } else {
+                        Padding::none()
+                    })
+                    .build()
+                    .ok()?;
+                let tiling = Tiling::clamped(&layer, tb, tz, ty, tx);
+                Some((layer, tiling))
+            },
+        )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// The acceptance property of the class decomposition: across random
+    /// layers × tilings × all five Table I implementations, class-based and
+    /// per-block simulation agree on every bit — successes *and* errors.
+    #[test]
+    fn class_simulate_bit_identical_to_reference((layer, tiling) in random_case()) {
+        for implem in 1..=5 {
+            let arch = ArchConfig::implementation(implem);
+            let fast = simulate(&layer, &tiling, &arch);
+            let slow = simulate_reference(&layer, &tiling, &arch);
+            let context = format!("implem {implem}, layer {layer}, tiling {tiling}");
+            assert_bit_identical(&fast, &slow, &context);
+        }
+    }
+}
+
+#[test]
+fn vgg_batch64_planned_tilings_bit_identical() {
+    // The bench workload: every VGG-16 conv layer at batch 64 under its
+    // planned tiling, on implementation 1 (the `sim_hotpath` gate re-proves
+    // this before timing).
+    let arch = ArchConfig::implementation(1);
+    for named in conv_model::workloads::vgg16(64).conv_layers() {
+        let tiling = clb_core_plan(&named.layer, &arch);
+        let fast = simulate(&named.layer, &tiling, &arch);
+        let slow = simulate_reference(&named.layer, &tiling, &arch);
+        assert_bit_identical(&fast, &slow, &named.name);
+    }
+}
+
+/// Minimal local re-implementation of the planner's feasibility scan so
+/// this crate's tests do not depend on `clb-core` (which depends on this
+/// crate). Mirrors `simulator_properties.rs`.
+fn clb_core_plan(layer: &ConvLayer, arch: &ArchConfig) -> Tiling {
+    use accel_sim::mapping::{map_block, Block};
+    let mut best: Option<(u64, Tiling)> = None;
+    for b in 1..=layer.batch().min(4) {
+        for z in [1, 2, 4, 8, 16, 32, 64, 128, 256] {
+            for y in [1, 2, 4, 7, 8, 14, 16, 28] {
+                for x in [1, 2, 4, 7, 8, 14, 16, 28] {
+                    let t = Tiling::clamped(layer, b, z, y, x);
+                    if t.z > arch.wgbuf_entries {
+                        continue;
+                    }
+                    let (xh, yh) = layer.input_footprint(t.x, t.y);
+                    if t.b * xh * yh > arch.igbuf_entries {
+                        continue;
+                    }
+                    let block = Block {
+                        i0: 0,
+                        b: t.b,
+                        z0: 0,
+                        z: t.z,
+                        y0: 0,
+                        y: t.y,
+                        x0: 0,
+                        x: t.x,
+                    };
+                    if map_block(arch, layer, &block).is_err() {
+                        continue;
+                    }
+                    let traffic = dataflow::our_dataflow_traffic(layer, &t).total_words();
+                    match best {
+                        Some((q, _)) if q <= traffic => {}
+                        _ => best = Some((traffic, t)),
+                    }
+                }
+            }
+        }
+    }
+    best.expect("some tiling is feasible").1
+}
+
+/// Independent re-derivation of the utilization ratios, in the seed
+/// implementation's style: per-block f64 snapshots weighted by compute
+/// cycles, computed here from public APIs only (`block_grid`, `map_block`,
+/// layer geometry). The production paths share one integer-exact
+/// aggregation stage, so bit-identity between them cannot catch a formula
+/// bug in that shared stage — this oracle can, because it shares nothing
+/// but the mapping.
+fn seed_style_utilization(
+    layer: &ConvLayer,
+    tiling: &Tiling,
+    arch: &ArchConfig,
+) -> accel_sim::Utilization {
+    use accel_sim::mapping::map_block;
+    let ci = layer.in_channels() as u64;
+    let taps = (layer.kernel_height() * layer.kernel_width()) as u64;
+    let mut util_w = 0.0f64;
+    let (mut lreg, mut gbuf, mut greg, mut pe) = (0.0f64, 0.0f64, 0.0f64, 0.0f64);
+    for block in accel_sim::block_grid(layer, tiling) {
+        let m = map_block(arch, layer, &block).unwrap();
+        let psum = (block.b * block.z * block.y * block.x) as u64;
+        let (xh, yh) = layer.input_footprint(block.x, block.y);
+        let igbuf_needed = block.b * xh * yh;
+        let rows = m.rows_used() as u64;
+        let cols = block.z.div_ceil(m.zs).min(arch.pe_cols) as u64;
+        let input_copies = (arch.pe_cols / arch.group_cols) as u64;
+        let weight_copies = (arch.pe_rows / arch.group_rows) as u64;
+        let compute = ci * taps * m.pass_cycles();
+        let issued = rows * cols * m.pass_cycles() * taps * ci;
+        let useful = psum * taps * ci;
+        let w = compute as f64;
+        util_w += w;
+        lreg += psum as f64 / arch.lreg_total_entries() as f64 * w;
+        gbuf += (igbuf_needed.min(arch.igbuf_entries) + block.z.min(arch.wgbuf_entries)) as f64
+            / (arch.igbuf_entries + arch.wgbuf_entries) as f64
+            * w;
+        let greg_used_bytes = (rows * m.segment_words as u64 * input_copies
+            + weight_copies * block.z as u64) as f64
+            * 2.0;
+        greg += (greg_used_bytes / arch.greg_bytes as f64).min(1.0) * w;
+        pe += useful as f64 / issued as f64 * w;
+    }
+    let lreg_b = (arch.lreg_total_entries() * 2) as f64;
+    let gbuf_b = arch.gbuf_bytes() as f64;
+    let greg_b = arch.greg_bytes as f64;
+    let (lreg, gbuf, greg, pe) = (lreg / util_w, gbuf / util_w, greg / util_w, pe / util_w);
+    accel_sim::Utilization {
+        gbuf,
+        greg,
+        lreg,
+        memory_overall: (lreg * lreg_b + gbuf * gbuf_b + greg * greg_b)
+            / (lreg_b + gbuf_b + greg_b),
+        pe,
+    }
+}
+
+#[test]
+fn utilizations_match_independent_seed_style_oracle() {
+    // A formula bug in the shared integer aggregation (wrong clamp, wrong
+    // PE denominator, swapped numerator) shifts a ratio by orders of
+    // magnitude more than the ~1e-12 reordering noise this tolerates.
+    let cases = [
+        (ConvLayer::square(1, 8, 12, 4, 3, 1).unwrap(), (1, 8, 6, 6)),
+        (ConvLayer::square(2, 24, 14, 8, 3, 1).unwrap(), (1, 5, 5, 5)),
+        (
+            ConvLayer::square(3, 16, 15, 6, 5, 2).unwrap(),
+            (2, 16, 4, 7),
+        ),
+    ];
+    for (layer, (tb, tz, ty, tx)) in cases {
+        for implem in 1..=5 {
+            let arch = ArchConfig::implementation(implem);
+            let tiling = Tiling::clamped(&layer, tb, tz, ty, tx);
+            let Ok(stats) = simulate(&layer, &tiling, &arch) else {
+                continue; // structurally infeasible on this implementation
+            };
+            let expected = seed_style_utilization(&layer, &tiling, &arch);
+            let got = stats.utilization;
+            for (name, a, b) in [
+                ("gbuf", got.gbuf, expected.gbuf),
+                ("greg", got.greg, expected.greg),
+                ("lreg", got.lreg, expected.lreg),
+                (
+                    "memory_overall",
+                    got.memory_overall,
+                    expected.memory_overall,
+                ),
+                ("pe", got.pe, expected.pe),
+            ] {
+                assert!(
+                    (a - b).abs() <= 1e-12 * b.abs().max(1.0),
+                    "implem {implem}, {layer}, {tiling}: utilization.{name} \
+                     {a} != seed-style {b}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn zero_dimension_tiling_errors_promptly() {
+    // Regression: `block_grid` used to loop forever when a tiling field was
+    // 0 (`x0 += tiling.x` never advances). `Tiling` fields are `pub` and
+    // `Deserialize`, so hostile JSON could park a worker thread; the
+    // simulator now rejects before touching the grid. The test would hang
+    // without the fix, so its very termination is the assertion.
+    let layer = ConvLayer::square(1, 8, 12, 4, 3, 1).unwrap();
+    let arch = ArchConfig::example();
+    for tiling in [
+        Tiling {
+            b: 0,
+            z: 8,
+            y: 6,
+            x: 6,
+        },
+        Tiling {
+            b: 1,
+            z: 0,
+            y: 6,
+            x: 6,
+        },
+        Tiling {
+            b: 1,
+            z: 8,
+            y: 0,
+            x: 6,
+        },
+        Tiling {
+            b: 1,
+            z: 8,
+            y: 6,
+            x: 0,
+        },
+        Tiling {
+            b: 0,
+            z: 0,
+            y: 0,
+            x: 0,
+        },
+    ] {
+        for result in [
+            simulate(&layer, &tiling, &arch),
+            simulate_reference(&layer, &tiling, &arch),
+        ] {
+            let err = result.unwrap_err();
+            assert!(
+                matches!(&err, SimError::InvalidTiling(m) if m.contains("nonzero")),
+                "{tiling}: {err}"
+            );
+        }
+    }
+}
+
+#[test]
+fn invalid_arch_reports_the_violated_invariant() {
+    // Regression: an invalid `ArchConfig` used to surface as the misleading
+    // `WeightTileTooLarge { z: 0, capacity: 0 }`; it now names the real
+    // cause.
+    let layer = ConvLayer::square(1, 8, 12, 4, 3, 1).unwrap();
+    let tiling = Tiling::clamped(&layer, 1, 8, 6, 6);
+    type BreakArch = fn(&mut ArchConfig);
+    let cases: [(BreakArch, &str); 3] = [
+        (|a| a.pe_rows = 0, "PE array"),
+        (|a| a.group_rows = 3, "group rows 3"),
+        (|a| a.igbuf_entries = 0, "GBufs"),
+    ];
+    for (break_it, needle) in cases {
+        let mut arch = ArchConfig::example();
+        break_it(&mut arch);
+        let err = simulate(&layer, &tiling, &arch).unwrap_err();
+        let SimError::InvalidArch(msg) = &err else {
+            panic!("expected InvalidArch, got {err:?}");
+        };
+        assert!(msg.contains(needle), "{msg:?} should mention {needle:?}");
+        assert!(err.to_string().contains("invalid architecture"));
+    }
+}

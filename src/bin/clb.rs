@@ -1,11 +1,12 @@
 //! `clb` — command-line interface to the library.
 //!
 //! ```text
-//! clb bound   --co 512 --size 28 --ci 256 [--k 3] [--stride 1] [--batch 3] [--mem-kib 66.5]
-//! clb sweep   --co 512 --size 28 --ci 256 ...           # all dataflows at one memory size
-//! clb plan    --co 512 --size 28 --ci 256 [--implem 1]  # tiling + simulation on an implementation
-//! clb network --net vgg16|alexnet|resnet50 [--batch 3] [--implem 1] [--json]
-//! clb serve   [--port 8080] [--threads 0] [--queue 256] [--result-cache 1024]
+//! clb bound    --co 512 --size 28 --ci 256 [--k 3] [--stride 1] [--batch 3] [--mem-kib 66.5]
+//! clb sweep    --co 512 --size 28 --ci 256 ...           # all dataflows at one memory size
+//! clb plan     --co 512 --size 28 --ci 256 [--implem 1]  # tiling + simulation on an implementation
+//! clb simulate --co 512 --size 28 --ci 256 --tb 1 --tz 16 --ty 14 --tx 14 [--implem 1]
+//! clb network  --net vgg16|alexnet|resnet50 [--batch 3] [--implem 1] [--json]
+//! clb serve    [--port 8080] [--threads 0] [--queue 256] [--result-cache 1024]
 //! ```
 
 use std::collections::HashMap;
@@ -148,6 +149,52 @@ fn cmd_plan(flags: &HashMap<String, String>) -> Result<(), String> {
     Ok(())
 }
 
+/// `clb simulate`: run the cycle simulator on an explicit, user-supplied
+/// tiling instead of the planner's choice (the CLI mirror of
+/// `POST /v1/simulate`).
+fn cmd_simulate(flags: &HashMap<String, String>) -> Result<(), String> {
+    let layer = layer_from_flags(flags)?;
+    let implem: usize = get(flags, "implem", 1)?;
+    if !(1..=5).contains(&implem) {
+        return Err("--implem must be 1..=5".into());
+    }
+    let tiling = dataflow::Tiling {
+        b: get(flags, "tb", 0)?,
+        z: get(flags, "tz", 0)?,
+        y: get(flags, "ty", 0)?,
+        x: get(flags, "tx", 0)?,
+    };
+    // Missing flags default to 0 so one message covers both absence and an
+    // explicit zero; oversized dims are diagnosed by `simulate` itself.
+    if tiling.b == 0 || tiling.z == 0 || tiling.y == 0 || tiling.x == 0 {
+        return Err("--tb, --tz, --ty and --tx are required (nonzero)".into());
+    }
+    let arch = accel_sim::ArchConfig::implementation(implem);
+    let stats = accel_sim::simulate(&layer, &tiling, &arch).map_err(|e| e.to_string())?;
+    println!("layer: {layer}");
+    println!("implementation {implem}: {} PEs", arch.pe_count());
+    println!("tiling: {tiling} ({} blocks)", stats.blocks);
+    println!(
+        "DRAM:  {:.2} MB   GBuf: {:.2} MB   Regs: {:.3} G writes",
+        stats.dram.total_bytes() as f64 / 1e6,
+        stats.gbuf.total_bytes() as f64 / 1e6,
+        stats.reg.total_writes() as f64 / 1e9
+    );
+    println!(
+        "cycles: {} compute + {} stall = {}",
+        stats.compute_cycles,
+        stats.stall_cycles,
+        stats.total_cycles()
+    );
+    println!(
+        "time:  {:.2} ms   PE util: {:.1}%   memory util: {:.1}%",
+        stats.seconds(arch.core_freq_hz) * 1e3,
+        stats.utilization.pe * 100.0,
+        stats.utilization.memory_overall * 100.0
+    );
+    Ok(())
+}
+
 fn cmd_network(flags: &HashMap<String, String>) -> Result<(), String> {
     let batch: usize = get(flags, "batch", 3)?;
     let name = flags
@@ -228,14 +275,15 @@ fn cmd_serve(flags: &HashMap<String, String>) -> Result<(), String> {
 }
 
 fn usage() -> &'static str {
-    "usage: clb <bound|sweep|plan|network|serve> [--flag value]...\n\
+    "usage: clb <bound|sweep|plan|simulate|network|serve> [--flag value]...\n\
      \n\
-     clb bound   --co 512 --size 28 --ci 256 [--k 3] [--stride 1] [--batch 3] [--mem-kib 66.5]\n\
-     clb sweep   --co 512 --size 28 --ci 256 [--mem-kib 66.5]\n\
-     clb plan    --co 512 --size 28 --ci 256 [--implem 1]\n\
-     clb network --net vgg16|alexnet|resnet50 [--batch 3] [--implem 1] [--json true]\n\
-     clb serve   [--port 8080] [--threads 0] [--queue 256] [--result-cache 1024]\n\
-     \\           [--search-cache 65536] [--max-body 1048576]\n\
+     clb bound    --co 512 --size 28 --ci 256 [--k 3] [--stride 1] [--batch 3] [--mem-kib 66.5]\n\
+     clb sweep    --co 512 --size 28 --ci 256 [--mem-kib 66.5]\n\
+     clb plan     --co 512 --size 28 --ci 256 [--implem 1]\n\
+     clb simulate --co 512 --size 28 --ci 256 --tb 1 --tz 16 --ty 14 --tx 14 [--implem 1]\n\
+     clb network  --net vgg16|alexnet|resnet50 [--batch 3] [--implem 1] [--json true]\n\
+     clb serve    [--port 8080] [--threads 0] [--queue 256] [--result-cache 1024]\n\
+     \\            [--search-cache 65536] [--max-body 1048576]\n\
      \n\
      global flags:\n\
      --threads N        worker threads (search engine; serve: also HTTP workers; 0 = auto)\n\
@@ -276,6 +324,7 @@ fn main() -> ExitCode {
             "bound" => cmd_bound(&flags),
             "sweep" => cmd_sweep(&flags),
             "plan" => cmd_plan(&flags),
+            "simulate" => cmd_simulate(&flags),
             "network" => cmd_network(&flags),
             "serve" => cmd_serve(&flags),
             other => Err(format!("unknown command `{other}`\n{}", usage())),
@@ -351,6 +400,40 @@ mod tests {
         cmd_bound(&f).unwrap();
         cmd_sweep(&f).unwrap();
         cmd_plan(&f).unwrap();
+    }
+
+    #[test]
+    fn simulate_runs_explicit_tilings_and_rejects_bad_ones() {
+        let base = [("co", "16"), ("size", "14"), ("ci", "8"), ("batch", "1")];
+        let ok = flags(
+            &[
+                &base[..],
+                &[("tb", "1"), ("tz", "8"), ("ty", "7"), ("tx", "7")],
+            ]
+            .concat(),
+        );
+        cmd_simulate(&ok).unwrap();
+        // Missing tiling flags.
+        let missing = flags(&base);
+        assert!(cmd_simulate(&missing).unwrap_err().contains("--tb"));
+        // Zero dimension.
+        let zero = flags(
+            &[
+                &base[..],
+                &[("tb", "1"), ("tz", "0"), ("ty", "7"), ("tx", "7")],
+            ]
+            .concat(),
+        );
+        assert!(cmd_simulate(&zero).is_err());
+        // Oversized dimension.
+        let oversized = flags(
+            &[
+                &base[..],
+                &[("tb", "1"), ("tz", "8"), ("ty", "99"), ("tx", "7")],
+            ]
+            .concat(),
+        );
+        assert!(cmd_simulate(&oversized).unwrap_err().contains("exceeds"));
     }
 
     #[test]
