@@ -1,0 +1,150 @@
+//! Architecture design-space sweeps — the custom-design "what if" engine.
+//!
+//! The paper fixes five concrete implementations (Table I), but its
+//! analytical model ranks *any* communication-lower-bound-driven design
+//! point. [`sweep_archs`] makes that executable: it evaluates one layer on
+//! a capped list of candidate [`ArchConfig`]s through the full
+//! plan → simulate → bound → energy pipeline, fanning candidates across
+//! threads (`rayon::par_map`) with each candidate's planning amortized by
+//! the process-wide `(layer, arch)` plan cache — a warm re-sweep is cache
+//! hits plus cheap class-based simulation.
+//!
+//! Results are **enumeration-order independent**: duplicate configurations
+//! are collapsed (by [`ArchConfig::cache_key`]) and the output is sorted by
+//! a canonical total order — feasible candidates first, by
+//! `(total cycles, DRAM words, architecture key)`; infeasible ones after,
+//! by architecture key — so shuffling the request's candidate list cannot
+//! change a single output byte. Per-candidate results are exactly what
+//! [`Accelerator::analyze_layer`] produces, which is what pins the sweep
+//! bit-identical to a serial per-candidate plan + simulate oracle loop.
+
+use accel_sim::{ArchCacheKey, ArchConfig, SimError};
+use conv_model::ConvLayer;
+
+use crate::accelerator::Accelerator;
+use crate::report::LayerReport;
+
+/// One candidate's outcome in an architecture sweep.
+#[derive(Debug, Clone)]
+pub struct ArchSweepEntry {
+    /// The evaluated configuration.
+    pub arch: ArchConfig,
+    /// The full layer report, or why the candidate cannot run this layer
+    /// (e.g. a single sliding window already overflows its IGBuf).
+    pub outcome: Result<LayerReport, SimError>,
+}
+
+impl ArchSweepEntry {
+    /// The canonical sort key: feasible before infeasible, then fewest
+    /// total cycles, then least DRAM traffic, then the architecture's own
+    /// total order. A total order over distinct candidates, so sweep output
+    /// never depends on enumeration order.
+    #[must_use]
+    pub fn sort_key(&self) -> (u8, u64, u64, ArchCacheKey) {
+        match &self.outcome {
+            Ok(report) => (
+                0,
+                report.stats.total_cycles(),
+                report.stats.dram.total_words(),
+                self.arch.cache_key(),
+            ),
+            Err(_) => (1, 0, 0, self.arch.cache_key()),
+        }
+    }
+}
+
+/// Evaluates `layer` on every distinct candidate architecture, in parallel,
+/// returning canonically-ordered per-candidate results.
+///
+/// Candidates must already satisfy [`ArchConfig::validate`]; invalid ones
+/// are *not* filtered here — they surface as
+/// [`SimError::InvalidArch`] outcomes, exactly as a direct
+/// [`Accelerator::analyze_layer`] call would report them. Exact duplicates
+/// (same [`ArchConfig::cache_key`]) are evaluated once.
+///
+/// `name` is the layer name echoed in each report (the service uses
+/// `"layer"`, matching `/v1/plan`).
+#[must_use]
+pub fn sweep_archs(
+    name: &str,
+    layer: &ConvLayer,
+    candidates: &[ArchConfig],
+) -> Vec<ArchSweepEntry> {
+    let mut unique: Vec<ArchConfig> = Vec::with_capacity(candidates.len());
+    let mut seen: std::collections::HashSet<ArchCacheKey> =
+        std::collections::HashSet::with_capacity(candidates.len());
+    for arch in candidates {
+        if seen.insert(arch.cache_key()) {
+            unique.push(*arch);
+        }
+    }
+    let mut entries = rayon::par_map(&unique, |arch| ArchSweepEntry {
+        arch: *arch,
+        outcome: Accelerator::new(*arch).analyze_layer(name, layer),
+    });
+    entries.sort_by_key(ArchSweepEntry::sort_key);
+    entries
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use conv_model::workloads;
+
+    fn layer() -> ConvLayer {
+        workloads::vgg16(3).layer(4).unwrap().layer
+    }
+
+    fn table1() -> Vec<ArchConfig> {
+        (1..=5).map(ArchConfig::implementation).collect()
+    }
+
+    #[test]
+    fn sweep_matches_serial_oracle() {
+        let archs = table1();
+        let sweep = sweep_archs("layer", &layer(), &archs);
+        assert_eq!(sweep.len(), 5);
+        for entry in &sweep {
+            let oracle = Accelerator::new(entry.arch).analyze_layer("layer", &layer());
+            match (&entry.outcome, &oracle) {
+                (Ok(a), Ok(b)) => {
+                    assert_eq!(a.tiling, b.tiling);
+                    assert_eq!(a.stats, b.stats);
+                }
+                (Err(a), Err(b)) => assert_eq!(a, b),
+                (a, b) => panic!("sweep {a:?} disagrees with oracle {b:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn sweep_is_enumeration_order_independent_and_dedups() {
+        let forward = table1();
+        let mut shuffled = table1();
+        shuffled.reverse();
+        shuffled.extend(table1()); // duplicates of every candidate
+        let a = sweep_archs("layer", &layer(), &forward);
+        let b = sweep_archs("layer", &layer(), &shuffled);
+        assert_eq!(a.len(), 5, "duplicates must collapse");
+        assert_eq!(b.len(), 5, "duplicates must collapse");
+        let keys_a: Vec<_> = a.iter().map(ArchSweepEntry::sort_key).collect();
+        let keys_b: Vec<_> = b.iter().map(ArchSweepEntry::sort_key).collect();
+        assert_eq!(keys_a, keys_b);
+        assert!(keys_a.windows(2).all(|w| w[0] < w[1]), "strict total order");
+    }
+
+    #[test]
+    fn invalid_candidates_surface_as_typed_errors() {
+        let mut bad = ArchConfig::example();
+        bad.group_rows = 7;
+        let sweep = sweep_archs("layer", &layer(), &[bad, ArchConfig::example()]);
+        assert_eq!(sweep.len(), 2);
+        // Canonical order puts the feasible candidate first.
+        assert!(sweep[0].outcome.is_ok());
+        assert!(
+            matches!(&sweep[1].outcome, Err(SimError::InvalidArch(m)) if m.contains("group rows")),
+            "{:?}",
+            sweep[1].outcome
+        );
+    }
+}

@@ -31,12 +31,14 @@
 
 mod accelerator;
 pub mod design;
+pub mod dse;
 pub mod energy;
 pub mod planner;
 mod report;
 
 pub use accelerator::Accelerator;
 pub use design::{derive_config, optimal_psum_fraction};
+pub use dse::{sweep_archs, ArchSweepEntry};
 pub use planner::{
     clear_plan_cache, plan_cache_stats, plan_for_arch, set_plan_cache_capacity, tiling_feasible,
     DEFAULT_PLAN_CACHE_CAPACITY,

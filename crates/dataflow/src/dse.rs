@@ -48,6 +48,83 @@ pub fn search_space_size(layer: &ConvLayer) -> f64 {
     tilings * orders
 }
 
+/// Why a [`grid_points`] expansion was refused.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GridError {
+    /// Axis `index` has no values, so the grid is empty by construction —
+    /// almost always a caller bug, reported rather than silently yielding
+    /// zero points.
+    EmptyAxis(usize),
+    /// The cross product has more than `cap` points. The cardinality is
+    /// computed (in `u128`, overflow-free) *before* any point is
+    /// materialized, so a hostile request cannot make the expansion itself
+    /// allocate unboundedly.
+    TooManyPoints {
+        /// The would-be cardinality.
+        points: u128,
+        /// The refused cap.
+        cap: usize,
+    },
+}
+
+impl std::fmt::Display for GridError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            GridError::EmptyAxis(i) => write!(f, "grid axis #{i} has no values"),
+            GridError::TooManyPoints { points, cap } => {
+                write!(
+                    f,
+                    "grid expands to {points} points, more than the {cap} cap"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for GridError {}
+
+/// Capped cartesian product: one point per combination of one value from
+/// each axis, in lexicographic axis order.
+///
+/// This is the expansion primitive behind grid-style design-space sweeps
+/// (e.g. the service's `/v1/dse` architecture grids): the caller provides
+/// per-parameter value lists and a hard cap on the number of candidates it
+/// is willing to evaluate.
+///
+/// # Errors
+///
+/// [`GridError::EmptyAxis`] when an axis has no values;
+/// [`GridError::TooManyPoints`] when the (overflow-safe) cardinality
+/// exceeds `cap` — checked before anything is materialized.
+pub fn grid_points<T: Clone>(axes: &[Vec<T>], cap: usize) -> Result<Vec<Vec<T>>, GridError> {
+    let mut cardinality: u128 = 1;
+    for (i, axis) in axes.iter().enumerate() {
+        if axis.is_empty() {
+            return Err(GridError::EmptyAxis(i));
+        }
+        cardinality = cardinality.saturating_mul(axis.len() as u128);
+    }
+    if cardinality > cap as u128 {
+        return Err(GridError::TooManyPoints {
+            points: cardinality,
+            cap,
+        });
+    }
+    let mut points: Vec<Vec<T>> = vec![Vec::new()];
+    for axis in axes {
+        let mut next = Vec::with_capacity(points.len() * axis.len());
+        for point in &points {
+            for value in axis {
+                let mut extended = point.clone();
+                extended.push(value.clone());
+                next.push(extended);
+            }
+        }
+        points = next;
+    }
+    Ok(points)
+}
+
 /// The best point a [`random_dse`] run actually sampled.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct DseBest {
@@ -218,6 +295,53 @@ mod tests {
         assert_eq!(out.best, None);
         assert_eq!(out.best_words(), None);
         assert_eq!(dse_gap(&l, mem, 200, 5), f64::INFINITY);
+    }
+
+    #[test]
+    fn grid_points_expands_lexicographically() {
+        let axes = vec![vec![1u64, 2], vec![10, 20, 30]];
+        let points = grid_points(&axes, 6).unwrap();
+        assert_eq!(
+            points,
+            vec![
+                vec![1, 10],
+                vec![1, 20],
+                vec![1, 30],
+                vec![2, 10],
+                vec![2, 20],
+                vec![2, 30]
+            ]
+        );
+    }
+
+    #[test]
+    fn grid_points_refuses_over_cap_before_materializing() {
+        // 10^10 points: the cardinality check must trip without allocating.
+        let axis: Vec<u64> = (0..10).collect();
+        let axes: Vec<Vec<u64>> = (0..10).map(|_| axis.clone()).collect();
+        assert_eq!(
+            grid_points(&axes, 256),
+            Err(GridError::TooManyPoints {
+                points: 10_000_000_000,
+                cap: 256
+            })
+        );
+        // Saturating cardinality survives astronomically wide grids.
+        let wide: Vec<Vec<u64>> = (0..200).map(|_| axis.clone()).collect();
+        assert!(matches!(
+            grid_points(&wide, 256),
+            Err(GridError::TooManyPoints { .. })
+        ));
+    }
+
+    #[test]
+    fn grid_points_rejects_empty_axes() {
+        let axes: Vec<Vec<u64>> = vec![vec![1], vec![]];
+        assert_eq!(grid_points(&axes, 16), Err(GridError::EmptyAxis(1)));
+        assert_eq!(
+            grid_points::<u64>(&[], 16).unwrap(),
+            vec![Vec::<u64>::new()]
+        );
     }
 
     #[test]

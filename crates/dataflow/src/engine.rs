@@ -212,7 +212,9 @@ impl AxisTable {
 }
 
 /// Both spatial axis tables of one layer plus the layer constants the
-/// traffic formulas use, so evaluating one tiling is pure arithmetic.
+/// traffic formulas use, so evaluating one tiling is pure arithmetic —
+/// and the [`candidates`] grids of every swept dimension, hoisted here so
+/// each search over the same tables stops recomputing them.
 #[derive(Debug, Clone)]
 pub struct LayerTables {
     /// Output-width (x) axis table.
@@ -226,6 +228,10 @@ pub struct LayerTables {
     kh: usize,
     kw: usize,
     output_words: u64,
+    z_cands: Vec<usize>,
+    k_cands: Vec<usize>,
+    y_cands: Vec<usize>,
+    x_cands: Vec<usize>,
 }
 
 impl LayerTables {
@@ -256,7 +262,35 @@ impl LayerTables {
             kh: layer.kernel_height(),
             kw: layer.kernel_width(),
             output_words: layer.output_words(),
+            z_cands: candidates(layer.out_channels()),
+            k_cands: candidates(layer.in_channels()),
+            y_cands: candidates(layer.output_height()),
+            x_cands: candidates(layer.output_width()),
         }
+    }
+
+    /// The hoisted [`candidates`] grid for the output-channel (`z`) sweep.
+    #[must_use]
+    pub fn z_candidates(&self) -> &[usize] {
+        &self.z_cands
+    }
+
+    /// The hoisted [`candidates`] grid for the input-channel (`k`) sweep.
+    #[must_use]
+    pub fn k_candidates(&self) -> &[usize] {
+        &self.k_cands
+    }
+
+    /// The hoisted [`candidates`] grid for the output-height (`y`) sweep.
+    #[must_use]
+    pub fn y_candidates(&self) -> &[usize] {
+        &self.y_cands
+    }
+
+    /// The hoisted [`candidates`] grid for the output-width (`x`) sweep.
+    #[must_use]
+    pub fn x_candidates(&self) -> &[usize] {
+        &self.x_cands
     }
 
     /// Exact DRAM traffic of the paper's dataflow for `tiling` — the same
@@ -332,15 +366,18 @@ where
     M: Fn(&Tiling) -> bool + Sync,
     F: Fn(&Tiling) -> bool + Sync,
 {
-    let zs = candidates(layer.out_channels());
-    let ys = candidates(layer.output_height());
-    let xs = candidates(layer.output_width());
+    // The candidate grids are hoisted into `tables` (built once per layer),
+    // so repeated searches over the same tables — the planner's structural
+    // sweep, DSE candidate fan-outs — stop recomputing them.
+    let zs = tables.z_candidates();
+    let ys = tables.y_candidates();
+    let xs = tables.x_candidates();
 
     // Outer fan-out: the (b, z) product gives enough chunks to balance
     // across threads while keeping each chunk's y/x sweep cache-friendly.
     let mut items: Vec<(usize, usize)> = Vec::with_capacity(layer.batch() * zs.len());
     for b in 1..=layer.batch() {
-        for &z in &zs {
+        for &z in zs {
             if z_cap.is_some_and(|cap| z > cap) {
                 break; // candidates are sorted; larger z never fits
             }
@@ -376,7 +413,7 @@ where
         let nz = tile_count(layer.out_channels(), z);
         let weight_base = tables.taps_ci * layer.out_channels() as u64 * nb;
         let input_base = layer.batch() as u64 * tables.ci * nz;
-        for &y in &ys {
+        for &y in ys {
             if !monotone_fits(&Tiling { b, z, y, x: 1 }) {
                 break; // larger y only grows the working set
             }
@@ -387,7 +424,7 @@ where
             if lower_bound > global_best.load(Ordering::Relaxed) {
                 continue; // strictly worse than an achieved feasible point
             }
-            for &x in &xs {
+            for &x in xs {
                 let tiling = Tiling { b, z, y, x };
                 if !monotone_fits(&tiling) {
                     break;
@@ -567,26 +604,26 @@ pub fn search_baseline(
     let tables = LayerTables::new(layer);
     let mem_words = mem.words();
     let (sweep_z, sweep_k, sweep_xy) = baseline_sweeps(kind);
-    let ones = vec![1usize];
+    let ones = [1usize];
     let zs = if sweep_z {
-        candidates(layer.out_channels())
+        tables.z_candidates()
     } else {
-        ones.clone()
+        &ones[..]
     };
     let ks = if sweep_k {
-        candidates(layer.in_channels())
+        tables.k_candidates()
     } else {
-        ones.clone()
+        &ones[..]
     };
     let ys = if sweep_xy {
-        candidates(layer.output_height())
+        tables.y_candidates()
     } else {
-        ones.clone()
+        &ones[..]
     };
     let xs = if sweep_xy {
-        candidates(layer.output_width())
+        tables.x_candidates()
     } else {
-        ones
+        &ones[..]
     };
 
     // Every baseline's onchip model is monotone nondecreasing in each swept
@@ -597,19 +634,19 @@ pub fn search_baseline(
         baseline_onchip(kind, layer, &BaselineParams { z, k, y, x }) as f64 <= mem_words
     };
     let mut tracker = BestTracker::new();
-    'z: for &z in &zs {
+    'z: for &z in zs {
         if !fits(z, 1, 1, 1) {
             break 'z;
         }
-        'k: for &k in &ks {
+        'k: for &k in ks {
             if !fits(z, k, 1, 1) {
                 break 'k;
             }
-            'y: for &y in &ys {
+            'y: for &y in ys {
                 if !fits(z, k, y, 1) {
                     break 'y;
                 }
-                for &x in &xs {
+                for &x in xs {
                     let p = BaselineParams { z, k, y, x };
                     if baseline_onchip(kind, layer, &p) as f64 > mem_words {
                         break;

@@ -39,6 +39,7 @@ mod tiling;
 mod traffic;
 
 pub use coalesce::FlightMap;
+pub use dse::{grid_points, GridError};
 pub use engine::{
     cache_stats, clear_search_cache, set_search_cache_capacity, CacheStats, LayerTables,
     DEFAULT_SEARCH_CACHE_CAPACITY,

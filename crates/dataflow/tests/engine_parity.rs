@@ -133,3 +133,19 @@ fn engine_matches_naive_on_strided_padded_stress_layers() {
         }
     }
 }
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn hoisted_candidate_grids_match_recomputation(layer in layer_strategy()) {
+        // `LayerTables` hoists the `candidates()` grids so per-search
+        // recomputation stops; the hoisted lists must stay exactly the
+        // grids a direct call recomputes, for every swept dimension.
+        let tables = engine::LayerTables::new(&layer);
+        prop_assert_eq!(tables.z_candidates(), &dataflow::candidates(layer.out_channels())[..]);
+        prop_assert_eq!(tables.k_candidates(), &dataflow::candidates(layer.in_channels())[..]);
+        prop_assert_eq!(tables.y_candidates(), &dataflow::candidates(layer.output_height())[..]);
+        prop_assert_eq!(tables.x_candidates(), &dataflow::candidates(layer.output_width())[..]);
+    }
+}

@@ -9,7 +9,7 @@
 //! the same `serde_json` pretty printer, so a service response is
 //! bit-identical to the corresponding library/CLI output.
 
-use accel_sim::{ArchConfig, SimStats};
+use accel_sim::{ArchConfig, DramConfig, SimStats};
 use clb_core::{Accelerator, LayerReport, NetworkReport, OnChipMemory};
 use conv_model::{workloads, ConvLayer};
 use dataflow::{found_minimum, search_dataflow, DataflowChoice, DataflowKind, Tiling};
@@ -20,7 +20,9 @@ use crate::http::Response;
 /// Upper bounds on request dimensions, so a single hostile query cannot
 /// park a worker on an astronomically large search. Generous: the largest
 /// real layer in the workload suite (AlexNet conv1, 224×224) fits with
-/// room to spare.
+/// room to spare. Architecture fields have their own caps
+/// ([`accel_sim::caps`]), enforced by [`ArchConfig::validate`] at every
+/// boundary that accepts an `arch` object.
 pub mod limits {
     /// Max output channels / input channels.
     pub const MAX_CHANNELS: usize = 4096;
@@ -34,6 +36,10 @@ pub mod limits {
     pub const MAX_BATCH: usize = 64;
     /// Max on-chip memory in KiB.
     pub const MAX_MEM_KIB: f64 = 1_048_576.0; // 1 GiB on chip is beyond generous
+    /// Max candidate architectures one `/v1/dse` sweep may evaluate
+    /// (explicit list length, or grid cardinality — checked before the
+    /// grid is expanded).
+    pub const MAX_DSE_CANDIDATES: usize = 256;
 }
 
 /// A handler-level failure, carrying the response status.
@@ -55,6 +61,17 @@ impl ApiError {
             ApiError::BadRequest(m) => Response::error(400, &m),
             ApiError::Unprocessable(m) => Response::error(422, &m),
             ApiError::Internal(m) => Response::error(500, &m),
+        }
+    }
+
+    /// The same error with `prefix: ` prepended to its message (used to
+    /// point at which DSE candidate or grid field was at fault).
+    #[must_use]
+    fn prefixed(self, prefix: &str) -> ApiError {
+        match self {
+            ApiError::BadRequest(m) => ApiError::BadRequest(format!("{prefix}: {m}")),
+            ApiError::Unprocessable(m) => ApiError::Unprocessable(format!("{prefix}: {m}")),
+            ApiError::Internal(m) => ApiError::Internal(format!("{prefix}: {m}")),
         }
     }
 }
@@ -176,6 +193,157 @@ fn parse_implem(v: &Value) -> Result<usize, ApiError> {
     Ok(implem)
 }
 
+/// Parses a full custom-architecture object. Every field is optional and
+/// defaults to the corresponding Table I implementation 1 value, so a
+/// what-if request only spells out what it changes:
+///
+/// ```json
+/// {"pe_rows": 24, "pe_cols": 24, "igbuf_entries": 3072,
+///  "dram": {"bandwidth_bytes_per_s": 12.8e9}}
+/// ```
+///
+/// The resulting configuration is validated against the structural
+/// invariants and the [`accel_sim::caps`] limits before anything touches
+/// it, so hostile field values (zero, huge, overflowing, non-finite) come
+/// back as a typed 422 naming the violated invariant rather than
+/// panicking, hanging or exploding the block grid. Unknown fields are
+/// rejected (400): because every field is optional, a typo would otherwise
+/// silently evaluate the default architecture and the caller would trust
+/// numbers for a design it never specified.
+///
+/// # Errors
+///
+/// [`ApiError::BadRequest`] when the value is not an object, a field is
+/// ill-typed or unknown; [`ApiError::Unprocessable`] when the
+/// configuration fails [`ArchConfig::validate`].
+pub fn arch_from_value(v: &Value) -> Result<ArchConfig, ApiError> {
+    const ARCH_KEYS: [&str; 11] = [
+        "pe_rows",
+        "pe_cols",
+        "group_rows",
+        "group_cols",
+        "lreg_entries_per_pe",
+        "igbuf_entries",
+        "wgbuf_entries",
+        "greg_bytes",
+        "greg_segment_entries",
+        "core_freq_hz",
+        "dram",
+    ];
+    let Value::Object(fields) = v else {
+        return Err(ApiError::BadRequest(
+            "`arch` must be a JSON object".to_string(),
+        ));
+    };
+    for (key, _) in fields {
+        if !ARCH_KEYS.contains(&key.as_str()) {
+            return Err(ApiError::BadRequest(format!(
+                "unknown arch field `{key}` (expected one of {})",
+                ARCH_KEYS.join(", ")
+            )));
+        }
+    }
+    let base = ArchConfig::implementation(1);
+    let dram = match get_field(v, "dram")? {
+        None | Some(Value::Null) => base.dram,
+        Some(d) => {
+            let Value::Object(dram_fields) = d else {
+                return Err(ApiError::BadRequest(
+                    "`arch.dram` must be a JSON object".to_string(),
+                ));
+            };
+            for (key, _) in dram_fields {
+                if key != "bandwidth_bytes_per_s" && key != "latency_cycles" {
+                    return Err(ApiError::BadRequest(format!(
+                        "unknown arch.dram field `{key}` \
+                         (expected bandwidth_bytes_per_s, latency_cycles)"
+                    )));
+                }
+            }
+            DramConfig {
+                bandwidth_bytes_per_s: optional(
+                    d,
+                    "bandwidth_bytes_per_s",
+                    base.dram.bandwidth_bytes_per_s,
+                )?,
+                latency_cycles: optional(d, "latency_cycles", base.dram.latency_cycles)?,
+            }
+        }
+    };
+    let arch = ArchConfig {
+        pe_rows: optional(v, "pe_rows", base.pe_rows)?,
+        pe_cols: optional(v, "pe_cols", base.pe_cols)?,
+        group_rows: optional(v, "group_rows", base.group_rows)?,
+        group_cols: optional(v, "group_cols", base.group_cols)?,
+        lreg_entries_per_pe: optional(v, "lreg_entries_per_pe", base.lreg_entries_per_pe)?,
+        igbuf_entries: optional(v, "igbuf_entries", base.igbuf_entries)?,
+        wgbuf_entries: optional(v, "wgbuf_entries", base.wgbuf_entries)?,
+        greg_bytes: optional(v, "greg_bytes", base.greg_bytes)?,
+        greg_segment_entries: optional(v, "greg_segment_entries", base.greg_segment_entries)?,
+        core_freq_hz: optional(v, "core_freq_hz", base.core_freq_hz)?,
+        dram,
+    };
+    arch.validate()
+        .map_err(|m| ApiError::Unprocessable(format!("invalid arch: {m}")))?;
+    Ok(arch)
+}
+
+/// Which architecture a request names: a Table I preset (`implem`,
+/// default 1) or a full custom `arch` object. Every endpoint that accepted
+/// an `implem` index accepts the `arch` alternative.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ArchChoice {
+    /// A Table I implementation index (1..=5).
+    Implem(usize),
+    /// A validated custom architecture.
+    Custom(ArchConfig),
+}
+
+impl ArchChoice {
+    /// The concrete configuration either way.
+    #[must_use]
+    pub fn arch(&self) -> ArchConfig {
+        match self {
+            ArchChoice::Implem(i) => ArchConfig::implementation(*i),
+            ArchChoice::Custom(a) => *a,
+        }
+    }
+}
+
+/// Parses the `implem`-or-`arch` selection shared by `/v1/plan`,
+/// `/v1/simulate` and `/v1/network`.
+fn parse_arch_choice(v: &Value) -> Result<ArchChoice, ApiError> {
+    match get_field(v, "arch")? {
+        None | Some(Value::Null) => Ok(ArchChoice::Implem(parse_implem(v)?)),
+        Some(obj) => {
+            if !matches!(get_field(v, "implem")?, None | Some(Value::Null)) {
+                return Err(ApiError::BadRequest(
+                    "specify either `implem` or `arch`, not both".to_string(),
+                ));
+            }
+            Ok(ArchChoice::Custom(arch_from_value(obj)?))
+        }
+    }
+}
+
+/// Parses the memory selection of `/v1/bound` and `/v1/sweep`: either
+/// `mem_kib` directly, or an `arch` object whose *effective on-chip
+/// memory* (LRegs + GBufs, the paper's `S`) supplies it.
+fn parse_mem_choice(v: &Value) -> Result<f64, ApiError> {
+    match get_field(v, "arch")? {
+        None | Some(Value::Null) => parse_mem_kib(v),
+        Some(obj) => {
+            if !matches!(get_field(v, "mem_kib")?, None | Some(Value::Null)) {
+                return Err(ApiError::BadRequest(
+                    "specify either `mem_kib` or `arch`, not both".to_string(),
+                ));
+            }
+            let arch = arch_from_value(obj)?;
+            Ok(arch.effective_onchip_bytes() as f64 / 1024.0)
+        }
+    }
+}
+
 fn render<T: Serialize>(value: &T) -> Result<String, ApiError> {
     serde_json::to_string_pretty(value).map_err(|e| ApiError::Internal(e.to_string()))
 }
@@ -209,7 +377,7 @@ pub struct BoundResponse {
 /// [`ApiError`] on malformed or out-of-limit requests.
 pub fn bound_response(v: &Value) -> Result<String, ApiError> {
     let layer = LayerSpec::from_value(v)?.to_layer()?;
-    let mem_kib = parse_mem_kib(v)?;
+    let mem_kib = parse_mem_choice(v)?;
     let mem = OnChipMemory::from_kib(mem_kib);
     render(&BoundResponse {
         layer,
@@ -257,7 +425,7 @@ pub struct SweepResponse {
 /// [`ApiError`] on malformed or out-of-limit requests.
 pub fn sweep_response(v: &Value) -> Result<String, ApiError> {
     let layer = LayerSpec::from_value(v)?.to_layer()?;
-    let mem_kib = parse_mem_kib(v)?;
+    let mem_kib = parse_mem_choice(v)?;
     let mem = OnChipMemory::from_kib(mem_kib);
     let dataflows = DataflowKind::ALL
         .iter()
@@ -287,23 +455,38 @@ pub struct PlanResponse {
     pub report: LayerReport,
 }
 
+/// The custom-architecture variant of [`PlanResponse`]: the same report,
+/// echoing the full `arch` object instead of a Table I index. Preset
+/// (`implem`) requests keep the exact pre-existing [`PlanResponse`] wire
+/// bytes.
+#[derive(Debug, Clone, Serialize)]
+pub struct ArchPlanResponse {
+    /// The custom architecture that analyzed the layer.
+    pub arch: ArchConfig,
+    /// The full layer report.
+    pub report: LayerReport,
+}
+
 /// Handles `POST /v1/plan`.
 ///
 /// # Errors
 ///
 /// [`ApiError`] on malformed or out-of-limit requests, or when no tiling of
-/// the dataflow fits the implementation (422).
+/// the dataflow fits the implementation/architecture (422).
 pub fn plan_response(v: &Value) -> Result<String, ApiError> {
     let layer = LayerSpec::from_value(v)?.to_layer()?;
-    let implem = parse_implem(v)?;
-    let acc = Accelerator::implementation(implem);
+    let choice = parse_arch_choice(v)?;
+    let acc = Accelerator::new(choice.arch());
     let report = acc
         .analyze_layer("layer", &layer)
         .map_err(|e| ApiError::Unprocessable(e.to_string()))?;
-    render(&PlanResponse {
-        implementation: implem,
-        report,
-    })
+    match choice {
+        ArchChoice::Implem(implem) => render(&PlanResponse {
+            implementation: implem,
+            report,
+        }),
+        ArchChoice::Custom(arch) => render(&ArchPlanResponse { arch, report }),
+    }
 }
 
 /// `POST /v1/simulate` — the cycle simulator on an *explicit, user-supplied*
@@ -333,29 +516,58 @@ pub struct SimulateResponse {
     pub seconds: f64,
 }
 
+/// The custom-architecture variant of [`SimulateResponse`], echoing the
+/// full `arch` object instead of a Table I index.
+#[derive(Debug, Clone, Serialize)]
+pub struct ArchSimulateResponse {
+    /// The custom architecture that ran the simulation.
+    pub arch: ArchConfig,
+    /// Echo of the simulated layer.
+    pub layer: ConvLayer,
+    /// Echo of the simulated tiling.
+    pub tiling: Tiling,
+    /// Every counter the simulator collects.
+    pub stats: SimStats,
+    /// Total execution cycles (compute + unhidden stalls).
+    pub total_cycles: u64,
+    /// Execution time at the architecture's core clock.
+    pub seconds: f64,
+}
+
 /// Handles `POST /v1/simulate`.
 ///
 /// # Errors
 ///
 /// [`ApiError`] on malformed or out-of-limit requests (400), and on
-/// invalid/zero tilings or simulation-infeasible blockings (422).
+/// invalid architectures, invalid/zero tilings or simulation-infeasible
+/// blockings (422).
 pub fn simulate_response(v: &Value) -> Result<String, ApiError> {
     let layer = LayerSpec::from_value(v)?.to_layer()?;
-    let implem = parse_implem(v)?;
+    let choice = parse_arch_choice(v)?;
     let tiling: Tiling = require(v, "tiling")?;
-    let arch = ArchConfig::implementation(implem);
+    let arch = choice.arch();
     // `simulate` itself rejects zero/oversized tilings (InvalidTiling)
     // before touching the block grid; its diagnosis becomes the 422 body.
     let stats = accel_sim::simulate(&layer, &tiling, &arch)
         .map_err(|e| ApiError::Unprocessable(e.to_string()))?;
-    render(&SimulateResponse {
-        implementation: implem,
-        layer,
-        tiling,
-        stats,
-        total_cycles: stats.total_cycles(),
-        seconds: stats.seconds(arch.core_freq_hz),
-    })
+    match choice {
+        ArchChoice::Implem(implem) => render(&SimulateResponse {
+            implementation: implem,
+            layer,
+            tiling,
+            stats,
+            total_cycles: stats.total_cycles(),
+            seconds: stats.seconds(arch.core_freq_hz),
+        }),
+        ArchChoice::Custom(arch) => render(&ArchSimulateResponse {
+            arch,
+            layer,
+            tiling,
+            stats,
+            total_cycles: stats.total_cycles(),
+            seconds: stats.seconds(arch.core_freq_hz),
+        }),
+    }
 }
 
 /// Handles `POST /v1/network` — whole-network analysis; the body is exactly
@@ -374,7 +586,7 @@ pub fn network_response(v: &Value) -> Result<String, ApiError> {
             limits::MAX_BATCH
         )));
     }
-    let implem = parse_implem(v)?;
+    let choice = parse_arch_choice(v)?;
     let net = match name.as_str() {
         "vgg16" => workloads::vgg16(batch),
         "alexnet" => workloads::alexnet(batch),
@@ -385,10 +597,242 @@ pub fn network_response(v: &Value) -> Result<String, ApiError> {
             )))
         }
     };
-    let report: NetworkReport = Accelerator::implementation(implem)
+    // The body is the bare `NetworkReport` either way (it never echoed the
+    // implementation index), so preset requests keep their exact bytes.
+    let report: NetworkReport = Accelerator::new(choice.arch())
         .analyze_network(&net)
         .map_err(|e| ApiError::Unprocessable(e.to_string()))?;
     render(&report)
+}
+
+/// One candidate's entry in a [`DseResponse`]: the architecture plus either
+/// the full plan/simulate/bound/energy report (with its headline cycle
+/// count pulled up) or the typed reason the candidate cannot run the layer.
+#[derive(Debug, Clone, Serialize)]
+pub struct DseEntry {
+    /// The evaluated candidate architecture.
+    pub arch: ArchConfig,
+    /// Total execution cycles, `null` when infeasible.
+    pub total_cycles: Option<u64>,
+    /// Execution time at the candidate's core clock, `null` when infeasible.
+    pub seconds: Option<f64>,
+    /// The full layer report — exactly what `/v1/plan` returns for this
+    /// `arch` — or `null` when infeasible.
+    pub report: Option<LayerReport>,
+    /// Why the candidate cannot run the layer, `null` when feasible.
+    pub error: Option<String>,
+}
+
+/// `POST /v1/dse` — a capped candidate-architecture sweep over one layer
+/// (the custom-design what-if engine; mirrors `clb dse`).
+///
+/// Results are sorted canonically (feasible first by cycles, traffic, then
+/// the architecture's total order) and duplicates are collapsed, so the
+/// response is byte-identical no matter how the request enumerated its
+/// candidates.
+#[derive(Debug, Clone, Serialize)]
+pub struct DseResponse {
+    /// Echo of the analyzed layer.
+    pub layer: ConvLayer,
+    /// Candidates named by the request (before deduplication).
+    pub submitted: usize,
+    /// Distinct candidates evaluated.
+    pub unique: usize,
+    /// How many candidates can run the layer.
+    pub feasible: usize,
+    /// Per-candidate results, canonically ordered.
+    pub results: Vec<DseEntry>,
+}
+
+/// The grid axes `/v1/dse` accepts (every sized `ArchConfig` field, in
+/// [`archs_from_axes`] order); the clock and DRAM model come from the
+/// grid's `base`.
+pub const GRID_AXES: [&str; 9] = [
+    "pe_rows",
+    "pe_cols",
+    "group_rows",
+    "group_cols",
+    "lreg_entries_per_pe",
+    "igbuf_entries",
+    "wgbuf_entries",
+    "greg_bytes",
+    "greg_segment_entries",
+];
+
+/// Expands per-field value lists (in [`GRID_AXES`] order) into validated
+/// candidate architectures over `base` (which supplies the clock and DRAM
+/// model), capped at [`limits::MAX_DSE_CANDIDATES`]. Shared by the
+/// `/v1/dse` grid path and `clb dse`, so the CLI and the service can never
+/// disagree on which field an axis sweeps.
+///
+/// # Errors
+///
+/// [`ApiError::Unprocessable`] on empty axes, over-cap cardinality
+/// (checked before expansion) and candidates violating
+/// [`ArchConfig::validate`] (naming the candidate and the invariant).
+pub fn archs_from_axes(
+    axes: &[Vec<usize>; 9],
+    base: &ArchConfig,
+) -> Result<Vec<ArchConfig>, ApiError> {
+    let points = dataflow::grid_points(axes, limits::MAX_DSE_CANDIDATES)
+        .map_err(|e| ApiError::Unprocessable(format!("grid: {e}")))?;
+    points
+        .into_iter()
+        .enumerate()
+        .map(|(i, p)| {
+            let arch = ArchConfig {
+                pe_rows: p[0],
+                pe_cols: p[1],
+                group_rows: p[2],
+                group_cols: p[3],
+                lreg_entries_per_pe: p[4],
+                igbuf_entries: p[5],
+                wgbuf_entries: p[6],
+                greg_bytes: p[7],
+                greg_segment_entries: p[8],
+                core_freq_hz: base.core_freq_hz,
+                dram: base.dram,
+            };
+            arch.validate().map_err(|m| {
+                ApiError::Unprocessable(format!("grid candidate #{i}: invalid arch: {m}"))
+            })?;
+            Ok(arch)
+        })
+        .collect()
+}
+
+fn archs_from_grid(grid: &Value) -> Result<Vec<ArchConfig>, ApiError> {
+    let Value::Object(fields) = grid else {
+        return Err(ApiError::BadRequest(
+            "`grid` must be a JSON object of axis lists".to_string(),
+        ));
+    };
+    // A typoed axis name would silently sweep nothing — reject it.
+    for (key, _) in fields {
+        if key != "base" && !GRID_AXES.contains(&key.as_str()) {
+            return Err(ApiError::BadRequest(format!(
+                "unknown grid axis `{key}` (expected base or one of {})",
+                GRID_AXES.join(", ")
+            )));
+        }
+    }
+    let base = match get_field(grid, "base")? {
+        None | Some(Value::Null) => ArchConfig::implementation(1),
+        Some(b) => arch_from_value(b).map_err(|e| e.prefixed("grid.base"))?,
+    };
+    let base_axis = |f: fn(&ArchConfig) -> usize| vec![f(&base)];
+    let mut axes: [Vec<usize>; 9] = [
+        base_axis(|a| a.pe_rows),
+        base_axis(|a| a.pe_cols),
+        base_axis(|a| a.group_rows),
+        base_axis(|a| a.group_cols),
+        base_axis(|a| a.lreg_entries_per_pe),
+        base_axis(|a| a.igbuf_entries),
+        base_axis(|a| a.wgbuf_entries),
+        base_axis(|a| a.greg_bytes),
+        base_axis(|a| a.greg_segment_entries),
+    ];
+    for (i, name) in GRID_AXES.iter().enumerate() {
+        if let Some(field) = get_field(grid, name)? {
+            if !matches!(field, Value::Null) {
+                axes[i] = Vec::<usize>::from_value(field).map_err(|e| {
+                    ApiError::BadRequest(format!("grid axis `{name}`: {e} (expected a list)"))
+                })?;
+            }
+        }
+    }
+    archs_from_axes(&axes, &base)
+}
+
+/// Parses the candidate set of a `/v1/dse` request: exactly one of
+/// `candidates` (explicit list of arch objects) or `grid` (axis lists over
+/// a `base` architecture), capped at [`limits::MAX_DSE_CANDIDATES`].
+fn parse_dse_candidates(v: &Value) -> Result<Vec<ArchConfig>, ApiError> {
+    let explicit = get_field(v, "candidates")?.filter(|f| !matches!(f, Value::Null));
+    let grid = get_field(v, "grid")?.filter(|f| !matches!(f, Value::Null));
+    match (explicit, grid) {
+        (Some(_), Some(_)) => Err(ApiError::BadRequest(
+            "specify either `candidates` or `grid`, not both".to_string(),
+        )),
+        (None, None) => Err(ApiError::BadRequest(
+            "missing `candidates` (list of arch objects) or `grid` (axis lists)".to_string(),
+        )),
+        (Some(list), None) => {
+            let items = list.as_array().map_err(|_| {
+                ApiError::BadRequest("`candidates` must be an array of arch objects".to_string())
+            })?;
+            if items.is_empty() {
+                return Err(ApiError::Unprocessable(
+                    "`candidates` must name at least one architecture".to_string(),
+                ));
+            }
+            if items.len() > limits::MAX_DSE_CANDIDATES {
+                return Err(ApiError::Unprocessable(format!(
+                    "{} candidates exceed the {} cap",
+                    items.len(),
+                    limits::MAX_DSE_CANDIDATES
+                )));
+            }
+            items
+                .iter()
+                .enumerate()
+                .map(|(i, item)| {
+                    arch_from_value(item).map_err(|e| e.prefixed(&format!("candidates[{i}]")))
+                })
+                .collect()
+        }
+        (None, Some(g)) => archs_from_grid(g),
+    }
+}
+
+/// The sweep behind `/v1/dse`, exposed so `clb dse --json` renders the
+/// byte-identical structure: evaluates the (already validated) candidates
+/// through [`clb_core::sweep_archs`] — deduplicated, thread-fanned,
+/// plan-cache amortized — and shapes the canonical response.
+#[must_use]
+pub fn dse_results(layer: &ConvLayer, submitted: usize, archs: &[ArchConfig]) -> DseResponse {
+    let entries = clb_core::sweep_archs("layer", layer, archs);
+    let results: Vec<DseEntry> = entries
+        .into_iter()
+        .map(|e| match e.outcome {
+            Ok(report) => DseEntry {
+                arch: e.arch,
+                total_cycles: Some(report.stats.total_cycles()),
+                seconds: Some(report.stats.seconds(e.arch.core_freq_hz)),
+                report: Some(report),
+                error: None,
+            },
+            Err(err) => DseEntry {
+                arch: e.arch,
+                total_cycles: None,
+                seconds: None,
+                report: None,
+                error: Some(err.to_string()),
+            },
+        })
+        .collect();
+    DseResponse {
+        layer: *layer,
+        submitted,
+        unique: results.len(),
+        feasible: results.iter().filter(|r| r.report.is_some()).count(),
+        results,
+    }
+}
+
+/// Handles `POST /v1/dse`.
+///
+/// # Errors
+///
+/// [`ApiError::BadRequest`] on malformed bodies (neither/both of
+/// `candidates`/`grid`, ill-typed fields, unknown grid axes);
+/// [`ApiError::Unprocessable`] on out-of-limit layers, over-cap candidate
+/// counts and invalid candidate architectures (naming the candidate and
+/// the violated invariant).
+pub fn dse_response(v: &Value) -> Result<String, ApiError> {
+    let layer = LayerSpec::from_value(v)?.to_layer()?;
+    let archs = parse_dse_candidates(v)?;
+    render(&dse_results(&layer, archs.len(), &archs))
 }
 
 /// Routes one parsed POST body to its endpoint handler and renders the
@@ -402,6 +846,7 @@ pub fn dispatch(path: &str, body: &Value) -> Response {
         "/v1/plan" => plan_response(body),
         "/v1/simulate" => simulate_response(body),
         "/v1/network" => network_response(body),
+        "/v1/dse" => dse_response(body),
         other => return Response::error(404, &format!("unknown endpoint `{other}`")),
     };
     match result {

@@ -87,6 +87,42 @@
 //! echoes `implementation`, `layer` and `tiling` and carries the full
 //! [`accel_sim::SimStats`] counter set plus `total_cycles` and `seconds`.
 //!
+//! ## Custom architectures and design-space sweeps
+//!
+//! Everywhere a Table I `implem` index is accepted, a full `arch` object
+//! is accepted instead (fields optional, defaulting to implementation 1;
+//! see [`arch_from_value`]) — the custom-design what-if path:
+//!
+//! ```text
+//! curl -s -X POST http://127.0.0.1:8080/v1/plan \
+//!      -d '{"co":512,"size":28,"ci":256,
+//!           "arch":{"pe_rows":24,"pe_cols":24,"group_rows":4,"group_cols":4,
+//!                   "igbuf_entries":3072}}'
+//! ```
+//!
+//! Hostile configurations (zero, huge, overflowing or non-finite fields)
+//! are rejected with a typed 422 naming the violated invariant — the caps
+//! live in [`accel_sim::caps`] and are enforced by
+//! `ArchConfig::validate` before any planning or simulation touches the
+//! configuration.
+//!
+//! `POST /v1/dse` sweeps a capped set of candidate architectures (explicit
+//! `candidates` list or a `grid` of axis values over a `base`) over one
+//! layer, fanning candidates across the worker pool with planning
+//! amortized by the `(layer, arch)` plan cache; results are canonically
+//! ordered (feasible first by cycles, traffic, then the architecture's
+//! total order), so the response does not depend on candidate enumeration
+//! order:
+//!
+//! ```text
+//! curl -s -X POST http://127.0.0.1:8080/v1/dse \
+//!      -d '{"co":512,"size":28,"ci":256,
+//!           "grid":{"pe_rows":[16,24,32],"lreg_entries_per_pe":[64,128]}}'
+//! ```
+//!
+//! See `docs/API.md` for the full `arch` schema, the caps and the
+//! request/response formats.
+//!
 //! Watch the caches work (numbers are cumulative since server start):
 //!
 //! ```text
@@ -99,17 +135,26 @@
 //! |---|---|---|---|
 //! | `/healthz` | GET | — | liveness probe |
 //! | `/v1/cache_stats` | GET | — | `clb --cache-stats` |
-//! | `/v1/bound` | POST | layer spec + `mem_kib` | `clb bound` |
-//! | `/v1/sweep` | POST | layer spec + `mem_kib` | `clb sweep` |
-//! | `/v1/plan` | POST | layer spec + `implem` | `clb plan` |
-//! | `/v1/simulate` | POST | layer spec + `implem` + `tiling` | `clb simulate` |
-//! | `/v1/network` | POST | `net`, `batch`, `implem` | `clb network --json` |
+//! | `/v1/bound` | POST | layer spec + `mem_kib`/`arch` | `clb bound` |
+//! | `/v1/sweep` | POST | layer spec + `mem_kib`/`arch` | `clb sweep` |
+//! | `/v1/plan` | POST | layer spec + `implem`/`arch` | `clb plan` |
+//! | `/v1/simulate` | POST | layer spec + `implem`/`arch` + `tiling` | `clb simulate` |
+//! | `/v1/network` | POST | `net`, `batch`, `implem`/`arch` | `clb network --json` |
+//! | `/v1/dse` | POST | layer spec + `candidates`/`grid` | `clb dse` |
 //!
 //! Layer spec fields: `co`, `size`, `ci` (required); `k` (3), `stride`
 //! (1), `batch` (3), `mem_kib` (66.5) optional with CLI-matching defaults.
 //! Errors come back as `{"error": ..., "status": ...}` with a 4xx status:
 //! malformed HTTP or JSON → 400, wrong method → 405, oversized body → 413,
 //! valid-but-impossible analysis → 422; a saturated queue sheds with 503.
+//!
+//! ## Request logging
+//!
+//! `clb serve --log true` (or a [`ServiceConfig::log`] sink) emits one
+//! structured line per completed request —
+//! `method=POST path=/v1/plan status=200 micros=1234 cache=miss` — with
+//! `cache` reporting how the response-cache layers answered
+//! ([`CacheOutcome`]).
 //!
 //! ## Embedding
 //!
@@ -131,11 +176,13 @@ pub mod pool;
 mod server;
 
 pub use api::{
-    ApiError, BoundResponse, LayerSpec, PlanResponse, SimulateResponse, SweepEntry, SweepResponse,
+    arch_from_value, dse_results, ApiError, ArchChoice, ArchPlanResponse, ArchSimulateResponse,
+    BoundResponse, DseEntry, DseResponse, LayerSpec, PlanResponse, SimulateResponse, SweepEntry,
+    SweepResponse,
 };
 pub use http::{HttpError, Request, Response};
 pub use pool::{BoundedQueue, WorkerPool};
 pub use server::{
-    CacheStatsResponse, MemoCacheStats, RunningServer, Server, ServiceConfig, ServiceStats,
-    StopHandle,
+    format_request_log, CacheOutcome, CacheStatsResponse, LogSink, MemoCacheStats, RunningServer,
+    Server, ServiceConfig, ServiceStats, StopHandle,
 };

@@ -18,7 +18,7 @@ use std::io::{BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use dataflow::{FlightMap, LruCache};
 use serde::Value;
@@ -27,11 +27,16 @@ use crate::api;
 use crate::http::{self, HttpError, Response};
 use crate::pool::WorkerPool;
 
+/// Where structured request-log lines go when logging is enabled: one call
+/// per completed request with the formatted line (no trailing newline).
+/// `clb serve --log` installs a stderr writer; tests install collectors.
+pub type LogSink = Arc<dyn Fn(&str) + Send + Sync>;
+
 /// Server configuration. `Default` gives a localhost server on an
 /// OS-assigned port with auto-sized workers — every field has a sensible
 /// production value except `port`, which tests leave at 0 (ephemeral) and
 /// `clb serve` sets from `--port`.
-#[derive(Debug, Clone)]
+#[derive(Clone)]
 pub struct ServiceConfig {
     /// Bind address (default `127.0.0.1`).
     pub host: std::net::IpAddr,
@@ -54,6 +59,26 @@ pub struct ServiceConfig {
     /// Whole-request receive deadline (bounds a slow-drip client that
     /// keeps every individual read under `read_timeout`).
     pub request_deadline: Duration,
+    /// Structured request logging: one [`format_request_log`] line per
+    /// completed request when set (`None` disables, the default).
+    pub log: Option<LogSink>,
+}
+
+impl std::fmt::Debug for ServiceConfig {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ServiceConfig")
+            .field("host", &self.host)
+            .field("port", &self.port)
+            .field("threads", &self.threads)
+            .field("queue_capacity", &self.queue_capacity)
+            .field("max_body_bytes", &self.max_body_bytes)
+            .field("result_cache_capacity", &self.result_cache_capacity)
+            .field("read_timeout", &self.read_timeout)
+            .field("write_timeout", &self.write_timeout)
+            .field("request_deadline", &self.request_deadline)
+            .field("log", &self.log.is_some())
+            .finish()
+    }
 }
 
 impl Default for ServiceConfig {
@@ -68,8 +93,60 @@ impl Default for ServiceConfig {
             read_timeout: Duration::from_secs(10),
             write_timeout: Duration::from_secs(10),
             request_deadline: Duration::from_secs(30),
+            log: None,
         }
     }
+}
+
+/// How the response-cache layers answered one POST request (the `cache=`
+/// field of the request log).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CacheOutcome {
+    /// Served from the response cache.
+    Hit,
+    /// Shared a concurrent identical computation in flight.
+    Coalesced,
+    /// Computed fresh.
+    Miss,
+    /// The caching layers were not consulted (GET endpoints, parse
+    /// failures, errors before dispatch).
+    Uncached,
+}
+
+impl CacheOutcome {
+    /// The log-field spelling.
+    #[must_use]
+    pub fn as_str(self) -> &'static str {
+        match self {
+            CacheOutcome::Hit => "hit",
+            CacheOutcome::Coalesced => "coalesced",
+            CacheOutcome::Miss => "miss",
+            CacheOutcome::Uncached => "-",
+        }
+    }
+}
+
+/// Formats one structured request-log line:
+///
+/// ```text
+/// method=POST path=/v1/plan status=200 micros=1234 cache=miss
+/// ```
+///
+/// Space-separated `key=value` pairs, fixed key order, one line per
+/// request; `cache` is a [`CacheOutcome`] spelling. The shape is pinned by
+/// an integration test — production log scrapers may rely on it.
+#[must_use]
+pub fn format_request_log(
+    method: &str,
+    path: &str,
+    status: u16,
+    micros: u128,
+    cache: CacheOutcome,
+) -> String {
+    format!(
+        "method={method} path={path} status={status} micros={micros} cache={}",
+        cache.as_str()
+    )
 }
 
 /// Recursively sorts object keys so two spellings of the same JSON value
@@ -209,22 +286,25 @@ impl ServiceState {
     /// key-order differences in client JSON cannot split identical queries.
     /// Responses travel as `Arc<Response>`: a cache hit clones a pointer
     /// inside the lock, never a multi-kilobyte body.
-    fn post_response(&self, path: &str, body: &[u8]) -> Arc<Response> {
+    fn post_response(&self, path: &str, body: &[u8]) -> (Arc<Response>, CacheOutcome) {
         let parsed: Value = match std::str::from_utf8(body)
             .map_err(|_| "request body is not valid UTF-8".to_string())
             .and_then(|text| {
                 serde_json::from_str::<Value>(text).map_err(|e| format!("invalid JSON body: {e}"))
             }) {
             Ok(v) => v,
-            Err(msg) => return Arc::new(Response::error(400, &msg)),
+            Err(msg) => return (Arc::new(Response::error(400, &msg)), CacheOutcome::Uncached),
         };
         let canonical = match serde_json::to_string(&canonicalize(&parsed)) {
             Ok(c) => c,
             Err(e) => {
-                return Arc::new(Response::error(
-                    400,
-                    &format!("unrenderable JSON body: {e}"),
-                ))
+                return (
+                    Arc::new(Response::error(
+                        400,
+                        &format!("unrenderable JSON body: {e}"),
+                    )),
+                    CacheOutcome::Uncached,
+                )
             }
         };
         let key = format!("{path} {canonical}");
@@ -233,67 +313,87 @@ impl ServiceState {
                 self.counters
                     .responses_cached
                     .fetch_add(1, Ordering::Relaxed);
-                return Arc::clone(hit);
+                return (Arc::clone(hit), CacheOutcome::Hit);
             }
         }
+        // The response cache is bounded by *entry count*, so one oversized
+        // body class (a 256-candidate `/v1/dse` sweep runs to ~0.6 MB)
+        // could otherwise pin cache_capacity × body_size of memory. Bodies
+        // beyond this bound recompute instead — their expensive part (the
+        // per-arch planning) is already memoized underneath, and identical
+        // concurrent requests still coalesce.
+        const MAX_CACHEABLE_BODY_BYTES: usize = 128 * 1024;
         // The leader populates the cache *inside* the flight, before it
         // retires: once a key has been computed, later requests always find
         // either the in-flight computation or the cached response.
-        let (response, _coalesced) = self.flights.run(key.clone(), || {
+        let (response, coalesced) = self.flights.run(key.clone(), || {
             let response = Arc::new(api::dispatch(path, &parsed));
-            if response.status == 200 {
+            if response.status == 200 && response.body.len() <= MAX_CACHEABLE_BODY_BYTES {
                 if let Ok(mut cache) = self.response_cache.lock() {
                     cache.insert(key.clone(), Arc::clone(&response));
                 }
             }
             response
         });
-        response
+        let outcome = if coalesced {
+            CacheOutcome::Coalesced
+        } else {
+            CacheOutcome::Miss
+        };
+        (response, outcome)
     }
 
-    fn route(&self, head: &http::Head, body: &[u8]) -> Arc<Response> {
-        const POST_ENDPOINTS: [&str; 5] = [
+    fn route(&self, head: &http::Head, body: &[u8]) -> (Arc<Response>, CacheOutcome) {
+        const POST_ENDPOINTS: [&str; 6] = [
             "/v1/bound",
             "/v1/sweep",
             "/v1/plan",
             "/v1/simulate",
             "/v1/network",
+            "/v1/dse",
         ];
         const GET_ENDPOINTS: [&str; 2] = ["/healthz", "/v1/cache_stats"];
+        let uncached = |r: Response| (Arc::new(r), CacheOutcome::Uncached);
         match (head.method.as_str(), head.path.as_str()) {
-            ("GET", "/healthz") => Arc::new(Response::json(200, "{\"status\": \"ok\"}")),
-            ("GET", "/v1/cache_stats") => Arc::new(self.cache_stats_response()),
+            ("GET", "/healthz") => uncached(Response::json(200, "{\"status\": \"ok\"}")),
+            ("GET", "/v1/cache_stats") => uncached(self.cache_stats_response()),
             ("POST", path) if POST_ENDPOINTS.contains(&path) => self.post_response(path, body),
             (_, path) if POST_ENDPOINTS.contains(&path) || GET_ENDPOINTS.contains(&path) => {
-                Arc::new(Response::error(
+                uncached(Response::error(
                     405,
                     &format!("method {} not allowed for {path}", head.method),
                 ))
             }
-            (_, path) => Arc::new(Response::error(404, &format!("no such endpoint `{path}`"))),
+            (_, path) => uncached(Response::error(404, &format!("no such endpoint `{path}`"))),
         }
     }
 
     /// Parses, routes and answers one connection (one request per
     /// connection; every response closes it).
     fn handle_connection(&self, stream: TcpStream) {
+        let started = Instant::now();
         let _ = stream.set_read_timeout(Some(self.config.read_timeout));
         let _ = stream.set_write_timeout(Some(self.config.write_timeout));
         let _ = stream.set_nodelay(true);
-        let deadline = Some(std::time::Instant::now() + self.config.request_deadline);
+        let deadline = Some(Instant::now() + self.config.request_deadline);
         let mut reader = BufReader::new(&stream);
-        let response = match http::read_head(&mut reader, deadline) {
+        let mut logged_head: Option<(String, String)> = None;
+        let (response, outcome) = match http::read_head(&mut reader, deadline) {
             Ok(head) => {
+                logged_head = Some((head.method.clone(), head.path.clone()));
                 if head.content_length > self.config.max_body_bytes {
                     // Refuse before reading; the client may still be
                     // sending, so the write can race a reset — best effort.
-                    Arc::new(Response::error(
-                        413,
-                        &HttpError::PayloadTooLarge {
-                            limit: self.config.max_body_bytes,
-                        }
-                        .message(),
-                    ))
+                    (
+                        Arc::new(Response::error(
+                            413,
+                            &HttpError::PayloadTooLarge {
+                                limit: self.config.max_body_bytes,
+                            }
+                            .message(),
+                        )),
+                        CacheOutcome::Uncached,
+                    )
                 } else {
                     if head.expects_continue() && head.content_length > 0 {
                         let mut w = &stream;
@@ -308,16 +408,32 @@ impl ServiceState {
                         deadline,
                     ) {
                         Ok(body) => self.route(&head, &body),
-                        Err(e) => Arc::new(Response::error(e.status(), &e.message())),
+                        Err(e) => (
+                            Arc::new(Response::error(e.status(), &e.message())),
+                            CacheOutcome::Uncached,
+                        ),
                     }
                 }
             }
-            Err(e) => Arc::new(Response::error(e.status(), &e.message())),
+            Err(e) => (
+                Arc::new(Response::error(e.status(), &e.message())),
+                CacheOutcome::Uncached,
+            ),
         };
         self.counters.requests.fetch_add(1, Ordering::Relaxed);
         let mut writer = &stream;
         let _ = response.write_to(&mut writer);
         let _ = stream.shutdown(std::net::Shutdown::Both);
+        if let Some(sink) = &self.config.log {
+            let (method, path) = logged_head.unwrap_or_else(|| ("-".to_string(), "-".to_string()));
+            sink(&format_request_log(
+                &method,
+                &path,
+                response.status,
+                started.elapsed().as_micros(),
+                outcome,
+            ));
+        }
     }
 }
 

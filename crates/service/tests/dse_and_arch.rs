@@ -1,0 +1,528 @@
+//! Custom-architecture and `/v1/dse` acceptance tests:
+//!
+//! * **Parity** — a `/v1/dse` sweep's per-candidate results must be
+//!   bit-identical to issuing the same candidates one-by-one through
+//!   `/v1/plan` + `/v1/simulate` serially (the oracle loop), for random
+//!   layers × random valid candidate grids.
+//! * **Hostility** — adversarial `arch` objects through `/v1/simulate` and
+//!   `/v1/dse` must never panic or hang: always a typed 4xx naming the
+//!   violated invariant.
+//! * **Regression** — `implem`-preset requests must keep their exact
+//!   pre-existing wire bytes now that the handlers also accept `arch`.
+
+use clb_core::Accelerator;
+use clb_service::api::{self, limits};
+use clb_service::{PlanResponse, SimulateResponse};
+use conv_model::ConvLayer;
+use proptest::prelude::*;
+use serde::Value;
+
+fn obj(pairs: Vec<(&str, Value)>) -> Value {
+    Value::Object(pairs.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+}
+
+fn num(n: f64) -> Value {
+    Value::Number(n)
+}
+
+fn layer_fields(layer: &ConvLayer) -> Vec<(&'static str, Value)> {
+    vec![
+        ("co", num(layer.out_channels() as f64)),
+        ("size", num(layer.output_width() as f64)),
+        ("ci", num(layer.in_channels() as f64)),
+        ("k", num(layer.kernel_width() as f64)),
+        ("stride", num(layer.stride() as f64)),
+        ("batch", num(layer.batch() as f64)),
+    ]
+}
+
+/// Small random layers (square, unpadded — exactly what the layer-spec
+/// endpoints construct).
+fn layer_strategy() -> impl Strategy<Value = ConvLayer> {
+    (
+        1usize..=2,  // batch
+        4usize..=24, // out channels
+        6usize..=18, // output size
+        1usize..=8,  // in channels
+        1usize..=3,  // kernel
+        1usize..=2,  // stride
+    )
+        .prop_filter_map("valid layer", |(b, co, size, ci, k, s)| {
+            ConvLayer::square(b, co, size, ci, k, s).ok()
+        })
+}
+
+/// Random *valid* candidate architectures: structurally coherent (groups
+/// divide the array) so sweeps exercise the feasible/infeasible planning
+/// boundary rather than request validation.
+fn candidate_strategy() -> impl Strategy<Value = Value> {
+    (
+        0usize..4, // pe_rows in {8,16,24,32}
+        0usize..2, // pe_cols in {8,16}
+        0usize..2, // groups in {2,4}
+        0usize..3, // lreg in {32,64,128}
+        0usize..3, // igbuf in {512,1024,2048}
+        0usize..2, // wgbuf in {128,256}
+    )
+        .prop_map(|(pr, pc, g, lr, ig, wg)| {
+            let pe_rows = [8usize, 16, 24, 32][pr];
+            let pe_cols = [8usize, 16][pc];
+            let group = [2usize, 4][g];
+            obj(vec![
+                ("pe_rows", num(pe_rows as f64)),
+                ("pe_cols", num(pe_cols as f64)),
+                ("group_rows", num(group as f64)),
+                ("group_cols", num(group as f64)),
+                ("lreg_entries_per_pe", num([32usize, 64, 128][lr] as f64)),
+                ("igbuf_entries", num([512usize, 1024, 2048][ig] as f64)),
+                ("wgbuf_entries", num([128usize, 256][wg] as f64)),
+            ])
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// The acceptance oracle: sweep results == serial per-candidate
+    /// `/v1/plan` + `/v1/simulate`, bit-identical (compared as parsed JSON
+    /// trees, which the shared pretty-printer maps 1:1 to bytes).
+    #[test]
+    fn dse_matches_serial_plan_simulate_oracle(
+        layer in layer_strategy(),
+        candidates in prop::collection::vec(candidate_strategy(), 1..=6),
+    ) {
+        let mut fields = layer_fields(&layer);
+        fields.push(("candidates", Value::Array(candidates.clone())));
+        let body = obj(fields);
+        let dse_raw = api::dse_response(&body).expect("valid dse request");
+        let dse: Value = serde_json::from_str(&dse_raw).unwrap();
+        let results = dse.get_field("results").unwrap().as_array().unwrap();
+        prop_assert!(!results.is_empty());
+
+        for entry in results {
+            let arch_echo = entry.get_field("arch").unwrap().clone();
+            let mut plan_fields = layer_fields(&layer);
+            plan_fields.push(("arch", arch_echo.clone()));
+            let plan_req = obj(plan_fields);
+
+            match entry.get_field("error").unwrap() {
+                Value::Null => {
+                    // Oracle step 1: /v1/plan with the same arch.
+                    let plan_raw = api::plan_response(&plan_req).expect("feasible candidate");
+                    let plan: Value = serde_json::from_str(&plan_raw).unwrap();
+                    prop_assert_eq!(
+                        entry.get_field("report").unwrap(),
+                        plan.get_field("report").unwrap(),
+                        "dse report must be bit-identical to /v1/plan"
+                    );
+                    // Oracle step 2: /v1/simulate on the planned tiling.
+                    let tiling = plan
+                        .get_field("report").unwrap()
+                        .get_field("tiling").unwrap()
+                        .clone();
+                    let mut sim_fields = layer_fields(&layer);
+                    sim_fields.push(("arch", arch_echo));
+                    sim_fields.push(("tiling", tiling));
+                    let sim_raw = api::simulate_response(&obj(sim_fields)).unwrap();
+                    let sim: Value = serde_json::from_str(&sim_raw).unwrap();
+                    prop_assert_eq!(
+                        entry.get_field("report").unwrap().get_field("stats").unwrap(),
+                        sim.get_field("stats").unwrap(),
+                        "dse stats must be bit-identical to /v1/simulate"
+                    );
+                    prop_assert_eq!(
+                        entry.get_field("total_cycles").unwrap(),
+                        sim.get_field("total_cycles").unwrap()
+                    );
+                    prop_assert_eq!(
+                        entry.get_field("seconds").unwrap(),
+                        sim.get_field("seconds").unwrap()
+                    );
+                }
+                Value::String(reason) => {
+                    // Infeasible candidates must fail /v1/plan identically.
+                    let err = api::plan_response(&plan_req).unwrap_err();
+                    let api::ApiError::Unprocessable(msg) = err else {
+                        panic!("oracle failed differently: {err:?}");
+                    };
+                    prop_assert_eq!(reason, &msg);
+                }
+                other => panic!("error field must be null or string, got {other:?}"),
+            }
+        }
+    }
+
+    /// Shuffling the candidate list never changes a response byte.
+    #[test]
+    fn dse_is_enumeration_order_independent(
+        layer in layer_strategy(),
+        candidates in prop::collection::vec(candidate_strategy(), 2..=5),
+    ) {
+        let request = |cands: Vec<Value>| {
+            let mut fields = layer_fields(&layer);
+            fields.push(("candidates", Value::Array(cands)));
+            api::dse_response(&obj(fields)).unwrap()
+        };
+        let forward = request(candidates.clone());
+        let mut reversed_cands = candidates;
+        reversed_cands.reverse();
+        let reversed = request(reversed_cands);
+        prop_assert_eq!(forward, reversed);
+    }
+}
+
+/// Hostile field palette: type confusion and overflow magnets (NaN/inf
+/// cannot appear — they are not valid JSON, and the HTTP layer rejects
+/// bodies that fail to parse).
+fn hostile_value() -> impl Strategy<Value = Value> {
+    (0usize..8, 0usize..7).prop_map(|(kind, n)| {
+        let number = [-1e300, -7.0, -0.5, 0.0, 0.5, 1e9, 1e300][n];
+        match kind {
+            0 => Value::Null,
+            1 => Value::Bool(true),
+            2 => num(number),
+            3 => Value::String("evil".to_string()),
+            4 => Value::Array(vec![num(number)]),
+            5 => obj(vec![("x", num(number))]),
+            6 => num(f64::MAX),
+            _ => num(number),
+        }
+    })
+}
+
+const ARCH_FIELDS: [&str; 10] = [
+    "pe_rows",
+    "pe_cols",
+    "group_rows",
+    "group_cols",
+    "lreg_entries_per_pe",
+    "igbuf_entries",
+    "wgbuf_entries",
+    "greg_bytes",
+    "greg_segment_entries",
+    "core_freq_hz",
+];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Adversarial arch objects through `/v1/simulate` and `/v1/dse`:
+    /// always a clean 4xx (typed, non-empty diagnosis), never a panic,
+    /// hang or 500.
+    #[test]
+    fn hostile_arch_objects_get_typed_4xx(
+        picks in prop::collection::vec((0usize..ARCH_FIELDS.len(), hostile_value()), 1..=4),
+        latency in hostile_value(),
+        via_dse in prop::bool::ANY,
+    ) {
+        let mut arch_fields: Vec<(&str, Value)> = picks
+            .into_iter()
+            .map(|(i, v)| (ARCH_FIELDS[i], v))
+            .collect();
+        arch_fields.push(("dram", obj(vec![("latency_cycles", latency)])));
+        let arch = obj(arch_fields);
+
+        let response = if via_dse {
+            let mut fields = vec![
+                ("co", num(8.0)),
+                ("size", num(6.0)),
+                ("ci", num(4.0)),
+                ("batch", num(1.0)),
+            ];
+            fields.push(("candidates", Value::Array(vec![arch])));
+            api::dispatch("/v1/dse", &obj(fields))
+        } else {
+            let fields = vec![
+                ("co", num(8.0)),
+                ("size", num(6.0)),
+                ("ci", num(4.0)),
+                ("batch", num(1.0)),
+                ("arch", arch),
+                ("tiling", obj(vec![
+                    ("b", num(1.0)),
+                    ("z", num(4.0)),
+                    ("y", num(3.0)),
+                    ("x", num(3.0)),
+                ])),
+            ];
+            api::dispatch("/v1/simulate", &obj(fields))
+        };
+        prop_assert!(
+            response.status == 200 || response.status == 400 || response.status == 422,
+            "hostile arch produced status {}: {}",
+            response.status,
+            response.body
+        );
+        if response.status != 200 {
+            prop_assert!(response.body.contains("error"), "{}", response.body);
+        }
+    }
+}
+
+#[test]
+fn hostile_arch_422_names_the_violated_invariant() {
+    let with_arch = |arch: Value| {
+        obj(vec![
+            ("co", num(8.0)),
+            ("size", num(6.0)),
+            ("ci", num(4.0)),
+            ("batch", num(1.0)),
+            (
+                "tiling",
+                obj(vec![
+                    ("b", num(1.0)),
+                    ("z", num(4.0)),
+                    ("y", num(3.0)),
+                    ("x", num(3.0)),
+                ]),
+            ),
+            ("arch", arch),
+        ])
+    };
+    for (arch, needle) in [
+        (obj(vec![("pe_rows", num(0.0))]), "non-empty"),
+        (obj(vec![("pe_rows", num(1e18))]), "cap"),
+        (obj(vec![("group_rows", num(5.0))]), "divide"),
+        (
+            obj(vec![("lreg_entries_per_pe", num(-3.0))]),
+            "at least one",
+        ),
+        (obj(vec![("core_freq_hz", num(-1.0))]), "frequency"),
+        (
+            obj(vec![(
+                "dram",
+                obj(vec![("bandwidth_bytes_per_s", num(0.0))]),
+            )]),
+            "bandwidth",
+        ),
+    ] {
+        let resp = api::dispatch("/v1/simulate", &with_arch(arch));
+        assert_eq!(resp.status, 422, "{}", resp.body);
+        assert!(resp.body.contains(needle), "{}", resp.body);
+    }
+    // Type confusion is a 400, also named.
+    let resp = api::dispatch("/v1/simulate", &with_arch(num(5.0)));
+    assert_eq!(resp.status, 400, "{}", resp.body);
+    assert!(resp.body.contains("arch"), "{}", resp.body);
+}
+
+#[test]
+fn typoed_arch_fields_are_rejected_not_defaulted() {
+    // Every arch field is optional, so a typo would otherwise silently
+    // evaluate the default implementation-1 design and the caller would
+    // trust numbers for a machine it never specified.
+    let body = obj(vec![
+        ("co", num(16.0)),
+        ("size", num(14.0)),
+        ("ci", num(8.0)),
+        ("batch", num(1.0)),
+        ("arch", obj(vec![("pe_row", num(64.0))])), // typo: pe_row
+    ]);
+    let resp = api::dispatch("/v1/plan", &body);
+    assert_eq!(resp.status, 400, "{}", resp.body);
+    assert!(resp.body.contains("pe_row"), "{}", resp.body);
+    let body = obj(vec![
+        ("co", num(16.0)),
+        ("size", num(14.0)),
+        ("ci", num(8.0)),
+        ("batch", num(1.0)),
+        (
+            "arch",
+            obj(vec![("dram", obj(vec![("latency", num(50.0))]))]), // typo
+        ),
+    ]);
+    let resp = api::dispatch("/v1/plan", &body);
+    assert_eq!(resp.status, 400, "{}", resp.body);
+    assert!(resp.body.contains("latency"), "{}", resp.body);
+}
+
+#[test]
+fn dse_request_validation() {
+    let base = || {
+        vec![
+            ("co", num(16.0)),
+            ("size", num(14.0)),
+            ("ci", num(8.0)),
+            ("batch", num(1.0)),
+        ]
+    };
+    // Neither candidates nor grid → 400.
+    let resp = api::dispatch("/v1/dse", &obj(base()));
+    assert_eq!(resp.status, 400, "{}", resp.body);
+    assert!(resp.body.contains("candidates"), "{}", resp.body);
+    // Both → 400.
+    let mut fields = base();
+    fields.push(("candidates", Value::Array(vec![obj(vec![])])));
+    fields.push(("grid", obj(vec![])));
+    assert_eq!(api::dispatch("/v1/dse", &obj(fields)).status, 400);
+    // Over-cap explicit list → 422 naming the cap.
+    let mut fields = base();
+    fields.push((
+        "candidates",
+        Value::Array(vec![obj(vec![]); limits::MAX_DSE_CANDIDATES + 1]),
+    ));
+    let resp = api::dispatch("/v1/dse", &obj(fields));
+    assert_eq!(resp.status, 422, "{}", resp.body);
+    assert!(resp.body.contains("cap"), "{}", resp.body);
+    // Over-cap grid → 422 *before* expansion (cardinality ≈ 10^9).
+    let axis = Value::Array((1..=32).map(|i| num(f64::from(i))).collect::<Vec<_>>());
+    let mut fields = base();
+    fields.push((
+        "grid",
+        obj(vec![
+            ("pe_rows", axis.clone()),
+            ("pe_cols", axis.clone()),
+            ("lreg_entries_per_pe", axis.clone()),
+            ("igbuf_entries", axis.clone()),
+            ("wgbuf_entries", axis.clone()),
+            ("greg_bytes", axis),
+        ]),
+    ));
+    let resp = api::dispatch("/v1/dse", &obj(fields));
+    assert_eq!(resp.status, 422, "{}", resp.body);
+    assert!(resp.body.contains("cap"), "{}", resp.body);
+    // Unknown grid axis → 400 naming it.
+    let mut fields = base();
+    fields.push((
+        "grid",
+        obj(vec![("pe_rowz", Value::Array(vec![num(16.0)]))]),
+    ));
+    let resp = api::dispatch("/v1/dse", &obj(fields));
+    assert_eq!(resp.status, 400, "{}", resp.body);
+    assert!(resp.body.contains("pe_rowz"), "{}", resp.body);
+    // Invalid candidate inside a grid names the candidate and invariant.
+    let mut fields = base();
+    fields.push((
+        "grid",
+        obj(vec![("pe_rows", Value::Array(vec![num(18.0)]))]),
+    ));
+    let resp = api::dispatch("/v1/dse", &obj(fields));
+    assert_eq!(resp.status, 422, "{}", resp.body);
+    assert!(resp.body.contains("divide"), "{}", resp.body);
+}
+
+#[test]
+fn implem_preset_requests_keep_their_exact_bytes() {
+    // Regression: now that every endpoint also accepts `arch`, preset
+    // requests must serialize through the identical pre-existing structs.
+    let layer = ConvLayer::square(1, 16, 14, 8, 3, 1).unwrap();
+    let body = obj(vec![
+        ("co", num(16.0)),
+        ("size", num(14.0)),
+        ("ci", num(8.0)),
+        ("batch", num(1.0)),
+        ("implem", num(2.0)),
+    ]);
+    let report = Accelerator::implementation(2)
+        .analyze_layer("layer", &layer)
+        .unwrap();
+    let expected = serde_json::to_string_pretty(&PlanResponse {
+        implementation: 2,
+        report,
+    })
+    .unwrap();
+    assert_eq!(api::plan_response(&body).unwrap(), expected);
+    assert!(expected.contains("\"implementation\": 2"));
+    assert!(!expected.contains("\"arch\""));
+
+    let mut sim_fields = vec![
+        ("co", num(16.0)),
+        ("size", num(14.0)),
+        ("ci", num(8.0)),
+        ("batch", num(1.0)),
+        ("implem", num(1.0)),
+    ];
+    sim_fields.push((
+        "tiling",
+        obj(vec![
+            ("b", num(1.0)),
+            ("z", num(8.0)),
+            ("y", num(7.0)),
+            ("x", num(7.0)),
+        ]),
+    ));
+    let arch = accel_sim::ArchConfig::implementation(1);
+    let tiling = dataflow::Tiling {
+        b: 1,
+        z: 8,
+        y: 7,
+        x: 7,
+    };
+    let stats = accel_sim::simulate(&layer, &tiling, &arch).unwrap();
+    let expected = serde_json::to_string_pretty(&SimulateResponse {
+        implementation: 1,
+        layer,
+        tiling,
+        stats,
+        total_cycles: stats.total_cycles(),
+        seconds: stats.seconds(arch.core_freq_hz),
+    })
+    .unwrap();
+    assert_eq!(api::simulate_response(&obj(sim_fields)).unwrap(), expected);
+}
+
+#[test]
+fn custom_arch_plan_echoes_the_arch_and_matches_the_library() {
+    let layer = ConvLayer::square(1, 16, 14, 8, 3, 1).unwrap();
+    let arch_json = obj(vec![
+        ("pe_rows", num(8.0)),
+        ("pe_cols", num(8.0)),
+        ("group_rows", num(2.0)),
+        ("group_cols", num(2.0)),
+    ]);
+    let mut fields = vec![
+        ("co", num(16.0)),
+        ("size", num(14.0)),
+        ("ci", num(8.0)),
+        ("batch", num(1.0)),
+    ];
+    fields.push(("arch", arch_json));
+    let raw = api::plan_response(&obj(fields)).unwrap();
+    let arch = accel_sim::ArchConfig {
+        pe_rows: 8,
+        pe_cols: 8,
+        group_rows: 2,
+        group_cols: 2,
+        ..accel_sim::ArchConfig::implementation(1)
+    };
+    let report = Accelerator::new(arch)
+        .analyze_layer("layer", &layer)
+        .unwrap();
+    let expected =
+        serde_json::to_string_pretty(&clb_service::ArchPlanResponse { arch, report }).unwrap();
+    assert_eq!(raw, expected, "service must be bit-identical");
+    assert!(raw.contains("\"arch\""));
+    // `implem` alongside `arch` is rejected.
+    let mut fields = vec![
+        ("co", num(16.0)),
+        ("size", num(14.0)),
+        ("ci", num(8.0)),
+        ("implem", num(2.0)),
+    ];
+    fields.push(("arch", obj(vec![])));
+    let resp = api::dispatch("/v1/plan", &obj(fields));
+    assert_eq!(resp.status, 400, "{}", resp.body);
+}
+
+#[test]
+fn bound_and_sweep_derive_memory_from_arch() {
+    // implementation 2 as an explicit arch object: same effective memory,
+    // same bound as mem_kib = 66.5.
+    let arch = obj(vec![
+        ("pe_rows", num(32.0)),
+        ("pe_cols", num(16.0)),
+        ("lreg_entries_per_pe", num(64.0)),
+        ("greg_bytes", num(15360.0)),
+    ]);
+    let mut fields = vec![("co", num(16.0)), ("size", num(14.0)), ("ci", num(8.0))];
+    fields.push(("arch", arch.clone()));
+    let raw = api::bound_response(&obj(fields)).unwrap();
+    let v: Value = serde_json::from_str(&raw).unwrap();
+    assert_eq!(v.get_field("mem_kib").unwrap().as_number().unwrap(), 66.5);
+    // mem_kib + arch together are rejected.
+    let mut fields = vec![("co", num(16.0)), ("size", num(14.0)), ("ci", num(8.0))];
+    fields.push(("arch", arch));
+    fields.push(("mem_kib", num(32.0)));
+    let resp = api::dispatch("/v1/sweep", &obj(fields));
+    assert_eq!(resp.status, 400, "{}", resp.body);
+}

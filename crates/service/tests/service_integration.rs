@@ -267,6 +267,92 @@ fn http_errors_over_the_wire() {
 }
 
 #[test]
+fn dse_endpoint_round_trips_a_vgg16_layer_sweep() {
+    let server = spawn_server();
+    let addr = server.addr();
+    // VGG-16 conv4_1 (batch 1 keeps the debug-build sweep quick) over a
+    // 2×2 grid of custom candidates: the wire bytes must match the pure
+    // handler, which the dse_and_arch tests pin against the serial
+    // /v1/plan + /v1/simulate oracle.
+    let body = "{\"co\":512,\"size\":28,\"ci\":256,\"batch\":1,\
+                \"grid\":{\"pe_rows\":[16,32],\"lreg_entries_per_pe\":[64,128]}}";
+    let parsed: Value = serde_json::from_str(body).unwrap();
+    let expected = api::dse_response(&parsed).unwrap();
+    let (status, got) = request(addr, "POST", "/v1/dse", body);
+    assert_eq!(status, 200, "{got}");
+    assert_eq!(got, expected, "wire response must be bit-identical");
+    let v: Value = serde_json::from_str(&got).unwrap();
+    assert_eq!(v.get_field("unique").unwrap().as_number().unwrap(), 4.0);
+
+    // Hostile candidate over the wire: typed 422 naming the invariant.
+    let hostile = "{\"co\":16,\"size\":14,\"ci\":8,\"batch\":1,\
+                   \"candidates\":[{\"pe_rows\":0}]}";
+    let (status, body) = request(addr, "POST", "/v1/dse", hostile);
+    assert_eq!(status, 422, "{body}");
+    assert!(body.contains("non-empty"), "{body}");
+    server.shutdown().unwrap();
+}
+
+#[test]
+fn request_log_lines_have_the_pinned_shape() {
+    let lines = std::sync::Arc::new(std::sync::Mutex::new(Vec::<String>::new()));
+    let sink_lines = std::sync::Arc::clone(&lines);
+    let config = ServiceConfig {
+        log: Some(std::sync::Arc::new(move |line: &str| {
+            sink_lines.lock().unwrap().push(line.to_string());
+        })),
+        ..ServiceConfig::default()
+    };
+    let server = Server::spawn(config).expect("bind an ephemeral port");
+    let addr = server.addr();
+
+    let body = "{\"co\":16,\"size\":14,\"ci\":8,\"batch\":1}";
+    let (status, _) = request(addr, "POST", "/v1/bound", body);
+    assert_eq!(status, 200);
+    let (status, _) = request(addr, "POST", "/v1/bound", body); // warm: cache hit
+    assert_eq!(status, 200);
+    let (status, _) = request(addr, "GET", "/healthz", "");
+    assert_eq!(status, 200);
+    let (status, _) = request(addr, "GET", "/nope", "");
+    assert_eq!(status, 404);
+    server.shutdown().unwrap();
+
+    let lines = lines.lock().unwrap();
+    assert_eq!(lines.len(), 4, "one line per completed request: {lines:?}");
+    // Shape: space-separated key=value pairs in fixed order, micros numeric.
+    for line in lines.iter() {
+        let fields: Vec<(&str, &str)> = line
+            .split(' ')
+            .map(|kv| kv.split_once('=').expect("key=value"))
+            .collect();
+        let keys: Vec<&str> = fields.iter().map(|(k, _)| *k).collect();
+        assert_eq!(
+            keys,
+            ["method", "path", "status", "micros", "cache"],
+            "{line}"
+        );
+        let micros: u64 = fields[3].1.parse().expect("micros numeric");
+        assert!(micros < 60_000_000, "{line}");
+        fields[2].1.parse::<u16>().expect("status numeric");
+    }
+    assert_eq!(
+        lines[0],
+        format!(
+            "method=POST path=/v1/bound status=200 {} cache=miss",
+            lines[0].split(' ').nth(3).unwrap()
+        )
+    );
+    assert!(lines[1].contains("cache=hit"), "{}", lines[1]);
+    assert!(
+        lines[2].starts_with("method=GET path=/healthz status=200"),
+        "{}",
+        lines[2]
+    );
+    assert!(lines[2].ends_with("cache=-"), "{}", lines[2]);
+    assert!(lines[3].contains("status=404"), "{}", lines[3]);
+}
+
+#[test]
 fn graceful_shutdown_joins_cleanly() {
     let server = spawn_server();
     let addr = server.addr();

@@ -23,6 +23,46 @@ impl Default for DramConfig {
     }
 }
 
+/// Limits-style caps on every [`ArchConfig`] field, enforced by
+/// [`ArchConfig::validate`].
+///
+/// The struct is `pub` + `Deserialize` and, since the `/v1/*` endpoints
+/// accept full `arch` objects, configurations arrive from untrusted JSON.
+/// The caps keep every derived quantity (PE count, LReg/GBuf/GReg totals,
+/// effective on-chip memory, stall arithmetic) far away from integer
+/// overflow and keep the planner's feasibility region bounded, so a hostile
+/// configuration can be *rejected with the violated invariant named* instead
+/// of panicking, hanging or exhausting memory. Generous: every cap is well
+/// beyond any design the paper's model is meaningful for (Table I tops out
+/// at 64×32 PEs and 131.625 KiB effective memory).
+pub mod caps {
+    /// Max PE array rows / columns (Table I's largest array is 64×32).
+    pub const MAX_PE_DIM: usize = 4096;
+    /// Max LReg entries (16-bit Psum slots) per PE.
+    pub const MAX_LREG_ENTRIES_PER_PE: usize = 1 << 16;
+    /// Max entries in each GBuf (input and weight separately).
+    pub const MAX_GBUF_ENTRIES: usize = 1 << 26;
+    /// Max total GReg bytes.
+    pub const MAX_GREG_BYTES: usize = 1 << 30;
+    /// Max entries in one input GReg segment.
+    pub const MAX_GREG_SEGMENT_ENTRIES: usize = 1 << 20;
+    /// Max *derived* effective on-chip memory (LRegs + GBufs) in bytes —
+    /// 1 GiB, mirroring the service's `mem_kib` limit. This is the cap
+    /// that bounds the tiling-search feasibility region a configuration
+    /// can open up.
+    pub const MAX_EFFECTIVE_ONCHIP_BYTES: u128 = 1 << 30;
+    /// Core clock range in Hz.
+    pub const MIN_CORE_FREQ_HZ: f64 = 1e3;
+    /// Core clock range in Hz.
+    pub const MAX_CORE_FREQ_HZ: f64 = 1e12;
+    /// DRAM bandwidth range in bytes/s.
+    pub const MIN_DRAM_BW: f64 = 1e3;
+    /// DRAM bandwidth range in bytes/s.
+    pub const MAX_DRAM_BW: f64 = 1e15;
+    /// Max first-access DRAM latency in core cycles.
+    pub const MAX_DRAM_LATENCY_CYCLES: u64 = 1_000_000_000;
+}
+
 /// Full architectural configuration of the accelerator.
 ///
 /// Use [`ArchConfig::implementation`] for the five Table I designs or the
@@ -189,7 +229,15 @@ impl ArchConfig {
     }
 
     /// Validates the structural invariants (group sizes divide the array,
-    /// everything positive).
+    /// everything positive) and the [`caps`]-module limits on every field
+    /// plus the derived effective on-chip memory.
+    ///
+    /// Safe on *any* field values — including `usize::MAX` and non-finite
+    /// floats from hostile JSON — because every cap is checked before the
+    /// corresponding product is formed (and the one derived product is
+    /// computed in `u128`). Boundaries that accept untrusted
+    /// configurations surface the returned message as
+    /// [`SimError::InvalidArch`](crate::SimError::InvalidArch).
     ///
     /// # Errors
     ///
@@ -197,6 +245,15 @@ impl ArchConfig {
     pub fn validate(&self) -> Result<(), String> {
         if self.pe_rows == 0 || self.pe_cols == 0 {
             return Err("PE array must be non-empty".into());
+        }
+        if self.pe_rows > caps::MAX_PE_DIM || self.pe_cols > caps::MAX_PE_DIM {
+            return Err(format!(
+                "PE array {}x{} exceeds the {}x{} cap",
+                self.pe_rows,
+                self.pe_cols,
+                caps::MAX_PE_DIM,
+                caps::MAX_PE_DIM
+            ));
         }
         if self.group_rows == 0 || self.group_cols == 0 {
             return Err("PE groups must be non-empty".into());
@@ -216,11 +273,82 @@ impl ArchConfig {
         if self.lreg_entries_per_pe == 0 {
             return Err("LRegs must hold at least one Psum".into());
         }
+        if self.lreg_entries_per_pe > caps::MAX_LREG_ENTRIES_PER_PE {
+            return Err(format!(
+                "LReg size {} entries/PE exceeds the {} cap",
+                self.lreg_entries_per_pe,
+                caps::MAX_LREG_ENTRIES_PER_PE
+            ));
+        }
         if self.igbuf_entries == 0 || self.wgbuf_entries == 0 {
             return Err("GBufs must be non-empty".into());
         }
-        if self.core_freq_hz <= 0.0 || !self.core_freq_hz.is_finite() {
-            return Err("core frequency must be positive".into());
+        if self.igbuf_entries > caps::MAX_GBUF_ENTRIES
+            || self.wgbuf_entries > caps::MAX_GBUF_ENTRIES
+        {
+            return Err(format!(
+                "GBuf size {}/{} entries exceeds the {} cap",
+                self.igbuf_entries,
+                self.wgbuf_entries,
+                caps::MAX_GBUF_ENTRIES
+            ));
+        }
+        if self.greg_bytes == 0 || self.greg_segment_entries == 0 {
+            return Err("GRegs must be non-empty".into());
+        }
+        if self.greg_bytes > caps::MAX_GREG_BYTES {
+            return Err(format!(
+                "GReg size {} bytes exceeds the {} cap",
+                self.greg_bytes,
+                caps::MAX_GREG_BYTES
+            ));
+        }
+        if self.greg_segment_entries > caps::MAX_GREG_SEGMENT_ENTRIES {
+            return Err(format!(
+                "GReg segment {} entries exceeds the {} cap",
+                self.greg_segment_entries,
+                caps::MAX_GREG_SEGMENT_ENTRIES
+            ));
+        }
+        // Derived cap, formed after the per-field caps so the products
+        // cannot overflow even u128 (4096² PEs × 2¹⁶ entries × 2 B ≪ 2¹²⁸).
+        let effective = u128::from(self.pe_rows as u64)
+            * u128::from(self.pe_cols as u64)
+            * u128::from(self.lreg_entries_per_pe as u64)
+            * 2
+            + (u128::from(self.igbuf_entries as u64) + u128::from(self.wgbuf_entries as u64)) * 2;
+        if effective > caps::MAX_EFFECTIVE_ONCHIP_BYTES {
+            return Err(format!(
+                "effective on-chip memory {effective} bytes (LRegs + GBufs) exceeds the {} cap",
+                caps::MAX_EFFECTIVE_ONCHIP_BYTES
+            ));
+        }
+        if !self.core_freq_hz.is_finite()
+            || self.core_freq_hz < caps::MIN_CORE_FREQ_HZ
+            || self.core_freq_hz > caps::MAX_CORE_FREQ_HZ
+        {
+            return Err(format!(
+                "core frequency must be in [{:e}, {:e}] Hz",
+                caps::MIN_CORE_FREQ_HZ,
+                caps::MAX_CORE_FREQ_HZ
+            ));
+        }
+        if !self.dram.bandwidth_bytes_per_s.is_finite()
+            || self.dram.bandwidth_bytes_per_s < caps::MIN_DRAM_BW
+            || self.dram.bandwidth_bytes_per_s > caps::MAX_DRAM_BW
+        {
+            return Err(format!(
+                "DRAM bandwidth must be in [{:e}, {:e}] bytes/s",
+                caps::MIN_DRAM_BW,
+                caps::MAX_DRAM_BW
+            ));
+        }
+        if self.dram.latency_cycles > caps::MAX_DRAM_LATENCY_CYCLES {
+            return Err(format!(
+                "DRAM latency {} cycles exceeds the {} cap",
+                self.dram.latency_cycles,
+                caps::MAX_DRAM_LATENCY_CYCLES
+            ));
         }
         Ok(())
     }
@@ -232,9 +360,12 @@ impl Default for ArchConfig {
     }
 }
 
-/// The value [`ArchConfig::cache_key`] returns: an opaque, hashable
-/// identity of one full architecture configuration.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+/// The value [`ArchConfig::cache_key`] returns: an opaque, hashable,
+/// totally-ordered identity of one full architecture configuration. The
+/// `Ord` impl (field-lexicographic, floats by bit pattern) gives sweep
+/// results a canonical architecture tie-break that is independent of
+/// candidate enumeration order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct ArchCacheKey {
     pe_rows: usize,
     pe_cols: usize,
@@ -309,6 +440,117 @@ mod tests {
         let mut c = ArchConfig::example();
         c.group_rows = 5;
         assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn caps_reject_extreme_fields_without_panicking() {
+        // Each case sets one field to an extreme value; validate must name
+        // the violated cap rather than overflow computing derived sizes.
+        let base = ArchConfig::example();
+        let cases: Vec<(ArchConfig, &str)> = vec![
+            (
+                ArchConfig {
+                    pe_rows: usize::MAX,
+                    pe_cols: usize::MAX,
+                    ..base
+                },
+                "cap",
+            ),
+            (
+                ArchConfig {
+                    lreg_entries_per_pe: usize::MAX,
+                    ..base
+                },
+                "cap",
+            ),
+            (
+                ArchConfig {
+                    igbuf_entries: usize::MAX,
+                    ..base
+                },
+                "cap",
+            ),
+            (
+                ArchConfig {
+                    greg_bytes: usize::MAX,
+                    ..base
+                },
+                "cap",
+            ),
+            (
+                ArchConfig {
+                    greg_segment_entries: 0,
+                    ..base
+                },
+                "non-empty",
+            ),
+            (
+                ArchConfig {
+                    core_freq_hz: f64::NAN,
+                    ..base
+                },
+                "frequency",
+            ),
+            (
+                ArchConfig {
+                    core_freq_hz: f64::INFINITY,
+                    ..base
+                },
+                "frequency",
+            ),
+            (
+                ArchConfig {
+                    dram: DramConfig {
+                        bandwidth_bytes_per_s: 0.0,
+                        latency_cycles: 100,
+                    },
+                    ..base
+                },
+                "bandwidth",
+            ),
+            (
+                ArchConfig {
+                    dram: DramConfig {
+                        bandwidth_bytes_per_s: f64::NAN,
+                        latency_cycles: 100,
+                    },
+                    ..base
+                },
+                "bandwidth",
+            ),
+            (
+                ArchConfig {
+                    dram: DramConfig {
+                        bandwidth_bytes_per_s: 6.4e9,
+                        latency_cycles: u64::MAX,
+                    },
+                    ..base
+                },
+                "latency",
+            ),
+        ];
+        for (arch, needle) in cases {
+            let msg = arch.validate().unwrap_err();
+            assert!(msg.contains(needle), "{msg}");
+        }
+    }
+
+    #[test]
+    fn derived_effective_memory_cap() {
+        // Each field individually passes its cap, but the derived effective
+        // memory (4096² PEs × 2¹⁶ entries × 2 B = 2 TiB) blows the 1 GiB
+        // derived cap — the exact hostile shape that would explode the
+        // planner's feasibility region.
+        let arch = ArchConfig {
+            pe_rows: 4096,
+            pe_cols: 4096,
+            group_rows: 4,
+            group_cols: 4,
+            lreg_entries_per_pe: 1 << 16,
+            ..ArchConfig::example()
+        };
+        let msg = arch.validate().unwrap_err();
+        assert!(msg.contains("effective on-chip memory"), "{msg}");
     }
 
     #[test]

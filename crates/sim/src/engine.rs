@@ -354,9 +354,15 @@ fn block_stall(arch: &ArchConfig, layer: &ConvLayer, c: &BlockCounts) -> u64 {
     let transfer_kz = (words_per_kz as f64 / words_per_cycle).ceil() as u64;
     let compute_kz = c.compute_cycles / ci;
     let writeback = (c.dram_output_writes as f64 / words_per_cycle).ceil() as u64;
-    ci * transfer_kz.saturating_sub(compute_kz)
-        + writeback.saturating_sub(compute_kz)
-        + arch.dram.latency_cycles
+    // Saturating: `ArchConfig::validate` caps the bandwidth/frequency ratio,
+    // but a capped-yet-extreme custom configuration (slowest DRAM against the
+    // fastest core) on a huge layer could still push this product past u64 —
+    // saturate rather than panic in debug builds. Saturating sums of
+    // nonnegative terms equal `min(true sum, u64::MAX)` regardless of
+    // association, so the class path and per-block walks stay bit-identical.
+    ci.saturating_mul(transfer_kz.saturating_sub(compute_kz))
+        .saturating_add(writeback.saturating_sub(compute_kz))
+        .saturating_add(arch.dram.latency_cycles)
 }
 
 /// Exact, order-independent aggregation of [`BlockCounts`].
@@ -400,7 +406,11 @@ impl Accumulator {
         s.useful_macs += c.useful_macs * mult;
         s.issued_slots += c.issued_slots * mult;
         s.compute_cycles += c.compute_cycles * mult;
-        s.stall_cycles += block_stall(arch, layer, c) * mult;
+        // Same saturating rationale as `block_stall`: identical for every
+        // realistic configuration, panic-free for capped-but-extreme ones.
+        s.stall_cycles = s
+            .stall_cycles
+            .saturating_add(block_stall(arch, layer, c).saturating_mul(mult));
         s.blocks += mult;
         s.iterations += layer.in_channels() as u64 * mult;
 

@@ -39,7 +39,7 @@ pub mod mapping;
 pub mod microarch;
 mod stats;
 
-pub use config::{ArchCacheKey, ArchConfig, DramConfig};
+pub use config::{caps, ArchCacheKey, ArchConfig, DramConfig};
 pub use engine::{
     block_grid, effective_memory, simulate, simulate_functional, simulate_reference, SimError,
 };

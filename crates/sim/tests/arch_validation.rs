@@ -1,0 +1,198 @@
+//! Hostile-`ArchConfig` corpus: the struct is `pub` + `Deserialize` and the
+//! service forwards full user-supplied `arch` objects, so *every* field
+//! combination — zero, huge, overflowing, non-finite — must either validate
+//! cleanly or produce a typed error naming the violated invariant. Nothing
+//! in this file is allowed to panic, hang or exhaust memory; in the spirit
+//! of hardware-performance-model validation (Röhl et al.), the model
+//! boundary is only trustworthy under adversarial inputs.
+
+use accel_sim::{caps, simulate, simulate_reference, ArchConfig, DramConfig, SimError};
+use conv_model::ConvLayer;
+use dataflow::Tiling;
+use proptest::prelude::*;
+
+/// Hostile palette for sized fields: boundary and overflow magnets.
+const SIZES: [usize; 9] = [
+    0,
+    1,
+    4,
+    16,
+    1024,
+    1 << 20,
+    1 << 30,
+    usize::MAX / 2,
+    usize::MAX,
+];
+
+/// Hostile palette for float fields (frequency, bandwidth).
+const FLOATS: [f64; 9] = [
+    f64::NAN,
+    f64::NEG_INFINITY,
+    -1.0,
+    0.0,
+    1e-300,
+    1.0,
+    500e6,
+    6.4e9,
+    f64::INFINITY,
+];
+
+/// Hostile palette for the latency field.
+const LATENCIES: [u64; 6] = [0, 1, 100, 1_000_000, u64::MAX / 2, u64::MAX];
+
+fn hostile_arch() -> impl Strategy<Value = ArchConfig> {
+    (
+        0usize..SIZES.len(),
+        0usize..SIZES.len(),
+        0usize..SIZES.len(),
+        0usize..SIZES.len(),
+        0usize..SIZES.len(),
+        0usize..SIZES.len(),
+        0usize..SIZES.len(),
+        0usize..SIZES.len(),
+        0usize..SIZES.len(),
+        0usize..FLOATS.len(),
+        0usize..FLOATS.len(),
+        0usize..LATENCIES.len(),
+    )
+        .prop_map(
+            |(pr, pc, gr, gc, lr, ig, wg, gb, gs, fq, bw, lat)| ArchConfig {
+                pe_rows: SIZES[pr],
+                pe_cols: SIZES[pc],
+                group_rows: SIZES[gr],
+                group_cols: SIZES[gc],
+                lreg_entries_per_pe: SIZES[lr],
+                igbuf_entries: SIZES[ig],
+                wgbuf_entries: SIZES[wg],
+                greg_bytes: SIZES[gb],
+                greg_segment_entries: SIZES[gs],
+                core_freq_hz: FLOATS[fq],
+                dram: DramConfig {
+                    bandwidth_bytes_per_s: FLOATS[bw],
+                    latency_cycles: LATENCIES[lat],
+                },
+            },
+        )
+}
+
+fn small_layer() -> ConvLayer {
+    ConvLayer::square(1, 8, 10, 4, 3, 1).unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn validate_never_panics_and_bounds_derived_sizes(arch in hostile_arch()) {
+        // `validate` itself must be total: no overflow, no panic.
+        let verdict = arch.validate();
+        if verdict.is_ok() {
+            // Everything validate admits must have safely computable,
+            // cap-bounded derived quantities.
+            prop_assert!(arch.pe_count() <= caps::MAX_PE_DIM * caps::MAX_PE_DIM);
+            prop_assert!(
+                (arch.effective_onchip_bytes() as u128) <= caps::MAX_EFFECTIVE_ONCHIP_BYTES
+            );
+            let wpc = arch.dram_words_per_cycle();
+            prop_assert!(wpc.is_finite() && wpc > 0.0);
+        } else {
+            let msg = verdict.unwrap_err();
+            prop_assert!(!msg.is_empty(), "the violated invariant must be named");
+        }
+    }
+
+    #[test]
+    fn simulate_is_total_over_hostile_archs(arch in hostile_arch(), tb in 1usize..=2, tz in 1usize..=8, txy in 1usize..=10) {
+        // Whatever the configuration, simulation of a small layer must
+        // terminate promptly with Ok or a typed SimError — never panic,
+        // never hang walking a block grid.
+        let layer = small_layer();
+        let tiling = Tiling::clamped(&layer, tb, tz, txy, txy);
+        match simulate(&layer, &tiling, &arch) {
+            Ok(stats) => {
+                prop_assert_eq!(stats.useful_macs, layer.macs());
+                // The fast path stays pinned to the reference even at the
+                // validation boundary.
+                prop_assert_eq!(stats, simulate_reference(&layer, &tiling, &arch).unwrap());
+            }
+            Err(SimError::InvalidArch(msg)) => {
+                prop_assert_eq!(arch.validate().unwrap_err(), msg);
+            }
+            Err(_other_typed_error) => {
+                // Structurally infeasible (unmappable / GBuf overflow) is a
+                // legitimate outcome for a valid-but-tiny architecture.
+                prop_assert!(arch.validate().is_ok());
+            }
+        }
+    }
+}
+
+#[test]
+fn presets_always_validate() {
+    for i in 1..=5 {
+        ArchConfig::implementation(i).validate().unwrap();
+    }
+}
+
+#[test]
+fn overflow_magnet_configurations_error_with_named_invariants() {
+    // Regression shapes: each used to be able to overflow a derived
+    // computation (pe_count, lreg totals, effective memory, stall math)
+    // before the caps existed.
+    let base = ArchConfig::example();
+    let cases = [
+        ArchConfig {
+            pe_rows: usize::MAX,
+            pe_cols: usize::MAX,
+            group_rows: 1,
+            group_cols: 1,
+            ..base
+        },
+        ArchConfig {
+            lreg_entries_per_pe: usize::MAX,
+            ..base
+        },
+        ArchConfig {
+            igbuf_entries: usize::MAX,
+            wgbuf_entries: usize::MAX,
+            ..base
+        },
+        ArchConfig {
+            dram: DramConfig {
+                bandwidth_bytes_per_s: f64::MIN_POSITIVE,
+                latency_cycles: u64::MAX,
+            },
+            ..base
+        },
+    ];
+    let layer = small_layer();
+    let tiling = Tiling::clamped(&layer, 1, 4, 5, 5);
+    for arch in cases {
+        let msg = arch.validate().unwrap_err();
+        assert!(!msg.is_empty());
+        let err = simulate(&layer, &tiling, &arch).unwrap_err();
+        assert_eq!(err, SimError::InvalidArch(msg));
+    }
+}
+
+#[test]
+fn capped_extreme_but_valid_arch_simulates_without_overflow() {
+    // The slowest permitted DRAM against the fastest permitted core is the
+    // worst stall-arithmetic magnet that still passes validation; the
+    // saturating stall path must keep it panic-free and reference-identical.
+    let arch = ArchConfig {
+        core_freq_hz: caps::MAX_CORE_FREQ_HZ,
+        dram: DramConfig {
+            bandwidth_bytes_per_s: caps::MIN_DRAM_BW,
+            latency_cycles: caps::MAX_DRAM_LATENCY_CYCLES,
+        },
+        ..ArchConfig::example()
+    };
+    arch.validate().unwrap();
+    let layer = small_layer();
+    let tiling = Tiling::clamped(&layer, 1, 8, 5, 5);
+    let fast = simulate(&layer, &tiling, &arch).unwrap();
+    let slow = simulate_reference(&layer, &tiling, &arch).unwrap();
+    assert_eq!(fast, slow);
+    assert!(fast.stall_cycles > 0);
+}

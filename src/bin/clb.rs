@@ -6,8 +6,14 @@
 //! clb plan     --co 512 --size 28 --ci 256 [--implem 1]  # tiling + simulation on an implementation
 //! clb simulate --co 512 --size 28 --ci 256 --tb 1 --tz 16 --ty 14 --tx 14 [--implem 1]
 //! clb network  --net vgg16|alexnet|resnet50 [--batch 3] [--implem 1] [--json]
-//! clb serve    [--port 8080] [--threads 0] [--queue 256] [--result-cache 1024]
+//! clb dse      --co 512 --size 28 --ci 256 [--pe-rows 16,24,32] [--lreg 64,128] ...
+//! clb serve    [--port 8080] [--threads 0] [--queue 256] [--result-cache 1024] [--log true]
 //! ```
+//!
+//! Every verb that takes `--implem` also takes `--arch '<json>'` — a full
+//! custom architecture object (fields default to Table I implementation 1),
+//! the CLI mirror of the service's `arch` field. `clb dse` sweeps a grid of
+//! candidates (comma-separated axis lists over the `--arch` base).
 
 use std::collections::HashMap;
 use std::process::ExitCode;
@@ -46,6 +52,52 @@ fn get<T: std::str::FromStr>(
     }
 }
 
+fn api_error_message(e: clb_service::ApiError) -> String {
+    match e {
+        clb_service::ApiError::BadRequest(m)
+        | clb_service::ApiError::Unprocessable(m)
+        | clb_service::ApiError::Internal(m) => m,
+    }
+}
+
+/// Parses `--arch '<json object>'` — the same schema, defaults
+/// (implementation 1) and validation as the service's `arch` field, so the
+/// CLI and the API accept exactly the same custom architectures.
+fn arch_from_flags(
+    flags: &HashMap<String, String>,
+) -> Result<Option<accel_sim::ArchConfig>, String> {
+    let Some(json) = flags.get("arch") else {
+        return Ok(None);
+    };
+    if flags.contains_key("implem") {
+        return Err("specify either --implem or --arch, not both".into());
+    }
+    let v: serde_json::Value =
+        serde_json::from_str(json).map_err(|e| format!("--arch: invalid JSON: {e}"))?;
+    clb_service::arch_from_value(&v)
+        .map(Some)
+        .map_err(|e| format!("--arch: {}", api_error_message(e)))
+}
+
+/// The architecture a verb should analyze: `--arch` JSON when given,
+/// otherwise the `--implem` preset (default 1). Returns the configuration
+/// plus the label the human-readable output prints.
+fn arch_choice_from_flags(
+    flags: &HashMap<String, String>,
+) -> Result<(accel_sim::ArchConfig, String), String> {
+    if let Some(arch) = arch_from_flags(flags)? {
+        return Ok((arch, "custom architecture".to_string()));
+    }
+    let implem: usize = get(flags, "implem", 1)?;
+    if !(1..=5).contains(&implem) {
+        return Err("--implem must be 1..=5".into());
+    }
+    Ok((
+        accel_sim::ArchConfig::implementation(implem),
+        format!("implementation {implem}"),
+    ))
+}
+
 fn layer_from_flags(flags: &HashMap<String, String>) -> Result<ConvLayer, String> {
     let co: usize = get(flags, "co", 0)?;
     let size: usize = get(flags, "size", 0)?;
@@ -59,9 +111,25 @@ fn layer_from_flags(flags: &HashMap<String, String>) -> Result<ConvLayer, String
     ConvLayer::square(batch, co, size, ci, k, stride).map_err(|e| e.to_string())
 }
 
+/// The memory size `bound`/`sweep` analyze: `--arch`'s effective on-chip
+/// memory when given, `--mem-kib` (default 66.5) otherwise.
+fn mem_from_flags(flags: &HashMap<String, String>) -> Result<OnChipMemory, String> {
+    match arch_from_flags(flags)? {
+        Some(arch) => {
+            if flags.contains_key("mem-kib") {
+                return Err("specify either --mem-kib or --arch, not both".into());
+            }
+            Ok(OnChipMemory::from_kib(
+                arch.effective_onchip_bytes() as f64 / 1024.0,
+            ))
+        }
+        None => Ok(OnChipMemory::from_kib(get(flags, "mem-kib", 66.5)?)),
+    }
+}
+
 fn cmd_bound(flags: &HashMap<String, String>) -> Result<(), String> {
     let layer = layer_from_flags(flags)?;
-    let mem = OnChipMemory::from_kib(get(flags, "mem-kib", 66.5)?);
+    let mem = mem_from_flags(flags)?;
     println!("layer: {layer} (R = {})", layer.window_reuse());
     println!("MACs:  {:.3} G", layer.macs() as f64 / 1e9);
     println!("effective on-chip memory: {mem}");
@@ -86,7 +154,7 @@ fn cmd_bound(flags: &HashMap<String, String>) -> Result<(), String> {
 
 fn cmd_sweep(flags: &HashMap<String, String>) -> Result<(), String> {
     let layer = layer_from_flags(flags)?;
-    let mem = OnChipMemory::from_kib(get(flags, "mem-kib", 66.5)?);
+    let mem = mem_from_flags(flags)?;
     println!("layer: {layer}, memory {mem}\n");
     println!("{:<16} {:>10} {:>12}", "dataflow", "DRAM (MB)", "vs bound");
     let bound = clb::bound::dram_bound_bytes(&layer, mem);
@@ -119,16 +187,13 @@ fn cmd_sweep(flags: &HashMap<String, String>) -> Result<(), String> {
 
 fn cmd_plan(flags: &HashMap<String, String>) -> Result<(), String> {
     let layer = layer_from_flags(flags)?;
-    let implem: usize = get(flags, "implem", 1)?;
-    if !(1..=5).contains(&implem) {
-        return Err("--implem must be 1..=5".into());
-    }
-    let acc = Accelerator::implementation(implem);
+    let (arch, label) = arch_choice_from_flags(flags)?;
+    let acc = Accelerator::new(arch);
     let report = acc
         .analyze_layer("layer", &layer)
         .map_err(|e| e.to_string())?;
     println!("layer: {layer}");
-    println!("implementation {implem}: {} PEs", acc.arch().pe_count());
+    println!("{label}: {} PEs", acc.arch().pe_count());
     println!("tiling: {}", report.tiling);
     println!(
         "DRAM:  {:.2} MB ({:+.1}% vs bound)",
@@ -154,10 +219,7 @@ fn cmd_plan(flags: &HashMap<String, String>) -> Result<(), String> {
 /// `POST /v1/simulate`).
 fn cmd_simulate(flags: &HashMap<String, String>) -> Result<(), String> {
     let layer = layer_from_flags(flags)?;
-    let implem: usize = get(flags, "implem", 1)?;
-    if !(1..=5).contains(&implem) {
-        return Err("--implem must be 1..=5".into());
-    }
+    let (arch, label) = arch_choice_from_flags(flags)?;
     let tiling = dataflow::Tiling {
         b: get(flags, "tb", 0)?,
         z: get(flags, "tz", 0)?,
@@ -169,10 +231,9 @@ fn cmd_simulate(flags: &HashMap<String, String>) -> Result<(), String> {
     if tiling.b == 0 || tiling.z == 0 || tiling.y == 0 || tiling.x == 0 {
         return Err("--tb, --tz, --ty and --tx are required (nonzero)".into());
     }
-    let arch = accel_sim::ArchConfig::implementation(implem);
     let stats = accel_sim::simulate(&layer, &tiling, &arch).map_err(|e| e.to_string())?;
     println!("layer: {layer}");
-    println!("implementation {implem}: {} PEs", arch.pe_count());
+    println!("{label}: {} PEs", arch.pe_count());
     println!("tiling: {tiling} ({} blocks)", stats.blocks);
     println!(
         "DRAM:  {:.2} MB   GBuf: {:.2} MB   Regs: {:.3} G writes",
@@ -211,8 +272,8 @@ fn cmd_network(flags: &HashMap<String, String>) -> Result<(), String> {
             ))
         }
     };
-    let implem: usize = get(flags, "implem", 1)?;
-    let acc = Accelerator::implementation(implem);
+    let (arch, label) = arch_choice_from_flags(flags)?;
+    let acc = Accelerator::new(arch);
     let report = acc.analyze_network(&net).map_err(|e| e.to_string())?;
 
     if flags.contains_key("json") || flags.get("json").is_some() {
@@ -224,7 +285,7 @@ fn cmd_network(flags: &HashMap<String, String>) -> Result<(), String> {
     }
 
     println!(
-        "{} (batch {batch}) on implementation {implem}: {:.1} GMACs",
+        "{} (batch {batch}) on {label}: {:.1} GMACs",
         net.name(),
         net.total_macs() as f64 / 1e9
     );
@@ -251,6 +312,97 @@ fn cmd_network(flags: &HashMap<String, String>) -> Result<(), String> {
     Ok(())
 }
 
+/// Parses a comma-separated list flag (`--pe-rows 16,24,32`); absent flags
+/// fall back to the single default value.
+fn get_list(
+    flags: &HashMap<String, String>,
+    key: &str,
+    default: usize,
+) -> Result<Vec<usize>, String> {
+    match flags.get(key) {
+        None => Ok(vec![default]),
+        Some(raw) => {
+            let mut values = Vec::new();
+            for part in raw.split(',') {
+                let v: usize = part
+                    .trim()
+                    .parse()
+                    .map_err(|_| format!("invalid value `{part}` in --{key}"))?;
+                values.push(v);
+            }
+            if values.is_empty() {
+                return Err(format!("--{key} needs at least one value"));
+            }
+            Ok(values)
+        }
+    }
+}
+
+/// `clb dse`: sweep a grid of candidate architectures over one layer (the
+/// CLI mirror of `POST /v1/dse`). The grid axes are comma-separated lists;
+/// unlisted axes stay at the base architecture (`--arch` JSON, default
+/// Table I implementation 1). `--json true` prints the identical structure
+/// the service returns.
+fn cmd_dse(flags: &HashMap<String, String>) -> Result<(), String> {
+    let layer = layer_from_flags(flags)?;
+    let base = arch_from_flags(flags)?.unwrap_or_else(accel_sim::ArchConfig::example);
+    // Axis order is `api::GRID_AXES`; the expansion itself is shared with
+    // the service (`api::archs_from_axes`), so `clb dse` and `/v1/dse` can
+    // never disagree on which field an axis sweeps.
+    let axes: [Vec<usize>; 9] = [
+        get_list(flags, "pe-rows", base.pe_rows)?,
+        get_list(flags, "pe-cols", base.pe_cols)?,
+        get_list(flags, "group-rows", base.group_rows)?,
+        get_list(flags, "group-cols", base.group_cols)?,
+        get_list(flags, "lreg", base.lreg_entries_per_pe)?,
+        get_list(flags, "igbuf", base.igbuf_entries)?,
+        get_list(flags, "wgbuf", base.wgbuf_entries)?,
+        get_list(flags, "greg-bytes", base.greg_bytes)?,
+        get_list(flags, "greg-segment", base.greg_segment_entries)?,
+    ];
+    let archs = clb_service::api::archs_from_axes(&axes, &base).map_err(api_error_message)?;
+    let response = clb_service::dse_results(&layer, archs.len(), &archs);
+
+    if flags.get("json").is_some() {
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&response).map_err(|e| e.to_string())?
+        );
+        return Ok(());
+    }
+
+    println!(
+        "layer: {layer} — {} candidates ({} distinct, {} feasible)\n",
+        response.submitted, response.unique, response.feasible
+    );
+    println!(
+        "{:<10} {:>8} {:>10} {:>12} {:>10} {:>9}",
+        "PEs", "eff KiB", "cycles", "DRAM (MB)", "pJ/MAC", "time(ms)"
+    );
+    for entry in &response.results {
+        let pes = format!("{}x{}", entry.arch.pe_rows, entry.arch.pe_cols);
+        let eff = entry.arch.effective_onchip_bytes() as f64 / 1024.0;
+        match &entry.report {
+            Some(report) => println!(
+                "{:<10} {:>8.1} {:>10} {:>12.2} {:>10.2} {:>9.2}",
+                pes,
+                eff,
+                report.stats.total_cycles(),
+                report.stats.dram.total_bytes() as f64 / 1e6,
+                report.pj_per_mac(),
+                report.stats.seconds(entry.arch.core_freq_hz) * 1e3,
+            ),
+            None => println!(
+                "{:<10} {:>8.1} infeasible: {}",
+                pes,
+                eff,
+                entry.error.as_deref().unwrap_or("unknown")
+            ),
+        }
+    }
+    Ok(())
+}
+
 fn cmd_serve(flags: &HashMap<String, String>) -> Result<(), String> {
     let mut config = clb_service::ServiceConfig {
         port: get(flags, "port", 8080)?,
@@ -260,6 +412,9 @@ fn cmd_serve(flags: &HashMap<String, String>) -> Result<(), String> {
     config.queue_capacity = get(flags, "queue", config.queue_capacity)?;
     config.result_cache_capacity = get(flags, "result-cache", config.result_cache_capacity)?;
     config.max_body_bytes = get(flags, "max-body", config.max_body_bytes)?;
+    if get(flags, "log", false)? {
+        config.log = Some(std::sync::Arc::new(|line: &str| eprintln!("{line}")));
+    }
     let search_cache: usize = get(
         flags,
         "search-cache",
@@ -275,19 +430,26 @@ fn cmd_serve(flags: &HashMap<String, String>) -> Result<(), String> {
 }
 
 fn usage() -> &'static str {
-    "usage: clb <bound|sweep|plan|simulate|network|serve> [--flag value]...\n\
+    "usage: clb <bound|sweep|plan|simulate|network|dse|serve> [--flag value]...\n\
      \n\
      clb bound    --co 512 --size 28 --ci 256 [--k 3] [--stride 1] [--batch 3] [--mem-kib 66.5]\n\
      clb sweep    --co 512 --size 28 --ci 256 [--mem-kib 66.5]\n\
      clb plan     --co 512 --size 28 --ci 256 [--implem 1]\n\
      clb simulate --co 512 --size 28 --ci 256 --tb 1 --tz 16 --ty 14 --tx 14 [--implem 1]\n\
      clb network  --net vgg16|alexnet|resnet50 [--batch 3] [--implem 1] [--json true]\n\
+     clb dse      --co 512 --size 28 --ci 256 [--pe-rows 16,24,32] [--pe-cols ...]\n\
+     \\            [--group-rows ...] [--group-cols ...] [--lreg 64,128] [--igbuf ...]\n\
+     \\            [--wgbuf ...] [--greg-bytes ...] [--greg-segment ...] [--json true]\n\
      clb serve    [--port 8080] [--threads 0] [--queue 256] [--result-cache 1024]\n\
-     \\            [--search-cache 65536] [--max-body 1048576]\n\
+     \\            [--search-cache 65536] [--max-body 1048576] [--log true]\n\
      \n\
      global flags:\n\
      --threads N        worker threads (search engine; serve: also HTTP workers; 0 = auto)\n\
-     --cache-stats true print search-cache hits/misses after the command"
+     --cache-stats true print search-cache hits/misses after the command\n\
+     --arch '<json>'    full custom architecture (any verb that takes --implem;\n\
+     \\                  bound/sweep derive the memory size from it; dse uses it\n\
+     \\                  as the grid base) — fields default to implementation 1,\n\
+     \\                  e.g. '{\"pe_rows\":24,\"pe_cols\":24,\"igbuf_entries\":3072}'"
 }
 
 /// Applies the global engine flags (`--threads`, `--cache-stats`); returns
@@ -326,6 +488,7 @@ fn main() -> ExitCode {
             "plan" => cmd_plan(&flags),
             "simulate" => cmd_simulate(&flags),
             "network" => cmd_network(&flags),
+            "dse" => cmd_dse(&flags),
             "serve" => cmd_serve(&flags),
             other => Err(format!("unknown command `{other}`\n{}", usage())),
         };
@@ -440,6 +603,81 @@ mod tests {
     fn network_rejects_unknown_name() {
         let f = flags(&[("net", "lenet")]);
         assert!(cmd_network(&f).is_err());
+    }
+
+    #[test]
+    fn arch_flag_parses_validates_and_conflicts() {
+        // Valid custom architecture with defaults filled in.
+        let f = flags(&[("arch", "{\"pe_rows\":24,\"pe_cols\":24}")]);
+        let arch = arch_from_flags(&f).unwrap().unwrap();
+        assert_eq!((arch.pe_rows, arch.pe_cols), (24, 24));
+        assert_eq!(arch.wgbuf_entries, 256, "unset fields default to impl 1");
+        // Invalid JSON and violated invariants are reported.
+        assert!(arch_from_flags(&flags(&[("arch", "{nope")]))
+            .unwrap_err()
+            .contains("invalid JSON"));
+        assert!(arch_from_flags(&flags(&[("arch", "{\"pe_rows\":0}")]))
+            .unwrap_err()
+            .contains("non-empty"));
+        // --arch and --implem are mutually exclusive.
+        let both = flags(&[("arch", "{}"), ("implem", "2")]);
+        assert!(arch_from_flags(&both).unwrap_err().contains("either"));
+        // No flag at all means "use --implem".
+        assert!(arch_from_flags(&flags(&[])).unwrap().is_none());
+    }
+
+    #[test]
+    fn verbs_accept_custom_architectures() {
+        let base = [
+            ("co", "16"),
+            ("size", "14"),
+            ("ci", "8"),
+            ("batch", "1"),
+            (
+                "arch",
+                "{\"pe_rows\":8,\"pe_cols\":8,\"group_rows\":2,\"group_cols\":2}",
+            ),
+        ];
+        cmd_bound(&flags(&base)).unwrap();
+        cmd_sweep(&flags(&base)).unwrap();
+        cmd_plan(&flags(&base)).unwrap();
+        let sim = flags(
+            &[
+                &base[..],
+                &[("tb", "1"), ("tz", "8"), ("ty", "7"), ("tx", "7")],
+            ]
+            .concat(),
+        );
+        cmd_simulate(&sim).unwrap();
+        // --arch conflicts with --mem-kib on the memory-driven verbs.
+        let conflict = flags(&[&base[..], &[("mem-kib", "66.5")]].concat());
+        assert!(cmd_bound(&conflict).unwrap_err().contains("either"));
+    }
+
+    #[test]
+    fn dse_sweeps_a_grid_and_rejects_bad_ones() {
+        let base = [("co", "16"), ("size", "14"), ("ci", "8"), ("batch", "1")];
+        let ok = flags(&[&base[..], &[("pe-rows", "16,32"), ("lreg", "64,128")]].concat());
+        cmd_dse(&ok).unwrap();
+        // Malformed list values.
+        let bad = flags(&[&base[..], &[("pe-rows", "16,abc")]].concat());
+        assert!(cmd_dse(&bad).unwrap_err().contains("invalid value"));
+        // A grid whose candidate violates an invariant names it.
+        let invalid = flags(&[&base[..], &[("pe-rows", "18")]].concat());
+        assert!(cmd_dse(&invalid).unwrap_err().contains("must divide"));
+        // Over-cap grids are refused before evaluation.
+        let over = flags(
+            &[
+                &base[..],
+                &[
+                    ("pe-rows", "4,8,12,16,20,24,28,32"),
+                    ("pe-cols", "4,8,12,16,20,24,28,32"),
+                    ("lreg", "16,32,64,128,256"),
+                ],
+            ]
+            .concat(),
+        );
+        assert!(cmd_dse(&over).unwrap_err().contains("cap"));
     }
 
     #[test]
