@@ -138,20 +138,11 @@ impl Accelerator {
         for result in results {
             layers.push(result?);
         }
-        let totals = layers
-            .iter()
-            .map(|l| l.stats)
-            .reduce(|a, b| a.combined(&b))
-            .unwrap_or_default();
-        let energy = layers.iter().map(|l| l.energy).sum();
-        let seconds = totals.seconds(self.arch.core_freq_hz);
-        Ok(NetworkReport {
-            network: network.name().to_string(),
+        Ok(NetworkReport::from_layer_reports(
+            network.name(),
             layers,
-            totals,
-            energy,
-            seconds,
-        })
+            self.arch.core_freq_hz,
+        ))
     }
 
     /// Runs the functional simulation of one layer (Q8.8 datapath) under the

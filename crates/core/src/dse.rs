@@ -2,12 +2,20 @@
 //!
 //! The paper fixes five concrete implementations (Table I), but its
 //! analytical model ranks *any* communication-lower-bound-driven design
-//! point. [`sweep_archs`] makes that executable: it evaluates one layer on
-//! a capped list of candidate [`ArchConfig`]s through the full
-//! plan → simulate → bound → energy pipeline, fanning candidates across
-//! threads (`rayon::par_map`) with each candidate's planning amortized by
-//! the process-wide `(layer, arch)` plan cache — a warm re-sweep is cache
-//! hits plus cheap class-based simulation.
+//! point. Two entry points make that executable:
+//!
+//! * [`sweep_archs`] evaluates one **layer** on a capped list of candidate
+//!   [`ArchConfig`]s through the full plan → simulate → bound → energy
+//!   pipeline, fanning candidates across threads (`rayon::par_map`);
+//! * [`sweep_archs_network`] evaluates a whole **network** per candidate,
+//!   fanning the flat `(candidate × layer)` unit list across threads so an
+//!   expensive layer of one candidate never serializes behind another
+//!   candidate's cheap layers.
+//!
+//! Both amortize planning through the process-wide `(layer, arch)` plan
+//! cache — a warm re-sweep is cache hits plus cheap class-based simulation,
+//! and layers that repeat inside a network (VGG-16 has several identical
+//! geometries) are planned once per candidate.
 //!
 //! Results are **enumeration-order independent**: duplicate configurations
 //! are collapsed (by [`ArchConfig::cache_key`]) and the output is sorted by
@@ -15,26 +23,61 @@
 //! `(total cycles, DRAM words, architecture key)`; infeasible ones after,
 //! by architecture key — so shuffling the request's candidate list cannot
 //! change a single output byte. Per-candidate results are exactly what
-//! [`Accelerator::analyze_layer`] produces, which is what pins the sweep
-//! bit-identical to a serial per-candidate plan + simulate oracle loop.
+//! [`Accelerator::analyze_layer`] / [`Accelerator::analyze_network`]
+//! produce, which is what pins each sweep bit-identical to a serial
+//! per-candidate oracle loop. The dedup, the sort key and the entry shape
+//! are shared between the two modes, so they cannot drift.
 
 use accel_sim::{ArchCacheKey, ArchConfig, SimError};
+use conv_model::workloads::{NamedLayer, Network};
 use conv_model::ConvLayer;
 
 use crate::accelerator::Accelerator;
-use crate::report::LayerReport;
+use crate::report::{LayerReport, NetworkReport};
 
-/// One candidate's outcome in an architecture sweep.
-#[derive(Debug, Clone)]
-pub struct ArchSweepEntry {
-    /// The evaluated configuration.
-    pub arch: ArchConfig,
-    /// The full layer report, or why the candidate cannot run this layer
-    /// (e.g. a single sliding window already overflows its IGBuf).
-    pub outcome: Result<LayerReport, SimError>,
+/// What a sweep outcome must expose for the canonical result ordering:
+/// the headline cycle count and the DRAM traffic used as tie-breakers.
+pub trait SweepCost {
+    /// Total execution cycles (compute + unhidden stalls).
+    fn sweep_cycles(&self) -> u64;
+    /// Total DRAM words moved.
+    fn sweep_dram_words(&self) -> u64;
 }
 
-impl ArchSweepEntry {
+impl SweepCost for LayerReport {
+    fn sweep_cycles(&self) -> u64 {
+        self.stats.total_cycles()
+    }
+
+    fn sweep_dram_words(&self) -> u64 {
+        self.stats.dram.total_words()
+    }
+}
+
+impl SweepCost for NetworkReport {
+    fn sweep_cycles(&self) -> u64 {
+        self.totals.total_cycles()
+    }
+
+    fn sweep_dram_words(&self) -> u64 {
+        self.totals.dram.total_words()
+    }
+}
+
+/// One candidate's outcome in an architecture sweep. `R` is the report a
+/// feasible candidate produces: [`LayerReport`] for layer sweeps
+/// ([`sweep_archs`]), [`NetworkReport`] for network sweeps
+/// ([`sweep_archs_network`]).
+#[derive(Debug, Clone)]
+pub struct ArchSweepEntry<R = LayerReport> {
+    /// The evaluated configuration.
+    pub arch: ArchConfig,
+    /// The full report, or why the candidate cannot run the workload
+    /// (e.g. a single sliding window already overflows its IGBuf).
+    pub outcome: Result<R, SimError>,
+}
+
+impl<R: SweepCost> ArchSweepEntry<R> {
     /// The canonical sort key: feasible before infeasible, then fewest
     /// total cycles, then least DRAM traffic, then the architecture's own
     /// total order. A total order over distinct candidates, so sweep output
@@ -44,13 +87,44 @@ impl ArchSweepEntry {
         match &self.outcome {
             Ok(report) => (
                 0,
-                report.stats.total_cycles(),
-                report.stats.dram.total_words(),
+                report.sweep_cycles(),
+                report.sweep_dram_words(),
                 self.arch.cache_key(),
             ),
             Err(_) => (1, 0, 0, self.arch.cache_key()),
         }
     }
+}
+
+/// Collapses exact duplicates (same [`ArchConfig::cache_key`]), keeping the
+/// first occurrence of each — shared by both sweep modes so "evaluated
+/// once" means the same thing everywhere.
+fn dedup_candidates(candidates: &[ArchConfig]) -> Vec<ArchConfig> {
+    let mut unique: Vec<ArchConfig> = Vec::with_capacity(candidates.len());
+    let mut seen: std::collections::HashSet<ArchCacheKey> =
+        std::collections::HashSet::with_capacity(candidates.len());
+    for arch in candidates {
+        if seen.insert(arch.cache_key()) {
+            unique.push(*arch);
+        }
+    }
+    unique
+}
+
+/// Pairs each candidate with its outcome and applies the canonical order —
+/// the shared tail of both sweep modes.
+fn canonical_entries<R: SweepCost>(
+    archs: Vec<ArchConfig>,
+    outcomes: Vec<Result<R, SimError>>,
+) -> Vec<ArchSweepEntry<R>> {
+    debug_assert_eq!(archs.len(), outcomes.len());
+    let mut entries: Vec<ArchSweepEntry<R>> = archs
+        .into_iter()
+        .zip(outcomes)
+        .map(|(arch, outcome)| ArchSweepEntry { arch, outcome })
+        .collect();
+    entries.sort_by_key(ArchSweepEntry::sort_key);
+    entries
 }
 
 /// Evaluates `layer` on every distinct candidate architecture, in parallel,
@@ -70,20 +144,64 @@ pub fn sweep_archs(
     layer: &ConvLayer,
     candidates: &[ArchConfig],
 ) -> Vec<ArchSweepEntry> {
-    let mut unique: Vec<ArchConfig> = Vec::with_capacity(candidates.len());
-    let mut seen: std::collections::HashSet<ArchCacheKey> =
-        std::collections::HashSet::with_capacity(candidates.len());
-    for arch in candidates {
-        if seen.insert(arch.cache_key()) {
-            unique.push(*arch);
-        }
-    }
-    let mut entries = rayon::par_map(&unique, |arch| ArchSweepEntry {
-        arch: *arch,
-        outcome: Accelerator::new(*arch).analyze_layer(name, layer),
+    let unique = dedup_candidates(candidates);
+    let outcomes = rayon::par_map(&unique, |arch| {
+        Accelerator::new(*arch).analyze_layer(name, layer)
     });
-    entries.sort_by_key(ArchSweepEntry::sort_key);
-    entries
+    canonical_entries(unique, outcomes)
+}
+
+/// Evaluates `network` on every distinct candidate architecture, returning
+/// canonically-ordered per-candidate [`NetworkReport`]s.
+///
+/// The work is fanned as flat `(candidate × layer)` units across the
+/// thread pool (not per-candidate with a nested per-layer fan), so load
+/// balances across candidates whose layers differ wildly in cost; planning
+/// is amortized by the process-wide `(layer, arch)` plan cache, so layer
+/// geometries that repeat within the network are planned once per
+/// candidate. Per-candidate reports are reassembled in network layer order
+/// and aggregated through the same [`NetworkReport::from_layer_reports`]
+/// constructor [`Accelerator::analyze_network`] uses
+/// (first-error-in-layer-order semantics included), so each entry is
+/// structurally bit-identical to a serial per-candidate `analyze_network`
+/// oracle call.
+#[must_use]
+pub fn sweep_archs_network(
+    network: &Network,
+    candidates: &[ArchConfig],
+) -> Vec<ArchSweepEntry<NetworkReport>> {
+    let unique = dedup_candidates(candidates);
+    let layers: Vec<&NamedLayer> = network.conv_layers().collect();
+    let units: Vec<(usize, usize)> = (0..unique.len())
+        .flat_map(|c| (0..layers.len()).map(move |l| (c, l)))
+        .collect();
+    let results = rayon::par_map(&units, |&(c, l)| {
+        Accelerator::new(unique[c]).analyze_layer(&layers[l].name, &layers[l].layer)
+    });
+    let mut results = results.into_iter();
+    let outcomes: Vec<Result<NetworkReport, SimError>> = unique
+        .iter()
+        .map(|arch| {
+            // This candidate's slice of the flat unit list, in layer order.
+            let mut reports = Vec::with_capacity(layers.len());
+            let mut first_error: Option<SimError> = None;
+            for _ in 0..layers.len() {
+                match results.next().expect("one result per (candidate, layer)") {
+                    Ok(report) => reports.push(report),
+                    Err(e) => first_error = first_error.or(Some(e)),
+                }
+            }
+            if let Some(e) = first_error {
+                return Err(e);
+            }
+            Ok(NetworkReport::from_layer_reports(
+                network.name(),
+                reports,
+                arch.core_freq_hz,
+            ))
+        })
+        .collect();
+    canonical_entries(unique, outcomes)
 }
 
 #[cfg(test)]
@@ -146,5 +264,59 @@ mod tests {
             "{:?}",
             sweep[1].outcome
         );
+    }
+
+    #[test]
+    fn network_sweep_matches_serial_analyze_network_oracle() {
+        let net = workloads::resnet_bottleneck(1, 14, 64, 16);
+        let archs = table1();
+        let sweep = sweep_archs_network(&net, &archs);
+        assert_eq!(sweep.len(), 5);
+        for entry in &sweep {
+            let oracle = Accelerator::new(entry.arch).analyze_network(&net);
+            match (&entry.outcome, &oracle) {
+                (Ok(a), Ok(b)) => {
+                    // Bit identity at the wire level: the serialized reports
+                    // must match byte for byte.
+                    assert_eq!(
+                        serde_json::to_string_pretty(a).unwrap(),
+                        serde_json::to_string_pretty(b).unwrap()
+                    );
+                }
+                (Err(a), Err(b)) => assert_eq!(a, b),
+                (a, b) => panic!("sweep {a:?} disagrees with oracle {b:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn network_sweep_dedups_and_orders_canonically() {
+        let net = workloads::resnet_bottleneck(1, 14, 64, 16);
+        let mut shuffled = table1();
+        shuffled.reverse();
+        shuffled.extend(table1());
+        let a = sweep_archs_network(&net, &table1());
+        let b = sweep_archs_network(&net, &shuffled);
+        assert_eq!(a.len(), 5, "duplicates must collapse");
+        let keys_a: Vec<_> = a.iter().map(ArchSweepEntry::sort_key).collect();
+        let keys_b: Vec<_> = b.iter().map(ArchSweepEntry::sort_key).collect();
+        assert_eq!(keys_a, keys_b);
+        assert!(keys_a.windows(2).all(|w| w[0] < w[1]), "strict total order");
+    }
+
+    #[test]
+    fn network_sweep_surfaces_first_layer_error_in_layer_order() {
+        // An architecture whose IGBuf cannot hold even one sliding window of
+        // the bottleneck's 3×3 layer fails exactly as analyze_network fails.
+        let net = workloads::resnet_bottleneck(1, 14, 64, 16);
+        let mut tiny = ArchConfig::implementation(1);
+        tiny.igbuf_entries = 1;
+        let sweep = sweep_archs_network(&net, &[tiny]);
+        assert_eq!(sweep.len(), 1);
+        let oracle = Accelerator::new(tiny).analyze_network(&net);
+        match (&sweep[0].outcome, &oracle) {
+            (Err(a), Err(b)) => assert_eq!(a, b),
+            (a, b) => panic!("expected identical errors, got {a:?} vs {b:?}"),
+        }
     }
 }

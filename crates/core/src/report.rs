@@ -54,6 +54,31 @@ pub struct NetworkReport {
 }
 
 impl NetworkReport {
+    /// Assembles the report from per-layer reports in network order: totals
+    /// reduced in layer order, energies summed, end-to-end seconds at the
+    /// given clock. Both [`Accelerator::analyze_network`] and
+    /// `sweep_archs_network` build their reports through this constructor,
+    /// so the sweep's aggregation cannot drift from the serial oracle's.
+    ///
+    /// [`Accelerator::analyze_network`]: crate::Accelerator::analyze_network
+    #[must_use]
+    pub fn from_layer_reports(network: &str, layers: Vec<LayerReport>, core_freq_hz: f64) -> Self {
+        let totals = layers
+            .iter()
+            .map(|l| l.stats)
+            .reduce(|a, b| a.combined(&b))
+            .unwrap_or_default();
+        let energy = layers.iter().map(|l| l.energy).sum();
+        let seconds = totals.seconds(core_freq_hz);
+        NetworkReport {
+            network: network.to_string(),
+            layers,
+            totals,
+            energy,
+            seconds,
+        }
+    }
+
     /// Total MACs over all layers.
     #[must_use]
     pub fn total_macs(&self) -> u64 {

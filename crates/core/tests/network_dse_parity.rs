@@ -1,0 +1,131 @@
+//! Network-mode DSE acceptance properties:
+//!
+//! * **Parity** — [`sweep_archs_network`]'s per-candidate results must be
+//!   bit-identical (at the serialized-report level, which is what reaches
+//!   the wire) to the serial per-candidate
+//!   [`Accelerator::analyze_network`] oracle loop, for random small
+//!   networks × random valid candidate grids — including candidates that
+//!   cannot run a layer, whose typed error must match the oracle's.
+//! * **Enumeration-order independence** — shuffling and duplicating the
+//!   candidate list never changes a single byte of the ordered results.
+
+use clb_core::{sweep_archs_network, Accelerator, ArchConfig};
+use conv_model::workloads::Network;
+use conv_model::ConvLayer;
+use proptest::prelude::*;
+
+/// Random small networks: 1–3 square layers whose geometry keeps debug
+/// builds fast, stitched into a [`Network`] the way the named workloads
+/// are.
+fn network_strategy() -> impl Strategy<Value = Network> {
+    let layer = (
+        1usize..=2,  // batch
+        4usize..=24, // out channels
+        6usize..=18, // output size
+        1usize..=8,  // in channels
+        1usize..=3,  // kernel
+        1usize..=2,  // stride
+    )
+        .prop_filter_map("valid layer", |(b, co, size, ci, k, s)| {
+            ConvLayer::square(b, co, size, ci, k, s).ok()
+        });
+    prop::collection::vec(layer, 1..=3).prop_map(|layers| {
+        Network::new(
+            "prop-net",
+            layers
+                .into_iter()
+                .enumerate()
+                .map(|(i, l)| (format!("conv{i}"), l))
+                .collect(),
+        )
+    })
+}
+
+/// Random structurally-valid candidates around the Table I design space;
+/// small IGBuf choices deliberately include values that make some layers
+/// infeasible, so the error path is exercised too.
+fn candidate_strategy() -> impl Strategy<Value = ArchConfig> {
+    (
+        0usize..4, // pe_rows in {8,16,24,32}
+        0usize..2, // pe_cols in {8,16}
+        0usize..2, // groups in {2,4}
+        0usize..3, // lreg in {32,64,128}
+        0usize..4, // igbuf in {8,512,1024,2048}
+        0usize..2, // wgbuf in {128,256}
+    )
+        .prop_map(|(pr, pc, g, lr, ig, wg)| {
+            let group = [2usize, 4][g];
+            ArchConfig {
+                pe_rows: [8usize, 16, 24, 32][pr],
+                pe_cols: [8usize, 16][pc],
+                group_rows: group,
+                group_cols: group,
+                lreg_entries_per_pe: [32usize, 64, 128][lr],
+                igbuf_entries: [8usize, 512, 1024, 2048][ig],
+                wgbuf_entries: [128usize, 256][wg],
+                ..ArchConfig::implementation(1)
+            }
+        })
+}
+
+/// The serialized form of one sweep, in canonical order — byte equality of
+/// this string is exactly wire-level bit identity.
+fn rendered(sweep: &[clb_core::ArchSweepEntry<clb_core::NetworkReport>]) -> String {
+    sweep
+        .iter()
+        .map(|entry| match &entry.outcome {
+            Ok(report) => format!(
+                "{}=>{}",
+                serde_json::to_string_pretty(&entry.arch).unwrap(),
+                serde_json::to_string_pretty(report).unwrap()
+            ),
+            Err(e) => format!(
+                "{}=>error:{e}",
+                serde_json::to_string_pretty(&entry.arch).unwrap()
+            ),
+        })
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// The acceptance oracle: sweep results == serial per-candidate
+    /// `analyze_network`, bit-identical at the serialized level.
+    #[test]
+    fn network_sweep_matches_serial_oracle(
+        net in network_strategy(),
+        candidates in prop::collection::vec(candidate_strategy(), 1..=4),
+    ) {
+        let sweep = sweep_archs_network(&net, &candidates);
+        prop_assert!(!sweep.is_empty());
+        for entry in &sweep {
+            let oracle = Accelerator::new(entry.arch).analyze_network(&net);
+            match (&entry.outcome, &oracle) {
+                (Ok(a), Ok(b)) => prop_assert_eq!(
+                    serde_json::to_string_pretty(a).unwrap(),
+                    serde_json::to_string_pretty(b).unwrap(),
+                    "sweep report must be bit-identical to analyze_network"
+                ),
+                (Err(a), Err(b)) => prop_assert_eq!(a, b),
+                (a, b) => panic!("sweep {a:?} disagrees with oracle {b:?}"),
+            }
+        }
+    }
+
+    /// Shuffled (and duplicated) candidate lists produce identical ordered
+    /// results, byte for byte.
+    #[test]
+    fn network_sweep_is_enumeration_order_independent(
+        net in network_strategy(),
+        candidates in prop::collection::vec(candidate_strategy(), 2..=4),
+    ) {
+        let forward = sweep_archs_network(&net, &candidates);
+        let mut shuffled = candidates.clone();
+        shuffled.reverse();
+        shuffled.extend(candidates); // every candidate twice
+        let reversed = sweep_archs_network(&net, &shuffled);
+        prop_assert_eq!(rendered(&forward), rendered(&reversed));
+    }
+}

@@ -11,6 +11,7 @@
 
 use accel_sim::{ArchConfig, DramConfig, SimStats};
 use clb_core::{Accelerator, LayerReport, NetworkReport, OnChipMemory};
+use conv_model::workloads::Network;
 use conv_model::{workloads, ConvLayer};
 use dataflow::{found_minimum, search_dataflow, DataflowChoice, DataflowKind, Tiling};
 use serde::{Deserialize, Serialize, Value};
@@ -570,6 +571,30 @@ pub fn simulate_response(v: &Value) -> Result<String, ApiError> {
     }
 }
 
+/// Builds the named workload at the given batch — the network vocabulary
+/// shared by `/v1/network` and network-mode `/v1/dse` (and their CLI
+/// mirrors), so the two endpoints can never accept different model names.
+///
+/// # Errors
+///
+/// [`ApiError::Unprocessable`] on an unknown name or an out-of-limit batch.
+pub fn network_by_name(name: &str, batch: usize) -> Result<Network, ApiError> {
+    if !(1..=limits::MAX_BATCH).contains(&batch) {
+        return Err(ApiError::Unprocessable(format!(
+            "batch must be 1..={}",
+            limits::MAX_BATCH
+        )));
+    }
+    match name {
+        "vgg16" => Ok(workloads::vgg16(batch)),
+        "alexnet" => Ok(workloads::alexnet(batch)),
+        "resnet50" => Ok(workloads::resnet50(batch)),
+        other => Err(ApiError::Unprocessable(format!(
+            "unknown network `{other}` (vgg16|alexnet|resnet50)"
+        ))),
+    }
+}
+
 /// Handles `POST /v1/network` — whole-network analysis; the body is exactly
 /// the [`NetworkReport`] JSON that `clb network --json` prints.
 ///
@@ -580,6 +605,9 @@ pub fn simulate_response(v: &Value) -> Result<String, ApiError> {
 pub fn network_response(v: &Value) -> Result<String, ApiError> {
     let name: String = optional(v, "net", "vgg16".to_string())?;
     let batch: usize = optional(v, "batch", 3)?;
+    // Pre-existing 4xx precedence, pinned by clients: batch range first,
+    // then the arch object, then the network name (network_by_name
+    // re-checks the batch, harmlessly).
     if !(1..=limits::MAX_BATCH).contains(&batch) {
         return Err(ApiError::Unprocessable(format!(
             "batch must be 1..={}",
@@ -587,16 +615,7 @@ pub fn network_response(v: &Value) -> Result<String, ApiError> {
         )));
     }
     let choice = parse_arch_choice(v)?;
-    let net = match name.as_str() {
-        "vgg16" => workloads::vgg16(batch),
-        "alexnet" => workloads::alexnet(batch),
-        "resnet50" => workloads::resnet50(batch),
-        other => {
-            return Err(ApiError::Unprocessable(format!(
-                "unknown network `{other}` (vgg16|alexnet|resnet50)"
-            )))
-        }
-    };
+    let net = network_by_name(&name, batch)?;
     // The body is the bare `NetworkReport` either way (it never echoed the
     // implementation index), so preset requests keep their exact bytes.
     let report: NetworkReport = Accelerator::new(choice.arch())
@@ -644,6 +663,143 @@ pub struct DseResponse {
     pub results: Vec<DseEntry>,
 }
 
+/// One candidate's entry in a [`DseNetworkResponse`]: the architecture plus
+/// either the full per-network report (per-layer plans, simulated
+/// cycles/traffic/utilization and aggregated totals — exactly what
+/// `/v1/network` returns for this `arch`) or the typed reason the candidate
+/// cannot run the model.
+#[derive(Debug, Clone, Serialize)]
+pub struct DseNetworkEntry {
+    /// The evaluated candidate architecture.
+    pub arch: ArchConfig,
+    /// Total execution cycles over all layers, `null` when infeasible.
+    pub total_cycles: Option<u64>,
+    /// End-to-end execution time at the candidate's core clock, `null`
+    /// when infeasible.
+    pub seconds: Option<f64>,
+    /// The full network report — exactly what `/v1/network` returns for
+    /// this `arch` — or `null` when infeasible.
+    pub report: Option<NetworkReport>,
+    /// Why the candidate cannot run the model, `null` when feasible.
+    pub error: Option<String>,
+}
+
+/// Network-mode `POST /v1/dse` — a capped candidate-architecture sweep over
+/// a full model (`"target": {"network": ...}` instead of layer fields).
+///
+/// Same contract as layer mode: duplicates collapse, results are sorted by
+/// the canonical `(feasible, total cycles, DRAM words, architecture order)`
+/// key, and each candidate's report is bit-identical to the serial
+/// `/v1/network` response for that architecture.
+#[derive(Debug, Clone, Serialize)]
+pub struct DseNetworkResponse {
+    /// The analyzed model's display name (as `/v1/network` echoes it).
+    pub network: String,
+    /// The analyzed batch size.
+    pub batch: usize,
+    /// Candidates named by the request (before deduplication).
+    pub submitted: usize,
+    /// Distinct candidates evaluated.
+    pub unique: usize,
+    /// How many candidates can run the model.
+    pub feasible: usize,
+    /// Per-candidate results, canonically ordered.
+    pub results: Vec<DseNetworkEntry>,
+}
+
+/// What a `/v1/dse` request sweeps its candidates over: one layer (the
+/// layer-spec fields at the top level, the original mode) or a full model
+/// (`"target": {"network": "vgg16", "batch": 3}`).
+#[derive(Debug, Clone)]
+pub enum DseTarget {
+    /// A single layer, from the usual top-level layer-spec fields.
+    Layer(ConvLayer),
+    /// A named full model at a batch size.
+    Network {
+        /// The workload (see [`network_by_name`]).
+        net: Network,
+        /// The analyzed batch size (echoed in the response).
+        batch: usize,
+    },
+}
+
+/// Parses the sweep target of a `/v1/dse` request: the `target` object when
+/// present, the top-level layer-spec fields otherwise. Mixing the two is
+/// rejected — a request that names a network *and* spells out layer fields
+/// is ambiguous about what it wants swept.
+fn parse_dse_target(v: &Value) -> Result<DseTarget, ApiError> {
+    let target = get_field(v, "target")?.filter(|f| !matches!(f, Value::Null));
+    let Some(t) = target else {
+        return Ok(DseTarget::Layer(LayerSpec::from_value(v)?.to_layer()?));
+    };
+    for name in ["co", "size", "ci", "k", "stride", "batch"] {
+        if !matches!(get_field(v, name)?, None | Some(Value::Null)) {
+            return Err(ApiError::BadRequest(format!(
+                "specify either `target` or the layer field `{name}`, not both"
+            )));
+        }
+    }
+    let Value::Object(fields) = t else {
+        return Err(ApiError::BadRequest(
+            "`target` must be a JSON object".to_string(),
+        ));
+    };
+    // A typoed field would silently sweep the default model — reject it.
+    for (key, _) in fields {
+        if key != "network" && key != "batch" {
+            return Err(ApiError::BadRequest(format!(
+                "unknown target field `{key}` (expected network, batch)"
+            )));
+        }
+    }
+    let name: String = require(t, "network")?;
+    let batch: usize = optional(t, "batch", 3)?;
+    let net = network_by_name(&name, batch)?;
+    Ok(DseTarget::Network { net, batch })
+}
+
+/// The network-mode sweep behind `/v1/dse`, exposed so `clb dse --net`
+/// renders the byte-identical structure: evaluates the (already validated)
+/// candidates through [`clb_core::sweep_archs_network`] — deduplicated,
+/// `(candidate × layer)` thread-fanned, plan-cache amortized — and shapes
+/// the canonical response.
+#[must_use]
+pub fn dse_network_results(
+    net: &Network,
+    batch: usize,
+    submitted: usize,
+    archs: &[ArchConfig],
+) -> DseNetworkResponse {
+    let entries = clb_core::sweep_archs_network(net, archs);
+    let results: Vec<DseNetworkEntry> = entries
+        .into_iter()
+        .map(|e| match e.outcome {
+            Ok(report) => DseNetworkEntry {
+                arch: e.arch,
+                total_cycles: Some(report.totals.total_cycles()),
+                seconds: Some(report.seconds),
+                report: Some(report),
+                error: None,
+            },
+            Err(err) => DseNetworkEntry {
+                arch: e.arch,
+                total_cycles: None,
+                seconds: None,
+                report: None,
+                error: Some(err.to_string()),
+            },
+        })
+        .collect();
+    DseNetworkResponse {
+        network: net.name().to_string(),
+        batch,
+        submitted,
+        unique: results.len(),
+        feasible: results.iter().filter(|r| r.report.is_some()).count(),
+        results,
+    }
+}
+
 /// The grid axes `/v1/dse` accepts (every sized `ArchConfig` field, in
 /// [`archs_from_axes`] order); the clock and DRAM model come from the
 /// grid's `base`.
@@ -674,7 +830,18 @@ pub fn archs_from_axes(
     axes: &[Vec<usize>; 9],
     base: &ArchConfig,
 ) -> Result<Vec<ArchConfig>, ApiError> {
-    let points = dataflow::grid_points(axes, limits::MAX_DSE_CANDIDATES)
+    archs_from_axes_capped(axes, base, limits::MAX_DSE_CANDIDATES)
+}
+
+/// [`archs_from_axes`] with an explicit candidate budget — when a request
+/// also carries an explicit `candidates` list, the grid only gets whatever
+/// the list left under [`limits::MAX_DSE_CANDIDATES`].
+fn archs_from_axes_capped(
+    axes: &[Vec<usize>; 9],
+    base: &ArchConfig,
+    cap: usize,
+) -> Result<Vec<ArchConfig>, ApiError> {
+    let points = dataflow::grid_points(axes, cap)
         .map_err(|e| ApiError::Unprocessable(format!("grid: {e}")))?;
     points
         .into_iter()
@@ -701,7 +868,7 @@ pub fn archs_from_axes(
         .collect()
 }
 
-fn archs_from_grid(grid: &Value) -> Result<Vec<ArchConfig>, ApiError> {
+fn archs_from_grid(grid: &Value, cap: usize) -> Result<Vec<ArchConfig>, ApiError> {
     let Value::Object(fields) = grid else {
         return Err(ApiError::BadRequest(
             "`grid` must be a JSON object of axis lists".to_string(),
@@ -741,47 +908,54 @@ fn archs_from_grid(grid: &Value) -> Result<Vec<ArchConfig>, ApiError> {
             }
         }
     }
-    archs_from_axes(&axes, &base)
+    archs_from_axes_capped(&axes, &base, cap)
 }
 
-/// Parses the candidate set of a `/v1/dse` request: exactly one of
-/// `candidates` (explicit list of arch objects) or `grid` (axis lists over
-/// a `base` architecture), capped at [`limits::MAX_DSE_CANDIDATES`].
+fn archs_from_explicit_list(list: &Value) -> Result<Vec<ArchConfig>, ApiError> {
+    let items = list.as_array().map_err(|_| {
+        ApiError::BadRequest("`candidates` must be an array of arch objects".to_string())
+    })?;
+    if items.is_empty() {
+        return Err(ApiError::Unprocessable(
+            "`candidates` must name at least one architecture".to_string(),
+        ));
+    }
+    if items.len() > limits::MAX_DSE_CANDIDATES {
+        return Err(ApiError::Unprocessable(format!(
+            "{} candidates exceed the {} cap",
+            items.len(),
+            limits::MAX_DSE_CANDIDATES
+        )));
+    }
+    items
+        .iter()
+        .enumerate()
+        .map(|(i, item)| arch_from_value(item).map_err(|e| e.prefixed(&format!("candidates[{i}]"))))
+        .collect()
+}
+
+/// Parses the candidate set of a `/v1/dse` request: an explicit
+/// `candidates` list of arch objects, a `grid` of axis lists over a `base`
+/// architecture, or **both** — the union, with the grid's budget reduced by
+/// the list's length so the combined request stays under
+/// [`limits::MAX_DSE_CANDIDATES`]. A candidate named by both forms is one
+/// candidate: the sweep dedups by the architecture's total order, so it is
+/// planned and simulated exactly once.
 fn parse_dse_candidates(v: &Value) -> Result<Vec<ArchConfig>, ApiError> {
     let explicit = get_field(v, "candidates")?.filter(|f| !matches!(f, Value::Null));
     let grid = get_field(v, "grid")?.filter(|f| !matches!(f, Value::Null));
     match (explicit, grid) {
-        (Some(_), Some(_)) => Err(ApiError::BadRequest(
-            "specify either `candidates` or `grid`, not both".to_string(),
-        )),
         (None, None) => Err(ApiError::BadRequest(
             "missing `candidates` (list of arch objects) or `grid` (axis lists)".to_string(),
         )),
-        (Some(list), None) => {
-            let items = list.as_array().map_err(|_| {
-                ApiError::BadRequest("`candidates` must be an array of arch objects".to_string())
-            })?;
-            if items.is_empty() {
-                return Err(ApiError::Unprocessable(
-                    "`candidates` must name at least one architecture".to_string(),
-                ));
-            }
-            if items.len() > limits::MAX_DSE_CANDIDATES {
-                return Err(ApiError::Unprocessable(format!(
-                    "{} candidates exceed the {} cap",
-                    items.len(),
-                    limits::MAX_DSE_CANDIDATES
-                )));
-            }
-            items
-                .iter()
-                .enumerate()
-                .map(|(i, item)| {
-                    arch_from_value(item).map_err(|e| e.prefixed(&format!("candidates[{i}]")))
-                })
-                .collect()
+        (Some(list), None) => archs_from_explicit_list(list),
+        (None, Some(g)) => archs_from_grid(g, limits::MAX_DSE_CANDIDATES),
+        (Some(list), Some(g)) => {
+            let mut archs = archs_from_explicit_list(list)?;
+            let remaining = limits::MAX_DSE_CANDIDATES - archs.len();
+            archs.extend(archs_from_grid(g, remaining)?);
+            Ok(archs)
         }
-        (None, Some(g)) => archs_from_grid(g),
     }
 }
 
@@ -820,19 +994,26 @@ pub fn dse_results(layer: &ConvLayer, submitted: usize, archs: &[ArchConfig]) ->
     }
 }
 
-/// Handles `POST /v1/dse`.
+/// Handles `POST /v1/dse` — layer mode (top-level layer-spec fields) or
+/// network mode (`"target": {"network": ..., "batch": ...}`).
 ///
 /// # Errors
 ///
-/// [`ApiError::BadRequest`] on malformed bodies (neither/both of
-/// `candidates`/`grid`, ill-typed fields, unknown grid axes);
-/// [`ApiError::Unprocessable`] on out-of-limit layers, over-cap candidate
-/// counts and invalid candidate architectures (naming the candidate and
-/// the violated invariant).
+/// [`ApiError::BadRequest`] on malformed bodies (neither of
+/// `candidates`/`grid`, ill-typed fields, unknown grid axes, `target`
+/// mixed with layer fields); [`ApiError::Unprocessable`] on out-of-limit
+/// layers/batches, unknown network names, over-cap candidate counts and
+/// invalid candidate architectures (naming the candidate and the violated
+/// invariant).
 pub fn dse_response(v: &Value) -> Result<String, ApiError> {
-    let layer = LayerSpec::from_value(v)?.to_layer()?;
+    let target = parse_dse_target(v)?;
     let archs = parse_dse_candidates(v)?;
-    render(&dse_results(&layer, archs.len(), &archs))
+    match target {
+        DseTarget::Layer(layer) => render(&dse_results(&layer, archs.len(), &archs)),
+        DseTarget::Network { net, batch } => {
+            render(&dse_network_results(&net, batch, archs.len(), &archs))
+        }
+    }
 }
 
 /// Routes one parsed POST body to its endpoint handler and renders the

@@ -107,8 +107,11 @@
 //! configuration.
 //!
 //! `POST /v1/dse` sweeps a capped set of candidate architectures (explicit
-//! `candidates` list or a `grid` of axis values over a `base`) over one
-//! layer, fanning candidates across the worker pool with planning
+//! `candidates` list, a `grid` of axis values over a `base`, or the
+//! deduplicated union of both) over one layer — or, with
+//! `"target": {"network": ...}`, over a **full model**, producing one
+//! `/v1/network`-identical report per candidate. Work fans across the
+//! worker pool (`(candidate × layer)` units in network mode) with planning
 //! amortized by the `(layer, arch)` plan cache; results are canonically
 //! ordered (feasible first by cycles, traffic, then the architecture's
 //! total order), so the response does not depend on candidate enumeration
@@ -118,10 +121,14 @@
 //! curl -s -X POST http://127.0.0.1:8080/v1/dse \
 //!      -d '{"co":512,"size":28,"ci":256,
 //!           "grid":{"pe_rows":[16,24,32],"lreg_entries_per_pe":[64,128]}}'
+//! curl -s -X POST http://127.0.0.1:8080/v1/dse \
+//!      -d '{"target":{"network":"vgg16","batch":3},
+//!           "grid":{"pe_rows":[16,24,32]}}'
 //! ```
 //!
 //! See `docs/API.md` for the full `arch` schema, the caps and the
-//! request/response formats.
+//! request/response formats, and `docs/TESTING.md` for the golden
+//! regression corpus that pins every endpoint's wire bytes.
 //!
 //! Watch the caches work (numbers are cumulative since server start):
 //!
@@ -176,8 +183,9 @@ pub mod pool;
 mod server;
 
 pub use api::{
-    arch_from_value, dse_results, ApiError, ArchChoice, ArchPlanResponse, ArchSimulateResponse,
-    BoundResponse, DseEntry, DseResponse, LayerSpec, PlanResponse, SimulateResponse, SweepEntry,
+    arch_from_value, dse_network_results, dse_results, network_by_name, ApiError, ArchChoice,
+    ArchPlanResponse, ArchSimulateResponse, BoundResponse, DseEntry, DseNetworkEntry,
+    DseNetworkResponse, DseResponse, LayerSpec, PlanResponse, SimulateResponse, SweepEntry,
     SweepResponse,
 };
 pub use http::{HttpError, Request, Response};

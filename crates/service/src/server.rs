@@ -317,8 +317,10 @@ impl ServiceState {
             }
         }
         // The response cache is bounded by *entry count*, so one oversized
-        // body class (a 256-candidate `/v1/dse` sweep runs to ~0.6 MB)
-        // could otherwise pin cache_capacity × body_size of memory. Bodies
+        // body class (a 256-candidate `/v1/dse` sweep runs to ~0.6 MB;
+        // network-mode sweeps ~30 KB *per candidate*, so whole-model
+        // sweeps beyond a handful of candidates also land here) could
+        // otherwise pin cache_capacity × body_size of memory. Bodies
         // beyond this bound recompute instead — their expensive part (the
         // per-arch planning) is already memoized underneath, and identical
         // concurrent requests still coalesce.

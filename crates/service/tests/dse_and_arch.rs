@@ -350,11 +350,33 @@ fn dse_request_validation() {
     let resp = api::dispatch("/v1/dse", &obj(base()));
     assert_eq!(resp.status, 400, "{}", resp.body);
     assert!(resp.body.contains("candidates"), "{}", resp.body);
-    // Both → 400.
+    // Both forms together: the union, deduped — the explicit empty object
+    // is implementation 1, which the grid also names via pe_rows 16.
     let mut fields = base();
     fields.push(("candidates", Value::Array(vec![obj(vec![])])));
-    fields.push(("grid", obj(vec![])));
-    assert_eq!(api::dispatch("/v1/dse", &obj(fields)).status, 400);
+    fields.push((
+        "grid",
+        obj(vec![("pe_rows", Value::Array(vec![num(16.0), num(32.0)]))]),
+    ));
+    let resp = api::dispatch("/v1/dse", &obj(fields));
+    assert_eq!(resp.status, 200, "{}", resp.body);
+    let v: Value = serde_json::from_str(&resp.body).unwrap();
+    assert_eq!(v.get_field("submitted").unwrap().as_number().unwrap(), 3.0);
+    assert_eq!(v.get_field("unique").unwrap().as_number().unwrap(), 2.0);
+    // The combined request shares one cap: a grid that would fit alone is
+    // refused when the explicit list has already spent the budget.
+    let mut fields = base();
+    fields.push((
+        "candidates",
+        Value::Array(vec![obj(vec![]); limits::MAX_DSE_CANDIDATES]),
+    ));
+    fields.push((
+        "grid",
+        obj(vec![("pe_rows", Value::Array(vec![num(16.0)]))]),
+    ));
+    let resp = api::dispatch("/v1/dse", &obj(fields));
+    assert_eq!(resp.status, 422, "{}", resp.body);
+    assert!(resp.body.contains("cap"), "{}", resp.body);
     // Over-cap explicit list → 422 naming the cap.
     let mut fields = base();
     fields.push((
@@ -399,6 +421,191 @@ fn dse_request_validation() {
     let resp = api::dispatch("/v1/dse", &obj(fields));
     assert_eq!(resp.status, 422, "{}", resp.body);
     assert!(resp.body.contains("divide"), "{}", resp.body);
+}
+
+fn network_target(net: &str, batch: f64) -> (&'static str, Value) {
+    (
+        "target",
+        obj(vec![
+            ("network", Value::String(net.to_string())),
+            ("batch", num(batch)),
+        ]),
+    )
+}
+
+/// The network-mode acceptance oracle: every candidate's `report` in a
+/// `"target": {"network": ...}` sweep must be bit-identical to the serial
+/// `/v1/network` response for that architecture, and infeasible candidates
+/// must carry the exact diagnosis `/v1/network` would 422 with.
+#[test]
+fn network_mode_dse_matches_serial_network_oracle() {
+    let candidates = vec![
+        obj(vec![]), // implementation 1
+        obj(vec![
+            ("pe_rows", num(8.0)),
+            ("pe_cols", num(8.0)),
+            ("group_rows", num(2.0)),
+            ("group_cols", num(2.0)),
+        ]),
+        // Valid config, but one AlexNet window overflows its IGBuf: the
+        // error-path parity.
+        obj(vec![("igbuf_entries", num(2.0))]),
+    ];
+    let body = obj(vec![
+        network_target("alexnet", 1.0),
+        ("candidates", Value::Array(candidates.clone())),
+    ]);
+    let raw = api::dse_response(&body).expect("valid network-mode request");
+    let dse: Value = serde_json::from_str(&raw).unwrap();
+    assert_eq!(
+        dse.get_field("network").unwrap().as_str().unwrap(),
+        "AlexNet"
+    );
+    assert_eq!(dse.get_field("batch").unwrap().as_number().unwrap(), 1.0);
+    let results = dse.get_field("results").unwrap().as_array().unwrap();
+    assert_eq!(results.len(), 3);
+    let mut feasible = 0;
+    let mut infeasible = 0;
+    for entry in results {
+        let net_req = obj(vec![
+            ("net", Value::String("alexnet".to_string())),
+            ("batch", num(1.0)),
+            ("arch", entry.get_field("arch").unwrap().clone()),
+        ]);
+        match entry.get_field("error").unwrap() {
+            Value::Null => {
+                feasible += 1;
+                let oracle_raw = api::network_response(&net_req).expect("feasible candidate");
+                let oracle: Value = serde_json::from_str(&oracle_raw).unwrap();
+                assert_eq!(
+                    entry.get_field("report").unwrap(),
+                    &oracle,
+                    "dse network report must be bit-identical to /v1/network"
+                );
+                assert_eq!(
+                    entry
+                        .get_field("total_cycles")
+                        .unwrap()
+                        .as_number()
+                        .unwrap(),
+                    oracle
+                        .get_field("totals")
+                        .unwrap()
+                        .get_field("compute_cycles")
+                        .unwrap()
+                        .as_number()
+                        .unwrap()
+                        + oracle
+                            .get_field("totals")
+                            .unwrap()
+                            .get_field("stall_cycles")
+                            .unwrap()
+                            .as_number()
+                            .unwrap()
+                );
+                assert_eq!(
+                    entry.get_field("seconds").unwrap(),
+                    oracle.get_field("seconds").unwrap()
+                );
+            }
+            Value::String(reason) => {
+                infeasible += 1;
+                let err = api::network_response(&net_req).unwrap_err();
+                let api::ApiError::Unprocessable(msg) = err else {
+                    panic!("oracle failed differently: {err:?}");
+                };
+                assert_eq!(reason, &msg, "diagnoses must match /v1/network");
+            }
+            other => panic!("error must be null or string, got {other:?}"),
+        }
+    }
+    assert_eq!((feasible, infeasible), (2, 1));
+
+    // Enumeration-order independence at the wire level: shuffling (and
+    // duplicating) the candidate list changes `submitted` but nothing else.
+    let mut reversed = candidates;
+    reversed.reverse();
+    let body = obj(vec![
+        network_target("alexnet", 1.0),
+        ("candidates", Value::Array(reversed)),
+    ]);
+    let shuffled = api::dse_response(&body).unwrap();
+    assert_eq!(raw, shuffled, "responses must be byte-identical");
+}
+
+#[test]
+fn network_mode_dse_target_validation() {
+    let grid = || {
+        (
+            "grid",
+            obj(vec![("pe_rows", Value::Array(vec![num(16.0)]))]),
+        )
+    };
+    // Unknown network name → 422.
+    let resp = api::dispatch("/v1/dse", &obj(vec![network_target("lenet", 1.0), grid()]));
+    assert_eq!(resp.status, 422, "{}", resp.body);
+    assert!(resp.body.contains("lenet"), "{}", resp.body);
+    // Out-of-limit batch → 422.
+    let resp = api::dispatch(
+        "/v1/dse",
+        &obj(vec![network_target("alexnet", 0.0), grid()]),
+    );
+    assert_eq!(resp.status, 422, "{}", resp.body);
+    assert!(resp.body.contains("batch"), "{}", resp.body);
+    let resp = api::dispatch(
+        "/v1/dse",
+        &obj(vec![
+            network_target("alexnet", limits::MAX_BATCH as f64 + 1.0),
+            grid(),
+        ]),
+    );
+    assert_eq!(resp.status, 422, "{}", resp.body);
+    // Typoed target field → 400 naming it.
+    let resp = api::dispatch(
+        "/v1/dse",
+        &obj(vec![
+            (
+                "target",
+                obj(vec![("nettwork", Value::String("alexnet".to_string()))]),
+            ),
+            grid(),
+        ]),
+    );
+    assert_eq!(resp.status, 400, "{}", resp.body);
+    assert!(resp.body.contains("nettwork"), "{}", resp.body);
+    // target must be an object, and must name the network.
+    let resp = api::dispatch("/v1/dse", &obj(vec![("target", num(3.0)), grid()]));
+    assert_eq!(resp.status, 400, "{}", resp.body);
+    let resp = api::dispatch(
+        "/v1/dse",
+        &obj(vec![("target", obj(vec![("batch", num(1.0))])), grid()]),
+    );
+    assert_eq!(resp.status, 400, "{}", resp.body);
+    assert!(resp.body.contains("network"), "{}", resp.body);
+    // Mixing target with layer fields is ambiguous → 400.
+    let resp = api::dispatch(
+        "/v1/dse",
+        &obj(vec![
+            ("co", num(16.0)),
+            network_target("alexnet", 1.0),
+            grid(),
+        ]),
+    );
+    assert_eq!(resp.status, 400, "{}", resp.body);
+    assert!(resp.body.contains("either"), "{}", resp.body);
+    // Hostile arch inside a network-mode sweep: typed 4xx, never a panic.
+    let resp = api::dispatch(
+        "/v1/dse",
+        &obj(vec![
+            network_target("alexnet", 1.0),
+            (
+                "candidates",
+                Value::Array(vec![obj(vec![("pe_rows", num(0.0))])]),
+            ),
+        ]),
+    );
+    assert_eq!(resp.status, 422, "{}", resp.body);
+    assert!(resp.body.contains("non-empty"), "{}", resp.body);
 }
 
 #[test]

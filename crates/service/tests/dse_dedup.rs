@@ -1,0 +1,78 @@
+//! Pins the `/v1/dse` candidate-dedup fix: a candidate named by *both* the
+//! explicit `candidates` list and the `grid` expansion is one candidate —
+//! planned and simulated exactly once — with the process-wide plan-cache
+//! statistics as the witness.
+//!
+//! This file deliberately holds a single `#[test]`: integration-test files
+//! build into their own binary (own process), so nothing else touches the
+//! plan cache and the miss counter is an exact evaluation count rather
+//! than a lower bound.
+
+use clb_service::api;
+use serde::Value;
+
+fn obj(pairs: Vec<(&str, Value)>) -> Value {
+    Value::Object(pairs.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+}
+
+fn num(n: f64) -> Value {
+    Value::Number(n)
+}
+
+#[test]
+fn candidate_in_both_forms_is_evaluated_once() {
+    clb_core::clear_plan_cache();
+    let baseline = clb_core::plan_cache_stats();
+    assert_eq!(
+        (baseline.hits, baseline.misses),
+        (0, 0),
+        "fresh process, cleared cache"
+    );
+
+    // The explicit empty object *is* Table I implementation 1 (every arch
+    // field defaults to it), and the grid names implementation 1 again via
+    // pe_rows 16 alongside one genuinely new candidate (pe_rows 32).
+    let body = obj(vec![
+        ("co", num(24.0)),
+        ("size", num(10.0)),
+        ("ci", num(12.0)),
+        ("batch", num(1.0)),
+        ("candidates", Value::Array(vec![obj(vec![])])),
+        (
+            "grid",
+            obj(vec![("pe_rows", Value::Array(vec![num(16.0), num(32.0)]))]),
+        ),
+    ]);
+    let raw = api::dse_response(&body).expect("valid combined request");
+    let v: Value = serde_json::from_str(&raw).unwrap();
+    assert_eq!(
+        v.get_field("submitted").unwrap().as_number().unwrap(),
+        3.0,
+        "explicit list + grid points, before dedup"
+    );
+    assert_eq!(
+        v.get_field("unique").unwrap().as_number().unwrap(),
+        2.0,
+        "the duplicate across forms must collapse"
+    );
+    assert_eq!(v.get_field("results").unwrap().as_array().unwrap().len(), 2);
+
+    let stats = clb_core::plan_cache_stats();
+    assert_eq!(
+        stats.misses, 2,
+        "each distinct candidate planned exactly once; a third miss means \
+         the cross-form duplicate was evaluated twice: {stats:?}"
+    );
+    assert_eq!(
+        stats.hits, 0,
+        "nothing may even *look up* a duplicate plan: {stats:?}"
+    );
+
+    // Re-sweeping the identical request is all plan-cache hits — the warm
+    // path the dse_network bench gates.
+    let again = api::dse_response(&body).unwrap();
+    assert_eq!(raw, again, "responses must be byte-identical");
+    let warm = clb_core::plan_cache_stats();
+    assert_eq!(warm.misses, 2, "no new planning on a warm re-sweep");
+    assert_eq!(warm.hits, 2, "both candidates replanned from cache");
+}

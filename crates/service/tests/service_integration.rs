@@ -352,6 +352,97 @@ fn request_log_lines_have_the_pinned_shape() {
     assert!(lines[3].contains("status=404"), "{}", lines[3]);
 }
 
+/// Network-mode `/v1/dse` through the request log: the pinned line shape
+/// must hold for 200s *and* 422s, and the `cache=` field must report the
+/// real outcome — one `miss` leader per burst of identical concurrent
+/// sweeps, everyone else `coalesced` (or `hit` once the leader retired),
+/// and `miss` every time for uncacheable 422s.
+#[test]
+fn request_log_covers_network_mode_dse() {
+    let lines = std::sync::Arc::new(std::sync::Mutex::new(Vec::<String>::new()));
+    let sink_lines = std::sync::Arc::clone(&lines);
+    let config = ServiceConfig {
+        threads: 4,
+        log: Some(std::sync::Arc::new(move |line: &str| {
+            sink_lines.lock().unwrap().push(line.to_string());
+        })),
+        ..ServiceConfig::default()
+    };
+    let server = Server::spawn(config).expect("bind an ephemeral port");
+    let addr = server.addr();
+
+    // 422 path: a network-mode request naming an unknown model. Errors are
+    // never cached, so both issues must log cache=miss.
+    let hostile = "{\"target\":{\"network\":\"lenet\"},\"grid\":{\"pe_rows\":[16]}}";
+    for _ in 0..2 {
+        let (status, _) = request(addr, "POST", "/v1/dse", hostile);
+        assert_eq!(status, 422);
+    }
+
+    // 200 path: four identical whole-model sweeps fired together. The
+    // candidates are unique to this test, so the leader's cold planning
+    // (~hundreds of ms in debug builds) keeps the flight open while the
+    // followers arrive — they must share it, not recompute.
+    let sweep = "{\"target\":{\"network\":\"vgg16\",\"batch\":3},\
+                 \"grid\":{\"pe_rows\":[8,24],\"pe_cols\":[8]}}";
+    let barrier = std::sync::Barrier::new(4);
+    std::thread::scope(|scope| {
+        for _ in 0..4 {
+            scope.spawn(|| {
+                barrier.wait();
+                let (status, _) = request(addr, "POST", "/v1/dse", sweep);
+                assert_eq!(status, 200);
+            });
+        }
+    });
+    server.shutdown().unwrap();
+
+    let lines = lines.lock().unwrap();
+    assert_eq!(lines.len(), 6, "one line per completed request: {lines:?}");
+    // Every line keeps the pinned key order regardless of mode or status.
+    for line in lines.iter() {
+        let keys: Vec<&str> = line
+            .split(' ')
+            .map(|kv| kv.split_once('=').expect("key=value").0)
+            .collect();
+        assert_eq!(
+            keys,
+            ["method", "path", "status", "micros", "cache"],
+            "{line}"
+        );
+        assert!(line.contains("path=/v1/dse"), "{line}");
+    }
+    let count = |needle: &str| lines.iter().filter(|l| l.contains(needle)).count();
+    assert_eq!(count("status=422"), 2, "{lines:?}");
+    assert_eq!(count("status=200"), 4, "{lines:?}");
+    // Both 422s recomputed: error responses never enter the cache.
+    for line in lines.iter().filter(|l| l.contains("status=422")) {
+        assert!(line.ends_with("cache=miss"), "{line}");
+    }
+    // The burst shares one computation: exactly one miss; followers either
+    // coalesced onto the in-flight leader or (having arrived after it
+    // retired) hit the response cache it populated.
+    let ok_lines: Vec<&String> = lines.iter().filter(|l| l.contains("status=200")).collect();
+    assert_eq!(
+        ok_lines
+            .iter()
+            .filter(|l| l.ends_with("cache=miss"))
+            .count(),
+        1,
+        "{ok_lines:?}"
+    );
+    assert!(
+        ok_lines.iter().all(|l| l.ends_with("cache=miss")
+            || l.ends_with("cache=coalesced")
+            || l.ends_with("cache=hit")),
+        "{ok_lines:?}"
+    );
+    assert!(
+        ok_lines.iter().any(|l| l.ends_with("cache=coalesced")),
+        "identical concurrent sweeps must coalesce: {ok_lines:?}"
+    );
+}
+
 #[test]
 fn graceful_shutdown_joins_cleanly() {
     let server = spawn_server();

@@ -7,6 +7,7 @@
 //! clb simulate --co 512 --size 28 --ci 256 --tb 1 --tz 16 --ty 14 --tx 14 [--implem 1]
 //! clb network  --net vgg16|alexnet|resnet50 [--batch 3] [--implem 1] [--json]
 //! clb dse      --co 512 --size 28 --ci 256 [--pe-rows 16,24,32] [--lreg 64,128] ...
+//! clb dse      --net vgg16 [--batch 3] [--pe-rows 16,24,32] ...   # whole-model sweep
 //! clb serve    [--port 8080] [--threads 0] [--queue 256] [--result-cache 1024] [--log true]
 //! ```
 //!
@@ -338,29 +339,26 @@ fn get_list(
     }
 }
 
-/// `clb dse`: sweep a grid of candidate architectures over one layer (the
-/// CLI mirror of `POST /v1/dse`). The grid axes are comma-separated lists;
-/// unlisted axes stay at the base architecture (`--arch` JSON, default
-/// Table I implementation 1). `--json true` prints the identical structure
-/// the service returns.
+/// `clb dse`: sweep a grid of candidate architectures over one layer, or —
+/// with `--net` — over a full model (the CLI mirror of `POST /v1/dse` in
+/// both its modes). The grid axes are comma-separated lists; unlisted axes
+/// stay at the base architecture (`--arch` JSON, default Table I
+/// implementation 1). `--json true` prints the identical structure the
+/// service returns.
 fn cmd_dse(flags: &HashMap<String, String>) -> Result<(), String> {
+    if let Some(net) = flags.get("net") {
+        for conflicting in ["co", "size", "ci", "k", "stride"] {
+            if flags.contains_key(conflicting) {
+                return Err(format!(
+                    "specify either --net or the layer flag --{conflicting}, not both"
+                ));
+            }
+        }
+        return cmd_dse_network(net.clone(), flags);
+    }
     let layer = layer_from_flags(flags)?;
     let base = arch_from_flags(flags)?.unwrap_or_else(accel_sim::ArchConfig::example);
-    // Axis order is `api::GRID_AXES`; the expansion itself is shared with
-    // the service (`api::archs_from_axes`), so `clb dse` and `/v1/dse` can
-    // never disagree on which field an axis sweeps.
-    let axes: [Vec<usize>; 9] = [
-        get_list(flags, "pe-rows", base.pe_rows)?,
-        get_list(flags, "pe-cols", base.pe_cols)?,
-        get_list(flags, "group-rows", base.group_rows)?,
-        get_list(flags, "group-cols", base.group_cols)?,
-        get_list(flags, "lreg", base.lreg_entries_per_pe)?,
-        get_list(flags, "igbuf", base.igbuf_entries)?,
-        get_list(flags, "wgbuf", base.wgbuf_entries)?,
-        get_list(flags, "greg-bytes", base.greg_bytes)?,
-        get_list(flags, "greg-segment", base.greg_segment_entries)?,
-    ];
-    let archs = clb_service::api::archs_from_axes(&axes, &base).map_err(api_error_message)?;
+    let archs = grid_archs_from_flags(flags, &base)?;
     let response = clb_service::dse_results(&layer, archs.len(), &archs);
 
     if flags.get("json").is_some() {
@@ -375,30 +373,111 @@ fn cmd_dse(flags: &HashMap<String, String>) -> Result<(), String> {
         "layer: {layer} — {} candidates ({} distinct, {} feasible)\n",
         response.submitted, response.unique, response.feasible
     );
+    print_dse_header();
+    for entry in &response.results {
+        print_dse_row(
+            &entry.arch,
+            entry.report.as_ref().map(|report| {
+                (
+                    report.stats.total_cycles(),
+                    report.stats.dram.total_bytes() as f64 / 1e6,
+                    report.pj_per_mac(),
+                    report.stats.seconds(entry.arch.core_freq_hz) * 1e3,
+                )
+            }),
+            entry.error.as_deref(),
+        );
+    }
+    Ok(())
+}
+
+/// The `clb dse` results-table header — shared between layer and network
+/// modes so the two output formats cannot drift.
+fn print_dse_header() {
     println!(
-        "{:<10} {:>8} {:>10} {:>12} {:>10} {:>9}",
+        "{:<10} {:>8} {:>12} {:>12} {:>10} {:>9}",
         "PEs", "eff KiB", "cycles", "DRAM (MB)", "pJ/MAC", "time(ms)"
     );
+}
+
+/// One `clb dse` results-table row: `(cycles, DRAM MB, pJ/MAC, ms)` for a
+/// feasible candidate, the diagnosis otherwise.
+fn print_dse_row(
+    arch: &accel_sim::ArchConfig,
+    stats: Option<(u64, f64, f64, f64)>,
+    error: Option<&str>,
+) {
+    let pes = format!("{}x{}", arch.pe_rows, arch.pe_cols);
+    let eff = arch.effective_onchip_bytes() as f64 / 1024.0;
+    match stats {
+        Some((cycles, dram_mb, pj_per_mac, ms)) => println!(
+            "{pes:<10} {eff:>8.1} {cycles:>12} {dram_mb:>12.2} {pj_per_mac:>10.2} {ms:>9.2}"
+        ),
+        None => println!(
+            "{pes:<10} {eff:>8.1} infeasible: {}",
+            error.unwrap_or("unknown")
+        ),
+    }
+}
+
+/// Expands the `clb dse` grid flags into validated candidates. Axis order
+/// is `api::GRID_AXES`; the expansion itself is shared with the service
+/// (`api::archs_from_axes`), so `clb dse` and `/v1/dse` can never disagree
+/// on which field an axis sweeps.
+fn grid_archs_from_flags(
+    flags: &HashMap<String, String>,
+    base: &accel_sim::ArchConfig,
+) -> Result<Vec<accel_sim::ArchConfig>, String> {
+    let axes: [Vec<usize>; 9] = [
+        get_list(flags, "pe-rows", base.pe_rows)?,
+        get_list(flags, "pe-cols", base.pe_cols)?,
+        get_list(flags, "group-rows", base.group_rows)?,
+        get_list(flags, "group-cols", base.group_cols)?,
+        get_list(flags, "lreg", base.lreg_entries_per_pe)?,
+        get_list(flags, "igbuf", base.igbuf_entries)?,
+        get_list(flags, "wgbuf", base.wgbuf_entries)?,
+        get_list(flags, "greg-bytes", base.greg_bytes)?,
+        get_list(flags, "greg-segment", base.greg_segment_entries)?,
+    ];
+    clb_service::api::archs_from_axes(&axes, base).map_err(api_error_message)
+}
+
+/// The network mode of `clb dse` (`--net vgg16|alexnet|resnet50`): the same
+/// candidate grid, evaluated per candidate over the *whole model* — the CLI
+/// mirror of `/v1/dse` with `"target": {"network": ...}`.
+fn cmd_dse_network(net_name: String, flags: &HashMap<String, String>) -> Result<(), String> {
+    let batch: usize = get(flags, "batch", 3)?;
+    let net = clb_service::network_by_name(&net_name, batch).map_err(api_error_message)?;
+    let base = arch_from_flags(flags)?.unwrap_or_else(accel_sim::ArchConfig::example);
+    let archs = grid_archs_from_flags(flags, &base)?;
+    let response = clb_service::dse_network_results(&net, batch, archs.len(), &archs);
+
+    if flags.get("json").is_some() {
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&response).map_err(|e| e.to_string())?
+        );
+        return Ok(());
+    }
+
+    println!(
+        "{} (batch {batch}) — {} candidates ({} distinct, {} feasible)\n",
+        response.network, response.submitted, response.unique, response.feasible
+    );
+    print_dse_header();
     for entry in &response.results {
-        let pes = format!("{}x{}", entry.arch.pe_rows, entry.arch.pe_cols);
-        let eff = entry.arch.effective_onchip_bytes() as f64 / 1024.0;
-        match &entry.report {
-            Some(report) => println!(
-                "{:<10} {:>8.1} {:>10} {:>12.2} {:>10.2} {:>9.2}",
-                pes,
-                eff,
-                report.stats.total_cycles(),
-                report.stats.dram.total_bytes() as f64 / 1e6,
-                report.pj_per_mac(),
-                report.stats.seconds(entry.arch.core_freq_hz) * 1e3,
-            ),
-            None => println!(
-                "{:<10} {:>8.1} infeasible: {}",
-                pes,
-                eff,
-                entry.error.as_deref().unwrap_or("unknown")
-            ),
-        }
+        print_dse_row(
+            &entry.arch,
+            entry.report.as_ref().map(|report| {
+                (
+                    report.totals.total_cycles(),
+                    report.totals.dram.total_bytes() as f64 / 1e6,
+                    report.pj_per_mac(),
+                    report.seconds * 1e3,
+                )
+            }),
+            entry.error.as_deref(),
+        );
     }
     Ok(())
 }
@@ -440,6 +519,8 @@ fn usage() -> &'static str {
      clb dse      --co 512 --size 28 --ci 256 [--pe-rows 16,24,32] [--pe-cols ...]\n\
      \\            [--group-rows ...] [--group-cols ...] [--lreg 64,128] [--igbuf ...]\n\
      \\            [--wgbuf ...] [--greg-bytes ...] [--greg-segment ...] [--json true]\n\
+     clb dse      --net vgg16|alexnet|resnet50 [--batch 3] [--pe-rows 16,24,32] ...\n\
+     \\            (network mode: each candidate evaluated over the whole model)\n\
      clb serve    [--port 8080] [--threads 0] [--queue 256] [--result-cache 1024]\n\
      \\            [--search-cache 65536] [--max-body 1048576] [--log true]\n\
      \n\
@@ -678,6 +759,23 @@ mod tests {
             .concat(),
         );
         assert!(cmd_dse(&over).unwrap_err().contains("cap"));
+    }
+
+    #[test]
+    fn dse_network_mode_sweeps_a_model_and_validates_flags() {
+        // resnet_bottleneck is not exposed over the name vocabulary, so the
+        // cheapest real model is alexnet at batch 1.
+        let ok = flags(&[("net", "alexnet"), ("batch", "1"), ("pe-rows", "16,32")]);
+        cmd_dse(&ok).unwrap();
+        // Unknown model names are refused with the endpoint's vocabulary.
+        let bad = flags(&[("net", "lenet")]);
+        assert!(cmd_dse(&bad).unwrap_err().contains("vgg16"));
+        // Layer flags conflict with --net.
+        let mixed = flags(&[("net", "alexnet"), ("co", "16")]);
+        assert!(cmd_dse(&mixed).unwrap_err().contains("either"));
+        // Out-of-limit batches are refused.
+        let over = flags(&[("net", "alexnet"), ("batch", "9999")]);
+        assert!(cmd_dse(&over).unwrap_err().contains("batch"));
     }
 
     #[test]
