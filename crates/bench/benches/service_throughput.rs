@@ -15,11 +15,18 @@
 //! The run prints both rates and exits non-zero unless the service wins.
 //! It also asserts memory sanity under sustained load: every cache the
 //! service layers on top of the pipeline reports entries ≤ its bound.
+//!
+//! A second gate measures the keep-alive tier itself: ~1k concurrent
+//! clients issuing N requests each over **persistent** connections versus
+//! the same load opening a fresh connection per request. Keep-alive must
+//! win by ≥ 2× — the connection-amortization claim is measured, not
+//! assumed.
 
 use std::io::{Read, Write};
 use std::net::TcpStream;
 use std::time::{Duration, Instant};
 
+use clb_service::chaos::{request_bytes, ChaosClient};
 use clb_service::{api, CacheStatsResponse, Server, ServiceConfig};
 use serde::Value;
 
@@ -56,7 +63,7 @@ fn http_request(addr: std::net::SocketAddr, path: &str, body: &str) -> (u16, usi
     let mut stream = TcpStream::connect(addr).expect("connect");
     write!(
         stream,
-        "POST {path} HTTP/1.1\r\nHost: bench\r\nContent-Length: {}\r\n\r\n{body}",
+        "POST {path} HTTP/1.1\r\nHost: bench\r\nConnection: close\r\nContent-Length: {}\r\n\r\n{body}",
         body.len()
     )
     .expect("send");
@@ -87,6 +94,61 @@ fn service_warm(addr: std::net::SocketAddr, clients: usize, per_client: usize) -
                     let (status, len) = http_request(addr, ENDPOINT, body);
                     assert_eq!(status, 200);
                     assert!(len > 0);
+                }
+            });
+        }
+    });
+    start.elapsed()
+}
+
+/// The connection-lifecycle gate's request: `/healthz` isolates exactly
+/// the cost keep-alive removes (connection setup + per-connection server
+/// bookkeeping) from analysis compute, which both modes share equally.
+const LIFECYCLE_PATH: &str = "/healthz";
+
+/// `clients` concurrent peers, each issuing `per_client` requests over ONE
+/// persistent socket. Connections are established *before* the clock
+/// starts: the steady state being measured is reuse, and a deliberate
+/// connect storm would only flatter keep-alive further.
+fn persistent_connections(
+    addr: std::net::SocketAddr,
+    clients: usize,
+    per_client: usize,
+) -> Duration {
+    let mut sockets: Vec<ChaosClient> = (0..clients)
+        .map(|_| ChaosClient::connect(addr, Duration::from_secs(120)))
+        .collect();
+    let start = Instant::now();
+    std::thread::scope(|scope| {
+        for client in &mut sockets {
+            scope.spawn(move || {
+                for _ in 0..per_client {
+                    client
+                        .send_all(&request_bytes("GET", LIFECYCLE_PATH, "", true))
+                        .expect("send on persistent socket");
+                    let resp = client.read_response().expect("framed response");
+                    assert_eq!(resp.status, 200);
+                }
+            });
+        }
+    });
+    start.elapsed()
+}
+
+/// The same load, close-per-request: every request pays connect + accept +
+/// per-connection server setup + teardown.
+fn close_per_request(addr: std::net::SocketAddr, clients: usize, per_client: usize) -> Duration {
+    let start = Instant::now();
+    std::thread::scope(|scope| {
+        for _ in 0..clients {
+            scope.spawn(move || {
+                for _ in 0..per_client {
+                    let mut client = ChaosClient::connect(addr, Duration::from_secs(120));
+                    client
+                        .send_all(&request_bytes("GET", LIFECYCLE_PATH, "", false))
+                        .expect("send on fresh socket");
+                    let resp = client.read_response().expect("framed response");
+                    assert_eq!(resp.status, 200);
                 }
             });
         }
@@ -151,5 +213,47 @@ fn main() {
     assert!(
         service_rps > baseline_rps,
         "the resident service must beat spawn-per-request: {service_rps:.1} vs {baseline_rps:.1} req/s"
+    );
+
+    // ---- persistent-connection gate: keep-alive ≥ 2× close-per-request
+    // at ~1k concurrent clients. A dedicated server with headroom above
+    // the client count, so the connection cap never intrudes on the
+    // measurement (close-mode teardown lags client-side closes slightly).
+    let lifecycle_server = Server::spawn(ServiceConfig {
+        max_connections: 4096,
+        idle_timeout: Duration::from_secs(30),
+        ..ServiceConfig::default()
+    })
+    .expect("bind ephemeral port");
+    let addr = lifecycle_server.addr();
+    let (clients, per_client) = (1000, 10);
+    let total = clients * per_client;
+    let closed = close_per_request(addr, clients, per_client);
+    let closed_rps = total as f64 / closed.as_secs_f64();
+    println!(
+        "lifecycle/close-per-request      {total} reqs in {closed:?}  ({closed_rps:.1} req/s, {clients} clients)"
+    );
+    let persistent = persistent_connections(addr, clients, per_client);
+    let persistent_rps = total as f64 / persistent.as_secs_f64();
+    println!(
+        "lifecycle/keep-alive             {total} reqs in {persistent:?}  ({persistent_rps:.1} req/s, {clients} clients)"
+    );
+    let ratio = persistent_rps / closed_rps;
+    println!("keep-alive speedup: {ratio:.1}x");
+    let stats_handle = lifecycle_server.stats_handle();
+    lifecycle_server.shutdown().expect("graceful shutdown");
+    let stats = stats_handle.snapshot();
+    println!(
+        "lifecycle counters: {} keep-alive reuses, {} idle reaped, {} shed, {} drain-aborted",
+        stats.keepalive_reuses, stats.idle_reaped, stats.shed, stats.drain_aborted
+    );
+    assert!(
+        stats.keepalive_reuses >= (total - clients) as u64,
+        "persistent mode must actually reuse its sockets: {stats:?}"
+    );
+    assert_eq!(stats.shed, 0, "the gate must measure reuse, not shedding");
+    assert!(
+        ratio >= 2.0,
+        "keep-alive must be ≥ 2x close-per-request: {persistent_rps:.1} vs {closed_rps:.1} req/s ({ratio:.2}x)"
     );
 }

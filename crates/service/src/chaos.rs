@@ -1,0 +1,338 @@
+//! Fault-injection client toolkit: scripted TCP peers that misbehave in
+//! precisely controlled ways, for proving the server's connection
+//! lifecycle under hostility.
+//!
+//! Production clients are well-formed; the clients that take services down
+//! are not. This module provides the misbehaving ones as reusable,
+//! deterministic building blocks — the `connection_lifecycle.rs`
+//! integration suite drives them against a live server and asserts exact
+//! status codes and clean closes within configured deadlines:
+//!
+//! - [`ChaosClient::send_dripped`] — slow-drip a request a few bytes at a
+//!   time (each write inside the per-read timeout, the whole request well
+//!   past the request deadline: the classic slowloris probe);
+//! - [`ChaosClient::stall`] — go silent mid-header or mid-body;
+//! - [`ChaosClient::disconnect`] — vanish after the request line;
+//! - pipelined garbage — valid request followed by trailing junk on the
+//!   same socket ([`ChaosClient::send_all`] composes freely);
+//! - [`ChaosClient::read_response_dribbled`] — accept the response one
+//!   byte at a time, the stalled-*reader* counterpart to slow writers.
+//!
+//! Everything here is plain blocking `std::net` — no harness magic — so a
+//! chaos scenario reads as the byte-level script it is. The toolkit lives
+//! in the crate (not `#[cfg(test)]`) so integration tests, benches and
+//! future load rigs can all drive it; nothing in the server path depends
+//! on it.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+/// Renders a well-formed HTTP/1.1 request. `keep_alive` controls the
+/// `Connection:` header; chaos scripts mangle the output as needed.
+#[must_use]
+pub fn request_bytes(method: &str, path: &str, body: &str, keep_alive: bool) -> Vec<u8> {
+    let connection = if keep_alive { "keep-alive" } else { "close" };
+    format!(
+        "{method} {path} HTTP/1.1\r\nHost: chaos\r\nConnection: {connection}\r\nContent-Length: {}\r\n\r\n{body}",
+        body.len()
+    )
+    .into_bytes()
+}
+
+/// One parsed HTTP response as read off the wire — status, raw headers,
+/// and a `Content-Length`-framed body (so it works on keep-alive
+/// connections, where EOF never delimits anything).
+#[derive(Debug, Clone)]
+pub struct WireResponse {
+    /// The status code from the status line.
+    pub status: u16,
+    /// Raw `name: value` header lines, in wire order.
+    pub headers: Vec<(String, String)>,
+    /// The exact body bytes (as UTF-8; every server response is JSON).
+    pub body: String,
+}
+
+impl WireResponse {
+    /// The first header with this name (ASCII case-insensitive).
+    #[must_use]
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(n, _)| n.eq_ignore_ascii_case(name))
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Whether the server will keep the connection open after this
+    /// response (`Connection: keep-alive`).
+    #[must_use]
+    pub fn keeps_alive(&self) -> bool {
+        self.header("connection")
+            .is_some_and(|v| v.eq_ignore_ascii_case("keep-alive"))
+    }
+
+    /// Reads one framed response. Errors on a closed or unparsable
+    /// stream — callers asserting a clean close use [`ChaosClient::read_eof`]
+    /// instead.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket errors; malformed framing surfaces as
+    /// [`std::io::ErrorKind::InvalidData`], a mid-response close as
+    /// [`std::io::ErrorKind::UnexpectedEof`].
+    pub fn read_from<R: BufRead>(reader: &mut R) -> std::io::Result<WireResponse> {
+        let invalid = |msg: &str| std::io::Error::new(std::io::ErrorKind::InvalidData, msg);
+        let mut status_line = String::new();
+        if reader.read_line(&mut status_line)? == 0 {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "connection closed before a status line",
+            ));
+        }
+        let status: u16 = status_line
+            .split(' ')
+            .nth(1)
+            .and_then(|code| code.parse().ok())
+            .ok_or_else(|| invalid("malformed status line"))?;
+        let mut headers = Vec::new();
+        loop {
+            let mut line = String::new();
+            if reader.read_line(&mut line)? == 0 {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::UnexpectedEof,
+                    "connection closed inside the header block",
+                ));
+            }
+            let line = line.trim_end_matches(['\r', '\n']);
+            if line.is_empty() {
+                break;
+            }
+            let (name, value) = line
+                .split_once(':')
+                .ok_or_else(|| invalid("header line without a colon"))?;
+            headers.push((name.trim().to_string(), value.trim().to_string()));
+        }
+        let length: usize = headers
+            .iter()
+            .find(|(n, _)| n.eq_ignore_ascii_case("content-length"))
+            .and_then(|(_, v)| v.parse().ok())
+            .ok_or_else(|| invalid("response without a Content-Length"))?;
+        let mut body = vec![0u8; length];
+        reader.read_exact(&mut body)?;
+        let body = String::from_utf8(body).map_err(|_| invalid("non-UTF-8 body"))?;
+        Ok(WireResponse {
+            status,
+            headers,
+            body,
+        })
+    }
+}
+
+/// A scripted TCP peer. Each method is one step of a chaos scenario; a
+/// scenario is just a sequence of calls.
+#[derive(Debug)]
+pub struct ChaosClient {
+    reader: BufReader<TcpStream>,
+}
+
+impl ChaosClient {
+    /// Connects with a client-side read timeout — a chaos test must never
+    /// hang on its *own* socket when asserting the server's deadlines.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the test server cannot be reached (test bug, not a
+    /// scenario outcome).
+    #[must_use]
+    pub fn connect(addr: SocketAddr, read_timeout: Duration) -> ChaosClient {
+        let stream = TcpStream::connect(addr).expect("connect to test server");
+        stream
+            .set_read_timeout(Some(read_timeout))
+            .expect("set client read timeout");
+        let _ = stream.set_nodelay(true);
+        ChaosClient {
+            reader: BufReader::new(stream),
+        }
+    }
+
+    fn stream(&self) -> &TcpStream {
+        self.reader.get_ref()
+    }
+
+    /// A second, independently-owned handle to the same socket, so a
+    /// scenario can keep writing from one thread while another reads —
+    /// required when the server may respond and close *mid-send* (reading
+    /// promptly is the only way to observe the response before the
+    /// client's own next write triggers a reset that discards it).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the socket cannot be duplicated (test bug).
+    #[must_use]
+    pub fn split_writer(&self) -> TcpStream {
+        self.stream().try_clone().expect("duplicate chaos socket")
+    }
+
+    /// Sends bytes in one burst.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket errors — a scenario asserting the server hung up
+    /// mid-script treats `Err` as that observation, not a failure.
+    pub fn send_all(&mut self, bytes: &[u8]) -> std::io::Result<()> {
+        let mut stream = self.stream();
+        stream.write_all(bytes)?;
+        stream.flush()
+    }
+
+    /// Slow-drips bytes `chunk` at a time with `gap` pauses — each write
+    /// lands inside the server's per-read timeout while the whole transfer
+    /// can be stretched past any deadline.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first socket error; a server that rightfully gave up
+    /// on us mid-drip surfaces here as `Err` (often `BrokenPipe`).
+    pub fn send_dripped(
+        &mut self,
+        bytes: &[u8],
+        chunk: usize,
+        gap: Duration,
+    ) -> std::io::Result<()> {
+        let mut stream = self.stream();
+        for piece in bytes.chunks(chunk.max(1)) {
+            stream.write_all(piece)?;
+            stream.flush()?;
+            std::thread::sleep(gap);
+        }
+        Ok(())
+    }
+
+    /// Goes silent for `dur` (mid-header, mid-body, wherever the script
+    /// paused) — the stall the idle/read timeouts exist to bound.
+    pub fn stall(&self, dur: Duration) {
+        std::thread::sleep(dur);
+    }
+
+    /// Vanishes: shuts the socket down both ways and drops it. Anything
+    /// the server had in flight for us is now orphaned.
+    pub fn disconnect(self) {
+        let _ = self.stream().shutdown(std::net::Shutdown::Both);
+    }
+
+    /// Reads one framed response (see [`WireResponse::read_from`]).
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket/framing errors; a client-side timeout
+    /// (`WouldBlock`) means the server outlived the deadline the scenario
+    /// asserts.
+    pub fn read_response(&mut self) -> std::io::Result<WireResponse> {
+        WireResponse::read_from(&mut self.reader)
+    }
+
+    /// Reads one framed response one byte at a time — the slow-*reader*
+    /// peer. The server must not care how fast we drain it.
+    ///
+    /// # Errors
+    ///
+    /// As [`ChaosClient::read_response`].
+    pub fn read_response_dribbled(&mut self, gap: Duration) -> std::io::Result<WireResponse> {
+        struct OneByte<'a> {
+            inner: &'a mut BufReader<TcpStream>,
+            gap: Duration,
+        }
+        impl Read for OneByte<'_> {
+            fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+                if buf.is_empty() {
+                    return Ok(0);
+                }
+                std::thread::sleep(self.gap);
+                self.inner.read(&mut buf[..1])
+            }
+        }
+        let mut dribble = BufReader::with_capacity(
+            1,
+            OneByte {
+                inner: &mut self.reader,
+                gap,
+            },
+        );
+        WireResponse::read_from(&mut dribble)
+    }
+
+    /// Waits for the server to close the connection cleanly (EOF), within
+    /// the client read timeout. Returns `true` on EOF, `false` when bytes
+    /// arrived instead; a timeout means the server kept the socket open.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the client-side read timeout (`WouldBlock`/`TimedOut`)
+    /// and any socket error. A reset (`ConnectionReset`) also counts as
+    /// the server ending the connection and is reported as `Ok(true)`.
+    pub fn read_eof(&mut self) -> std::io::Result<bool> {
+        let mut byte = [0u8; 1];
+        loop {
+            match self.reader.read(&mut byte) {
+                Ok(0) => return Ok(true),
+                Ok(_) => return Ok(false),
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                Err(e) if e.kind() == std::io::ErrorKind::ConnectionReset => return Ok(true),
+                Err(e) => return Err(e),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_bytes_are_well_formed() {
+        let bytes = request_bytes("POST", "/v1/bound", "{}", true);
+        let text = String::from_utf8(bytes).unwrap();
+        assert!(text.starts_with("POST /v1/bound HTTP/1.1\r\n"));
+        assert!(text.contains("Connection: keep-alive\r\n"));
+        assert!(text.contains("Content-Length: 2\r\n"));
+        assert!(text.ends_with("\r\n\r\n{}"));
+        let close = String::from_utf8(request_bytes("GET", "/healthz", "", false)).unwrap();
+        assert!(close.contains("Connection: close\r\n"));
+    }
+
+    #[test]
+    fn wire_response_parses_framed_bytes() {
+        let raw = "HTTP/1.1 503 Service Unavailable\r\nContent-Type: application/json\r\n\
+                   Retry-After: 1\r\nContent-Length: 5\r\nConnection: keep-alive\r\n\r\nhello";
+        let mut reader = std::io::BufReader::new(raw.as_bytes());
+        let resp = WireResponse::read_from(&mut reader).unwrap();
+        assert_eq!(resp.status, 503);
+        assert_eq!(resp.body, "hello");
+        assert_eq!(resp.header("retry-after"), Some("1"));
+        assert!(resp.keeps_alive());
+        // Nothing consumed past the frame: a pipelined next response stays.
+        let mut rest = String::new();
+        reader.read_to_string(&mut rest).unwrap();
+        assert_eq!(rest, "");
+    }
+
+    #[test]
+    fn wire_response_rejects_malformed_and_truncated_streams() {
+        let mut empty = std::io::BufReader::new(&b""[..]);
+        assert_eq!(
+            WireResponse::read_from(&mut empty).unwrap_err().kind(),
+            std::io::ErrorKind::UnexpectedEof
+        );
+        let mut garbage = std::io::BufReader::new(&b"BLURT\r\n\r\n"[..]);
+        assert_eq!(
+            WireResponse::read_from(&mut garbage).unwrap_err().kind(),
+            std::io::ErrorKind::InvalidData
+        );
+        let truncated = "HTTP/1.1 200 OK\r\nContent-Length: 10\r\n\r\nshort";
+        let mut reader = std::io::BufReader::new(truncated.as_bytes());
+        assert_eq!(
+            WireResponse::read_from(&mut reader).unwrap_err().kind(),
+            std::io::ErrorKind::UnexpectedEof
+        );
+    }
+}

@@ -3,8 +3,13 @@
 //! input — malformed heads, truncated bodies and oversized payloads all
 //! surface as typed 4xx errors.
 //!
-//! One request per connection (every response carries `Connection: close`),
-//! which keeps worker accounting trivial: one queue slot = one request.
+//! Connections are persistent by default: requests are framed by
+//! `Content-Length`, `Connection: keep-alive`/`close` is honored per
+//! RFC 7230 for both HTTP/1.0 and HTTP/1.1 peers ([`Head::wants_keepalive`]),
+//! and every response declares its own connection disposition
+//! ([`Response::render`]). The server loop decides when a connection
+//! actually closes (client preference, per-connection request bound, idle
+//! timeout, drain); this module only parses and serializes.
 
 use std::io::{Read, Write};
 use std::time::Instant;
@@ -79,6 +84,9 @@ pub struct Head {
     /// Request target (e.g. `/v1/plan`). Query strings are not split off —
     /// the service's routes do not use them.
     pub path: String,
+    /// HTTP minor version: 0 for `HTTP/1.0`, 1 for `HTTP/1.1` (higher 1.x
+    /// minors are treated as 1.1 — same connection semantics).
+    pub minor_version: u8,
     /// Headers as `(lowercased-name, trimmed-value)` pairs.
     pub headers: Vec<(String, String)>,
     /// Parsed `Content-Length` (0 when absent).
@@ -103,6 +111,36 @@ impl Head {
         self.header("expect")
             .is_some_and(|v| v.eq_ignore_ascii_case("100-continue"))
     }
+
+    /// Whether this request asks for a persistent connection, per RFC 7230
+    /// §6.3: an explicit `close` token always closes, an explicit
+    /// `keep-alive` token always persists, and absent both the default is
+    /// keep-alive for HTTP/1.1 and close for HTTP/1.0. The `Connection`
+    /// header is a comma-separated token list (`keep-alive, TE`), matched
+    /// case-insensitively; `close` wins over `keep-alive` if a confused
+    /// client sends both.
+    #[must_use]
+    pub fn wants_keepalive(&self) -> bool {
+        let mut close = false;
+        let mut keep = false;
+        if let Some(value) = self.header("connection") {
+            for token in value.split(',') {
+                let token = token.trim();
+                if token.eq_ignore_ascii_case("close") {
+                    close = true;
+                } else if token.eq_ignore_ascii_case("keep-alive") {
+                    keep = true;
+                }
+            }
+        }
+        if close {
+            false
+        } else if keep {
+            true
+        } else {
+            self.minor_version >= 1
+        }
+    }
 }
 
 /// A complete request: head plus body.
@@ -118,6 +156,19 @@ fn check_deadline(deadline: Option<Instant>) -> Result<(), HttpError> {
     match deadline {
         Some(d) if Instant::now() > d => Err(HttpError::DeadlineExceeded),
         _ => Ok(()),
+    }
+}
+
+/// Maps one failed socket read to a typed error: a per-read timeout
+/// (`SO_RCVTIMEO` firing surfaces as `WouldBlock` on Unix, `TimedOut` on
+/// Windows) means the peer stalled mid-request — a deadline violation
+/// (408), not a malformed request (400).
+fn read_error(e: &std::io::Error) -> HttpError {
+    match e.kind() {
+        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut => {
+            HttpError::DeadlineExceeded
+        }
+        _ => HttpError::Io(e.to_string()),
     }
 }
 
@@ -149,7 +200,8 @@ pub fn read_head<R: Read>(reader: &mut R, deadline: Option<Instant>) -> Result<H
                 ))
             }
             Ok(_) => head.push(byte[0]),
-            Err(e) => return Err(HttpError::Io(e.to_string())),
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(read_error(&e)),
         }
     }
     parse_head(&head)
@@ -187,9 +239,14 @@ pub fn parse_head(head: &[u8]) -> Result<Head, HttpError> {
             "request target `{path}` must start with `/`"
         )));
     }
-    if !version.starts_with("HTTP/1.") {
-        return Err(HttpError::VersionNotSupported);
-    }
+    let minor_version = match version.strip_prefix("HTTP/1.") {
+        // Minors beyond 1 never shipped; parse them as 1.1 semantics.
+        Some(minor) => match minor.parse::<u32>() {
+            Ok(m) => u8::from(m >= 1),
+            Err(_) => return Err(HttpError::VersionNotSupported),
+        },
+        None => return Err(HttpError::VersionNotSupported),
+    };
 
     let mut headers = Vec::new();
     let mut content_length: Option<usize> = None;
@@ -227,6 +284,7 @@ pub fn parse_head(head: &[u8]) -> Result<Head, HttpError> {
     Ok(Head {
         method: method.to_string(),
         path: path.to_string(),
+        minor_version,
         headers,
         content_length: content_length.unwrap_or(0),
     })
@@ -261,7 +319,8 @@ pub fn read_body<R: Read>(
                 )))
             }
             Ok(n) => filled += n,
-            Err(e) => return Err(HttpError::Io(e.to_string())),
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(read_error(&e)),
         }
     }
     Ok(body)
@@ -306,6 +365,10 @@ pub struct Response {
     pub status: u16,
     /// Response body (always JSON in this service).
     pub body: String,
+    /// Seconds to advertise in a `Retry-After` header — set on every
+    /// load-shed `503` so clients know the saturation is transient and
+    /// bounded, absent everywhere else.
+    pub retry_after: Option<u32>,
 }
 
 impl Response {
@@ -315,6 +378,7 @@ impl Response {
         Response {
             status,
             body: body.into(),
+            retry_after: None,
         }
     }
 
@@ -331,24 +395,78 @@ impl Response {
             status,
         })
         .unwrap_or_else(|_| format!("{{\"error\":\"unrenderable\",\"status\":{status}}}"));
-        Response { status, body }
+        Response {
+            status,
+            body,
+            retry_after: None,
+        }
     }
 
-    /// Serializes the response (status line, headers, body) onto `writer`.
+    /// The load-shed response: `503` with a `Retry-After` header (and a
+    /// matching `retry_after_seconds` body field) telling the client when
+    /// to come back. Every 503 this service emits goes through here so the
+    /// retry contract is uniform.
+    #[must_use]
+    pub fn unavailable(message: &str, retry_after_secs: u32) -> Self {
+        #[derive(serde::Serialize)]
+        struct ShedBody {
+            error: String,
+            status: u16,
+            retry_after_seconds: u32,
+        }
+        let body = serde_json::to_string(&ShedBody {
+            error: message.to_string(),
+            status: 503,
+            retry_after_seconds: retry_after_secs,
+        })
+        .unwrap_or_else(|_| "{\"error\":\"unrenderable\",\"status\":503}".to_string());
+        Response {
+            status: 503,
+            body,
+            retry_after: Some(retry_after_secs),
+        }
+    }
+
+    /// The full wire bytes of this response (status line, headers, body)
+    /// with the given connection disposition. The header set and order are
+    /// fixed — a golden fixture pins them — so log scrapers and tests can
+    /// rely on the exact shape.
+    #[must_use]
+    pub fn render(&self, keep_alive: bool) -> String {
+        let retry = self
+            .retry_after
+            .map(|secs| format!("Retry-After: {secs}\r\n"))
+            .unwrap_or_default();
+        format!(
+            "HTTP/1.1 {} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\n{}Connection: {}\r\n\r\n{}",
+            self.status,
+            status_reason(self.status),
+            self.body.len(),
+            retry,
+            if keep_alive { "keep-alive" } else { "close" },
+            self.body
+        )
+    }
+
+    /// Serializes the response onto `writer` with the given connection
+    /// disposition (`Connection: keep-alive` or `Connection: close`).
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket write errors.
+    pub fn write_conn<W: Write>(&self, writer: &mut W, keep_alive: bool) -> std::io::Result<()> {
+        writer.write_all(self.render(keep_alive).as_bytes())?;
+        writer.flush()
+    }
+
+    /// Serializes the response onto `writer`, closing the connection
+    /// (`Connection: close`) — the one-shot path.
     ///
     /// # Errors
     ///
     /// Propagates socket write errors.
     pub fn write_to<W: Write>(&self, writer: &mut W) -> std::io::Result<()> {
-        write!(
-            writer,
-            "HTTP/1.1 {} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{}",
-            self.status,
-            status_reason(self.status),
-            self.body.len(),
-            self.body
-        )?;
-        writer.flush()
+        self.write_conn(writer, false)
     }
 }
 
@@ -509,6 +627,70 @@ mod tests {
         assert!(head.expects_continue());
         let head = parse_head(b"POST /v1/plan HTTP/1.1\r\n").unwrap();
         assert!(!head.expects_continue());
+    }
+
+    #[test]
+    fn keepalive_negotiation_follows_rfc7230() {
+        // HTTP/1.1 defaults to keep-alive; explicit close wins.
+        let head = parse_head(b"GET / HTTP/1.1\r\n").unwrap();
+        assert_eq!(head.minor_version, 1);
+        assert!(head.wants_keepalive());
+        let head = parse_head(b"GET / HTTP/1.1\r\nConnection: close\r\n").unwrap();
+        assert!(!head.wants_keepalive());
+        // HTTP/1.0 defaults to close; explicit keep-alive opts in.
+        let head = parse_head(b"GET / HTTP/1.0\r\n").unwrap();
+        assert_eq!(head.minor_version, 0);
+        assert!(!head.wants_keepalive());
+        let head = parse_head(b"GET / HTTP/1.0\r\nConnection: keep-alive\r\n").unwrap();
+        assert!(head.wants_keepalive());
+        // Token lists and case-insensitivity.
+        let head = parse_head(b"GET / HTTP/1.1\r\nConnection: Keep-Alive, TE\r\n").unwrap();
+        assert!(head.wants_keepalive());
+        let head = parse_head(b"GET / HTTP/1.1\r\nConnection: keep-alive, close\r\n").unwrap();
+        assert!(!head.wants_keepalive(), "close must win over keep-alive");
+        // Unknown tokens fall back to the version default.
+        let head = parse_head(b"GET / HTTP/1.0\r\nConnection: upgrade\r\n").unwrap();
+        assert!(!head.wants_keepalive());
+    }
+
+    #[test]
+    fn version_minor_must_be_numeric() {
+        // `HTTP/1.x` used to slip through the old prefix check.
+        let err = parse_head(b"GET / HTTP/1.x\r\n").unwrap_err();
+        assert_eq!(err, HttpError::VersionNotSupported);
+        // Hypothetical higher 1.x minors get 1.1 semantics.
+        let head = parse_head(b"GET / HTTP/1.2\r\n").unwrap();
+        assert_eq!(head.minor_version, 1);
+    }
+
+    #[test]
+    fn timed_out_reads_surface_as_408_not_400() {
+        struct TimesOut;
+        impl Read for TimesOut {
+            fn read(&mut self, _: &mut [u8]) -> std::io::Result<usize> {
+                Err(std::io::Error::from(std::io::ErrorKind::WouldBlock))
+            }
+        }
+        let err = read_head(&mut TimesOut, None).unwrap_err();
+        assert_eq!(err, HttpError::DeadlineExceeded);
+        assert_eq!(err.status(), 408);
+        let err = read_body(&mut TimesOut, 4, 1024, None).unwrap_err();
+        assert_eq!(err, HttpError::DeadlineExceeded);
+    }
+
+    #[test]
+    fn render_controls_connection_and_retry_after_headers() {
+        let ok = Response::json(200, "{}");
+        assert!(ok.render(true).contains("Connection: keep-alive\r\n"));
+        assert!(ok.render(false).contains("Connection: close\r\n"));
+        assert!(!ok.render(true).contains("Retry-After"));
+
+        let shed = Response::unavailable("server is saturated; retry with backoff", 1);
+        assert_eq!(shed.status, 503);
+        let wire = shed.render(true);
+        assert!(wire.contains("Retry-After: 1\r\n"), "{wire}");
+        assert!(wire.contains("Connection: keep-alive\r\n"), "{wire}");
+        assert!(wire.contains("\"retry_after_seconds\":1"), "{wire}");
     }
 
     #[test]

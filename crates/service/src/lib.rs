@@ -13,21 +13,33 @@
 //! ## Architecture
 //!
 //! ```text
-//! accept loop ──► bounded MPMC queue ──► N worker threads
-//!     │ (full? shed with 503)                │
-//!     ▼                                      ▼
-//!  503 Service Unavailable      parse HTTP/1.1 + JSON (4xx on bad input)
-//!                                            │
-//!                               canonicalize body, form request key
-//!                                            │
-//!                    bounded LRU response cache ── hit ──► reply
-//!                                            │ miss
-//!                    FlightMap (in-flight coalescing): concurrent
-//!                    identical queries share ONE computation
-//!                                            │
-//!                    api::dispatch ──► clb pipeline (engine's own
-//!                    LRU-bounded, coalescing search cache underneath)
+//! accept loop ──► connection thread (≤ max_connections; at the cap the
+//!     │           oldest idle connection is evicted, all-busy sheds 503)
+//!     ▼
+//! keep-alive loop: requests served on one socket until Connection: close,
+//!     │  idle timeout, the per-connection request bound, or drain
+//!     ▼
+//! parse HTTP/1.1 + JSON (4xx on bad input; stalls/slow-drips → 408)
+//!     │
+//! Gate: ≤ threads concurrent analyses + bounded waiting room
+//!     │ (full? shed 503 + Retry-After — body already read, socket reusable)
+//!     ▼
+//! canonicalize body, form request key
+//!     │
+//! bounded LRU response cache ── hit ──► reply
+//!     │ miss
+//! FlightMap (in-flight coalescing): concurrent identical queries share
+//! ONE computation
+//!     │
+//! api::dispatch ──► clb pipeline (engine's own LRU-bounded, coalescing
+//! search cache underneath)
 //! ```
+//!
+//! Connections are persistent by default (HTTP/1.1 keep-alive per
+//! RFC 7230, honored for 1.0 peers too); graceful shutdown drains
+//! in-flight requests under a hard deadline. See `docs/OPERATIONS.md` for
+//! the lifecycle knobs and counters, and [`chaos`] for the fault-injection
+//! toolkit that proves the lifecycle under hostile peers.
 //!
 //! Responses are **bit-identical** to single-threaded library output: the
 //! handlers serialize the same report structures `clb --json` prints, with
@@ -152,16 +164,22 @@
 //! Layer spec fields: `co`, `size`, `ci` (required); `k` (3), `stride`
 //! (1), `batch` (3), `mem_kib` (66.5) optional with CLI-matching defaults.
 //! Errors come back as `{"error": ..., "status": ...}` with a 4xx status:
-//! malformed HTTP or JSON → 400, wrong method → 405, oversized body → 413,
-//! valid-but-impossible analysis → 422; a saturated queue sheds with 503.
+//! malformed HTTP or JSON → 400, wrong method → 405, a request that stalls
+//! or drips past its deadline → 408, oversized body → 413,
+//! valid-but-impossible analysis → 422; a saturated server sheds with
+//! 503 + `Retry-After` (the request body is still drained first, so the
+//! client retries on the same connection). `POST /v1/shutdown` (enabled by
+//! `--allow-shutdown`, 403 otherwise) triggers the same graceful drain as
+//! stopping the process.
 //!
 //! ## Request logging
 //!
 //! `clb serve --log true` (or a [`ServiceConfig::log`] sink) emits one
 //! structured line per completed request —
-//! `method=POST path=/v1/plan status=200 micros=1234 cache=miss` — with
-//! `cache` reporting how the response-cache layers answered
-//! ([`CacheOutcome`]).
+//! `method=POST path=/v1/plan status=200 micros=1234 cache=miss conn=7` —
+//! with `cache` reporting how the response-cache layers answered
+//! ([`CacheOutcome`]) and `conn` the connection id (lines sharing it were
+//! served over one reused keep-alive socket).
 //!
 //! ## Embedding
 //!
@@ -178,6 +196,7 @@
 #![deny(rustdoc::broken_intra_doc_links)]
 
 pub mod api;
+pub mod chaos;
 pub mod http;
 pub mod pool;
 mod server;
@@ -188,9 +207,10 @@ pub use api::{
     DseNetworkResponse, DseResponse, LayerSpec, PlanResponse, SimulateResponse, SweepEntry,
     SweepResponse,
 };
+pub use chaos::{request_bytes, ChaosClient, WireResponse};
 pub use http::{HttpError, Request, Response};
-pub use pool::{BoundedQueue, WorkerPool};
+pub use pool::{BoundedQueue, Gate, WaitGroup, WorkerPool};
 pub use server::{
     format_request_log, CacheOutcome, CacheStatsResponse, LogSink, MemoCacheStats, RunningServer,
-    Server, ServiceConfig, ServiceStats, StopHandle,
+    Server, ServiceConfig, ServiceStats, StatsHandle, StopHandle, RETRY_AFTER_SECS,
 };

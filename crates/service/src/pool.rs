@@ -1,11 +1,18 @@
-//! A fixed worker pool fed by a bounded MPMC queue.
+//! Concurrency primitives for the serving tier.
 //!
-//! The accept loop pushes accepted connections with the non-blocking
-//! [`BoundedQueue::try_push`]; when every worker is busy and the queue is
-//! full the connection bounces straight back so the server can answer `503`
-//! instead of building an unbounded backlog (load shedding, not buffering).
-//! Shutdown is graceful: closing the queue wakes every idle worker, workers
-//! drain what was already accepted, then exit.
+//! * [`Gate`] — the request-admission primitive the keep-alive server uses:
+//!   a bounded set of compute permits plus a bounded waiting room. A
+//!   request that finds no permit and a full waiting room bounces straight
+//!   back so the connection loop can answer `503 + Retry-After` (load
+//!   shedding, not buffering) while the connection itself stays usable.
+//! * [`WaitGroup`] — deadline-aware completion tracking for graceful
+//!   drain: every connection thread holds a guard, shutdown waits for all
+//!   guards with a hard deadline and aborts stragglers past it.
+//! * [`BoundedQueue`] + [`WorkerPool`] — the original accept-queue worker
+//!   pool, kept as general-purpose building blocks for embedders (the
+//!   server itself now runs one thread per connection gated by [`Gate`],
+//!   because a persistent connection must not pin a pooled worker while
+//!   idle between requests).
 
 use std::collections::VecDeque;
 use std::sync::{Arc, Condvar, Mutex};
@@ -107,6 +114,188 @@ impl<T> BoundedQueue<T> {
             state.open = false;
         }
         self.not_empty.notify_all();
+    }
+}
+
+struct GateState {
+    /// Compute permits currently available.
+    available: usize,
+    /// Requests parked in the waiting room.
+    waiting: usize,
+}
+
+/// A bounded semaphore with a bounded waiting room.
+///
+/// `permits` bounds how many requests compute concurrently; `max_waiting`
+/// bounds how many more may block for a permit. Beyond both, [`acquire`]
+/// returns `None` immediately — the caller sheds the request (the server
+/// answers `503 + Retry-After`) instead of building an unbounded backlog.
+/// This is the keep-alive replacement for the old per-*connection* queue
+/// bound: admission control moves from accept time to request time, so a
+/// persistent connection can carry thousands of requests while the server
+/// still never runs more than `permits` computations at once.
+///
+/// [`acquire`]: Gate::acquire
+#[derive(Debug)]
+pub struct Gate {
+    state: Mutex<GateState>,
+    released: Condvar,
+    permits: usize,
+    max_waiting: usize,
+}
+
+impl std::fmt::Debug for GateState {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("GateState")
+            .field("available", &self.available)
+            .field("waiting", &self.waiting)
+            .finish()
+    }
+}
+
+/// An acquired [`Gate`] permit; dropping it releases the slot and wakes one
+/// waiter.
+#[derive(Debug)]
+pub struct GatePermit<'a> {
+    gate: &'a Gate,
+}
+
+impl Drop for GatePermit<'_> {
+    fn drop(&mut self) {
+        let mut state = self.gate.state.lock().expect("gate lock poisoned");
+        state.available += 1;
+        drop(state);
+        self.gate.released.notify_one();
+    }
+}
+
+impl Gate {
+    /// A gate with `permits` concurrent slots (clamped to ≥ 1) and room
+    /// for `max_waiting` blocked requests (0 means shed the instant every
+    /// permit is busy).
+    #[must_use]
+    pub fn new(permits: usize, max_waiting: usize) -> Self {
+        let permits = permits.max(1);
+        Gate {
+            state: Mutex::new(GateState {
+                available: permits,
+                waiting: 0,
+            }),
+            released: Condvar::new(),
+            permits,
+            max_waiting,
+        }
+    }
+
+    /// The concurrent-compute bound.
+    #[must_use]
+    pub fn permits(&self) -> usize {
+        self.permits
+    }
+
+    /// The waiting-room bound.
+    #[must_use]
+    pub fn max_waiting(&self) -> usize {
+        self.max_waiting
+    }
+
+    /// Takes a permit, blocking in the waiting room if every permit is
+    /// busy. Returns `None` without blocking when the waiting room is full
+    /// too — the caller sheds the load.
+    #[must_use]
+    pub fn acquire(&self) -> Option<GatePermit<'_>> {
+        let mut state = self.state.lock().expect("gate lock poisoned");
+        if state.available == 0 {
+            if state.waiting >= self.max_waiting {
+                return None;
+            }
+            state.waiting += 1;
+            while state.available == 0 {
+                state = self
+                    .released
+                    .wait(state)
+                    .expect("gate lock poisoned while waiting");
+            }
+            state.waiting -= 1;
+        }
+        state.available -= 1;
+        Some(GatePermit { gate: self })
+    }
+}
+
+/// Counts outstanding work and lets a drainer wait for zero with a
+/// deadline. Connection threads hold a [`WaitGuard`] for their lifetime
+/// (panic-safe: the guard decrements on drop); [`WaitGroup::wait_timeout`]
+/// is the graceful-drain barrier, returning `false` when stragglers remain
+/// past the deadline so the caller can abort them.
+#[derive(Debug, Default)]
+pub struct WaitGroup {
+    count: Mutex<usize>,
+    zero: Condvar,
+}
+
+/// One unit of outstanding work in a [`WaitGroup`].
+#[derive(Debug)]
+pub struct WaitGuard {
+    group: Arc<WaitGroup>,
+}
+
+impl Drop for WaitGuard {
+    fn drop(&mut self) {
+        let mut count = self.group.count.lock().expect("waitgroup lock poisoned");
+        *count -= 1;
+        if *count == 0 {
+            drop(count);
+            self.group.zero.notify_all();
+        }
+    }
+}
+
+impl WaitGroup {
+    /// An empty group.
+    #[must_use]
+    pub fn new() -> Arc<Self> {
+        Arc::new(WaitGroup::default())
+    }
+
+    /// Registers one unit of work; drop the guard to retire it.
+    #[must_use]
+    pub fn enter(self: &Arc<Self>) -> WaitGuard {
+        let mut count = self.count.lock().expect("waitgroup lock poisoned");
+        *count += 1;
+        drop(count);
+        WaitGuard {
+            group: Arc::clone(self),
+        }
+    }
+
+    /// Outstanding units (racy by nature; for stats and logging).
+    #[must_use]
+    pub fn outstanding(&self) -> usize {
+        self.count.lock().map(|c| *c).unwrap_or(0)
+    }
+
+    /// Blocks until every guard has dropped or `deadline` elapses; `true`
+    /// means the group reached zero.
+    #[must_use]
+    pub fn wait_timeout(&self, deadline: std::time::Duration) -> bool {
+        let end = std::time::Instant::now() + deadline;
+        let mut count = self.count.lock().expect("waitgroup lock poisoned");
+        while *count > 0 {
+            let now = std::time::Instant::now();
+            if now >= end {
+                return false;
+            }
+            let (next, timeout) = self
+                .zero
+                .wait_timeout(count, end - now)
+                .expect("waitgroup lock poisoned while waiting");
+            count = next;
+            if timeout.timed_out() && *count > 0 {
+                return false;
+            }
+        }
+        true
     }
 }
 
@@ -298,6 +487,72 @@ mod tests {
             3,
             "the worker must survive the panic and drain the rest"
         );
+    }
+
+    #[test]
+    fn gate_sheds_beyond_permits_plus_waiting_room() {
+        let gate = Gate::new(1, 0);
+        let held = gate.acquire().expect("first permit");
+        // Permit busy, waiting room of zero: instant shed.
+        assert!(gate.acquire().is_none());
+        drop(held);
+        assert!(gate.acquire().is_some(), "released permits are reusable");
+    }
+
+    #[test]
+    fn gate_waiting_room_blocks_then_admits() {
+        let gate = Arc::new(Gate::new(1, 1));
+        let held = gate.acquire().expect("permit");
+        let entered = Arc::new(AtomicUsize::new(0));
+        let waiter = {
+            let (gate, entered) = (Arc::clone(&gate), Arc::clone(&entered));
+            std::thread::spawn(move || {
+                let permit = gate.acquire();
+                entered.fetch_add(1, Ordering::SeqCst);
+                assert!(permit.is_some(), "a parked waiter must eventually enter");
+            })
+        };
+        // Give the waiter time to park, then check the room is full.
+        std::thread::sleep(std::time::Duration::from_millis(50));
+        assert_eq!(entered.load(Ordering::SeqCst), 0, "waiter must be parked");
+        assert!(
+            gate.acquire().is_none(),
+            "second overflow must shed, not queue"
+        );
+        drop(held);
+        waiter.join().unwrap();
+        assert_eq!(entered.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn gate_clamps_zero_permits_to_one() {
+        let gate = Gate::new(0, 0);
+        assert_eq!(gate.permits(), 1);
+        assert!(gate.acquire().is_some());
+    }
+
+    #[test]
+    fn waitgroup_times_out_on_stragglers_and_completes_on_drop() {
+        let wg = WaitGroup::new();
+        let guard = wg.enter();
+        assert_eq!(wg.outstanding(), 1);
+        assert!(
+            !wg.wait_timeout(std::time::Duration::from_millis(30)),
+            "a held guard must time the drain out"
+        );
+        let wg2 = Arc::clone(&wg);
+        let t = std::thread::spawn(move || {
+            std::thread::sleep(std::time::Duration::from_millis(50));
+            drop(guard);
+        });
+        assert!(
+            wg2.wait_timeout(std::time::Duration::from_secs(5)),
+            "dropping the last guard must release the drain"
+        );
+        t.join().unwrap();
+        assert_eq!(wg.outstanding(), 0);
+        // An empty group drains instantly.
+        assert!(wg.wait_timeout(std::time::Duration::from_millis(1)));
     }
 
     #[test]

@@ -1,23 +1,55 @@
-//! The TCP server: accept loop, routing, request coalescing and the
-//! bounded response cache.
+//! The TCP server: accept loop, keep-alive connection lifecycle, routing,
+//! request coalescing and the bounded response cache.
 //!
-//! Layering per request:
+//! ## Connection lifecycle
 //!
-//! 1. the accept loop hands the connection to the [`WorkerPool`] (or sheds
-//!    it with `503` when the bounded queue is full);
-//! 2. a worker parses the request ([`http`]) and routes it;
-//! 3. `POST` bodies are canonicalized (parsed and re-serialized JSON), so
-//!    formatting differences cannot split identical queries;
-//! 4. the canonical key goes through the bounded LRU **response cache**,
-//!    then the [`FlightMap`] — concurrent identical requests share one
-//!    computation, repeated ones are served from memory;
-//! 5. [`api::dispatch`] runs the actual analysis (which internally hits the
-//!    engine's own memoized, coalesced tiling-search cache).
+//! The accept loop runs one thread per connection (bounded by
+//! [`ServiceConfig::max_connections`]; past the cap the oldest *idle*
+//! connection is evicted, and if every connection is mid-request the new
+//! one is shed with `503 + Retry-After`). Each connection thread loops
+//! HTTP/1.1 keep-alive requests on its socket:
+//!
+//! 1. **idle phase** — wait up to [`ServiceConfig::idle_timeout`] for the
+//!    first byte of the next request; a silent peer is reaped
+//!    (`idle_reaped`), an evicted or draining connection closes;
+//! 2. **request phase** — per-read socket timeouts
+//!    ([`ServiceConfig::read_timeout`]) and a whole-request deadline
+//!    ([`ServiceConfig::request_deadline`]) bound hostile peers: stalls
+//!    and slow-drips surface as `408`, truncation as `400`;
+//! 3. **admission** — analysis `POST`s take a [`Gate`] permit
+//!    ([`ServiceConfig::threads`] concurrent computations,
+//!    [`ServiceConfig::queue_capacity`] waiters); beyond both the request
+//!    is shed with `503 + Retry-After` — the body was already read, so the
+//!    connection stays consistent and the client retries on the same
+//!    socket;
+//! 4. **response** — written with `Connection: keep-alive` unless the
+//!    client asked to close, the per-connection request bound
+//!    ([`ServiceConfig::max_requests_per_connection`]) was reached, the
+//!    request was unframeable (parse errors poison the byte stream), or
+//!    the server is draining.
+//!
+//! ## Graceful drain
+//!
+//! [`StopHandle::stop`] (or `POST /v1/shutdown` when enabled) stops the
+//! accept loop; idle keep-alive sockets are reaped immediately, in-flight
+//! requests finish with `Connection: close`, and stragglers past
+//! [`ServiceConfig::drain_deadline`] are aborted (`drain_aborted`).
+//!
+//! ## Request path
+//!
+//! `POST` bodies are canonicalized (parsed and re-serialized JSON), the
+//! canonical key goes through the bounded LRU **response cache**, then the
+//! [`FlightMap`] — concurrent identical requests share one computation —
+//! and finally [`api::dispatch`] runs the actual analysis (which
+//! internally hits the engine's own memoized, coalesced tiling-search
+//! cache). Responses over reused connections are byte-identical to
+//! one-shot connections: only the `Connection:` header differs.
 
-use std::io::{BufReader, Write};
+use std::collections::HashMap;
+use std::io::{BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, OnceLock};
 use std::time::{Duration, Instant};
 
 use dataflow::{FlightMap, LruCache};
@@ -25,12 +57,17 @@ use serde::Value;
 
 use crate::api;
 use crate::http::{self, HttpError, Response};
-use crate::pool::WorkerPool;
+use crate::pool::{Gate, WaitGroup};
 
 /// Where structured request-log lines go when logging is enabled: one call
 /// per completed request with the formatted line (no trailing newline).
 /// `clb serve --log` installs a stderr writer; tests install collectors.
 pub type LogSink = Arc<dyn Fn(&str) + Send + Sync>;
+
+/// Seconds advertised in `Retry-After` on every load-shed `503`: the
+/// waiting room drains at compute speed, so "immediately, with backoff" is
+/// the honest hint.
+pub const RETRY_AFTER_SECS: u32 = 1;
 
 /// Server configuration. `Default` gives a localhost server on an
 /// OS-assigned port with auto-sized workers — every field has a sensible
@@ -42,23 +79,46 @@ pub struct ServiceConfig {
     pub host: std::net::IpAddr,
     /// Bind port; 0 asks the OS for an ephemeral port.
     pub port: u16,
-    /// Worker threads; 0 means one per available CPU.
+    /// Concurrent analysis computations (the [`Gate`] permit count);
+    /// 0 means one per available CPU.
     pub threads: usize,
-    /// Bounded connection-queue capacity (overflow is shed with 503).
+    /// Bounded waiting room for analysis requests beyond `threads`
+    /// (overflow is shed with `503 + Retry-After`).
     pub queue_capacity: usize,
     /// Request-body cap in bytes (oversized requests get 413).
     pub max_body_bytes: usize,
     /// Response-cache bound in entries.
     pub result_cache_capacity: usize,
-    /// Per-connection socket read timeout (bounds one silent `read`).
+    /// Per-connection socket read timeout (bounds one silent `read`
+    /// mid-request; firing surfaces as `408`).
     pub read_timeout: Duration,
     /// Per-connection socket write timeout — without it a client that
     /// never reads its (large) response would pin a worker on a blocked
     /// `write` forever.
     pub write_timeout: Duration,
     /// Whole-request receive deadline (bounds a slow-drip client that
-    /// keeps every individual read under `read_timeout`).
+    /// keeps every individual read under `read_timeout`; firing surfaces
+    /// as `408`).
     pub request_deadline: Duration,
+    /// How long a keep-alive connection may sit idle *between* requests
+    /// before the server reaps it — distinct from `read_timeout`, which
+    /// bounds silence *inside* a request.
+    pub idle_timeout: Duration,
+    /// Requests served per connection before the server closes it
+    /// (`Connection: close` on the final response); bounds per-client
+    /// resource monopolies. Clamped to ≥ 1.
+    pub max_requests_per_connection: usize,
+    /// Cap on simultaneously open connections. At the cap, a new
+    /// connection evicts the oldest idle one; when every connection is
+    /// busy, the new one is shed with `503 + Retry-After`.
+    pub max_connections: usize,
+    /// Hard drain deadline: on shutdown, in-flight requests get this long
+    /// to finish before their sockets are aborted (`drain_aborted`).
+    pub drain_deadline: Duration,
+    /// Enables `POST /v1/shutdown` (graceful drain over HTTP — the
+    /// SIGTERM equivalent for deployments that cannot signal the
+    /// process). Disabled by default; the endpoint answers 403 when off.
+    pub allow_shutdown: bool,
     /// Structured request logging: one [`format_request_log`] line per
     /// completed request when set (`None` disables, the default).
     pub log: Option<LogSink>,
@@ -76,6 +136,14 @@ impl std::fmt::Debug for ServiceConfig {
             .field("read_timeout", &self.read_timeout)
             .field("write_timeout", &self.write_timeout)
             .field("request_deadline", &self.request_deadline)
+            .field("idle_timeout", &self.idle_timeout)
+            .field(
+                "max_requests_per_connection",
+                &self.max_requests_per_connection,
+            )
+            .field("max_connections", &self.max_connections)
+            .field("drain_deadline", &self.drain_deadline)
+            .field("allow_shutdown", &self.allow_shutdown)
             .field("log", &self.log.is_some())
             .finish()
     }
@@ -93,6 +161,11 @@ impl Default for ServiceConfig {
             read_timeout: Duration::from_secs(10),
             write_timeout: Duration::from_secs(10),
             request_deadline: Duration::from_secs(30),
+            idle_timeout: Duration::from_secs(5),
+            max_requests_per_connection: 128,
+            max_connections: 1024,
+            drain_deadline: Duration::from_secs(5),
+            allow_shutdown: false,
             log: None,
         }
     }
@@ -109,7 +182,7 @@ pub enum CacheOutcome {
     /// Computed fresh.
     Miss,
     /// The caching layers were not consulted (GET endpoints, parse
-    /// failures, errors before dispatch).
+    /// failures, sheds, errors before dispatch).
     Uncached,
 }
 
@@ -129,12 +202,16 @@ impl CacheOutcome {
 /// Formats one structured request-log line:
 ///
 /// ```text
-/// method=POST path=/v1/plan status=200 micros=1234 cache=miss
+/// method=POST path=/v1/plan status=200 micros=1234 cache=miss conn=7
 /// ```
 ///
 /// Space-separated `key=value` pairs, fixed key order, one line per
-/// request; `cache` is a [`CacheOutcome`] spelling. The shape is pinned by
-/// an integration test — production log scrapers may rely on it.
+/// request; `cache` is a [`CacheOutcome`] spelling and `conn` the server's
+/// monotone connection id — consecutive lines sharing a `conn` value were
+/// served over one reused keep-alive socket. A connection aborted before
+/// its socket could be configured logs `status=0` with `method=- path=-`.
+/// The shape is pinned by an integration test — production log scrapers
+/// may rely on it.
 #[must_use]
 pub fn format_request_log(
     method: &str,
@@ -142,9 +219,10 @@ pub fn format_request_log(
     status: u16,
     micros: u128,
     cache: CacheOutcome,
+    conn: u64,
 ) -> String {
     format!(
-        "method={method} path={path} status={status} micros={micros} cache={}",
+        "method={method} path={path} status={status} micros={micros} cache={} conn={conn}",
         cache.as_str()
     )
 }
@@ -167,12 +245,150 @@ fn canonicalize(value: &Value) -> Value {
     }
 }
 
-/// Service-level counters, all monotone since server start.
+/// Service-level counters, all monotone since server start (except the
+/// open-connection gauge, which lives in [`ConnTable`]).
 #[derive(Debug, Default)]
 struct Counters {
     requests: AtomicU64,
     responses_cached: AtomicU64,
     shed: AtomicU64,
+    keepalive_reuses: AtomicU64,
+    idle_reaped: AtomicU64,
+    drain_aborted: AtomicU64,
+}
+
+/// One live connection as the accept loop and reaper see it: a second
+/// handle to the socket (so eviction and drain can shut it down from
+/// outside its own thread) plus its idle state.
+struct ConnEntry {
+    stream: TcpStream,
+    /// `Some(since)` while the connection sits between requests (the only
+    /// state in which it may be evicted); `None` while serving.
+    idle_since: Option<Instant>,
+}
+
+/// The live-connection registry: the open-connection gauge, the
+/// oldest-idle eviction policy, and the drain reaper all operate on this
+/// one table.
+#[derive(Default)]
+struct ConnTable {
+    entries: Mutex<HashMap<u64, ConnEntry>>,
+    next_id: AtomicU64,
+    /// Set once at drain start (under the entries lock): connections
+    /// checking in afterwards close instead of idling.
+    draining: AtomicBool,
+}
+
+impl ConnTable {
+    /// Registers a connection (idle until its thread marks it busy),
+    /// returning its id. The passed stream must be an independent handle
+    /// (`try_clone`) — the table shuts it down to evict or abort.
+    fn register(&self, stream: TcpStream) -> u64 {
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed) + 1;
+        let mut entries = self.entries.lock().expect("conn table poisoned");
+        entries.insert(
+            id,
+            ConnEntry {
+                stream,
+                idle_since: Some(Instant::now()),
+            },
+        );
+        id
+    }
+
+    fn len(&self) -> usize {
+        self.entries.lock().map(|e| e.len()).unwrap_or(0)
+    }
+
+    /// Marks a connection idle between requests. Returns `false` when the
+    /// server is draining (or the entry is already gone) — the caller
+    /// closes instead of waiting for a next request that must not come.
+    fn mark_idle(&self, id: u64) -> bool {
+        let mut entries = self.entries.lock().expect("conn table poisoned");
+        if self.draining.load(Ordering::Relaxed) {
+            return false;
+        }
+        match entries.get_mut(&id) {
+            Some(entry) => {
+                entry.idle_since = Some(Instant::now());
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Marks a connection busy serving a request. Returns `false` when the
+    /// entry was evicted or reaped in the meantime — the caller closes.
+    fn mark_busy(&self, id: u64) -> bool {
+        let mut entries = self.entries.lock().expect("conn table poisoned");
+        match entries.get_mut(&id) {
+            Some(entry) => {
+                entry.idle_since = None;
+                true
+            }
+            None => false,
+        }
+    }
+
+    fn remove(&self, id: u64) {
+        if let Ok(mut entries) = self.entries.lock() {
+            entries.remove(&id);
+        }
+    }
+
+    /// Evicts the connection idle the longest: shuts its socket down (its
+    /// thread wakes with EOF and exits) and removes it. Returns `false`
+    /// when no connection is idle.
+    fn evict_oldest_idle(&self) -> bool {
+        let mut entries = self.entries.lock().expect("conn table poisoned");
+        let oldest = entries
+            .iter()
+            .filter_map(|(id, e)| e.idle_since.map(|since| (since, *id)))
+            .min_by_key(|(since, _)| *since)
+            .map(|(_, id)| id);
+        match oldest {
+            Some(id) => {
+                if let Some(entry) = entries.remove(&id) {
+                    let _ = entry.stream.shutdown(std::net::Shutdown::Both);
+                }
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Starts the drain: flags the table (late `mark_idle` calls now
+    /// refuse) and reaps every currently idle connection. Returns how many
+    /// were reaped; busy connections stay and finish their request.
+    fn begin_drain(&self) -> u64 {
+        let mut entries = self.entries.lock().expect("conn table poisoned");
+        self.draining.store(true, Ordering::Relaxed);
+        let idle: Vec<u64> = entries
+            .iter()
+            .filter(|(_, e)| e.idle_since.is_some())
+            .map(|(id, _)| *id)
+            .collect();
+        for id in &idle {
+            if let Some(entry) = entries.remove(id) {
+                let _ = entry.stream.shutdown(std::net::Shutdown::Both);
+            }
+        }
+        idle.len() as u64
+    }
+
+    fn is_draining(&self) -> bool {
+        self.draining.load(Ordering::Relaxed)
+    }
+
+    /// The hard-deadline abort: shuts down every remaining socket so
+    /// straggler threads unblock and exit. Returns how many were aborted.
+    fn abort_all(&self) -> u64 {
+        let entries = self.entries.lock().expect("conn table poisoned");
+        for entry in entries.values() {
+            let _ = entry.stream.shutdown(std::net::Shutdown::Both);
+        }
+        entries.len() as u64
+    }
 }
 
 /// Everything the request handlers share.
@@ -181,6 +397,11 @@ struct ServiceState {
     flights: FlightMap<String, Arc<Response>>,
     response_cache: Mutex<LruCache<String, Arc<Response>>>,
     counters: Counters,
+    gate: Gate,
+    table: ConnTable,
+    /// Set by [`Server::bind`]; lets `POST /v1/shutdown` trigger the same
+    /// drain as [`StopHandle::stop`].
+    stopper: OnceLock<StopHandle>,
 }
 
 /// Wire shape of `GET /v1/cache_stats`.
@@ -228,7 +449,8 @@ impl From<dataflow::CacheStats> for MemoCacheStats {
     }
 }
 
-/// The service section of [`CacheStatsResponse`].
+/// The service section of [`CacheStatsResponse`] — request counters plus
+/// the connection-lifecycle counters the keep-alive tier exposes.
 #[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
 pub struct ServiceStats {
     /// Requests fully processed (any status).
@@ -237,43 +459,79 @@ pub struct ServiceStats {
     pub responses_cached: u64,
     /// Requests that shared a concurrent identical computation.
     pub coalesced: u64,
-    /// Connections shed with 503 because the queue was full.
+    /// Requests (or over-cap connections) shed with `503 + Retry-After`.
     pub shed: u64,
+    /// Currently open connections (a gauge, not a monotone counter).
+    pub connections_open: u64,
+    /// Requests served on a reused keep-alive connection (the second and
+    /// later requests of each connection).
+    pub keepalive_reuses: u64,
+    /// Idle keep-alive connections closed by the server: idle-timeout
+    /// reaps, oldest-idle evictions at the connection cap, and idle
+    /// connections reaped at drain start.
+    pub idle_reaped: u64,
+    /// In-flight connections aborted at the drain hard deadline.
+    pub drain_aborted: u64,
     /// Resident response-cache entries.
     pub response_cache_entries: u64,
     /// Response-cache bound.
     pub response_cache_capacity: u64,
 }
 
+/// The idle-phase outcome: what arrived (or didn't) while a keep-alive
+/// connection waited between requests.
+enum IdleWait {
+    /// Bytes are buffered; serve the next request.
+    Ready,
+    /// The peer closed cleanly (or the socket was shut down under us).
+    Closed,
+    /// Nothing arrived within the idle timeout; reap the connection.
+    TimedOut,
+}
+
 impl ServiceState {
     fn new(config: ServiceConfig) -> Self {
+        let permits = if config.threads == 0 {
+            std::thread::available_parallelism().map_or(4, usize::from)
+        } else {
+            config.threads
+        };
         ServiceState {
             response_cache: Mutex::new(LruCache::new(config.result_cache_capacity)),
+            gate: Gate::new(permits, config.queue_capacity),
             config,
             flights: FlightMap::new(),
             counters: Counters::default(),
+            table: ConnTable::default(),
+            stopper: OnceLock::new(),
         }
     }
 
-    fn cache_stats_response(&self) -> Response {
-        let engine = dataflow::cache_stats();
-        let planner = clb_core::plan_cache_stats();
+    fn service_stats(&self) -> ServiceStats {
         let (entries, capacity) = self
             .response_cache
             .lock()
             .map(|c| (c.len() as u64, c.capacity() as u64))
             .unwrap_or((0, 0));
+        ServiceStats {
+            requests: self.counters.requests.load(Ordering::Relaxed),
+            responses_cached: self.counters.responses_cached.load(Ordering::Relaxed),
+            coalesced: self.flights.coalesced(),
+            shed: self.counters.shed.load(Ordering::Relaxed),
+            connections_open: self.table.len() as u64,
+            keepalive_reuses: self.counters.keepalive_reuses.load(Ordering::Relaxed),
+            idle_reaped: self.counters.idle_reaped.load(Ordering::Relaxed),
+            drain_aborted: self.counters.drain_aborted.load(Ordering::Relaxed),
+            response_cache_entries: entries,
+            response_cache_capacity: capacity,
+        }
+    }
+
+    fn cache_stats_response(&self) -> Response {
         let stats = CacheStatsResponse {
-            search: engine.into(),
-            plan: planner.into(),
-            service: ServiceStats {
-                requests: self.counters.requests.load(Ordering::Relaxed),
-                responses_cached: self.counters.responses_cached.load(Ordering::Relaxed),
-                coalesced: self.flights.coalesced(),
-                shed: self.counters.shed.load(Ordering::Relaxed),
-                response_cache_entries: entries,
-                response_cache_capacity: capacity,
-            },
+            search: dataflow::cache_stats().into(),
+            plan: clb_core::plan_cache_stats().into(),
+            service: self.service_stats(),
         };
         match serde_json::to_string_pretty(&stats) {
             Ok(body) => Response::json(200, body),
@@ -345,7 +603,29 @@ impl ServiceState {
         (response, outcome)
     }
 
-    fn route(&self, head: &http::Head, body: &[u8]) -> (Arc<Response>, CacheOutcome) {
+    /// The drain trigger behind `POST /v1/shutdown` (when enabled): flips
+    /// the same stop flag as [`StopHandle::stop`], so the accept loop
+    /// begins the graceful drain while this response is still in flight.
+    fn shutdown_response(&self) -> Response {
+        if !self.config.allow_shutdown {
+            return Response::error(
+                403,
+                "shutdown over HTTP is disabled; start the server with --allow-shutdown",
+            );
+        }
+        match self.stopper.get() {
+            Some(stopper) => {
+                stopper.stop();
+                Response::json(200, "{\"status\": \"draining\"}")
+            }
+            None => Response::error(500, "server has no stop handle"),
+        }
+    }
+
+    /// The analysis endpoints whose compute is bounded by the [`Gate`].
+    /// `GET`s (health, stats) and the shutdown control plane stay
+    /// admissible under full load on purpose.
+    fn is_gated(method: &str, path: &str) -> bool {
         const POST_ENDPOINTS: [&str; 6] = [
             "/v1/bound",
             "/v1/sweep",
@@ -354,11 +634,25 @@ impl ServiceState {
             "/v1/network",
             "/v1/dse",
         ];
+        method == "POST" && POST_ENDPOINTS.contains(&path)
+    }
+
+    fn route(&self, head: &http::Head, body: &[u8]) -> (Arc<Response>, CacheOutcome) {
+        const POST_ENDPOINTS: [&str; 7] = [
+            "/v1/bound",
+            "/v1/sweep",
+            "/v1/plan",
+            "/v1/simulate",
+            "/v1/network",
+            "/v1/dse",
+            "/v1/shutdown",
+        ];
         const GET_ENDPOINTS: [&str; 2] = ["/healthz", "/v1/cache_stats"];
         let uncached = |r: Response| (Arc::new(r), CacheOutcome::Uncached);
         match (head.method.as_str(), head.path.as_str()) {
             ("GET", "/healthz") => uncached(Response::json(200, "{\"status\": \"ok\"}")),
             ("GET", "/v1/cache_stats") => uncached(self.cache_stats_response()),
+            ("POST", "/v1/shutdown") => uncached(self.shutdown_response()),
             ("POST", path) if POST_ENDPOINTS.contains(&path) => self.post_response(path, body),
             (_, path) if POST_ENDPOINTS.contains(&path) || GET_ENDPOINTS.contains(&path) => {
                 uncached(Response::error(
@@ -370,72 +664,186 @@ impl ServiceState {
         }
     }
 
-    /// Parses, routes and answers one connection (one request per
-    /// connection; every response closes it).
-    fn handle_connection(&self, stream: TcpStream) {
-        let started = Instant::now();
-        let _ = stream.set_read_timeout(Some(self.config.read_timeout));
-        let _ = stream.set_write_timeout(Some(self.config.write_timeout));
-        let _ = stream.set_nodelay(true);
-        let deadline = Some(Instant::now() + self.config.request_deadline);
-        let mut reader = BufReader::new(&stream);
-        let mut logged_head: Option<(String, String)> = None;
-        let (response, outcome) = match http::read_head(&mut reader, deadline) {
-            Ok(head) => {
-                logged_head = Some((head.method.clone(), head.path.clone()));
-                if head.content_length > self.config.max_body_bytes {
-                    // Refuse before reading; the client may still be
-                    // sending, so the write can race a reset — best effort.
-                    (
-                        Arc::new(Response::error(
-                            413,
-                            &HttpError::PayloadTooLarge {
-                                limit: self.config.max_body_bytes,
-                            }
-                            .message(),
-                        )),
-                        CacheOutcome::Uncached,
-                    )
-                } else {
-                    if head.expects_continue() && head.content_length > 0 {
-                        let mut w = &stream;
-                        if http::write_continue(&mut w).is_err() {
-                            return;
-                        }
-                    }
-                    match http::read_body(
-                        &mut reader,
-                        head.content_length,
-                        self.config.max_body_bytes,
-                        deadline,
-                    ) {
-                        Ok(body) => self.route(&head, &body),
-                        Err(e) => (
-                            Arc::new(Response::error(e.status(), &e.message())),
-                            CacheOutcome::Uncached,
-                        ),
-                    }
-                }
-            }
-            Err(e) => (
-                Arc::new(Response::error(e.status(), &e.message())),
-                CacheOutcome::Uncached,
-            ),
-        };
-        self.counters.requests.fetch_add(1, Ordering::Relaxed);
-        let mut writer = &stream;
-        let _ = response.write_to(&mut writer);
-        let _ = stream.shutdown(std::net::Shutdown::Both);
+    fn log_request(
+        &self,
+        method: &str,
+        path: &str,
+        status: u16,
+        started: Instant,
+        outcome: CacheOutcome,
+        conn: u64,
+    ) {
         if let Some(sink) = &self.config.log {
-            let (method, path) = logged_head.unwrap_or_else(|| ("-".to_string(), "-".to_string()));
             sink(&format_request_log(
-                &method,
-                &path,
-                response.status,
+                method,
+                path,
+                status,
                 started.elapsed().as_micros(),
                 outcome,
+                conn,
             ));
         }
+    }
+
+    /// Waits (up to the idle timeout, enforced by `SO_RCVTIMEO`) for the
+    /// first byte of the next request. Pipelined bytes already buffered in
+    /// `reader` return `Ready` immediately without touching the socket.
+    fn idle_wait(reader: &mut BufReader<&TcpStream>) -> IdleWait {
+        loop {
+            match reader.fill_buf() {
+                Ok([]) => return IdleWait::Closed,
+                Ok(_) => return IdleWait::Ready,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                Err(e)
+                    if e.kind() == std::io::ErrorKind::WouldBlock
+                        || e.kind() == std::io::ErrorKind::TimedOut =>
+                {
+                    return IdleWait::TimedOut
+                }
+                Err(_) => return IdleWait::Closed,
+            }
+        }
+    }
+
+    /// Reads, routes and answers requests on one socket until the
+    /// connection lifecycle ends it: client close, `Connection: close`,
+    /// parse error, idle timeout, request bound, eviction, or drain.
+    fn handle_connection(&self, stream: TcpStream, conn_id: u64) {
+        let opened = Instant::now();
+        // A connection whose protections cannot be installed is never
+        // served: proceeding without socket timeouts would reopen the
+        // slowloris hole every knob above exists to close. Log the abort
+        // (status=0) and hang up.
+        if let Err(e) = stream
+            .set_read_timeout(Some(self.config.idle_timeout))
+            .and_then(|()| stream.set_write_timeout(Some(self.config.write_timeout)))
+        {
+            self.log_request("-", "-", 0, opened, CacheOutcome::Uncached, conn_id);
+            eprintln!("clb-conn-{conn_id}: socket timeouts unavailable ({e}); closing unserved");
+            self.table.remove(conn_id);
+            return;
+        }
+        let _ = stream.set_nodelay(true);
+        let mut reader = BufReader::new(&stream);
+        let max_requests = self.config.max_requests_per_connection.max(1);
+        let mut served: usize = 0;
+        loop {
+            // ---- idle phase: wait for the next request (or the first —
+            // a connection that never sends a byte is reaped too).
+            if !self.table.mark_idle(conn_id) {
+                break; // draining (or already evicted)
+            }
+            let _ = stream.set_read_timeout(Some(self.config.idle_timeout));
+            match Self::idle_wait(&mut reader) {
+                IdleWait::Ready => {}
+                IdleWait::Closed => break,
+                IdleWait::TimedOut => {
+                    self.counters.idle_reaped.fetch_add(1, Ordering::Relaxed);
+                    break;
+                }
+            }
+            if !self.table.mark_busy(conn_id) {
+                break; // evicted between the byte arriving and now
+            }
+
+            // ---- request phase: per-read timeout + whole-request deadline.
+            let _ = stream.set_read_timeout(Some(self.config.read_timeout));
+            let started = Instant::now();
+            let deadline = Some(started + self.config.request_deadline);
+            let mut framed = false;
+            let mut logged_head: Option<(String, String)> = None;
+            let mut client_keepalive = false;
+            let (response, outcome) = match http::read_head(&mut reader, deadline) {
+                Ok(head) => {
+                    logged_head = Some((head.method.clone(), head.path.clone()));
+                    client_keepalive = head.wants_keepalive();
+                    if head.content_length > self.config.max_body_bytes {
+                        // Refuse before reading; the unread body poisons
+                        // the framing, so this response closes the
+                        // connection (framed stays false).
+                        (
+                            Arc::new(Response::error(
+                                413,
+                                &HttpError::PayloadTooLarge {
+                                    limit: self.config.max_body_bytes,
+                                }
+                                .message(),
+                            )),
+                            CacheOutcome::Uncached,
+                        )
+                    } else {
+                        if head.expects_continue() && head.content_length > 0 {
+                            let mut w = &stream;
+                            if http::write_continue(&mut w).is_err() {
+                                self.finish(conn_id);
+                                return;
+                            }
+                        }
+                        match http::read_body(
+                            &mut reader,
+                            head.content_length,
+                            self.config.max_body_bytes,
+                            deadline,
+                        ) {
+                            Ok(body) => {
+                                // The whole request is consumed: whatever
+                                // happens next (shed included), the byte
+                                // stream stays consistent for reuse.
+                                framed = true;
+                                if Self::is_gated(&head.method, &head.path) {
+                                    match self.gate.acquire() {
+                                        Some(_permit) => self.route(&head, &body),
+                                        None => {
+                                            self.counters.shed.fetch_add(1, Ordering::Relaxed);
+                                            (
+                                                Arc::new(Response::unavailable(
+                                                    "server is saturated; retry with backoff",
+                                                    RETRY_AFTER_SECS,
+                                                )),
+                                                CacheOutcome::Uncached,
+                                            )
+                                        }
+                                    }
+                                } else {
+                                    self.route(&head, &body)
+                                }
+                            }
+                            Err(e) => (
+                                Arc::new(Response::error(e.status(), &e.message())),
+                                CacheOutcome::Uncached,
+                            ),
+                        }
+                    }
+                }
+                Err(e) => (
+                    Arc::new(Response::error(e.status(), &e.message())),
+                    CacheOutcome::Uncached,
+                ),
+            };
+
+            // ---- response phase.
+            served += 1;
+            self.counters.requests.fetch_add(1, Ordering::Relaxed);
+            if served > 1 {
+                self.counters
+                    .keepalive_reuses
+                    .fetch_add(1, Ordering::Relaxed);
+            }
+            let keep =
+                framed && client_keepalive && served < max_requests && !self.table.is_draining();
+            let mut writer = &stream;
+            let write_ok = response.write_conn(&mut writer, keep).is_ok();
+            let (method, path) = logged_head.unwrap_or_else(|| ("-".to_string(), "-".to_string()));
+            self.log_request(&method, &path, response.status, started, outcome, conn_id);
+            if !keep || !write_ok {
+                break;
+            }
+        }
+        self.finish(conn_id);
+    }
+
+    fn finish(&self, conn_id: u64) {
+        self.table.remove(conn_id);
     }
 }
 
@@ -462,11 +870,13 @@ impl Server {
     /// Propagates the bind failure (e.g. port already in use).
     pub fn bind(config: ServiceConfig) -> std::io::Result<Server> {
         let listener = TcpListener::bind((config.host, config.port))?;
-        Ok(Server {
+        let server = Server {
             listener,
             state: Arc::new(ServiceState::new(config)),
             stop: Arc::new(AtomicBool::new(false)),
-        })
+        };
+        let _ = server.state.stopper.set(server.stop_handle());
+        Ok(server)
     }
 
     /// The bound address (useful with ephemeral ports).
@@ -487,40 +897,87 @@ impl Server {
         }
     }
 
-    /// Runs the accept loop until [`StopHandle::stop`] is called: workers
-    /// drain in-flight connections, then the call returns. Connections
-    /// beyond the bounded queue are shed with `503`.
+    /// A handle onto this server's live counters ([`ServiceStats`]),
+    /// usable even after shutdown — drain tests read `drain_aborted`
+    /// through it once the server is gone.
+    #[must_use]
+    pub fn stats_handle(&self) -> StatsHandle {
+        StatsHandle {
+            state: Arc::clone(&self.state),
+        }
+    }
+
+    /// Runs the accept loop until [`StopHandle::stop`] is called, then
+    /// drains: idle keep-alive connections are reaped immediately,
+    /// in-flight requests finish (their responses carry
+    /// `Connection: close`), and stragglers past
+    /// [`ServiceConfig::drain_deadline`] are aborted.
+    ///
+    /// Each accepted connection gets its own thread (persistent
+    /// connections must not pin pooled workers while idle); concurrent
+    /// *compute* is bounded by the [`Gate`], and total connections by
+    /// [`ServiceConfig::max_connections`] with oldest-idle eviction.
     ///
     /// # Errors
     ///
     /// Propagates accept-loop socket failures (transient per-connection
     /// errors are tolerated).
     pub fn run(self) -> std::io::Result<()> {
-        let threads = if self.state.config.threads == 0 {
-            std::thread::available_parallelism().map_or(4, usize::from)
-        } else {
-            self.state.config.threads
-        };
-        let pool = {
-            let state = Arc::clone(&self.state);
-            WorkerPool::new(
-                threads,
-                self.state.config.queue_capacity,
-                move |stream: TcpStream| state.handle_connection(stream),
-            )
-        };
+        let connections = WaitGroup::new();
         for connection in self.listener.incoming() {
             if self.stop.load(Ordering::Relaxed) {
                 break;
             }
             match connection {
                 Ok(stream) => {
-                    if let Err(stream) = pool.try_dispatch(stream) {
-                        // Bounded queue full: shed instead of buffering.
-                        self.state.counters.shed.fetch_add(1, Ordering::Relaxed);
-                        let mut writer = &stream;
-                        let _ = Response::error(503, "server is saturated; retry with backoff")
-                            .write_to(&mut writer);
+                    // Connection cap: evict the oldest idle connection, or
+                    // shed when everyone is mid-request.
+                    if self.state.table.len() >= self.state.config.max_connections.max(1) {
+                        if self.state.table.evict_oldest_idle() {
+                            self.state
+                                .counters
+                                .idle_reaped
+                                .fetch_add(1, Ordering::Relaxed);
+                        } else {
+                            self.state.counters.shed.fetch_add(1, Ordering::Relaxed);
+                            let mut writer = &stream;
+                            let _ = Response::unavailable(
+                                "connection limit reached; retry with backoff",
+                                RETRY_AFTER_SECS,
+                            )
+                            .write_conn(&mut writer, false);
+                            continue;
+                        }
+                    }
+                    // The table needs its own socket handle to evict or
+                    // abort the connection from outside its thread; a
+                    // connection we cannot control that way is not served.
+                    let Ok(table_handle) = stream.try_clone() else {
+                        continue;
+                    };
+                    let conn_id = self.state.table.register(table_handle);
+                    let state = Arc::clone(&self.state);
+                    let guard = connections.enter();
+                    let spawned = std::thread::Builder::new()
+                        .name(format!("clb-conn-{conn_id}"))
+                        .spawn(move || {
+                            let _guard = guard;
+                            // One hostile request must not leak a
+                            // connection slot: a panicking handler closes
+                            // its connection and the table entry.
+                            let outcome =
+                                std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                                    state.handle_connection(stream, conn_id);
+                                }));
+                            if outcome.is_err() {
+                                state.finish(conn_id);
+                                eprintln!(
+                                    "clb-conn-{conn_id}: handler panicked; connection dropped"
+                                );
+                            }
+                        });
+                    if spawned.is_err() {
+                        self.state.finish(conn_id);
                     }
                 }
                 // Transient accept errors (e.g. the peer reset before we
@@ -528,13 +985,34 @@ impl Server {
                 Err(e) if e.kind() == std::io::ErrorKind::ConnectionAborted => {}
                 Err(e) if e.kind() == std::io::ErrorKind::ConnectionReset => {}
                 Err(e) => {
-                    pool.shutdown();
+                    self.drain(&connections);
                     return Err(e);
                 }
             }
         }
-        pool.shutdown();
+        self.drain(&connections);
         Ok(())
+    }
+
+    /// The graceful drain: reap idle connections, wait for in-flight
+    /// requests up to the hard deadline, abort stragglers.
+    fn drain(&self, connections: &Arc<WaitGroup>) {
+        let reaped = self.state.table.begin_drain();
+        self.state
+            .counters
+            .idle_reaped
+            .fetch_add(reaped, Ordering::Relaxed);
+        if !connections.wait_timeout(self.state.config.drain_deadline) {
+            let aborted = self.state.table.abort_all();
+            self.state
+                .counters
+                .drain_aborted
+                .fetch_add(aborted, Ordering::Relaxed);
+            // Aborted sockets unblock their threads almost instantly; a
+            // short grace keeps the exit orderly without re-opening an
+            // unbounded wait.
+            let _ = connections.wait_timeout(Duration::from_secs(1));
+        }
     }
 
     /// Binds-and-runs on a background thread, returning once the socket is
@@ -548,12 +1026,14 @@ impl Server {
         let server = Server::bind(config)?;
         let addr = server.local_addr()?;
         let handle = server.stop_handle();
+        let stats = server.stats_handle();
         let thread = std::thread::Builder::new()
             .name("clb-accept".to_string())
             .spawn(move || server.run())?;
         Ok(RunningServer {
             addr,
             handle,
+            stats,
             thread,
         })
     }
@@ -579,11 +1059,35 @@ impl StopHandle {
     }
 }
 
+/// Reads a server's live [`ServiceStats`] without going over HTTP — kept
+/// alive by `Arc`, so it keeps working after the server shuts down (the
+/// only way to observe `drain_aborted`, which is counted while the HTTP
+/// surface is already draining).
+#[derive(Clone)]
+pub struct StatsHandle {
+    state: Arc<ServiceState>,
+}
+
+impl std::fmt::Debug for StatsHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("StatsHandle").finish()
+    }
+}
+
+impl StatsHandle {
+    /// A point-in-time snapshot of the service counters.
+    #[must_use]
+    pub fn snapshot(&self) -> ServiceStats {
+        self.state.service_stats()
+    }
+}
+
 /// A server running on a background thread (see [`Server::spawn`]).
 #[derive(Debug)]
 pub struct RunningServer {
     addr: SocketAddr,
     handle: StopHandle,
+    stats: StatsHandle,
     thread: std::thread::JoinHandle<std::io::Result<()>>,
 }
 
@@ -594,7 +1098,16 @@ impl RunningServer {
         self.addr
     }
 
-    /// Graceful shutdown: stop accepting, drain workers, join the thread.
+    /// A counters handle that stays valid after [`shutdown`].
+    ///
+    /// [`shutdown`]: RunningServer::shutdown
+    #[must_use]
+    pub fn stats_handle(&self) -> StatsHandle {
+        self.stats.clone()
+    }
+
+    /// Graceful shutdown: stop accepting, drain in-flight requests (hard
+    /// deadline per [`ServiceConfig::drain_deadline`]), join the thread.
     ///
     /// # Errors
     ///

@@ -116,7 +116,7 @@ fn wire_request(addr: std::net::SocketAddr, method: &str, path: &str, body: &str
         .unwrap();
     write!(
         stream,
-        "{method} {path} HTTP/1.1\r\nHost: test\r\nContent-Length: {}\r\n\r\n{body}",
+        "{method} {path} HTTP/1.1\r\nHost: test\r\nConnection: close\r\nContent-Length: {}\r\n\r\n{body}",
         body.len()
     )
     .expect("send request");
@@ -385,6 +385,32 @@ fn golden_corpus_replays_byte_for_byte() {
         fixtures.len(),
         failures.join("\n")
     );
+}
+
+/// Satellite pin: the load-shed `503` wire rendering — status line,
+/// `Retry-After` header, connection handling and body — golden-pinned in
+/// both connection modes so the retry contract cannot drift silently.
+/// (A *live* saturated-gate 503 is asserted in `connection_lifecycle.rs`;
+/// this pins the exact bytes, which saturation cannot do deterministically.)
+#[test]
+fn shed_503_wire_rendering_is_pinned() {
+    use clb_service::{Response, RETRY_AFTER_SECS};
+    let shed = Response::unavailable("server is saturated; retry with backoff", RETRY_AFTER_SECS);
+    let rendered = format!(
+        "=== keep-alive ===\n{}\n=== close ===\n{}",
+        shed.render(true),
+        shed.render(false)
+    );
+    if blessing() {
+        std::fs::write(golden_dir().join("shed_503.http"), &rendered).unwrap();
+        return;
+    }
+    let expected = read_fixture_file("shed_503.http");
+    verify_bytes("shed_503", "rendered wire bytes", &expected, &rendered).unwrap();
+    // The contract itself, independent of fixture bytes: every shed names
+    // its retry hint in both the header and the JSON body.
+    assert!(rendered.contains(&format!("Retry-After: {RETRY_AFTER_SECS}\r\n")));
+    assert!(rendered.contains("\"retry_after_seconds\""));
 }
 
 #[test]

@@ -13,6 +13,9 @@ use conv_model::ConvLayer;
 use serde::Value;
 
 /// A minimal HTTP/1.1 client: one request, returns (status, body).
+/// Sends `Connection: close` — this suite tests the request surface, not
+/// connection reuse (that's `connection_lifecycle.rs`), and `read_to_string`
+/// needs the server to close the socket to delimit the response.
 fn request(addr: std::net::SocketAddr, method: &str, path: &str, body: &str) -> (u16, String) {
     let mut stream = TcpStream::connect(addr).expect("connect to test server");
     stream
@@ -20,13 +23,23 @@ fn request(addr: std::net::SocketAddr, method: &str, path: &str, body: &str) -> 
         .unwrap();
     write!(
         stream,
-        "{method} {path} HTTP/1.1\r\nHost: test\r\nContent-Length: {}\r\n\r\n{body}",
+        "{method} {path} HTTP/1.1\r\nHost: test\r\nConnection: close\r\nContent-Length: {}\r\n\r\n{body}",
         body.len()
     )
     .expect("send request");
     let mut raw = String::new();
     stream.read_to_string(&mut raw).expect("read response");
     parse_response(&raw)
+}
+
+/// Extracts one `key=value` field from a structured request-log line.
+fn log_field<'a>(line: &'a str, key: &str) -> &'a str {
+    line.split(' ')
+        .find_map(|kv| {
+            let (k, v) = kv.split_once('=')?;
+            (k == key).then_some(v)
+        })
+        .unwrap_or_else(|| panic!("no {key}= field in {line}"))
 }
 
 fn parse_response(raw: &str) -> (u16, String) {
@@ -328,18 +341,20 @@ fn request_log_lines_have_the_pinned_shape() {
         let keys: Vec<&str> = fields.iter().map(|(k, _)| *k).collect();
         assert_eq!(
             keys,
-            ["method", "path", "status", "micros", "cache"],
+            ["method", "path", "status", "micros", "cache", "conn"],
             "{line}"
         );
         let micros: u64 = fields[3].1.parse().expect("micros numeric");
         assert!(micros < 60_000_000, "{line}");
         fields[2].1.parse::<u16>().expect("status numeric");
+        fields[5].1.parse::<u64>().expect("conn numeric");
     }
     assert_eq!(
         lines[0],
         format!(
-            "method=POST path=/v1/bound status=200 {} cache=miss",
-            lines[0].split(' ').nth(3).unwrap()
+            "method=POST path=/v1/bound status=200 {} cache=miss conn={}",
+            lines[0].split(' ').nth(3).unwrap(),
+            log_field(&lines[0], "conn"),
         )
     );
     assert!(lines[1].contains("cache=hit"), "{}", lines[1]);
@@ -348,8 +363,12 @@ fn request_log_lines_have_the_pinned_shape() {
         "{}",
         lines[2]
     );
-    assert!(lines[2].ends_with("cache=-"), "{}", lines[2]);
+    assert_eq!(log_field(&lines[2], "cache"), "-", "{}", lines[2]);
     assert!(lines[3].contains("status=404"), "{}", lines[3]);
+    // Close-per-request clients get a fresh connection id every time.
+    let conns: std::collections::BTreeSet<&str> =
+        lines.iter().map(|l| log_field(l, "conn")).collect();
+    assert_eq!(conns.len(), 4, "{lines:?}");
 }
 
 /// Network-mode `/v1/dse` through the request log: the pinned line shape
@@ -407,7 +426,7 @@ fn request_log_covers_network_mode_dse() {
             .collect();
         assert_eq!(
             keys,
-            ["method", "path", "status", "micros", "cache"],
+            ["method", "path", "status", "micros", "cache", "conn"],
             "{line}"
         );
         assert!(line.contains("path=/v1/dse"), "{line}");
@@ -417,7 +436,7 @@ fn request_log_covers_network_mode_dse() {
     assert_eq!(count("status=200"), 4, "{lines:?}");
     // Both 422s recomputed: error responses never enter the cache.
     for line in lines.iter().filter(|l| l.contains("status=422")) {
-        assert!(line.ends_with("cache=miss"), "{line}");
+        assert_eq!(log_field(line, "cache"), "miss", "{line}");
     }
     // The burst shares one computation: exactly one miss; followers either
     // coalesced onto the in-flight leader or (having arrived after it
@@ -426,19 +445,21 @@ fn request_log_covers_network_mode_dse() {
     assert_eq!(
         ok_lines
             .iter()
-            .filter(|l| l.ends_with("cache=miss"))
+            .filter(|l| log_field(l, "cache") == "miss")
             .count(),
         1,
         "{ok_lines:?}"
     );
     assert!(
-        ok_lines.iter().all(|l| l.ends_with("cache=miss")
-            || l.ends_with("cache=coalesced")
-            || l.ends_with("cache=hit")),
+        ok_lines
+            .iter()
+            .all(|l| ["miss", "coalesced", "hit"].contains(&log_field(l, "cache"))),
         "{ok_lines:?}"
     );
     assert!(
-        ok_lines.iter().any(|l| l.ends_with("cache=coalesced")),
+        ok_lines
+            .iter()
+            .any(|l| log_field(l, "cache") == "coalesced"),
         "identical concurrent sweeps must coalesce: {ok_lines:?}"
     );
 }

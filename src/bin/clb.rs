@@ -9,6 +9,8 @@
 //! clb dse      --co 512 --size 28 --ci 256 [--pe-rows 16,24,32] [--lreg 64,128] ...
 //! clb dse      --net vgg16 [--batch 3] [--pe-rows 16,24,32] ...   # whole-model sweep
 //! clb serve    [--port 8080] [--threads 0] [--queue 256] [--result-cache 1024] [--log true]
+//!              [--keepalive-requests 128] [--keepalive-idle-ms 5000] [--max-connections 1024]
+//!              [--drain-ms 5000] [--allow-shutdown true]
 //! ```
 //!
 //! Every verb that takes `--implem` also takes `--arch '<json>'` — a full
@@ -491,6 +493,23 @@ fn cmd_serve(flags: &HashMap<String, String>) -> Result<(), String> {
     config.queue_capacity = get(flags, "queue", config.queue_capacity)?;
     config.result_cache_capacity = get(flags, "result-cache", config.result_cache_capacity)?;
     config.max_body_bytes = get(flags, "max-body", config.max_body_bytes)?;
+    config.max_requests_per_connection = get(
+        flags,
+        "keepalive-requests",
+        config.max_requests_per_connection,
+    )?;
+    config.idle_timeout = std::time::Duration::from_millis(get(
+        flags,
+        "keepalive-idle-ms",
+        config.idle_timeout.as_millis() as u64,
+    )?);
+    config.max_connections = get(flags, "max-connections", config.max_connections)?;
+    config.drain_deadline = std::time::Duration::from_millis(get(
+        flags,
+        "drain-ms",
+        config.drain_deadline.as_millis() as u64,
+    )?);
+    config.allow_shutdown = get(flags, "allow-shutdown", config.allow_shutdown)?;
     if get(flags, "log", false)? {
         config.log = Some(std::sync::Arc::new(|line: &str| eprintln!("{line}")));
     }
@@ -523,6 +542,8 @@ fn usage() -> &'static str {
      \\            (network mode: each candidate evaluated over the whole model)\n\
      clb serve    [--port 8080] [--threads 0] [--queue 256] [--result-cache 1024]\n\
      \\            [--search-cache 65536] [--max-body 1048576] [--log true]\n\
+     \\            [--keepalive-requests 128] [--keepalive-idle-ms 5000]\n\
+     \\            [--max-connections 1024] [--drain-ms 5000] [--allow-shutdown true]\n\
      \n\
      global flags:\n\
      --threads N        worker threads (search engine; serve: also HTTP workers; 0 = auto)\n\
