@@ -113,6 +113,42 @@ impl Accelerator {
         })
     }
 
+    /// Full analysis of one layer plus an execution trace of its planned
+    /// simulation (see [`accel_sim::trace`]).
+    ///
+    /// The trace rides the exact simulation the report describes — the
+    /// planned tiling is simulated once, traced — so the report's
+    /// `stats` and the trace's interval sums are bit-identical by the
+    /// simulator's construction.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`SimError`], including
+    /// [`SimError::TraceTooLarge`] when the planned grid exceeds the
+    /// trace caps for the requested options.
+    pub fn analyze_layer_traced(
+        &self,
+        name: &str,
+        layer: &ConvLayer,
+        options: &accel_sim::TraceOptions,
+    ) -> Result<(LayerReport, accel_sim::ExecutionTrace), SimError> {
+        let tiling = self.plan(layer)?;
+        let (stats, trace) = accel_sim::simulate_traced(layer, &tiling, &self.arch, options)?;
+        let energy = energy_of(&stats, &self.arch, &self.energy_params);
+        let bounds = BoundSummary::of(layer, accel_sim::effective_memory(&self.arch));
+        Ok((
+            LayerReport {
+                name: name.to_string(),
+                layer: *layer,
+                tiling,
+                stats,
+                energy,
+                bounds,
+            },
+            trace,
+        ))
+    }
+
     /// Full analysis of a network (the Fig. 14–20 pipeline).
     ///
     /// The per-layer plan → simulate → bound → energy pipelines are
@@ -180,6 +216,22 @@ mod tests {
         assert!(report.energy.total_pj() > 0.0);
         assert!(report.dram_vs_bound() >= 0.95);
         assert!(report.pj_per_mac() > energy_model::table::MAC_PJ);
+    }
+
+    #[test]
+    fn traced_analysis_matches_untraced() {
+        let acc = Accelerator::implementation(1);
+        let layer = workloads::vgg16(1).layer(7).unwrap().layer; // conv4_1
+        let report = acc.analyze_layer("conv4_1", &layer).unwrap();
+        let (traced, trace) = acc
+            .analyze_layer_traced("conv4_1", &layer, &accel_sim::TraceOptions::default())
+            .unwrap();
+        assert_eq!(report.stats, traced.stats);
+        assert_eq!(report.tiling, traced.tiling);
+        assert_eq!(trace.totals.compute_cycles, report.stats.compute_cycles);
+        assert_eq!(trace.totals.stall_cycles, report.stats.stall_cycles);
+        assert_eq!(trace.totals.blocks, report.stats.blocks);
+        assert_eq!(trace.totals.iterations, report.stats.iterations);
     }
 
     #[test]

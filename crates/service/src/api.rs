@@ -9,7 +9,7 @@
 //! the same `serde_json` pretty printer, so a service response is
 //! bit-identical to the corresponding library/CLI output.
 
-use accel_sim::{ArchConfig, DramConfig, SimStats};
+use accel_sim::{ArchConfig, DramConfig, ExecutionTrace, SimStats, TraceOptions};
 use clb_core::{Accelerator, LayerReport, NetworkReport, OnChipMemory};
 use conv_model::workloads::Network;
 use conv_model::{workloads, ConvLayer};
@@ -349,6 +349,107 @@ fn render<T: Serialize>(value: &T) -> Result<String, ApiError> {
     serde_json::to_string_pretty(value).map_err(|e| ApiError::Internal(e.to_string()))
 }
 
+/// How `/v1/simulate` and `/v1/plan` render a requested execution trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceFormat {
+    /// The structured [`ExecutionTrace`] under a trailing `trace` field.
+    Json,
+    /// A VCD waveform string under a trailing `vcd` field (implies the
+    /// per-block expansion — a waveform needs a timeline, not a histogram).
+    Vcd,
+}
+
+/// A parsed `trace` request option: which format, and whether the
+/// per-block expansion was asked for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceRequest {
+    /// Requested rendering.
+    pub format: TraceFormat,
+    /// Whether the per-block expansion is on (forced on by VCD).
+    pub expand: bool,
+}
+
+impl TraceRequest {
+    /// The simulator-side options this request maps to.
+    #[must_use]
+    pub fn options(&self) -> TraceOptions {
+        TraceOptions {
+            expand: self.expand,
+        }
+    }
+}
+
+const TRACE_KEYS: [&str; 2] = ["format", "expand"];
+
+/// Parses the optional `trace` object shared by `/v1/simulate` and
+/// `/v1/plan`. Absent or `null` means no trace (the response bytes stay
+/// exactly as before the trace feature existed).
+fn parse_trace_request(v: &Value) -> Result<Option<TraceRequest>, ApiError> {
+    let obj = match get_field(v, "trace")? {
+        None | Some(Value::Null) => return Ok(None),
+        Some(obj @ Value::Object(fields)) => {
+            for (key, _) in fields {
+                if !TRACE_KEYS.contains(&key.as_str()) {
+                    return Err(ApiError::BadRequest(format!(
+                        "unknown `trace` field `{key}` (allowed: {})",
+                        TRACE_KEYS.join(", ")
+                    )));
+                }
+            }
+            obj
+        }
+        Some(_) => {
+            return Err(ApiError::BadRequest(
+                "field `trace` must be an object like {\"format\": \"json\"|\"vcd\", \
+                 \"expand\": bool}"
+                    .to_string(),
+            ))
+        }
+    };
+    let format_name: String = optional(obj, "format", "json".to_string())?;
+    let format = match format_name.as_str() {
+        "json" => TraceFormat::Json,
+        "vcd" => TraceFormat::Vcd,
+        other => {
+            return Err(ApiError::Unprocessable(format!(
+                "unknown trace format `{other}` (json|vcd)"
+            )))
+        }
+    };
+    let expand: bool = optional(obj, "expand", false)?;
+    Ok(Some(TraceRequest {
+        format,
+        expand: expand || format == TraceFormat::Vcd,
+    }))
+}
+
+/// Renders `base` with the trace appended as one trailing top-level field
+/// (`trace` for JSON traces, `vcd` for waveforms). Appending — rather than
+/// adding optional fields to the response structs — keeps every untraced
+/// response bit-identical to its pre-trace wire bytes.
+fn render_traced<T: Serialize>(
+    base: &T,
+    request: &TraceRequest,
+    trace: &ExecutionTrace,
+) -> Result<String, ApiError> {
+    let mut value = base.to_value();
+    let Value::Object(fields) = &mut value else {
+        return Err(ApiError::Internal(
+            "traced responses must serialize as objects".to_string(),
+        ));
+    };
+    match request.format {
+        TraceFormat::Json => fields.push(("trace".to_string(), trace.to_value())),
+        TraceFormat::Vcd => {
+            let vcd = trace.to_vcd().ok_or_else(|| {
+                ApiError::Internal("VCD rendering requires an expanded trace".to_string())
+            })?;
+            fields.push(("vcd".to_string(), Value::String(vcd)));
+        }
+    }
+    render(&value)
+}
+
 /// `POST /v1/bound` — the communication lower bounds of one layer
 /// (mirrors `clb bound`).
 #[derive(Debug, Clone, Serialize)]
@@ -472,21 +573,41 @@ pub struct ArchPlanResponse {
 ///
 /// # Errors
 ///
-/// [`ApiError`] on malformed or out-of-limit requests, or when no tiling of
-/// the dataflow fits the implementation/architecture (422).
+/// [`ApiError`] on malformed or out-of-limit requests, when no tiling of
+/// the dataflow fits the implementation/architecture (422), or when a
+/// requested trace exceeds the trace caps (422).
 pub fn plan_response(v: &Value) -> Result<String, ApiError> {
     let layer = LayerSpec::from_value(v)?.to_layer()?;
     let choice = parse_arch_choice(v)?;
+    let trace_request = parse_trace_request(v)?;
     let acc = Accelerator::new(choice.arch());
-    let report = acc
-        .analyze_layer("layer", &layer)
+    let Some(trace_request) = trace_request else {
+        let report = acc
+            .analyze_layer("layer", &layer)
+            .map_err(|e| ApiError::Unprocessable(e.to_string()))?;
+        return match choice {
+            ArchChoice::Implem(implem) => render(&PlanResponse {
+                implementation: implem,
+                report,
+            }),
+            ArchChoice::Custom(arch) => render(&ArchPlanResponse { arch, report }),
+        };
+    };
+    let (report, trace) = acc
+        .analyze_layer_traced("layer", &layer, &trace_request.options())
         .map_err(|e| ApiError::Unprocessable(e.to_string()))?;
     match choice {
-        ArchChoice::Implem(implem) => render(&PlanResponse {
-            implementation: implem,
-            report,
-        }),
-        ArchChoice::Custom(arch) => render(&ArchPlanResponse { arch, report }),
+        ArchChoice::Implem(implem) => render_traced(
+            &PlanResponse {
+                implementation: implem,
+                report,
+            },
+            &trace_request,
+            &trace,
+        ),
+        ArchChoice::Custom(arch) => {
+            render_traced(&ArchPlanResponse { arch, report }, &trace_request, &trace)
+        }
     }
 }
 
@@ -546,28 +667,55 @@ pub fn simulate_response(v: &Value) -> Result<String, ApiError> {
     let layer = LayerSpec::from_value(v)?.to_layer()?;
     let choice = parse_arch_choice(v)?;
     let tiling: Tiling = require(v, "tiling")?;
+    let trace_request = parse_trace_request(v)?;
     let arch = choice.arch();
     // `simulate` itself rejects zero/oversized tilings (InvalidTiling)
-    // before touching the block grid; its diagnosis becomes the 422 body.
-    let stats = accel_sim::simulate(&layer, &tiling, &arch)
-        .map_err(|e| ApiError::Unprocessable(e.to_string()))?;
+    // before touching the block grid; its diagnosis becomes the 422 body —
+    // as does a trace request whose grid exceeds the trace caps
+    // (`TraceTooLarge` names the cap, checked before any expansion is
+    // allocated).
+    let (stats, trace) = match &trace_request {
+        None => (
+            accel_sim::simulate(&layer, &tiling, &arch)
+                .map_err(|e| ApiError::Unprocessable(e.to_string()))?,
+            None,
+        ),
+        Some(request) => {
+            let (stats, trace) =
+                accel_sim::simulate_traced(&layer, &tiling, &arch, &request.options())
+                    .map_err(|e| ApiError::Unprocessable(e.to_string()))?;
+            (stats, Some(trace))
+        }
+    };
     match choice {
-        ArchChoice::Implem(implem) => render(&SimulateResponse {
-            implementation: implem,
-            layer,
-            tiling,
-            stats,
-            total_cycles: stats.total_cycles(),
-            seconds: stats.seconds(arch.core_freq_hz),
-        }),
-        ArchChoice::Custom(arch) => render(&ArchSimulateResponse {
-            arch,
-            layer,
-            tiling,
-            stats,
-            total_cycles: stats.total_cycles(),
-            seconds: stats.seconds(arch.core_freq_hz),
-        }),
+        ArchChoice::Implem(implem) => {
+            let base = SimulateResponse {
+                implementation: implem,
+                layer,
+                tiling,
+                stats,
+                total_cycles: stats.total_cycles(),
+                seconds: stats.seconds(arch.core_freq_hz),
+            };
+            match (&trace_request, &trace) {
+                (Some(request), Some(trace)) => render_traced(&base, request, trace),
+                _ => render(&base),
+            }
+        }
+        ArchChoice::Custom(arch) => {
+            let base = ArchSimulateResponse {
+                arch,
+                layer,
+                tiling,
+                stats,
+                total_cycles: stats.total_cycles(),
+                seconds: stats.seconds(arch.core_freq_hz),
+            };
+            match (&trace_request, &trace) {
+                (Some(request), Some(trace)) => render_traced(&base, request, trace),
+                _ => render(&base),
+            }
+        }
     }
 }
 
@@ -1249,5 +1397,167 @@ mod tests {
     #[test]
     fn unknown_endpoint_is_404() {
         assert_eq!(dispatch("/v1/nope", &small_layer_body()).status, 404);
+    }
+
+    fn with_trace(mut body: Value, trace: Value) -> Value {
+        if let Value::Object(fields) = &mut body {
+            fields.push(("trace".to_string(), trace));
+        }
+        body
+    }
+
+    #[test]
+    fn null_trace_keeps_untraced_bytes() {
+        let plain = dispatch(
+            "/v1/simulate",
+            &simulate_body(tiling_value(1.0, 8.0, 7.0, 7.0)),
+        );
+        let nulled = dispatch(
+            "/v1/simulate",
+            &with_trace(simulate_body(tiling_value(1.0, 8.0, 7.0, 7.0)), Value::Null),
+        );
+        assert_eq!(plain.status, 200);
+        assert_eq!(plain.body, nulled.body, "null trace must not alter bytes");
+    }
+
+    #[test]
+    fn traced_simulate_appends_trace_field_only() {
+        let plain = dispatch(
+            "/v1/simulate",
+            &simulate_body(tiling_value(1.0, 8.0, 7.0, 7.0)),
+        );
+        let traced = dispatch(
+            "/v1/simulate",
+            &with_trace(simulate_body(tiling_value(1.0, 8.0, 7.0, 7.0)), obj(&[])),
+        );
+        assert_eq!(traced.status, 200, "{}", traced.body);
+        let plain_v: Value = serde_json::from_str(&plain.body).unwrap();
+        let traced_v: Value = serde_json::from_str(&traced.body).unwrap();
+        let (Value::Object(plain_fields), Value::Object(traced_fields)) = (&plain_v, &traced_v)
+        else {
+            panic!("responses must be objects");
+        };
+        // Same fields in the same order, plus exactly one trailing `trace`.
+        assert_eq!(traced_fields.len(), plain_fields.len() + 1);
+        for ((pk, pv), (tk, tv)) in plain_fields.iter().zip(traced_fields.iter()) {
+            assert_eq!(pk, tk);
+            assert_eq!(
+                serde_json::to_string_pretty(pv).unwrap(),
+                serde_json::to_string_pretty(tv).unwrap()
+            );
+        }
+        assert_eq!(traced_fields.last().unwrap().0, "trace");
+        // The appended trace reproduces the stats the response carries.
+        let stats = traced_v.get_field("stats").unwrap();
+        let totals = traced_v
+            .get_field("trace")
+            .unwrap()
+            .get_field("totals")
+            .unwrap();
+        for key in ["compute_cycles", "stall_cycles", "blocks", "iterations"] {
+            assert_eq!(
+                stats.get_field(key).unwrap().as_number(),
+                totals.get_field(key).unwrap().as_number(),
+                "trace totals must mirror stats `{key}`"
+            );
+        }
+        // Unexpanded traces ship no per-block list.
+        let blocks = traced_v
+            .get_field("trace")
+            .unwrap()
+            .get_field("blocks")
+            .unwrap();
+        assert!(blocks.as_array().unwrap().is_empty());
+    }
+
+    #[test]
+    fn traced_simulate_vcd_is_wellformed() {
+        let traced = dispatch(
+            "/v1/simulate",
+            &with_trace(
+                simulate_body(tiling_value(1.0, 8.0, 7.0, 7.0)),
+                obj(&[("format", Value::String("vcd".into()))]),
+            ),
+        );
+        assert_eq!(traced.status, 200, "{}", traced.body);
+        let v: Value = serde_json::from_str(&traced.body).unwrap();
+        let vcd = v.get_field("vcd").unwrap().as_str().unwrap();
+        assert!(vcd.starts_with("$comment"), "VCD must open with a header");
+        assert!(vcd.contains("$enddefinitions $end"));
+        assert!(
+            vcd.lines().any(|l| l.starts_with('#')),
+            "VCD must carry at least one timestamped change"
+        );
+    }
+
+    #[test]
+    fn traced_plan_totals_mirror_report_stats() {
+        let traced = dispatch("/v1/plan", &with_trace(small_layer_body(), obj(&[])));
+        assert_eq!(traced.status, 200, "{}", traced.body);
+        let v: Value = serde_json::from_str(&traced.body).unwrap();
+        let stats = v.get_field("report").unwrap().get_field("stats").unwrap();
+        let totals = v.get_field("trace").unwrap().get_field("totals").unwrap();
+        for key in ["compute_cycles", "stall_cycles", "blocks", "iterations"] {
+            assert_eq!(
+                stats.get_field(key).unwrap().as_number(),
+                totals.get_field(key).unwrap().as_number(),
+                "plan trace totals must mirror report stats `{key}`"
+            );
+        }
+    }
+
+    #[test]
+    fn trace_option_rejects_unknown_keys_and_formats() {
+        let body = simulate_body(tiling_value(1.0, 8.0, 7.0, 7.0));
+        let unknown_key = dispatch(
+            "/v1/simulate",
+            &with_trace(body.clone(), obj(&[("fmt", Value::String("vcd".into()))])),
+        );
+        assert_eq!(unknown_key.status, 400, "{}", unknown_key.body);
+        assert!(unknown_key.body.contains("fmt"), "{}", unknown_key.body);
+        let unknown_format = dispatch(
+            "/v1/simulate",
+            &with_trace(
+                body.clone(),
+                obj(&[("format", Value::String("svg".into()))]),
+            ),
+        );
+        assert_eq!(unknown_format.status, 422, "{}", unknown_format.body);
+        assert!(
+            unknown_format.body.contains("svg"),
+            "{}",
+            unknown_format.body
+        );
+        let not_an_object = dispatch(
+            "/v1/simulate",
+            &with_trace(body, Value::String("vcd".into())),
+        );
+        assert_eq!(not_an_object.status, 400, "{}", not_an_object.body);
+    }
+
+    #[test]
+    fn over_cap_trace_is_422_naming_the_cap() {
+        // ~200k blocks under a unit tiling: the expanded trace (VCD forces
+        // expansion) must be refused before allocation with the cap named.
+        let body = obj(&[
+            ("co", Value::Number(64.0)),
+            ("size", Value::Number(56.0)),
+            ("ci", Value::Number(8.0)),
+            ("batch", Value::Number(2.0)),
+            ("tiling", tiling_value(1.0, 1.0, 1.0, 1.0)),
+        ]);
+        let resp = dispatch(
+            "/v1/simulate",
+            &with_trace(
+                body.clone(),
+                obj(&[("format", Value::String("vcd".into()))]),
+            ),
+        );
+        assert_eq!(resp.status, 422, "{}", resp.body);
+        assert!(resp.body.contains("MAX_TRACE_BLOCKS"), "{}", resp.body);
+        // The same request without the expansion is fine: the class table
+        // stays compact however many blocks the grid has.
+        let compact = dispatch("/v1/simulate", &with_trace(body, obj(&[])));
+        assert_eq!(compact.status, 200, "{}", compact.body);
     }
 }

@@ -99,6 +99,18 @@
 //! echoes `implementation`, `layer` and `tiling` and carries the full
 //! [`accel_sim::SimStats`] counter set plus `total_cycles` and `seconds`.
 //!
+//! ## Execution traces
+//!
+//! `/v1/simulate` and `/v1/plan` accept an optional
+//! `"trace": {"format": "json"|"vcd", "expand": bool}` object; the
+//! response then carries a trailing `trace` (structured
+//! [`accel_sim::ExecutionTrace`]: per-class stall/compute timelines whose
+//! interval sums are bit-identical to the `stats` in the same response) or
+//! `vcd` (waveform text; `jq -r .vcd` extracts it for GTKWave) field.
+//! Untraced responses keep their exact pre-trace bytes. Traces past the
+//! [`accel_sim::trace::caps`] bounds are refused with a typed 422 naming
+//! the cap. See `docs/API.md` § Tracing.
+//!
 //! ## Custom architectures and design-space sweeps
 //!
 //! Everywhere a Table I `implem` index is accepted, a full `arch` object
@@ -179,7 +191,12 @@
 //! `method=POST path=/v1/plan status=200 micros=1234 cache=miss conn=7` —
 //! with `cache` reporting how the response-cache layers answered
 //! ([`CacheOutcome`]) and `conn` the connection id (lines sharing it were
-//! served over one reused keep-alive socket).
+//! served over one reused keep-alive socket). `/v1/simulate` and
+//! `/v1/plan` lines carry a trailing `trace=on|off`. Independently of
+//! logging, every request feeds a per-route log2 latency histogram;
+//! `GET /v1/cache_stats` reports them as a `latency` section
+//! ([`RouteLatencyStats`]: count, `p50`/`p99` bucket bounds and exact max
+//! in µs per [`LATENCY_ROUTES`] route).
 //!
 //! ## Embedding
 //!
@@ -205,12 +222,13 @@ pub use api::{
     arch_from_value, dse_network_results, dse_results, network_by_name, ApiError, ArchChoice,
     ArchPlanResponse, ArchSimulateResponse, BoundResponse, DseEntry, DseNetworkEntry,
     DseNetworkResponse, DseResponse, LayerSpec, PlanResponse, SimulateResponse, SweepEntry,
-    SweepResponse,
+    SweepResponse, TraceFormat, TraceRequest,
 };
 pub use chaos::{request_bytes, ChaosClient, WireResponse};
 pub use http::{HttpError, Request, Response};
 pub use pool::{BoundedQueue, Gate, WaitGroup, WorkerPool};
 pub use server::{
-    format_request_log, CacheOutcome, CacheStatsResponse, LogSink, MemoCacheStats, RunningServer,
-    Server, ServiceConfig, ServiceStats, StatsHandle, StopHandle, RETRY_AFTER_SECS,
+    format_request_log, CacheOutcome, CacheStatsResponse, LogSink, MemoCacheStats,
+    RouteLatencyStats, RunningServer, Server, ServiceConfig, ServiceStats, StatsHandle, StopHandle,
+    LATENCY_ROUTES, RETRY_AFTER_SECS,
 };

@@ -202,16 +202,18 @@ impl CacheOutcome {
 /// Formats one structured request-log line:
 ///
 /// ```text
-/// method=POST path=/v1/plan status=200 micros=1234 cache=miss conn=7
+/// method=POST path=/v1/plan status=200 micros=1234 cache=miss conn=7 trace=off
 /// ```
 ///
 /// Space-separated `key=value` pairs, fixed key order, one line per
 /// request; `cache` is a [`CacheOutcome`] spelling and `conn` the server's
 /// monotone connection id — consecutive lines sharing a `conn` value were
-/// served over one reused keep-alive socket. A connection aborted before
-/// its socket could be configured logs `status=0` with `method=- path=-`.
-/// The shape is pinned by an integration test — production log scrapers
-/// may rely on it.
+/// served over one reused keep-alive socket. The trailing `trace=on|off`
+/// appears only on `/v1/simulate` and `/v1/plan` requests (the endpoints
+/// that accept a `trace` option; `on` means the body carried a non-null
+/// one). A connection aborted before its socket could be configured logs
+/// `status=0` with `method=- path=-`. The shape is pinned by an
+/// integration test — production log scrapers may rely on it.
 #[must_use]
 pub fn format_request_log(
     method: &str,
@@ -220,9 +222,15 @@ pub fn format_request_log(
     micros: u128,
     cache: CacheOutcome,
     conn: u64,
+    trace: Option<bool>,
 ) -> String {
+    let trace = match trace {
+        None => "",
+        Some(true) => " trace=on",
+        Some(false) => " trace=off",
+    };
     format!(
-        "method={method} path={path} status={status} micros={micros} cache={} conn={conn}",
+        "method={method} path={path} status={status} micros={micros} cache={} conn={conn}{trace}",
         cache.as_str()
     )
 }
@@ -242,6 +250,121 @@ fn canonicalize(value: &Value) -> Value {
             Value::Object(sorted)
         }
         other => other.clone(),
+    }
+}
+
+/// The fixed route vocabulary of the `latency` section of
+/// `GET /v1/cache_stats`: every endpoint the server answers, plus a
+/// trailing `other` bucket for 404s/aborts. The list (and its order) is
+/// part of the wire shape — all routes always appear, so scrapers see a
+/// stable schema even for routes that have served nothing yet.
+pub const LATENCY_ROUTES: [&str; 10] = [
+    "/healthz",
+    "/v1/bound",
+    "/v1/sweep",
+    "/v1/plan",
+    "/v1/simulate",
+    "/v1/network",
+    "/v1/dse",
+    "/v1/cache_stats",
+    "/v1/shutdown",
+    "other",
+];
+
+/// Log2 bucket count of one route histogram: bucket `i` holds requests
+/// whose latency has an `i`-bit microsecond value (upper bound
+/// `2^i - 1 µs`), so 32 buckets span sub-microsecond to ~35 minutes —
+/// beyond any deadline the server allows.
+const LATENCY_BUCKETS: usize = 32;
+
+/// The upper bound (inclusive, in µs) of log2 bucket `i` — the value
+/// reported as a percentile when the quantile rank lands in that bucket.
+fn bucket_upper_micros(i: usize) -> u64 {
+    if i >= 63 {
+        u64::MAX
+    } else {
+        (1u64 << i) - 1
+    }
+}
+
+/// One route's lock-free latency histogram: log2 buckets of microsecond
+/// measurements plus the exact maximum. Recording is two relaxed atomic
+/// ops on the hot path; percentiles are derived at snapshot time.
+#[derive(Debug, Default)]
+struct LatencyHistogram {
+    buckets: [AtomicU64; LATENCY_BUCKETS],
+    max_micros: AtomicU64,
+}
+
+impl LatencyHistogram {
+    fn record(&self, micros: u128) {
+        let micros = u64::try_from(micros).unwrap_or(u64::MAX);
+        let bucket = ((u64::BITS - micros.leading_zeros()) as usize).min(LATENCY_BUCKETS - 1);
+        self.buckets[bucket].fetch_add(1, Ordering::Relaxed);
+        self.max_micros.fetch_max(micros, Ordering::Relaxed);
+    }
+
+    fn snapshot(&self, route: &str) -> RouteLatencyStats {
+        let counts: Vec<u64> = self
+            .buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect();
+        let total: u64 = counts.iter().sum();
+        // The smallest bucket whose cumulative count reaches the 1-based
+        // quantile rank; the reported value is that bucket's upper bound
+        // (a conservative estimate — never below the true percentile's
+        // bucket).
+        let quantile = |numerator: u128, denominator: u128| -> u64 {
+            if total == 0 {
+                return 0;
+            }
+            let rank = (u128::from(total) * numerator).div_ceil(denominator).max(1);
+            let mut cumulative: u128 = 0;
+            for (i, &count) in counts.iter().enumerate() {
+                cumulative += u128::from(count);
+                if cumulative >= rank {
+                    return bucket_upper_micros(i);
+                }
+            }
+            bucket_upper_micros(LATENCY_BUCKETS - 1)
+        };
+        RouteLatencyStats {
+            route: route.to_string(),
+            count: total,
+            p50_micros: quantile(1, 2),
+            p99_micros: quantile(99, 100),
+            max_micros: self.max_micros.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Per-route latency histograms, one per [`LATENCY_ROUTES`] entry.
+#[derive(Debug, Default)]
+struct LatencyRecorder {
+    routes: [LatencyHistogram; LATENCY_ROUTES.len()],
+}
+
+impl LatencyRecorder {
+    /// Which histogram a request path lands in: exact route match, or the
+    /// trailing `other` bucket (404s, aborted connections logged as `-`).
+    fn index_of(path: &str) -> usize {
+        LATENCY_ROUTES
+            .iter()
+            .position(|&route| route == path)
+            .unwrap_or(LATENCY_ROUTES.len() - 1)
+    }
+
+    fn record(&self, path: &str, micros: u128) {
+        self.routes[Self::index_of(path)].record(micros);
+    }
+
+    fn snapshot(&self) -> Vec<RouteLatencyStats> {
+        LATENCY_ROUTES
+            .iter()
+            .zip(&self.routes)
+            .map(|(route, histogram)| histogram.snapshot(route))
+            .collect()
     }
 }
 
@@ -397,6 +520,7 @@ struct ServiceState {
     flights: FlightMap<String, Arc<Response>>,
     response_cache: Mutex<LruCache<String, Arc<Response>>>,
     counters: Counters,
+    latency: LatencyRecorder,
     gate: Gate,
     table: ConnTable,
     /// Set by [`Server::bind`]; lets `POST /v1/shutdown` trigger the same
@@ -413,6 +537,29 @@ pub struct CacheStatsResponse {
     pub plan: MemoCacheStats,
     /// HTTP-layer stats for this server.
     pub service: ServiceStats,
+    /// Per-route latency histograms, one entry per [`LATENCY_ROUTES`]
+    /// route in that fixed order (all routes always present).
+    pub latency: Vec<RouteLatencyStats>,
+}
+
+/// One route's entry in the `latency` section of `GET /v1/cache_stats`:
+/// request count and latency percentiles in microseconds, derived from a
+/// 32-bucket log2 histogram of the same measurement the request log's
+/// `micros=` field reports. Percentiles are bucket upper bounds (so `p50`
+/// of a route whose requests all take ~100 µs reads `127`); `max` is
+/// exact.
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct RouteLatencyStats {
+    /// The route (a [`LATENCY_ROUTES`] entry).
+    pub route: String,
+    /// Requests measured.
+    pub count: u64,
+    /// Median latency in µs (log2-bucket upper bound), 0 when idle.
+    pub p50_micros: u64,
+    /// 99th-percentile latency in µs (log2-bucket upper bound), 0 when idle.
+    pub p99_micros: u64,
+    /// Largest single latency in µs (exact), 0 when idle.
+    pub max_micros: u64,
 }
 
 /// One memo-cache section of [`CacheStatsResponse`] — the `search` (tiling
@@ -502,6 +649,7 @@ impl ServiceState {
             config,
             flights: FlightMap::new(),
             counters: Counters::default(),
+            latency: LatencyRecorder::default(),
             table: ConnTable::default(),
             stopper: OnceLock::new(),
         }
@@ -532,6 +680,7 @@ impl ServiceState {
             search: dataflow::cache_stats().into(),
             plan: clb_core::plan_cache_stats().into(),
             service: self.service_stats(),
+            latency: self.latency.snapshot(),
         };
         match serde_json::to_string_pretty(&stats) {
             Ok(body) => Response::json(200, body),
@@ -539,20 +688,45 @@ impl ServiceState {
         }
     }
 
+    /// The request-log `trace=` flag: `Some` only for the endpoints that
+    /// accept a `trace` option, `on` when the parsed body carries a
+    /// non-null one (unparseable bodies log `off`).
+    fn trace_flag(path: &str, parsed: Option<&Value>) -> Option<bool> {
+        if path != "/v1/simulate" && path != "/v1/plan" {
+            return None;
+        }
+        let on = parsed.is_some_and(|v| {
+            matches!(v, Value::Object(fields)
+                if fields.iter().any(|(k, f)| k == "trace" && !matches!(f, Value::Null)))
+        });
+        Some(on)
+    }
+
     /// The cached/coalesced POST path. The canonical key is the endpoint
     /// plus the parsed, key-sorted, re-serialized body, so whitespace or
     /// key-order differences in client JSON cannot split identical queries.
     /// Responses travel as `Arc<Response>`: a cache hit clones a pointer
     /// inside the lock, never a multi-kilobyte body.
-    fn post_response(&self, path: &str, body: &[u8]) -> (Arc<Response>, CacheOutcome) {
+    fn post_response(
+        &self,
+        path: &str,
+        body: &[u8],
+    ) -> (Arc<Response>, CacheOutcome, Option<bool>) {
         let parsed: Value = match std::str::from_utf8(body)
             .map_err(|_| "request body is not valid UTF-8".to_string())
             .and_then(|text| {
                 serde_json::from_str::<Value>(text).map_err(|e| format!("invalid JSON body: {e}"))
             }) {
             Ok(v) => v,
-            Err(msg) => return (Arc::new(Response::error(400, &msg)), CacheOutcome::Uncached),
+            Err(msg) => {
+                return (
+                    Arc::new(Response::error(400, &msg)),
+                    CacheOutcome::Uncached,
+                    Self::trace_flag(path, None),
+                )
+            }
         };
+        let trace = Self::trace_flag(path, Some(&parsed));
         let canonical = match serde_json::to_string(&canonicalize(&parsed)) {
             Ok(c) => c,
             Err(e) => {
@@ -562,6 +736,7 @@ impl ServiceState {
                         &format!("unrenderable JSON body: {e}"),
                     )),
                     CacheOutcome::Uncached,
+                    trace,
                 )
             }
         };
@@ -571,7 +746,7 @@ impl ServiceState {
                 self.counters
                     .responses_cached
                     .fetch_add(1, Ordering::Relaxed);
-                return (Arc::clone(hit), CacheOutcome::Hit);
+                return (Arc::clone(hit), CacheOutcome::Hit, trace);
             }
         }
         // The response cache is bounded by *entry count*, so one oversized
@@ -600,7 +775,7 @@ impl ServiceState {
         } else {
             CacheOutcome::Miss
         };
-        (response, outcome)
+        (response, outcome, trace)
     }
 
     /// The drain trigger behind `POST /v1/shutdown` (when enabled): flips
@@ -637,7 +812,7 @@ impl ServiceState {
         method == "POST" && POST_ENDPOINTS.contains(&path)
     }
 
-    fn route(&self, head: &http::Head, body: &[u8]) -> (Arc<Response>, CacheOutcome) {
+    fn route(&self, head: &http::Head, body: &[u8]) -> (Arc<Response>, CacheOutcome, Option<bool>) {
         const POST_ENDPOINTS: [&str; 7] = [
             "/v1/bound",
             "/v1/sweep",
@@ -648,7 +823,7 @@ impl ServiceState {
             "/v1/shutdown",
         ];
         const GET_ENDPOINTS: [&str; 2] = ["/healthz", "/v1/cache_stats"];
-        let uncached = |r: Response| (Arc::new(r), CacheOutcome::Uncached);
+        let uncached = |r: Response| (Arc::new(r), CacheOutcome::Uncached, None);
         match (head.method.as_str(), head.path.as_str()) {
             ("GET", "/healthz") => uncached(Response::json(200, "{\"status\": \"ok\"}")),
             ("GET", "/v1/cache_stats") => uncached(self.cache_stats_response()),
@@ -664,6 +839,7 @@ impl ServiceState {
         }
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn log_request(
         &self,
         method: &str,
@@ -672,15 +848,15 @@ impl ServiceState {
         started: Instant,
         outcome: CacheOutcome,
         conn: u64,
+        trace: Option<bool>,
     ) {
+        let micros = started.elapsed().as_micros();
+        // The histograms observe every request, logging enabled or not —
+        // they feed `/v1/cache_stats`, not the log sink.
+        self.latency.record(path, micros);
         if let Some(sink) = &self.config.log {
             sink(&format_request_log(
-                method,
-                path,
-                status,
-                started.elapsed().as_micros(),
-                outcome,
-                conn,
+                method, path, status, micros, outcome, conn, trace,
             ));
         }
     }
@@ -718,7 +894,7 @@ impl ServiceState {
             .set_read_timeout(Some(self.config.idle_timeout))
             .and_then(|()| stream.set_write_timeout(Some(self.config.write_timeout)))
         {
-            self.log_request("-", "-", 0, opened, CacheOutcome::Uncached, conn_id);
+            self.log_request("-", "-", 0, opened, CacheOutcome::Uncached, conn_id, None);
             eprintln!("clb-conn-{conn_id}: socket timeouts unavailable ({e}); closing unserved");
             self.table.remove(conn_id);
             return;
@@ -753,7 +929,7 @@ impl ServiceState {
             let mut framed = false;
             let mut logged_head: Option<(String, String)> = None;
             let mut client_keepalive = false;
-            let (response, outcome) = match http::read_head(&mut reader, deadline) {
+            let (response, outcome, trace) = match http::read_head(&mut reader, deadline) {
                 Ok(head) => {
                     logged_head = Some((head.method.clone(), head.path.clone()));
                     client_keepalive = head.wants_keepalive();
@@ -770,6 +946,7 @@ impl ServiceState {
                                 .message(),
                             )),
                             CacheOutcome::Uncached,
+                            Self::trace_flag(&head.path, None),
                         )
                     } else {
                         if head.expects_continue() && head.content_length > 0 {
@@ -801,6 +978,7 @@ impl ServiceState {
                                                     RETRY_AFTER_SECS,
                                                 )),
                                                 CacheOutcome::Uncached,
+                                                Self::trace_flag(&head.path, None),
                                             )
                                         }
                                     }
@@ -811,6 +989,7 @@ impl ServiceState {
                             Err(e) => (
                                 Arc::new(Response::error(e.status(), &e.message())),
                                 CacheOutcome::Uncached,
+                                Self::trace_flag(&head.path, None),
                             ),
                         }
                     }
@@ -818,6 +997,7 @@ impl ServiceState {
                 Err(e) => (
                     Arc::new(Response::error(e.status(), &e.message())),
                     CacheOutcome::Uncached,
+                    None,
                 ),
             };
 
@@ -834,7 +1014,15 @@ impl ServiceState {
             let mut writer = &stream;
             let write_ok = response.write_conn(&mut writer, keep).is_ok();
             let (method, path) = logged_head.unwrap_or_else(|| ("-".to_string(), "-".to_string()));
-            self.log_request(&method, &path, response.status, started, outcome, conn_id);
+            self.log_request(
+                &method,
+                &path,
+                response.status,
+                started,
+                outcome,
+                conn_id,
+                trace,
+            );
             if !keep || !write_ok {
                 break;
             }

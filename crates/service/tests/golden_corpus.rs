@@ -251,6 +251,49 @@ fn corpus() -> Vec<(String, &'static str, &'static str, Option<Value>)> {
             ("candidates", Value::Array(preset_archs())),
         ])),
     ));
+    // Execution traces: pin the trace wire formats byte-for-byte — an
+    // expanded JSON trace and a VCD waveform on `/v1/simulate`, and a
+    // compact (class-only) JSON trace on `/v1/plan`, all on implem 1.
+    let tiling = || {
+        obj(vec![
+            ("b", num(1.0)),
+            ("z", num(8.0)),
+            ("y", num(7.0)),
+            ("x", num(7.0)),
+        ])
+    };
+    let mut trace_json = small_layer();
+    trace_json.push(("implem", num(1.0)));
+    trace_json.push(("tiling", tiling()));
+    trace_json.push(("trace", obj(vec![("expand", Value::Bool(true))])));
+    entries.push((
+        "simulate_trace_json".to_string(),
+        "POST",
+        "/v1/simulate",
+        Some(obj(trace_json)),
+    ));
+    let mut trace_vcd = small_layer();
+    trace_vcd.push(("implem", num(1.0)));
+    trace_vcd.push(("tiling", tiling()));
+    trace_vcd.push((
+        "trace",
+        obj(vec![("format", Value::String("vcd".to_string()))]),
+    ));
+    entries.push((
+        "simulate_trace_vcd".to_string(),
+        "POST",
+        "/v1/simulate",
+        Some(obj(trace_vcd)),
+    ));
+    let mut plan_trace = small_layer();
+    plan_trace.push(("implem", num(1.0)));
+    plan_trace.push(("trace", obj(vec![])));
+    entries.push((
+        "plan_trace_json".to_string(),
+        "POST",
+        "/v1/plan",
+        Some(obj(plan_trace)),
+    ));
     entries.push(("cache_stats".to_string(), "GET", "/v1/cache_stats", None));
     entries
 }
@@ -369,6 +412,16 @@ fn golden_corpus_replays_byte_for_byte() {
     }
     assert!(fixtures.iter().any(|f| f.case == "dse_layer_presets"));
     assert!(fixtures.iter().any(|f| f.case == "dse_network_presets"));
+    for case in [
+        "simulate_trace_json",
+        "simulate_trace_vcd",
+        "plan_trace_json",
+    ] {
+        assert!(
+            fixtures.iter().any(|f| f.case == case),
+            "corpus lost trace coverage: {case}"
+        );
+    }
 
     let server = Server::spawn(ServiceConfig::default()).expect("bind an ephemeral port");
     let mut failures = Vec::new();

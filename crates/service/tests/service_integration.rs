@@ -82,6 +82,53 @@ fn healthz_and_cache_stats_respond() {
 }
 
 #[test]
+fn cache_stats_report_per_route_latency_histograms() {
+    let server = spawn_server();
+    let addr = server.addr();
+    let body = "{\"co\":16,\"size\":14,\"ci\":8,\"batch\":1}";
+    for _ in 0..3 {
+        let (status, _) = request(addr, "POST", "/v1/bound", body);
+        assert_eq!(status, 200);
+    }
+    let (status, _) = request(addr, "GET", "/nope", "");
+    assert_eq!(status, 404);
+    let (status, stats_body) = request(addr, "GET", "/v1/cache_stats", "");
+    assert_eq!(status, 200);
+    server.shutdown().unwrap();
+
+    let stats: clb_service::CacheStatsResponse = serde_json::from_str(&stats_body).unwrap();
+    // Every route always appears, in the fixed LATENCY_ROUTES order —
+    // including routes that served nothing (stable scrape schema).
+    let routes: Vec<&str> = stats.latency.iter().map(|r| r.route.as_str()).collect();
+    assert_eq!(routes, clb_service::LATENCY_ROUTES.to_vec());
+    let by_route = |route: &str| {
+        stats
+            .latency
+            .iter()
+            .find(|r| r.route == route)
+            .unwrap()
+            .clone()
+    };
+    let bound = by_route("/v1/bound");
+    assert_eq!(bound.count, 3);
+    // Percentiles are log2-bucket upper bounds: 2^i - 1 for some i, with
+    // p50 <= p99, and the exact max inside the p99 bucket's range or above
+    // the p50 bucket's lower bound.
+    for p in [bound.p50_micros, bound.p99_micros] {
+        assert!((p + 1).is_power_of_two(), "bucket bound: {p}");
+    }
+    assert!(bound.p50_micros <= bound.p99_micros);
+    assert!(bound.max_micros <= 60_000_000, "{}", bound.max_micros);
+    // The 404 lands in the trailing `other` bucket; the stats request
+    // itself was still in flight when its snapshot was taken.
+    assert_eq!(by_route("other").count, 1);
+    assert_eq!(by_route("/v1/simulate").count, 0);
+    assert_eq!(by_route("/v1/cache_stats").count, 0);
+    let total: u64 = stats.latency.iter().map(|r| r.count).sum();
+    assert_eq!(total, 4);
+}
+
+#[test]
 fn sixty_four_concurrent_requests_are_bit_identical_to_library_output() {
     let server = spawn_server();
     let addr = server.addr();
@@ -328,27 +375,51 @@ fn request_log_lines_have_the_pinned_shape() {
     assert_eq!(status, 200);
     let (status, _) = request(addr, "GET", "/nope", "");
     assert_eq!(status, 404);
+    // The trace-capable endpoints carry a trailing trace= field: `on` when
+    // the body holds a non-null `trace`, `off` otherwise.
+    let traced = "{\"co\":16,\"size\":14,\"ci\":8,\"batch\":1,\
+         \"tiling\":{\"b\":1,\"z\":8,\"y\":7,\"x\":7},\"trace\":{}}";
+    let (status, _) = request(addr, "POST", "/v1/simulate", traced);
+    assert_eq!(status, 200);
+    let (status, _) = request(addr, "POST", "/v1/plan", body);
+    assert_eq!(status, 200);
     server.shutdown().unwrap();
 
     let lines = lines.lock().unwrap();
-    assert_eq!(lines.len(), 4, "one line per completed request: {lines:?}");
-    // Shape: space-separated key=value pairs in fixed order, micros numeric.
+    assert_eq!(lines.len(), 6, "one line per completed request: {lines:?}");
+    // Shape: space-separated key=value pairs in fixed order, micros numeric;
+    // /v1/simulate and /v1/plan lines end with the extra trace= field.
     for line in lines.iter() {
         let fields: Vec<(&str, &str)> = line
             .split(' ')
             .map(|kv| kv.split_once('=').expect("key=value"))
             .collect();
         let keys: Vec<&str> = fields.iter().map(|(k, _)| *k).collect();
-        assert_eq!(
-            keys,
-            ["method", "path", "status", "micros", "cache", "conn"],
-            "{line}"
-        );
+        let path = fields[1].1;
+        if path == "/v1/simulate" || path == "/v1/plan" {
+            assert_eq!(
+                keys,
+                ["method", "path", "status", "micros", "cache", "conn", "trace"],
+                "{line}"
+            );
+            assert!(
+                matches!(fields[6].1, "on" | "off"),
+                "trace must be on|off: {line}"
+            );
+        } else {
+            assert_eq!(
+                keys,
+                ["method", "path", "status", "micros", "cache", "conn"],
+                "{line}"
+            );
+        }
         let micros: u64 = fields[3].1.parse().expect("micros numeric");
         assert!(micros < 60_000_000, "{line}");
         fields[2].1.parse::<u16>().expect("status numeric");
         fields[5].1.parse::<u64>().expect("conn numeric");
     }
+    assert_eq!(log_field(&lines[4], "trace"), "on", "{}", lines[4]);
+    assert_eq!(log_field(&lines[5], "trace"), "off", "{}", lines[5]);
     assert_eq!(
         lines[0],
         format!(
@@ -368,7 +439,7 @@ fn request_log_lines_have_the_pinned_shape() {
     // Close-per-request clients get a fresh connection id every time.
     let conns: std::collections::BTreeSet<&str> =
         lines.iter().map(|l| log_field(l, "conn")).collect();
-    assert_eq!(conns.len(), 4, "{lines:?}");
+    assert_eq!(conns.len(), 6, "{lines:?}");
 }
 
 /// Network-mode `/v1/dse` through the request log: the pinned line shape

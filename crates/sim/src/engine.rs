@@ -45,6 +45,9 @@ use dataflow::Tiling;
 use crate::config::ArchConfig;
 use crate::mapping::{map_block, Block, MapError, Mapping};
 use crate::stats::{SimStats, Utilization};
+use crate::trace::{
+    caps as trace_caps, ClassObservation, ExecutionTrace, TraceBlock, TraceBuilder, TraceOptions,
+};
 
 /// Why a simulation could not run.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -72,6 +75,17 @@ pub enum SimError {
     /// The tiling has a zero or oversized dimension
     /// ([`Tiling::validate_for`]); the message names the offending field.
     InvalidTiling(String),
+    /// A trace request exceeds one of the [`crate::trace::caps`] limits.
+    /// Checked from the axis-run cardinalities *before* anything
+    /// trace-sized is allocated, so an over-cap request costs O(axis runs).
+    TraceTooLarge {
+        /// The violated cap's name (`MAX_TRACE_CLASSES` / `MAX_TRACE_BLOCKS`).
+        cap_name: &'static str,
+        /// How many the request implies.
+        have: u128,
+        /// The cap's value.
+        cap: u128,
+    },
 }
 
 impl std::fmt::Display for SimError {
@@ -86,6 +100,15 @@ impl std::fmt::Display for SimError {
             }
             SimError::InvalidArch(msg) => write!(f, "invalid architecture: {msg}"),
             SimError::InvalidTiling(msg) => write!(f, "invalid tiling: {msg}"),
+            SimError::TraceTooLarge {
+                cap_name,
+                have,
+                cap,
+            } => write!(
+                f,
+                "trace too large: {have} exceeds the trace cap {cap_name} = {cap}; \
+                 use a coarser tiling or drop the per-block expansion"
+            ),
         }
     }
 }
@@ -340,29 +363,64 @@ fn count_block(
     })
 }
 
-/// Unhidden DRAM stall cycles of one block.
+/// The unhidden DRAM stall of one block, decomposed into the intervals the
+/// execution trace reports. [`StallParts::total`] recombines them with the
+/// exact operation order the monolithic stall computation always used, so
+/// traced and untraced simulations stay bit-identical.
+struct StallParts {
+    /// Per-iteration unhidden load stall (`transfer_kz - compute_kz`).
+    load_per_iteration: u64,
+    /// All-iteration load stall (`ci · load_per_iteration`, saturating).
+    load: u64,
+    /// One-off output write-back (drain) stall.
+    drain: u64,
+    /// One-off DRAM first-access latency.
+    latency: u64,
+}
+
+impl StallParts {
+    /// Total unhidden stall of the block.
+    ///
+    /// Saturating: `ArchConfig::validate` caps the bandwidth/frequency
+    /// ratio, but a capped-yet-extreme custom configuration (slowest DRAM
+    /// against the fastest core) on a huge layer could still push this sum
+    /// past u64 — saturate rather than panic in debug builds. Saturating
+    /// sums of nonnegative terms equal `min(true sum, u64::MAX)` regardless
+    /// of association, so the class path and per-block walks stay
+    /// bit-identical.
+    fn total(&self) -> u64 {
+        self.load
+            .saturating_add(self.drain)
+            .saturating_add(self.latency)
+    }
+}
+
+/// Decomposed unhidden DRAM stall cycles of one block.
 ///
 /// Timing: the GBufs double-buffer at iteration (kz) granularity
 /// (Section V: "the GBufs are used for prefetching inputs and weights for
 /// the subsequent pass"), so each iteration's transfer overlaps that
 /// iteration's compute; the unhidden remainder stalls. The output
 /// write-back and the first-access latency are charged once per block.
-fn block_stall(arch: &ArchConfig, layer: &ConvLayer, c: &BlockCounts) -> u64 {
+fn stall_parts(arch: &ArchConfig, layer: &ConvLayer, c: &BlockCounts) -> StallParts {
     let words_per_cycle = arch.dram_words_per_cycle();
     let ci = layer.in_channels() as u64;
     let words_per_kz = (c.dram_input_reads + c.dram_weight_reads) / ci;
     let transfer_kz = (words_per_kz as f64 / words_per_cycle).ceil() as u64;
     let compute_kz = c.compute_cycles / ci;
     let writeback = (c.dram_output_writes as f64 / words_per_cycle).ceil() as u64;
-    // Saturating: `ArchConfig::validate` caps the bandwidth/frequency ratio,
-    // but a capped-yet-extreme custom configuration (slowest DRAM against the
-    // fastest core) on a huge layer could still push this product past u64 —
-    // saturate rather than panic in debug builds. Saturating sums of
-    // nonnegative terms equal `min(true sum, u64::MAX)` regardless of
-    // association, so the class path and per-block walks stay bit-identical.
-    ci.saturating_mul(transfer_kz.saturating_sub(compute_kz))
-        .saturating_add(writeback.saturating_sub(compute_kz))
-        .saturating_add(arch.dram.latency_cycles)
+    let load_per_iteration = transfer_kz.saturating_sub(compute_kz);
+    StallParts {
+        load_per_iteration,
+        load: ci.saturating_mul(load_per_iteration),
+        drain: writeback.saturating_sub(compute_kz),
+        latency: arch.dram.latency_cycles,
+    }
+}
+
+/// Unhidden DRAM stall cycles of one block (see [`stall_parts`]).
+fn block_stall(arch: &ArchConfig, layer: &ConvLayer, c: &BlockCounts) -> u64 {
+    stall_parts(arch, layer, c).total()
 }
 
 /// Exact, order-independent aggregation of [`BlockCounts`].
@@ -480,30 +538,10 @@ pub fn simulate(
         .validate_for(layer)
         .map_err(SimError::InvalidTiling)?;
 
-    let b_runs = index_runs(layer.batch(), tiling.b);
-    let z_runs = index_runs(layer.out_channels(), tiling.z);
-    let y_runs = axis_runs(
-        layer.output_height(),
-        tiling.y,
-        layer.stride(),
-        layer.kernel_height(),
-        layer.padding().vertical,
-        layer.in_height(),
-    );
-    let x_runs = axis_runs(
-        layer.output_width(),
-        tiling.x,
-        layer.stride(),
-        layer.kernel_width(),
-        layer.padding().horizontal,
-        layer.in_width(),
-    );
+    let [b_runs, z_runs, y_runs, x_runs] = grid_runs(layer, tiling);
 
     let classes = (b_runs.len() * z_runs.len() * y_runs.len() * x_runs.len()) as u128;
-    let blocks = (layer.batch().div_ceil(tiling.b) as u128)
-        * (layer.out_channels().div_ceil(tiling.z) as u128)
-        * (layer.output_height().div_ceil(tiling.y) as u128)
-        * (layer.output_width().div_ceil(tiling.x) as u128);
+    let blocks = grid_block_count(layer, tiling);
     // When classification barely collapses the grid (possible only with
     // unusual padding/stride combinations that make many tiles of an axis
     // clip differently), per-class evaluation saves nothing — fan the
@@ -546,6 +584,197 @@ pub fn simulate(
         }
     }
     Ok(acc.finalize(arch))
+}
+
+/// The per-axis shape runs of the block grid under a (validated) tiling,
+/// in `(b, z, y, x)` order.
+fn grid_runs(layer: &ConvLayer, tiling: &Tiling) -> [Vec<AxisRun>; 4] {
+    [
+        index_runs(layer.batch(), tiling.b),
+        index_runs(layer.out_channels(), tiling.z),
+        axis_runs(
+            layer.output_height(),
+            tiling.y,
+            layer.stride(),
+            layer.kernel_height(),
+            layer.padding().vertical,
+            layer.in_height(),
+        ),
+        axis_runs(
+            layer.output_width(),
+            tiling.x,
+            layer.stride(),
+            layer.kernel_width(),
+            layer.padding().horizontal,
+            layer.in_width(),
+        ),
+    ]
+}
+
+/// Total blocks of the grid, computed without enumerating it.
+fn grid_block_count(layer: &ConvLayer, tiling: &Tiling) -> u128 {
+    (layer.batch().div_ceil(tiling.b) as u128)
+        * (layer.out_channels().div_ceil(tiling.z) as u128)
+        * (layer.output_height().div_ceil(tiling.y) as u128)
+        * (layer.output_width().div_ceil(tiling.x) as u128)
+}
+
+/// Runs the counting simulation of one layer under one tiling while
+/// recording an [`ExecutionTrace`] of where the cycles go (see
+/// [`crate::trace`]).
+///
+/// Always takes the class path (the parallel fallback of [`simulate`] is a
+/// pure scheduling choice, so the returned [`SimStats`] are bit-identical
+/// to an untraced run either way), feeding the trace builder in the same
+/// loop iterations that feed the stats accumulator — which is how the
+/// trace's interval sums are guaranteed to reproduce `compute_cycles`,
+/// `stall_cycles`, `blocks` and `iterations` bit-identically. With
+/// [`TraceOptions::expand`] the class table is additionally expanded into
+/// the full per-block list in execution order (required for
+/// [`ExecutionTrace::to_vcd`]).
+///
+/// # Errors
+///
+/// Same conditions as [`simulate`], plus [`SimError::TraceTooLarge`] when
+/// the grid implies more than [`trace::caps::MAX_TRACE_CLASSES`] shape
+/// classes, or more than [`trace::caps::MAX_TRACE_BLOCKS`] blocks with
+/// `expand` set — checked from the axis-run cardinalities before anything
+/// trace-sized is allocated.
+///
+/// [`trace::caps::MAX_TRACE_CLASSES`]: crate::trace::caps::MAX_TRACE_CLASSES
+/// [`trace::caps::MAX_TRACE_BLOCKS`]: crate::trace::caps::MAX_TRACE_BLOCKS
+pub fn simulate_traced(
+    layer: &ConvLayer,
+    tiling: &Tiling,
+    arch: &ArchConfig,
+    options: &TraceOptions,
+) -> Result<(SimStats, ExecutionTrace), SimError> {
+    arch.validate().map_err(SimError::InvalidArch)?;
+    tiling
+        .validate_for(layer)
+        .map_err(SimError::InvalidTiling)?;
+
+    let [b_runs, z_runs, y_runs, x_runs] = grid_runs(layer, tiling);
+    let classes =
+        b_runs.len() as u128 * z_runs.len() as u128 * y_runs.len() as u128 * x_runs.len() as u128;
+    if classes > trace_caps::MAX_TRACE_CLASSES {
+        return Err(SimError::TraceTooLarge {
+            cap_name: "MAX_TRACE_CLASSES",
+            have: classes,
+            cap: trace_caps::MAX_TRACE_CLASSES,
+        });
+    }
+    let blocks = grid_block_count(layer, tiling);
+    if options.expand && blocks > trace_caps::MAX_TRACE_BLOCKS {
+        return Err(SimError::TraceTooLarge {
+            cap_name: "MAX_TRACE_BLOCKS",
+            have: blocks,
+            cap: trace_caps::MAX_TRACE_BLOCKS,
+        });
+    }
+
+    let ci = layer.in_channels() as u64;
+    let mut acc = Accumulator::default();
+    let mut builder = TraceBuilder::default();
+    for rb in &b_runs {
+        for rz in &z_runs {
+            for ry in &y_runs {
+                for rx in &x_runs {
+                    let block = Block {
+                        i0: rb.o0,
+                        b: rb.len,
+                        z0: rz.o0,
+                        z: rz.len,
+                        y0: ry.o0,
+                        y: ry.len,
+                        x0: rx.o0,
+                        x: rx.len,
+                    };
+                    let mapping = map_block(arch, layer, &block)?;
+                    let counts = count_block(arch, layer, &block, &mapping)?;
+                    let mult = rb.count * rz.count * ry.count * rx.count;
+                    let parts = stall_parts(arch, layer, &counts);
+                    builder.add(&ClassObservation {
+                        b: rb.len,
+                        z: rz.len,
+                        y: ry.len,
+                        x: rx.len,
+                        clip_x: rx.clip,
+                        clip_y: ry.clip,
+                        multiplicity: mult,
+                        iterations: ci,
+                        active_pes: counts.pe_denom,
+                        compute_cycles: counts.compute_cycles,
+                        // Exact: compute cycles are `ci · taps · pass_cycles`.
+                        compute_per_iteration: counts.compute_cycles / ci,
+                        load_per_iteration: parts.load_per_iteration,
+                        drain: parts.drain,
+                        latency: parts.latency,
+                        block_stall: parts.total(),
+                    });
+                    acc.add(arch, layer, &counts, mult);
+                }
+            }
+        }
+    }
+    let stats = acc.finalize(arch);
+    let mut trace = builder.finish(&stats);
+    if options.expand {
+        let blocks = expand_blocks(layer, tiling, &trace);
+        TraceBuilder::attach_blocks(&mut trace, blocks);
+    }
+    Ok((stats, trace))
+}
+
+/// Expands the class table into the full per-block list, in execution
+/// order. Every block's shape key `(b, z, y, x, clip_x, clip_y)` is derived
+/// exactly as the class loop derived it, so the lookup cannot miss.
+fn expand_blocks(layer: &ConvLayer, tiling: &Tiling, trace: &ExecutionTrace) -> Vec<TraceBlock> {
+    let pad = layer.padding();
+    block_grid(layer, tiling)
+        .iter()
+        .map(|blk| {
+            let clip_x = clipped_extent(
+                blk.x0,
+                blk.x,
+                layer.stride(),
+                layer.kernel_width(),
+                pad.horizontal,
+                layer.in_width(),
+            );
+            let clip_y = clipped_extent(
+                blk.y0,
+                blk.y,
+                layer.stride(),
+                layer.kernel_height(),
+                pad.vertical,
+                layer.in_height(),
+            );
+            let class = trace
+                .classes
+                .iter()
+                .position(|c| {
+                    c.b == blk.b
+                        && c.z == blk.z
+                        && c.y == blk.y
+                        && c.x == blk.x
+                        && c.clip_x == clip_x
+                        && c.clip_y == clip_y
+                })
+                .expect("every block of the grid belongs to a recorded shape class");
+            TraceBlock {
+                i0: blk.i0,
+                b: blk.b,
+                z0: blk.z0,
+                z: blk.z,
+                y0: blk.y0,
+                y: blk.y,
+                x0: blk.x0,
+                x: blk.x,
+                class,
+            }
+        })
+        .collect()
 }
 
 /// The fan-out fallback: a `rayon`-parallel per-block walk feeding the same

@@ -15,7 +15,11 @@
 //!   block), with [`simulate_reference`] retained as the per-block oracle
 //!   the fast path is pinned bit-identical against;
 //! * [`simulate_functional`] — the same walk actually computing the
-//!   convolution in Q8.8 (validated against the reference loop nest).
+//!   convolution in Q8.8 (validated against the reference loop nest);
+//! * [`simulate_traced`] / [`trace`] — the counting walk plus an
+//!   [`ExecutionTrace`]: per-class stall/compute timelines (JSON- and
+//!   VCD-renderable) whose interval sums are pinned bit-identical to the
+//!   [`SimStats`] they ship with.
 //!
 //! # Example
 //!
@@ -38,9 +42,12 @@ mod engine;
 pub mod mapping;
 pub mod microarch;
 mod stats;
+pub mod trace;
 
 pub use config::{caps, ArchCacheKey, ArchConfig, DramConfig};
 pub use engine::{
-    block_grid, effective_memory, simulate, simulate_functional, simulate_reference, SimError,
+    block_grid, effective_memory, simulate, simulate_functional, simulate_reference,
+    simulate_traced, SimError,
 };
 pub use stats::{DramCounters, GbufCounters, RegCounters, SimStats, Utilization};
+pub use trace::{ExecutionTrace, TraceBlock, TraceClass, TraceOptions, TracePhase, TraceSegment};

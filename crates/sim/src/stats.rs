@@ -141,8 +141,18 @@ impl SimStats {
     pub fn combined(&self, other: &SimStats) -> SimStats {
         let w1 = self.compute_cycles as f64;
         let w2 = other.compute_cycles as f64;
-        let wt = (w1 + w2).max(1.0);
-        let avg = |a: f64, b: f64| (a * w1 + b * w2) / wt;
+        // With zero compute cycles on both sides there is nothing to
+        // weight by: report zeroed utilization explicitly instead of
+        // dividing by a fabricated weight (under which a NaN utilization
+        // value would still poison the 0/1 average).
+        let wt = w1 + w2;
+        let avg = |a: f64, b: f64| {
+            if wt > 0.0 {
+                (a * w1 + b * w2) / wt
+            } else {
+                0.0
+            }
+        };
         SimStats {
             dram: DramCounters {
                 input_reads: self.dram.input_reads + other.dram.input_reads,
@@ -233,6 +243,49 @@ mod tests {
         assert_eq!(c.useful_macs, 120);
         // Weighted: (1.0*100 + 0.5*300)/400 = 0.625
         assert!((c.utilization.pe - 0.625).abs() < 1e-12);
+    }
+
+    #[test]
+    fn combine_zero_compute_zeroes_utilization() {
+        // Both sides report zero compute cycles (e.g. two empty/degenerate
+        // aggregations): the combined utilization must be exactly zero on
+        // every field — even when the inputs carry nonzero (or NaN)
+        // utilization values — not the output of an average weighted by a
+        // fabricated minimum weight.
+        let a = SimStats {
+            compute_cycles: 0,
+            utilization: Utilization {
+                gbuf: 0.7,
+                greg: 0.6,
+                lreg: 0.5,
+                memory_overall: f64::NAN,
+                pe: 0.9,
+            },
+            ..SimStats::default()
+        };
+        let b = SimStats {
+            compute_cycles: 0,
+            utilization: Utilization {
+                pe: 1.0,
+                ..Utilization::default()
+            },
+            ..SimStats::default()
+        };
+        let c = a.combined(&b);
+        let u = c.utilization;
+        for v in [u.gbuf, u.greg, u.lreg, u.memory_overall, u.pe] {
+            assert_eq!(v.to_bits(), 0.0f64.to_bits(), "expected +0.0, got {v}");
+        }
+        // Nonzero weights on either side still average as before.
+        let d = SimStats {
+            compute_cycles: 10,
+            utilization: Utilization {
+                pe: 0.5,
+                ..Utilization::default()
+            },
+            ..SimStats::default()
+        };
+        assert!((b.combined(&d).utilization.pe - 0.5).abs() < 1e-12);
     }
 
     #[test]

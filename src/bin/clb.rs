@@ -5,6 +5,7 @@
 //! clb sweep    --co 512 --size 28 --ci 256 ...           # all dataflows at one memory size
 //! clb plan     --co 512 --size 28 --ci 256 [--implem 1]  # tiling + simulation on an implementation
 //! clb simulate --co 512 --size 28 --ci 256 --tb 1 --tz 16 --ty 14 --tx 14 [--implem 1]
+//!              [--trace json|vcd] [--trace-out FILE]
 //! clb network  --net vgg16|alexnet|resnet50 [--batch 3] [--implem 1] [--json]
 //! clb dse      --co 512 --size 28 --ci 256 [--pe-rows 16,24,32] [--lreg 64,128] ...
 //! clb dse      --net vgg16 [--batch 3] [--pe-rows 16,24,32] ...   # whole-model sweep
@@ -219,7 +220,9 @@ fn cmd_plan(flags: &HashMap<String, String>) -> Result<(), String> {
 
 /// `clb simulate`: run the cycle simulator on an explicit, user-supplied
 /// tiling instead of the planner's choice (the CLI mirror of
-/// `POST /v1/simulate`).
+/// `POST /v1/simulate`). `--trace json|vcd` additionally records the
+/// per-block-class execution trace (VCD always carries the per-block
+/// expansion); `--trace-out FILE` writes it to a file instead of stdout.
 fn cmd_simulate(flags: &HashMap<String, String>) -> Result<(), String> {
     let layer = layer_from_flags(flags)?;
     let (arch, label) = arch_choice_from_flags(flags)?;
@@ -234,7 +237,25 @@ fn cmd_simulate(flags: &HashMap<String, String>) -> Result<(), String> {
     if tiling.b == 0 || tiling.z == 0 || tiling.y == 0 || tiling.x == 0 {
         return Err("--tb, --tz, --ty and --tx are required (nonzero)".into());
     }
-    let stats = accel_sim::simulate(&layer, &tiling, &arch).map_err(|e| e.to_string())?;
+    let trace_format = match flags.get("trace").map(String::as_str) {
+        None => None,
+        Some(format @ ("json" | "vcd")) => Some(format),
+        Some(other) => return Err(format!("unknown --trace format `{other}` (json|vcd)")),
+    };
+    let (stats, trace) = match trace_format {
+        None => (
+            accel_sim::simulate(&layer, &tiling, &arch).map_err(|e| e.to_string())?,
+            None,
+        ),
+        Some(format) => {
+            let options = accel_sim::TraceOptions {
+                expand: format == "vcd",
+            };
+            let (stats, trace) = accel_sim::simulate_traced(&layer, &tiling, &arch, &options)
+                .map_err(|e| e.to_string())?;
+            (stats, Some((format, trace)))
+        }
+    };
     println!("layer: {layer}");
     println!("{label}: {} PEs", arch.pe_count());
     println!("tiling: {tiling} ({} blocks)", stats.blocks);
@@ -256,6 +277,23 @@ fn cmd_simulate(flags: &HashMap<String, String>) -> Result<(), String> {
         stats.utilization.pe * 100.0,
         stats.utilization.memory_overall * 100.0
     );
+    if let Some((format, trace)) = trace {
+        let payload = if format == "vcd" {
+            trace
+                .to_vcd()
+                .ok_or_else(|| "VCD rendering requires an expanded trace".to_string())?
+        } else {
+            serde_json::to_string_pretty(&trace).map_err(|e| e.to_string())?
+        };
+        match flags.get("trace-out") {
+            Some(path) => {
+                std::fs::write(path, &payload)
+                    .map_err(|e| format!("cannot write trace to {path}: {e}"))?;
+                println!("trace: {} {} bytes -> {path}", payload.len(), format);
+            }
+            None => println!("{payload}"),
+        }
+    }
     Ok(())
 }
 
@@ -534,6 +572,7 @@ fn usage() -> &'static str {
      clb sweep    --co 512 --size 28 --ci 256 [--mem-kib 66.5]\n\
      clb plan     --co 512 --size 28 --ci 256 [--implem 1]\n\
      clb simulate --co 512 --size 28 --ci 256 --tb 1 --tz 16 --ty 14 --tx 14 [--implem 1]\n\
+     \\            [--trace json|vcd] [--trace-out FILE]   # execution trace (VCD: GTKWave)\n\
      clb network  --net vgg16|alexnet|resnet50 [--batch 3] [--implem 1] [--json true]\n\
      clb dse      --co 512 --size 28 --ci 256 [--pe-rows 16,24,32] [--pe-cols ...]\n\
      \\            [--group-rows ...] [--group-cols ...] [--lreg 64,128] [--igbuf ...]\n\
@@ -699,6 +738,48 @@ mod tests {
             .concat(),
         );
         assert!(cmd_simulate(&oversized).unwrap_err().contains("exceeds"));
+    }
+
+    #[test]
+    fn simulate_traces_to_files_and_rejects_unknown_formats() {
+        let base = [("co", "16"), ("size", "14"), ("ci", "8"), ("batch", "1")];
+        let tiling = [("tb", "1"), ("tz", "8"), ("ty", "7"), ("tx", "7")];
+        let dir = std::env::temp_dir().join(format!("clb-trace-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let vcd_path = dir.join("trace.vcd");
+        let vcd_flags = flags(
+            &[
+                &base[..],
+                &tiling[..],
+                &[("trace", "vcd"), ("trace-out", vcd_path.to_str().unwrap())],
+            ]
+            .concat(),
+        );
+        cmd_simulate(&vcd_flags).unwrap();
+        let vcd = std::fs::read_to_string(&vcd_path).unwrap();
+        assert!(vcd.contains("$enddefinitions $end"), "VCD header missing");
+        assert!(vcd.lines().any(|l| l.starts_with('#')), "no VCD changes");
+        // JSON trace to a file parses and carries the pinned totals.
+        let json_path = dir.join("trace.json");
+        let json_flags = flags(
+            &[
+                &base[..],
+                &tiling[..],
+                &[
+                    ("trace", "json"),
+                    ("trace-out", json_path.to_str().unwrap()),
+                ],
+            ]
+            .concat(),
+        );
+        cmd_simulate(&json_flags).unwrap();
+        let parsed: serde_json::Value =
+            serde_json::from_str(&std::fs::read_to_string(&json_path).unwrap()).unwrap();
+        assert!(parsed.get_field("totals").is_ok());
+        std::fs::remove_dir_all(&dir).unwrap();
+        // Unknown formats are refused.
+        let bad = flags(&[&base[..], &tiling[..], &[("trace", "svg")]].concat());
+        assert!(cmd_simulate(&bad).unwrap_err().contains("json|vcd"));
     }
 
     #[test]
