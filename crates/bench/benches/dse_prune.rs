@@ -1,0 +1,182 @@
+//! The staged-DSE pruning gate: a ≥ 10⁵-candidate architecture grid over
+//! **all of VGG-16 at batch 3**, swept by the bound-pruned staged engine.
+//!
+//! Run with `cargo bench -p clb-bench --bench dse_prune`. The run first
+//! proves **losslessness** on a control subset: the staged frontier over 64
+//! evenly-spaced candidates must be bit-identical to `rank_entries` over
+//! the serial unpruned full sweep, for every objective. Then it times the
+//! full grid and enforces the acceptance bar: the warm pruned sweep must
+//! beat the *projected* cost of evaluating the same grid unpruned (the
+//! measured per-candidate full-model cost × the grid's unique count) by
+//! **≥ 20×**. The run prints the prune rate and the measured ratio, and
+//! exits non-zero if parity or the bar is missed.
+
+use std::time::Instant;
+
+use accel_sim::ArchConfig;
+use clb_bench::banner;
+use clb_core::{
+    rank_entries, staged_sweep_archs_network, sweep_archs_network, Objective, SweepCost,
+};
+use clb_service::api;
+use conv_model::workloads;
+use criterion::black_box;
+
+/// The grid floor the gate sweeps — the ISSUE's "million-candidate engine"
+/// acceptance scale.
+const MIN_CANDIDATES: usize = 100_000;
+
+/// Control-subset size for the bit-identity check (evaluated unpruned, so
+/// it must stay affordable: 64 full-model evaluations).
+const CONTROL: usize = 64;
+
+/// Sample size for projecting the unpruned cost of the full grid.
+const PROJECTION_SAMPLE: usize = 16;
+
+/// The acceptance bar: warm pruned sweep ≥ 20× cheaper than the projected
+/// unpruned sweep.
+const MIN_SPEEDUP: f64 = 20.0;
+
+/// The ≥ 10⁵-candidate grid: a wide DSE net — PE dims on a geometric
+/// ladder spanning 16 to 4096 PEs, buffer sizes from memory-starved to
+/// generous. Every axis combination is a valid architecture (PE dims are
+/// multiples of 4, so every group size divides). The shape matters for the
+/// speedup gate: most of the space is *provably* dominated (too few PEs to
+/// beat the frontier's compute floor, or buffers so starved the traffic
+/// floor loses on transfer time), which is exactly the regime the bound
+/// stage exists for.
+fn grid() -> Vec<ArchConfig> {
+    let axes: [Vec<usize>; 9] = [
+        vec![4, 8, 12, 16, 24, 32, 64], // pe_rows
+        vec![4, 8, 12, 16, 24, 32, 64], // pe_cols
+        vec![1, 2, 4],                  // group_rows
+        vec![1, 2, 4],                  // group_cols
+        vec![16, 32, 64, 128],          // lreg_entries_per_pe
+        vec![96, 256, 640, 1024, 1600], // igbuf_entries
+        vec![64, 256, 1024],            // wgbuf_entries
+        vec![16_384, 36_864],           // greg_bytes
+        vec![32, 64],                   // greg_segment_entries
+    ];
+    let base = ArchConfig::implementation(1);
+    let archs = api::archs_from_axes_staged(&axes, &base).expect("bench grid is valid");
+    assert!(
+        archs.len() >= MIN_CANDIDATES,
+        "grid too small: {} < {MIN_CANDIDATES}",
+        archs.len()
+    );
+    archs
+}
+
+/// The serialized form of a kept frontier — byte equality of this string
+/// is wire-level bit identity.
+fn rendered<R: SweepCost + serde::Serialize>(entries: &[clb_core::ArchSweepEntry<R>]) -> String {
+    entries
+        .iter()
+        .map(|entry| match &entry.outcome {
+            Ok(report) => format!(
+                "{}=>{}",
+                serde_json::to_string_pretty(&entry.arch).unwrap(),
+                serde_json::to_string_pretty(report).unwrap()
+            ),
+            Err(e) => format!(
+                "{}=>error:{e}",
+                serde_json::to_string_pretty(&entry.arch).unwrap()
+            ),
+        })
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+fn main() {
+    banner(
+        "staged DSE pruning gate",
+        "Bound-pruned sweep of a 100k+ candidate grid over VGG-16 @ batch 3",
+    );
+    let net = workloads::vgg16(3);
+    let archs = grid();
+    println!("grid: {} candidates", archs.len());
+
+    // ---- Gate 1: lossless pruning on a control subset ------------------
+    // 64 evenly-spaced candidates, evaluated both ways for every
+    // objective: the staged frontier must equal the unpruned oracle
+    // ranking bit for bit.
+    let stride = archs.len() / CONTROL;
+    let control: Vec<ArchConfig> = archs
+        .iter()
+        .step_by(stride)
+        .take(CONTROL)
+        .copied()
+        .collect();
+    let oracle_start = Instant::now();
+    let oracle_entries = sweep_archs_network(&net, &control);
+    let oracle_time = oracle_start.elapsed();
+    for objective in Objective::ALL {
+        let staged = staged_sweep_archs_network(&net, &control, objective, 8, |_| {});
+        let oracle = rank_entries(sweep_archs_network(&net, &control), objective, 8);
+        assert_eq!(
+            rendered(&staged.entries),
+            rendered(&oracle),
+            "staged frontier diverged from the unpruned oracle (objective {objective:?})"
+        );
+        assert_eq!(
+            staged.pruned + staged.evaluated,
+            staged.unique as u64,
+            "funnel accounting broken"
+        );
+    }
+    println!(
+        "parity: staged == unpruned oracle on {CONTROL} control candidates, all {} objectives",
+        Objective::ALL.len()
+    );
+
+    // ---- Gate 2: warm pruned sweep >= 20x the projected unpruned cost --
+    // Cold pass to warm the plan/search caches, then the timed warm pass.
+    let cold_start = Instant::now();
+    let cold = staged_sweep_archs_network(&net, &archs, Objective::Cycles, 8, |_| {});
+    let cold_time = cold_start.elapsed();
+    let warm_start = Instant::now();
+    let warm = staged_sweep_archs_network(&net, &archs, Objective::Cycles, 8, |_| {});
+    let warm_time = warm_start.elapsed();
+    black_box(&warm);
+    assert_eq!(
+        rendered(&cold.entries),
+        rendered(&warm.entries),
+        "warm sweep must reproduce the cold frontier"
+    );
+
+    // Projected unpruned cost: per-candidate full-model evaluation cost
+    // (measured on a warm-cache sample so the projection is conservative)
+    // scaled to the grid's unique count.
+    let sample: Vec<ArchConfig> = control.iter().take(PROJECTION_SAMPLE).copied().collect();
+    let sample_start = Instant::now();
+    black_box(sweep_archs_network(&net, &sample));
+    let sample_time = sample_start.elapsed();
+    let per_candidate = sample_time.as_secs_f64() / sample.len() as f64;
+    let projected = per_candidate * warm.unique as f64;
+    let speedup = projected / warm_time.as_secs_f64();
+    let prune_rate = warm.pruned as f64 / warm.unique as f64;
+
+    println!(
+        "funnel: {} unique -> {} pruned ({:.1}% prune rate) -> {} evaluated -> {} kept",
+        warm.unique,
+        warm.pruned,
+        prune_rate * 100.0,
+        warm.evaluated,
+        warm.entries.len()
+    );
+    println!(
+        "cold sweep: {cold_time:.2?}; warm sweep: {warm_time:.2?}; \
+         unpruned oracle ({CONTROL} candidates): {oracle_time:.2?}"
+    );
+    println!(
+        "projected unpruned grid: {projected:.1}s ({per_candidate:.4}s/candidate x {} unique)",
+        warm.unique
+    );
+    println!("speedup: {speedup:.1}x (bar: >= {MIN_SPEEDUP:.0}x)");
+    black_box(oracle_entries);
+    assert!(
+        speedup >= MIN_SPEEDUP,
+        "pruned sweep speedup {speedup:.1}x below the {MIN_SPEEDUP:.0}x bar"
+    );
+    println!("PASS");
+}

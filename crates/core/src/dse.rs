@@ -28,20 +28,27 @@
 //! per-candidate oracle loop. The dedup, the sort key and the entry shape
 //! are shared between the two modes, so they cannot drift.
 
+use std::collections::HashMap;
+
 use accel_sim::{ArchCacheKey, ArchConfig, SimError};
+use comm_bound::filter::FloorCache;
 use conv_model::workloads::{NamedLayer, Network};
 use conv_model::ConvLayer;
+use energy_model::table;
 
 use crate::accelerator::Accelerator;
 use crate::report::{LayerReport, NetworkReport};
 
 /// What a sweep outcome must expose for the canonical result ordering:
-/// the headline cycle count and the DRAM traffic used as tie-breakers.
+/// the headline cycle count, the DRAM traffic, and the energy used by the
+/// selectable ranking objectives.
 pub trait SweepCost {
     /// Total execution cycles (compute + unhidden stalls).
     fn sweep_cycles(&self) -> u64;
     /// Total DRAM words moved.
     fn sweep_dram_words(&self) -> u64;
+    /// Total energy in picojoules.
+    fn sweep_energy_pj(&self) -> f64;
 }
 
 impl SweepCost for LayerReport {
@@ -52,6 +59,10 @@ impl SweepCost for LayerReport {
     fn sweep_dram_words(&self) -> u64 {
         self.stats.dram.total_words()
     }
+
+    fn sweep_energy_pj(&self) -> f64 {
+        self.energy.total_pj()
+    }
 }
 
 impl SweepCost for NetworkReport {
@@ -61,6 +72,10 @@ impl SweepCost for NetworkReport {
 
     fn sweep_dram_words(&self) -> u64 {
         self.totals.dram.total_words()
+    }
+
+    fn sweep_energy_pj(&self) -> f64 {
+        self.energy.total_pj()
     }
 }
 
@@ -202,6 +217,507 @@ pub fn sweep_archs_network(
         })
         .collect();
     canonical_entries(unique, outcomes)
+}
+
+/// Ranking objective of a staged sweep.
+///
+/// Scalar objectives (`Cycles`, `Traffic`, `Energy`) keep the global top-K
+/// by a total order whose primary component is the named cost; `Pareto`
+/// keeps the set of feasible candidates not dominated on
+/// `(cycles, DRAM words, energy)`. The legacy `/v1/dse` ordering is exactly
+/// [`Objective::Cycles`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Objective {
+    /// Fewest total cycles (ties: DRAM words, then architecture key) —
+    /// the legacy canonical order.
+    Cycles,
+    /// Fewest DRAM words (ties: cycles, then architecture key).
+    Traffic,
+    /// Least energy in pJ (ties: cycles, DRAM words, architecture key).
+    Energy,
+    /// The non-dominated set over `(cycles, DRAM words, energy)`, listed in
+    /// cycle order. Infeasible candidates are never part of a Pareto
+    /// frontier.
+    Pareto,
+}
+
+impl Objective {
+    /// Every objective, in documentation order.
+    pub const ALL: [Objective; 4] = [
+        Objective::Cycles,
+        Objective::Traffic,
+        Objective::Energy,
+        Objective::Pareto,
+    ];
+
+    /// Parses the wire spelling (`"cycles" | "traffic" | "energy" |
+    /// "pareto"`).
+    #[must_use]
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "cycles" => Some(Objective::Cycles),
+            "traffic" => Some(Objective::Traffic),
+            "energy" => Some(Objective::Energy),
+            "pareto" => Some(Objective::Pareto),
+            _ => None,
+        }
+    }
+
+    /// The wire spelling.
+    #[must_use]
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Objective::Cycles => "cycles",
+            Objective::Traffic => "traffic",
+            Objective::Energy => "energy",
+            Objective::Pareto => "pareto",
+        }
+    }
+}
+
+/// Total energy as an order-preserving integer: `f64::to_bits` is monotone
+/// over the non-negative range, so ranking by these bits ranks by energy.
+fn energy_bits(pj: f64) -> u64 {
+    pj.max(0.0).to_bits()
+}
+
+/// Relative slack applied to floating-point floors before integer
+/// comparison, so summation-order and rounding noise can never push an
+/// otherwise-admissible floor above the true cost.
+const FLOAT_SLACK: f64 = 1.0 - 1e-9;
+
+/// The canonical total order under `objective`: feasible before infeasible,
+/// then the objective's primary cost, then its tie-breakers, then the
+/// architecture's own total order. `Pareto` uses the `Cycles` order for its
+/// listing (membership is decided by dominance, not by this key).
+#[must_use]
+pub fn objective_key<R: SweepCost>(
+    entry: &ArchSweepEntry<R>,
+    objective: Objective,
+) -> (u8, u64, u64, u64, ArchCacheKey) {
+    let key = entry.arch.cache_key();
+    match &entry.outcome {
+        Ok(r) => {
+            let c = r.sweep_cycles();
+            let d = r.sweep_dram_words();
+            match objective {
+                Objective::Cycles | Objective::Pareto => (0, c, d, 0, key),
+                Objective::Traffic => (0, d, c, 0, key),
+                Objective::Energy => (0, energy_bits(r.sweep_energy_pj()), c, d, key),
+            }
+        }
+        Err(_) => (1, 0, 0, 0, key),
+    }
+}
+
+/// `(cycles, DRAM words, energy bits)` of a feasible entry.
+fn cost_triple<R: SweepCost>(entry: &ArchSweepEntry<R>) -> Option<(u64, u64, u64)> {
+    entry.outcome.as_ref().ok().map(|r| {
+        (
+            r.sweep_cycles(),
+            r.sweep_dram_words(),
+            energy_bits(r.sweep_energy_pj()),
+        )
+    })
+}
+
+/// `a` dominates `b`: no worse on every cost, strictly better on one.
+fn dominates(a: (u64, u64, u64), b: (u64, u64, u64)) -> bool {
+    a.0 <= b.0 && a.1 <= b.1 && a.2 <= b.2 && (a.0 < b.0 || a.1 < b.1 || a.2 < b.2)
+}
+
+/// The unpruned oracle ranking: what a staged sweep must reproduce
+/// bit-for-bit from any full sweep's entries.
+///
+/// Scalar objectives sort by [`objective_key`] and keep the first `top_k`.
+/// `Pareto` keeps the feasible non-dominated set, listed in cycle order,
+/// truncated to `top_k`.
+#[must_use]
+pub fn rank_entries<R: SweepCost>(
+    entries: Vec<ArchSweepEntry<R>>,
+    objective: Objective,
+    top_k: usize,
+) -> Vec<ArchSweepEntry<R>> {
+    let mut ranked = match objective {
+        Objective::Pareto => {
+            let triples: Vec<Option<(u64, u64, u64)>> = entries.iter().map(cost_triple).collect();
+            entries
+                .into_iter()
+                .enumerate()
+                .filter(|(i, _)| match triples[*i] {
+                    Some(t) => !triples.iter().flatten().any(|&o| dominates(o, t)),
+                    None => false,
+                })
+                .map(|(_, e)| e)
+                .collect()
+        }
+        _ => entries,
+    };
+    ranked.sort_by_key(|e| objective_key(e, objective));
+    ranked.truncate(top_k);
+    ranked
+}
+
+/// An admissible lower bound on one candidate's sweep costs, used by the
+/// bound stage to discard candidates before planning them.
+///
+/// Every field under-states (never over-states) what the candidate would
+/// actually score, so discarding on a *strict* comparison against an
+/// already-evaluated entry is lossless.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CandidateBound {
+    /// Floor on total cycles (compute floor vs. transfer floor, per layer).
+    pub cycles_lb: u64,
+    /// Floor on total DRAM words.
+    pub dram_lb: u64,
+    /// Floor on total energy, as order-preserving [`f64::to_bits`].
+    pub energy_lb_bits: u64,
+    /// The candidate provably cannot run the workload (a sliding window
+    /// overflows its IGBuf, or the configuration fails validation): its
+    /// outcome is certain to be an error.
+    pub provably_infeasible: bool,
+}
+
+impl CandidateBound {
+    fn infeasible() -> Self {
+        CandidateBound {
+            cycles_lb: u64::MAX,
+            dram_lb: u64::MAX,
+            energy_lb_bits: u64::MAX,
+            provably_infeasible: true,
+        }
+    }
+}
+
+/// Computes the admissible [`CandidateBound`] of every candidate for a
+/// workload, sharing one [`FloorCache`] so candidates that agree on buffer
+/// geometry cost a hash lookup each.
+///
+/// The floors compose the structural DRAM floor
+/// ([`comm_bound::filter::LayerFloor`]) with two simulator identities: a
+/// layer's cycles are at least `⌈MACs / PEs⌉` (compute) and at least
+/// `reads / link words-per-cycle + DRAM latency` (transfer), and its energy
+/// is at least `DRAM words · DRAM pJ + MACs · MAC pJ` (the two dominant
+/// components of the energy model, both with exact per-unit costs).
+#[must_use]
+pub fn candidate_bounds(layers: &[ConvLayer], candidates: &[ArchConfig]) -> Vec<CandidateBound> {
+    let mut cache = FloorCache::new(layers);
+    let macs: Vec<u64> = layers.iter().map(ConvLayer::macs).collect();
+    let total_macs = macs.iter().fold(0u64, |a, &m| a.saturating_add(m));
+    candidates
+        .iter()
+        .map(|arch| {
+            if arch.validate().is_err() {
+                return CandidateBound::infeasible();
+            }
+            let floors = cache.floors(arch.igbuf_entries, arch.wgbuf_entries);
+            if floors.iter().any(|f| f.provably_infeasible) {
+                return CandidateBound::infeasible();
+            }
+            let pe = arch.pe_count().max(1) as u64;
+            let wpc = arch.dram_words_per_cycle();
+            let latency = arch.dram.latency_cycles;
+            let mut cycles_lb = 0u64;
+            let mut dram_lb = 0u64;
+            for (f, &m) in floors.iter().zip(&macs) {
+                let compute_lb = m.div_ceil(pe);
+                let transfer_lb = if wpc > 0.0 {
+                    ((f.read_words as f64 / wpc) * FLOAT_SLACK) as u64
+                } else {
+                    0
+                };
+                cycles_lb =
+                    cycles_lb.saturating_add(compute_lb.max(transfer_lb.saturating_add(latency)));
+                dram_lb = dram_lb.saturating_add(f.total_words);
+            }
+            let energy_lb =
+                (dram_lb as f64 * table::DRAM_PJ + total_macs as f64 * table::MAC_PJ) * FLOAT_SLACK;
+            CandidateBound {
+                cycles_lb,
+                dram_lb,
+                energy_lb_bits: energy_bits(energy_lb),
+                provably_infeasible: false,
+            }
+        })
+        .collect()
+}
+
+impl CandidateBound {
+    /// The bound on the objective's primary cost.
+    fn primary_lb(&self, objective: Objective) -> u64 {
+        match objective {
+            Objective::Cycles | Objective::Pareto => self.cycles_lb,
+            Objective::Traffic => self.dram_lb,
+            Objective::Energy => self.energy_lb_bits,
+        }
+    }
+
+    /// Deterministic processing order: cheapest bound first (most likely to
+    /// anchor the frontier early), provably-infeasible candidates last.
+    fn order_key(&self, objective: Objective) -> (u8, u64, u64, u64) {
+        (
+            u8::from(self.provably_infeasible),
+            self.primary_lb(objective),
+            self.cycles_lb,
+            self.dram_lb,
+        )
+    }
+}
+
+/// A frontier snapshot handed to the progress callback after every chunk
+/// that changed the kept set.
+#[derive(Debug)]
+pub struct StagedProgress<'a, R> {
+    /// Candidates decided so far (pruned or evaluated).
+    pub processed: usize,
+    /// Candidates discarded by the bound stage so far.
+    pub pruned: u64,
+    /// The kept entries, in the objective's canonical order.
+    pub frontier: &'a [ArchSweepEntry<R>],
+}
+
+/// The result of a staged sweep: the final frontier plus the funnel counts.
+#[derive(Debug)]
+pub struct StagedOutcome<R> {
+    /// The kept entries — bit-identical to
+    /// [`rank_entries`] over the unpruned full sweep.
+    pub entries: Vec<ArchSweepEntry<R>>,
+    /// Distinct candidates after deduplication.
+    pub unique: usize,
+    /// Candidates discarded by the bound stage without planning.
+    pub pruned: u64,
+    /// Candidates that went through plan + simulate.
+    pub evaluated: u64,
+}
+
+/// Candidates per evaluation chunk: large enough to keep the thread pool
+/// fed by [`sweep_archs`], small enough that the frontier tightens (and
+/// prunes more) many times across a big sweep.
+const STAGE_CHUNK: usize = 512;
+
+/// The incremental kept set. Scalar objectives hold at most `top_k` entries
+/// sorted by [`objective_key`]; `Pareto` holds the full non-dominated set
+/// (truncated only on extraction).
+struct Frontier<R> {
+    objective: Objective,
+    top_k: usize,
+    entries: Vec<ArchSweepEntry<R>>,
+}
+
+impl<R: SweepCost> Frontier<R> {
+    fn new(objective: Objective, top_k: usize) -> Self {
+        Frontier {
+            objective,
+            top_k,
+            entries: Vec::new(),
+        }
+    }
+
+    /// Whether `bound` proves the candidate cannot enter the final kept
+    /// set. Lossless by admissibility: every comparison is strict, against
+    /// costs the candidate provably cannot beat.
+    fn can_prune(&self, bound: &CandidateBound) -> bool {
+        if self.top_k == 0 {
+            return true;
+        }
+        match self.objective {
+            Objective::Pareto => {
+                // An infeasible candidate is never on a Pareto frontier; a
+                // feasible one is excluded only if some kept entry beats its
+                // floors strictly on every cost (dominance is transitive, so
+                // the verdict survives later frontier evolution).
+                if bound.provably_infeasible {
+                    return true;
+                }
+                let b = (bound.cycles_lb, bound.dram_lb, bound.energy_lb_bits);
+                self.entries
+                    .iter()
+                    .filter_map(cost_triple)
+                    .any(|t| t.0 < b.0 && t.1 < b.1 && t.2 < b.2)
+            }
+            objective => {
+                if self.entries.len() < self.top_k {
+                    return false;
+                }
+                let worst = self.entries.last().expect("non-empty at capacity");
+                let worst_key = objective_key(worst, objective);
+                if worst_key.0 != 0 {
+                    // The worst kept entry is infeasible: any candidate
+                    // (even a provably-infeasible one, which would rank by
+                    // architecture key) could still displace it.
+                    return false;
+                }
+                bound.provably_infeasible || bound.primary_lb(objective) > worst_key.1
+            }
+        }
+    }
+
+    /// Merges one evaluated entry; returns whether the kept set changed.
+    fn insert(&mut self, entry: ArchSweepEntry<R>) -> bool {
+        if self.top_k == 0 {
+            return false;
+        }
+        match self.objective {
+            Objective::Pareto => {
+                let Some(t) = cost_triple(&entry) else {
+                    return false;
+                };
+                if self
+                    .entries
+                    .iter()
+                    .filter_map(cost_triple)
+                    .any(|kept| dominates(kept, t))
+                {
+                    return false;
+                }
+                self.entries
+                    .retain(|kept| !cost_triple(kept).is_some_and(|k| dominates(t, k)));
+                let key = objective_key(&entry, Objective::Pareto);
+                let at = self
+                    .entries
+                    .partition_point(|e| objective_key(e, Objective::Pareto) < key);
+                self.entries.insert(at, entry);
+                true
+            }
+            objective => {
+                let key = objective_key(&entry, objective);
+                let at = self
+                    .entries
+                    .partition_point(|e| objective_key(e, objective) < key);
+                if self.entries.len() == self.top_k {
+                    if at == self.top_k {
+                        return false;
+                    }
+                    self.entries.pop();
+                }
+                self.entries.insert(at, entry);
+                true
+            }
+        }
+    }
+
+    fn entries(&self) -> &[ArchSweepEntry<R>] {
+        &self.entries
+    }
+
+    fn into_ranked(mut self) -> Vec<ArchSweepEntry<R>> {
+        self.entries.truncate(self.top_k);
+        self.entries
+    }
+}
+
+/// The staged funnel shared by both sweep modes: order candidates by their
+/// bound, prune against the frontier, evaluate survivors in chunks through
+/// `eval` (which fans across threads), and merge serially — so the pruned
+/// count and every frontier snapshot are deterministic for a given
+/// candidate set, independent of thread scheduling.
+fn staged_engine<R: SweepCost>(
+    unique: Vec<ArchConfig>,
+    bounds: Vec<CandidateBound>,
+    objective: Objective,
+    top_k: usize,
+    eval: impl Fn(&[ArchConfig]) -> Vec<ArchSweepEntry<R>>,
+    mut progress: impl FnMut(StagedProgress<'_, R>),
+) -> StagedOutcome<R> {
+    debug_assert_eq!(unique.len(), bounds.len());
+    let mut order: Vec<usize> = (0..unique.len()).collect();
+    order.sort_by_key(|&i| (bounds[i].order_key(objective), unique[i].cache_key()));
+
+    let mut frontier = Frontier::new(objective, top_k);
+    let mut pruned = 0u64;
+    let mut evaluated = 0u64;
+    let mut processed = 0usize;
+    for chunk in order.chunks(STAGE_CHUNK) {
+        let mut survivors = Vec::with_capacity(chunk.len());
+        for &i in chunk {
+            if frontier.can_prune(&bounds[i]) {
+                pruned += 1;
+            } else {
+                survivors.push(i);
+            }
+        }
+        let archs: Vec<ArchConfig> = survivors.iter().map(|&i| unique[i]).collect();
+        evaluated += archs.len() as u64;
+        let mut by_key: HashMap<ArchCacheKey, ArchSweepEntry<R>> = eval(&archs)
+            .into_iter()
+            .map(|e| (e.arch.cache_key(), e))
+            .collect();
+        let mut changed = false;
+        for &i in &survivors {
+            let entry = by_key
+                .remove(&unique[i].cache_key())
+                .expect("one result per survivor");
+            changed |= frontier.insert(entry);
+        }
+        processed += chunk.len();
+        if changed {
+            progress(StagedProgress {
+                processed,
+                pruned,
+                frontier: frontier.entries(),
+            });
+        }
+    }
+    StagedOutcome {
+        unique: unique.len(),
+        pruned,
+        evaluated,
+        entries: frontier.into_ranked(),
+    }
+}
+
+/// Staged layer sweep: [`sweep_archs`] semantics with bound-stage pruning
+/// and an incremental top-K frontier.
+///
+/// The returned entries are **bit-identical** to
+/// `rank_entries(sweep_archs(name, layer, candidates), objective, top_k)` —
+/// pruning is lossless. `progress` fires after every evaluation chunk that
+/// changed the frontier (streaming delivery hooks in here).
+pub fn staged_sweep_archs(
+    name: &str,
+    layer: &ConvLayer,
+    candidates: &[ArchConfig],
+    objective: Objective,
+    top_k: usize,
+    progress: impl FnMut(StagedProgress<'_, LayerReport>),
+) -> StagedOutcome<LayerReport> {
+    let unique = dedup_candidates(candidates);
+    let bounds = candidate_bounds(std::slice::from_ref(layer), &unique);
+    staged_engine(
+        unique,
+        bounds,
+        objective,
+        top_k,
+        |archs| sweep_archs(name, layer, archs),
+        progress,
+    )
+}
+
+/// Staged network sweep: [`sweep_archs_network`] semantics with bound-stage
+/// pruning and an incremental top-K frontier. Per-layer floors are summed,
+/// mirroring how [`NetworkReport`] totals sum per-layer costs.
+///
+/// The returned entries are **bit-identical** to
+/// `rank_entries(sweep_archs_network(network, candidates), objective,
+/// top_k)`.
+pub fn staged_sweep_archs_network(
+    network: &Network,
+    candidates: &[ArchConfig],
+    objective: Objective,
+    top_k: usize,
+    progress: impl FnMut(StagedProgress<'_, NetworkReport>),
+) -> StagedOutcome<NetworkReport> {
+    let unique = dedup_candidates(candidates);
+    let layers: Vec<ConvLayer> = network.conv_layers().map(|l| l.layer).collect();
+    let bounds = candidate_bounds(&layers, &unique);
+    staged_engine(
+        unique,
+        bounds,
+        objective,
+        top_k,
+        |archs| sweep_archs_network(network, archs),
+        progress,
+    )
 }
 
 #[cfg(test)]

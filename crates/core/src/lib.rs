@@ -38,7 +38,11 @@ mod report;
 
 pub use accelerator::Accelerator;
 pub use design::{derive_config, optimal_psum_fraction};
-pub use dse::{sweep_archs, sweep_archs_network, ArchSweepEntry, SweepCost};
+pub use dse::{
+    candidate_bounds, objective_key, rank_entries, staged_sweep_archs, staged_sweep_archs_network,
+    sweep_archs, sweep_archs_network, ArchSweepEntry, CandidateBound, Objective, StagedOutcome,
+    StagedProgress, SweepCost,
+};
 pub use planner::{
     clear_plan_cache, plan_cache_stats, plan_for_arch, set_plan_cache_capacity, tiling_feasible,
     DEFAULT_PLAN_CACHE_CAPACITY,

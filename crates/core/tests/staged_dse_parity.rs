@@ -1,0 +1,182 @@
+//! Staged-sweep acceptance properties — the lossless-pruning invariant:
+//!
+//! * **Oracle parity** — for random layers/networks × random candidate
+//!   grids × *every* objective and several top-K values, the staged
+//!   engine's kept frontier must be bit-identical (at the serialized-report
+//!   level, which is what reaches the wire) to [`rank_entries`] over the
+//!   serial unpruned full sweep. The bound stage must never discard a true
+//!   optimum.
+//! * **Admissibility** — every [`candidate_bounds`] floor must under-state
+//!   the candidate's actual cycles / DRAM words / energy, and a
+//!   `provably_infeasible` verdict must always coincide with an error
+//!   outcome.
+//! * **Funnel accounting** — `pruned + evaluated == unique`, always.
+
+use clb_core::{
+    candidate_bounds, rank_entries, staged_sweep_archs, staged_sweep_archs_network, sweep_archs,
+    sweep_archs_network, Accelerator, ArchConfig, ArchSweepEntry, Objective, SweepCost,
+};
+use conv_model::workloads::Network;
+use conv_model::ConvLayer;
+use proptest::prelude::*;
+
+/// Random small layers with `same` padding, so halo clipping is exercised.
+fn layer_strategy() -> impl Strategy<Value = ConvLayer> {
+    (
+        1usize..=2,  // batch
+        4usize..=24, // out channels
+        6usize..=18, // output size
+        1usize..=8,  // in channels
+        1usize..=3,  // kernel
+        1usize..=2,  // stride
+    )
+        .prop_filter_map("valid layer", |(b, co, size, ci, k, s)| {
+            ConvLayer::square(b, co, size, ci, k, s).ok()
+        })
+}
+
+fn network_strategy() -> impl Strategy<Value = Network> {
+    prop::collection::vec(layer_strategy(), 1..=3).prop_map(|layers| {
+        Network::new(
+            "prop-net",
+            layers
+                .into_iter()
+                .enumerate()
+                .map(|(i, l)| (format!("conv{i}"), l))
+                .collect(),
+        )
+    })
+}
+
+/// Random candidates around the Table I design space. Tiny IGBuf choices
+/// make some layers provably infeasible (the bound stage's strongest
+/// verdict); an invalid group size exercises the `InvalidArch` path.
+fn candidate_strategy() -> impl Strategy<Value = ArchConfig> {
+    (
+        0usize..4, // pe_rows in {8,16,24,32}
+        0usize..2, // pe_cols in {8,16}
+        0usize..3, // groups in {2,4,7} — 7 fails validation
+        0usize..3, // lreg in {32,64,128}
+        0usize..4, // igbuf in {8,512,1024,2048}
+        0usize..2, // wgbuf in {128,256}
+    )
+        .prop_map(|(pr, pc, g, lr, ig, wg)| {
+            let group = [2usize, 4, 7][g];
+            ArchConfig {
+                pe_rows: [8usize, 16, 24, 32][pr],
+                pe_cols: [8usize, 16][pc],
+                group_rows: group,
+                group_cols: 2,
+                lreg_entries_per_pe: [32usize, 64, 128][lr],
+                igbuf_entries: [8usize, 512, 1024, 2048][ig],
+                wgbuf_entries: [128usize, 256][wg],
+                ..ArchConfig::implementation(1)
+            }
+        })
+}
+
+fn objective_strategy() -> impl Strategy<Value = Objective> {
+    (0usize..Objective::ALL.len()).prop_map(|i| Objective::ALL[i])
+}
+
+/// The serialized form of a kept frontier — byte equality of this string is
+/// exactly wire-level bit identity.
+fn rendered<R: SweepCost + serde::Serialize>(entries: &[ArchSweepEntry<R>]) -> String {
+    entries
+        .iter()
+        .map(|entry| match &entry.outcome {
+            Ok(report) => format!(
+                "{}=>{}",
+                serde_json::to_string_pretty(&entry.arch).unwrap(),
+                serde_json::to_string_pretty(report).unwrap()
+            ),
+            Err(e) => format!(
+                "{}=>error:{e}",
+                serde_json::to_string_pretty(&entry.arch).unwrap()
+            ),
+        })
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Layer mode: staged frontier == unpruned oracle ranking, for every
+    /// objective, bit for bit.
+    #[test]
+    fn staged_layer_sweep_equals_unpruned_oracle(
+        layer in layer_strategy(),
+        candidates in prop::collection::vec(candidate_strategy(), 1..=24),
+        objective in objective_strategy(),
+        top_k in 1usize..=8,
+    ) {
+        let staged = staged_sweep_archs("layer", &layer, &candidates, objective, top_k, |_| {});
+        let oracle = rank_entries(sweep_archs("layer", &layer, &candidates), objective, top_k);
+        prop_assert_eq!(rendered(&staged.entries), rendered(&oracle));
+        prop_assert_eq!(staged.pruned + staged.evaluated, staged.unique as u64);
+    }
+
+    /// Network mode: staged frontier == unpruned oracle ranking.
+    #[test]
+    fn staged_network_sweep_equals_unpruned_oracle(
+        net in network_strategy(),
+        candidates in prop::collection::vec(candidate_strategy(), 1..=8),
+        objective in objective_strategy(),
+        top_k in 1usize..=4,
+    ) {
+        let staged = staged_sweep_archs_network(&net, &candidates, objective, top_k, |_| {});
+        let oracle = rank_entries(sweep_archs_network(&net, &candidates), objective, top_k);
+        prop_assert_eq!(rendered(&staged.entries), rendered(&oracle));
+        prop_assert_eq!(staged.pruned + staged.evaluated, staged.unique as u64);
+    }
+
+    /// Every floor under-states the candidate's actual costs; the
+    /// infeasibility verdict is never wrong.
+    #[test]
+    fn bounds_are_admissible(
+        layer in layer_strategy(),
+        candidates in prop::collection::vec(candidate_strategy(), 1..=12),
+    ) {
+        let bounds = candidate_bounds(std::slice::from_ref(&layer), &candidates);
+        for (arch, bound) in candidates.iter().zip(&bounds) {
+            let outcome = Accelerator::new(*arch).analyze_layer("layer", &layer);
+            // Any floor is admissible for an error outcome; only feasible
+            // candidates constrain the bounds.
+            if let Ok(report) = outcome {
+                prop_assert!(!bound.provably_infeasible,
+                    "feasible candidate declared provably infeasible: {arch:?}");
+                prop_assert!(bound.cycles_lb <= report.sweep_cycles(),
+                    "cycles floor {} above actual {}", bound.cycles_lb, report.sweep_cycles());
+                prop_assert!(bound.dram_lb <= report.sweep_dram_words(),
+                    "DRAM floor {} above actual {}", bound.dram_lb, report.sweep_dram_words());
+                let actual_bits = report.sweep_energy_pj().max(0.0).to_bits();
+                prop_assert!(bound.energy_lb_bits <= actual_bits,
+                    "energy floor above actual");
+            }
+        }
+    }
+
+    /// The streamed snapshots are monotone (processed counts increase) and
+    /// the last snapshot's frontier equals the final kept set.
+    #[test]
+    fn progress_snapshots_converge_to_the_final_frontier(
+        layer in layer_strategy(),
+        candidates in prop::collection::vec(candidate_strategy(), 2..=16),
+        objective in objective_strategy(),
+    ) {
+        let mut snapshots: Vec<(usize, u64, String)> = Vec::new();
+        let staged = staged_sweep_archs("layer", &layer, &candidates, objective, 4, |p| {
+            // A Pareto frontier may exceed top-K mid-run; the kept set is
+            // truncated only on extraction, so compare the head.
+            let head = &p.frontier[..p.frontier.len().min(4)];
+            snapshots.push((p.processed, p.pruned, rendered(head)));
+        });
+        prop_assert!(snapshots.windows(2).all(|w| w[0].0 < w[1].0));
+        if let Some((_, _, last)) = snapshots.last() {
+            prop_assert_eq!(last, &rendered(&staged.entries));
+        } else {
+            prop_assert!(staged.entries.is_empty());
+        }
+    }
+}

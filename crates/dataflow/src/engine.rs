@@ -61,7 +61,7 @@ use crate::baselines::{
 };
 use crate::coalesce::FlightMap;
 use crate::lru::LruCache;
-use crate::search::{candidates, DataflowChoice};
+use crate::search::{candidates, dense_candidates, DataflowChoice};
 use crate::tiling::{paper_tiling, summed_input_extent, tile_count, Tiling};
 use crate::traffic::DramTraffic;
 use crate::DataflowKind;
@@ -232,6 +232,9 @@ pub struct LayerTables {
     k_cands: Vec<usize>,
     y_cands: Vec<usize>,
     x_cands: Vec<usize>,
+    z_dense: Vec<usize>,
+    y_dense: Vec<usize>,
+    x_dense: Vec<usize>,
 }
 
 impl LayerTables {
@@ -266,6 +269,9 @@ impl LayerTables {
             k_cands: candidates(layer.in_channels()),
             y_cands: candidates(layer.output_height()),
             x_cands: candidates(layer.output_width()),
+            z_dense: dense_candidates(layer.out_channels()),
+            y_dense: dense_candidates(layer.output_height()),
+            x_dense: dense_candidates(layer.output_width()),
         }
     }
 
@@ -291,6 +297,27 @@ impl LayerTables {
     #[must_use]
     pub fn x_candidates(&self) -> &[usize] {
         &self.x_cands
+    }
+
+    /// The hoisted [`dense_candidates`] grid for the `Ours` output-channel
+    /// sweep.
+    #[must_use]
+    pub fn z_candidates_dense(&self) -> &[usize] {
+        &self.z_dense
+    }
+
+    /// The hoisted [`dense_candidates`] grid for the `Ours` output-height
+    /// sweep.
+    #[must_use]
+    pub fn y_candidates_dense(&self) -> &[usize] {
+        &self.y_dense
+    }
+
+    /// The hoisted [`dense_candidates`] grid for the `Ours` output-width
+    /// sweep.
+    #[must_use]
+    pub fn x_candidates_dense(&self) -> &[usize] {
+        &self.x_dense
     }
 
     /// Exact DRAM traffic of the paper's dataflow for `tiling` — the same
@@ -368,10 +395,12 @@ where
 {
     // The candidate grids are hoisted into `tables` (built once per layer),
     // so repeated searches over the same tables — the planner's structural
-    // sweep, DSE candidate fan-outs — stop recomputing them.
-    let zs = tables.z_candidates();
-    let ys = tables.y_candidates();
-    let xs = tables.x_candidates();
+    // sweep, DSE candidate fan-outs — stop recomputing them. The `Ours`
+    // sweep uses the midpoint-densified grids; baselines keep the coarser
+    // [`candidates`] grid (see [`dense_candidates`]).
+    let zs = tables.z_candidates_dense();
+    let ys = tables.y_candidates_dense();
+    let xs = tables.x_candidates_dense();
 
     // Outer fan-out: the (b, z) product gives enough chunks to balance
     // across threads while keeping each chunk's y/x sweep cache-friendly.
@@ -838,8 +867,8 @@ pub fn found_minimum(layer: &ConvLayer, mem: OnChipMemory) -> DataflowChoice {
 /// this reference.
 pub mod naive {
     use super::{
-        baseline_onchip, baseline_sweeps, baseline_tiling, candidates, BestTracker, Candidate,
-        ConvLayer, DataflowChoice, DataflowKind, OnChipMemory, Tiling,
+        baseline_onchip, baseline_sweeps, baseline_tiling, candidates, dense_candidates,
+        BestTracker, Candidate, ConvLayer, DataflowChoice, DataflowKind, OnChipMemory, Tiling,
     };
     use crate::baselines::{
         inr_a_traffic, inr_b_traffic, inr_c_traffic, outr_a_traffic, outr_b_traffic, wtr_a_traffic,
@@ -859,9 +888,11 @@ pub mod naive {
                 traffic: our_dataflow_traffic(layer, &seed),
             });
         }
-        let zs = candidates(layer.out_channels());
-        let ys = candidates(layer.output_height());
-        let xs = candidates(layer.output_width());
+        // Same densified `Ours` grid as the engine (see `dense_candidates`),
+        // so parity tests compare identical search spaces.
+        let zs = dense_candidates(layer.out_channels());
+        let ys = dense_candidates(layer.output_height());
+        let xs = dense_candidates(layer.output_width());
         for b in 1..=layer.batch() {
             for &z in &zs {
                 for &y in &ys {

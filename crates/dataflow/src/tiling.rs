@@ -226,6 +226,12 @@ pub fn paper_tiling(layer: &ConvLayer, mem: OnChipMemory) -> Tiling {
     let plane = (layer.output_height() * layer.output_width()) as f64;
     let b_hint = ((u_target / plane).floor() as usize).clamp(1, layer.batch());
 
+    // The local sweep evaluates ~hundreds of tilings; the axis tables turn
+    // each fit check and traffic count into lookups instead of re-walking
+    // the halo sums (`our_dataflow_traffic`) per candidate. The tables
+    // compute the same integers — the engine pins the parity — so the
+    // chosen tiling is unchanged.
+    let tables = crate::engine::LayerTables::new(layer);
     let factors = [0.5, 0.62, 0.75, 0.85, 0.95, 1.0, 1.1];
     let mut best: Option<(u64, Tiling)> = None;
     for b in 1..=layer.batch().min(b_hint + 1) {
@@ -240,10 +246,10 @@ pub fn paper_tiling(layer: &ConvLayer, mem: OnChipMemory) -> Tiling {
                         (side * fy).round() as usize,
                         (side * fx).round() as usize,
                     );
-                    if !t.fits(layer, mem) {
+                    if tables.ours_onchip(&t) as f64 > mem.words() {
                         continue;
                     }
-                    let q = our_dataflow_traffic(layer, &t).total_words();
+                    let q = tables.ours_traffic(&t).total_words();
                     match best {
                         Some((bq, _)) if bq <= q => {}
                         _ => best = Some((q, t)),

@@ -10,7 +10,10 @@
 //! bit-identical to the corresponding library/CLI output.
 
 use accel_sim::{ArchConfig, DramConfig, ExecutionTrace, SimStats, TraceOptions};
-use clb_core::{Accelerator, LayerReport, NetworkReport, OnChipMemory};
+use clb_core::{
+    Accelerator, ArchSweepEntry, LayerReport, NetworkReport, Objective, OnChipMemory,
+    StagedProgress, SweepCost,
+};
 use conv_model::workloads::Network;
 use conv_model::{workloads, ConvLayer};
 use dataflow::{found_minimum, search_dataflow, DataflowChoice, DataflowKind, Tiling};
@@ -37,10 +40,20 @@ pub mod limits {
     pub const MAX_BATCH: usize = 64;
     /// Max on-chip memory in KiB.
     pub const MAX_MEM_KIB: f64 = 1_048_576.0; // 1 GiB on chip is beyond generous
-    /// Max candidate architectures one `/v1/dse` sweep may evaluate
-    /// (explicit list length, or grid cardinality — checked before the
-    /// grid is expanded).
+    /// Max candidate architectures one *legacy* `/v1/dse` sweep may
+    /// evaluate (explicit list length, or grid cardinality — checked
+    /// before the grid is expanded). Legacy sweeps evaluate every
+    /// candidate, so the cap is small.
     pub const MAX_DSE_CANDIDATES: usize = 256;
+    /// Max candidates a *staged* `/v1/dse` sweep (any of `objective`,
+    /// `top_k`, `stream` present) may stage. The staged engine
+    /// bound-prunes before planning, so the cap is ~4000× the legacy one;
+    /// grid cardinality is still u128-checked before expansion.
+    pub const MAX_DSE_STAGED_CANDIDATES: usize = 1 << 20;
+    /// Max frontier size (`top_k`) a staged sweep may keep.
+    pub const MAX_DSE_TOP_K: usize = 1024;
+    /// Frontier size when a staged request omits `top_k`.
+    pub const DEFAULT_DSE_TOP_K: usize = 16;
 }
 
 /// A handler-level failure, carrying the response status.
@@ -981,6 +994,21 @@ pub fn archs_from_axes(
     archs_from_axes_capped(axes, base, limits::MAX_DSE_CANDIDATES)
 }
 
+/// [`archs_from_axes`] under the staged candidate budget
+/// ([`limits::MAX_DSE_STAGED_CANDIDATES`]) — the grid expansion behind
+/// `clb dse --objective ...`, where the bound stage makes million-point
+/// grids affordable.
+///
+/// # Errors
+///
+/// Exactly [`archs_from_axes`]'s, with the larger cap.
+pub fn archs_from_axes_staged(
+    axes: &[Vec<usize>; 9],
+    base: &ArchConfig,
+) -> Result<Vec<ArchConfig>, ApiError> {
+    archs_from_axes_capped(axes, base, limits::MAX_DSE_STAGED_CANDIDATES)
+}
+
 /// [`archs_from_axes`] with an explicit candidate budget — when a request
 /// also carries an explicit `candidates` list, the grid only gets whatever
 /// the list left under [`limits::MAX_DSE_CANDIDATES`].
@@ -1059,7 +1087,7 @@ fn archs_from_grid(grid: &Value, cap: usize) -> Result<Vec<ArchConfig>, ApiError
     archs_from_axes_capped(&axes, &base, cap)
 }
 
-fn archs_from_explicit_list(list: &Value) -> Result<Vec<ArchConfig>, ApiError> {
+fn archs_from_explicit_list(list: &Value, cap: usize) -> Result<Vec<ArchConfig>, ApiError> {
     let items = list.as_array().map_err(|_| {
         ApiError::BadRequest("`candidates` must be an array of arch objects".to_string())
     })?;
@@ -1068,11 +1096,11 @@ fn archs_from_explicit_list(list: &Value) -> Result<Vec<ArchConfig>, ApiError> {
             "`candidates` must name at least one architecture".to_string(),
         ));
     }
-    if items.len() > limits::MAX_DSE_CANDIDATES {
+    if items.len() > cap {
         return Err(ApiError::Unprocessable(format!(
             "{} candidates exceed the {} cap",
             items.len(),
-            limits::MAX_DSE_CANDIDATES
+            cap
         )));
     }
     items
@@ -1085,22 +1113,23 @@ fn archs_from_explicit_list(list: &Value) -> Result<Vec<ArchConfig>, ApiError> {
 /// Parses the candidate set of a `/v1/dse` request: an explicit
 /// `candidates` list of arch objects, a `grid` of axis lists over a `base`
 /// architecture, or **both** — the union, with the grid's budget reduced by
-/// the list's length so the combined request stays under
-/// [`limits::MAX_DSE_CANDIDATES`]. A candidate named by both forms is one
-/// candidate: the sweep dedups by the architecture's total order, so it is
-/// planned and simulated exactly once.
-fn parse_dse_candidates(v: &Value) -> Result<Vec<ArchConfig>, ApiError> {
+/// the list's length so the combined request stays under `cap`
+/// ([`limits::MAX_DSE_CANDIDATES`] on the legacy path,
+/// [`limits::MAX_DSE_STAGED_CANDIDATES`] when the request is staged). A
+/// candidate named by both forms is one candidate: the sweep dedups by the
+/// architecture's total order, so it is planned and simulated exactly once.
+fn parse_dse_candidates(v: &Value, cap: usize) -> Result<Vec<ArchConfig>, ApiError> {
     let explicit = get_field(v, "candidates")?.filter(|f| !matches!(f, Value::Null));
     let grid = get_field(v, "grid")?.filter(|f| !matches!(f, Value::Null));
     match (explicit, grid) {
         (None, None) => Err(ApiError::BadRequest(
             "missing `candidates` (list of arch objects) or `grid` (axis lists)".to_string(),
         )),
-        (Some(list), None) => archs_from_explicit_list(list),
-        (None, Some(g)) => archs_from_grid(g, limits::MAX_DSE_CANDIDATES),
+        (Some(list), None) => archs_from_explicit_list(list, cap),
+        (None, Some(g)) => archs_from_grid(g, cap),
         (Some(list), Some(g)) => {
-            let mut archs = archs_from_explicit_list(list)?;
-            let remaining = limits::MAX_DSE_CANDIDATES - archs.len();
+            let mut archs = archs_from_explicit_list(list, cap)?;
+            let remaining = cap - archs.len();
             archs.extend(archs_from_grid(g, remaining)?);
             Ok(archs)
         }
@@ -1142,25 +1171,668 @@ pub fn dse_results(layer: &ConvLayer, submitted: usize, archs: &[ArchConfig]) ->
     }
 }
 
+/// How a staged `/v1/dse` request wants its results delivered.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StreamMode {
+    /// One synchronous JSON response (the default, and what
+    /// `"stream": false` spells).
+    Sync,
+    /// `Transfer-Encoding: chunked`: one single-line frontier snapshot per
+    /// improvement, then the full response as the final chunk
+    /// (`"stream": true` or `"stream": "chunked"`).
+    Chunked,
+    /// A resumable job handle: the POST answers immediately with an
+    /// acceptance body and `GET /v1/dse/jobs/{id}` polls the sweep
+    /// (`"stream": "job"`).
+    Job,
+}
+
+/// The staged-sweep options of a `/v1/dse` request (`objective`, `top_k`,
+/// `stream`). Parsed to `None` when the request carries none of them — the
+/// legacy capped-batch path, whose wire bytes are pinned by the golden
+/// corpus and must stay untouched.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StagedOptions {
+    /// Ranking objective for the kept frontier.
+    pub objective: Objective,
+    /// Frontier size, `1..=`[`limits::MAX_DSE_TOP_K`].
+    pub top_k: usize,
+    /// Delivery transport.
+    pub stream: StreamMode,
+}
+
+impl Default for StagedOptions {
+    fn default() -> Self {
+        StagedOptions {
+            objective: Objective::Cycles,
+            top_k: limits::DEFAULT_DSE_TOP_K,
+            stream: StreamMode::Sync,
+        }
+    }
+}
+
+/// Parses the staged fields of a `/v1/dse` body. Absent or `null` fields
+/// fall back to defaults; when *all three* are absent the request is a
+/// legacy sweep and `Ok(None)` is returned. Wrong JSON types are 400s,
+/// well-typed but unknown values (an unrecognized objective or stream
+/// mode, an out-of-range `top_k`) are 422s.
+///
+/// # Errors
+///
+/// [`ApiError::BadRequest`] / [`ApiError::Unprocessable`] as above.
+pub fn parse_staged_options(v: &Value) -> Result<Option<StagedOptions>, ApiError> {
+    let objective = get_field(v, "objective")?.filter(|f| !matches!(f, Value::Null));
+    let top_k = get_field(v, "top_k")?.filter(|f| !matches!(f, Value::Null));
+    let stream = get_field(v, "stream")?.filter(|f| !matches!(f, Value::Null));
+    if objective.is_none() && top_k.is_none() && stream.is_none() {
+        return Ok(None);
+    }
+    let objective = match objective {
+        None => Objective::Cycles,
+        Some(Value::String(name)) => Objective::parse(name).ok_or_else(|| {
+            ApiError::Unprocessable(format!(
+                "unknown objective `{name}` (expected cycles, traffic, energy or pareto)"
+            ))
+        })?,
+        Some(_) => {
+            return Err(ApiError::BadRequest(
+                "field `objective` must be a string (cycles, traffic, energy or pareto)"
+                    .to_string(),
+            ))
+        }
+    };
+    let top_k = match top_k {
+        None => limits::DEFAULT_DSE_TOP_K,
+        Some(field) => {
+            let k = usize::from_value(field)
+                .map_err(|e| ApiError::BadRequest(format!("field `top_k`: {e}")))?;
+            if !(1..=limits::MAX_DSE_TOP_K).contains(&k) {
+                return Err(ApiError::Unprocessable(format!(
+                    "top_k must be between 1 and {}",
+                    limits::MAX_DSE_TOP_K
+                )));
+            }
+            k
+        }
+    };
+    let stream = match stream {
+        None | Some(Value::Bool(false)) => StreamMode::Sync,
+        Some(Value::Bool(true)) => StreamMode::Chunked,
+        Some(Value::String(mode)) => match mode.as_str() {
+            "chunked" => StreamMode::Chunked,
+            "job" => StreamMode::Job,
+            other => {
+                return Err(ApiError::Unprocessable(format!(
+                    "unknown stream mode `{other}` (expected chunked or job)"
+                )))
+            }
+        },
+        Some(_) => {
+            return Err(ApiError::BadRequest(
+                "field `stream` must be a bool or a string (chunked, job)".to_string(),
+            ))
+        }
+    };
+    Ok(Some(StagedOptions {
+        objective,
+        top_k,
+        stream,
+    }))
+}
+
+/// A cheap, non-validating peek at a `/v1/dse` body's `stream` field, used
+/// by the server to pick a transport *before* dispatch. Values the full
+/// parser would reject fall through as [`StreamMode::Sync`] and receive
+/// their typed error from the normal dispatch path.
+#[must_use]
+pub fn stream_mode_hint(v: &Value) -> StreamMode {
+    match get_field(v, "stream") {
+        Ok(Some(Value::Bool(true))) => StreamMode::Chunked,
+        Ok(Some(Value::String(s))) if s == "chunked" => StreamMode::Chunked,
+        Ok(Some(Value::String(s))) if s == "job" => StreamMode::Job,
+        _ => StreamMode::Sync,
+    }
+}
+
+/// The `/v1/dse` request-log fields (`candidates= pruned= kept=
+/// objective=`), produced alongside the response and cached with it so
+/// coalesced and cache-hit requests log the same sweep funnel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DseLogMeta {
+    /// Candidates named by the request (before deduplication).
+    pub candidates: usize,
+    /// Candidates discarded by the bound stage (always 0 on the legacy
+    /// path, and on a job acceptance — the job logs its pruning when
+    /// polled into the stats counters instead).
+    pub pruned: u64,
+    /// Result entries returned (the frontier size on the staged path, all
+    /// unique candidates on the legacy path, 0 on a job acceptance).
+    pub kept: usize,
+    /// Ranking objective; `None` on the legacy path, logged as `-`.
+    pub objective: Option<Objective>,
+}
+
+impl DseLogMeta {
+    /// The `objective=` log-field spelling.
+    #[must_use]
+    pub fn objective_str(&self) -> &'static str {
+        self.objective.map_or("-", Objective::as_str)
+    }
+}
+
+/// Layer-mode staged `/v1/dse` response: the bound-pruned,
+/// objective-ranked frontier. Unlike the legacy [`DseResponse`] there is
+/// no `feasible` count — pruned candidates are never planned, so global
+/// feasibility is unknowable by design; the funnel counters (`submitted →
+/// unique → pruned`/`evaluated` → `kept`) replace it.
+#[derive(Debug, Clone, Serialize)]
+pub struct DseStagedResponse {
+    /// Echo of the analyzed layer.
+    pub layer: ConvLayer,
+    /// Ranking objective.
+    pub objective: String,
+    /// Requested frontier size.
+    pub top_k: usize,
+    /// Candidates named by the request (before deduplication).
+    pub submitted: usize,
+    /// Distinct candidates staged.
+    pub unique: usize,
+    /// Candidates discarded by the admissible bound stage. Lossless: a
+    /// pruned candidate provably cannot enter the kept frontier.
+    pub pruned: u64,
+    /// Candidates actually planned and simulated.
+    pub evaluated: u64,
+    /// Frontier entries returned (`≤ top_k`).
+    pub kept: usize,
+    /// The kept frontier, ranked by the objective.
+    pub results: Vec<DseEntry>,
+}
+
+/// Network-mode counterpart of [`DseStagedResponse`].
+#[derive(Debug, Clone, Serialize)]
+pub struct DseStagedNetworkResponse {
+    /// The swept workload's name.
+    pub network: String,
+    /// The analyzed batch size.
+    pub batch: usize,
+    /// Ranking objective.
+    pub objective: String,
+    /// Requested frontier size.
+    pub top_k: usize,
+    /// Candidates named by the request (before deduplication).
+    pub submitted: usize,
+    /// Distinct candidates staged.
+    pub unique: usize,
+    /// Candidates discarded by the admissible bound stage.
+    pub pruned: u64,
+    /// Candidates actually planned and simulated.
+    pub evaluated: u64,
+    /// Frontier entries returned (`≤ top_k`).
+    pub kept: usize,
+    /// The kept frontier, ranked by the objective.
+    pub results: Vec<DseNetworkEntry>,
+}
+
+fn layer_entry(e: ArchSweepEntry<LayerReport>) -> DseEntry {
+    match e.outcome {
+        Ok(report) => DseEntry {
+            arch: e.arch,
+            total_cycles: Some(report.stats.total_cycles()),
+            seconds: Some(report.stats.seconds(e.arch.core_freq_hz)),
+            report: Some(report),
+            error: None,
+        },
+        Err(err) => DseEntry {
+            arch: e.arch,
+            total_cycles: None,
+            seconds: None,
+            report: None,
+            error: Some(err.to_string()),
+        },
+    }
+}
+
+fn network_entry(e: ArchSweepEntry<NetworkReport>) -> DseNetworkEntry {
+    match e.outcome {
+        Ok(report) => DseNetworkEntry {
+            arch: e.arch,
+            total_cycles: Some(report.totals.total_cycles()),
+            seconds: Some(report.seconds),
+            report: Some(report),
+            error: None,
+        },
+        Err(err) => DseNetworkEntry {
+            arch: e.arch,
+            total_cycles: None,
+            seconds: None,
+            report: None,
+            error: Some(err.to_string()),
+        },
+    }
+}
+
+/// The staged layer-mode sweep behind `/v1/dse`, exposed so `clb dse
+/// --objective` renders the byte-identical structure: bound-prunes through
+/// [`clb_core::staged_sweep_archs`] and shapes the ranked frontier.
+/// `progress` observes every frontier improvement (the chunked transport
+/// and job polling are built on it); pass `|_| {}` when not streaming.
+pub fn dse_staged_results(
+    layer: &ConvLayer,
+    submitted: usize,
+    archs: &[ArchConfig],
+    objective: Objective,
+    top_k: usize,
+    progress: impl FnMut(StagedProgress<'_, LayerReport>),
+) -> DseStagedResponse {
+    let outcome = clb_core::staged_sweep_archs("layer", layer, archs, objective, top_k, progress);
+    let results: Vec<DseEntry> = outcome.entries.into_iter().map(layer_entry).collect();
+    DseStagedResponse {
+        layer: *layer,
+        objective: objective.as_str().to_string(),
+        top_k,
+        submitted,
+        unique: outcome.unique,
+        pruned: outcome.pruned,
+        evaluated: outcome.evaluated,
+        kept: results.len(),
+        results,
+    }
+}
+
+/// Network-mode counterpart of [`dse_staged_results`].
+pub fn dse_staged_network_results(
+    net: &Network,
+    batch: usize,
+    submitted: usize,
+    archs: &[ArchConfig],
+    objective: Objective,
+    top_k: usize,
+    progress: impl FnMut(StagedProgress<'_, NetworkReport>),
+) -> DseStagedNetworkResponse {
+    let outcome = clb_core::staged_sweep_archs_network(net, archs, objective, top_k, progress);
+    let results: Vec<DseNetworkEntry> = outcome.entries.into_iter().map(network_entry).collect();
+    DseStagedNetworkResponse {
+        network: net.name().to_string(),
+        batch,
+        objective: objective.as_str().to_string(),
+        top_k,
+        submitted,
+        unique: outcome.unique,
+        pruned: outcome.pruned,
+        evaluated: outcome.evaluated,
+        kept: results.len(),
+        results,
+    }
+}
+
+fn dse_staged_sync(v: &Value, opts: StagedOptions) -> Result<(String, DseLogMeta), ApiError> {
+    let target = parse_dse_target(v)?;
+    let archs = parse_dse_candidates(v, limits::MAX_DSE_STAGED_CANDIDATES)?;
+    match target {
+        DseTarget::Layer(layer) => {
+            let resp = dse_staged_results(
+                &layer,
+                archs.len(),
+                &archs,
+                opts.objective,
+                opts.top_k,
+                |_| {},
+            );
+            let meta = DseLogMeta {
+                candidates: resp.submitted,
+                pruned: resp.pruned,
+                kept: resp.kept,
+                objective: Some(opts.objective),
+            };
+            Ok((render(&resp)?, meta))
+        }
+        DseTarget::Network { net, batch } => {
+            let resp = dse_staged_network_results(
+                &net,
+                batch,
+                archs.len(),
+                &archs,
+                opts.objective,
+                opts.top_k,
+                |_| {},
+            );
+            let meta = DseLogMeta {
+                candidates: resp.submitted,
+                pruned: resp.pruned,
+                kept: resp.kept,
+                objective: Some(opts.objective),
+            };
+            Ok((render(&resp)?, meta))
+        }
+    }
+}
+
+/// One frontier snapshot as a single line of compact JSON (newline
+/// terminated), so a chunked-transport client can parse improvement
+/// events line by line before the final pretty-printed body arrives.
+fn snapshot_line<R: SweepCost>(p: &StagedProgress<'_, R>, top_k: usize) -> Option<String> {
+    let frontier: Vec<Value> = p
+        .frontier
+        .iter()
+        .take(top_k)
+        .map(|e| {
+            let cycles = match &e.outcome {
+                Ok(report) => Value::Number(report.sweep_cycles() as f64),
+                Err(_) => Value::Null,
+            };
+            Value::Object(vec![
+                ("arch".to_string(), e.arch.to_value()),
+                ("total_cycles".to_string(), cycles),
+            ])
+        })
+        .collect();
+    let snapshot = Value::Object(vec![
+        ("processed".to_string(), Value::Number(p.processed as f64)),
+        ("pruned".to_string(), Value::Number(p.pruned as f64)),
+        ("kept".to_string(), Value::Number(frontier.len() as f64)),
+        ("frontier".to_string(), Value::Array(frontier)),
+    ]);
+    serde_json::to_string(&snapshot).ok().map(|s| s + "\n")
+}
+
+/// The chunked-transport staged sweep. The whole request is validated
+/// *before* the first emission, so every error surfaces while the server
+/// can still answer with a plain status line; after that, `emit` receives
+/// one single-line JSON frontier snapshot per improvement and, last, the
+/// exact body the synchronous staged path would have returned — the final
+/// chunk of a stream is byte-identical to the `"stream": false` response.
+///
+/// # Errors
+///
+/// Everything [`dse_response`] raises, all before the first `emit` call
+/// (the final-body render is the lone post-emission fallible step and
+/// cannot fail for shapes that already rendered snapshot lines).
+pub fn dse_staged_stream(v: &Value, emit: &mut dyn FnMut(&str)) -> Result<DseLogMeta, ApiError> {
+    let opts = parse_staged_options(v)?.unwrap_or(StagedOptions {
+        stream: StreamMode::Chunked,
+        ..StagedOptions::default()
+    });
+    let target = parse_dse_target(v)?;
+    let archs = parse_dse_candidates(v, limits::MAX_DSE_STAGED_CANDIDATES)?;
+    match target {
+        DseTarget::Layer(layer) => {
+            let resp = dse_staged_results(
+                &layer,
+                archs.len(),
+                &archs,
+                opts.objective,
+                opts.top_k,
+                |p| {
+                    if let Some(line) = snapshot_line(&p, opts.top_k) {
+                        emit(&line);
+                    }
+                },
+            );
+            let meta = DseLogMeta {
+                candidates: resp.submitted,
+                pruned: resp.pruned,
+                kept: resp.kept,
+                objective: Some(opts.objective),
+            };
+            emit(&render(&resp)?);
+            Ok(meta)
+        }
+        DseTarget::Network { net, batch } => {
+            let resp = dse_staged_network_results(
+                &net,
+                batch,
+                archs.len(),
+                &archs,
+                opts.objective,
+                opts.top_k,
+                |p| {
+                    if let Some(line) = snapshot_line(&p, opts.top_k) {
+                        emit(&line);
+                    }
+                },
+            );
+            let meta = DseLogMeta {
+                candidates: resp.submitted,
+                pruned: resp.pruned,
+                kept: resp.kept,
+                objective: Some(opts.objective),
+            };
+            emit(&render(&resp)?);
+            Ok(meta)
+        }
+    }
+}
+
+/// [`dse_staged_stream`] collected into a chunk list — what the fixtures,
+/// tests and `clb dse --stream` consume; the server writes the same chunks
+/// straight to the socket as `Transfer-Encoding: chunked` frames.
+///
+/// # Errors
+///
+/// Exactly [`dse_staged_stream`]'s.
+pub fn dse_stream_chunks(v: &Value) -> Result<Vec<String>, ApiError> {
+    let mut chunks = Vec::new();
+    dse_staged_stream(v, &mut |chunk| chunks.push(chunk.to_string()))?;
+    Ok(chunks)
+}
+
+fn canonical_value(v: &Value) -> Value {
+    match v {
+        Value::Object(fields) => {
+            let mut sorted: Vec<(String, Value)> = fields
+                .iter()
+                .map(|(k, val)| (k.clone(), canonical_value(val)))
+                .collect();
+            sorted.sort_by(|a, b| a.0.cmp(&b.0));
+            Value::Object(sorted)
+        }
+        Value::Array(items) => Value::Array(items.iter().map(canonical_value).collect()),
+        other => other.clone(),
+    }
+}
+
+/// The deterministic job id of a job-mode `/v1/dse` request: 16 hex digits
+/// of FNV-1a 64 over the canonicalized (recursively key-sorted, compact)
+/// request body. Identical requests — whatever their key order — name the
+/// same job, which is what makes re-POSTing an accepted job idempotent.
+///
+/// # Errors
+///
+/// [`ApiError::Internal`] if the body cannot be re-serialized (cannot
+/// happen for a value that parsed).
+pub fn dse_job_id(v: &Value) -> Result<String, ApiError> {
+    let canonical = serde_json::to_string(&canonical_value(v))
+        .map_err(|e| ApiError::Internal(format!("unrenderable job body: {e}")))?;
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for byte in "/v1/dse ".bytes().chain(canonical.bytes()) {
+        hash ^= u64::from(byte);
+        hash = hash.wrapping_mul(0x0100_0000_01b3);
+    }
+    Ok(format!("{hash:016x}"))
+}
+
+/// A validated, not-yet-run job-mode `/v1/dse` request: everything the
+/// server needs to accept the job immediately and run the staged sweep on
+/// a background thread. Constructed by [`prepare_dse_job`].
+pub struct DseJobSpec {
+    /// The deterministic job id (see [`dse_job_id`]).
+    pub id: String,
+    target: DseTarget,
+    archs: Vec<ArchConfig>,
+    submitted: usize,
+    objective: Objective,
+    top_k: usize,
+}
+
+/// Validates a job-mode `/v1/dse` request end to end — staged options,
+/// target, candidate expansion — *without* running the sweep, so a bad
+/// request is rejected before a job is ever registered.
+///
+/// # Errors
+///
+/// Exactly [`dse_response`]'s validation errors.
+pub fn prepare_dse_job(v: &Value) -> Result<DseJobSpec, ApiError> {
+    let opts = parse_staged_options(v)?.unwrap_or(StagedOptions {
+        stream: StreamMode::Job,
+        ..StagedOptions::default()
+    });
+    let target = parse_dse_target(v)?;
+    let archs = parse_dse_candidates(v, limits::MAX_DSE_STAGED_CANDIDATES)?;
+    Ok(DseJobSpec {
+        id: dse_job_id(v)?,
+        submitted: archs.len(),
+        target,
+        archs,
+        objective: opts.objective,
+        top_k: opts.top_k,
+    })
+}
+
+impl DseJobSpec {
+    /// The poll path of this job.
+    #[must_use]
+    pub fn poll_path(&self) -> String {
+        format!("/v1/dse/jobs/{}", self.id)
+    }
+
+    /// The deterministic acceptance body the POST answers immediately.
+    #[must_use]
+    pub fn acceptance_body(&self) -> String {
+        let body = Value::Object(vec![
+            ("job".to_string(), Value::String(self.id.clone())),
+            ("status".to_string(), Value::String("accepted".to_string())),
+            ("poll".to_string(), Value::String(self.poll_path())),
+        ]);
+        serde_json::to_string_pretty(&body).unwrap_or_default()
+    }
+
+    /// The request-log fields of the acceptance response.
+    #[must_use]
+    pub fn meta(&self) -> DseLogMeta {
+        DseLogMeta {
+            candidates: self.submitted,
+            pruned: 0,
+            kept: 0,
+            objective: Some(self.objective),
+        }
+    }
+
+    /// Runs the sweep to completion, reporting `(processed, pruned)`
+    /// through `progress` for poll visibility. Returns the final poll
+    /// response — the exact synchronous staged body on success — and the
+    /// total pruned count for the stats counters.
+    pub fn run(&self, progress: &mut dyn FnMut(usize, u64)) -> (Response, u64) {
+        let (rendered, pruned) = match &self.target {
+            DseTarget::Layer(layer) => {
+                let resp = dse_staged_results(
+                    layer,
+                    self.submitted,
+                    &self.archs,
+                    self.objective,
+                    self.top_k,
+                    |p| progress(p.processed, p.pruned),
+                );
+                let pruned = resp.pruned;
+                (render(&resp), pruned)
+            }
+            DseTarget::Network { net, batch } => {
+                let resp = dse_staged_network_results(
+                    net,
+                    *batch,
+                    self.submitted,
+                    &self.archs,
+                    self.objective,
+                    self.top_k,
+                    |p| progress(p.processed, p.pruned),
+                );
+                let pruned = resp.pruned;
+                (render(&resp), pruned)
+            }
+        };
+        match rendered {
+            Ok(body) => (Response::json(200, body), pruned),
+            Err(e) => (e.into_response(), 0),
+        }
+    }
+}
+
+/// The poll body of a still-running DSE job.
+#[must_use]
+pub fn dse_job_running_body(id: &str, processed: u64, pruned: u64) -> String {
+    let body = Value::Object(vec![
+        ("job".to_string(), Value::String(id.to_string())),
+        ("status".to_string(), Value::String("running".to_string())),
+        ("processed".to_string(), Value::Number(processed as f64)),
+        ("pruned".to_string(), Value::Number(pruned as f64)),
+    ]);
+    serde_json::to_string_pretty(&body).unwrap_or_default()
+}
+
 /// Handles `POST /v1/dse` — layer mode (top-level layer-spec fields) or
-/// network mode (`"target": {"network": ..., "batch": ...}`).
+/// network mode (`"target": {"network": ..., "batch": ...}`). Requests
+/// carrying any of `objective`, `top_k`, `stream` take the staged
+/// bound-pruned path with its [`limits::MAX_DSE_STAGED_CANDIDATES`] cap;
+/// requests without them take the legacy evaluate-everything path, whose
+/// response bytes and [`limits::MAX_DSE_CANDIDATES`] cap are unchanged.
 ///
 /// # Errors
 ///
 /// [`ApiError::BadRequest`] on malformed bodies (neither of
 /// `candidates`/`grid`, ill-typed fields, unknown grid axes, `target`
 /// mixed with layer fields); [`ApiError::Unprocessable`] on out-of-limit
-/// layers/batches, unknown network names, over-cap candidate counts and
+/// layers/batches, unknown network names, over-cap candidate counts,
 /// invalid candidate architectures (naming the candidate and the violated
-/// invariant).
+/// invariant), unknown objective/stream values and out-of-range `top_k`.
 pub fn dse_response(v: &Value) -> Result<String, ApiError> {
-    let target = parse_dse_target(v)?;
-    let archs = parse_dse_candidates(v)?;
-    match target {
-        DseTarget::Layer(layer) => render(&dse_results(&layer, archs.len(), &archs)),
-        DseTarget::Network { net, batch } => {
-            render(&dse_network_results(&net, batch, archs.len(), &archs))
+    dse_response_with_meta(v).map(|(body, _)| body)
+}
+
+/// [`dse_response`] plus the request-log metadata the server attaches to
+/// the response (and caches with it, so cache hits log the same funnel).
+///
+/// # Errors
+///
+/// Exactly [`dse_response`]'s.
+pub fn dse_response_with_meta(v: &Value) -> Result<(String, DseLogMeta), ApiError> {
+    let Some(opts) = parse_staged_options(v)? else {
+        // The legacy capped-batch path: wire bytes pinned by the golden
+        // corpus, cap unchanged.
+        let target = parse_dse_target(v)?;
+        let archs = parse_dse_candidates(v, limits::MAX_DSE_CANDIDATES)?;
+        return match target {
+            DseTarget::Layer(layer) => {
+                let resp = dse_results(&layer, archs.len(), &archs);
+                let meta = DseLogMeta {
+                    candidates: resp.submitted,
+                    pruned: 0,
+                    kept: resp.results.len(),
+                    objective: None,
+                };
+                Ok((render(&resp)?, meta))
+            }
+            DseTarget::Network { net, batch } => {
+                let resp = dse_network_results(&net, batch, archs.len(), &archs);
+                let meta = DseLogMeta {
+                    candidates: resp.submitted,
+                    pruned: 0,
+                    kept: resp.results.len(),
+                    objective: None,
+                };
+                Ok((render(&resp)?, meta))
+            }
+        };
+    };
+    match opts.stream {
+        // The acceptance body is deterministic, so the pure handler
+        // answers job mode too; the server layers the job table and the
+        // background thread on top of this.
+        StreamMode::Job => {
+            let spec = prepare_dse_job(v)?;
+            Ok((spec.acceptance_body(), spec.meta()))
         }
+        // Chunked is a transport hint; as a pure function the staged
+        // sweep returns the same final body synchronously.
+        StreamMode::Sync | StreamMode::Chunked => dse_staged_sync(v, opts),
     }
 }
 
@@ -1169,19 +1841,40 @@ pub fn dse_response(v: &Value) -> Result<String, ApiError> {
 /// behind the coalescing map and the result cache.
 #[must_use]
 pub fn dispatch(path: &str, body: &Value) -> Response {
+    dispatch_with_meta(path, body).0
+}
+
+/// [`dispatch`] plus the `/v1/dse` request-log metadata the server carries
+/// alongside the response (`None` for every other endpoint and for DSE
+/// errors).
+#[must_use]
+pub fn dispatch_with_meta(path: &str, body: &Value) -> (Response, Option<DseLogMeta>) {
+    if path == "/v1/dse" {
+        return match dse_response_with_meta(body) {
+            Ok((rendered, meta)) => (Response::json(200, rendered), Some(meta)),
+            Err(e) => (e.into_response(), None),
+        };
+    }
     let result = match path {
         "/v1/bound" => bound_response(body),
         "/v1/sweep" => sweep_response(body),
         "/v1/plan" => plan_response(body),
         "/v1/simulate" => simulate_response(body),
         "/v1/network" => network_response(body),
-        "/v1/dse" => dse_response(body),
-        other => return Response::error(404, &format!("unknown endpoint `{other}`")),
+        other => {
+            return (
+                Response::error(404, &format!("unknown endpoint `{other}`")),
+                None,
+            )
+        }
     };
-    match result {
-        Ok(body) => Response::json(200, body),
-        Err(e) => e.into_response(),
-    }
+    (
+        match result {
+            Ok(body) => Response::json(200, body),
+            Err(e) => e.into_response(),
+        },
+        None,
+    )
 }
 
 #[cfg(test)]

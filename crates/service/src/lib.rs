@@ -150,6 +150,41 @@
 //!           "grid":{"pe_rows":[16,24,32]}}'
 //! ```
 //!
+//! ## Staged million-candidate sweeps
+//!
+//! Adding any of `objective`, `top_k`, `stream` to a `/v1/dse` body
+//! switches it to the **staged** engine: every candidate first passes a
+//! cheap admissible bound stage ([`comm_bound`]-derived floors on cycles,
+//! DRAM words and energy), and only candidates whose floor could still
+//! beat the current worst kept entry are planned and simulated. Pruning is
+//! **lossless** — the kept frontier is bit-identical to ranking the full
+//! unpruned sweep — and the candidate cap rises from 256 to 2²⁰
+//! ([`api::limits::MAX_DSE_STAGED_CANDIDATES`]). `objective` ranks by
+//! `cycles` (default), `traffic`, `energy` or `pareto` (the undominated
+//! set over all three); `top_k` bounds the frontier (default 16, max
+//! 1024). Delivery is synchronous by default, `"stream": true` (or
+//! `"chunked"`) answers with `Transfer-Encoding: chunked` frontier
+//! snapshots followed by the final body, and `"stream": "job"` returns a
+//! deterministic job handle polled at `GET /v1/dse/jobs/{id}`:
+//!
+//! ```text
+//! curl -s -X POST http://127.0.0.1:8080/v1/dse \
+//!      -d '{"target":{"network":"vgg16","batch":3},"objective":"energy",
+//!           "top_k":8,"grid":{"pe_rows":[8,16,24,32],
+//!           "lreg_entries_per_pe":[32,64,128,256],
+//!           "igbuf_entries":[512,1024,2048,3072]}}'
+//! curl -sN -X POST http://127.0.0.1:8080/v1/dse \
+//!      -d '{"co":512,"size":28,"ci":256,"stream":true,
+//!           "grid":{"pe_rows":[8,16,24,32]}}'
+//! curl -s -X POST http://127.0.0.1:8080/v1/dse \
+//!      -d '{"co":512,"size":28,"ci":256,"stream":"job",
+//!           "grid":{"pe_rows":[8,16,24,32]}}'   # → {"job": ..., "poll": ...}
+//! ```
+//!
+//! Requests without the new fields keep the legacy evaluate-everything
+//! path byte for byte. See `docs/API.md` § Design-space exploration and
+//! `docs/OPERATIONS.md` § Sizing a large sweep.
+//!
 //! See `docs/API.md` for the full `arch` schema, the caps and the
 //! request/response formats, and `docs/TESTING.md` for the golden
 //! regression corpus that pins every endpoint's wire bytes.
@@ -192,7 +227,9 @@
 //! with `cache` reporting how the response-cache layers answered
 //! ([`CacheOutcome`]) and `conn` the connection id (lines sharing it were
 //! served over one reused keep-alive socket). `/v1/simulate` and
-//! `/v1/plan` lines carry a trailing `trace=on|off`. Independently of
+//! `/v1/plan` lines carry a trailing `trace=on|off`; answered `/v1/dse`
+//! sweeps append their funnel —
+//! ` candidates=N pruned=N kept=N objective=cycles`. Independently of
 //! logging, every request feeds a per-route log2 latency histogram;
 //! `GET /v1/cache_stats` reports them as a `latency` section
 //! ([`RouteLatencyStats`]: count, `p50`/`p99` bucket bounds and exact max
@@ -219,9 +256,11 @@ pub mod pool;
 mod server;
 
 pub use api::{
-    arch_from_value, dse_network_results, dse_results, network_by_name, ApiError, ArchChoice,
-    ArchPlanResponse, ArchSimulateResponse, BoundResponse, DseEntry, DseNetworkEntry,
-    DseNetworkResponse, DseResponse, LayerSpec, PlanResponse, SimulateResponse, SweepEntry,
+    arch_from_value, dse_job_id, dse_network_results, dse_results, dse_staged_network_results,
+    dse_staged_results, dse_stream_chunks, network_by_name, parse_staged_options, ApiError,
+    ArchChoice, ArchPlanResponse, ArchSimulateResponse, BoundResponse, DseEntry, DseLogMeta,
+    DseNetworkEntry, DseNetworkResponse, DseResponse, DseStagedNetworkResponse, DseStagedResponse,
+    LayerSpec, PlanResponse, SimulateResponse, StagedOptions, StreamMode, SweepEntry,
     SweepResponse, TraceFormat, TraceRequest,
 };
 pub use chaos::{request_bytes, ChaosClient, WireResponse};

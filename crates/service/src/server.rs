@@ -211,10 +211,14 @@ impl CacheOutcome {
 /// served over one reused keep-alive socket. The trailing `trace=on|off`
 /// appears only on `/v1/simulate` and `/v1/plan` requests (the endpoints
 /// that accept a `trace` option; `on` means the body carried a non-null
-/// one). A connection aborted before its socket could be configured logs
-/// `status=0` with `method=- path=-`. The shape is pinned by an
-/// integration test — production log scrapers may rely on it.
+/// one). Answered `/v1/dse` sweeps instead append the sweep funnel —
+/// ` candidates=N pruned=N kept=N objective=cycles` (legacy sweeps log
+/// `objective=-`; rejected DSE requests keep the base shape). A connection
+/// aborted before its socket could be configured logs `status=0` with
+/// `method=- path=-`. The shape is pinned by an integration test —
+/// production log scrapers may rely on it.
 #[must_use]
+#[allow(clippy::too_many_arguments)]
 pub fn format_request_log(
     method: &str,
     path: &str,
@@ -223,14 +227,25 @@ pub fn format_request_log(
     cache: CacheOutcome,
     conn: u64,
     trace: Option<bool>,
+    dse: Option<&api::DseLogMeta>,
 ) -> String {
     let trace = match trace {
         None => "",
         Some(true) => " trace=on",
         Some(false) => " trace=off",
     };
+    let dse = match dse {
+        None => String::new(),
+        Some(meta) => format!(
+            " candidates={} pruned={} kept={} objective={}",
+            meta.candidates,
+            meta.pruned,
+            meta.kept,
+            meta.objective_str()
+        ),
+    };
     format!(
-        "method={method} path={path} status={status} micros={micros} cache={} conn={conn}{trace}",
+        "method={method} path={path} status={status} micros={micros} cache={} conn={conn}{trace}{dse}",
         cache.as_str()
     )
 }
@@ -258,7 +273,7 @@ fn canonicalize(value: &Value) -> Value {
 /// trailing `other` bucket for 404s/aborts. The list (and its order) is
 /// part of the wire shape — all routes always appear, so scrapers see a
 /// stable schema even for routes that have served nothing yet.
-pub const LATENCY_ROUTES: [&str; 10] = [
+pub const LATENCY_ROUTES: [&str; 11] = [
     "/healthz",
     "/v1/bound",
     "/v1/sweep",
@@ -266,6 +281,7 @@ pub const LATENCY_ROUTES: [&str; 10] = [
     "/v1/simulate",
     "/v1/network",
     "/v1/dse",
+    "/v1/dse/jobs",
     "/v1/cache_stats",
     "/v1/shutdown",
     "other",
@@ -346,12 +362,19 @@ struct LatencyRecorder {
 }
 
 impl LatencyRecorder {
-    /// Which histogram a request path lands in: exact route match, or the
-    /// trailing `other` bucket (404s, aborted connections logged as `-`).
+    /// Which histogram a request path lands in: exact route match (job
+    /// polls share the `/v1/dse/jobs` bucket — per-job-id routes would be
+    /// unbounded), or the trailing `other` bucket (404s, aborted
+    /// connections logged as `-`).
     fn index_of(path: &str) -> usize {
+        let lookup = if path.starts_with("/v1/dse/jobs") {
+            "/v1/dse/jobs"
+        } else {
+            path
+        };
         LATENCY_ROUTES
             .iter()
-            .position(|&route| route == path)
+            .position(|&route| route == lookup)
             .unwrap_or(LATENCY_ROUTES.len() - 1)
     }
 
@@ -378,6 +401,8 @@ struct Counters {
     keepalive_reuses: AtomicU64,
     idle_reaped: AtomicU64,
     drain_aborted: AtomicU64,
+    dse_pruned: AtomicU64,
+    dse_jobs: AtomicU64,
 }
 
 /// One live connection as the accept loop and reaper see it: a second
@@ -514,14 +539,143 @@ impl ConnTable {
     }
 }
 
-/// Everything the request handlers share.
+/// What one dispatched POST produced: the response plus the `/v1/dse`
+/// request-log metadata. Cached and coalesced together, so cache hits and
+/// coalesced followers log the same sweep funnel the leader computed.
+struct Produced {
+    response: Response,
+    dse: Option<api::DseLogMeta>,
+}
+
+impl Produced {
+    fn uncached(response: Response) -> Arc<Produced> {
+        Arc::new(Produced {
+            response,
+            dse: None,
+        })
+    }
+}
+
+/// Concurrently running job-mode `/v1/dse` sweeps beyond this are shed
+/// with `503 + Retry-After` at acceptance — background sweeps already
+/// queue on the [`Gate`] one by one, so a deep job backlog only delays
+/// every poll without computing anything sooner.
+const MAX_RUNNING_DSE_JOBS: usize = 8;
+
+/// Completed jobs retained for polling. Past the bound the oldest
+/// completed job is evicted (its id polls 404); running jobs are never
+/// evicted.
+const DSE_JOB_RETENTION: usize = 64;
+
+/// One accepted job-mode `/v1/dse` sweep's lifecycle state.
+enum JobState {
+    /// The background thread is sweeping; polls answer `running` with
+    /// live progress read from these shared counters.
+    Running {
+        processed: Arc<AtomicU64>,
+        pruned: Arc<AtomicU64>,
+    },
+    /// The sweep finished; polls answer the final response verbatim.
+    Done(Response),
+}
+
+/// What [`JobTable::begin`] decided about a job-mode POST.
+enum JobAdmission {
+    /// Registered; the caller spawns the sweep thread and feeds these
+    /// progress counters.
+    New {
+        processed: Arc<AtomicU64>,
+        pruned: Arc<AtomicU64>,
+    },
+    /// The id is already registered (running or done) — idempotent
+    /// re-POST, nothing to spawn.
+    Existing,
+    /// [`MAX_RUNNING_DSE_JOBS`] sweeps are already running; shed.
+    Saturated,
+}
+
+/// The in-memory registry of accepted job-mode `/v1/dse` sweeps, keyed by
+/// the deterministic job id ([`api::dse_job_id`]), in acceptance order.
+#[derive(Default)]
+struct JobTable {
+    entries: Mutex<Vec<(String, JobState)>>,
+}
+
+impl JobTable {
+    fn begin(&self, id: &str) -> JobAdmission {
+        let mut entries = self.entries.lock().expect("job table poisoned");
+        if entries.iter().any(|(existing, _)| existing == id) {
+            return JobAdmission::Existing;
+        }
+        let running = entries
+            .iter()
+            .filter(|(_, state)| matches!(state, JobState::Running { .. }))
+            .count();
+        if running >= MAX_RUNNING_DSE_JOBS {
+            return JobAdmission::Saturated;
+        }
+        let processed = Arc::new(AtomicU64::new(0));
+        let pruned = Arc::new(AtomicU64::new(0));
+        entries.push((
+            id.to_string(),
+            JobState::Running {
+                processed: Arc::clone(&processed),
+                pruned: Arc::clone(&pruned),
+            },
+        ));
+        JobAdmission::New { processed, pruned }
+    }
+
+    fn complete(&self, id: &str, response: Response) {
+        let mut entries = self.entries.lock().expect("job table poisoned");
+        if let Some(entry) = entries.iter_mut().find(|(existing, _)| existing == id) {
+            entry.1 = JobState::Done(response);
+        }
+        while entries.len() > DSE_JOB_RETENTION {
+            match entries
+                .iter()
+                .position(|(_, state)| matches!(state, JobState::Done(_)))
+            {
+                Some(oldest_done) => {
+                    entries.remove(oldest_done);
+                }
+                None => break,
+            }
+        }
+    }
+
+    fn poll(&self, id: &str) -> Option<Response> {
+        let entries = self.entries.lock().expect("job table poisoned");
+        entries
+            .iter()
+            .find(|(existing, _)| existing == id)
+            .map(|(_, state)| match state {
+                JobState::Running { processed, pruned } => Response::json(
+                    200,
+                    api::dse_job_running_body(
+                        id,
+                        processed.load(Ordering::Relaxed),
+                        pruned.load(Ordering::Relaxed),
+                    ),
+                ),
+                JobState::Done(response) => response.clone(),
+            })
+    }
+}
+
+/// Everything the request handlers share. `counters`, `gate` and `jobs`
+/// sit behind their own `Arc`s because job-mode `/v1/dse` sweeps outlive
+/// the connection that accepted them: the background thread keeps these
+/// three alive while the rest of the state is only reachable through the
+/// connection threads.
 struct ServiceState {
     config: ServiceConfig,
-    flights: FlightMap<String, Arc<Response>>,
-    response_cache: Mutex<LruCache<String, Arc<Response>>>,
-    counters: Counters,
+    flights: FlightMap<String, Arc<Produced>>,
+    response_cache: Mutex<LruCache<String, Arc<Produced>>>,
+    counters: Arc<Counters>,
     latency: LatencyRecorder,
-    gate: Gate,
+    gate: Arc<Gate>,
+    jobs: Arc<JobTable>,
     table: ConnTable,
     /// Set by [`Server::bind`]; lets `POST /v1/shutdown` trigger the same
     /// drain as [`StopHandle::stop`].
@@ -619,6 +773,12 @@ pub struct ServiceStats {
     pub idle_reaped: u64,
     /// In-flight connections aborted at the drain hard deadline.
     pub drain_aborted: u64,
+    /// Candidates discarded by the staged `/v1/dse` bound stage, summed
+    /// over completed sweeps (synchronous, streamed and job-mode alike).
+    pub dse_pruned: u64,
+    /// Job-mode `/v1/dse` sweeps accepted (each spawned one background
+    /// run; idempotent re-POSTs of an accepted job do not recount).
+    pub dse_jobs: u64,
     /// Resident response-cache entries.
     pub response_cache_entries: u64,
     /// Response-cache bound.
@@ -645,11 +805,12 @@ impl ServiceState {
         };
         ServiceState {
             response_cache: Mutex::new(LruCache::new(config.result_cache_capacity)),
-            gate: Gate::new(permits, config.queue_capacity),
+            gate: Arc::new(Gate::new(permits, config.queue_capacity)),
             config,
             flights: FlightMap::new(),
-            counters: Counters::default(),
+            counters: Arc::new(Counters::default()),
             latency: LatencyRecorder::default(),
+            jobs: Arc::new(JobTable::default()),
             table: ConnTable::default(),
             stopper: OnceLock::new(),
         }
@@ -670,6 +831,8 @@ impl ServiceState {
             keepalive_reuses: self.counters.keepalive_reuses.load(Ordering::Relaxed),
             idle_reaped: self.counters.idle_reaped.load(Ordering::Relaxed),
             drain_aborted: self.counters.drain_aborted.load(Ordering::Relaxed),
+            dse_pruned: self.counters.dse_pruned.load(Ordering::Relaxed),
+            dse_jobs: self.counters.dse_jobs.load(Ordering::Relaxed),
             response_cache_entries: entries,
             response_cache_capacity: capacity,
         }
@@ -711,7 +874,7 @@ impl ServiceState {
         &self,
         path: &str,
         body: &[u8],
-    ) -> (Arc<Response>, CacheOutcome, Option<bool>) {
+    ) -> (Arc<Produced>, CacheOutcome, Option<bool>) {
         let parsed: Value = match std::str::from_utf8(body)
             .map_err(|_| "request body is not valid UTF-8".to_string())
             .and_then(|text| {
@@ -720,18 +883,29 @@ impl ServiceState {
             Ok(v) => v,
             Err(msg) => {
                 return (
-                    Arc::new(Response::error(400, &msg)),
+                    Produced::uncached(Response::error(400, &msg)),
                     CacheOutcome::Uncached,
                     Self::trace_flag(path, None),
                 )
             }
         };
         let trace = Self::trace_flag(path, Some(&parsed));
+        // Job-mode `/v1/dse` never enters the cache or the flight map: an
+        // acceptance must register the job and spawn its sweep thread,
+        // which the pure dispatch cannot do, and idempotency is keyed on
+        // the job id instead of the canonical body.
+        if path == "/v1/dse" && api::stream_mode_hint(&parsed) == api::StreamMode::Job {
+            return (
+                self.dse_job_response(&parsed),
+                CacheOutcome::Uncached,
+                trace,
+            );
+        }
         let canonical = match serde_json::to_string(&canonicalize(&parsed)) {
             Ok(c) => c,
             Err(e) => {
                 return (
-                    Arc::new(Response::error(
+                    Produced::uncached(Response::error(
                         400,
                         &format!("unrenderable JSON body: {e}"),
                     )),
@@ -761,21 +935,98 @@ impl ServiceState {
         // The leader populates the cache *inside* the flight, before it
         // retires: once a key has been computed, later requests always find
         // either the in-flight computation or the cached response.
-        let (response, coalesced) = self.flights.run(key.clone(), || {
-            let response = Arc::new(api::dispatch(path, &parsed));
-            if response.status == 200 && response.body.len() <= MAX_CACHEABLE_BODY_BYTES {
+        let (produced, coalesced) = self.flights.run(key.clone(), || {
+            let (response, dse) = api::dispatch_with_meta(path, &parsed);
+            // The prune counter observes each sweep once, here at compute
+            // time — cache hits and coalesced followers reuse the result
+            // without re-counting work that never re-ran.
+            if let Some(meta) = &dse {
+                self.counters
+                    .dse_pruned
+                    .fetch_add(meta.pruned, Ordering::Relaxed);
+            }
+            let produced = Arc::new(Produced { response, dse });
+            if produced.response.status == 200
+                && produced.response.body.len() <= MAX_CACHEABLE_BODY_BYTES
+            {
                 if let Ok(mut cache) = self.response_cache.lock() {
-                    cache.insert(key.clone(), Arc::clone(&response));
+                    cache.insert(key.clone(), Arc::clone(&produced));
                 }
             }
-            response
+            produced
         });
         let outcome = if coalesced {
             CacheOutcome::Coalesced
         } else {
             CacheOutcome::Miss
         };
-        (response, outcome, trace)
+        (produced, outcome, trace)
+    }
+
+    /// Accepts (or re-acknowledges) a job-mode `/v1/dse` request: validates
+    /// the whole spec up front (a bad request is rejected before a job
+    /// exists), registers the deterministic job id, spawns the background
+    /// sweep thread and answers the acceptance body immediately.
+    /// Re-POSTing an accepted job returns the same acceptance without
+    /// spawning anything; past [`MAX_RUNNING_DSE_JOBS`] running sweeps the
+    /// job is shed with `503 + Retry-After`.
+    fn dse_job_response(&self, parsed: &Value) -> Arc<Produced> {
+        let spec = match api::prepare_dse_job(parsed) {
+            Ok(spec) => spec,
+            Err(e) => return Produced::uncached(e.into_response()),
+        };
+        let accepted = Arc::new(Produced {
+            response: Response::json(200, spec.acceptance_body()),
+            dse: Some(spec.meta()),
+        });
+        match self.jobs.begin(&spec.id) {
+            JobAdmission::Existing => accepted,
+            JobAdmission::Saturated => {
+                self.counters.shed.fetch_add(1, Ordering::Relaxed);
+                Produced::uncached(Response::unavailable(
+                    "too many DSE jobs running; retry with backoff",
+                    RETRY_AFTER_SECS,
+                ))
+            }
+            JobAdmission::New { processed, pruned } => {
+                self.counters.dse_jobs.fetch_add(1, Ordering::Relaxed);
+                let jobs = Arc::clone(&self.jobs);
+                let gate = Arc::clone(&self.gate);
+                let counters = Arc::clone(&self.counters);
+                let job_id = spec.id.clone();
+                let spawned = std::thread::Builder::new()
+                    .name(format!("clb-dse-job-{}", &job_id[..8.min(job_id.len())]))
+                    .spawn(move || {
+                        // The sweep takes a normal gate permit: background
+                        // jobs queue behind interactive requests instead of
+                        // oversubscribing the compute pool.
+                        let response = match gate.acquire() {
+                            None => Response::unavailable(
+                                "server was saturated; re-submit the job",
+                                RETRY_AFTER_SECS,
+                            ),
+                            Some(_permit) => {
+                                let (response, pruned_total) = spec.run(&mut |done, cut| {
+                                    processed.store(done as u64, Ordering::Relaxed);
+                                    pruned.store(cut, Ordering::Relaxed);
+                                });
+                                counters
+                                    .dse_pruned
+                                    .fetch_add(pruned_total, Ordering::Relaxed);
+                                response
+                            }
+                        };
+                        jobs.complete(&spec.id, response);
+                    });
+                if spawned.is_err() {
+                    self.jobs.complete(
+                        &job_id,
+                        Response::error(500, "could not spawn the job thread"),
+                    );
+                }
+                accepted
+            }
+        }
     }
 
     /// The drain trigger behind `POST /v1/shutdown` (when enabled): flips
@@ -812,7 +1063,7 @@ impl ServiceState {
         method == "POST" && POST_ENDPOINTS.contains(&path)
     }
 
-    fn route(&self, head: &http::Head, body: &[u8]) -> (Arc<Response>, CacheOutcome, Option<bool>) {
+    fn route(&self, head: &http::Head, body: &[u8]) -> (Arc<Produced>, CacheOutcome, Option<bool>) {
         const POST_ENDPOINTS: [&str; 7] = [
             "/v1/bound",
             "/v1/sweep",
@@ -823,10 +1074,27 @@ impl ServiceState {
             "/v1/shutdown",
         ];
         const GET_ENDPOINTS: [&str; 2] = ["/healthz", "/v1/cache_stats"];
-        let uncached = |r: Response| (Arc::new(r), CacheOutcome::Uncached, None);
+        let uncached = |r: Response| (Produced::uncached(r), CacheOutcome::Uncached, None);
         match (head.method.as_str(), head.path.as_str()) {
             ("GET", "/healthz") => uncached(Response::json(200, "{\"status\": \"ok\"}")),
             ("GET", "/v1/cache_stats") => uncached(self.cache_stats_response()),
+            ("GET", path) if path.starts_with("/v1/dse/jobs/") => {
+                let id = &path["/v1/dse/jobs/".len()..];
+                uncached(match self.jobs.poll(id) {
+                    Some(response) => response,
+                    None => Response::error(
+                        404,
+                        &format!(
+                            "no such DSE job `{id}` (the newest {DSE_JOB_RETENTION} \
+                             completed jobs are retained)"
+                        ),
+                    ),
+                })
+            }
+            (_, path) if path.starts_with("/v1/dse/jobs/") => uncached(Response::error(
+                405,
+                &format!("method {} not allowed for {path}", head.method),
+            )),
             ("POST", "/v1/shutdown") => uncached(self.shutdown_response()),
             ("POST", path) if POST_ENDPOINTS.contains(&path) => self.post_response(path, body),
             (_, path) if POST_ENDPOINTS.contains(&path) || GET_ENDPOINTS.contains(&path) => {
@@ -849,6 +1117,7 @@ impl ServiceState {
         outcome: CacheOutcome,
         conn: u64,
         trace: Option<bool>,
+        dse: Option<&api::DseLogMeta>,
     ) {
         let micros = started.elapsed().as_micros();
         // The histograms observe every request, logging enabled or not —
@@ -856,8 +1125,87 @@ impl ServiceState {
         self.latency.record(path, micros);
         if let Some(sink) = &self.config.log {
             sink(&format_request_log(
-                method, path, status, micros, outcome, conn, trace,
+                method, path, status, micros, outcome, conn, trace, dse,
             ));
+        }
+    }
+
+    /// Parses the body of a `POST /v1/dse` request whose `stream` field
+    /// asks for the chunked transport. `None` for everything else —
+    /// including bodies that do not parse, which fall through to the
+    /// normal path and its 400.
+    fn streamed_dse_body(head: &http::Head, body: &[u8]) -> Option<Value> {
+        if head.method != "POST" || head.path != "/v1/dse" {
+            return None;
+        }
+        let parsed: Value = std::str::from_utf8(body)
+            .ok()
+            .and_then(|text| serde_json::from_str(text).ok())?;
+        (api::stream_mode_hint(&parsed) == api::StreamMode::Chunked).then_some(parsed)
+    }
+
+    /// Serves one chunked-transport `/v1/dse` request: takes a gate permit
+    /// (shedding `503` like any gated POST), validates the whole request
+    /// through [`api::dse_staged_stream`] — errors before the first chunk
+    /// still answer as a plain framed response — then writes
+    /// `Transfer-Encoding: chunked` frames straight to the socket: one per
+    /// frontier snapshot, then the final body (byte-identical to the
+    /// `"stream": false` response), then the terminal zero chunk. Streams
+    /// bypass the response cache and the flight map: the transport's value
+    /// is live progress, and the final body is reachable cacheably via the
+    /// synchronous mode anyway. Returns `(status, write_ok, meta)` for the
+    /// request log.
+    fn stream_dse(
+        &self,
+        stream: &TcpStream,
+        parsed: &Value,
+        keep: bool,
+    ) -> (u16, bool, Option<api::DseLogMeta>) {
+        let mut writer = stream;
+        let Some(_permit) = self.gate.acquire() else {
+            self.counters.shed.fetch_add(1, Ordering::Relaxed);
+            let response =
+                Response::unavailable("server is saturated; retry with backoff", RETRY_AFTER_SECS);
+            let ok = response.write_conn(&mut writer, keep).is_ok();
+            return (response.status, ok, None);
+        };
+        let mut write_ok = true;
+        let mut header_sent = false;
+        let result = api::dse_staged_stream(parsed, &mut |chunk| {
+            if !header_sent {
+                header_sent = true;
+                let header = format!(
+                    "HTTP/1.1 200 OK\r\nContent-Type: application/json\r\n\
+                     Transfer-Encoding: chunked\r\nConnection: {}\r\n\r\n",
+                    if keep { "keep-alive" } else { "close" }
+                );
+                write_ok &= writer.write_all(header.as_bytes()).is_ok();
+            }
+            if write_ok && !chunk.is_empty() {
+                let frame = format!("{:x}\r\n{chunk}\r\n", chunk.len());
+                write_ok &= writer.write_all(frame.as_bytes()).is_ok();
+            }
+        });
+        match result {
+            Ok(meta) => {
+                write_ok &= writer.write_all(b"0\r\n\r\n").is_ok() && writer.flush().is_ok();
+                self.counters
+                    .dse_pruned
+                    .fetch_add(meta.pruned, Ordering::Relaxed);
+                (200, write_ok, Some(meta))
+            }
+            Err(e) if !header_sent => {
+                let response = e.into_response();
+                let ok = response.write_conn(&mut writer, keep).is_ok();
+                (response.status, ok, None)
+            }
+            Err(_) => {
+                // A render failure after snapshots already went out (never
+                // seen in practice): terminate the chunked body — the
+                // truncated stream is the only honest signal left.
+                let _ = writer.write_all(b"0\r\n\r\n");
+                (500, false, None)
+            }
         }
     }
 
@@ -894,7 +1242,16 @@ impl ServiceState {
             .set_read_timeout(Some(self.config.idle_timeout))
             .and_then(|()| stream.set_write_timeout(Some(self.config.write_timeout)))
         {
-            self.log_request("-", "-", 0, opened, CacheOutcome::Uncached, conn_id, None);
+            self.log_request(
+                "-",
+                "-",
+                0,
+                opened,
+                CacheOutcome::Uncached,
+                conn_id,
+                None,
+                None,
+            );
             eprintln!("clb-conn-{conn_id}: socket timeouts unavailable ({e}); closing unserved");
             self.table.remove(conn_id);
             return;
@@ -929,7 +1286,11 @@ impl ServiceState {
             let mut framed = false;
             let mut logged_head: Option<(String, String)> = None;
             let mut client_keepalive = false;
-            let (response, outcome, trace) = match http::read_head(&mut reader, deadline) {
+            // `Some` once a chunked-transport `/v1/dse` request wrote its
+            // own response inside `stream_dse`; the normal response phase
+            // is skipped and only the bookkeeping below runs.
+            let mut streamed: Option<(u16, bool, Option<api::DseLogMeta>)> = None;
+            let (produced, outcome, trace) = match http::read_head(&mut reader, deadline) {
                 Ok(head) => {
                     logged_head = Some((head.method.clone(), head.path.clone()));
                     client_keepalive = head.wants_keepalive();
@@ -938,7 +1299,7 @@ impl ServiceState {
                         // the framing, so this response closes the
                         // connection (framed stays false).
                         (
-                            Arc::new(Response::error(
+                            Produced::uncached(Response::error(
                                 413,
                                 &HttpError::PayloadTooLarge {
                                     limit: self.config.max_body_bytes,
@@ -967,13 +1328,30 @@ impl ServiceState {
                                 // happens next (shed included), the byte
                                 // stream stays consistent for reuse.
                                 framed = true;
-                                if Self::is_gated(&head.method, &head.path) {
+                                if let Some(parsed) = Self::streamed_dse_body(&head, &body) {
+                                    // Chunked transport: the response —
+                                    // stream, shed or plain error — is
+                                    // written inside `stream_dse` (the
+                                    // framed machinery below builds one
+                                    // Content-Length body, which a
+                                    // million-candidate stream must not).
+                                    let keep_planned = client_keepalive
+                                        && served + 1 < max_requests
+                                        && !self.table.is_draining();
+                                    streamed =
+                                        Some(self.stream_dse(&stream, &parsed, keep_planned));
+                                    (
+                                        Produced::uncached(Response::json(200, String::new())),
+                                        CacheOutcome::Uncached,
+                                        None,
+                                    )
+                                } else if Self::is_gated(&head.method, &head.path) {
                                     match self.gate.acquire() {
                                         Some(_permit) => self.route(&head, &body),
                                         None => {
                                             self.counters.shed.fetch_add(1, Ordering::Relaxed);
                                             (
-                                                Arc::new(Response::unavailable(
+                                                Produced::uncached(Response::unavailable(
                                                     "server is saturated; retry with backoff",
                                                     RETRY_AFTER_SECS,
                                                 )),
@@ -987,7 +1365,7 @@ impl ServiceState {
                                 }
                             }
                             Err(e) => (
-                                Arc::new(Response::error(e.status(), &e.message())),
+                                Produced::uncached(Response::error(e.status(), &e.message())),
                                 CacheOutcome::Uncached,
                                 Self::trace_flag(&head.path, None),
                             ),
@@ -995,7 +1373,7 @@ impl ServiceState {
                     }
                 }
                 Err(e) => (
-                    Arc::new(Response::error(e.status(), &e.message())),
+                    Produced::uncached(Response::error(e.status(), &e.message())),
                     CacheOutcome::Uncached,
                     None,
                 ),
@@ -1009,19 +1387,40 @@ impl ServiceState {
                     .keepalive_reuses
                     .fetch_add(1, Ordering::Relaxed);
             }
+            let (method, path) = logged_head.unwrap_or_else(|| ("-".to_string(), "-".to_string()));
+            if let Some((status, write_ok, meta)) = streamed {
+                self.log_request(
+                    &method,
+                    &path,
+                    status,
+                    started,
+                    CacheOutcome::Uncached,
+                    conn_id,
+                    None,
+                    meta.as_ref(),
+                );
+                let keep = write_ok
+                    && client_keepalive
+                    && served < max_requests
+                    && !self.table.is_draining();
+                if !keep {
+                    break;
+                }
+                continue;
+            }
             let keep =
                 framed && client_keepalive && served < max_requests && !self.table.is_draining();
             let mut writer = &stream;
-            let write_ok = response.write_conn(&mut writer, keep).is_ok();
-            let (method, path) = logged_head.unwrap_or_else(|| ("-".to_string(), "-".to_string()));
+            let write_ok = produced.response.write_conn(&mut writer, keep).is_ok();
             self.log_request(
                 &method,
                 &path,
-                response.status,
+                produced.response.status,
                 started,
                 outcome,
                 conn_id,
                 trace,
+                produced.dse.as_ref(),
             );
             if !keep || !write_ok {
                 break;

@@ -251,6 +251,46 @@ fn corpus() -> Vec<(String, &'static str, &'static str, Option<Value>)> {
             ("candidates", Value::Array(preset_archs())),
         ])),
     ));
+    // Staged sweeps: pin the bound-pruned, objective-ranked `/v1/dse`
+    // wire formats — a layer-mode energy ranking, a network-mode Pareto
+    // frontier, and a job-mode acceptance (whose id is a deterministic
+    // hash of the canonical body, hence byte-stable).
+    let mut dse_energy = small_layer();
+    dse_energy.push(("candidates", Value::Array(preset_archs())));
+    dse_energy.push(("objective", Value::String("energy".to_string())));
+    dse_energy.push(("top_k", num(3.0)));
+    entries.push((
+        "dse_layer_objective".to_string(),
+        "POST",
+        "/v1/dse",
+        Some(obj(dse_energy)),
+    ));
+    entries.push((
+        "dse_network_objective".to_string(),
+        "POST",
+        "/v1/dse",
+        Some(obj(vec![
+            (
+                "target",
+                obj(vec![
+                    ("network", Value::String("alexnet".to_string())),
+                    ("batch", num(1.0)),
+                ]),
+            ),
+            ("candidates", Value::Array(preset_archs())),
+            ("objective", Value::String("pareto".to_string())),
+            ("top_k", num(2.0)),
+        ])),
+    ));
+    let mut dse_job = small_layer();
+    dse_job.push(("candidates", Value::Array(preset_archs())));
+    dse_job.push(("stream", Value::String("job".to_string())));
+    entries.push((
+        "dse_layer_job".to_string(),
+        "POST",
+        "/v1/dse",
+        Some(obj(dse_job)),
+    ));
     // Execution traces: pin the trace wire formats byte-for-byte — an
     // expanded JSON trace and a VCD waveform on `/v1/simulate`, and a
     // compact (class-only) JSON trace on `/v1/plan`, all on implem 1.
@@ -410,8 +450,18 @@ fn golden_corpus_replays_byte_for_byte() {
             );
         }
     }
-    assert!(fixtures.iter().any(|f| f.case == "dse_layer_presets"));
-    assert!(fixtures.iter().any(|f| f.case == "dse_network_presets"));
+    for case in [
+        "dse_layer_presets",
+        "dse_network_presets",
+        "dse_layer_objective",
+        "dse_network_objective",
+        "dse_layer_job",
+    ] {
+        assert!(
+            fixtures.iter().any(|f| f.case == case),
+            "corpus lost DSE coverage: {case}"
+        );
+    }
     for case in [
         "simulate_trace_json",
         "simulate_trace_vcd",
@@ -464,6 +514,64 @@ fn shed_503_wire_rendering_is_pinned() {
     // its retry hint in both the header and the JSON body.
     assert!(rendered.contains(&format!("Retry-After: {RETRY_AFTER_SECS}\r\n")));
     assert!(rendered.contains("\"retry_after_seconds\""));
+}
+
+/// Satellite pin: the chunked-transport `/v1/dse` payload — every frontier
+/// snapshot line plus the final body, exactly as the server frames them
+/// into `Transfer-Encoding: chunked` — golden-pinned through the pure
+/// [`api::dse_stream_chunks`] helper (the wire framing around these bytes
+/// is covered by the integration tests; the chunk *contents* are what a
+/// streaming client parses). The final chunk must equal the synchronous
+/// staged response for the same request, by construction and by pin.
+#[test]
+fn streamed_dse_chunks_are_pinned() {
+    let mut request = small_layer();
+    request.push(("candidates", Value::Array(preset_archs())));
+    request.push(("objective", Value::String("cycles".to_string())));
+    request.push(("top_k", num(3.0)));
+    request.push(("stream", Value::Bool(true)));
+    let request = obj(request);
+    let chunks = api::dse_stream_chunks(&request).expect("streamed sweep succeeds");
+    assert!(
+        chunks.len() >= 2,
+        "a 5-candidate sweep must emit at least one snapshot and the final body"
+    );
+    let rendered = chunks.join("");
+    if blessing() {
+        std::fs::write(golden_dir().join("dse_stream_chunks.txt"), &rendered).unwrap();
+        return;
+    }
+    let expected = read_fixture_file("dse_stream_chunks.txt");
+    verify_bytes("dse_stream_chunks", "chunk payload", &expected, &rendered).unwrap();
+    // The transport contract, independent of fixture bytes: the last chunk
+    // is byte-identical to the synchronous response for the same sweep.
+    let mut sync_request = request.clone();
+    if let Value::Object(fields) = &mut sync_request {
+        for (k, v) in fields.iter_mut() {
+            if k == "stream" {
+                *v = Value::Bool(false);
+            }
+        }
+    }
+    let sync = api::dispatch("/v1/dse", &sync_request);
+    assert_eq!(sync.status, 200);
+    assert_eq!(
+        chunks.last().unwrap(),
+        &sync.body,
+        "final streamed chunk must equal the synchronous staged body"
+    );
+    // And every snapshot line before it is single-line JSON with the
+    // funnel fields.
+    for line in &chunks[..chunks.len() - 1] {
+        assert!(line.ends_with('\n'), "snapshot lines are newline-framed");
+        let parsed: Value = serde_json::from_str(line.trim_end()).expect("snapshot parses");
+        for field in ["processed", "pruned", "kept", "frontier"] {
+            assert!(
+                matches!(&parsed, Value::Object(fields) if fields.iter().any(|(k, _)| k == field)),
+                "snapshot line missing `{field}`: {line}"
+            );
+        }
+    }
 }
 
 #[test]

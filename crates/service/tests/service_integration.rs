@@ -446,7 +446,10 @@ fn request_log_lines_have_the_pinned_shape() {
 /// must hold for 200s *and* 422s, and the `cache=` field must report the
 /// real outcome — one `miss` leader per burst of identical concurrent
 /// sweeps, everyone else `coalesced` (or `hit` once the leader retired),
-/// and `miss` every time for uncacheable 422s.
+/// and `miss` every time for uncacheable 422s. Successful sweep lines
+/// additionally carry the staged funnel (`candidates= pruned= kept=
+/// objective=`); legacy sweeps log `objective=-`, error lines keep the
+/// base shape (there is no funnel to report).
 #[test]
 fn request_log_covers_network_mode_dse() {
     let lines = std::sync::Arc::new(std::sync::Mutex::new(Vec::<String>::new()));
@@ -485,34 +488,84 @@ fn request_log_covers_network_mode_dse() {
             });
         }
     });
+
+    // A staged sweep logs the requested objective by name.
+    let staged = "{\"target\":{\"network\":\"vgg16\",\"batch\":3},\
+                  \"grid\":{\"pe_rows\":[8,24],\"pe_cols\":[8]},\
+                  \"objective\":\"traffic\",\"top_k\":1}";
+    let (status, _) = request(addr, "POST", "/v1/dse", staged);
+    assert_eq!(status, 200);
     server.shutdown().unwrap();
 
     let lines = lines.lock().unwrap();
-    assert_eq!(lines.len(), 6, "one line per completed request: {lines:?}");
-    // Every line keeps the pinned key order regardless of mode or status.
+    assert_eq!(lines.len(), 7, "one line per completed request: {lines:?}");
+    // Every line keeps the pinned key order regardless of mode or status:
+    // successful sweeps append the staged funnel, errors stay base-shaped.
     for line in lines.iter() {
-        let keys: Vec<&str> = line
+        let fields: Vec<(&str, &str)> = line
             .split(' ')
-            .map(|kv| kv.split_once('=').expect("key=value").0)
+            .map(|kv| kv.split_once('=').expect("key=value"))
             .collect();
-        assert_eq!(
-            keys,
-            ["method", "path", "status", "micros", "cache", "conn"],
-            "{line}"
-        );
+        let keys: Vec<&str> = fields.iter().map(|(k, _)| *k).collect();
+        if line.contains("status=200") {
+            assert_eq!(
+                keys,
+                [
+                    "method",
+                    "path",
+                    "status",
+                    "micros",
+                    "cache",
+                    "conn",
+                    "candidates",
+                    "pruned",
+                    "kept",
+                    "objective"
+                ],
+                "{line}"
+            );
+            fields[6].1.parse::<u64>().expect("candidates numeric");
+            fields[7].1.parse::<u64>().expect("pruned numeric");
+            fields[8].1.parse::<u64>().expect("kept numeric");
+        } else {
+            assert_eq!(
+                keys,
+                ["method", "path", "status", "micros", "cache", "conn"],
+                "{line}"
+            );
+        }
         assert!(line.contains("path=/v1/dse"), "{line}");
     }
     let count = |needle: &str| lines.iter().filter(|l| l.contains(needle)).count();
     assert_eq!(count("status=422"), 2, "{lines:?}");
-    assert_eq!(count("status=200"), 4, "{lines:?}");
+    assert_eq!(count("status=200"), 5, "{lines:?}");
+    // Legacy sweeps have no ranking objective — the funnel logs `-`; the
+    // staged sweep names its objective. Both report the 2-candidate grid.
+    for line in lines.iter().filter(|l| l.contains("status=200")) {
+        assert_eq!(log_field(line, "candidates"), "2", "{line}");
+    }
+    assert_eq!(
+        lines
+            .iter()
+            .filter(|l| l.contains("status=200") && log_field(l, "objective") == "-")
+            .count(),
+        4,
+        "{lines:?}"
+    );
+    assert_eq!(log_field(&lines[6], "objective"), "traffic", "{}", lines[6]);
+    assert_eq!(log_field(&lines[6], "kept"), "1", "{}", lines[6]);
     // Both 422s recomputed: error responses never enter the cache.
     for line in lines.iter().filter(|l| l.contains("status=422")) {
         assert_eq!(log_field(line, "cache"), "miss", "{line}");
     }
     // The burst shares one computation: exactly one miss; followers either
     // coalesced onto the in-flight leader or (having arrived after it
-    // retired) hit the response cache it populated.
-    let ok_lines: Vec<&String> = lines.iter().filter(|l| l.contains("status=200")).collect();
+    // retired) hit the response cache it populated. (The staged sweep on
+    // line 6 is a distinct cache key — its own miss — so exclude it.)
+    let ok_lines: Vec<&String> = lines[..6]
+        .iter()
+        .filter(|l| l.contains("status=200"))
+        .collect();
     assert_eq!(
         ok_lines
             .iter()

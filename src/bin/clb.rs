@@ -379,12 +379,56 @@ fn get_list(
     }
 }
 
+/// The staged-mode CLI flags, mirroring `/v1/dse`'s staged fields: any of
+/// `--objective`, `--top-k` or `--stream` switches `clb dse` from the
+/// legacy evaluate-everything sweep to the bound-pruned staged engine
+/// (larger candidate cap, ranked frontier, optional live progress).
+fn staged_flags(
+    flags: &HashMap<String, String>,
+) -> Result<Option<(clb::core::Objective, usize, bool)>, String> {
+    use clb_service::api::limits;
+    if !["objective", "top-k", "stream"]
+        .iter()
+        .any(|k| flags.contains_key(*k))
+    {
+        return Ok(None);
+    }
+    let objective = match flags.get("objective") {
+        None => clb::core::Objective::Cycles,
+        Some(name) => clb::core::Objective::parse(name).ok_or_else(|| {
+            format!("unknown --objective `{name}` (expected cycles, traffic, energy or pareto)")
+        })?,
+    };
+    let top_k: usize = get(flags, "top-k", limits::DEFAULT_DSE_TOP_K)?;
+    if !(1..=limits::MAX_DSE_TOP_K).contains(&top_k) {
+        return Err(format!(
+            "--top-k must be between 1 and {}",
+            limits::MAX_DSE_TOP_K
+        ));
+    }
+    let stream: bool = get(flags, "stream", false)?;
+    Ok(Some((objective, top_k, stream)))
+}
+
+/// The live-progress printer for `clb dse --stream true`: one stderr line
+/// per frontier improvement, mirroring the fields of the service's chunked
+/// snapshots (stderr so `--json true` output stays machine-parsable).
+fn print_stream_progress<R: clb::core::SweepCost>(p: &clb::core::StagedProgress<'_, R>) {
+    eprintln!(
+        "processed={} pruned={} kept={}",
+        p.processed,
+        p.pruned,
+        p.frontier.len()
+    );
+}
+
 /// `clb dse`: sweep a grid of candidate architectures over one layer, or —
 /// with `--net` — over a full model (the CLI mirror of `POST /v1/dse` in
 /// both its modes). The grid axes are comma-separated lists; unlisted axes
 /// stay at the base architecture (`--arch` JSON, default Table I
 /// implementation 1). `--json true` prints the identical structure the
-/// service returns.
+/// service returns. `--objective`, `--top-k` and `--stream` select the
+/// staged engine (the CLI mirror of the same fields on `POST /v1/dse`).
 fn cmd_dse(flags: &HashMap<String, String>) -> Result<(), String> {
     if let Some(net) = flags.get("net") {
         for conflicting in ["co", "size", "ci", "k", "stride"] {
@@ -398,7 +442,51 @@ fn cmd_dse(flags: &HashMap<String, String>) -> Result<(), String> {
     }
     let layer = layer_from_flags(flags)?;
     let base = arch_from_flags(flags)?.unwrap_or_else(accel_sim::ArchConfig::example);
-    let archs = grid_archs_from_flags(flags, &base)?;
+
+    if let Some((objective, top_k, stream)) = staged_flags(flags)? {
+        let archs = grid_archs_from_flags(flags, &base, true)?;
+        let response =
+            clb_service::dse_staged_results(&layer, archs.len(), &archs, objective, top_k, |p| {
+                if stream {
+                    print_stream_progress(&p);
+                }
+            });
+        if flags.get("json").is_some() {
+            println!(
+                "{}",
+                serde_json::to_string_pretty(&response).map_err(|e| e.to_string())?
+            );
+            return Ok(());
+        }
+        println!(
+            "layer: {layer} — {} candidates ({} distinct, {} pruned, {} evaluated); \
+             top {} by {}\n",
+            response.submitted,
+            response.unique,
+            response.pruned,
+            response.evaluated,
+            response.kept,
+            response.objective
+        );
+        print_dse_header();
+        for entry in &response.results {
+            print_dse_row(
+                &entry.arch,
+                entry.report.as_ref().map(|report| {
+                    (
+                        report.stats.total_cycles(),
+                        report.stats.dram.total_bytes() as f64 / 1e6,
+                        report.pj_per_mac(),
+                        report.stats.seconds(entry.arch.core_freq_hz) * 1e3,
+                    )
+                }),
+                entry.error.as_deref(),
+            );
+        }
+        return Ok(());
+    }
+
+    let archs = grid_archs_from_flags(flags, &base, false)?;
     let response = clb_service::dse_results(&layer, archs.len(), &archs);
 
     if flags.get("json").is_some() {
@@ -463,10 +551,12 @@ fn print_dse_row(
 /// Expands the `clb dse` grid flags into validated candidates. Axis order
 /// is `api::GRID_AXES`; the expansion itself is shared with the service
 /// (`api::archs_from_axes`), so `clb dse` and `/v1/dse` can never disagree
-/// on which field an axis sweeps.
+/// on which field an axis sweeps. Staged sweeps get the service's larger
+/// staged candidate budget, exactly like a staged `/v1/dse` request.
 fn grid_archs_from_flags(
     flags: &HashMap<String, String>,
     base: &accel_sim::ArchConfig,
+    staged: bool,
 ) -> Result<Vec<accel_sim::ArchConfig>, String> {
     let axes: [Vec<usize>; 9] = [
         get_list(flags, "pe-rows", base.pe_rows)?,
@@ -479,7 +569,11 @@ fn grid_archs_from_flags(
         get_list(flags, "greg-bytes", base.greg_bytes)?,
         get_list(flags, "greg-segment", base.greg_segment_entries)?,
     ];
-    clb_service::api::archs_from_axes(&axes, base).map_err(api_error_message)
+    if staged {
+        clb_service::api::archs_from_axes_staged(&axes, base).map_err(api_error_message)
+    } else {
+        clb_service::api::archs_from_axes(&axes, base).map_err(api_error_message)
+    }
 }
 
 /// The network mode of `clb dse` (`--net vgg16|alexnet|resnet50`): the same
@@ -489,7 +583,59 @@ fn cmd_dse_network(net_name: String, flags: &HashMap<String, String>) -> Result<
     let batch: usize = get(flags, "batch", 3)?;
     let net = clb_service::network_by_name(&net_name, batch).map_err(api_error_message)?;
     let base = arch_from_flags(flags)?.unwrap_or_else(accel_sim::ArchConfig::example);
-    let archs = grid_archs_from_flags(flags, &base)?;
+
+    if let Some((objective, top_k, stream)) = staged_flags(flags)? {
+        let archs = grid_archs_from_flags(flags, &base, true)?;
+        let response = clb_service::dse_staged_network_results(
+            &net,
+            batch,
+            archs.len(),
+            &archs,
+            objective,
+            top_k,
+            |p| {
+                if stream {
+                    print_stream_progress(&p);
+                }
+            },
+        );
+        if flags.get("json").is_some() {
+            println!(
+                "{}",
+                serde_json::to_string_pretty(&response).map_err(|e| e.to_string())?
+            );
+            return Ok(());
+        }
+        println!(
+            "{} (batch {batch}) — {} candidates ({} distinct, {} pruned, {} evaluated); \
+             top {} by {}\n",
+            response.network,
+            response.submitted,
+            response.unique,
+            response.pruned,
+            response.evaluated,
+            response.kept,
+            response.objective
+        );
+        print_dse_header();
+        for entry in &response.results {
+            print_dse_row(
+                &entry.arch,
+                entry.report.as_ref().map(|report| {
+                    (
+                        report.totals.total_cycles(),
+                        report.totals.dram.total_bytes() as f64 / 1e6,
+                        report.pj_per_mac(),
+                        report.seconds * 1e3,
+                    )
+                }),
+                entry.error.as_deref(),
+            );
+        }
+        return Ok(());
+    }
+
+    let archs = grid_archs_from_flags(flags, &base, false)?;
     let response = clb_service::dse_network_results(&net, batch, archs.len(), &archs);
 
     if flags.get("json").is_some() {
@@ -577,8 +723,12 @@ fn usage() -> &'static str {
      clb dse      --co 512 --size 28 --ci 256 [--pe-rows 16,24,32] [--pe-cols ...]\n\
      \\            [--group-rows ...] [--group-cols ...] [--lreg 64,128] [--igbuf ...]\n\
      \\            [--wgbuf ...] [--greg-bytes ...] [--greg-segment ...] [--json true]\n\
+     \\            [--objective cycles|traffic|energy|pareto] [--top-k 16] [--stream true]\n\
+     \\            (any staged flag switches to the bound-pruned engine: 2^20\n\
+     \\            candidate cap, ranked top-k frontier, live progress on stderr)\n\
      clb dse      --net vgg16|alexnet|resnet50 [--batch 3] [--pe-rows 16,24,32] ...\n\
-     \\            (network mode: each candidate evaluated over the whole model)\n\
+     \\            (network mode: each candidate evaluated over the whole model;\n\
+     \\            takes the same staged flags)\n\
      clb serve    [--port 8080] [--threads 0] [--queue 256] [--result-cache 1024]\n\
      \\            [--search-cache 65536] [--max-body 1048576] [--log true]\n\
      \\            [--keepalive-requests 128] [--keepalive-idle-ms 5000]\n\
@@ -861,6 +1011,61 @@ mod tests {
             .concat(),
         );
         assert!(cmd_dse(&over).unwrap_err().contains("cap"));
+    }
+
+    #[test]
+    fn dse_staged_flags_select_and_validate_the_staged_engine() {
+        let base = [("co", "16"), ("size", "14"), ("ci", "8"), ("batch", "1")];
+        // Any staged flag runs the staged engine end to end.
+        let ranked = flags(
+            &[
+                &base[..],
+                &[
+                    ("pe-rows", "16,32"),
+                    ("lreg", "64,128"),
+                    ("objective", "energy"),
+                    ("top-k", "2"),
+                ],
+            ]
+            .concat(),
+        );
+        cmd_dse(&ranked).unwrap();
+        // --stream alone is enough to go staged, and prints progress.
+        let streamed = flags(&[&base[..], &[("pe-rows", "16,32"), ("stream", "true")]].concat());
+        cmd_dse(&streamed).unwrap();
+        // Hostile staged values are refused with the vocabulary.
+        let bad_objective = flags(&[&base[..], &[("objective", "latency")]].concat());
+        assert!(cmd_dse(&bad_objective)
+            .unwrap_err()
+            .contains("cycles, traffic, energy or pareto"));
+        let bad_top_k = flags(&[&base[..], &[("objective", "cycles"), ("top-k", "0")]].concat());
+        assert!(cmd_dse(&bad_top_k).unwrap_err().contains("--top-k"));
+        let bad_stream = flags(&[&base[..], &[("stream", "yes")]].concat());
+        assert!(cmd_dse(&bad_stream).is_err());
+        // A grid over the legacy 256 cap is fine under the staged budget.
+        let wide = flags(
+            &[
+                &base[..],
+                &[
+                    ("pe-rows", "4,8,12,16,20,24,28,32"),
+                    ("pe-cols", "4,8,12,16,20,24,28,32"),
+                    ("lreg", "16,32,64,128,256"),
+                    ("objective", "cycles"),
+                    ("top-k", "1"),
+                ],
+            ]
+            .concat(),
+        );
+        cmd_dse(&wide).unwrap();
+        // Network mode takes the same staged flags.
+        let net = flags(&[
+            ("net", "alexnet"),
+            ("batch", "1"),
+            ("pe-rows", "16,32"),
+            ("objective", "pareto"),
+            ("top-k", "2"),
+        ]);
+        cmd_dse(&net).unwrap();
     }
 
     #[test]
