@@ -21,6 +21,14 @@
 //! the same load opening a fresh connection per request. Keep-alive must
 //! win by ≥ 2× — the connection-amortization claim is measured, not
 //! assumed.
+//!
+//! A third gate measures the event-driven idle tier: thousands of
+//! keep-alive clients (≥ 4k when the fd limit allows) park on the epoll
+//! poller after one request each. The process thread count must not move
+//! with the connection count — an idle connection costs a file descriptor
+//! and a read buffer, not a thread — every parked socket must still be
+//! registered, still serve a follow-up request, and drain cleanly with
+//! zero sheds and zero idle reaps.
 
 use std::io::{Read, Write};
 use std::net::TcpStream;
@@ -156,6 +164,124 @@ fn close_per_request(addr: std::net::SocketAddr, clients: usize, per_client: usi
     start.elapsed()
 }
 
+/// A numeric field from `/proc/self/status`, e.g. `Threads:` or `VmRSS:`
+/// (the latter in KiB). `None` off Linux or if the field is absent.
+fn proc_status_field(field: &str) -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    status
+        .lines()
+        .find(|l| l.starts_with(field))
+        .and_then(|l| l.split_whitespace().nth(1))
+        .and_then(|v| v.parse().ok())
+}
+
+/// The soft `RLIMIT_NOFILE` from `/proc/self/limits`; conservative 1024
+/// when unreadable.
+fn nofile_soft_limit() -> u64 {
+    std::fs::read_to_string("/proc/self/limits")
+        .ok()
+        .and_then(|limits| {
+            limits
+                .lines()
+                .find(|l| l.starts_with("Max open files"))
+                .and_then(|l| l.split_whitespace().nth(3))
+                .and_then(|v| v.parse().ok())
+        })
+        .unwrap_or(1024)
+}
+
+/// Idle-scale gate: park `target` keep-alive clients (4096 when the fd
+/// budget allows — client and server sockets share this process's limit,
+/// hence the /3 with headroom) and prove the event tier holds them without
+/// growing threads, then serves and drains them all.
+fn idle_scale_gate() {
+    let soft = nofile_soft_limit();
+    let target = ((soft.saturating_sub(512) / 3) as usize).clamp(256, 4096);
+    let server = Server::spawn(ServiceConfig {
+        max_connections: target + 512,
+        idle_timeout: Duration::from_secs(60),
+        ..ServiceConfig::default()
+    })
+    .expect("bind ephemeral port");
+    let addr = server.addr();
+
+    let threads_before = proc_status_field("Threads:").expect("read /proc/self/status");
+    let mut clients: Vec<ChaosClient> = Vec::with_capacity(target);
+    let start = Instant::now();
+    for _ in 0..target {
+        let mut client = ChaosClient::connect(addr, Duration::from_secs(120));
+        client
+            .send_all(&request_bytes("GET", LIFECYCLE_PATH, "", true))
+            .expect("send on idle-scale socket");
+        assert_eq!(client.read_response().expect("framed response").status, 200);
+        clients.push(client);
+    }
+    let parked = start.elapsed();
+    let threads_after = proc_status_field("Threads:").expect("read /proc/self/status");
+    let rss_kib = proc_status_field("VmRSS:").unwrap_or(0);
+    let open = server.stats_handle().snapshot().connections_open;
+    println!(
+        "idle-scale: {target} connections parked in {parked:?}; threads {threads_before} -> \
+         {threads_after}, VmRSS {rss_kib} KiB (nofile soft limit {soft})"
+    );
+    assert_eq!(
+        open, target as u64,
+        "every parked client must stay registered"
+    );
+    let thread_growth = threads_after.saturating_sub(threads_before);
+    assert!(
+        thread_growth < 16,
+        "thread count must be independent of connection count: \
+         grew by {thread_growth} over {target} connections"
+    );
+
+    // Every parked socket is still live: a follow-up request must serve.
+    for client in &mut clients {
+        client
+            .send_all(&request_bytes("GET", LIFECYCLE_PATH, "", true))
+            .expect("send on parked socket");
+        assert_eq!(client.read_response().expect("framed response").status, 200);
+    }
+
+    let stats_handle = server.stats_handle();
+    let under_load = stats_handle.snapshot();
+    assert_eq!(
+        under_load.shed, 0,
+        "nothing may be shed below the cap: {under_load:?}"
+    );
+    assert_eq!(
+        under_load.idle_reaped, 0,
+        "a 60s idle budget must not reap under load: {under_load:?}"
+    );
+    assert!(
+        under_load.keepalive_reuses >= target as u64,
+        "second requests must ride the parked sockets: {under_load:?}"
+    );
+    server.shutdown().expect("graceful shutdown");
+    let stats = stats_handle.snapshot();
+    println!(
+        "idle-scale counters: {} keep-alive reuses, {} idle reaped (at drain), {} shed, {} drain-aborted",
+        stats.keepalive_reuses, stats.idle_reaped, stats.shed, stats.drain_aborted
+    );
+    // `idle_reaped` counts drain-start reaps by design: the graceful drain
+    // must find every one of the parked connections idle and close it.
+    assert_eq!(
+        stats.idle_reaped, target as u64,
+        "drain start must reap exactly the parked connections: {stats:?}"
+    );
+    assert_eq!(
+        stats.connections_open, 0,
+        "shutdown must leave no connection registered: {stats:?}"
+    );
+    // Drain closed every parked socket from the server side.
+    for mut client in clients {
+        assert!(
+            client.read_eof().expect("drained socket closes cleanly"),
+            "drain must close parked connections"
+        );
+    }
+}
+
 fn main() {
     // Baseline first: it clears the process-wide search cache per request,
     // which must not race the service measurement.
@@ -256,4 +382,8 @@ fn main() {
         ratio >= 2.0,
         "keep-alive must be ≥ 2x close-per-request: {persistent_rps:.1} vs {closed_rps:.1} req/s ({ratio:.2}x)"
     );
+
+    // ---- idle-scale gate: thousands of parked keep-alive connections on
+    // the event tier, with the thread count pinned.
+    idle_scale_gate();
 }

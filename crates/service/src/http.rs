@@ -207,6 +207,66 @@ pub fn read_head<R: Read>(reader: &mut R, deadline: Option<Instant>) -> Result<H
     parse_head(&head)
 }
 
+/// Reads and parses the request head through a [`BufRead`]er's buffer —
+/// the event-loop server's head reader. Behavior-identical to
+/// [`read_head`] (same errors, same deadline semantics, consumes exactly
+/// through the `\r\n\r\n` terminator so pipelined bytes stay buffered for
+/// the next request), but fills whole buffers instead of issuing one
+/// `read(2)` per byte: ~16 syscalls fewer per request head, and the shape
+/// a readiness-driven server needs, since bytes parked in the user-space
+/// buffer are invisible to `epoll` and must be consumed from here, not
+/// re-awaited on the socket.
+///
+/// # Errors
+///
+/// As [`read_head`].
+pub fn read_head_buffered<R: std::io::BufRead>(
+    reader: &mut R,
+    deadline: Option<Instant>,
+) -> Result<Head, HttpError> {
+    let mut head: Vec<u8> = Vec::with_capacity(512);
+    loop {
+        check_deadline(deadline)?;
+        let available = match reader.fill_buf() {
+            Ok([]) => {
+                return Err(HttpError::BadRequest(
+                    "connection closed before the request head completed".to_string(),
+                ))
+            }
+            Ok(buf) => buf,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(read_error(&e)),
+        };
+        // The terminator may straddle a fill boundary: rescan from up to
+        // three bytes before the old tail.
+        let rescan_from = head.len().saturating_sub(3);
+        head.extend_from_slice(available);
+        let take = match head[rescan_from..]
+            .windows(4)
+            .position(|w| w == b"\r\n\r\n")
+        {
+            // Bytes past the terminator belong to the next request: put
+            // them back by consuming only through the terminator.
+            Some(at) => {
+                let end = rescan_from + at + 4;
+                let consumed = head.len() - end;
+                head.truncate(end);
+                available.len() - consumed
+            }
+            None => available.len(),
+        };
+        reader.consume(take);
+        if head.len() > MAX_HEAD_BYTES
+            || (!head.ends_with(b"\r\n\r\n") && head.len() == MAX_HEAD_BYTES)
+        {
+            return Err(HttpError::HeadTooLarge);
+        }
+        if head.ends_with(b"\r\n\r\n") {
+            return parse_head(&head);
+        }
+    }
+}
+
 /// Parses a complete request head (terminated by `\r\n\r\n` or not — the
 /// terminator is optional here so unit tests can feed bare heads).
 ///
@@ -675,6 +735,85 @@ mod tests {
         assert_eq!(err, HttpError::DeadlineExceeded);
         assert_eq!(err.status(), 408);
         let err = read_body(&mut TimesOut, 4, 1024, None).unwrap_err();
+        assert_eq!(err, HttpError::DeadlineExceeded);
+    }
+
+    /// A reader that hands out its bytes in fixed-size fills, so buffered
+    /// head parsing is exercised across arbitrary fill boundaries
+    /// (including terminators straddling two fills).
+    struct Chunked<'a> {
+        bytes: &'a [u8],
+        at: usize,
+        chunk: usize,
+    }
+
+    impl Read for Chunked<'_> {
+        fn read(&mut self, out: &mut [u8]) -> std::io::Result<usize> {
+            let n = self.chunk.min(out.len()).min(self.bytes.len() - self.at);
+            out[..n].copy_from_slice(&self.bytes[self.at..self.at + n]);
+            self.at += n;
+            Ok(n)
+        }
+    }
+
+    #[test]
+    fn buffered_head_matches_byte_at_a_time_for_every_fill_size() {
+        let raw = b"POST /v1/plan HTTP/1.1\r\nHost: x\r\nContent-Length: 9\r\n\r\n{\"co\":64}extra";
+        for chunk in 1..=raw.len() {
+            let mut reader = std::io::BufReader::with_capacity(
+                16,
+                Chunked {
+                    bytes: raw,
+                    at: 0,
+                    chunk,
+                },
+            );
+            let head = read_head_buffered(&mut reader, None).unwrap_or_else(|e| {
+                panic!("chunk size {chunk}: {e:?}");
+            });
+            assert_eq!(head.method, "POST", "chunk {chunk}");
+            assert_eq!(head.content_length, 9, "chunk {chunk}");
+            // Exactly the body (and the pipelined tail) must remain.
+            let mut rest = Vec::new();
+            reader.read_to_end(&mut rest).unwrap();
+            assert_eq!(rest, b"{\"co\":64}extra", "chunk {chunk}");
+        }
+    }
+
+    #[test]
+    fn buffered_head_rejects_the_same_hostile_inputs() {
+        // EOF mid-head.
+        let err = read_head_buffered(&mut std::io::BufReader::new(Cursor::new(b"GET / HT")), None)
+            .unwrap_err();
+        assert_eq!(err.status(), 400);
+        // Oversized head.
+        let mut raw = String::from("GET / HTTP/1.1\r\n");
+        while raw.len() <= MAX_HEAD_BYTES {
+            raw.push_str("X-Padding: aaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaa\r\n");
+        }
+        raw.push_str("\r\n");
+        let err = read_head_buffered(
+            &mut std::io::BufReader::new(Cursor::new(raw.into_bytes())),
+            None,
+        )
+        .unwrap_err();
+        assert_eq!(err, HttpError::HeadTooLarge);
+        // Expired deadline.
+        let past = Some(Instant::now() - std::time::Duration::from_secs(1));
+        let err = read_head_buffered(
+            &mut std::io::BufReader::new(Cursor::new(b"GET / HTTP/1.1\r\n\r\n")),
+            past,
+        )
+        .unwrap_err();
+        assert_eq!(err, HttpError::DeadlineExceeded);
+        // A timed-out socket surfaces as 408, exactly like `read_head`.
+        struct TimesOut;
+        impl Read for TimesOut {
+            fn read(&mut self, _: &mut [u8]) -> std::io::Result<usize> {
+                Err(std::io::Error::from(std::io::ErrorKind::WouldBlock))
+            }
+        }
+        let err = read_head_buffered(&mut std::io::BufReader::new(TimesOut), None).unwrap_err();
         assert_eq!(err, HttpError::DeadlineExceeded);
     }
 

@@ -13,11 +13,17 @@
 //! ## Architecture
 //!
 //! ```text
-//! accept loop ──► connection thread (≤ max_connections; at the cap the
-//!     │           oldest idle connection is evicted, all-busy sheds 503)
+//! accept loop ──► register + socket timeouts (≤ max_connections; at the
+//!     │           cap the oldest idle connection is evicted, all-busy
+//!     │           sheds 503), then park on the event tier
 //!     ▼
-//! keep-alive loop: requests served on one socket until Connection: close,
-//!     │  idle timeout, the per-connection request bound, or drain
+//! epoll poller thread ([`poll::Poller`]): parks idle keep-alive sockets
+//!     │  (an open connection costs an fd + a buffer, not a thread),
+//!     │  reaps idle timeouts, hands readable sockets to the I/O workers
+//!     ▼
+//! I/O worker pool (`io_workers` threads): serves requests on one socket
+//!     │  until Connection: close, the per-connection request bound, or
+//!     │  drain — then re-parks it on the poller
 //!     ▼
 //! parse HTTP/1.1 + JSON (4xx on bad input; stalls/slow-drips → 408)
 //!     │
@@ -252,6 +258,7 @@
 pub mod api;
 pub mod chaos;
 pub mod http;
+pub mod poll;
 pub mod pool;
 mod server;
 

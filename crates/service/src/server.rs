@@ -3,15 +3,23 @@
 //!
 //! ## Connection lifecycle
 //!
-//! The accept loop runs one thread per connection (bounded by
+//! Connections are readiness-driven, not thread-per-connection: the
+//! accept loop registers each socket (bounded by
 //! [`ServiceConfig::max_connections`]; past the cap the oldest *idle*
 //! connection is evicted, and if every connection is mid-request the new
-//! one is shed with `503 + Retry-After`). Each connection thread loops
-//! HTTP/1.1 keep-alive requests on its socket:
+//! one is shed with `503 + Retry-After`), installs its socket timeouts
+//! once, and parks it on the **event tier** — one epoll poller thread
+//! ([`crate::poll::Poller`]) plus a small pool of I/O workers
+//! ([`ServiceConfig::io_workers`]). A parked connection costs an fd and a
+//! buffer; server thread count is independent of open-connection count.
+//! Each connection cycles through:
 //!
-//! 1. **idle phase** — wait up to [`ServiceConfig::idle_timeout`] for the
-//!    first byte of the next request; a silent peer is reaped
-//!    (`idle_reaped`), an evicted or draining connection closes;
+//! 1. **idle phase** — parked on the poller up to
+//!    [`ServiceConfig::idle_timeout`] (the poller's timer, not
+//!    `SO_RCVTIMEO`) waiting for the first byte of the next request; a
+//!    silent peer is reaped (`idle_reaped`), an evicted or draining
+//!    connection closes. When bytes arrive the poller deregisters the fd
+//!    and hands the connection to an I/O worker;
 //! 2. **request phase** — per-read socket timeouts
 //!    ([`ServiceConfig::read_timeout`]) and a whole-request deadline
 //!    ([`ServiceConfig::request_deadline`]) bound hostile peers: stalls
@@ -26,14 +34,19 @@
 //!    client asked to close, the per-connection request bound
 //!    ([`ServiceConfig::max_requests_per_connection`]) was reached, the
 //!    request was unframeable (parse errors poison the byte stream), or
-//!    the server is draining.
+//!    the server is draining. A kept connection goes back to step 1 —
+//!    served pipelined bytes first (user-space buffered bytes are
+//!    invisible to epoll, so a connection with buffered input is never
+//!    parked), then re-parked on the poller.
 //!
 //! ## Graceful drain
 //!
 //! [`StopHandle::stop`] (or `POST /v1/shutdown` when enabled) stops the
-//! accept loop; idle keep-alive sockets are reaped immediately, in-flight
-//! requests finish with `Connection: close`, and stragglers past
-//! [`ServiceConfig::drain_deadline`] are aborted (`drain_aborted`).
+//! accept loop; idle keep-alive sockets are reaped immediately (their
+//! shutdown wakes the poller with EOF), in-flight requests finish with
+//! `Connection: close`, and stragglers past
+//! [`ServiceConfig::drain_deadline`] are aborted (`drain_aborted`). The
+//! event tier itself (poller + workers) is joined after the drain.
 //!
 //! ## Request path
 //!
@@ -48,8 +61,10 @@
 use std::collections::HashMap;
 use std::io::{BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::os::fd::{AsRawFd, RawFd};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Mutex, OnceLock};
+use std::sync::mpsc;
+use std::sync::{Arc, Mutex, MutexGuard, OnceLock};
 use std::time::{Duration, Instant};
 
 use dataflow::{FlightMap, LruCache};
@@ -57,7 +72,8 @@ use serde::Value;
 
 use crate::api;
 use crate::http::{self, HttpError, Response};
-use crate::pool::{Gate, WaitGroup};
+use crate::poll::{Poller, Waker};
+use crate::pool::{BoundedQueue, Gate, WaitGroup, WaitGuard};
 
 /// Where structured request-log lines go when logging is enabled: one call
 /// per completed request with the formatted line (no trailing newline).
@@ -82,6 +98,12 @@ pub struct ServiceConfig {
     /// Concurrent analysis computations (the [`Gate`] permit count);
     /// 0 means one per available CPU.
     pub threads: usize,
+    /// I/O worker threads of the event tier — the threads that parse,
+    /// route and answer requests on *ready* sockets (idle sockets are
+    /// parked on the poller and cost no thread). 0 (the default) sizes
+    /// the pool to the compute permit count plus headroom for socket
+    /// I/O that blocks outside the [`Gate`]. Clamped to ≥ 1.
+    pub io_workers: usize,
     /// Bounded waiting room for analysis requests beyond `threads`
     /// (overflow is shed with `503 + Retry-After`).
     pub queue_capacity: usize,
@@ -130,6 +152,7 @@ impl std::fmt::Debug for ServiceConfig {
             .field("host", &self.host)
             .field("port", &self.port)
             .field("threads", &self.threads)
+            .field("io_workers", &self.io_workers)
             .field("queue_capacity", &self.queue_capacity)
             .field("max_body_bytes", &self.max_body_bytes)
             .field("result_cache_capacity", &self.result_cache_capacity)
@@ -155,6 +178,7 @@ impl Default for ServiceConfig {
             host: std::net::IpAddr::V4(std::net::Ipv4Addr::LOCALHOST),
             port: 0,
             threads: 0,
+            io_workers: 0,
             queue_capacity: 256,
             max_body_bytes: http::DEFAULT_MAX_BODY_BYTES,
             result_cache_capacity: 1024,
@@ -405,6 +429,22 @@ struct Counters {
     dse_jobs: AtomicU64,
 }
 
+/// Takes a mutex guard even when a panicking handler poisoned the lock.
+///
+/// The server's shared tables (connections, jobs, the response cache)
+/// hold plain data with no invariant spanning a critical section, so a
+/// poisoned lock carries no corruption — but propagating the
+/// `PoisonError` (the old `.expect(...)` behavior) turned one panicking
+/// request into a cascade that killed every subsequent connection and
+/// job. Recovery is the correct policy: log the event once per access
+/// and keep serving.
+fn lock_recover<'a, T>(mutex: &'a Mutex<T>, what: &str) -> MutexGuard<'a, T> {
+    mutex.lock().unwrap_or_else(|poisoned| {
+        eprintln!("clb-service: {what} lock poisoned by a panicking handler; recovering");
+        poisoned.into_inner()
+    })
+}
+
 /// One live connection as the accept loop and reaper see it: a second
 /// handle to the socket (so eviction and drain can shut it down from
 /// outside its own thread) plus its idle state.
@@ -433,7 +473,7 @@ impl ConnTable {
     /// (`try_clone`) — the table shuts it down to evict or abort.
     fn register(&self, stream: TcpStream) -> u64 {
         let id = self.next_id.fetch_add(1, Ordering::Relaxed) + 1;
-        let mut entries = self.entries.lock().expect("conn table poisoned");
+        let mut entries = lock_recover(&self.entries, "conn table");
         entries.insert(
             id,
             ConnEntry {
@@ -445,14 +485,14 @@ impl ConnTable {
     }
 
     fn len(&self) -> usize {
-        self.entries.lock().map(|e| e.len()).unwrap_or(0)
+        lock_recover(&self.entries, "conn table").len()
     }
 
     /// Marks a connection idle between requests. Returns `false` when the
     /// server is draining (or the entry is already gone) — the caller
     /// closes instead of waiting for a next request that must not come.
     fn mark_idle(&self, id: u64) -> bool {
-        let mut entries = self.entries.lock().expect("conn table poisoned");
+        let mut entries = lock_recover(&self.entries, "conn table");
         if self.draining.load(Ordering::Relaxed) {
             return false;
         }
@@ -468,7 +508,7 @@ impl ConnTable {
     /// Marks a connection busy serving a request. Returns `false` when the
     /// entry was evicted or reaped in the meantime — the caller closes.
     fn mark_busy(&self, id: u64) -> bool {
-        let mut entries = self.entries.lock().expect("conn table poisoned");
+        let mut entries = lock_recover(&self.entries, "conn table");
         match entries.get_mut(&id) {
             Some(entry) => {
                 entry.idle_since = None;
@@ -479,16 +519,14 @@ impl ConnTable {
     }
 
     fn remove(&self, id: u64) {
-        if let Ok(mut entries) = self.entries.lock() {
-            entries.remove(&id);
-        }
+        lock_recover(&self.entries, "conn table").remove(&id);
     }
 
     /// Evicts the connection idle the longest: shuts its socket down (its
     /// thread wakes with EOF and exits) and removes it. Returns `false`
     /// when no connection is idle.
     fn evict_oldest_idle(&self) -> bool {
-        let mut entries = self.entries.lock().expect("conn table poisoned");
+        let mut entries = lock_recover(&self.entries, "conn table");
         let oldest = entries
             .iter()
             .filter_map(|(id, e)| e.idle_since.map(|since| (since, *id)))
@@ -509,7 +547,7 @@ impl ConnTable {
     /// refuse) and reaps every currently idle connection. Returns how many
     /// were reaped; busy connections stay and finish their request.
     fn begin_drain(&self) -> u64 {
-        let mut entries = self.entries.lock().expect("conn table poisoned");
+        let mut entries = lock_recover(&self.entries, "conn table");
         self.draining.store(true, Ordering::Relaxed);
         let idle: Vec<u64> = entries
             .iter()
@@ -531,7 +569,7 @@ impl ConnTable {
     /// The hard-deadline abort: shuts down every remaining socket so
     /// straggler threads unblock and exit. Returns how many were aborted.
     fn abort_all(&self) -> u64 {
-        let entries = self.entries.lock().expect("conn table poisoned");
+        let entries = lock_recover(&self.entries, "conn table");
         for entry in entries.values() {
             let _ = entry.stream.shutdown(std::net::Shutdown::Both);
         }
@@ -603,7 +641,7 @@ struct JobTable {
 
 impl JobTable {
     fn begin(&self, id: &str) -> JobAdmission {
-        let mut entries = self.entries.lock().expect("job table poisoned");
+        let mut entries = lock_recover(&self.entries, "job table");
         if entries.iter().any(|(existing, _)| existing == id) {
             return JobAdmission::Existing;
         }
@@ -627,7 +665,7 @@ impl JobTable {
     }
 
     fn complete(&self, id: &str, response: Response) {
-        let mut entries = self.entries.lock().expect("job table poisoned");
+        let mut entries = lock_recover(&self.entries, "job table");
         if let Some(entry) = entries.iter_mut().find(|(existing, _)| existing == id) {
             entry.1 = JobState::Done(response);
         }
@@ -645,7 +683,7 @@ impl JobTable {
     }
 
     fn poll(&self, id: &str) -> Option<Response> {
-        let entries = self.entries.lock().expect("job table poisoned");
+        let entries = lock_recover(&self.entries, "job table");
         entries
             .iter()
             .find(|(existing, _)| existing == id)
@@ -785,15 +823,23 @@ pub struct ServiceStats {
     pub response_cache_capacity: u64,
 }
 
-/// The idle-phase outcome: what arrived (or didn't) while a keep-alive
-/// connection waited between requests.
-enum IdleWait {
-    /// Bytes are buffered; serve the next request.
-    Ready,
-    /// The peer closed cleanly (or the socket was shut down under us).
-    Closed,
-    /// Nothing arrived within the idle timeout; reap the connection.
-    TimedOut,
+/// One live connection as the event tier carries it between the poller
+/// and the I/O workers: the socket behind its buffered reader, the
+/// per-connection request count (the keep-alive budget survives parking),
+/// and the drain guard that keeps [`Server::run`]'s wait-group honest.
+/// Dropping a `Conn` closes the socket and releases the guard.
+struct Conn {
+    id: u64,
+    reader: BufReader<TcpStream>,
+    /// Requests served so far — `served > 1` counts as a keep-alive reuse.
+    served: usize,
+    _guard: WaitGuard,
+}
+
+impl Conn {
+    fn fd(&self) -> RawFd {
+        self.reader.get_ref().as_raw_fd()
+    }
 }
 
 impl ServiceState {
@@ -816,12 +862,24 @@ impl ServiceState {
         }
     }
 
+    /// The event tier's I/O worker count: the configured value (clamped
+    /// to ≥ 1), or — for the auto default of 0 — the compute permit
+    /// count plus headroom, so every gated computation can proceed while
+    /// spare workers keep answering ungated traffic (health, stats,
+    /// sheds) and absorbing socket I/O stalls.
+    fn io_workers(&self) -> usize {
+        if self.config.io_workers == 0 {
+            self.gate.permits() + 4
+        } else {
+            self.config.io_workers.max(1)
+        }
+    }
+
     fn service_stats(&self) -> ServiceStats {
-        let (entries, capacity) = self
-            .response_cache
-            .lock()
-            .map(|c| (c.len() as u64, c.capacity() as u64))
-            .unwrap_or((0, 0));
+        let (entries, capacity) = {
+            let cache = lock_recover(&self.response_cache, "response cache");
+            (cache.len() as u64, cache.capacity() as u64)
+        };
         ServiceStats {
             requests: self.counters.requests.load(Ordering::Relaxed),
             responses_cached: self.counters.responses_cached.load(Ordering::Relaxed),
@@ -915,13 +973,11 @@ impl ServiceState {
             }
         };
         let key = format!("{path} {canonical}");
-        if let Ok(mut cache) = self.response_cache.lock() {
-            if let Some(hit) = cache.get(&key) {
-                self.counters
-                    .responses_cached
-                    .fetch_add(1, Ordering::Relaxed);
-                return (Arc::clone(hit), CacheOutcome::Hit, trace);
-            }
+        if let Some(hit) = lock_recover(&self.response_cache, "response cache").get(&key) {
+            self.counters
+                .responses_cached
+                .fetch_add(1, Ordering::Relaxed);
+            return (Arc::clone(hit), CacheOutcome::Hit, trace);
         }
         // The response cache is bounded by *entry count*, so one oversized
         // body class (a 256-candidate `/v1/dse` sweep runs to ~0.6 MB;
@@ -949,9 +1005,8 @@ impl ServiceState {
             if produced.response.status == 200
                 && produced.response.body.len() <= MAX_CACHEABLE_BODY_BYTES
             {
-                if let Ok(mut cache) = self.response_cache.lock() {
-                    cache.insert(key.clone(), Arc::clone(&produced));
-                }
+                lock_recover(&self.response_cache, "response cache")
+                    .insert(key.clone(), Arc::clone(&produced));
             }
             produced
         });
@@ -1209,78 +1264,65 @@ impl ServiceState {
         }
     }
 
-    /// Waits (up to the idle timeout, enforced by `SO_RCVTIMEO`) for the
-    /// first byte of the next request. Pipelined bytes already buffered in
-    /// `reader` return `Ready` immediately without touching the socket.
-    fn idle_wait(reader: &mut BufReader<&TcpStream>) -> IdleWait {
+    /// Serves a connection the poller reported readable: zero or more
+    /// complete requests, until the socket has no more buffered input
+    /// (re-park it — `Some`) or the lifecycle ends it (`None`: client
+    /// close, `Connection: close`, parse error, request bound, eviction,
+    /// or drain). Runs on an I/O worker thread.
+    fn serve_ready(&self, mut conn: Conn) -> Option<Conn> {
+        // The readiness probe: epoll said readable, so this does not
+        // block in practice — EOF here is the parked peer hanging up (or
+        // eviction/drain shutting the socket under us), and a spurious
+        // `WouldBlock` (the data evaporated) just re-parks.
         loop {
-            match reader.fill_buf() {
-                Ok([]) => return IdleWait::Closed,
-                Ok(_) => return IdleWait::Ready,
+            match conn.reader.fill_buf() {
+                Ok([]) => {
+                    self.finish(conn.id);
+                    return None;
+                }
+                Ok(_) => break,
                 Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
                 Err(e)
                     if e.kind() == std::io::ErrorKind::WouldBlock
                         || e.kind() == std::io::ErrorKind::TimedOut =>
                 {
-                    return IdleWait::TimedOut
+                    return Some(conn)
                 }
-                Err(_) => return IdleWait::Closed,
+                Err(_) => {
+                    self.finish(conn.id);
+                    return None;
+                }
             }
+        }
+        loop {
+            if !self.table.mark_busy(conn.id) {
+                // Evicted between the bytes arriving and now.
+                self.finish(conn.id);
+                return None;
+            }
+            if !self.serve_one(&mut conn) {
+                self.finish(conn.id);
+                return None;
+            }
+            if !self.table.mark_idle(conn.id) {
+                // Draining (or evicted mid-response).
+                self.finish(conn.id);
+                return None;
+            }
+            if conn.reader.buffer().is_empty() {
+                return Some(conn);
+            }
+            // Pipelined bytes already buffered in user space are
+            // invisible to epoll: serve them now, never park them.
         }
     }
 
-    /// Reads, routes and answers requests on one socket until the
-    /// connection lifecycle ends it: client close, `Connection: close`,
-    /// parse error, idle timeout, request bound, eviction, or drain.
-    fn handle_connection(&self, stream: TcpStream, conn_id: u64) {
-        let opened = Instant::now();
-        // A connection whose protections cannot be installed is never
-        // served: proceeding without socket timeouts would reopen the
-        // slowloris hole every knob above exists to close. Log the abort
-        // (status=0) and hang up.
-        if let Err(e) = stream
-            .set_read_timeout(Some(self.config.idle_timeout))
-            .and_then(|()| stream.set_write_timeout(Some(self.config.write_timeout)))
-        {
-            self.log_request(
-                "-",
-                "-",
-                0,
-                opened,
-                CacheOutcome::Uncached,
-                conn_id,
-                None,
-                None,
-            );
-            eprintln!("clb-conn-{conn_id}: socket timeouts unavailable ({e}); closing unserved");
-            self.table.remove(conn_id);
-            return;
-        }
-        let _ = stream.set_nodelay(true);
-        let mut reader = BufReader::new(&stream);
+    /// Reads, routes and answers exactly one request on a ready
+    /// connection. Returns whether the connection should be kept alive.
+    fn serve_one(&self, conn: &mut Conn) -> bool {
+        let conn_id = conn.id;
         let max_requests = self.config.max_requests_per_connection.max(1);
-        let mut served: usize = 0;
-        loop {
-            // ---- idle phase: wait for the next request (or the first —
-            // a connection that never sends a byte is reaped too).
-            if !self.table.mark_idle(conn_id) {
-                break; // draining (or already evicted)
-            }
-            let _ = stream.set_read_timeout(Some(self.config.idle_timeout));
-            match Self::idle_wait(&mut reader) {
-                IdleWait::Ready => {}
-                IdleWait::Closed => break,
-                IdleWait::TimedOut => {
-                    self.counters.idle_reaped.fetch_add(1, Ordering::Relaxed);
-                    break;
-                }
-            }
-            if !self.table.mark_busy(conn_id) {
-                break; // evicted between the byte arriving and now
-            }
-
-            // ---- request phase: per-read timeout + whole-request deadline.
-            let _ = stream.set_read_timeout(Some(self.config.read_timeout));
+        {
             let started = Instant::now();
             let deadline = Some(started + self.config.request_deadline);
             let mut framed = false;
@@ -1290,99 +1332,102 @@ impl ServiceState {
             // own response inside `stream_dse`; the normal response phase
             // is skipped and only the bookkeeping below runs.
             let mut streamed: Option<(u16, bool, Option<api::DseLogMeta>)> = None;
-            let (produced, outcome, trace) = match http::read_head(&mut reader, deadline) {
-                Ok(head) => {
-                    logged_head = Some((head.method.clone(), head.path.clone()));
-                    client_keepalive = head.wants_keepalive();
-                    if head.content_length > self.config.max_body_bytes {
-                        // Refuse before reading; the unread body poisons
-                        // the framing, so this response closes the
-                        // connection (framed stays false).
-                        (
-                            Produced::uncached(Response::error(
-                                413,
-                                &HttpError::PayloadTooLarge {
-                                    limit: self.config.max_body_bytes,
-                                }
-                                .message(),
-                            )),
-                            CacheOutcome::Uncached,
-                            Self::trace_flag(&head.path, None),
-                        )
-                    } else {
-                        if head.expects_continue() && head.content_length > 0 {
-                            let mut w = &stream;
-                            if http::write_continue(&mut w).is_err() {
-                                self.finish(conn_id);
-                                return;
-                            }
-                        }
-                        match http::read_body(
-                            &mut reader,
-                            head.content_length,
-                            self.config.max_body_bytes,
-                            deadline,
-                        ) {
-                            Ok(body) => {
-                                // The whole request is consumed: whatever
-                                // happens next (shed included), the byte
-                                // stream stays consistent for reuse.
-                                framed = true;
-                                if let Some(parsed) = Self::streamed_dse_body(&head, &body) {
-                                    // Chunked transport: the response —
-                                    // stream, shed or plain error — is
-                                    // written inside `stream_dse` (the
-                                    // framed machinery below builds one
-                                    // Content-Length body, which a
-                                    // million-candidate stream must not).
-                                    let keep_planned = client_keepalive
-                                        && served + 1 < max_requests
-                                        && !self.table.is_draining();
-                                    streamed =
-                                        Some(self.stream_dse(&stream, &parsed, keep_planned));
-                                    (
-                                        Produced::uncached(Response::json(200, String::new())),
-                                        CacheOutcome::Uncached,
-                                        None,
-                                    )
-                                } else if Self::is_gated(&head.method, &head.path) {
-                                    match self.gate.acquire() {
-                                        Some(_permit) => self.route(&head, &body),
-                                        None => {
-                                            self.counters.shed.fetch_add(1, Ordering::Relaxed);
-                                            (
-                                                Produced::uncached(Response::unavailable(
-                                                    "server is saturated; retry with backoff",
-                                                    RETRY_AFTER_SECS,
-                                                )),
-                                                CacheOutcome::Uncached,
-                                                Self::trace_flag(&head.path, None),
-                                            )
-                                        }
+            let (produced, outcome, trace) =
+                match http::read_head_buffered(&mut conn.reader, deadline) {
+                    Ok(head) => {
+                        logged_head = Some((head.method.clone(), head.path.clone()));
+                        client_keepalive = head.wants_keepalive();
+                        if head.content_length > self.config.max_body_bytes {
+                            // Refuse before reading; the unread body poisons
+                            // the framing, so this response closes the
+                            // connection (framed stays false).
+                            (
+                                Produced::uncached(Response::error(
+                                    413,
+                                    &HttpError::PayloadTooLarge {
+                                        limit: self.config.max_body_bytes,
                                     }
-                                } else {
-                                    self.route(&head, &body)
-                                }
-                            }
-                            Err(e) => (
-                                Produced::uncached(Response::error(e.status(), &e.message())),
+                                    .message(),
+                                )),
                                 CacheOutcome::Uncached,
                                 Self::trace_flag(&head.path, None),
-                            ),
+                            )
+                        } else {
+                            if head.expects_continue() && head.content_length > 0 {
+                                let mut w = conn.reader.get_ref();
+                                if http::write_continue(&mut w).is_err() {
+                                    return false;
+                                }
+                            }
+                            match http::read_body(
+                                &mut conn.reader,
+                                head.content_length,
+                                self.config.max_body_bytes,
+                                deadline,
+                            ) {
+                                Ok(body) => {
+                                    // The whole request is consumed: whatever
+                                    // happens next (shed included), the byte
+                                    // stream stays consistent for reuse.
+                                    framed = true;
+                                    if let Some(parsed) = Self::streamed_dse_body(&head, &body) {
+                                        // Chunked transport: the response —
+                                        // stream, shed or plain error — is
+                                        // written inside `stream_dse` (the
+                                        // framed machinery below builds one
+                                        // Content-Length body, which a
+                                        // million-candidate stream must not).
+                                        let keep_planned = client_keepalive
+                                            && conn.served + 1 < max_requests
+                                            && !self.table.is_draining();
+                                        streamed = Some(self.stream_dse(
+                                            conn.reader.get_ref(),
+                                            &parsed,
+                                            keep_planned,
+                                        ));
+                                        (
+                                            Produced::uncached(Response::json(200, String::new())),
+                                            CacheOutcome::Uncached,
+                                            None,
+                                        )
+                                    } else if Self::is_gated(&head.method, &head.path) {
+                                        match self.gate.acquire() {
+                                            Some(_permit) => self.route(&head, &body),
+                                            None => {
+                                                self.counters.shed.fetch_add(1, Ordering::Relaxed);
+                                                (
+                                                    Produced::uncached(Response::unavailable(
+                                                        "server is saturated; retry with backoff",
+                                                        RETRY_AFTER_SECS,
+                                                    )),
+                                                    CacheOutcome::Uncached,
+                                                    Self::trace_flag(&head.path, None),
+                                                )
+                                            }
+                                        }
+                                    } else {
+                                        self.route(&head, &body)
+                                    }
+                                }
+                                Err(e) => (
+                                    Produced::uncached(Response::error(e.status(), &e.message())),
+                                    CacheOutcome::Uncached,
+                                    Self::trace_flag(&head.path, None),
+                                ),
+                            }
                         }
                     }
-                }
-                Err(e) => (
-                    Produced::uncached(Response::error(e.status(), &e.message())),
-                    CacheOutcome::Uncached,
-                    None,
-                ),
-            };
+                    Err(e) => (
+                        Produced::uncached(Response::error(e.status(), &e.message())),
+                        CacheOutcome::Uncached,
+                        None,
+                    ),
+                };
 
             // ---- response phase.
-            served += 1;
+            conn.served += 1;
             self.counters.requests.fetch_add(1, Ordering::Relaxed);
-            if served > 1 {
+            if conn.served > 1 {
                 self.counters
                     .keepalive_reuses
                     .fetch_add(1, Ordering::Relaxed);
@@ -1399,18 +1444,16 @@ impl ServiceState {
                     None,
                     meta.as_ref(),
                 );
-                let keep = write_ok
+                return write_ok
                     && client_keepalive
-                    && served < max_requests
+                    && conn.served < max_requests
                     && !self.table.is_draining();
-                if !keep {
-                    break;
-                }
-                continue;
             }
-            let keep =
-                framed && client_keepalive && served < max_requests && !self.table.is_draining();
-            let mut writer = &stream;
+            let keep = framed
+                && client_keepalive
+                && conn.served < max_requests
+                && !self.table.is_draining();
+            let mut writer = conn.reader.get_ref();
             let write_ok = produced.response.write_conn(&mut writer, keep).is_ok();
             self.log_request(
                 &method,
@@ -1422,15 +1465,210 @@ impl ServiceState {
                 trace,
                 produced.dse.as_ref(),
             );
-            if !keep || !write_ok {
-                break;
-            }
+            keep && write_ok
         }
-        self.finish(conn_id);
     }
 
     fn finish(&self, conn_id: u64) {
         self.table.remove(conn_id);
+    }
+}
+
+/// The event tier: one epoll poller thread parking idle connections,
+/// plus [`ServiceState::io_workers`] I/O worker threads serving ready
+/// ones. Thread count is fixed at startup — open connections add fds,
+/// not threads.
+///
+/// Connections travel a fixed circuit: `park` (accept loop or a worker)
+/// → the park channel → the poller registers the fd → readiness or
+/// idle-timeout → the poller deregisters and either dispatches the
+/// connection onto the bounded queue (capacity `max_connections`, so a
+/// registered connection always fits) or reaps it → a worker serves it →
+/// back to `park`, or closed. Exactly one stage owns a `Conn` at a time,
+/// and its fd is never registered while outside the poller — so a close
+/// (which would silently orphan an epoll registration) is always safe.
+struct EventTier {
+    state: Arc<ServiceState>,
+    park_tx: mpsc::Sender<Conn>,
+    waker: Waker,
+    queue: Arc<BoundedQueue<Conn>>,
+    stop: Arc<AtomicBool>,
+    poller: Option<std::thread::JoinHandle<()>>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl EventTier {
+    fn start(state: Arc<ServiceState>) -> std::io::Result<EventTier> {
+        let poller = Poller::new()?;
+        let waker = poller.waker();
+        let (park_tx, park_rx) = mpsc::channel::<Conn>();
+        let queue = Arc::new(BoundedQueue::new(state.config.max_connections.max(1)));
+        let stop = Arc::new(AtomicBool::new(false));
+        let poller_thread = std::thread::Builder::new()
+            .name("clb-poller".to_string())
+            .spawn({
+                let state = Arc::clone(&state);
+                let queue = Arc::clone(&queue);
+                let stop = Arc::clone(&stop);
+                move || run_poller(&state, &poller, &park_rx, &queue, &stop)
+            })?;
+        let mut workers = Vec::new();
+        for i in 0..state.io_workers() {
+            workers.push(
+                std::thread::Builder::new()
+                    .name(format!("clb-io-{i}"))
+                    .spawn({
+                        let state = Arc::clone(&state);
+                        let queue = Arc::clone(&queue);
+                        let park_tx = park_tx.clone();
+                        let waker = waker.clone();
+                        move || run_worker(&state, &queue, &park_tx, &waker)
+                    })?,
+            );
+        }
+        Ok(EventTier {
+            state,
+            park_tx,
+            waker,
+            queue,
+            stop,
+            poller: Some(poller_thread),
+            workers,
+        })
+    }
+
+    /// Hands a connection to the poller for its idle phase. A park that
+    /// cannot be delivered (the poller is gone — shutdown) closes the
+    /// connection instead.
+    fn park(&self, conn: Conn) {
+        match self.park_tx.send(conn) {
+            Ok(()) => self.waker.wake(),
+            Err(mpsc::SendError(conn)) => self.state.finish(conn.id),
+        }
+    }
+
+    /// Stops and joins the tier: the poller first (it drops every still-
+    /// parked connection), then the workers (they drain the ready queue —
+    /// drain/abort already shut those sockets, so each remaining serve is
+    /// a quick EOF).
+    fn shutdown(mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        self.waker.wake();
+        if let Some(poller) = self.poller.take() {
+            let _ = poller.join();
+        }
+        self.queue.close();
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+/// The poller thread: parks idle connections on the epoll instance,
+/// reaps the ones whose [`ServiceConfig::idle_timeout`] expires, and
+/// hands readable ones to the worker queue. Never reads a socket itself,
+/// so one slow peer cannot stall the readiness plane.
+fn run_poller(
+    state: &ServiceState,
+    poller: &Poller,
+    park_rx: &mpsc::Receiver<Conn>,
+    queue: &BoundedQueue<Conn>,
+    stop: &AtomicBool,
+) {
+    let mut parked: HashMap<RawFd, (Conn, Instant)> = HashMap::new();
+    let mut ready: Vec<RawFd> = Vec::new();
+    loop {
+        // Intake newly parked connections. Their fds register
+        // level-triggered, so bytes that arrived before this point
+        // report on the next wait — no lost wakeups.
+        while let Ok(conn) = park_rx.try_recv() {
+            let fd = conn.fd();
+            match poller.add(fd) {
+                Ok(()) => {
+                    let deadline = Instant::now() + state.config.idle_timeout;
+                    parked.insert(fd, (conn, deadline));
+                }
+                Err(e) => {
+                    // Registration failed (fd-watch limit, ...): this
+                    // connection cannot be parked, only closed.
+                    eprintln!("clb-conn-{}: cannot watch socket ({e}); closing", conn.id);
+                    state.finish(conn.id);
+                }
+            }
+        }
+        if stop.load(Ordering::Relaxed) {
+            for (fd, (conn, _)) in parked.drain() {
+                let _ = poller.del(fd);
+                state.finish(conn.id);
+            }
+            return;
+        }
+        // Reap idle timeouts before sleeping again.
+        let now = Instant::now();
+        let expired: Vec<RawFd> = parked
+            .iter()
+            .filter(|(_, (_, deadline))| *deadline <= now)
+            .map(|(fd, _)| *fd)
+            .collect();
+        for fd in expired {
+            if let Some((conn, _)) = parked.remove(&fd) {
+                let _ = poller.del(fd);
+                state.counters.idle_reaped.fetch_add(1, Ordering::Relaxed);
+                state.finish(conn.id);
+            }
+        }
+        // Sleep until the next readiness, park, stop, or idle deadline.
+        let timeout = parked
+            .values()
+            .map(|(_, deadline)| *deadline)
+            .min()
+            .map(|deadline| deadline.saturating_duration_since(now));
+        if let Err(e) = poller.wait(&mut ready, timeout) {
+            eprintln!("clb-poller: epoll_wait failed ({e}); backing off");
+            std::thread::sleep(Duration::from_millis(10));
+            continue;
+        }
+        for fd in ready.drain(..) {
+            if let Some((conn, _)) = parked.remove(&fd) {
+                // Deregister *before* the connection leaves this thread:
+                // a worker may close the fd, and a close on a registered
+                // fd (or its reuse by a new connection) corrupts the
+                // interest list.
+                let _ = poller.del(fd);
+                if let Err(conn) = queue.try_push(conn) {
+                    // Unreachable in practice: the queue holds
+                    // max_connections and the table caps total
+                    // connections at the same bound.
+                    state.finish(conn.id);
+                }
+            }
+        }
+    }
+}
+
+/// One I/O worker: serves ready connections off the queue, re-parking
+/// the survivors. A panicking handler costs its own connection, never
+/// the worker (the thread would die with the panic) nor the server (the
+/// shared tables recover from the poisoned locks).
+fn run_worker(
+    state: &ServiceState,
+    queue: &BoundedQueue<Conn>,
+    park_tx: &mpsc::Sender<Conn>,
+    waker: &Waker,
+) {
+    while let Some(conn) = queue.pop() {
+        let conn_id = conn.id;
+        match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| state.serve_ready(conn))) {
+            Ok(Some(conn)) => match park_tx.send(conn) {
+                Ok(()) => waker.wake(),
+                Err(mpsc::SendError(conn)) => state.finish(conn.id),
+            },
+            Ok(None) => {}
+            Err(_) => {
+                state.finish(conn_id);
+                eprintln!("clb-conn-{conn_id}: handler panicked; connection dropped");
+            }
+        }
     }
 }
 
@@ -1500,17 +1738,19 @@ impl Server {
     /// `Connection: close`), and stragglers past
     /// [`ServiceConfig::drain_deadline`] are aborted.
     ///
-    /// Each accepted connection gets its own thread (persistent
-    /// connections must not pin pooled workers while idle); concurrent
-    /// *compute* is bounded by the [`Gate`], and total connections by
-    /// [`ServiceConfig::max_connections`] with oldest-idle eviction.
+    /// Accepted connections join the event tier (one poller thread plus
+    /// a fixed I/O worker pool — an idle connection costs an fd, not a
+    /// thread); concurrent *compute* is bounded by the [`Gate`], and
+    /// total connections by [`ServiceConfig::max_connections`] with
+    /// oldest-idle eviction.
     ///
     /// # Errors
     ///
-    /// Propagates accept-loop socket failures (transient per-connection
-    /// errors are tolerated).
+    /// Propagates accept-loop socket failures and event-tier startup
+    /// failures (transient per-connection errors are tolerated).
     pub fn run(self) -> std::io::Result<()> {
         let connections = WaitGroup::new();
+        let tier = EventTier::start(Arc::clone(&self.state))?;
         for connection in self.listener.incoming() {
             if self.stop.load(Ordering::Relaxed) {
                 break;
@@ -1537,35 +1777,49 @@ impl Server {
                         }
                     }
                     // The table needs its own socket handle to evict or
-                    // abort the connection from outside its thread; a
+                    // abort the connection from outside the event tier; a
                     // connection we cannot control that way is not served.
                     let Ok(table_handle) = stream.try_clone() else {
                         continue;
                     };
                     let conn_id = self.state.table.register(table_handle);
-                    let state = Arc::clone(&self.state);
-                    let guard = connections.enter();
-                    let spawned = std::thread::Builder::new()
-                        .name(format!("clb-conn-{conn_id}"))
-                        .spawn(move || {
-                            let _guard = guard;
-                            // One hostile request must not leak a
-                            // connection slot: a panicking handler closes
-                            // its connection and the table entry.
-                            let outcome =
-                                std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                                    state.handle_connection(stream, conn_id);
-                                }));
-                            if outcome.is_err() {
-                                state.finish(conn_id);
-                                eprintln!(
-                                    "clb-conn-{conn_id}: handler panicked; connection dropped"
-                                );
-                            }
-                        });
-                    if spawned.is_err() {
+                    // The socket timeouts are installed once, here: the
+                    // idle phase is bounded by the poller's timer, so the
+                    // read timeout can stay put for the connection's whole
+                    // life. A connection whose protections cannot be
+                    // installed is never served — proceeding without them
+                    // would reopen the slowloris hole every knob above
+                    // exists to close. Log the abort (status=0), hang up.
+                    if let Err(e) = stream
+                        .set_read_timeout(Some(self.state.config.read_timeout))
+                        .and_then(|()| {
+                            stream.set_write_timeout(Some(self.state.config.write_timeout))
+                        })
+                    {
+                        self.state.log_request(
+                            "-",
+                            "-",
+                            0,
+                            Instant::now(),
+                            CacheOutcome::Uncached,
+                            conn_id,
+                            None,
+                            None,
+                        );
+                        eprintln!(
+                            "clb-conn-{conn_id}: socket timeouts unavailable ({e}); \
+                             closing unserved"
+                        );
                         self.state.finish(conn_id);
+                        continue;
                     }
+                    let _ = stream.set_nodelay(true);
+                    tier.park(Conn {
+                        id: conn_id,
+                        reader: BufReader::new(stream),
+                        served: 0,
+                        _guard: connections.enter(),
+                    });
                 }
                 // Transient accept errors (e.g. the peer reset before we
                 // got to it) should not kill the server.
@@ -1573,11 +1827,13 @@ impl Server {
                 Err(e) if e.kind() == std::io::ErrorKind::ConnectionReset => {}
                 Err(e) => {
                     self.drain(&connections);
+                    tier.shutdown();
                     return Err(e);
                 }
             }
         }
         self.drain(&connections);
+        tier.shutdown();
         Ok(())
     }
 
@@ -1706,5 +1962,71 @@ impl RunningServer {
             Ok(result) => result,
             Err(_) => Err(std::io::Error::other("server thread panicked")),
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Poisons `mutex` the way a panicking request handler would: a
+    /// thread takes the guard and dies with it held.
+    fn poison<T: Send + Sync + 'static>(mutex: &Arc<T>, lock: impl Fn(&T) + Send + 'static) {
+        let mutex = Arc::clone(mutex);
+        let poisoner = std::thread::spawn(move || lock(&mutex));
+        assert!(poisoner.join().is_err(), "the poisoner must panic");
+    }
+
+    fn socket_pair() -> (TcpStream, TcpStream) {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let client = TcpStream::connect(listener.local_addr().unwrap()).unwrap();
+        let (server, _) = listener.accept().unwrap();
+        (client, server)
+    }
+
+    /// The poisoned-lock regression: before lock recovery, one panicking
+    /// handler poisoned the connection table and every subsequent
+    /// register/mark/evict call died with "conn table poisoned" —
+    /// killing all future connections. Now the table keeps working.
+    #[test]
+    fn conn_table_survives_a_poisoned_lock() {
+        let table = Arc::new(ConnTable::default());
+        poison(&table, |table: &ConnTable| {
+            let _guard = table.entries.lock().unwrap();
+            panic!("handler panicked while holding the conn table");
+        });
+        assert!(
+            table.entries.lock().is_err(),
+            "the lock must actually be poisoned for this test to bite"
+        );
+
+        let (_client, server) = socket_pair();
+        let id = table.register(server);
+        assert_eq!(table.len(), 1);
+        assert!(table.mark_busy(id));
+        assert!(table.mark_idle(id));
+        assert!(table.evict_oldest_idle());
+        assert_eq!(table.len(), 0);
+        assert_eq!(table.begin_drain(), 0);
+        assert_eq!(table.abort_all(), 0);
+    }
+
+    /// Same regression for the DSE job table: a poisoned lock must not
+    /// take down job submission, completion, or polling.
+    #[test]
+    fn job_table_survives_a_poisoned_lock() {
+        let jobs = Arc::new(JobTable::default());
+        poison(&jobs, |jobs: &JobTable| {
+            let _guard = jobs.entries.lock().unwrap();
+            panic!("handler panicked while holding the job table");
+        });
+        assert!(jobs.entries.lock().is_err());
+
+        assert!(matches!(jobs.begin("job-a"), JobAdmission::New { .. }));
+        assert!(matches!(jobs.begin("job-a"), JobAdmission::Existing));
+        jobs.complete("job-a", Response::json(200, "{}".to_string()));
+        let polled = jobs.poll("job-a").expect("completed job must poll");
+        assert_eq!(polled.status, 200);
+        assert!(jobs.poll("job-b").is_none());
     }
 }

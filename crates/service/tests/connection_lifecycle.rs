@@ -631,6 +631,202 @@ fn shutdown_endpoint_is_gated_and_drains_when_allowed() {
 }
 
 // ---------------------------------------------------------------------
+// Lifecycle bugfix regressions (PR 9)
+// ---------------------------------------------------------------------
+
+/// A log sink that collects every line for later assertions.
+fn collector() -> (
+    clb_service::LogSink,
+    std::sync::Arc<std::sync::Mutex<Vec<String>>>,
+) {
+    let lines = std::sync::Arc::new(std::sync::Mutex::new(Vec::new()));
+    let sink_lines = std::sync::Arc::clone(&lines);
+    let sink: clb_service::LogSink = std::sync::Arc::new(move |line: &str| {
+        sink_lines.lock().unwrap().push(line.to_string());
+    });
+    (sink, lines)
+}
+
+/// The ignored-`set_read_timeout` regression: a zero `read_timeout` makes
+/// `set_read_timeout` fail (`InvalidInput`, before any syscall) — the
+/// exact class of sockopt failure the old code discarded with `let _ =`,
+/// silently serving the connection without slowloris protection. The
+/// sockopt policy demands the opposite: log `status=0` and close the
+/// connection unserved. On the pre-fix code this test fails because the
+/// request is answered `200`.
+#[test]
+fn sockopt_failure_closes_the_connection_unserved_with_a_status_zero_log() {
+    let (sink, lines) = collector();
+    let server = spawn(ServiceConfig {
+        read_timeout: Duration::ZERO,
+        log: Some(sink),
+        ..quick_config()
+    });
+    let mut client = ChaosClient::connect(server.addr(), CLIENT_TIMEOUT);
+    client
+        .send_all(&request_bytes("GET", "/healthz", "", true))
+        .unwrap();
+    assert!(
+        client.read_eof().expect("a clean close, not a response"),
+        "a connection whose socket timeouts cannot be installed must close unserved"
+    );
+    let logged = lines.lock().unwrap().join("\n");
+    assert!(
+        logged.contains("method=- path=- status=0"),
+        "the abort must be logged with status=0, got: {logged:?}"
+    );
+    let stats = server.stats_handle().snapshot();
+    assert_eq!(stats.requests, 0, "nothing was served: {stats:?}");
+    assert_eq!(stats.connections_open, 0, "no leaked entry: {stats:?}");
+    server.shutdown().unwrap();
+}
+
+/// The poisoned-lock regression, end to end: a handler that panics
+/// mid-request (a panicking log sink stands in for any handler bug)
+/// costs its own connection and nothing else — the next connections are
+/// served normally and no table entry leaks. Unit tests in the server
+/// module pin the lock-recovery itself.
+#[test]
+fn a_panicking_handler_leaves_the_server_serving() {
+    let tripped = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let sink_tripped = std::sync::Arc::clone(&tripped);
+    let sink: clb_service::LogSink = std::sync::Arc::new(move |_line: &str| {
+        if !sink_tripped.swap(true, std::sync::atomic::Ordering::SeqCst) {
+            panic!("deliberately panicking handler (chaos)");
+        }
+    });
+    let server = spawn(ServiceConfig {
+        log: Some(sink),
+        ..ServiceConfig::default()
+    });
+    let addr = server.addr();
+    // First request trips the panic (after its response is written); its
+    // connection is dropped by the worker's panic handler.
+    let mut victim = ChaosClient::connect(addr, CLIENT_TIMEOUT);
+    victim
+        .send_all(&request_bytes("GET", "/healthz", "", true))
+        .unwrap();
+    // Whether or not the response made it out before the panic, the
+    // socket must end up closed, not hung.
+    let _ = victim.read_response();
+    assert!(victim.read_eof().unwrap_or(true));
+    assert!(tripped.load(std::sync::atomic::Ordering::SeqCst));
+    // The server — including the worker pool and the shared tables — must
+    // keep serving new connections afterwards.
+    for _ in 0..3 {
+        assert_eq!(one_shot(addr, "GET", "/healthz", "").0, 200);
+    }
+    assert_eq!(
+        one_shot(
+            addr,
+            "POST",
+            "/v1/bound",
+            "{\"co\":16,\"size\":14,\"ci\":8,\"batch\":1}"
+        )
+        .0,
+        200
+    );
+    let deadline = Instant::now() + Duration::from_secs(5);
+    let stats = loop {
+        let stats = server.stats_handle().snapshot();
+        if stats.connections_open == 0 || Instant::now() > deadline {
+            break stats;
+        }
+        std::thread::sleep(Duration::from_millis(20));
+    };
+    assert_eq!(stats.connections_open, 0, "no leaked entries: {stats:?}");
+    server.shutdown().unwrap();
+}
+
+// ---------------------------------------------------------------------
+// Event-loop cases (PR 9): parked connections under load and drain
+// ---------------------------------------------------------------------
+
+/// The event-tier liveness case: one connection busy dripping its body
+/// (pinning an I/O worker) plus N idle connections parked on the poller.
+/// An idle socket that turns readable mid-way through the busy drain
+/// must be served promptly — readiness dispatch cannot sit behind the
+/// busy worker. Then a graceful drain reaps every parked socket, lets
+/// the busy request finish, and leaves nothing open or aborted.
+#[test]
+fn idle_parked_connections_are_served_and_drained_alongside_a_busy_one() {
+    const N_IDLE: usize = 8;
+    let server = spawn(ServiceConfig {
+        idle_timeout: Duration::from_secs(30), // parked sockets stay parked
+        drain_deadline: Duration::from_secs(5),
+        ..ServiceConfig::default()
+    });
+    let addr = server.addr();
+    // N idle keep-alive connections, all parked on the poller.
+    let mut idlers: Vec<ChaosClient> = (0..N_IDLE)
+        .map(|_| {
+            let mut client = ChaosClient::connect(addr, CLIENT_TIMEOUT);
+            client
+                .send_all(&request_bytes("GET", "/healthz", "", true))
+                .unwrap();
+            assert_eq!(client.read_response().unwrap().status, 200);
+            client
+        })
+        .collect();
+    // One busy connection dripping a request body for a while.
+    let busy = std::thread::spawn(move || {
+        let mut client = ChaosClient::connect(addr, CLIENT_TIMEOUT);
+        let request = request_bytes(
+            "POST",
+            "/v1/bound",
+            "{\"co\":24,\"size\":14,\"ci\":12,\"batch\":1}",
+            true,
+        );
+        client
+            .send_dripped(&request, 4, Duration::from_millis(25))
+            .expect("the dripped request must be accepted");
+        client.read_response()
+    });
+    std::thread::sleep(Duration::from_millis(100)); // the drip is mid-flight
+                                                    // A parked idle socket turns readable now: it must be dispatched and
+                                                    // answered while the busy connection still drips.
+    let mut woken = idlers.pop().unwrap();
+    let asked = Instant::now();
+    woken
+        .send_all(&request_bytes("GET", "/healthz", "", true))
+        .unwrap();
+    let resp = woken.read_response().expect("woken idler is served");
+    assert_eq!(resp.status, 200);
+    assert!(
+        asked.elapsed() < Duration::from_secs(2),
+        "readiness dispatch must not wait out the busy connection: {:?}",
+        asked.elapsed()
+    );
+    {
+        let stats = server.stats_handle().snapshot();
+        assert_eq!(
+            stats.connections_open,
+            N_IDLE as u64 + 1,
+            "all parked + busy connections stay open: {stats:?}"
+        );
+    }
+    // Graceful drain with the drip still in flight: parked sockets are
+    // reaped immediately, the busy request finishes, nothing is aborted.
+    server.shutdown().expect("drain completes");
+    let resp = busy
+        .join()
+        .unwrap()
+        .expect("in-flight request survives the drain");
+    assert_eq!(resp.status, 200);
+    assert!(!resp.keeps_alive(), "drain announces the close");
+    for (i, idler) in idlers.iter_mut().enumerate() {
+        assert!(
+            idler.read_eof().expect("reap is a clean close"),
+            "parked connection {i} must be reaped at drain start"
+        );
+    }
+    assert!(
+        woken.read_eof().unwrap(),
+        "the woken idler is parked again by then and reaped too"
+    );
+}
+
+// ---------------------------------------------------------------------
 // Segmentation proptest (satellite): arbitrary TCP segment boundaries
 // ---------------------------------------------------------------------
 
@@ -693,6 +889,57 @@ proptest! {
                 prop_assert_eq!(second.status, 400);
                 prop_assert!(!second.keeps_alive());
                 prop_assert!(client.read_eof().unwrap());
+            }
+        }
+        server.shutdown().unwrap();
+    }
+}
+
+// ---------------------------------------------------------------------
+// Interleaved-readiness proptest (PR 9): park/unpark cycles across
+// connections preserve byte parity
+// ---------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Several keep-alive connections issue requests in an arbitrary
+    /// interleaving, with stalls between them so each connection is
+    /// parked on the poller and re-dispatched many times. Every response
+    /// must be byte-identical to the same request on a fresh one-shot
+    /// connection: readiness wakeup order, parking, and re-dispatch must
+    /// be invisible in the bytes.
+    #[test]
+    fn interleaved_readiness_wakeups_preserve_byte_parity(
+        schedule in prop::collection::vec((0usize..3, 0usize..3, 0u64..30), 4..14),
+    ) {
+        let server = spawn(ServiceConfig::default());
+        let addr = server.addr();
+        let requests: [(&str, &str, &str); 3] = [
+            ("GET", "/healthz", ""),
+            ("POST", "/v1/bound", "{\"co\":16,\"size\":14,\"ci\":8,\"batch\":1}"),
+            ("POST", "/v1/plan", "{\"co\":16,\"size\":14,\"ci\":8,\"batch\":1}"),
+        ];
+        // References, each on its own closed connection.
+        let expected: Vec<(u16, String)> = requests
+            .iter()
+            .map(|(m, p, b)| one_shot(addr, m, p, b))
+            .collect();
+        let mut clients: Vec<ChaosClient> = (0..3)
+            .map(|_| ChaosClient::connect(addr, CLIENT_TIMEOUT))
+            .collect();
+        for (conn, req, stall_ms) in schedule {
+            let (method, path, body) = requests[req];
+            clients[conn]
+                .send_all(&request_bytes(method, path, body, true))
+                .unwrap();
+            let resp = clients[conn].read_response().expect("interleaved response");
+            prop_assert_eq!(resp.status, expected[req].0, "{} on conn {}", path, conn);
+            prop_assert_eq!(&resp.body, &expected[req].1, "{} on conn {}", path, conn);
+            prop_assert!(resp.keeps_alive());
+            // Let the connection park on the poller before its next turn.
+            if stall_ms > 0 {
+                std::thread::sleep(Duration::from_millis(stall_ms));
             }
         }
         server.shutdown().unwrap();

@@ -6,12 +6,12 @@
 //! clb plan     --co 512 --size 28 --ci 256 [--implem 1]  # tiling + simulation on an implementation
 //! clb simulate --co 512 --size 28 --ci 256 --tb 1 --tz 16 --ty 14 --tx 14 [--implem 1]
 //!              [--trace json|vcd] [--trace-out FILE]
-//! clb network  --net vgg16|alexnet|resnet50 [--batch 3] [--implem 1] [--json]
+//! clb network  --net vgg16|alexnet|resnet50 [--batch 3] [--implem 1] [--json true]
 //! clb dse      --co 512 --size 28 --ci 256 [--pe-rows 16,24,32] [--lreg 64,128] ...
 //! clb dse      --net vgg16 [--batch 3] [--pe-rows 16,24,32] ...   # whole-model sweep
-//! clb serve    [--port 8080] [--threads 0] [--queue 256] [--result-cache 1024] [--log true]
+//! clb serve    [--port 8080] [--threads 0] [--io-workers 0] [--queue 256] [--result-cache 1024]
 //!              [--keepalive-requests 128] [--keepalive-idle-ms 5000] [--max-connections 1024]
-//!              [--drain-ms 5000] [--allow-shutdown true]
+//!              [--drain-ms 5000] [--allow-shutdown true] [--log true]
 //! ```
 //!
 //! Every verb that takes `--implem` also takes `--arch '<json>'` — a full
@@ -112,7 +112,8 @@ fn layer_from_flags(flags: &HashMap<String, String>) -> Result<ConvLayer, String
     let k: usize = get(flags, "k", 3)?;
     let stride: usize = get(flags, "stride", 1)?;
     let batch: usize = get(flags, "batch", 3)?;
-    ConvLayer::square(batch, co, size, ci, k, stride).map_err(|e| e.to_string())
+    ConvLayer::square(batch, co, size, ci, k, stride)
+        .map_err(|e| format!("--co/--size/--ci/--k/--stride/--batch: {e}"))
 }
 
 /// The memory size `bound`/`sweep` analyze: `--arch`'s effective on-chip
@@ -317,7 +318,7 @@ fn cmd_network(flags: &HashMap<String, String>) -> Result<(), String> {
     let acc = Accelerator::new(arch);
     let report = acc.analyze_network(&net).map_err(|e| e.to_string())?;
 
-    if flags.contains_key("json") || flags.get("json").is_some() {
+    if get(flags, "json", false)? {
         println!(
             "{}",
             serde_json::to_string_pretty(&report).map_err(|e| e.to_string())?
@@ -451,7 +452,7 @@ fn cmd_dse(flags: &HashMap<String, String>) -> Result<(), String> {
                     print_stream_progress(&p);
                 }
             });
-        if flags.get("json").is_some() {
+        if get(flags, "json", false)? {
             println!(
                 "{}",
                 serde_json::to_string_pretty(&response).map_err(|e| e.to_string())?
@@ -489,7 +490,7 @@ fn cmd_dse(flags: &HashMap<String, String>) -> Result<(), String> {
     let archs = grid_archs_from_flags(flags, &base, false)?;
     let response = clb_service::dse_results(&layer, archs.len(), &archs);
 
-    if flags.get("json").is_some() {
+    if get(flags, "json", false)? {
         println!(
             "{}",
             serde_json::to_string_pretty(&response).map_err(|e| e.to_string())?
@@ -599,7 +600,7 @@ fn cmd_dse_network(net_name: String, flags: &HashMap<String, String>) -> Result<
                 }
             },
         );
-        if flags.get("json").is_some() {
+        if get(flags, "json", false)? {
             println!(
                 "{}",
                 serde_json::to_string_pretty(&response).map_err(|e| e.to_string())?
@@ -638,7 +639,7 @@ fn cmd_dse_network(net_name: String, flags: &HashMap<String, String>) -> Result<
     let archs = grid_archs_from_flags(flags, &base, false)?;
     let response = clb_service::dse_network_results(&net, batch, archs.len(), &archs);
 
-    if flags.get("json").is_some() {
+    if get(flags, "json", false)? {
         println!(
             "{}",
             serde_json::to_string_pretty(&response).map_err(|e| e.to_string())?
@@ -674,6 +675,7 @@ fn cmd_serve(flags: &HashMap<String, String>) -> Result<(), String> {
         threads: get(flags, "threads", 0)?,
         ..Default::default()
     };
+    config.io_workers = get(flags, "io-workers", config.io_workers)?;
     config.queue_capacity = get(flags, "queue", config.queue_capacity)?;
     config.result_cache_capacity = get(flags, "result-cache", config.result_cache_capacity)?;
     config.max_body_bytes = get(flags, "max-body", config.max_body_bytes)?;
@@ -729,13 +731,14 @@ fn usage() -> &'static str {
      clb dse      --net vgg16|alexnet|resnet50 [--batch 3] [--pe-rows 16,24,32] ...\n\
      \\            (network mode: each candidate evaluated over the whole model;\n\
      \\            takes the same staged flags)\n\
-     clb serve    [--port 8080] [--threads 0] [--queue 256] [--result-cache 1024]\n\
-     \\            [--search-cache 65536] [--max-body 1048576] [--log true]\n\
+     clb serve    [--port 8080] [--threads 0] [--io-workers 0] [--queue 256]\n\
+     \\            [--result-cache 1024] [--search-cache 65536] [--max-body 1048576]\n\
      \\            [--keepalive-requests 128] [--keepalive-idle-ms 5000]\n\
      \\            [--max-connections 1024] [--drain-ms 5000] [--allow-shutdown true]\n\
+     \\            [--log true]   (--io-workers: HTTP I/O worker threads; 0 = auto)\n\
      \n\
      global flags:\n\
-     --threads N        worker threads (search engine; serve: also HTTP workers; 0 = auto)\n\
+     --threads N        worker threads (search engine; serve: compute permits; 0 = auto)\n\
      --cache-stats true print search-cache hits/misses after the command\n\
      --arch '<json>'    full custom architecture (any verb that takes --implem;\n\
      \\                  bound/sweep derive the memory size from it; dse uses it\n\
@@ -750,7 +753,7 @@ fn apply_engine_flags(flags: &HashMap<String, String>) -> Result<bool, String> {
     rayon::ThreadPoolBuilder::new()
         .num_threads(threads)
         .build_global()
-        .map_err(|e| e.to_string())?;
+        .map_err(|e| format!("--threads: {e}"))?;
     get(flags, "cache-stats", false)
 }
 
@@ -838,6 +841,35 @@ mod tests {
         assert_eq!(get::<usize>(&f, "size", 7).unwrap(), 7);
         let bad = flags(&[("co", "abc")]);
         assert!(get::<usize>(&bad, "co", 1).is_err());
+    }
+
+    #[test]
+    fn parse_errors_name_the_offending_flag() {
+        // Scalar parse failures carry the `--flag` spelling the user typed.
+        let err = get::<u16>(&flags(&[("port", "eighty")]), "port", 8080).unwrap_err();
+        assert!(err.contains("--port"), "{err}");
+        let err = get::<usize>(&flags(&[("threads", "lots")]), "threads", 0).unwrap_err();
+        assert!(err.contains("--threads"), "{err}");
+        let err = get::<usize>(&flags(&[("io-workers", "-1")]), "io-workers", 0).unwrap_err();
+        assert!(err.contains("--io-workers"), "{err}");
+        // Layer validation failures name the layer flags, not just the cause.
+        let zero_k = flags(&[("co", "16"), ("size", "14"), ("ci", "8"), ("k", "0")]);
+        let err = layer_from_flags(&zero_k).unwrap_err();
+        assert!(err.contains("--k"), "{err}");
+    }
+
+    #[test]
+    fn json_flag_is_a_parsed_bool_not_a_presence_check() {
+        assert!(!get::<bool>(&flags(&[("json", "false")]), "json", false).unwrap());
+        assert!(get::<bool>(&flags(&[("json", "true")]), "json", false).unwrap());
+        let err = get::<bool>(&flags(&[("json", "yes")]), "json", false).unwrap_err();
+        assert!(err.contains("--json"), "{err}");
+        // `--json false` must take the human-readable path, and garbage must
+        // surface the flag name instead of silently enabling JSON.
+        let base = [("net", "alexnet"), ("batch", "1")];
+        cmd_network(&flags(&[&base[..], &[("json", "false")]].concat())).unwrap();
+        let err = cmd_network(&flags(&[&base[..], &[("json", "maybe")]].concat())).unwrap_err();
+        assert!(err.contains("--json"), "{err}");
     }
 
     #[test]
