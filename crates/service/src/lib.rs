@@ -27,7 +27,8 @@
 //!     ▼
 //! parse HTTP/1.1 + JSON (4xx on bad input; stalls/slow-drips → 408)
 //!     │
-//! Gate: ≤ threads concurrent analyses + bounded waiting room
+//! Gate: ≤ threads concurrent analyses + bounded wait room holding
+//!     │ parsed-but-unadmitted requests — workers never block here;
 //!     │ (full? shed 503 + Retry-After — body already read, socket reusable)
 //!     ▼
 //! canonicalize body, form request key

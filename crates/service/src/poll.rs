@@ -43,6 +43,7 @@ extern "C" {
     fn close(fd: c_int) -> c_int;
     fn read(fd: c_int, buf: *mut c_void, count: usize) -> isize;
     fn write(fd: c_int, buf: *const c_void, count: usize) -> isize;
+    fn recv(sockfd: c_int, buf: *mut c_void, len: usize, flags: c_int) -> isize;
 }
 
 const EPOLL_CTL_ADD: c_int = 1;
@@ -57,6 +58,40 @@ const O_CLOEXEC: c_int = 0o2_000_000;
 /// `O_NONBLOCK` on every Linux arch this workspace targets (x86-64,
 /// aarch64, riscv64 — the historical exceptions are alpha/mips/sparc).
 const O_NONBLOCK: c_int = 0o4_000;
+const MSG_PEEK: c_int = 0x02;
+const MSG_DONTWAIT: c_int = 0x40;
+
+/// A non-blocking one-byte `MSG_PEEK` on a socket the poller reported
+/// readable: `Ok(0)` is EOF (the peer hung up), `Ok(1)` means a byte is
+/// readable, and `ErrorKind::WouldBlock` means the readiness evaporated
+/// between the epoll report and this call — the caller re-parks instead
+/// of risking a blocking read that would stall a worker for a full
+/// socket timeout. Nothing is consumed; `EINTR` is retried internally.
+///
+/// # Errors
+///
+/// `WouldBlock` as above; other `recv` failures (`ECONNRESET`, ...) mean
+/// the connection is dead.
+pub fn peek_ready(fd: RawFd) -> io::Result<usize> {
+    let mut byte = 0u8;
+    loop {
+        let n = unsafe {
+            recv(
+                fd,
+                std::ptr::addr_of_mut!(byte).cast(),
+                1,
+                MSG_PEEK | MSG_DONTWAIT,
+            )
+        };
+        if n >= 0 {
+            return Ok(n as usize);
+        }
+        let e = io::Error::last_os_error();
+        if e.kind() != io::ErrorKind::Interrupted {
+            return Err(e);
+        }
+    }
+}
 
 /// The kernel's `struct epoll_event`. On x86 the kernel declares it
 /// packed (no padding between `events` and `data`); other architectures
@@ -342,6 +377,28 @@ mod tests {
             .wait(&mut ready, Some(Duration::from_millis(20)))
             .unwrap();
         assert!(!woken, "a drained wake pipe must not re-report");
+    }
+
+    #[test]
+    fn peek_ready_reports_data_eof_and_quiet_without_consuming() {
+        let (mut client, server) = socket_pair();
+        let fd = server.as_raw_fd();
+        // Quiet socket: WouldBlock, not a stall.
+        let quiet = peek_ready(fd).expect_err("no data must not block");
+        assert_eq!(quiet.kind(), io::ErrorKind::WouldBlock);
+        client.write_all(b"xy").unwrap();
+        // Give the loopback a moment to deliver.
+        std::thread::sleep(Duration::from_millis(20));
+        assert_eq!(peek_ready(fd).unwrap(), 1);
+        // Peeking consumed nothing: it reports again, and a real read
+        // still sees both bytes.
+        assert_eq!(peek_ready(fd).unwrap(), 1);
+        let mut buf = [0u8; 4];
+        let n = unsafe { read(fd, buf.as_mut_ptr().cast(), buf.len()) };
+        assert_eq!(n, 2);
+        drop(client);
+        std::thread::sleep(Duration::from_millis(20));
+        assert_eq!(peek_ready(fd).unwrap(), 0, "EOF peeks as zero");
     }
 
     #[test]

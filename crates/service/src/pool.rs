@@ -8,11 +8,11 @@
 //! * [`WaitGroup`] — deadline-aware completion tracking for graceful
 //!   drain: every connection thread holds a guard, shutdown waits for all
 //!   guards with a hard deadline and aborts stragglers past it.
-//! * [`BoundedQueue`] + [`WorkerPool`] — the original accept-queue worker
-//!   pool, kept as general-purpose building blocks for embedders (the
-//!   server itself now runs one thread per connection gated by [`Gate`],
-//!   because a persistent connection must not pin a pooled worker while
-//!   idle between requests).
+//! * [`BoundedQueue`] + [`WorkerPool`] — general-purpose building
+//!   blocks: the server's event tier runs its I/O workers off a
+//!   [`BoundedQueue`] of ready connections (idle ones are parked on the
+//!   epoll poller, so a persistent connection never pins a worker), and
+//!   [`WorkerPool`] remains for embedders.
 
 use std::collections::VecDeque;
 use std::sync::{Arc, Condvar, Mutex};
@@ -197,6 +197,22 @@ impl Gate {
     #[must_use]
     pub fn max_waiting(&self) -> usize {
         self.max_waiting
+    }
+
+    /// Takes a permit only if one is free right now — never enters the
+    /// waiting room. The event tier's I/O workers admit requests through
+    /// this: a worker blocked in the waiting room would be lost to the
+    /// serving plane (starving ungated traffic under full compute load),
+    /// so saturation is surfaced immediately and the caller shelves or
+    /// sheds the request instead.
+    #[must_use]
+    pub fn try_acquire(&self) -> Option<GatePermit<'_>> {
+        let mut state = self.state.lock().expect("gate lock poisoned");
+        if state.available == 0 {
+            return None;
+        }
+        state.available -= 1;
+        Some(GatePermit { gate: self })
     }
 
     /// Takes a permit, blocking in the waiting room if every permit is
@@ -522,6 +538,24 @@ mod tests {
         drop(held);
         waiter.join().unwrap();
         assert_eq!(entered.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn try_acquire_never_waits_and_never_counts_as_waiting() {
+        let gate = Arc::new(Gate::new(1, 1));
+        let held = gate.try_acquire().expect("free permit");
+        // Saturated: try_acquire bounces immediately without consuming
+        // the waiting room...
+        assert!(gate.try_acquire().is_none());
+        // ...so a blocking waiter still fits in it afterwards.
+        let waiter = {
+            let gate = Arc::clone(&gate);
+            std::thread::spawn(move || gate.acquire().is_some())
+        };
+        std::thread::sleep(std::time::Duration::from_millis(50));
+        assert!(gate.try_acquire().is_none(), "still saturated");
+        drop(held);
+        assert!(waiter.join().unwrap(), "the parked waiter enters first");
     }
 
     #[test]

@@ -25,11 +25,16 @@
 //!    ([`ServiceConfig::request_deadline`]) bound hostile peers: stalls
 //!    and slow-drips surface as `408`, truncation as `400`;
 //! 3. **admission** — analysis `POST`s take a [`Gate`] permit
-//!    ([`ServiceConfig::threads`] concurrent computations,
-//!    [`ServiceConfig::queue_capacity`] waiters); beyond both the request
-//!    is shed with `503 + Retry-After` — the body was already read, so the
-//!    connection stays consistent and the client retries on the same
-//!    socket;
+//!    ([`ServiceConfig::threads`] concurrent computations) through a
+//!    *non-blocking* `try_acquire`: a worker never waits on the gate, so
+//!    ungated traffic (health, stats, shutdown) stays admissible under
+//!    full compute load. A saturated gate instead **shelves** the framed
+//!    request — connection and all — in a bounded wait room
+//!    ([`ServiceConfig::queue_capacity`] entries); every permit release
+//!    pumps the oldest shelved request back onto a worker. Beyond the
+//!    room the request is shed with `503 + Retry-After` — the body was
+//!    already read, so the connection stays consistent and the client
+//!    retries on the same socket;
 //! 4. **response** — written with `Connection: keep-alive` unless the
 //!    client asked to close, the per-connection request bound
 //!    ([`ServiceConfig::max_requests_per_connection`]) was reached, the
@@ -58,13 +63,13 @@
 //! cache). Responses over reused connections are byte-identical to
 //! one-shot connections: only the `Connection:` header differs.
 
-use std::collections::HashMap;
-use std::io::{BufRead, BufReader, Write};
+use std::collections::{HashMap, VecDeque};
+use std::io::{BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::os::fd::{AsRawFd, RawFd};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc;
-use std::sync::{Arc, Mutex, MutexGuard, OnceLock};
+use std::sync::{Arc, Mutex, MutexGuard, OnceLock, Weak};
 use std::time::{Duration, Instant};
 
 use dataflow::{FlightMap, LruCache};
@@ -72,8 +77,8 @@ use serde::Value;
 
 use crate::api;
 use crate::http::{self, HttpError, Response};
-use crate::poll::{Poller, Waker};
-use crate::pool::{BoundedQueue, Gate, WaitGroup, WaitGuard};
+use crate::poll::{peek_ready, Poller, Waker};
+use crate::pool::{BoundedQueue, Gate, GatePermit, WaitGroup, WaitGuard};
 
 /// Where structured request-log lines go when logging is enabled: one call
 /// per completed request with the formatted line (no trailing newline).
@@ -715,6 +720,22 @@ struct ServiceState {
     gate: Arc<Gate>,
     jobs: Arc<JobTable>,
     table: ConnTable,
+    /// Framed requests waiting for a [`Gate`] permit, each owning its
+    /// connection — the event tier's waiting room holds *connections*,
+    /// not blocked worker threads, so compute saturation can never
+    /// consume the serving plane. Bounded by
+    /// [`ServiceConfig::queue_capacity`]; a request that finds the room
+    /// full is shed (`503 + Retry-After`). Entries leave when a permit
+    /// release pumps them back onto the worker queue ([`Self::admit_next`]).
+    wait_room: Mutex<VecDeque<(Conn, PendingRequest)>>,
+    /// The event tier's worker queue, set once at tier startup;
+    /// [`Self::admit_next`] pushes re-admissions here from whatever
+    /// thread releases a permit (I/O workers and DSE job threads alike).
+    ready_queue: OnceLock<Arc<BoundedQueue<Work>>>,
+    /// Weak self-handle (set by [`Server::bind`]) so detached DSE job
+    /// threads — which deliberately capture only the `Arc`'d slices of
+    /// the state — can pump the wait room when their permit releases.
+    self_ref: OnceLock<Weak<ServiceState>>,
     /// Set by [`Server::bind`]; lets `POST /v1/shutdown` trigger the same
     /// drain as [`StopHandle::stop`].
     stopper: OnceLock<StopHandle>,
@@ -842,6 +863,53 @@ impl Conn {
     }
 }
 
+/// A fully framed request whose gate admission is deferred: everything
+/// `serve_one` had consumed off the socket when it found every permit
+/// busy, carried with its connection into the wait room and resumed
+/// verbatim once a permit release pumps it back onto a worker.
+struct PendingRequest {
+    /// When the bytes started arriving — latency is measured from first
+    /// read, so time shelved counts, exactly as waiting-room time did.
+    started: Instant,
+    head: http::Head,
+    body: Vec<u8>,
+}
+
+/// What [`ServiceState::serve_one`] decided about the next request.
+enum ServeOutcome {
+    /// The request was answered (or aborted); `true` keeps the connection.
+    Done(bool),
+    /// The request is framed but every permit is busy: the caller moves
+    /// the connection into the wait room (or sheds when the room is full).
+    Shelve(PendingRequest),
+}
+
+/// How a framed request got past the admission point.
+enum Admission<'a> {
+    /// Not a gated endpoint — no permit involved.
+    Ungated,
+    /// Holding a compute permit.
+    Granted(GatePermit<'a>),
+    /// Gate and wait room both full: answer `503 + Retry-After`.
+    Shed,
+}
+
+/// One unit of I/O-worker work.
+enum Work {
+    /// The poller reported this parked connection readable.
+    Ready(Conn),
+    /// A permit release pumped this shelved request; re-attempt admission.
+    Admit(Conn, PendingRequest),
+}
+
+impl Work {
+    fn conn_id(&self) -> u64 {
+        match self {
+            Work::Ready(conn) | Work::Admit(conn, _) => conn.id,
+        }
+    }
+}
+
 impl ServiceState {
     fn new(config: ServiceConfig) -> Self {
         let permits = if config.threads == 0 {
@@ -858,6 +926,9 @@ impl ServiceState {
             latency: LatencyRecorder::default(),
             jobs: Arc::new(JobTable::default()),
             table: ConnTable::default(),
+            wait_room: Mutex::new(VecDeque::new()),
+            ready_queue: OnceLock::new(),
+            self_ref: OnceLock::new(),
             stopper: OnceLock::new(),
         }
     }
@@ -1048,6 +1119,10 @@ impl ServiceState {
                 let jobs = Arc::clone(&self.jobs);
                 let gate = Arc::clone(&self.gate);
                 let counters = Arc::clone(&self.counters);
+                // Weak: the job must not keep a stopped server's state
+                // alive, but its permit release may be the one a shelved
+                // request is waiting for — upgrade to pump the wait room.
+                let state = self.self_ref.get().cloned();
                 let job_id = spec.id.clone();
                 let spawned = std::thread::Builder::new()
                     .name(format!("clb-dse-job-{}", &job_id[..8.min(job_id.len())]))
@@ -1055,12 +1130,14 @@ impl ServiceState {
                         // The sweep takes a normal gate permit: background
                         // jobs queue behind interactive requests instead of
                         // oversubscribing the compute pool.
+                        let mut held_permit = false;
                         let response = match gate.acquire() {
                             None => Response::unavailable(
                                 "server was saturated; re-submit the job",
                                 RETRY_AFTER_SECS,
                             ),
                             Some(_permit) => {
+                                held_permit = true;
                                 let (response, pruned_total) = spec.run(&mut |done, cut| {
                                     processed.store(done as u64, Ordering::Relaxed);
                                     pruned.store(cut, Ordering::Relaxed);
@@ -1072,6 +1149,11 @@ impl ServiceState {
                             }
                         };
                         jobs.complete(&spec.id, response);
+                        if held_permit {
+                            if let Some(state) = state.and_then(|weak| weak.upgrade()) {
+                                state.admit_next();
+                            }
+                        }
                     });
                 if spawned.is_err() {
                     self.jobs.complete(
@@ -1199,9 +1281,10 @@ impl ServiceState {
         (api::stream_mode_hint(&parsed) == api::StreamMode::Chunked).then_some(parsed)
     }
 
-    /// Serves one chunked-transport `/v1/dse` request: takes a gate permit
-    /// (shedding `503` like any gated POST), validates the whole request
-    /// through [`api::dse_staged_stream`] — errors before the first chunk
+    /// Serves one chunked-transport `/v1/dse` request — the caller holds
+    /// the gate permit (admission happened at the framing layer like any
+    /// gated POST): validates the whole request through
+    /// [`api::dse_staged_stream`] — errors before the first chunk
     /// still answer as a plain framed response — then writes
     /// `Transfer-Encoding: chunked` frames straight to the socket: one per
     /// frontier snapshot, then the final body (byte-identical to the
@@ -1217,13 +1300,6 @@ impl ServiceState {
         keep: bool,
     ) -> (u16, bool, Option<api::DseLogMeta>) {
         let mut writer = stream;
-        let Some(_permit) = self.gate.acquire() else {
-            self.counters.shed.fetch_add(1, Ordering::Relaxed);
-            let response =
-                Response::unavailable("server is saturated; retry with backoff", RETRY_AFTER_SECS);
-            let ok = response.write_conn(&mut writer, keep).is_ok();
-            return (response.status, ok, None);
-        };
         let mut write_ok = true;
         let mut header_sent = false;
         let result = api::dse_staged_stream(parsed, &mut |chunk| {
@@ -1264,43 +1340,57 @@ impl ServiceState {
         }
     }
 
-    /// Serves a connection the poller reported readable: zero or more
-    /// complete requests, until the socket has no more buffered input
-    /// (re-park it — `Some`) or the lifecycle ends it (`None`: client
-    /// close, `Connection: close`, parse error, request bound, eviction,
-    /// or drain). Runs on an I/O worker thread.
-    fn serve_ready(&self, mut conn: Conn) -> Option<Conn> {
-        // The readiness probe: epoll said readable, so this does not
-        // block in practice — EOF here is the parked peer hanging up (or
-        // eviction/drain shutting the socket under us), and a spurious
-        // `WouldBlock` (the data evaporated) just re-parks.
-        loop {
-            match conn.reader.fill_buf() {
-                Ok([]) => {
+    /// Serves a connection the poller reported readable. The readiness
+    /// probe is a non-blocking `MSG_PEEK`: if the readiness evaporated
+    /// between the epoll report and this call (an eviction/drain race),
+    /// a blocking probe would stall this worker for a full
+    /// `read_timeout` — the peek re-parks instead. EOF here is the
+    /// parked peer hanging up. Runs on an I/O worker thread.
+    fn serve_ready(&self, conn: Conn) -> Option<Conn> {
+        if conn.reader.buffer().is_empty() {
+            match peek_ready(conn.fd()) {
+                Ok(0) => {
                     self.finish(conn.id);
                     return None;
                 }
-                Ok(_) => break,
-                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
-                Err(e)
-                    if e.kind() == std::io::ErrorKind::WouldBlock
-                        || e.kind() == std::io::ErrorKind::TimedOut =>
-                {
-                    return Some(conn)
-                }
+                Ok(_) => {}
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => return Some(conn),
                 Err(_) => {
                     self.finish(conn.id);
                     return None;
                 }
             }
         }
+        self.serve_conn(conn)
+    }
+
+    /// The keep-alive serving loop: zero or more complete requests, until
+    /// the socket has no more buffered input (re-park it — `Some`), the
+    /// lifecycle ends it (`None`: client close, `Connection: close`,
+    /// parse error, request bound, eviction, or drain), or admission
+    /// defers it into the gate wait room (`None`; the connection resumes
+    /// through [`Self::serve_admitted`]).
+    fn serve_conn(&self, mut conn: Conn) -> Option<Conn> {
         loop {
             if !self.table.mark_busy(conn.id) {
                 // Evicted between the bytes arriving and now.
                 self.finish(conn.id);
                 return None;
             }
-            if !self.serve_one(&mut conn) {
+            let keep = match self.serve_one(&mut conn) {
+                ServeOutcome::Done(keep) => keep,
+                ServeOutcome::Shelve(pending) => match self.shelve(conn, pending) {
+                    // The wait room owns the connection now; it stays
+                    // marked busy — it is mid-request until its answer
+                    // finally goes out.
+                    None => return None,
+                    Some((given_back, pending)) => {
+                        conn = given_back;
+                        self.answer_framed(&mut conn, pending, Admission::Shed)
+                    }
+                },
+            };
+            if !keep {
                 self.finish(conn.id);
                 return None;
             }
@@ -1317,156 +1407,321 @@ impl ServiceState {
         }
     }
 
-    /// Reads, routes and answers exactly one request on a ready
-    /// connection. Returns whether the connection should be kept alive.
-    fn serve_one(&self, conn: &mut Conn) -> bool {
-        let conn_id = conn.id;
-        let max_requests = self.config.max_requests_per_connection.max(1);
-        {
-            let started = Instant::now();
-            let deadline = Some(started + self.config.request_deadline);
-            let mut framed = false;
-            let mut logged_head: Option<(String, String)> = None;
-            let mut client_keepalive = false;
-            // `Some` once a chunked-transport `/v1/dse` request wrote its
-            // own response inside `stream_dse`; the normal response phase
-            // is skipped and only the bookkeeping below runs.
-            let mut streamed: Option<(u16, bool, Option<api::DseLogMeta>)> = None;
-            let (produced, outcome, trace) =
-                match http::read_head_buffered(&mut conn.reader, deadline) {
-                    Ok(head) => {
-                        logged_head = Some((head.method.clone(), head.path.clone()));
-                        client_keepalive = head.wants_keepalive();
-                        if head.content_length > self.config.max_body_bytes {
-                            // Refuse before reading; the unread body poisons
-                            // the framing, so this response closes the
-                            // connection (framed stays false).
-                            (
-                                Produced::uncached(Response::error(
-                                    413,
-                                    &HttpError::PayloadTooLarge {
-                                        limit: self.config.max_body_bytes,
-                                    }
-                                    .message(),
-                                )),
-                                CacheOutcome::Uncached,
-                                Self::trace_flag(&head.path, None),
-                            )
-                        } else {
-                            if head.expects_continue() && head.content_length > 0 {
-                                let mut w = conn.reader.get_ref();
-                                if http::write_continue(&mut w).is_err() {
-                                    return false;
-                                }
-                            }
-                            match http::read_body(
-                                &mut conn.reader,
-                                head.content_length,
-                                self.config.max_body_bytes,
-                                deadline,
-                            ) {
-                                Ok(body) => {
-                                    // The whole request is consumed: whatever
-                                    // happens next (shed included), the byte
-                                    // stream stays consistent for reuse.
-                                    framed = true;
-                                    if let Some(parsed) = Self::streamed_dse_body(&head, &body) {
-                                        // Chunked transport: the response —
-                                        // stream, shed or plain error — is
-                                        // written inside `stream_dse` (the
-                                        // framed machinery below builds one
-                                        // Content-Length body, which a
-                                        // million-candidate stream must not).
-                                        let keep_planned = client_keepalive
-                                            && conn.served + 1 < max_requests
-                                            && !self.table.is_draining();
-                                        streamed = Some(self.stream_dse(
-                                            conn.reader.get_ref(),
-                                            &parsed,
-                                            keep_planned,
-                                        ));
-                                        (
-                                            Produced::uncached(Response::json(200, String::new())),
-                                            CacheOutcome::Uncached,
-                                            None,
-                                        )
-                                    } else if Self::is_gated(&head.method, &head.path) {
-                                        match self.gate.acquire() {
-                                            Some(_permit) => self.route(&head, &body),
-                                            None => {
-                                                self.counters.shed.fetch_add(1, Ordering::Relaxed);
-                                                (
-                                                    Produced::uncached(Response::unavailable(
-                                                        "server is saturated; retry with backoff",
-                                                        RETRY_AFTER_SECS,
-                                                    )),
-                                                    CacheOutcome::Uncached,
-                                                    Self::trace_flag(&head.path, None),
-                                                )
-                                            }
-                                        }
-                                    } else {
-                                        self.route(&head, &body)
-                                    }
-                                }
-                                Err(e) => (
-                                    Produced::uncached(Response::error(e.status(), &e.message())),
-                                    CacheOutcome::Uncached,
-                                    Self::trace_flag(&head.path, None),
-                                ),
-                            }
-                        }
-                    }
-                    Err(e) => (
-                        Produced::uncached(Response::error(e.status(), &e.message())),
-                        CacheOutcome::Uncached,
-                        None,
-                    ),
-                };
-
-            // ---- response phase.
-            conn.served += 1;
-            self.counters.requests.fetch_add(1, Ordering::Relaxed);
-            if conn.served > 1 {
-                self.counters
-                    .keepalive_reuses
-                    .fetch_add(1, Ordering::Relaxed);
-            }
-            let (method, path) = logged_head.unwrap_or_else(|| ("-".to_string(), "-".to_string()));
-            if let Some((status, write_ok, meta)) = streamed {
-                self.log_request(
-                    &method,
-                    &path,
-                    status,
-                    started,
-                    CacheOutcome::Uncached,
-                    conn_id,
-                    None,
-                    meta.as_ref(),
-                );
-                return write_ok
-                    && client_keepalive
-                    && conn.served < max_requests
-                    && !self.table.is_draining();
-            }
-            let keep = framed
-                && client_keepalive
-                && conn.served < max_requests
-                && !self.table.is_draining();
-            let mut writer = conn.reader.get_ref();
-            let write_ok = produced.response.write_conn(&mut writer, keep).is_ok();
-            self.log_request(
-                &method,
-                &path,
-                produced.response.status,
-                started,
-                outcome,
-                conn_id,
-                trace,
-                produced.dse.as_ref(),
-            );
-            keep && write_ok
+    /// Resumes a shelved request once [`Self::admit_next`] pumped it off
+    /// the wait room: re-attempts admission (the permit that freed may
+    /// have been taken again in the meantime — then back to the room),
+    /// answers, and rejoins the normal keep-alive loop for any pipelined
+    /// bytes. The connection is still marked busy from before the shelve.
+    fn serve_admitted(&self, mut conn: Conn, pending: PendingRequest) -> Option<Conn> {
+        let keep = match self.gate.try_acquire() {
+            Some(permit) => self.answer_framed(&mut conn, pending, Admission::Granted(permit)),
+            None => match self.shelve(conn, pending) {
+                None => return None,
+                Some((given_back, pending)) => {
+                    conn = given_back;
+                    self.answer_framed(&mut conn, pending, Admission::Shed)
+                }
+            },
+        };
+        if !keep {
+            self.finish(conn.id);
+            return None;
         }
+        if !self.table.mark_idle(conn.id) {
+            self.finish(conn.id);
+            return None;
+        }
+        if conn.reader.buffer().is_empty() {
+            return Some(conn);
+        }
+        self.serve_conn(conn)
+    }
+
+    /// Moves a framed-but-unadmitted request (and its connection) into
+    /// the gate wait room. `Some` hands both back when the room is full —
+    /// the caller sheds. After a successful shelve the gate is probed
+    /// once more: a permit released between the failed `try_acquire` and
+    /// the push above pumped an earlier (or empty) room, so without this
+    /// re-check the request could strand until the next unrelated
+    /// release.
+    fn shelve(&self, conn: Conn, pending: PendingRequest) -> Option<(Conn, PendingRequest)> {
+        {
+            let mut room = lock_recover(&self.wait_room, "gate wait room");
+            if room.len() >= self.config.queue_capacity {
+                return Some((conn, pending));
+            }
+            room.push_back((conn, pending));
+        }
+        if let Some(probe) = self.gate.try_acquire() {
+            drop(probe);
+            self.admit_next();
+        }
+        None
+    }
+
+    /// Pumps one shelved request back onto the worker queue. Called after
+    /// every permit release (gated responses, streams, DSE job threads);
+    /// the receiving worker re-attempts `try_acquire` itself, so a permit
+    /// taken again in the meantime just re-shelves. A request that cannot
+    /// reach the queue (tier gone, queue full) is answered `503`
+    /// best-effort and closed — never dropped silently.
+    fn admit_next(&self) {
+        let popped = lock_recover(&self.wait_room, "gate wait room").pop_front();
+        let Some((conn, pending)) = popped else { return };
+        match self.ready_queue.get() {
+            Some(queue) => {
+                if let Err(Work::Admit(conn, _)) = queue.try_push(Work::Admit(conn, pending)) {
+                    self.shed_unserved(conn);
+                }
+            }
+            None => self.finish(conn.id),
+        }
+    }
+
+    /// Last-resort shed for a connection that cannot reach a worker:
+    /// answer `503 + Retry-After` best-effort and close.
+    fn shed_unserved(&self, conn: Conn) {
+        self.counters.shed.fetch_add(1, Ordering::Relaxed);
+        let mut writer = conn.reader.get_ref();
+        let _ = Response::unavailable("server is overloaded; retry with backoff", RETRY_AFTER_SECS)
+            .write_conn(&mut writer, false);
+        self.finish(conn.id);
+    }
+
+    /// Reads and frames exactly one request on a ready connection, then
+    /// answers it — unless it is gated and no permit is free, in which
+    /// case the fully framed request is handed back for shelving
+    /// ([`ServeOutcome::Shelve`]). The byte stream is consumed up to the
+    /// end of the request either way, so a shelved connection stays
+    /// consistent for keep-alive reuse. Never blocks on the gate.
+    fn serve_one(&self, conn: &mut Conn) -> ServeOutcome {
+        let started = Instant::now();
+        let deadline = Some(started + self.config.request_deadline);
+        let head = match http::read_head_buffered(&mut conn.reader, deadline) {
+            Ok(head) => head,
+            Err(e) => {
+                // Unframable: answer and close (may_keep false).
+                let produced = Produced::uncached(Response::error(e.status(), &e.message()));
+                let keep = self.respond(
+                    conn,
+                    started,
+                    ("-".to_string(), "-".to_string()),
+                    produced,
+                    CacheOutcome::Uncached,
+                    None,
+                    false,
+                );
+                return ServeOutcome::Done(keep);
+            }
+        };
+        if head.content_length > self.config.max_body_bytes {
+            // Refuse before reading; the unread body poisons the framing,
+            // so this response closes the connection (may_keep false).
+            let produced = Produced::uncached(Response::error(
+                413,
+                &HttpError::PayloadTooLarge {
+                    limit: self.config.max_body_bytes,
+                }
+                .message(),
+            ));
+            let trace = Self::trace_flag(&head.path, None);
+            let keep = self.respond(
+                conn,
+                started,
+                (head.method, head.path),
+                produced,
+                CacheOutcome::Uncached,
+                trace,
+                false,
+            );
+            return ServeOutcome::Done(keep);
+        }
+        if head.expects_continue() && head.content_length > 0 {
+            let mut w = conn.reader.get_ref();
+            if http::write_continue(&mut w).is_err() {
+                return ServeOutcome::Done(false);
+            }
+        }
+        let body = match http::read_body(
+            &mut conn.reader,
+            head.content_length,
+            self.config.max_body_bytes,
+            deadline,
+        ) {
+            Ok(body) => body,
+            Err(e) => {
+                let produced = Produced::uncached(Response::error(e.status(), &e.message()));
+                let trace = Self::trace_flag(&head.path, None);
+                let keep = self.respond(
+                    conn,
+                    started,
+                    (head.method, head.path),
+                    produced,
+                    CacheOutcome::Uncached,
+                    trace,
+                    false,
+                );
+                return ServeOutcome::Done(keep);
+            }
+        };
+        // The whole request is consumed: whatever happens next (shelve
+        // and shed included), the byte stream stays consistent for reuse.
+        let pending = PendingRequest {
+            started,
+            head,
+            body,
+        };
+        if Self::is_gated(&pending.head.method, &pending.head.path) {
+            match self.gate.try_acquire() {
+                Some(permit) => ServeOutcome::Done(self.answer_framed(
+                    conn,
+                    pending,
+                    Admission::Granted(permit),
+                )),
+                None => ServeOutcome::Shelve(pending),
+            }
+        } else {
+            ServeOutcome::Done(self.answer_framed(conn, pending, Admission::Ungated))
+        }
+    }
+
+    /// Answers one fully framed request under a resolved admission
+    /// decision. Returns whether the connection should be kept alive.
+    fn answer_framed(
+        &self,
+        conn: &mut Conn,
+        pending: PendingRequest,
+        admission: Admission<'_>,
+    ) -> bool {
+        let PendingRequest {
+            started,
+            head,
+            body,
+        } = pending;
+        let may_keep = head.wants_keepalive();
+        let max_requests = self.config.max_requests_per_connection.max(1);
+        match admission {
+            Admission::Granted(permit) => {
+                if let Some(parsed) = Self::streamed_dse_body(&head, &body) {
+                    // Chunked transport: the response — stream or plain
+                    // error — is written inside `stream_dse` (the framed
+                    // machinery below builds one Content-Length body,
+                    // which a million-candidate stream must not).
+                    let keep_planned =
+                        may_keep && conn.served + 1 < max_requests && !self.table.is_draining();
+                    let (status, write_ok, meta) =
+                        self.stream_dse(conn.reader.get_ref(), &parsed, keep_planned);
+                    drop(permit);
+                    self.admit_next();
+                    conn.served += 1;
+                    self.counters.requests.fetch_add(1, Ordering::Relaxed);
+                    if conn.served > 1 {
+                        self.counters
+                            .keepalive_reuses
+                            .fetch_add(1, Ordering::Relaxed);
+                    }
+                    self.log_request(
+                        &head.method,
+                        &head.path,
+                        status,
+                        started,
+                        CacheOutcome::Uncached,
+                        conn.id,
+                        None,
+                        meta.as_ref(),
+                    );
+                    return write_ok
+                        && may_keep
+                        && conn.served < max_requests
+                        && !self.table.is_draining();
+                }
+                let (produced, outcome, trace) = self.route(&head, &body);
+                // The compute is done: release before the socket write so
+                // the freed permit pumps the wait room immediately (same
+                // release point as the old waiting-room model).
+                drop(permit);
+                self.admit_next();
+                self.respond(
+                    conn,
+                    started,
+                    (head.method, head.path),
+                    produced,
+                    outcome,
+                    trace,
+                    may_keep,
+                )
+            }
+            Admission::Ungated => {
+                let (produced, outcome, trace) = self.route(&head, &body);
+                self.respond(
+                    conn,
+                    started,
+                    (head.method, head.path),
+                    produced,
+                    outcome,
+                    trace,
+                    may_keep,
+                )
+            }
+            Admission::Shed => {
+                self.counters.shed.fetch_add(1, Ordering::Relaxed);
+                let produced = Produced::uncached(Response::unavailable(
+                    "server is saturated; retry with backoff",
+                    RETRY_AFTER_SECS,
+                ));
+                let trace = Self::trace_flag(&head.path, None);
+                self.respond(
+                    conn,
+                    started,
+                    (head.method, head.path),
+                    produced,
+                    CacheOutcome::Uncached,
+                    trace,
+                    may_keep,
+                )
+            }
+        }
+    }
+
+    /// The response phase shared by every framed (non-streaming) answer:
+    /// request bookkeeping, the keep-alive decision, the socket write and
+    /// the request log. `started` is when the request's first byte was
+    /// read, so shelved time counts toward the logged latency. Returns
+    /// whether the connection should be kept alive.
+    #[allow(clippy::too_many_arguments)]
+    fn respond(
+        &self,
+        conn: &mut Conn,
+        started: Instant,
+        (method, path): (String, String),
+        produced: Arc<Produced>,
+        outcome: CacheOutcome,
+        trace: Option<bool>,
+        may_keep: bool,
+    ) -> bool {
+        conn.served += 1;
+        self.counters.requests.fetch_add(1, Ordering::Relaxed);
+        if conn.served > 1 {
+            self.counters
+                .keepalive_reuses
+                .fetch_add(1, Ordering::Relaxed);
+        }
+        let keep = may_keep
+            && conn.served < self.config.max_requests_per_connection.max(1)
+            && !self.table.is_draining();
+        let mut writer = conn.reader.get_ref();
+        let write_ok = produced.response.write_conn(&mut writer, keep).is_ok();
+        self.log_request(
+            &method,
+            &path,
+            produced.response.status,
+            started,
+            outcome,
+            conn.id,
+            trace,
+            produced.dse.as_ref(),
+        );
+        keep && write_ok
     }
 
     fn finish(&self, conn_id: u64) {
@@ -1482,16 +1737,23 @@ impl ServiceState {
 /// Connections travel a fixed circuit: `park` (accept loop or a worker)
 /// → the park channel → the poller registers the fd → readiness or
 /// idle-timeout → the poller deregisters and either dispatches the
-/// connection onto the bounded queue (capacity `max_connections`, so a
-/// registered connection always fits) or reaps it → a worker serves it →
-/// back to `park`, or closed. Exactly one stage owns a `Conn` at a time,
-/// and its fd is never registered while outside the poller — so a close
-/// (which would silently orphan an epoll registration) is always safe.
+/// connection onto the bounded queue or reaps it → a worker serves it →
+/// back to `park`, closed, or shelved in the gate wait room (from which
+/// [`ServiceState::admit_next`] re-queues it). Exactly one stage owns a
+/// `Conn` at a time, and its fd is never registered while outside the
+/// poller — so a close (which would silently orphan an epoll
+/// registration) is always safe.
+///
+/// The queue holds `2 × max_connections`: evicted connections stay
+/// parked (fd registered) until EOF is observed, so during an accept
+/// burst at the connection cap the live `Conn` count can briefly exceed
+/// `max_connections`. A push that still fails sheds `503` best-effort
+/// rather than closing silently.
 struct EventTier {
     state: Arc<ServiceState>,
     park_tx: mpsc::Sender<Conn>,
     waker: Waker,
-    queue: Arc<BoundedQueue<Conn>>,
+    queue: Arc<BoundedQueue<Work>>,
     stop: Arc<AtomicBool>,
     poller: Option<std::thread::JoinHandle<()>>,
     workers: Vec<std::thread::JoinHandle<()>>,
@@ -1502,7 +1764,12 @@ impl EventTier {
         let poller = Poller::new()?;
         let waker = poller.waker();
         let (park_tx, park_rx) = mpsc::channel::<Conn>();
-        let queue = Arc::new(BoundedQueue::new(state.config.max_connections.max(1)));
+        let queue = Arc::new(BoundedQueue::new(
+            state.config.max_connections.max(1).saturating_mul(2),
+        ));
+        // `admit_next` pumps shelved requests back onto this queue from
+        // whichever thread releases a gate permit.
+        let _ = state.ready_queue.set(Arc::clone(&queue));
         let stop = Arc::new(AtomicBool::new(false));
         let poller_thread = std::thread::Builder::new()
             .name("clb-poller".to_string())
@@ -1550,7 +1817,8 @@ impl EventTier {
     /// Stops and joins the tier: the poller first (it drops every still-
     /// parked connection), then the workers (they drain the ready queue —
     /// drain/abort already shut those sockets, so each remaining serve is
-    /// a quick EOF).
+    /// a quick EOF), then the gate wait room (no permit release will ever
+    /// pump those shelved connections again).
     fn shutdown(mut self) {
         self.stop.store(true, Ordering::Relaxed);
         self.waker.wake();
@@ -1560,6 +1828,13 @@ impl EventTier {
         self.queue.close();
         for worker in self.workers.drain(..) {
             let _ = worker.join();
+        }
+        loop {
+            let popped = lock_recover(&self.state.wait_room, "gate wait room").pop_front();
+            match popped {
+                Some((conn, _pending)) => self.state.finish(conn.id),
+                None => break,
+            }
         }
     }
 }
@@ -1572,7 +1847,7 @@ fn run_poller(
     state: &ServiceState,
     poller: &Poller,
     park_rx: &mpsc::Receiver<Conn>,
-    queue: &BoundedQueue<Conn>,
+    queue: &BoundedQueue<Work>,
     stop: &AtomicBool,
 ) {
     let mut parked: HashMap<RawFd, (Conn, Instant)> = HashMap::new();
@@ -1603,7 +1878,36 @@ fn run_poller(
             }
             return;
         }
-        // Reap idle timeouts before sleeping again.
+        // Sleep until the next readiness, park, stop, or idle deadline.
+        let timeout = parked
+            .values()
+            .map(|(_, deadline)| *deadline)
+            .min()
+            .map(|deadline| deadline.saturating_duration_since(Instant::now()));
+        if let Err(e) = poller.wait(&mut ready, timeout) {
+            eprintln!("clb-poller: epoll_wait failed ({e}); backing off");
+            std::thread::sleep(Duration::from_millis(10));
+            continue;
+        }
+        // Dispatch readiness *before* reaping idle deadlines: a request
+        // whose bytes arrived just before the deadline must be served,
+        // not reaped unanswered.
+        for fd in ready.drain(..) {
+            if let Some((conn, _)) = parked.remove(&fd) {
+                // Deregister *before* the connection leaves this thread:
+                // a worker may close the fd, and a close on a registered
+                // fd (or its reuse by a new connection) corrupts the
+                // interest list.
+                let _ = poller.del(fd);
+                if let Err(Work::Ready(conn)) = queue.try_push(Work::Ready(conn)) {
+                    // Reachable during accept bursts at the connection
+                    // cap (evicted connections stay parked until their
+                    // EOF is observed): shed, don't close silently.
+                    state.shed_unserved(conn);
+                }
+            }
+        }
+        // Reap idle timeouts that the readiness pass above did not beat.
         let now = Instant::now();
         let expired: Vec<RawFd> = parked
             .iter()
@@ -1617,32 +1921,6 @@ fn run_poller(
                 state.finish(conn.id);
             }
         }
-        // Sleep until the next readiness, park, stop, or idle deadline.
-        let timeout = parked
-            .values()
-            .map(|(_, deadline)| *deadline)
-            .min()
-            .map(|deadline| deadline.saturating_duration_since(now));
-        if let Err(e) = poller.wait(&mut ready, timeout) {
-            eprintln!("clb-poller: epoll_wait failed ({e}); backing off");
-            std::thread::sleep(Duration::from_millis(10));
-            continue;
-        }
-        for fd in ready.drain(..) {
-            if let Some((conn, _)) = parked.remove(&fd) {
-                // Deregister *before* the connection leaves this thread:
-                // a worker may close the fd, and a close on a registered
-                // fd (or its reuse by a new connection) corrupts the
-                // interest list.
-                let _ = poller.del(fd);
-                if let Err(conn) = queue.try_push(conn) {
-                    // Unreachable in practice: the queue holds
-                    // max_connections and the table caps total
-                    // connections at the same bound.
-                    state.finish(conn.id);
-                }
-            }
-        }
     }
 }
 
@@ -1652,13 +1930,17 @@ fn run_poller(
 /// shared tables recover from the poisoned locks).
 fn run_worker(
     state: &ServiceState,
-    queue: &BoundedQueue<Conn>,
+    queue: &BoundedQueue<Work>,
     park_tx: &mpsc::Sender<Conn>,
     waker: &Waker,
 ) {
-    while let Some(conn) = queue.pop() {
-        let conn_id = conn.id;
-        match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| state.serve_ready(conn))) {
+    while let Some(work) = queue.pop() {
+        let conn_id = work.conn_id();
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| match work {
+            Work::Ready(conn) => state.serve_ready(conn),
+            Work::Admit(conn, pending) => state.serve_admitted(conn, pending),
+        }));
+        match outcome {
             Ok(Some(conn)) => match park_tx.send(conn) {
                 Ok(()) => waker.wake(),
                 Err(mpsc::SendError(conn)) => state.finish(conn.id),
@@ -1701,6 +1983,12 @@ impl Server {
             stop: Arc::new(AtomicBool::new(false)),
         };
         let _ = server.state.stopper.set(server.stop_handle());
+        // Detached DSE job threads outlive request scope but must still
+        // pump the gate wait room when their permit releases.
+        let _ = server
+            .state
+            .self_ref
+            .set(Arc::downgrade(&server.state));
         Ok(server)
     }
 

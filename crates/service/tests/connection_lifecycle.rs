@@ -509,6 +509,88 @@ fn saturated_gate_sheds_503_with_retry_after_and_the_same_socket_retries() {
     server.shutdown().unwrap();
 }
 
+/// Regression for the worker-starvation hazard: gated requests waiting
+/// for a compute permit must not occupy I/O worker threads. With one
+/// permit and a two-worker pool, one admitted hog plus *more* pending
+/// analyses than workers used to park every worker in the gate's
+/// waiting room, starving even `/healthz` until the computations
+/// finished. Now pending requests wait in the gate wait room without a
+/// thread: ungated traffic keeps flowing, and every pending request is
+/// pumped to completion once a permit frees — none shed, none lost.
+#[test]
+fn saturated_gate_does_not_starve_ungated_traffic() {
+    let server = spawn(ServiceConfig {
+        threads: 1,
+        io_workers: 2,
+        ..ServiceConfig::default()
+    });
+    let addr = server.addr();
+    // Calibrate one cold whole-model sweep (candidates unique to this
+    // request, so nothing below can serve it from a cache).
+    let calibrate = Instant::now();
+    let (status, _) = one_shot(
+        addr,
+        "POST",
+        "/v1/dse",
+        "{\"target\":{\"network\":\"vgg16\",\"batch\":2},\
+         \"grid\":{\"pe_rows\":[12,28],\"pe_cols\":[12]}}",
+    );
+    assert_eq!(status, 200);
+    let slow_elapsed = calibrate.elapsed();
+    // The hog takes the only permit...
+    let hog = std::thread::spawn(move || {
+        one_shot(
+            addr,
+            "POST",
+            "/v1/dse",
+            "{\"target\":{\"network\":\"vgg16\",\"batch\":7},\
+             \"grid\":{\"pe_rows\":[20,44],\"pe_cols\":[20]}}",
+        )
+    });
+    std::thread::sleep(Duration::from_millis(120));
+    // ...and more slow analyses than there are I/O workers go pending,
+    // each cold (unique batch, PE dims divisible by the default 4x4
+    // grouping).
+    let pending: Vec<_> = (0..3)
+        .map(|i| {
+            std::thread::spawn(move || {
+                let body = format!(
+                    "{{\"target\":{{\"network\":\"vgg16\",\"batch\":{}}},\
+                     \"grid\":{{\"pe_rows\":[{},{}],\"pe_cols\":[20]}}}}",
+                    4 + i,
+                    20 + 4 * i,
+                    36 + 4 * i,
+                );
+                one_shot(addr, "POST", "/v1/dse", &body)
+            })
+        })
+        .collect();
+    std::thread::sleep(Duration::from_millis(150)); // let them frame and shelve
+    // Ungated traffic must answer promptly even though the gate stays
+    // saturated for several more slow computations.
+    let probe = Instant::now();
+    let (status, _) = one_shot(addr, "GET", "/healthz", "");
+    let healthz_elapsed = probe.elapsed();
+    assert_eq!(status, 200);
+    assert!(
+        healthz_elapsed < slow_elapsed.max(Duration::from_millis(250)),
+        "healthz took {healthz_elapsed:?} with the gate saturated \
+         (one cold sweep computes in {slow_elapsed:?})"
+    );
+    // Every pending analysis is pumped to completion once the permit
+    // frees: the wait room holds them without a thread, and nothing in
+    // its default capacity sheds.
+    let (status, _) = hog.join().unwrap();
+    assert_eq!(status, 200);
+    for handle in pending {
+        let (status, _) = handle.join().unwrap();
+        assert_eq!(status, 200, "shelved requests must complete, not shed");
+    }
+    let stats = server.stats_handle().snapshot();
+    assert_eq!(stats.shed, 0, "{stats:?}");
+    server.shutdown().unwrap();
+}
+
 // ---------------------------------------------------------------------
 // Graceful drain
 // ---------------------------------------------------------------------
