@@ -68,10 +68,26 @@ impl Network {
         self.layers.get(index)
     }
 
-    /// Total MAC count over all layers.
+    /// Total MAC count over all layers, saturating at `u64::MAX`.
+    ///
+    /// The sum is accumulated in `u128` — per-layer counts are `u64`, so a
+    /// user-supplied network a few layers deep can exceed `u64::MAX` even
+    /// when every individual layer is in range. Use [`Self::total_macs_u128`]
+    /// when the exact value matters.
     #[must_use]
     pub fn total_macs(&self) -> u64 {
-        self.layers.iter().map(|l| l.layer.macs()).sum()
+        u64::try_from(self.total_macs_u128()).unwrap_or(u64::MAX)
+    }
+
+    /// Exact total MAC count over all layers, accumulated in `u128` so it
+    /// cannot overflow (`u64::MAX` per layer × practical layer counts is far
+    /// below `u128::MAX`).
+    #[must_use]
+    pub fn total_macs_u128(&self) -> u128 {
+        self.layers
+            .iter()
+            .map(|l| u128::from(l.layer.macs()))
+            .sum()
     }
 }
 
@@ -257,6 +273,22 @@ pub fn fully_connected(batch: usize, in_features: usize, out_features: usize) ->
         .expect("static FC layer is valid")
 }
 
+/// A VGG-style fully-connected classifier head (fc6 → fc7 → fc8) expressed
+/// as 1×1 convolutions on 1×1 maps via [`fully_connected`]'s im2col view:
+/// each layer is exactly a GEMM with `R = 1`, exercising the pure
+/// matrix-multiply corner of the bound at realistic feature widths.
+#[must_use]
+pub fn fc_stack(batch: usize) -> Network {
+    Network::new(
+        "FC-stack",
+        vec![
+            ("fc6".to_string(), fully_connected(batch, 512, 4096)),
+            ("fc7".to_string(), fully_connected(batch, 4096, 4096)),
+            ("fc8".to_string(), fully_connected(batch, 4096, 1000)),
+        ],
+    )
+}
+
 /// Small synthetic layers for functional tests: every combination stays tiny
 /// enough for the reference kernel and the cycle simulator to run in
 /// milliseconds while still covering stride, padding, batch and channel
@@ -353,6 +385,41 @@ mod tests {
         rs.sort_by(|a, b| a.partial_cmp(b).unwrap());
         rs.dedup();
         assert_eq!(rs, vec![1.0, 9.0, 25.0]);
+    }
+
+    #[test]
+    fn fc_stack_is_all_matrix_multiplies() {
+        let net = fc_stack(3);
+        assert_eq!(net.len(), 3);
+        assert!(net.conv_layers().all(|l| l.layer.is_matrix_multiply()));
+        // fc6 512→4096 + fc7 4096→4096 + fc8 4096→1000, batch 3.
+        assert_eq!(
+            net.total_macs(),
+            3 * (512 * 4096 + 4096 * 4096 + 4096 * 1000)
+        );
+    }
+
+    /// Regression: `total_macs` used to `sum()` per-layer `u64`s unchecked,
+    /// panicking in debug (and wrapping in release) once a user-supplied
+    /// network's MACs crossed `u64::MAX`. Five layers of 2^62 MACs each must
+    /// now saturate instead, with the exact value available in `u128`.
+    #[test]
+    fn total_macs_saturates_instead_of_overflowing() {
+        let big = ConvLayer::builder()
+            .batch(1 << 16)
+            .out_channels(1 << 16)
+            .in_channels(1 << 16)
+            .input(128, 128)
+            .kernel(1, 1)
+            .stride(1)
+            .padding(Padding::none())
+            .build()
+            .expect("huge but structurally valid layer");
+        assert_eq!(big.macs(), 1 << 62);
+        let layers = (0..5).map(|i| (format!("huge{i}"), big)).collect();
+        let net = Network::new("overflow-probe", layers);
+        assert_eq!(net.total_macs(), u64::MAX);
+        assert_eq!(net.total_macs_u128(), 5 * (1u128 << 62));
     }
 
     #[test]

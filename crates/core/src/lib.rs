@@ -29,6 +29,23 @@
 #![deny(missing_docs)]
 #![deny(rustdoc::broken_intra_doc_links)]
 
+/// Caps on user-supplied networks, the model-level analogue of
+/// [`accel_sim::caps`] for architectures: any boundary that accepts a full
+/// layer list (the service's custom-network requests, network-mode DSE
+/// sweeps) checks these *before* constructing a single layer, accumulating
+/// the MAC total in `u128` so the check itself cannot overflow.
+pub mod network_caps {
+    /// Max layers one network may declare. Generous: the deepest preset
+    /// (ResNet-50) has 53.
+    pub const MAX_NETWORK_LAYERS: usize = 256;
+    /// Max total MACs over all layers (batch included), ~1.4×10¹⁴.
+    /// Generous: VGG-16 at the max batch of 64 is ~9.8×10¹¹ — two orders
+    /// of magnitude of headroom — while staying far enough below
+    /// `u64::MAX` that every accepted network's per-layer and total MAC
+    /// counts are exactly representable in the `u64` report fields.
+    pub const MAX_NETWORK_MACS: u128 = 1 << 47;
+}
+
 mod accelerator;
 pub mod design;
 pub mod dse;

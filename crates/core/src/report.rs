@@ -79,10 +79,14 @@ impl NetworkReport {
         }
     }
 
-    /// Total MACs over all layers.
+    /// Total MACs over all layers, saturating at `u64::MAX` — accumulated in
+    /// `u128` like [`conv_model::workloads::Network::total_macs`], so a huge
+    /// network cannot overflow the sum (the service additionally caps
+    /// accepted networks at [`crate::network_caps::MAX_NETWORK_MACS`]).
     #[must_use]
     pub fn total_macs(&self) -> u64 {
-        self.layers.iter().map(|l| l.layer.macs()).sum()
+        let total: u128 = self.layers.iter().map(|l| u128::from(l.layer.macs())).sum();
+        u64::try_from(total).unwrap_or(u64::MAX)
     }
 
     /// Network-level energy efficiency in pJ/MAC (the Fig. 18 metric).

@@ -79,7 +79,10 @@ impl EyerissConfig {
     #[must_use]
     pub fn filters_per_pass(&self, layer: &ConvLayer) -> usize {
         let per_kernel = layer.in_channels() * layer.kernel_height() * layer.kernel_width();
-        (self.weight_sram_words / per_kernel.max(1)).clamp(1, layer.out_channels())
+        // `.max(1)` keeps the clamp range non-empty for degenerate layers
+        // (e.g. a deserialized zero-channel layer); `clamp` panics when
+        // `min > max`.
+        (self.weight_sram_words / per_kernel.max(1)).clamp(1, layer.out_channels().max(1))
     }
 
     /// Output rows produced per ifmap strip when the array is operated
@@ -168,8 +171,13 @@ pub fn compressed_dram_traffic(
     let raw = config.dram_traffic(layer);
     let ratio = compression_ratio(layer_index, layer_count);
     // Output activations of layer i are the inputs of layer i+1: compress
-    // them with the next stage's ratio.
-    let out_ratio = compression_ratio((layer_index + 1).min(layer_count - 1), layer_count);
+    // them with the next stage's ratio. `saturating_sub` keeps the index
+    // clamp from underflowing when `layer_count == 0` (an empty network);
+    // `compression_ratio` already treats that case as the network average.
+    let out_ratio = compression_ratio(
+        (layer_index + 1).min(layer_count.saturating_sub(1)),
+        layer_count,
+    );
     DramTraffic {
         input_reads: (raw.input_reads as f64 / ratio) as u64,
         weight_reads: raw.weight_reads,
@@ -208,7 +216,13 @@ pub fn calibrated_dram_mb(
     } else {
         PUBLISHED_DRAM_UNCOMPRESSED_MB
     };
+    // An empty or zero-traffic network has nothing to calibrate: scaling by
+    // `target / 0.0` would turn every row into NaN/inf, so return the raw
+    // (identity) rows instead.
     let scale = target / total;
+    if !scale.is_finite() {
+        return raw;
+    }
     raw.into_iter().map(|(n, mb)| (n, mb * scale)).collect()
 }
 
@@ -310,5 +324,56 @@ mod tests {
     #[test]
     fn published_time_for_batch_3() {
         assert!((vgg16_execution_seconds(3) - 3.0 / 0.7).abs() < 1e-9);
+    }
+
+    /// A structurally degenerate layer that serde will happily produce but
+    /// the builder never would: zero output channels, hence zero words of
+    /// DRAM traffic on the filter-stationary path.
+    fn zero_traffic_layer() -> ConvLayer {
+        serde_json::from_str(
+            r#"{"batch":1,"out_channels":0,"in_channels":1,"in_height":1,
+                "in_width":1,"kernel_height":1,"kernel_width":1,"stride":1,
+                "padding":{"vertical":0,"horizontal":0}}"#,
+        )
+        .expect("degenerate layer deserializes")
+    }
+
+    /// Regression: `calibrated_dram_mb` divided the published target by the
+    /// model total with no zero guard, so a zero-traffic network produced
+    /// NaN rows (and `filters_per_pass` panicked outright on zero-channel
+    /// layers via `clamp(1, 0)`). Both must now degrade to finite identity
+    /// rows.
+    #[test]
+    fn calibration_survives_zero_traffic_networks() {
+        let cfg = EyerissConfig::default();
+        let net = Network::new("dead", vec![("dead1".to_string(), zero_traffic_layer())]);
+        for compressed in [false, true] {
+            let rows = calibrated_dram_mb(&cfg, &net, compressed);
+            assert_eq!(rows.len(), 1);
+            assert!(
+                rows.iter().all(|(_, mb)| mb.is_finite()),
+                "calibration produced non-finite MB rows: {rows:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn calibration_of_empty_network_is_empty() {
+        let cfg = EyerissConfig::default();
+        let net = Network::new("empty", vec![]);
+        assert!(calibrated_dram_mb(&cfg, &net, false).is_empty());
+        assert!(calibrated_dram_mb(&cfg, &net, true).is_empty());
+    }
+
+    /// Regression: the output-ratio index clamp in `compressed_dram_traffic`
+    /// computed `layer_count - 1` in `usize`, underflowing (debug panic) when
+    /// called with an empty network's `layer_count == 0`.
+    #[test]
+    fn compressed_traffic_tolerates_zero_layer_count() {
+        let cfg = EyerissConfig::default();
+        let layer = workloads::vgg16(1).layer(0).unwrap().layer;
+        let raw = cfg.dram_traffic(&layer).total_words();
+        let comp = compressed_dram_traffic(&cfg, &layer, 0, 0).total_words();
+        assert!(comp <= raw);
     }
 }

@@ -14,8 +14,9 @@ use clb_core::{
     Accelerator, ArchSweepEntry, LayerReport, NetworkReport, Objective, OnChipMemory,
     StagedProgress, SweepCost,
 };
+use clb_core::network_caps;
 use conv_model::workloads::Network;
-use conv_model::{workloads, ConvLayer};
+use conv_model::{workloads, ConvLayer, Padding};
 use dataflow::{found_minimum, search_dataflow, DataflowChoice, DataflowKind, Tiling};
 use serde::{Deserialize, Serialize, Value};
 
@@ -750,33 +751,338 @@ pub fn network_by_name(name: &str, batch: usize) -> Result<Network, ApiError> {
         "vgg16" => Ok(workloads::vgg16(batch)),
         "alexnet" => Ok(workloads::alexnet(batch)),
         "resnet50" => Ok(workloads::resnet50(batch)),
+        "inception" => Ok(workloads::inception_module(batch, 28, 192)),
+        "fc" => Ok(workloads::fc_stack(batch)),
         other => Err(ApiError::Unprocessable(format!(
-            "unknown network `{other}` (vgg16|alexnet|resnet50)"
+            "unknown network `{other}` \
+             (vgg16|alexnet|resnet50|inception|fc, or a custom network object)"
         ))),
     }
 }
 
-/// Handles `POST /v1/network` — whole-network analysis; the body is exactly
-/// the [`NetworkReport`] JSON that `clb network --json` prints.
+const NETWORK_KEYS: [&str; 3] = ["name", "batch", "layers"];
+const NETWORK_LAYER_KEYS: [&str; 9] = [
+    "name", "co", "ci", "size", "h", "w", "kernel", "stride", "padding",
+];
+
+/// One parsed-but-not-yet-built layer of a custom network: every cap is
+/// checked — and the MAC count computed, in `u128` — on these raw numbers
+/// *before* a [`ConvLayer`] is constructed, so hostile dimensions can never
+/// reach the builder's (or the model's) `usize`/`u64` arithmetic.
+#[derive(Debug, Clone)]
+struct NetLayerSpec {
+    name: String,
+    co: usize,
+    ci: usize,
+    h: usize,
+    w: usize,
+    kernel: usize,
+    stride: usize,
+    padding: Padding,
+}
+
+impl NetLayerSpec {
+    /// Parses `layers[index]` of a custom network object. Structural
+    /// problems (wrong types, unknown fields, missing geometry) are 400s;
+    /// every cap violation is a 422 naming the violated invariant, prefixed
+    /// with the layer's position.
+    fn from_value(v: &Value, index: usize) -> Result<Self, ApiError> {
+        let at = |e: ApiError| e.prefixed(&format!("layers[{index}]"));
+        let Value::Object(fields) = v else {
+            return Err(ApiError::BadRequest(format!(
+                "layers[{index}] must be a JSON object"
+            )));
+        };
+        for (key, _) in fields {
+            if !NETWORK_LAYER_KEYS.contains(&key.as_str()) {
+                return Err(ApiError::BadRequest(format!(
+                    "layers[{index}]: unknown layer field `{key}` (expected one of {})",
+                    NETWORK_LAYER_KEYS.join(", ")
+                )));
+            }
+        }
+        let name: String = optional(v, "name", format!("conv{}", index + 1)).map_err(at)?;
+        let co: usize = require(v, "co").map_err(at)?;
+        let ci: usize = require(v, "ci").map_err(at)?;
+        let size = get_field(v, "size")?.filter(|f| !matches!(f, Value::Null));
+        let h_field = get_field(v, "h")?.filter(|f| !matches!(f, Value::Null));
+        let w_field = get_field(v, "w")?.filter(|f| !matches!(f, Value::Null));
+        let (h, w) = match (size, h_field.is_some() || w_field.is_some()) {
+            (Some(_), true) => {
+                return Err(ApiError::BadRequest(format!(
+                    "layers[{index}]: specify either `size` or `h`/`w`, not both"
+                )))
+            }
+            (Some(_), false) => {
+                let s: usize = require(v, "size").map_err(at)?;
+                (s, s)
+            }
+            (None, _) => {
+                if h_field.is_none() || w_field.is_none() {
+                    return Err(ApiError::BadRequest(format!(
+                        "layers[{index}]: specify the input as `size` \
+                         or as both `h` and `w`"
+                    )));
+                }
+                (require(v, "h").map_err(at)?, require(v, "w").map_err(at)?)
+            }
+        };
+        let kernel: usize = optional(v, "kernel", 3).map_err(at)?;
+        let stride: usize = optional(v, "stride", 1).map_err(at)?;
+        let padding = match get_field(v, "padding")? {
+            None | Some(Value::Null) => Padding::same(kernel),
+            Some(Value::String(s)) => match s.as_str() {
+                "same" => Padding::same(kernel),
+                "none" => Padding::none(),
+                other => {
+                    return Err(ApiError::Unprocessable(format!(
+                        "layers[{index}]: unknown padding `{other}` \
+                         (same|none|an explicit cell count)"
+                    )))
+                }
+            },
+            Some(n @ Value::Number(_)) => {
+                let cells = usize::from_value(n).map_err(|e| {
+                    ApiError::BadRequest(format!("layers[{index}]: field `padding`: {e}"))
+                })?;
+                Padding {
+                    vertical: cells,
+                    horizontal: cells,
+                }
+            }
+            Some(_) => {
+                return Err(ApiError::BadRequest(format!(
+                    "layers[{index}]: `padding` must be \"same\", \"none\" \
+                     or a non-negative integer"
+                )))
+            }
+        };
+        let spec = NetLayerSpec {
+            name,
+            co,
+            ci,
+            h,
+            w,
+            kernel,
+            stride,
+            padding,
+        };
+        spec.check_caps(index)?;
+        Ok(spec)
+    }
+
+    /// The limits-style cap checks, each 422 naming the violated invariant.
+    /// Runs before [`Self::macs_u128`] so the geometry arithmetic there is
+    /// bounded, and before [`Self::build`] so no out-of-cap layer is ever
+    /// constructed.
+    fn check_caps(&self, index: usize) -> Result<(), ApiError> {
+        let bad = |m: String| Err(ApiError::Unprocessable(format!("layers[{index}]: {m}")));
+        if !(1..=limits::MAX_CHANNELS).contains(&self.co) {
+            return bad(format!("co must be 1..={}", limits::MAX_CHANNELS));
+        }
+        if !(1..=limits::MAX_CHANNELS).contains(&self.ci) {
+            return bad(format!("ci must be 1..={}", limits::MAX_CHANNELS));
+        }
+        if !(1..=limits::MAX_SIZE).contains(&self.h) || !(1..=limits::MAX_SIZE).contains(&self.w) {
+            return bad(format!("input size must be 1..={}", limits::MAX_SIZE));
+        }
+        if !(1..=limits::MAX_KERNEL).contains(&self.kernel) {
+            return bad(format!("kernel must be 1..={}", limits::MAX_KERNEL));
+        }
+        if !(1..=limits::MAX_STRIDE).contains(&self.stride) {
+            return bad(format!("stride must be 1..={}", limits::MAX_STRIDE));
+        }
+        if self.padding.vertical > limits::MAX_KERNEL
+            || self.padding.horizontal > limits::MAX_KERNEL
+        {
+            return bad(format!("padding must be ≤ {}", limits::MAX_KERNEL));
+        }
+        let k = self.kernel as u128;
+        if k > self.h as u128 + 2 * self.padding.vertical as u128
+            || k > self.w as u128 + 2 * self.padding.horizontal as u128
+        {
+            return bad("kernel does not fit the padded input".to_string());
+        }
+        Ok(())
+    }
+
+    /// Output extent along one axis, in `u128` (capped inputs make the
+    /// subtraction safe — [`Self::check_caps`] ran first).
+    fn out_extent(input: usize, pad: usize, kernel: usize, stride: usize) -> u128 {
+        (input as u128 + 2 * pad as u128 - kernel as u128) / stride as u128 + 1
+    }
+
+    /// This layer's MAC count at the given batch, computed in `u128` from
+    /// the raw request numbers — never through [`ConvLayer::macs`]'s `u64`
+    /// arithmetic.
+    fn macs_u128(&self, batch: usize) -> u128 {
+        let oh = Self::out_extent(self.h, self.padding.vertical, self.kernel, self.stride);
+        let ow = Self::out_extent(self.w, self.padding.horizontal, self.kernel, self.stride);
+        batch as u128 * oh * ow * self.co as u128 * self.kernel as u128 * self.kernel as u128
+            * self.ci as u128
+    }
+
+    /// Constructs the layer through [`ConvLayer::builder`] — the same path
+    /// the presets use, so a custom layer equal to a preset layer is the
+    /// *same* [`ConvLayer`] value.
+    fn build(&self, batch: usize, index: usize) -> Result<ConvLayer, ApiError> {
+        ConvLayer::builder()
+            .batch(batch)
+            .out_channels(self.co)
+            .in_channels(self.ci)
+            .input(self.h, self.w)
+            .kernel(self.kernel, self.kernel)
+            .stride(self.stride)
+            .padding(self.padding)
+            .build()
+            .map_err(|e| ApiError::Unprocessable(format!("layers[{index}]: {e}")))
+    }
+}
+
+/// Parses a full user-supplied network object — the custom alternative to a
+/// preset name, accepted everywhere a preset is (`net` on `/v1/network`,
+/// `target.network` on `/v1/dse`, `--net-json` on the CLI):
+///
+/// ```json
+/// {"name": "my-net", "batch": 3,
+///  "layers": [{"name": "conv1", "co": 64, "ci": 3, "size": 224},
+///             {"co": 64, "ci": 64, "h": 224, "w": 224,
+///              "kernel": 3, "stride": 1, "padding": "same"}]}
+/// ```
+///
+/// Per layer, `size` (square) or `h`+`w` give the *input* extent; `kernel`
+/// defaults to 3, `stride` to 1 and `padding` to `"same"` — the VGG-style
+/// defaults — so a layer list equal to a preset's builds the identical
+/// [`Network`] value and therefore byte-identical responses. Every cap
+/// (layer count, per-layer dimensions, total MACs) is checked in `u128` on
+/// the raw numbers *before* any [`ConvLayer`] is constructed; unknown
+/// fields are rejected like [`arch_from_value`] rejects them, because with
+/// every geometry field defaulted a typo would silently analyze a different
+/// network.
+///
+/// Returns the network and its batch (the `batch` field lives inside the
+/// object so the whole model is one value; default 3).
 ///
 /// # Errors
 ///
-/// [`ApiError`] on malformed requests, unknown network names, or
-/// unanalyzable layers (422).
-pub fn network_response(v: &Value) -> Result<String, ApiError> {
-    let name: String = optional(v, "net", "vgg16".to_string())?;
+/// [`ApiError::BadRequest`] on structural problems (non-object, unknown or
+/// ill-typed fields, missing geometry); [`ApiError::Unprocessable`] on any
+/// cap violation, naming the violated invariant.
+pub fn network_from_value(v: &Value) -> Result<(Network, usize), ApiError> {
+    let Value::Object(fields) = v else {
+        return Err(ApiError::BadRequest(
+            "a custom network must be a JSON object \
+             {\"name\", \"batch\", \"layers\": [...]}"
+                .to_string(),
+        ));
+    };
+    for (key, _) in fields {
+        if !NETWORK_KEYS.contains(&key.as_str()) {
+            return Err(ApiError::BadRequest(format!(
+                "unknown network field `{key}` (expected one of {})",
+                NETWORK_KEYS.join(", ")
+            )));
+        }
+    }
+    let name: String = optional(v, "name", "custom".to_string())?;
     let batch: usize = optional(v, "batch", 3)?;
-    // Pre-existing 4xx precedence, pinned by clients: batch range first,
-    // then the arch object, then the network name (network_by_name
-    // re-checks the batch, harmlessly).
     if !(1..=limits::MAX_BATCH).contains(&batch) {
         return Err(ApiError::Unprocessable(format!(
             "batch must be 1..={}",
             limits::MAX_BATCH
         )));
     }
-    let choice = parse_arch_choice(v)?;
-    let net = network_by_name(&name, batch)?;
+    let layers = match get_field(v, "layers")? {
+        None | Some(Value::Null) => {
+            return Err(ApiError::BadRequest(
+                "missing required field `layers`".to_string(),
+            ))
+        }
+        Some(Value::Array(layers)) => layers,
+        Some(_) => {
+            return Err(ApiError::BadRequest(
+                "`layers` must be an array of layer objects".to_string(),
+            ))
+        }
+    };
+    if layers.is_empty() {
+        return Err(ApiError::Unprocessable(
+            "a custom network must have at least one layer".to_string(),
+        ));
+    }
+    if layers.len() > network_caps::MAX_NETWORK_LAYERS {
+        return Err(ApiError::Unprocessable(format!(
+            "layer count {} exceeds the cap of {}",
+            layers.len(),
+            network_caps::MAX_NETWORK_LAYERS
+        )));
+    }
+    let mut specs: Vec<NetLayerSpec> = Vec::with_capacity(layers.len());
+    let mut total_macs: u128 = 0;
+    for (index, layer) in layers.iter().enumerate() {
+        let spec = NetLayerSpec::from_value(layer, index)?;
+        total_macs += spec.macs_u128(batch);
+        specs.push(spec);
+    }
+    if total_macs > network_caps::MAX_NETWORK_MACS {
+        return Err(ApiError::Unprocessable(format!(
+            "total MACs {} exceed the cap of {} (batch included)",
+            total_macs,
+            network_caps::MAX_NETWORK_MACS
+        )));
+    }
+    let built: Vec<(String, ConvLayer)> = specs
+        .iter()
+        .enumerate()
+        .map(|(index, s)| Ok((s.name.clone(), s.build(batch, index)?)))
+        .collect::<Result<_, ApiError>>()?;
+    Ok((Network::new(name, built), batch))
+}
+
+/// Handles `POST /v1/network` — whole-network analysis; the body is exactly
+/// the [`NetworkReport`] JSON that `clb network --json` prints. `net` names
+/// a preset (see [`network_by_name`]) or is a full custom network object
+/// (see [`network_from_value`]); a custom layer list equal to a preset's
+/// produces the byte-identical response.
+///
+/// # Errors
+///
+/// [`ApiError`] on malformed requests, unknown network names, custom
+/// networks violating [`network_caps`], or unanalyzable layers (422).
+pub fn network_response(v: &Value) -> Result<String, ApiError> {
+    let (choice, net) = match get_field(v, "net")? {
+        Some(custom @ Value::Object(_)) => {
+            // The custom object carries its own batch; a second top-level
+            // one would silently lose to it.
+            if !matches!(get_field(v, "batch")?, None | Some(Value::Null)) {
+                return Err(ApiError::BadRequest(
+                    "a custom network object carries its own `batch`; \
+                     drop the top-level `batch` field"
+                        .to_string(),
+                ));
+            }
+            // Same 4xx precedence as the preset path: arch before network.
+            let choice = parse_arch_choice(v)?;
+            let (net, _batch) = network_from_value(custom)?;
+            (choice, net)
+        }
+        _ => {
+            let name: String = optional(v, "net", "vgg16".to_string())?;
+            let batch: usize = optional(v, "batch", 3)?;
+            // Pre-existing 4xx precedence, pinned by clients: batch range
+            // first, then the arch object, then the network name
+            // (network_by_name re-checks the batch, harmlessly).
+            if !(1..=limits::MAX_BATCH).contains(&batch) {
+                return Err(ApiError::Unprocessable(format!(
+                    "batch must be 1..={}",
+                    limits::MAX_BATCH
+                )));
+            }
+            let choice = parse_arch_choice(v)?;
+            let net = network_by_name(&name, batch)?;
+            (choice, net)
+        }
+    };
     // The body is the bare `NetworkReport` either way (it never echoed the
     // implementation index), so preset requests keep their exact bytes.
     let report: NetworkReport = Accelerator::new(choice.arch())
@@ -875,9 +1181,10 @@ pub struct DseNetworkResponse {
 pub enum DseTarget {
     /// A single layer, from the usual top-level layer-spec fields.
     Layer(ConvLayer),
-    /// A named full model at a batch size.
+    /// A full model at a batch size — a preset by name or a custom layer
+    /// list.
     Network {
-        /// The workload (see [`network_by_name`]).
+        /// The workload (see [`network_by_name`] / [`network_from_value`]).
         net: Network,
         /// The analyzed batch size (echoed in the response).
         batch: usize,
@@ -912,6 +1219,19 @@ fn parse_dse_target(v: &Value) -> Result<DseTarget, ApiError> {
                 "unknown target field `{key}` (expected network, batch)"
             )));
         }
+    }
+    if let Some(custom @ Value::Object(_)) = get_field(t, "network")? {
+        // As on `/v1/network`: the custom object carries its own batch.
+        if !matches!(get_field(t, "batch")?, None | Some(Value::Null)) {
+            return Err(ApiError::BadRequest(
+                "a custom network object carries its own `batch`; \
+                 drop `target.batch`"
+                    .to_string(),
+            ));
+        }
+        let (net, batch) =
+            network_from_value(custom).map_err(|e| e.prefixed("target.network"))?;
+        return Ok(DseTarget::Network { net, batch });
     }
     let name: String = require(t, "network")?;
     let batch: usize = optional(t, "batch", 3)?;
@@ -2065,6 +2385,146 @@ mod tests {
             &obj(&[("net", Value::String("lenet".into()))]),
         );
         assert_eq!(resp.status, 422);
+        assert!(resp.body.contains("custom network"), "{}", resp.body);
+    }
+
+    fn custom_layer(co: f64, ci: f64, size: f64) -> Value {
+        obj(&[
+            ("co", Value::Number(co)),
+            ("ci", Value::Number(ci)),
+            ("size", Value::Number(size)),
+        ])
+    }
+
+    fn custom_net(layers: Vec<Value>) -> Value {
+        obj(&[
+            ("name", Value::String("tiny".into())),
+            ("batch", Value::Number(1.0)),
+            ("layers", Value::Array(layers)),
+        ])
+    }
+
+    #[test]
+    fn network_endpoint_accepts_a_custom_network() {
+        let body = obj(&[("net", custom_net(vec![custom_layer(16.0, 8.0, 14.0)]))]);
+        let resp = dispatch("/v1/network", &body);
+        assert_eq!(resp.status, 200, "{}", resp.body);
+        let v: Value = serde_json::from_str(&resp.body).unwrap();
+        assert_eq!(v.get_field("network").unwrap().as_str().unwrap(), "tiny");
+        assert_eq!(
+            v.get_field("layers").unwrap().as_array().unwrap().len(),
+            1
+        );
+    }
+
+    #[test]
+    fn custom_network_rejects_top_level_batch() {
+        let body = obj(&[
+            ("net", custom_net(vec![custom_layer(16.0, 8.0, 14.0)])),
+            ("batch", Value::Number(2.0)),
+        ]);
+        let resp = dispatch("/v1/network", &body);
+        assert_eq!(resp.status, 400, "{}", resp.body);
+        assert!(resp.body.contains("batch"), "{}", resp.body);
+    }
+
+    #[test]
+    fn custom_network_cap_violations_are_422_naming_the_invariant() {
+        // Per-layer dimension over the cap.
+        let over_co = obj(&[("net", custom_net(vec![custom_layer(1e9, 8.0, 14.0)]))]);
+        let resp = dispatch("/v1/network", &over_co);
+        assert_eq!(resp.status, 422, "{}", resp.body);
+        assert!(resp.body.contains("layers[0]"), "{}", resp.body);
+        // Layer count over the cap.
+        let many: Vec<Value> = (0..network_caps::MAX_NETWORK_LAYERS + 1)
+            .map(|_| custom_layer(16.0, 8.0, 14.0))
+            .collect();
+        let resp = dispatch("/v1/network", &obj(&[("net", custom_net(many))]));
+        assert_eq!(resp.status, 422, "{}", resp.body);
+        assert!(resp.body.contains("layer count"), "{}", resp.body);
+        // Total MACs over the cap: each layer is in range, the sum is not
+        // (64 × 4096×4096 3×3 layers on 128×128 maps ≈ 1.6×10¹⁴ MACs).
+        let chunky: Vec<Value> = (0..64)
+            .map(|_| custom_layer(4096.0, 4096.0, 128.0))
+            .collect();
+        let resp = dispatch("/v1/network", &obj(&[("net", custom_net(chunky))]));
+        assert_eq!(resp.status, 422, "{}", resp.body);
+        assert!(resp.body.contains("total MACs"), "{}", resp.body);
+        // Empty layer list.
+        let resp = dispatch("/v1/network", &obj(&[("net", custom_net(vec![]))]));
+        assert_eq!(resp.status, 422, "{}", resp.body);
+        assert!(resp.body.contains("at least one layer"), "{}", resp.body);
+    }
+
+    #[test]
+    fn dse_target_accepts_a_custom_network() {
+        let body = obj(&[
+            (
+                "target",
+                obj(&[("network", custom_net(vec![custom_layer(16.0, 8.0, 14.0)]))]),
+            ),
+            (
+                "candidates",
+                Value::Array(vec![ArchConfig::implementation(1).to_value()]),
+            ),
+        ]);
+        let resp = dispatch("/v1/dse", &body);
+        assert_eq!(resp.status, 200, "{}", resp.body);
+        let v: Value = serde_json::from_str(&resp.body).unwrap();
+        assert_eq!(v.get_field("network").unwrap().as_str().unwrap(), "tiny");
+        assert_eq!(v.get_field("batch").unwrap().as_number().unwrap(), 1.0);
+    }
+
+    #[test]
+    fn dse_target_rejects_batch_next_to_a_custom_network() {
+        let body = obj(&[
+            (
+                "target",
+                obj(&[
+                    ("network", custom_net(vec![custom_layer(16.0, 8.0, 14.0)])),
+                    ("batch", Value::Number(2.0)),
+                ]),
+            ),
+            (
+                "candidates",
+                Value::Array(vec![ArchConfig::implementation(1).to_value()]),
+            ),
+        ]);
+        let resp = dispatch("/v1/dse", &body);
+        assert_eq!(resp.status, 400, "{}", resp.body);
+        assert!(resp.body.contains("target.batch"), "{}", resp.body);
+    }
+
+    #[test]
+    fn dse_target_prefixes_custom_network_errors() {
+        let body = obj(&[
+            (
+                "target",
+                obj(&[("network", custom_net(vec![custom_layer(0.0, 8.0, 14.0)]))]),
+            ),
+            (
+                "candidates",
+                Value::Array(vec![ArchConfig::implementation(1).to_value()]),
+            ),
+        ]);
+        let resp = dispatch("/v1/dse", &body);
+        assert_eq!(resp.status, 422, "{}", resp.body);
+        assert!(resp.body.contains("target.network"), "{}", resp.body);
+        assert!(resp.body.contains("layers[0]"), "{}", resp.body);
+    }
+
+    #[test]
+    fn new_presets_are_served() {
+        for name in ["inception", "fc"] {
+            let resp = dispatch(
+                "/v1/network",
+                &obj(&[
+                    ("net", Value::String(name.into())),
+                    ("batch", Value::Number(1.0)),
+                ]),
+            );
+            assert_eq!(resp.status, 200, "{name}: {}", resp.body);
+        }
     }
 
     #[test]

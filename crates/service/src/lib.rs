@@ -212,7 +212,7 @@
 //! | `/v1/sweep` | POST | layer spec + `mem_kib`/`arch` | `clb sweep` |
 //! | `/v1/plan` | POST | layer spec + `implem`/`arch` | `clb plan` |
 //! | `/v1/simulate` | POST | layer spec + `implem`/`arch` + `tiling` | `clb simulate` |
-//! | `/v1/network` | POST | `net`, `batch`, `implem`/`arch` | `clb network --json` |
+//! | `/v1/network` | POST | `net` (preset name or custom object), `batch`, `implem`/`arch` | `clb network --json` |
 //! | `/v1/dse` | POST | layer spec + `candidates`/`grid` | `clb dse` |
 //!
 //! Layer spec fields: `co`, `size`, `ci` (required); `k` (3), `stride`
@@ -265,7 +265,8 @@ mod server;
 
 pub use api::{
     arch_from_value, dse_job_id, dse_network_results, dse_results, dse_staged_network_results,
-    dse_staged_results, dse_stream_chunks, network_by_name, parse_staged_options, ApiError,
+    dse_staged_results, dse_stream_chunks, network_by_name, network_from_value,
+    parse_staged_options, ApiError,
     ArchChoice, ArchPlanResponse, ArchSimulateResponse, BoundResponse, DseEntry, DseLogMeta,
     DseNetworkEntry, DseNetworkResponse, DseResponse, DseStagedNetworkResponse, DseStagedResponse,
     LayerSpec, PlanResponse, SimulateResponse, StagedOptions, StreamMode, SweepEntry,
@@ -275,7 +276,7 @@ pub use chaos::{request_bytes, ChaosClient, WireResponse};
 pub use http::{HttpError, Request, Response};
 pub use pool::{BoundedQueue, Gate, WaitGroup, WorkerPool};
 pub use server::{
-    format_request_log, CacheOutcome, CacheStatsResponse, LogSink, MemoCacheStats,
+    format_request_log, CacheOutcome, CacheStatsResponse, LogFlags, LogSink, MemoCacheStats,
     RouteLatencyStats, RunningServer, Server, ServiceConfig, ServiceStats, StatsHandle, StopHandle,
     LATENCY_ROUTES, RETRY_AFTER_SECS,
 };

@@ -240,7 +240,12 @@ impl CacheOutcome {
 /// served over one reused keep-alive socket. The trailing `trace=on|off`
 /// appears only on `/v1/simulate` and `/v1/plan` requests (the endpoints
 /// that accept a `trace` option; `on` means the body carried a non-null
-/// one). Answered `/v1/dse` sweeps instead append the sweep funnel —
+/// one). `/v1/network` requests instead end with ` net=<name>` — the
+/// preset name (`vgg16` when the body omits `net`), `custom` for a custom
+/// network object, or `-` when the body never parsed; the value is
+/// sanitized to `[A-Za-z0-9_-]` and at most 32 chars so a hostile preset
+/// string cannot forge extra `key=value` pairs. Answered `/v1/dse` sweeps
+/// instead append the sweep funnel —
 /// ` candidates=N pruned=N kept=N objective=cycles` (legacy sweeps log
 /// `objective=-`; rejected DSE requests keep the base shape). A connection
 /// aborted before its socket could be configured logs `status=0` with
@@ -255,13 +260,17 @@ pub fn format_request_log(
     micros: u128,
     cache: CacheOutcome,
     conn: u64,
-    trace: Option<bool>,
+    flags: &LogFlags,
     dse: Option<&api::DseLogMeta>,
 ) -> String {
-    let trace = match trace {
+    let trace = match flags.trace {
         None => "",
         Some(true) => " trace=on",
         Some(false) => " trace=off",
+    };
+    let net = match &flags.net {
+        None => String::new(),
+        Some(name) => format!(" net={name}"),
     };
     let dse = match dse {
         None => String::new(),
@@ -274,9 +283,78 @@ pub fn format_request_log(
         ),
     };
     format!(
-        "method={method} path={path} status={status} micros={micros} cache={} conn={conn}{trace}{dse}",
+        "method={method} path={path} status={status} micros={micros} cache={} conn={conn}{trace}{net}{dse}",
         cache.as_str()
     )
+}
+
+/// Per-request log decorations computed from the request path and the
+/// parsed body *before* dispatch: the `trace=` flag of `/v1/simulate` and
+/// `/v1/plan`, and the `net=` tag of `/v1/network`. Derived from the
+/// request — not the response — so cache hits, coalesced followers and
+/// rejections all log the same value the leader would.
+#[derive(Debug, Clone, Default)]
+pub struct LogFlags {
+    trace: Option<bool>,
+    net: Option<String>,
+}
+
+impl LogFlags {
+    /// Computes both flags for one request. `parsed` is `None` when the
+    /// body never parsed as JSON (structural 4xx paths).
+    fn of(path: &str, parsed: Option<&Value>) -> LogFlags {
+        LogFlags {
+            trace: trace_flag(path, parsed),
+            net: net_flag(path, parsed),
+        }
+    }
+}
+
+/// The request-log `trace=` flag: `Some` only for the endpoints that
+/// accept a `trace` option, `on` when the parsed body carries a
+/// non-null one (unparseable bodies log `off`).
+fn trace_flag(path: &str, parsed: Option<&Value>) -> Option<bool> {
+    if path != "/v1/simulate" && path != "/v1/plan" {
+        return None;
+    }
+    let on = parsed.is_some_and(|v| {
+        matches!(v, Value::Object(fields)
+            if fields.iter().any(|(k, f)| k == "trace" && !matches!(f, Value::Null)))
+    });
+    Some(on)
+}
+
+/// The request-log `net=` tag: `Some` only for `/v1/network`. Logs the
+/// preset name (`vgg16` when the field is absent or null — the handler's
+/// default), `custom` for a custom network object, and `-` for bodies
+/// that never parsed or carry a non-string, non-object `net`. The name is
+/// user-controlled, so it is clamped to `[A-Za-z0-9_-]` (other bytes
+/// become `_`) and 32 chars — a space or `=` in a hostile preset string
+/// must not forge extra `key=value` pairs in the pinned log shape.
+fn net_flag(path: &str, parsed: Option<&Value>) -> Option<String> {
+    if path != "/v1/network" {
+        return None;
+    }
+    let Some(Value::Object(fields)) = parsed else {
+        return Some("-".to_string());
+    };
+    let net = fields.iter().find(|(k, _)| k == "net").map(|(_, v)| v);
+    Some(match net {
+        None | Some(Value::Null) => "vgg16".to_string(),
+        Some(Value::Object(_)) => "custom".to_string(),
+        Some(Value::String(name)) => name
+            .chars()
+            .take(32)
+            .map(|c| {
+                if c.is_ascii_alphanumeric() || c == '_' || c == '-' {
+                    c
+                } else {
+                    '_'
+                }
+            })
+            .collect(),
+        Some(_) => "-".to_string(),
+    })
 }
 
 /// Recursively sorts object keys so two spellings of the same JSON value
@@ -980,20 +1058,6 @@ impl ServiceState {
         }
     }
 
-    /// The request-log `trace=` flag: `Some` only for the endpoints that
-    /// accept a `trace` option, `on` when the parsed body carries a
-    /// non-null one (unparseable bodies log `off`).
-    fn trace_flag(path: &str, parsed: Option<&Value>) -> Option<bool> {
-        if path != "/v1/simulate" && path != "/v1/plan" {
-            return None;
-        }
-        let on = parsed.is_some_and(|v| {
-            matches!(v, Value::Object(fields)
-                if fields.iter().any(|(k, f)| k == "trace" && !matches!(f, Value::Null)))
-        });
-        Some(on)
-    }
-
     /// The cached/coalesced POST path. The canonical key is the endpoint
     /// plus the parsed, key-sorted, re-serialized body, so whitespace or
     /// key-order differences in client JSON cannot split identical queries.
@@ -1003,7 +1067,7 @@ impl ServiceState {
         &self,
         path: &str,
         body: &[u8],
-    ) -> (Arc<Produced>, CacheOutcome, Option<bool>) {
+    ) -> (Arc<Produced>, CacheOutcome, LogFlags) {
         let parsed: Value = match std::str::from_utf8(body)
             .map_err(|_| "request body is not valid UTF-8".to_string())
             .and_then(|text| {
@@ -1014,11 +1078,11 @@ impl ServiceState {
                 return (
                     Produced::uncached(Response::error(400, &msg)),
                     CacheOutcome::Uncached,
-                    Self::trace_flag(path, None),
+                    LogFlags::of(path, None),
                 )
             }
         };
-        let trace = Self::trace_flag(path, Some(&parsed));
+        let flags = LogFlags::of(path, Some(&parsed));
         // Job-mode `/v1/dse` never enters the cache or the flight map: an
         // acceptance must register the job and spawn its sweep thread,
         // which the pure dispatch cannot do, and idempotency is keyed on
@@ -1027,7 +1091,7 @@ impl ServiceState {
             return (
                 self.dse_job_response(&parsed),
                 CacheOutcome::Uncached,
-                trace,
+                flags,
             );
         }
         let canonical = match serde_json::to_string(&canonicalize(&parsed)) {
@@ -1039,7 +1103,7 @@ impl ServiceState {
                         &format!("unrenderable JSON body: {e}"),
                     )),
                     CacheOutcome::Uncached,
-                    trace,
+                    flags,
                 )
             }
         };
@@ -1048,7 +1112,7 @@ impl ServiceState {
             self.counters
                 .responses_cached
                 .fetch_add(1, Ordering::Relaxed);
-            return (Arc::clone(hit), CacheOutcome::Hit, trace);
+            return (Arc::clone(hit), CacheOutcome::Hit, flags);
         }
         // The response cache is bounded by *entry count*, so one oversized
         // body class (a 256-candidate `/v1/dse` sweep runs to ~0.6 MB;
@@ -1086,7 +1150,7 @@ impl ServiceState {
         } else {
             CacheOutcome::Miss
         };
-        (produced, outcome, trace)
+        (produced, outcome, flags)
     }
 
     /// Accepts (or re-acknowledges) a job-mode `/v1/dse` request: validates
@@ -1200,7 +1264,7 @@ impl ServiceState {
         method == "POST" && POST_ENDPOINTS.contains(&path)
     }
 
-    fn route(&self, head: &http::Head, body: &[u8]) -> (Arc<Produced>, CacheOutcome, Option<bool>) {
+    fn route(&self, head: &http::Head, body: &[u8]) -> (Arc<Produced>, CacheOutcome, LogFlags) {
         const POST_ENDPOINTS: [&str; 7] = [
             "/v1/bound",
             "/v1/sweep",
@@ -1211,7 +1275,8 @@ impl ServiceState {
             "/v1/shutdown",
         ];
         const GET_ENDPOINTS: [&str; 2] = ["/healthz", "/v1/cache_stats"];
-        let uncached = |r: Response| (Produced::uncached(r), CacheOutcome::Uncached, None);
+        let uncached =
+            |r: Response| (Produced::uncached(r), CacheOutcome::Uncached, LogFlags::default());
         match (head.method.as_str(), head.path.as_str()) {
             ("GET", "/healthz") => uncached(Response::json(200, "{\"status\": \"ok\"}")),
             ("GET", "/v1/cache_stats") => uncached(self.cache_stats_response()),
@@ -1253,7 +1318,7 @@ impl ServiceState {
         started: Instant,
         outcome: CacheOutcome,
         conn: u64,
-        trace: Option<bool>,
+        flags: &LogFlags,
         dse: Option<&api::DseLogMeta>,
     ) {
         let micros = started.elapsed().as_micros();
@@ -1262,7 +1327,7 @@ impl ServiceState {
         self.latency.record(path, micros);
         if let Some(sink) = &self.config.log {
             sink(&format_request_log(
-                method, path, status, micros, outcome, conn, trace, dse,
+                method, path, status, micros, outcome, conn, flags, dse,
             ));
         }
     }
@@ -1508,7 +1573,7 @@ impl ServiceState {
                     ("-".to_string(), "-".to_string()),
                     produced,
                     CacheOutcome::Uncached,
-                    None,
+                    LogFlags::default(),
                     false,
                 );
                 return ServeOutcome::Done(keep);
@@ -1524,14 +1589,14 @@ impl ServiceState {
                 }
                 .message(),
             ));
-            let trace = Self::trace_flag(&head.path, None);
+            let flags = LogFlags::of(&head.path, None);
             let keep = self.respond(
                 conn,
                 started,
                 (head.method, head.path),
                 produced,
                 CacheOutcome::Uncached,
-                trace,
+                flags,
                 false,
             );
             return ServeOutcome::Done(keep);
@@ -1551,14 +1616,14 @@ impl ServiceState {
             Ok(body) => body,
             Err(e) => {
                 let produced = Produced::uncached(Response::error(e.status(), &e.message()));
-                let trace = Self::trace_flag(&head.path, None);
+                let flags = LogFlags::of(&head.path, None);
                 let keep = self.respond(
                     conn,
                     started,
                     (head.method, head.path),
                     produced,
                     CacheOutcome::Uncached,
-                    trace,
+                    flags,
                     false,
                 );
                 return ServeOutcome::Done(keep);
@@ -1627,7 +1692,7 @@ impl ServiceState {
                         started,
                         CacheOutcome::Uncached,
                         conn.id,
-                        None,
+                        &LogFlags::default(),
                         meta.as_ref(),
                     );
                     return write_ok
@@ -1635,7 +1700,7 @@ impl ServiceState {
                         && conn.served < max_requests
                         && !self.table.is_draining();
                 }
-                let (produced, outcome, trace) = self.route(&head, &body);
+                let (produced, outcome, flags) = self.route(&head, &body);
                 // The compute is done: release before the socket write so
                 // the freed permit pumps the wait room immediately (same
                 // release point as the old waiting-room model).
@@ -1647,19 +1712,19 @@ impl ServiceState {
                     (head.method, head.path),
                     produced,
                     outcome,
-                    trace,
+                    flags,
                     may_keep,
                 )
             }
             Admission::Ungated => {
-                let (produced, outcome, trace) = self.route(&head, &body);
+                let (produced, outcome, flags) = self.route(&head, &body);
                 self.respond(
                     conn,
                     started,
                     (head.method, head.path),
                     produced,
                     outcome,
-                    trace,
+                    flags,
                     may_keep,
                 )
             }
@@ -1669,14 +1734,14 @@ impl ServiceState {
                     "server is saturated; retry with backoff",
                     RETRY_AFTER_SECS,
                 ));
-                let trace = Self::trace_flag(&head.path, None);
+                let flags = LogFlags::of(&head.path, None);
                 self.respond(
                     conn,
                     started,
                     (head.method, head.path),
                     produced,
                     CacheOutcome::Uncached,
-                    trace,
+                    flags,
                     may_keep,
                 )
             }
@@ -1696,7 +1761,7 @@ impl ServiceState {
         (method, path): (String, String),
         produced: Arc<Produced>,
         outcome: CacheOutcome,
-        trace: Option<bool>,
+        flags: LogFlags,
         may_keep: bool,
     ) -> bool {
         conn.served += 1;
@@ -1718,7 +1783,7 @@ impl ServiceState {
             started,
             outcome,
             conn.id,
-            trace,
+            &flags,
             produced.dse.as_ref(),
         );
         keep && write_ok
@@ -2091,7 +2156,7 @@ impl Server {
                             Instant::now(),
                             CacheOutcome::Uncached,
                             conn_id,
-                            None,
+                            &LogFlags::default(),
                             None,
                         );
                         eprintln!(

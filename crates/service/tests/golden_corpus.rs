@@ -334,6 +334,65 @@ fn corpus() -> Vec<(String, &'static str, &'static str, Option<Value>)> {
         "/v1/plan",
         Some(obj(plan_trace)),
     ));
+    // Custom networks: a small two-layer object (200), the same object
+    // pushed over the MAC cap (422 — bless records the actual status), and
+    // the two presets the vocabulary grew.
+    let custom_layer = |co: f64, ci: f64, size: f64| {
+        obj(vec![
+            ("co", num(co)),
+            ("ci", num(ci)),
+            ("size", num(size)),
+            ("kernel", num(3.0)),
+            ("stride", num(1.0)),
+        ])
+    };
+    entries.push((
+        "network_custom".to_string(),
+        "POST",
+        "/v1/network",
+        Some(obj(vec![(
+            "net",
+            obj(vec![
+                ("name", Value::String("tiny-2".to_string())),
+                ("batch", num(1.0)),
+                (
+                    "layers",
+                    Value::Array(vec![
+                        custom_layer(8.0, 3.0, 14.0),
+                        custom_layer(16.0, 8.0, 14.0),
+                    ]),
+                ),
+            ]),
+        )])),
+    ));
+    entries.push((
+        "network_custom_overcap".to_string(),
+        "POST",
+        "/v1/network",
+        Some(obj(vec![(
+            "net",
+            obj(vec![
+                ("batch", num(64.0)),
+                (
+                    "layers",
+                    Value::Array(
+                        (0..64).map(|_| custom_layer(4096.0, 4096.0, 128.0)).collect(),
+                    ),
+                ),
+            ]),
+        )])),
+    ));
+    for preset in ["inception", "fc"] {
+        entries.push((
+            format!("network_{preset}"),
+            "POST",
+            "/v1/network",
+            Some(obj(vec![
+                ("net", Value::String(preset.to_string())),
+                ("batch", num(1.0)),
+            ])),
+        ));
+    }
     entries.push(("cache_stats".to_string(), "GET", "/v1/cache_stats", None));
     entries
 }

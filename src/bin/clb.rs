@@ -6,9 +6,11 @@
 //! clb plan     --co 512 --size 28 --ci 256 [--implem 1]  # tiling + simulation on an implementation
 //! clb simulate --co 512 --size 28 --ci 256 --tb 1 --tz 16 --ty 14 --tx 14 [--implem 1]
 //!              [--trace json|vcd] [--trace-out FILE]
-//! clb network  --net vgg16|alexnet|resnet50 [--batch 3] [--implem 1] [--json true]
+//! clb network  --net vgg16|alexnet|resnet50|inception|fc [--batch 3] [--implem 1] [--json true]
+//! clb network  --net-json '{"name":"n","batch":1,"layers":[{"co":64,"ci":3,"size":224}]}'
 //! clb dse      --co 512 --size 28 --ci 256 [--pe-rows 16,24,32] [--lreg 64,128] ...
 //! clb dse      --net vgg16 [--batch 3] [--pe-rows 16,24,32] ...   # whole-model sweep
+//! clb dse      --net-json '<json>' [--pe-rows 16,24,32] ...       # custom-model sweep
 //! clb serve    [--port 8080] [--threads 0] [--io-workers 0] [--queue 256] [--result-cache 1024]
 //!              [--keepalive-requests 128] [--keepalive-idle-ms 5000] [--max-connections 1024]
 //!              [--drain-ms 5000] [--allow-shutdown true] [--log true]
@@ -298,20 +300,41 @@ fn cmd_simulate(flags: &HashMap<String, String>) -> Result<(), String> {
     Ok(())
 }
 
+/// Resolves `--net-json '<json>'` — a full custom network object, the CLI
+/// mirror of posting `{"net": {...}}` to `/v1/network` — through the same
+/// parser and caps the service uses. Returns `None` when the flag is
+/// absent (preset `--net` path). The object carries its own `batch`, so
+/// `--batch` (and `--net`) conflict with it.
+fn net_from_flags(
+    flags: &HashMap<String, String>,
+) -> Result<Option<(workloads::Network, usize)>, String> {
+    let Some(json) = flags.get("net-json") else {
+        return Ok(None);
+    };
+    if flags.contains_key("net") {
+        return Err("specify either --net or --net-json, not both".into());
+    }
+    if flags.contains_key("batch") {
+        return Err("a custom network object carries its own `batch`; drop --batch".into());
+    }
+    let v: serde_json::Value =
+        serde_json::from_str(json).map_err(|e| format!("--net-json: invalid JSON: {e}"))?;
+    clb_service::network_from_value(&v)
+        .map(Some)
+        .map_err(|e| format!("--net-json: {}", api_error_message(e)))
+}
+
 fn cmd_network(flags: &HashMap<String, String>) -> Result<(), String> {
-    let batch: usize = get(flags, "batch", 3)?;
-    let name = flags
-        .get("net")
-        .cloned()
-        .unwrap_or_else(|| "vgg16".to_string());
-    let net = match name.as_str() {
-        "vgg16" => workloads::vgg16(batch),
-        "alexnet" => workloads::alexnet(batch),
-        "resnet50" => workloads::resnet50(batch),
-        other => {
-            return Err(format!(
-                "unknown network `{other}` (vgg16|alexnet|resnet50)"
-            ))
+    let (net, batch) = match net_from_flags(flags)? {
+        Some(custom) => custom,
+        None => {
+            let batch: usize = get(flags, "batch", 3)?;
+            let name = flags
+                .get("net")
+                .cloned()
+                .unwrap_or_else(|| "vgg16".to_string());
+            let net = clb_service::network_by_name(&name, batch).map_err(api_error_message)?;
+            (net, batch)
         }
     };
     let (arch, label) = arch_choice_from_flags(flags)?;
@@ -431,15 +454,25 @@ fn print_stream_progress<R: clb::core::SweepCost>(p: &clb::core::StagedProgress<
 /// service returns. `--objective`, `--top-k` and `--stream` select the
 /// staged engine (the CLI mirror of the same fields on `POST /v1/dse`).
 fn cmd_dse(flags: &HashMap<String, String>) -> Result<(), String> {
-    if let Some(net) = flags.get("net") {
+    if flags.contains_key("net") || flags.contains_key("net-json") {
         for conflicting in ["co", "size", "ci", "k", "stride"] {
             if flags.contains_key(conflicting) {
                 return Err(format!(
-                    "specify either --net or the layer flag --{conflicting}, not both"
+                    "specify either a network (--net/--net-json) or the layer \
+                     flag --{conflicting}, not both"
                 ));
             }
         }
-        return cmd_dse_network(net.clone(), flags);
+        let (net, batch) = match net_from_flags(flags)? {
+            Some(custom) => custom,
+            None => {
+                let batch: usize = get(flags, "batch", 3)?;
+                let name = flags.get("net").expect("checked above");
+                let net = clb_service::network_by_name(name, batch).map_err(api_error_message)?;
+                (net, batch)
+            }
+        };
+        return cmd_dse_network(&net, batch, flags);
     }
     let layer = layer_from_flags(flags)?;
     let base = arch_from_flags(flags)?.unwrap_or_else(accel_sim::ArchConfig::example);
@@ -577,12 +610,14 @@ fn grid_archs_from_flags(
     }
 }
 
-/// The network mode of `clb dse` (`--net vgg16|alexnet|resnet50`): the same
-/// candidate grid, evaluated per candidate over the *whole model* — the CLI
-/// mirror of `/v1/dse` with `"target": {"network": ...}`.
-fn cmd_dse_network(net_name: String, flags: &HashMap<String, String>) -> Result<(), String> {
-    let batch: usize = get(flags, "batch", 3)?;
-    let net = clb_service::network_by_name(&net_name, batch).map_err(api_error_message)?;
+/// The network mode of `clb dse` (`--net <preset>` or `--net-json`): the
+/// same candidate grid, evaluated per candidate over the *whole model* —
+/// the CLI mirror of `/v1/dse` with `"target": {"network": ...}`.
+fn cmd_dse_network(
+    net: &workloads::Network,
+    batch: usize,
+    flags: &HashMap<String, String>,
+) -> Result<(), String> {
     let base = arch_from_flags(flags)?.unwrap_or_else(accel_sim::ArchConfig::example);
 
     if let Some((objective, top_k, stream)) = staged_flags(flags)? {
@@ -721,14 +756,16 @@ fn usage() -> &'static str {
      clb plan     --co 512 --size 28 --ci 256 [--implem 1]\n\
      clb simulate --co 512 --size 28 --ci 256 --tb 1 --tz 16 --ty 14 --tx 14 [--implem 1]\n\
      \\            [--trace json|vcd] [--trace-out FILE]   # execution trace (VCD: GTKWave)\n\
-     clb network  --net vgg16|alexnet|resnet50 [--batch 3] [--implem 1] [--json true]\n\
+     clb network  --net vgg16|alexnet|resnet50|inception|fc [--batch 3] [--implem 1]\n\
+     \\            [--json true]   (or --net-json '<json>': a custom network object)\n\
      clb dse      --co 512 --size 28 --ci 256 [--pe-rows 16,24,32] [--pe-cols ...]\n\
      \\            [--group-rows ...] [--group-cols ...] [--lreg 64,128] [--igbuf ...]\n\
      \\            [--wgbuf ...] [--greg-bytes ...] [--greg-segment ...] [--json true]\n\
      \\            [--objective cycles|traffic|energy|pareto] [--top-k 16] [--stream true]\n\
      \\            (any staged flag switches to the bound-pruned engine: 2^20\n\
      \\            candidate cap, ranked top-k frontier, live progress on stderr)\n\
-     clb dse      --net vgg16|alexnet|resnet50 [--batch 3] [--pe-rows 16,24,32] ...\n\
+     clb dse      --net vgg16|alexnet|resnet50|inception|fc [--batch 3]\n\
+     \\            [--pe-rows 16,24,32] ...   (or --net-json '<json>')\n\
      \\            (network mode: each candidate evaluated over the whole model;\n\
      \\            takes the same staged flags)\n\
      clb serve    [--port 8080] [--threads 0] [--io-workers 0] [--queue 256]\n\
@@ -743,7 +780,10 @@ fn usage() -> &'static str {
      --arch '<json>'    full custom architecture (any verb that takes --implem;\n\
      \\                  bound/sweep derive the memory size from it; dse uses it\n\
      \\                  as the grid base) — fields default to implementation 1,\n\
-     \\                  e.g. '{\"pe_rows\":24,\"pe_cols\":24,\"igbuf_entries\":3072}'"
+     \\                  e.g. '{\"pe_rows\":24,\"pe_cols\":24,\"igbuf_entries\":3072}'\n\
+     --net-json '<json>' full custom network (network/dse): {\"name\",\"batch\",\n\
+     \\                  \"layers\":[{\"co\",\"ci\",\"size\",...}]} — the CLI mirror of\n\
+     \\                  posting a network object; carries its own batch"
 }
 
 /// Applies the global engine flags (`--threads`, `--cache-stats`); returns
@@ -967,7 +1007,44 @@ mod tests {
     #[test]
     fn network_rejects_unknown_name() {
         let f = flags(&[("net", "lenet")]);
-        assert!(cmd_network(&f).is_err());
+        let err = cmd_network(&f).unwrap_err();
+        // The refusal carries the full service vocabulary — CLI and
+        // endpoint must never drift apart again.
+        for name in ["vgg16", "alexnet", "resnet50", "inception", "fc"] {
+            assert!(err.contains(name), "{err}");
+        }
+    }
+
+    #[test]
+    fn net_json_parses_a_custom_network_through_the_service_caps() {
+        const TINY: &str = "{\"name\":\"tiny\",\"batch\":1,\
+             \"layers\":[{\"co\":8,\"ci\":3,\"size\":14}]}";
+        let (net, batch) = net_from_flags(&flags(&[("net-json", TINY)]))
+            .unwrap()
+            .unwrap();
+        assert_eq!(net.name(), "tiny");
+        assert_eq!(batch, 1);
+        assert_eq!(net.len(), 1);
+        // Absent flag: the preset path.
+        assert!(net_from_flags(&flags(&[])).unwrap().is_none());
+        // Conflicts: --net and --batch both clash with the object's own fields.
+        let err = net_from_flags(&flags(&[("net-json", TINY), ("net", "vgg16")])).unwrap_err();
+        assert!(err.contains("--net-json"), "{err}");
+        let err = net_from_flags(&flags(&[("net-json", TINY), ("batch", "2")])).unwrap_err();
+        assert!(err.contains("--batch"), "{err}");
+        // Structural and cap failures surface the service's message under
+        // the flag's name.
+        let err = net_from_flags(&flags(&[("net-json", "{nope")])).unwrap_err();
+        assert!(err.contains("--net-json") && err.contains("invalid JSON"), "{err}");
+        let err =
+            net_from_flags(&flags(&[("net-json", "{\"batch\":1,\"layers\":[]}")])).unwrap_err();
+        assert!(err.contains("at least one layer"), "{err}");
+        // The whole verb paths accept it end to end.
+        cmd_network(&flags(&[("net-json", TINY)])).unwrap();
+        cmd_dse(&flags(&[("net-json", TINY), ("pe-rows", "16")])).unwrap();
+        // Layer flags conflict with --net-json exactly as with --net.
+        let err = cmd_dse(&flags(&[("net-json", TINY), ("co", "16")])).unwrap_err();
+        assert!(err.contains("either"), "{err}");
     }
 
     #[test]
